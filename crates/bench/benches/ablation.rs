@@ -1,0 +1,88 @@
+//! Criterion benches for the ablations in DESIGN.md: engine optimizer
+//! on/off, pagination chunk size, and the wire-format round trip.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::casestudies::{self, CaseParams};
+use bench::{baselines, data};
+use rdfframes_core::{EndpointConfig, InProcessEndpoint, WireFormat};
+
+const SCALE: usize = 600;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let ds = data::build_dataset(SCALE);
+    let p = CaseParams::for_scale(SCALE);
+    let frame = casestudies::topic_modeling(p.since_year, p.threshold, p.recent_year);
+    let on = data::build_endpoint(Arc::clone(&ds));
+    let off = InProcessEndpoint::with_config(
+        Arc::clone(&ds),
+        EndpointConfig {
+            optimize: false,
+            ..Default::default()
+        },
+    );
+    let mut group = c.benchmark_group("ablation/optimizer");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("on", |b| {
+        b.iter(|| baselines::rdfframes(&frame, &on).unwrap())
+    });
+    group.bench_function("off", |b| {
+        b.iter(|| baselines::rdfframes(&frame, &off).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_pagination(c: &mut Criterion) {
+    let ds = data::build_dataset(SCALE);
+    let frame = casestudies::kg_embedding();
+    let mut group = c.benchmark_group("ablation/pagination");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for chunk in [1_000usize, 10_000, 100_000] {
+        let ep = InProcessEndpoint::with_config(
+            Arc::clone(&ds),
+            EndpointConfig {
+                max_rows_per_request: chunk,
+                ..Default::default()
+            },
+        );
+        group.bench_function(format!("chunk_{chunk}"), |b| {
+            b.iter(|| baselines::rdfframes(&frame, &ep).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let ds = data::build_dataset(SCALE);
+    let frame = casestudies::kg_embedding();
+    let mut group = c.benchmark_group("ablation/wire");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (name, wire) in [
+        ("none", WireFormat::None),
+        ("tsv", WireFormat::Tsv),
+        ("xml", WireFormat::Xml),
+    ] {
+        let ep = InProcessEndpoint::with_config(
+            Arc::clone(&ds),
+            EndpointConfig {
+                wire,
+                ..Default::default()
+            },
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| baselines::rdfframes(&frame, &ep).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer, bench_pagination, bench_wire);
+criterion_main!(benches);

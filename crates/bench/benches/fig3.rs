@@ -1,0 +1,50 @@
+//! Criterion bench for Figure 3: RDFFrames vs naive generation vs
+//! Navigation + dataframe on the three case studies.
+//!
+//! Uses a small scale so `cargo bench` completes quickly; the `fig3`
+//! binary runs the full-size experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::casestudies::{self, CaseParams};
+use bench::{baselines, data};
+
+const SCALE: usize = 600;
+
+fn bench_case_studies(c: &mut Criterion) {
+    let ds = data::build_dataset(SCALE);
+    let endpoint = data::build_endpoint(ds);
+    let p = CaseParams::for_scale(SCALE);
+
+    let studies = [
+        (
+            "movie_genre",
+            casestudies::movie_genre_classification(p.prolific),
+        ),
+        (
+            "topic_modeling",
+            casestudies::topic_modeling(p.since_year, p.threshold, p.recent_year),
+        ),
+        ("kg_embedding", casestudies::kg_embedding()),
+    ];
+
+    for (name, frame) in &studies {
+        let mut group = c.benchmark_group(format!("fig3/{name}"));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+        group.bench_function("rdfframes", |b| {
+            b.iter(|| baselines::rdfframes(frame, &endpoint).unwrap())
+        });
+        group.bench_function("naive", |b| {
+            b.iter(|| baselines::naive(frame, &endpoint).unwrap())
+        });
+        group.bench_function("navigation_plus_df", |b| {
+            b.iter(|| baselines::navigation_plus_df(frame, &endpoint).unwrap())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_case_studies);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for Figure 4: RDFFrames vs rdflib+dataframe vs
+//! SPARQL+dataframe vs expert SPARQL on the three case studies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::casestudies::{self, CaseParams};
+use bench::{baselines, data};
+use rdf_model::ntriples;
+
+const SCALE: usize = 600;
+
+fn bench_alternatives(c: &mut Criterion) {
+    let ds = data::build_dataset(SCALE);
+    let endpoint = data::build_endpoint(std::sync::Arc::clone(&ds));
+    let p = CaseParams::for_scale(SCALE);
+
+    let dbpedia_nt =
+        ntriples::write_document(ds.graph(data::uris::DBPEDIA).unwrap().iter_triples());
+    let dblp_nt = ntriples::write_document(ds.graph(data::uris::DBLP).unwrap().iter_triples());
+
+    let studies = [
+        (
+            "movie_genre",
+            casestudies::movie_genre_classification(p.prolific),
+            casestudies::movie_genre_expert(p.prolific),
+            &dbpedia_nt,
+        ),
+        (
+            "topic_modeling",
+            casestudies::topic_modeling(p.since_year, p.threshold, p.recent_year),
+            casestudies::topic_modeling_expert(p.since_year, p.threshold, p.recent_year),
+            &dblp_nt,
+        ),
+        (
+            "kg_embedding",
+            casestudies::kg_embedding(),
+            casestudies::kg_embedding_expert(),
+            &dblp_nt,
+        ),
+    ];
+
+    for (name, frame, expert, nt) in &studies {
+        let mut group = c.benchmark_group(format!("fig4/{name}"));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+        group.bench_function("rdfframes", |b| {
+            b.iter(|| baselines::rdfframes(frame, &endpoint).unwrap())
+        });
+        group.bench_function("expert_sparql", |b| {
+            b.iter(|| baselines::expert_sparql(expert, &endpoint).unwrap())
+        });
+        group.bench_function("sparql_plus_df", |b| {
+            b.iter(|| baselines::sparql_plus_df(frame, &endpoint).unwrap())
+        });
+        group.bench_function("rdflib_plus_df", |b| {
+            b.iter(|| baselines::rdflib_plus_df(frame, nt).unwrap())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_alternatives);
+criterion_main!(benches);

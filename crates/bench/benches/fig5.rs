@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 5: the Q1–Q15 synthetic workload, measuring
+//! expert SPARQL, naive generation, and RDFFrames per query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{baselines, data, queries};
+
+const SCALE: usize = 600;
+
+fn bench_workload(c: &mut Criterion) {
+    let ds = data::build_dataset(SCALE);
+    let endpoint = data::build_endpoint(ds);
+
+    for def in queries::all_queries() {
+        let mut group = c.benchmark_group(format!("fig5/{}", def.id));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+        group.bench_function("expert", |b| {
+            b.iter(|| baselines::expert_sparql(&def.expert, &endpoint).unwrap())
+        });
+        group.bench_function("rdfframes", |b| {
+            b.iter(|| baselines::rdfframes(&def.frame, &endpoint).unwrap())
+        });
+        group.bench_function("naive", |b| {
+            b.iter(|| baselines::naive(&def.frame, &endpoint).unwrap())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

@@ -1,0 +1,383 @@
+//! The [`DataFrame`] type and its row-level operations.
+
+use crate::cell::Cell;
+use crate::groupby::GroupBy;
+use crate::join::{join_frames, JoinType};
+
+/// A named-column table of [`Cell`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataFrame {
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+/// A borrowed view of one row with by-name access.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    columns: &'a [String],
+    cells: &'a [Cell],
+}
+
+impl<'a> RowView<'a> {
+    /// Cell by column name.
+    pub fn get(&self, name: &str) -> Option<&'a Cell> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(&self.cells[idx])
+    }
+
+    /// The raw cells.
+    pub fn cells(&self) -> &'a [Cell] {
+        self.cells
+    }
+}
+
+impl DataFrame {
+    /// Empty frame with the given column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        DataFrame {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Rows (read-only).
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the frame has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width doesn't match the column count.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// A cell by row/column name.
+    pub fn get(&self, row: usize, column: &str) -> Option<&Cell> {
+        let c = self.column_index(column)?;
+        self.rows.get(row).map(|r| &r[c])
+    }
+
+    /// Iterate one column's cells.
+    pub fn column(&self, name: &str) -> Option<impl Iterator<Item = &Cell>> {
+        let idx = self.column_index(name)?;
+        Some(self.rows.iter().map(move |r| &r[idx]))
+    }
+
+    /// Keep rows satisfying `predicate`.
+    pub fn filter<F>(&self, mut predicate: F) -> DataFrame
+    where
+        F: FnMut(RowView<'_>) -> bool,
+    {
+        let mut out = DataFrame::new(self.columns.clone());
+        for row in &self.rows {
+            let view = RowView {
+                columns: &self.columns,
+                cells: row,
+            };
+            if predicate(view) {
+                out.rows.push(row.clone());
+            }
+        }
+        out
+    }
+
+    /// Keep rows where `column`'s cell satisfies `predicate`.
+    pub fn filter_col<F>(&self, column: &str, mut predicate: F) -> DataFrame
+    where
+        F: FnMut(&Cell) -> bool,
+    {
+        let idx = match self.column_index(column) {
+            Some(i) => i,
+            None => return DataFrame::new(self.columns.clone()),
+        };
+        let mut out = DataFrame::new(self.columns.clone());
+        out.rows = self
+            .rows
+            .iter()
+            .filter(|r| predicate(&r[idx]))
+            .cloned()
+            .collect();
+        out
+    }
+
+    /// Projection: keep only `keep` (in that order). Unknown names produce a
+    /// column of nulls, mirroring pandas' permissive reindexing.
+    pub fn select(&self, keep: &[&str]) -> DataFrame {
+        let indices: Vec<Option<usize>> = keep.iter().map(|c| self.column_index(c)).collect();
+        let mut out = DataFrame::new(keep.iter().map(|s| s.to_string()).collect());
+        out.rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                indices
+                    .iter()
+                    .map(|i| i.map_or(Cell::Null, |i| row[i].clone()))
+                    .collect()
+            })
+            .collect();
+        out
+    }
+
+    /// Rename a column in place. No-op if absent.
+    pub fn rename(&mut self, from: &str, to: &str) {
+        if let Some(i) = self.column_index(from) {
+            self.columns[i] = to.to_string();
+        }
+    }
+
+    /// Add a column computed from each row.
+    pub fn with_column<F>(&self, name: &str, mut f: F) -> DataFrame
+    where
+        F: FnMut(RowView<'_>) -> Cell,
+    {
+        let mut columns = self.columns.clone();
+        columns.push(name.to_string());
+        let mut out = DataFrame::new(columns);
+        for row in &self.rows {
+            let view = RowView {
+                columns: &self.columns,
+                cells: row,
+            };
+            let v = f(view);
+            let mut new_row = row.clone();
+            new_row.push(v);
+            out.rows.push(new_row);
+        }
+        out
+    }
+
+    /// Hash join with another frame on one column from each side.
+    pub fn join(&self, other: &DataFrame, left_on: &str, right_on: &str, how: JoinType) -> DataFrame {
+        join_frames(self, other, left_on, right_on, how)
+    }
+
+    /// Begin a group-by on the given key columns.
+    pub fn group_by(&self, keys: &[&str]) -> GroupBy<'_> {
+        GroupBy::new(self, keys)
+    }
+
+    /// Sort by columns (`(name, ascending)`), stable, nulls first.
+    pub fn sort_by(&self, keys: &[(&str, bool)]) -> DataFrame {
+        let indices: Vec<(usize, bool)> = keys
+            .iter()
+            .filter_map(|(name, asc)| self.column_index(name).map(|i| (i, *asc)))
+            .collect();
+        let mut out = self.clone();
+        out.rows.sort_by(|a, b| {
+            for &(idx, asc) in &indices {
+                let ord = a[idx].total_cmp(&b[idx]);
+                let ord = if asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        out
+    }
+
+    /// First `k` rows starting at `offset`.
+    pub fn head(&self, k: usize, offset: usize) -> DataFrame {
+        let mut out = DataFrame::new(self.columns.clone());
+        out.rows = self
+            .rows
+            .iter()
+            .skip(offset)
+            .take(k)
+            .cloned()
+            .collect();
+        out
+    }
+
+    /// Drop duplicate rows (keep first occurrence).
+    pub fn distinct(&self) -> DataFrame {
+        let mut seen = std::collections::HashSet::with_capacity(self.rows.len());
+        let mut out = DataFrame::new(self.columns.clone());
+        out.rows = self
+            .rows
+            .iter()
+            .filter(|r| seen.insert((*r).clone()))
+            .cloned()
+            .collect();
+        out
+    }
+
+    /// Drop rows containing a null in the given column.
+    pub fn drop_nulls(&self, column: &str) -> DataFrame {
+        self.filter_col(column, |c| !c.is_null())
+    }
+
+    /// Vertically concatenate, aligning columns by name (missing → null).
+    pub fn concat(&self, other: &DataFrame) -> DataFrame {
+        let mut columns = self.columns.clone();
+        for c in &other.columns {
+            if !columns.contains(c) {
+                columns.push(c.clone());
+            }
+        }
+        let width = columns.len();
+        let map_self: Vec<usize> = self
+            .columns
+            .iter()
+            .map(|c| columns.iter().position(|x| x == c).expect("present"))
+            .collect();
+        let map_other: Vec<usize> = other
+            .columns
+            .iter()
+            .map(|c| columns.iter().position(|x| x == c).expect("present"))
+            .collect();
+        let mut out = DataFrame::new(columns);
+        for row in &self.rows {
+            let mut new_row = vec![Cell::Null; width];
+            for (i, c) in row.iter().enumerate() {
+                new_row[map_self[i]] = c.clone();
+            }
+            out.rows.push(new_row);
+        }
+        for row in &other.rows {
+            let mut new_row = vec![Cell::Null; width];
+            for (i, c) in row.iter().enumerate() {
+                new_row[map_other[i]] = c.clone();
+            }
+            out.rows.push(new_row);
+        }
+        out
+    }
+
+    /// Move rows in (builder-style bulk load).
+    pub fn extend_rows(&mut self, rows: impl IntoIterator<Item = Vec<Cell>>) {
+        for r in rows {
+            self.push_row(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        let mut df = DataFrame::new(vec!["actor".into(), "movies".into(), "country".into()]);
+        df.push_row(vec![Cell::uri("a1"), Cell::Int(30), Cell::str("US")]);
+        df.push_row(vec![Cell::uri("a2"), Cell::Int(5), Cell::str("US")]);
+        df.push_row(vec![Cell::uri("a3"), Cell::Int(12), Cell::str("UK")]);
+        df
+    }
+
+    #[test]
+    fn filter_col() {
+        let df = sample();
+        let us = df.filter_col("country", |c| c.as_str() == Some("US"));
+        assert_eq!(us.len(), 2);
+        let prolific = df.filter_col("movies", |c| c.as_f64().unwrap_or(0.0) >= 10.0);
+        assert_eq!(prolific.len(), 2);
+    }
+
+    #[test]
+    fn filter_multi_column() {
+        let df = sample();
+        let r = df.filter(|row| {
+            row.get("country").and_then(|c| c.as_str()) == Some("US")
+                && row.get("movies").and_then(|c| c.as_f64()).unwrap_or(0.0) > 10.0
+        });
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(0, "actor"), Some(&Cell::uri("a1")));
+    }
+
+    #[test]
+    fn select_and_rename() {
+        let df = sample();
+        let mut s = df.select(&["movies", "actor"]);
+        assert_eq!(s.columns(), &["movies", "actor"]);
+        s.rename("movies", "n");
+        assert_eq!(s.columns(), &["n", "actor"]);
+        // Unknown column becomes nulls.
+        let s2 = df.select(&["nope"]);
+        assert!(s2.rows().iter().all(|r| r[0].is_null()));
+    }
+
+    #[test]
+    fn sort_and_head() {
+        let df = sample();
+        let sorted = df.sort_by(&[("movies", false)]);
+        assert_eq!(sorted.get(0, "actor"), Some(&Cell::uri("a1")));
+        let top = sorted.head(1, 0);
+        assert_eq!(top.len(), 1);
+        let second = sorted.head(1, 1);
+        assert_eq!(second.get(0, "actor"), Some(&Cell::uri("a3")));
+    }
+
+    #[test]
+    fn distinct_and_concat() {
+        let df = sample();
+        let doubled = df.concat(&df);
+        assert_eq!(doubled.len(), 6);
+        assert_eq!(doubled.distinct().len(), 3);
+    }
+
+    #[test]
+    fn concat_aligns_columns() {
+        let mut a = DataFrame::new(vec!["x".into()]);
+        a.push_row(vec![Cell::Int(1)]);
+        let mut b = DataFrame::new(vec!["y".into()]);
+        b.push_row(vec![Cell::Int(2)]);
+        let c = a.concat(&b);
+        assert_eq!(c.columns(), &["x", "y"]);
+        assert_eq!(c.rows()[0], vec![Cell::Int(1), Cell::Null]);
+        assert_eq!(c.rows()[1], vec![Cell::Null, Cell::Int(2)]);
+    }
+
+    #[test]
+    fn with_column() {
+        let df = sample();
+        let df2 = df.with_column("prolific", |row| {
+            Cell::Bool(row.get("movies").and_then(|c| c.as_f64()).unwrap_or(0.0) >= 10.0)
+        });
+        assert_eq!(df2.get(0, "prolific"), Some(&Cell::Bool(true)));
+        assert_eq!(df2.get(1, "prolific"), Some(&Cell::Bool(false)));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn push_row_width_checked() {
+        let mut df = DataFrame::new(vec!["a".into()]);
+        df.push_row(vec![Cell::Int(1), Cell::Int(2)]);
+    }
+
+    #[test]
+    fn drop_nulls() {
+        let mut df = DataFrame::new(vec!["g".into()]);
+        df.push_row(vec![Cell::Null]);
+        df.push_row(vec![Cell::str("x")]);
+        assert_eq!(df.drop_nulls("g").len(), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Group-by with aggregation.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cell::Cell;
+use crate::frame::DataFrame;
+
+/// Aggregation functions (mirrors the RDFFrames aggregate set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Row/value count (nulls excluded).
+    Count,
+    /// Count of distinct non-null values.
+    CountDistinct,
+    /// Numeric sum.
+    Sum,
+    /// Numeric mean.
+    Avg,
+    /// Minimum by total order.
+    Min,
+    /// Maximum by total order.
+    Max,
+    /// First value seen.
+    Sample,
+}
+
+/// A pending group-by: call [`GroupBy::agg`] to materialize.
+pub struct GroupBy<'a> {
+    frame: &'a DataFrame,
+    keys: Vec<String>,
+}
+
+impl<'a> GroupBy<'a> {
+    pub(crate) fn new(frame: &'a DataFrame, keys: &[&str]) -> Self {
+        GroupBy {
+            frame,
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Aggregate: each `(function, source column, output name)` produces one
+    /// output column after the key columns.
+    pub fn agg(&self, specs: &[(AggFn, &str, &str)]) -> DataFrame {
+        let key_idx: Vec<Option<usize>> = self
+            .keys
+            .iter()
+            .map(|k| self.frame.column_index(k))
+            .collect();
+        let src_idx: Vec<Option<usize>> = specs
+            .iter()
+            .map(|(_, src, _)| self.frame.column_index(src))
+            .collect();
+
+        struct State {
+            count: usize,
+            distinct: HashSet<Cell>,
+            sum: f64,
+            int_sum: i64,
+            integral: bool,
+            min: Option<Cell>,
+            max: Option<Cell>,
+            sample: Option<Cell>,
+        }
+        impl State {
+            fn new() -> Self {
+                State {
+                    count: 0,
+                    distinct: HashSet::new(),
+                    sum: 0.0,
+                    int_sum: 0,
+                    integral: true,
+                    min: None,
+                    max: None,
+                    sample: None,
+                }
+            }
+            fn push(&mut self, cell: &Cell, wants_distinct: bool) {
+                if cell.is_null() {
+                    return;
+                }
+                self.count += 1;
+                if wants_distinct {
+                    self.distinct.insert(cell.clone());
+                }
+                match cell {
+                    Cell::Int(i) => {
+                        self.int_sum = self.int_sum.wrapping_add(*i);
+                        self.sum += *i as f64;
+                    }
+                    Cell::Float(f) => {
+                        self.integral = false;
+                        self.sum += f;
+                    }
+                    _ => self.integral = false,
+                }
+                if self
+                    .min
+                    .as_ref()
+                    .is_none_or(|m| cell.total_cmp(m) == std::cmp::Ordering::Less)
+                {
+                    self.min = Some(cell.clone());
+                }
+                if self
+                    .max
+                    .as_ref()
+                    .is_none_or(|m| cell.total_cmp(m) == std::cmp::Ordering::Greater)
+                {
+                    self.max = Some(cell.clone());
+                }
+                if self.sample.is_none() {
+                    self.sample = Some(cell.clone());
+                }
+            }
+            fn finish(self, f: AggFn) -> Cell {
+                match f {
+                    AggFn::Count => Cell::Int(self.count as i64),
+                    AggFn::CountDistinct => Cell::Int(self.distinct.len() as i64),
+                    AggFn::Sum => {
+                        if self.integral {
+                            Cell::Int(self.int_sum)
+                        } else {
+                            Cell::Float(self.sum)
+                        }
+                    }
+                    AggFn::Avg => {
+                        if self.count == 0 {
+                            Cell::Null
+                        } else {
+                            Cell::Float(self.sum / self.count as f64)
+                        }
+                    }
+                    AggFn::Min => self.min.unwrap_or(Cell::Null),
+                    AggFn::Max => self.max.unwrap_or(Cell::Null),
+                    AggFn::Sample => self.sample.unwrap_or(Cell::Null),
+                }
+            }
+        }
+
+        let mut order: Vec<Vec<Cell>> = Vec::new();
+        let mut groups: HashMap<Vec<Cell>, Vec<State>> = HashMap::new();
+        for row in self.frame.rows() {
+            let key: Vec<Cell> = key_idx
+                .iter()
+                .map(|i| i.map_or(Cell::Null, |i| row[i].clone()))
+                .collect();
+            let states = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                specs.iter().map(|_| State::new()).collect()
+            });
+            for (si, (f, _, _)) in specs.iter().enumerate() {
+                if let Some(idx) = src_idx[si] {
+                    states[si].push(&row[idx], matches!(f, AggFn::CountDistinct));
+                }
+            }
+        }
+
+        let mut columns = self.keys.clone();
+        columns.extend(specs.iter().map(|(_, _, out)| out.to_string()));
+        let mut out = DataFrame::new(columns);
+        for key in order {
+            let states = groups.remove(&key).expect("group present");
+            let mut row = key;
+            for (state, (f, _, _)) in states.into_iter().zip(specs) {
+                row.push(state.finish(*f));
+            }
+            out.push_row(row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        let mut df = DataFrame::new(vec!["actor".into(), "movie".into(), "gross".into()]);
+        for (a, m, g) in [
+            ("a1", "m1", 10),
+            ("a1", "m2", 30),
+            ("a1", "m2", 30), // duplicate row (bag semantics)
+            ("a2", "m3", 5),
+        ] {
+            df.push_row(vec![Cell::uri(a), Cell::uri(m), Cell::Int(g)]);
+        }
+        df
+    }
+
+    #[test]
+    fn count_and_count_distinct() {
+        let df = sample();
+        let g = df.group_by(&["actor"]).agg(&[
+            (AggFn::Count, "movie", "n"),
+            (AggFn::CountDistinct, "movie", "nd"),
+        ]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.get(0, "n"), Some(&Cell::Int(3)));
+        assert_eq!(g.get(0, "nd"), Some(&Cell::Int(2)));
+        assert_eq!(g.get(1, "n"), Some(&Cell::Int(1)));
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let df = sample();
+        let g = df.group_by(&["actor"]).agg(&[
+            (AggFn::Sum, "gross", "total"),
+            (AggFn::Avg, "gross", "mean"),
+            (AggFn::Min, "gross", "lo"),
+            (AggFn::Max, "gross", "hi"),
+        ]);
+        assert_eq!(g.get(0, "total"), Some(&Cell::Int(70)));
+        assert_eq!(g.get(0, "mean"), Some(&Cell::Float(70.0 / 3.0)));
+        assert_eq!(g.get(0, "lo"), Some(&Cell::Int(10)));
+        assert_eq!(g.get(0, "hi"), Some(&Cell::Int(30)));
+    }
+
+    #[test]
+    fn nulls_ignored() {
+        let mut df = DataFrame::new(vec!["k".into(), "v".into()]);
+        df.push_row(vec![Cell::Int(1), Cell::Null]);
+        df.push_row(vec![Cell::Int(1), Cell::Int(5)]);
+        let g = df
+            .group_by(&["k"])
+            .agg(&[(AggFn::Count, "v", "n"), (AggFn::Sum, "v", "s")]);
+        assert_eq!(g.get(0, "n"), Some(&Cell::Int(1)));
+        assert_eq!(g.get(0, "s"), Some(&Cell::Int(5)));
+    }
+
+    #[test]
+    fn multi_key_grouping() {
+        let mut df = DataFrame::new(vec!["a".into(), "b".into(), "v".into()]);
+        df.push_row(vec![Cell::Int(1), Cell::Int(1), Cell::Int(10)]);
+        df.push_row(vec![Cell::Int(1), Cell::Int(2), Cell::Int(20)]);
+        df.push_row(vec![Cell::Int(1), Cell::Int(1), Cell::Int(30)]);
+        let g = df.group_by(&["a", "b"]).agg(&[(AggFn::Sum, "v", "s")]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.get(0, "s"), Some(&Cell::Int(40)));
+    }
+
+    #[test]
+    fn group_order_is_first_appearance() {
+        let df = sample();
+        let g = df.group_by(&["actor"]).agg(&[(AggFn::Count, "movie", "n")]);
+        assert_eq!(g.get(0, "actor"), Some(&Cell::uri("a1")));
+        assert_eq!(g.get(1, "actor"), Some(&Cell::uri("a2")));
+    }
+
+    #[test]
+    fn sample_takes_first() {
+        let df = sample();
+        let g = df
+            .group_by(&["actor"])
+            .agg(&[(AggFn::Sample, "movie", "m")]);
+        assert_eq!(g.get(0, "m"), Some(&Cell::uri("m1")));
+    }
+}

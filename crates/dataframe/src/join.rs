@@ -1,0 +1,219 @@
+//! Hash joins between dataframes.
+
+use std::collections::HashMap;
+
+use crate::cell::Cell;
+use crate::frame::DataFrame;
+
+/// Join types matching the RDFFrames API (`Z`, `⟕`, `⟖`, `⟗`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Inner join.
+    Inner,
+    /// Left outer join.
+    Left,
+    /// Right outer join.
+    Right,
+    /// Full outer join.
+    Outer,
+}
+
+/// Hash join `left` and `right` on one key column from each side.
+///
+/// The output key column takes the *left* column's name; other columns keep
+/// their names, with a `_right` suffix appended on collision (pandas-style
+/// disambiguation). Null keys never match (SQL semantics).
+pub fn join_frames(
+    left: &DataFrame,
+    right: &DataFrame,
+    left_on: &str,
+    right_on: &str,
+    how: JoinType,
+) -> DataFrame {
+    let li = left
+        .column_index(left_on)
+        .unwrap_or_else(|| panic!("unknown left join column {left_on}"));
+    let ri = right
+        .column_index(right_on)
+        .unwrap_or_else(|| panic!("unknown right join column {right_on}"));
+
+    // Output schema: all left columns, then right columns except the key.
+    let mut columns: Vec<String> = left.columns().to_vec();
+    let mut right_cols: Vec<(usize, String)> = Vec::new();
+    for (i, c) in right.columns().iter().enumerate() {
+        if i == ri {
+            continue;
+        }
+        let name = if columns.contains(c) {
+            format!("{c}_right")
+        } else {
+            c.clone()
+        };
+        columns.push(name.clone());
+        right_cols.push((i, name));
+    }
+    let width = columns.len();
+    let left_width = left.columns().len();
+    let mut out = DataFrame::new(columns);
+
+    // Index the right side.
+    let mut index: HashMap<&Cell, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows().iter().enumerate() {
+        if !row[ri].is_null() {
+            index.entry(&row[ri]).or_default().push(i);
+        }
+    }
+
+    let mut right_matched = vec![false; right.rows().len()];
+    let emit = |l_row: Option<&Vec<Cell>>, r_row: Option<&Vec<Cell>>, key: Option<&Cell>| {
+        let mut row = Vec::with_capacity(width);
+        match l_row {
+            Some(l) => row.extend(l.iter().cloned()),
+            None => {
+                // Right-only row: key column takes the right key value.
+                for c in 0..left_width {
+                    if c == li {
+                        row.push(key.cloned().unwrap_or(Cell::Null));
+                    } else {
+                        row.push(Cell::Null);
+                    }
+                }
+            }
+        }
+        for (src, _) in &right_cols {
+            match r_row {
+                Some(r) => row.push(r[*src].clone()),
+                None => row.push(Cell::Null),
+            }
+        }
+        row
+    };
+
+    for l_row in left.rows() {
+        let key = &l_row[li];
+        let matches = if key.is_null() {
+            None
+        } else {
+            index.get(key)
+        };
+        match matches {
+            Some(indices) => {
+                for &i in indices {
+                    right_matched[i] = true;
+                    out.push_row(emit(Some(l_row), Some(&right.rows()[i]), Some(key)));
+                }
+            }
+            None => {
+                if matches!(how, JoinType::Left | JoinType::Outer) {
+                    out.push_row(emit(Some(l_row), None, Some(key)));
+                }
+            }
+        }
+    }
+    if matches!(how, JoinType::Right | JoinType::Outer) {
+        for (i, r_row) in right.rows().iter().enumerate() {
+            if !right_matched[i] {
+                out.push_row(emit(None, Some(r_row), Some(&r_row[ri])));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn left() -> DataFrame {
+        let mut df = DataFrame::new(vec!["actor".into(), "country".into()]);
+        df.push_row(vec![Cell::uri("a1"), Cell::str("US")]);
+        df.push_row(vec![Cell::uri("a2"), Cell::str("UK")]);
+        df.push_row(vec![Cell::uri("a3"), Cell::str("US")]);
+        df
+    }
+
+    fn right() -> DataFrame {
+        let mut df = DataFrame::new(vec!["actor".into(), "count".into()]);
+        df.push_row(vec![Cell::uri("a1"), Cell::Int(30)]);
+        df.push_row(vec![Cell::uri("a4"), Cell::Int(7)]);
+        df
+    }
+
+    #[test]
+    fn inner() {
+        let j = join_frames(&left(), &right(), "actor", "actor", JoinType::Inner);
+        assert_eq!(j.columns(), &["actor", "country", "count"]);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.get(0, "count"), Some(&Cell::Int(30)));
+    }
+
+    #[test]
+    fn left_outer() {
+        let j = join_frames(&left(), &right(), "actor", "actor", JoinType::Left);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.get(1, "count"), Some(&Cell::Null));
+    }
+
+    #[test]
+    fn right_outer() {
+        let j = join_frames(&left(), &right(), "actor", "actor", JoinType::Right);
+        assert_eq!(j.len(), 2);
+        // a4 row: left columns null except key.
+        let a4 = j
+            .rows()
+            .iter()
+            .find(|r| r[0] == Cell::uri("a4"))
+            .expect("a4 present");
+        assert_eq!(a4[1], Cell::Null);
+        assert_eq!(a4[2], Cell::Int(7));
+    }
+
+    #[test]
+    fn full_outer() {
+        let j = join_frames(&left(), &right(), "actor", "actor", JoinType::Outer);
+        assert_eq!(j.len(), 4); // a1 matched, a2/a3 left-only, a4 right-only
+    }
+
+    #[test]
+    fn duplicate_keys_multiply() {
+        let mut l = DataFrame::new(vec!["k".into()]);
+        l.push_row(vec![Cell::Int(1)]);
+        l.push_row(vec![Cell::Int(1)]);
+        let mut r = DataFrame::new(vec!["k".into(), "v".into()]);
+        r.push_row(vec![Cell::Int(1), Cell::str("x")]);
+        r.push_row(vec![Cell::Int(1), Cell::str("y")]);
+        let j = join_frames(&l, &r, "k", "k", JoinType::Inner);
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn null_keys_do_not_match() {
+        let mut l = DataFrame::new(vec!["k".into()]);
+        l.push_row(vec![Cell::Null]);
+        let mut r = DataFrame::new(vec!["k".into()]);
+        r.push_row(vec![Cell::Null]);
+        assert_eq!(join_frames(&l, &r, "k", "k", JoinType::Inner).len(), 0);
+        assert_eq!(join_frames(&l, &r, "k", "k", JoinType::Outer).len(), 2);
+    }
+
+    #[test]
+    fn name_collision_gets_suffix() {
+        let mut l = DataFrame::new(vec!["k".into(), "v".into()]);
+        l.push_row(vec![Cell::Int(1), Cell::str("l")]);
+        let mut r = DataFrame::new(vec!["k".into(), "v".into()]);
+        r.push_row(vec![Cell::Int(1), Cell::str("r")]);
+        let j = join_frames(&l, &r, "k", "k", JoinType::Inner);
+        assert_eq!(j.columns(), &["k", "v", "v_right"]);
+    }
+
+    #[test]
+    fn different_key_names() {
+        let mut l = DataFrame::new(vec!["a".into()]);
+        l.push_row(vec![Cell::Int(1)]);
+        let mut r = DataFrame::new(vec!["b".into(), "v".into()]);
+        r.push_row(vec![Cell::Int(1), Cell::str("x")]);
+        let j = join_frames(&l, &r, "a", "b", JoinType::Inner);
+        assert_eq!(j.columns(), &["a", "v"]);
+        assert_eq!(j.len(), 1);
+    }
+}

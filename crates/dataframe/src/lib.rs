@@ -1,0 +1,22 @@
+//! A small dataframe library — the pandas stand-in for the RDFFrames
+//! reproduction.
+//!
+//! The paper's client-side baselines ("Navigation + pandas", "rdflib +
+//! pandas", "SPARQL + pandas") pull raw data out of the knowledge graph and
+//! do the relational work in pandas. This crate provides the operations those
+//! baselines need with comparable asymptotics: vectorized filters, hash
+//! joins (inner/left/right/full outer), hash group-by with aggregation,
+//! sorting, slicing, and CSV I/O.
+
+pub mod cell;
+pub mod csv;
+pub mod describe;
+pub mod frame;
+pub mod groupby;
+pub mod join;
+
+pub use cell::Cell;
+pub use describe::{describe, describe_table, ColumnSummary};
+pub use frame::{DataFrame, RowView};
+pub use groupby::AggFn;
+pub use join::JoinType;

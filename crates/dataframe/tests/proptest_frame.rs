@@ -1,0 +1,155 @@
+//! Property-based tests for the dataframe crate's relational algebra.
+
+use dataframe::{AggFn, Cell, DataFrame, JoinType};
+use proptest::prelude::*;
+
+fn cell_strategy() -> impl Strategy<Value = Cell> {
+    prop_oneof![
+        Just(Cell::Null),
+        (0i64..6).prop_map(Cell::Int),
+        (0u8..4).prop_map(|k| Cell::str(format!("s{k}"))),
+        (0u8..4).prop_map(|k| Cell::uri(format!("http://x/{k}"))),
+    ]
+}
+
+fn frame_strategy(cols: usize, max_rows: usize) -> impl Strategy<Value = DataFrame> {
+    proptest::collection::vec(
+        proptest::collection::vec(cell_strategy(), cols),
+        0..max_rows,
+    )
+    .prop_map(move |rows| {
+        let names = (0..cols).map(|i| format!("c{i}")).collect();
+        let mut df = DataFrame::new(names);
+        for r in rows {
+            df.push_row(r);
+        }
+        df
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn distinct_is_idempotent(df in frame_strategy(3, 20)) {
+        let once = df.distinct();
+        let twice = once.distinct();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn filter_never_adds_rows(df in frame_strategy(2, 20), threshold in 0i64..6) {
+        let filtered = df.filter_col("c0", |c| c.as_i64().is_some_and(|v| v >= threshold));
+        prop_assert!(filtered.len() <= df.len());
+        // Filtered rows all satisfy the predicate.
+        for row in filtered.rows() {
+            prop_assert!(row[0].as_i64().is_some_and(|v| v >= threshold));
+        }
+    }
+
+    #[test]
+    fn sort_is_permutation_and_ordered(df in frame_strategy(2, 20)) {
+        let sorted = df.sort_by(&[("c0", true), ("c1", true)]);
+        prop_assert_eq!(sorted.len(), df.len());
+        for pair in sorted.rows().windows(2) {
+            let ord = pair[0][0]
+                .total_cmp(&pair[1][0])
+                .then(pair[0][1].total_cmp(&pair[1][1]));
+            prop_assert!(ord != std::cmp::Ordering::Greater);
+        }
+        // Same multiset of rows.
+        let key = |d: &DataFrame| {
+            let mut v: Vec<String> = d
+                .rows()
+                .iter()
+                .map(|r| format!("{}|{}", r[0], r[1]))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(key(&df), key(&sorted));
+    }
+
+    #[test]
+    fn inner_join_row_count_matches_key_products(
+        left in frame_strategy(2, 15),
+        right in frame_strategy(2, 15),
+    ) {
+        let mut l = left.clone();
+        l.rename("c0", "k");
+        let mut r = right.clone();
+        r.rename("c0", "k");
+        r.rename("c1", "v");
+        let joined = l.join(&r, "k", "k", JoinType::Inner);
+        // Expected count: sum over keys of left_count * right_count.
+        let mut expected = 0usize;
+        for lr in l.rows() {
+            if lr[0].is_null() {
+                continue;
+            }
+            expected += r.rows().iter().filter(|rr| rr[0] == lr[0]).count();
+        }
+        prop_assert_eq!(joined.len(), expected);
+    }
+
+    #[test]
+    fn outer_join_covers_both_sides(
+        left in frame_strategy(2, 12),
+        right in frame_strategy(2, 12),
+    ) {
+        let mut l = left.clone();
+        l.rename("c0", "k");
+        l.rename("c1", "lv");
+        let mut r = right.clone();
+        r.rename("c0", "k");
+        r.rename("c1", "rv");
+        let outer = l.join(&r, "k", "k", JoinType::Outer);
+        let inner = l.join(&r, "k", "k", JoinType::Inner);
+        let left_join = l.join(&r, "k", "k", JoinType::Left);
+        let right_join = l.join(&r, "k", "k", JoinType::Right);
+        // |outer| = |left| + |right| - |inner| (classic inclusion).
+        prop_assert_eq!(
+            outer.len() + inner.len(),
+            left_join.len() + right_join.len()
+        );
+        prop_assert!(outer.len() >= left_join.len());
+        prop_assert!(outer.len() >= right_join.len());
+    }
+
+    #[test]
+    fn groupby_counts_partition_rows(df in frame_strategy(2, 25)) {
+        let grouped = df.group_by(&["c0"]).agg(&[(AggFn::Count, "c1", "n")]);
+        // Sum of per-group counts equals the number of non-null c1 cells.
+        let total: i64 = grouped
+            .column("n")
+            .unwrap()
+            .map(|c| c.as_i64().unwrap_or(0))
+            .sum();
+        let non_null = df.rows().iter().filter(|r| !r[1].is_null()).count() as i64;
+        prop_assert_eq!(total, non_null);
+        // One group per distinct c0 value.
+        let distinct_keys = df.select(&["c0"]).distinct().len();
+        prop_assert_eq!(grouped.len(), distinct_keys);
+    }
+
+    #[test]
+    fn head_is_prefix(df in frame_strategy(2, 25), k in 0usize..30, off in 0usize..30) {
+        let h = df.head(k, off);
+        prop_assert!(h.len() <= k);
+        for (i, row) in h.rows().iter().enumerate() {
+            prop_assert_eq!(row, &df.rows()[off + i]);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip(df in frame_strategy(3, 15)) {
+        let text = dataframe::csv::to_csv(&df);
+        let back = dataframe::csv::from_csv(&text).expect("parses");
+        prop_assert_eq!(df, back);
+    }
+
+    #[test]
+    fn concat_length_adds(a in frame_strategy(2, 15), b in frame_strategy(2, 15)) {
+        prop_assert_eq!(a.concat(&b).len(), a.len() + b.len());
+    }
+}

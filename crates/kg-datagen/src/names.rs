@@ -1,0 +1,62 @@
+//! Deterministic pseudo-name generation for entities and titles.
+
+use rand::Rng;
+
+const SYLLABLES: &[&str] = &[
+    "an", "bel", "cor", "dan", "el", "fir", "gal", "har", "il", "jor", "kel", "lor", "mar",
+    "nor", "ol", "per", "quin", "ros", "sal", "tor", "ul", "ver", "wil", "xan", "yor", "zel",
+];
+
+const TITLE_WORDS: &[&str] = &[
+    "query", "graph", "learning", "scalable", "distributed", "efficient", "adaptive",
+    "streaming", "transactional", "indexing", "join", "optimization", "knowledge", "embedding",
+    "relational", "parallel", "storage", "processing", "analytics", "inference", "neural",
+    "semantic", "caching", "approximate", "incremental",
+];
+
+/// A capitalized pseudo-name of 2–3 syllables.
+pub fn person_name<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let n = rng.gen_range(2..=3);
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+    }
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => s,
+    }
+}
+
+/// A paper/movie title of `words` words.
+pub fn title<R: Rng + ?Sized>(rng: &mut R, words: usize) -> String {
+    let mut parts = Vec::with_capacity(words);
+    for _ in 0..words {
+        parts.push(TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())]);
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_are_capitalized_and_nonempty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let n = person_name(&mut rng);
+            assert!(!n.is_empty());
+            assert!(n.chars().next().unwrap().is_uppercase());
+        }
+    }
+
+    #[test]
+    fn titles_have_requested_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = title(&mut rng, 5);
+        assert_eq!(t.split(' ').count(), 5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Vocabulary IRIs for the synthetic graphs (mirroring the namespaces used
+//! in the paper's queries).
+
+/// DBpedia-like namespaces.
+pub mod dbp {
+    /// Graph URI.
+    pub const GRAPH: &str = "http://dbpedia.org";
+    /// `dbpp:` property namespace.
+    pub const PROP: &str = "http://dbpedia.org/property/";
+    /// `dbpo:` ontology namespace.
+    pub const ONTO: &str = "http://dbpedia.org/ontology/";
+    /// `dbpr:` resource namespace.
+    pub const RES: &str = "http://dbpedia.org/resource/";
+    /// `dcterms:` namespace.
+    pub const DCTERMS: &str = "http://purl.org/dc/terms/";
+}
+
+/// DBLP-like namespaces.
+pub mod dblp {
+    /// Graph URI.
+    pub const GRAPH: &str = "http://dblp.l3s.de";
+    /// `swrc:` ontology.
+    pub const SWRC: &str = "http://swrc.ontoware.org/ontology#";
+    /// `dc:` elements.
+    pub const DC: &str = "http://purl.org/dc/elements/1.1/";
+    /// `dcterm:` terms.
+    pub const DCTERM: &str = "http://purl.org/dc/terms/";
+    /// Conference resources.
+    pub const CONF: &str = "http://dblp.l3s.de/d2r/resource/conferences/";
+    /// Author resources.
+    pub const AUTHOR: &str = "http://dblp.l3s.de/d2r/resource/authors/";
+    /// Paper resources.
+    pub const PAPER: &str = "http://dblp.l3s.de/d2r/resource/publications/";
+}
+
+/// YAGO-like namespaces.
+pub mod yago {
+    /// Graph URI.
+    pub const GRAPH: &str = "http://yago-knowledge.org";
+    /// Resource namespace.
+    pub const RES: &str = "http://yago-knowledge.org/resource/";
+}

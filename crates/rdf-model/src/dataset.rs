@@ -1,0 +1,92 @@
+//! Named-graph dataset.
+//!
+//! The paper's queries address graphs by URI (`FROM <http://dbpedia.org>`,
+//! cross-graph joins between DBpedia and YAGO). A [`Dataset`] maps graph URIs
+//! to independent [`Graph`] stores.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::graph::Graph;
+
+/// A collection of named graphs.
+#[derive(Debug, Default, Clone)]
+pub struct Dataset {
+    graphs: BTreeMap<String, Arc<Graph>>,
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a named graph.
+    pub fn insert_graph(&mut self, uri: impl Into<String>, graph: Graph) {
+        self.graphs.insert(uri.into(), Arc::new(graph));
+    }
+
+    /// Insert a pre-shared graph handle.
+    pub fn insert_shared(&mut self, uri: impl Into<String>, graph: Arc<Graph>) {
+        self.graphs.insert(uri.into(), graph);
+    }
+
+    /// Fetch a graph by URI.
+    pub fn graph(&self, uri: &str) -> Option<&Arc<Graph>> {
+        self.graphs.get(uri)
+    }
+
+    /// All graph URIs, sorted.
+    pub fn graph_uris(&self) -> impl Iterator<Item = &str> {
+        self.graphs.keys().map(String::as_str)
+    }
+
+    /// Number of named graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when the dataset has no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Total triples across all graphs.
+    pub fn total_triples(&self) -> usize {
+        self.graphs.values().map(|g| g.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Term, Triple};
+
+    #[test]
+    fn graphs_are_independent() {
+        let mut a = Graph::new();
+        a.insert(&Triple::new(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/o"),
+        ));
+        let b = Graph::new();
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://dbpedia.org", a);
+        ds.insert_graph("http://yago-knowledge.org", b);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.graph("http://dbpedia.org").unwrap().len(), 1);
+        assert_eq!(ds.graph("http://yago-knowledge.org").unwrap().len(), 0);
+        assert!(ds.graph("http://missing").is_none());
+        assert_eq!(ds.total_triples(), 1);
+    }
+
+    #[test]
+    fn uris_sorted() {
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://b", Graph::new());
+        ds.insert_graph("http://a", Graph::new());
+        let uris: Vec<_> = ds.graph_uris().collect();
+        assert_eq!(uris, vec!["http://a", "http://b"]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type shared across the model crate.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Syntax error in a serialized RDF document (N-Triples, term syntax).
+    Syntax {
+        /// 1-based line number where the error was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An IRI failed validation.
+    InvalidIri(String),
+    /// A literal's lexical form does not match its datatype.
+    InvalidLiteral(String),
+    /// A prefixed name used an undeclared prefix.
+    UnknownPrefix(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Syntax { line, message } => {
+                write!(f, "syntax error at line {line}: {message}")
+            }
+            ModelError::InvalidIri(iri) => write!(f, "invalid IRI: {iri}"),
+            ModelError::InvalidLiteral(msg) => write!(f, "invalid literal: {msg}"),
+            ModelError::UnknownPrefix(p) => write!(f, "unknown prefix: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,355 @@
+//! Indexed triple store.
+//!
+//! Triples are interned and stored in three `BTreeSet` orderings (SPO, POS,
+//! OSP) so that every triple-pattern shape has a contiguous range scan:
+//!
+//! | bound            | index | prefix        |
+//! |------------------|-------|---------------|
+//! | s, p, o          | SPO   | exact lookup  |
+//! | s, p             | SPO   | (s, p, *)     |
+//! | s                | SPO   | (s, *, *)     |
+//! | p, o             | POS   | (p, o, *)     |
+//! | p                | POS   | (p, *, *)     |
+//! | o (and o, s)     | OSP   | (o, *, *)     |
+//! | none             | SPO   | full scan     |
+//!
+//! The store also maintains per-predicate statistics used by the SPARQL
+//! optimizer for join reordering.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::interner::{Interner, TermId};
+use crate::term::{Term, Triple};
+
+const MIN: TermId = TermId(0);
+const MAX: TermId = TermId(u32::MAX);
+
+/// Per-predicate statistics for cardinality estimation.
+#[derive(Debug, Clone, Default)]
+pub struct PredicateStats {
+    /// Total triples with this predicate.
+    pub count: usize,
+    /// Distinct subjects appearing with this predicate.
+    pub distinct_subjects: usize,
+    /// Distinct objects appearing with this predicate.
+    pub distinct_objects: usize,
+}
+
+/// Snapshot of graph-level statistics (exposed to the query optimizer).
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    /// Total triple count.
+    pub triples: usize,
+    /// Per-predicate statistics.
+    pub predicates: HashMap<TermId, PredicateStats>,
+}
+
+impl GraphStats {
+    /// Estimated number of matches for a triple pattern where each position
+    /// is either bound (`Some`) or a variable (`None`).
+    ///
+    /// Uses uniformity assumptions standard in RDF cost models: a bound
+    /// subject with predicate `p` selects `count(p)/distinct_subjects(p)`
+    /// triples, etc.
+    pub fn estimate(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> f64 {
+        match predicate {
+            Some(p) => {
+                let st = match self.predicates.get(&p) {
+                    Some(st) => st,
+                    None => return 0.0,
+                };
+                let base = st.count as f64;
+                let s_sel = if subject.is_some() {
+                    1.0 / st.distinct_subjects.max(1) as f64
+                } else {
+                    1.0
+                };
+                let o_sel = if object.is_some() {
+                    1.0 / st.distinct_objects.max(1) as f64
+                } else {
+                    1.0
+                };
+                (base * s_sel * o_sel).max(if subject.is_some() || object.is_some() {
+                    0.0
+                } else {
+                    base
+                })
+            }
+            None => {
+                let total = self.triples as f64;
+                match (subject.is_some(), object.is_some()) {
+                    (true, true) => total.sqrt().max(1.0),
+                    (true, false) | (false, true) => (total / 100.0).max(1.0),
+                    (false, false) => total,
+                }
+            }
+        }
+    }
+}
+
+/// An in-memory RDF graph with full triple-pattern access paths.
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    interner: Interner,
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+    pred_subjects: HashMap<TermId, BTreeSet<TermId>>,
+    pred_objects: HashMap<TermId, BTreeSet<TermId>>,
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Access the term interner (read-only).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Intern a term (needed when constructing query constants).
+    pub fn intern(&mut self, term: Term) -> TermId {
+        self.interner.intern(term)
+    }
+
+    /// Look up a term's id without interning.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    /// Resolve an id to its term.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    /// Insert a triple of concrete terms. Returns `true` if newly inserted.
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        let s = self.interner.intern(triple.subject.clone());
+        let p = self.interner.intern(triple.predicate.clone());
+        let o = self.interner.intern(triple.object.clone());
+        self.insert_ids(s, p, o)
+    }
+
+    /// Insert a triple of already-interned ids. Returns `true` if new.
+    pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        if !self.spo.insert((s, p, o)) {
+            return false;
+        }
+        self.pos.insert((p, o, s));
+        self.osp.insert((o, s, p));
+        self.pred_subjects.entry(p).or_default().insert(s);
+        self.pred_objects.entry(p).or_default().insert(o);
+        true
+    }
+
+    /// Does the graph contain the exact triple?
+    pub fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.spo.contains(&(s, p, o))
+    }
+
+    /// Match a triple pattern; unbound positions are `None`. Yields matches
+    /// as `(s, p, o)` id triples.
+    pub fn match_pattern<'a>(
+        &'a self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Box<dyn Iterator<Item = (TermId, TermId, TermId)> + 'a> {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    Box::new(std::iter::once((s, p, o)))
+                } else {
+                    Box::new(std::iter::empty())
+                }
+            }
+            (Some(s), Some(p), None) => Box::new(
+                self.spo
+                    .range((s, p, MIN)..=(s, p, MAX))
+                    .copied(),
+            ),
+            (Some(s), None, None) => Box::new(
+                self.spo
+                    .range((s, MIN, MIN)..=(s, MAX, MAX))
+                    .copied(),
+            ),
+            (Some(s), None, Some(o)) => Box::new(
+                self.osp
+                    .range((o, s, MIN)..=(o, s, MAX))
+                    .map(|&(o, s, p)| (s, p, o)),
+            ),
+            (None, Some(p), Some(o)) => Box::new(
+                self.pos
+                    .range((p, o, MIN)..=(p, o, MAX))
+                    .map(|&(p, o, s)| (s, p, o)),
+            ),
+            (None, Some(p), None) => Box::new(
+                self.pos
+                    .range((p, MIN, MIN)..=(p, MAX, MAX))
+                    .map(|&(p, o, s)| (s, p, o)),
+            ),
+            (None, None, Some(o)) => Box::new(
+                self.osp
+                    .range((o, MIN, MIN)..=(o, MAX, MAX))
+                    .map(|&(o, s, p)| (s, p, o)),
+            ),
+            (None, None, None) => Box::new(self.spo.iter().copied()),
+        }
+    }
+
+    /// Exact (not estimated) number of matches for a pattern.
+    pub fn count_pattern(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> usize {
+        self.match_pattern(s, p, o).count()
+    }
+
+    /// Iterate all triples as id tuples in SPO order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (TermId, TermId, TermId)> + '_ {
+        self.spo.iter().copied()
+    }
+
+    /// Iterate all triples as concrete [`Triple`]s (allocates per triple;
+    /// intended for serialization, not evaluation).
+    pub fn iter_triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(move |&(s, p, o)| {
+            Triple::new(
+                self.term(s).clone(),
+                self.term(p).clone(),
+                self.term(o).clone(),
+            )
+        })
+    }
+
+    /// Build a statistics snapshot for the optimizer.
+    pub fn stats(&self) -> GraphStats {
+        let mut predicates = HashMap::with_capacity(self.pred_subjects.len());
+        for (&p, subjects) in &self.pred_subjects {
+            let objects = &self.pred_objects[&p];
+            let count = self
+                .pos
+                .range((p, MIN, MIN)..=(p, MAX, MAX))
+                .count();
+            predicates.insert(
+                p,
+                PredicateStats {
+                    count,
+                    distinct_subjects: subjects.len(),
+                    distinct_objects: objects.len(),
+                },
+            );
+        }
+        GraphStats {
+            triples: self.spo.len(),
+            predicates,
+        }
+    }
+
+    /// Distinct predicates in the graph.
+    pub fn predicates(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.pred_subjects.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert(&t("http://x/s1", "http://x/p1", "http://x/o1"));
+        g.insert(&t("http://x/s1", "http://x/p1", "http://x/o2"));
+        g.insert(&t("http://x/s2", "http://x/p1", "http://x/o1"));
+        g.insert(&t("http://x/s2", "http://x/p2", "http://x/o3"));
+        g
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut g = Graph::new();
+        assert!(g.insert(&t("http://x/a", "http://x/p", "http://x/b")));
+        assert!(!g.insert(&t("http://x/a", "http://x/p", "http://x/b")));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn all_eight_access_paths_agree() {
+        let g = sample();
+        let s1 = g.term_id(&Term::iri("http://x/s1")).unwrap();
+        let p1 = g.term_id(&Term::iri("http://x/p1")).unwrap();
+        let o1 = g.term_id(&Term::iri("http://x/o1")).unwrap();
+        assert_eq!(g.count_pattern(Some(s1), Some(p1), Some(o1)), 1);
+        assert_eq!(g.count_pattern(Some(s1), Some(p1), None), 2);
+        assert_eq!(g.count_pattern(Some(s1), None, None), 2);
+        assert_eq!(g.count_pattern(Some(s1), None, Some(o1)), 1);
+        assert_eq!(g.count_pattern(None, Some(p1), Some(o1)), 2);
+        assert_eq!(g.count_pattern(None, Some(p1), None), 3);
+        assert_eq!(g.count_pattern(None, None, Some(o1)), 2);
+        assert_eq!(g.count_pattern(None, None, None), 4);
+    }
+
+    #[test]
+    fn pattern_results_are_real_triples() {
+        let g = sample();
+        let p1 = g.term_id(&Term::iri("http://x/p1")).unwrap();
+        for (s, p, o) in g.match_pattern(None, Some(p1), None) {
+            assert_eq!(p, p1);
+            assert!(g.contains_ids(s, p, o));
+        }
+    }
+
+    #[test]
+    fn stats_counts() {
+        let g = sample();
+        let stats = g.stats();
+        assert_eq!(stats.triples, 4);
+        let p1 = g.term_id(&Term::iri("http://x/p1")).unwrap();
+        let st = &stats.predicates[&p1];
+        assert_eq!(st.count, 3);
+        assert_eq!(st.distinct_subjects, 2);
+        assert_eq!(st.distinct_objects, 2);
+    }
+
+    #[test]
+    fn estimate_orders_selectivity() {
+        let g = sample();
+        let stats = g.stats();
+        let p1 = g.term_id(&Term::iri("http://x/p1")).unwrap();
+        let s1 = g.term_id(&Term::iri("http://x/s1")).unwrap();
+        let unbound = stats.estimate(None, Some(p1), None);
+        let bound_s = stats.estimate(Some(s1), Some(p1), None);
+        assert!(bound_s < unbound);
+        assert_eq!(stats.estimate(None, None, None), 4.0);
+    }
+
+    #[test]
+    fn missing_predicate_estimates_zero() {
+        let g = sample();
+        let stats = g.stats();
+        assert_eq!(stats.estimate(None, Some(TermId(9999)), None), 0.0);
+    }
+}

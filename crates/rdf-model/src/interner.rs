@@ -1,0 +1,116 @@
+//! Term interning: maps [`Term`]s to dense `u32` ids.
+//!
+//! The graph store and the SPARQL evaluator operate on `TermId`s so that
+//! triple-pattern matching, joins and grouping hash integers instead of
+//! strings. The interner is append-only; ids are stable for the lifetime of
+//! the store.
+
+use std::collections::HashMap;
+
+use crate::term::Term;
+
+/// Dense identifier for an interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// Index into the interner's term table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only bidirectional map between [`Term`]s and [`TermId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl Interner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let id = TermId(
+            u32::try_from(self.terms.len()).expect("interner overflow: more than 2^32 terms"),
+        );
+        self.terms.push(term.clone());
+        self.ids.insert(term, id);
+        id
+    }
+
+    /// Look up an id without interning. `None` if the term was never seen.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Resolve an id back to its term.
+    ///
+    /// # Panics
+    /// Panics if the id did not come from this interner.
+    #[inline]
+    pub fn resolve(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over all `(id, term)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern(Term::iri("http://x/a"));
+        let b = i.intern(Term::iri("http://x/b"));
+        let a2 = i.intern(Term::iri("http://x/a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let t = Term::string("hello");
+        let id = i.intern(t.clone());
+        assert_eq!(i.resolve(id), &t);
+        assert_eq!(i.get(&t), Some(id));
+        assert_eq!(i.get(&Term::string("other")), None);
+    }
+
+    #[test]
+    fn literals_with_different_tags_are_distinct() {
+        use crate::term::Literal;
+        let mut i = Interner::new();
+        let plain = i.intern(Term::string("x"));
+        let tagged = i.intern(Term::Literal(Literal::lang_string("x", "en")));
+        assert_ne!(plain, tagged);
+    }
+}

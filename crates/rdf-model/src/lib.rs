@@ -1,0 +1,31 @@
+//! RDF data model for the RDFFrames reproduction.
+//!
+//! Provides the substrate every other crate builds on:
+//!
+//! - [`term`]: RDF terms — IRIs, literals (with XSD value typing), blank nodes.
+//! - [`interner`]: bidirectional term ↔ integer-id interning so the store and
+//!   the SPARQL engine can work on `u32` ids in hot paths.
+//! - [`graph`]: an indexed triple store with SPO/POS/OSP orderings supporting
+//!   all eight triple-pattern access paths.
+//! - [`dataset`]: named-graph container (the paper queries DBpedia, DBLP and
+//!   YAGO graphs identified by graph URIs).
+//! - [`ntriples`]: N-Triples parser and serializer (stands in for rdflib in
+//!   the "rdflib + pandas" baseline).
+//! - [`prefix`]: prefix map / CURIE expansion used by the RDFFrames API.
+//! - [`vocab`]: well-known vocabulary constants.
+
+pub mod dataset;
+pub mod error;
+pub mod graph;
+pub mod interner;
+pub mod ntriples;
+pub mod prefix;
+pub mod term;
+pub mod vocab;
+
+pub use dataset::Dataset;
+pub use error::{ModelError, Result};
+pub use graph::{Graph, GraphStats};
+pub use interner::{Interner, TermId};
+pub use prefix::PrefixMap;
+pub use term::{Literal, Term, Triple};

@@ -1,0 +1,155 @@
+//! Prefix management and CURIE (compact URI) expansion.
+//!
+//! The RDFFrames API lets users write `dbpp:starring` instead of the full
+//! IRI; a [`PrefixMap`] carried by the `KnowledgeGraph` handles expansion and
+//! the reverse compaction used when pretty-printing generated SPARQL.
+
+use std::collections::BTreeMap;
+
+use crate::error::{ModelError, Result};
+
+/// An ordered prefix → namespace map.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PrefixMap {
+    entries: BTreeMap<String, String>,
+}
+
+impl PrefixMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map with the standard `rdf:`, `rdfs:`, `xsd:` prefixes pre-declared.
+    pub fn with_defaults() -> Self {
+        let mut m = Self::new();
+        m.declare("rdf", crate::vocab::rdf::NS);
+        m.declare("rdfs", crate::vocab::rdfs::NS);
+        m.declare("xsd", crate::vocab::xsd::NS);
+        m
+    }
+
+    /// Declare (or overwrite) a prefix.
+    pub fn declare(&mut self, prefix: impl Into<String>, namespace: impl Into<String>) {
+        self.entries.insert(prefix.into(), namespace.into());
+    }
+
+    /// Look up a namespace.
+    pub fn namespace(&self, prefix: &str) -> Option<&str> {
+        self.entries.get(prefix).map(String::as_str)
+    }
+
+    /// Iterate `(prefix, namespace)` pairs in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(p, n)| (p.as_str(), n.as_str()))
+    }
+
+    /// Number of declared prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no prefixes are declared.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Expand a name that may be a CURIE (`dbpp:starring`), an absolute IRI
+    /// (`http://...` or `<http://...>`), into a full IRI string.
+    pub fn expand(&self, name: &str) -> Result<String> {
+        if let Some(stripped) = name.strip_prefix('<') {
+            return Ok(stripped.trim_end_matches('>').to_string());
+        }
+        if name.starts_with("http://") || name.starts_with("https://") || name.starts_with("urn:")
+        {
+            return Ok(name.to_string());
+        }
+        match name.split_once(':') {
+            Some((prefix, local)) => match self.entries.get(prefix) {
+                Some(ns) => Ok(format!("{ns}{local}")),
+                None => Err(ModelError::UnknownPrefix(prefix.to_string())),
+            },
+            None => Err(ModelError::InvalidIri(name.to_string())),
+        }
+    }
+
+    /// Compact a full IRI back into a CURIE when a declared namespace is a
+    /// prefix of it; otherwise return `<iri>` form.
+    pub fn compact(&self, iri: &str) -> String {
+        let mut best: Option<(&str, &str)> = None;
+        for (p, ns) in &self.entries {
+            if let Some(local) = iri.strip_prefix(ns.as_str()) {
+                // Prefer the longest namespace match; local names with '/'
+                // or '#' are not valid CURIEs, so skip them.
+                if !local.is_empty()
+                    && !local.contains(['/', '#', ':'])
+                    && best.is_none_or(|(_, bns)| ns.len() > bns.len())
+                {
+                    best = Some((p, ns));
+                }
+            }
+        }
+        match best {
+            Some((p, ns)) => format!("{p}:{}", &iri[ns.len()..]),
+            None => format!("<{iri}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dbp() -> PrefixMap {
+        let mut m = PrefixMap::with_defaults();
+        m.declare("dbpp", "http://dbpedia.org/property/");
+        m.declare("dbpr", "http://dbpedia.org/resource/");
+        m
+    }
+
+    #[test]
+    fn expand_curie() {
+        let m = dbp();
+        assert_eq!(
+            m.expand("dbpp:starring").unwrap(),
+            "http://dbpedia.org/property/starring"
+        );
+    }
+
+    #[test]
+    fn expand_absolute_and_angle() {
+        let m = dbp();
+        assert_eq!(m.expand("http://x/a").unwrap(), "http://x/a");
+        assert_eq!(m.expand("<http://x/a>").unwrap(), "http://x/a");
+    }
+
+    #[test]
+    fn expand_unknown_prefix_errors() {
+        let m = dbp();
+        assert!(matches!(
+            m.expand("nope:thing"),
+            Err(ModelError::UnknownPrefix(p)) if p == "nope"
+        ));
+    }
+
+    #[test]
+    fn compact_longest_match() {
+        let mut m = dbp();
+        m.declare("dbp", "http://dbpedia.org/");
+        assert_eq!(
+            m.compact("http://dbpedia.org/property/starring"),
+            "dbpp:starring"
+        );
+        assert_eq!(m.compact("http://unknown.org/x"), "<http://unknown.org/x>");
+    }
+
+    #[test]
+    fn compact_rejects_slashy_local_names() {
+        let m = dbp();
+        // local name would contain '/', not a valid CURIE
+        assert_eq!(
+            m.compact("http://dbpedia.org/property/a/b"),
+            "<http://dbpedia.org/property/a/b>"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Well-known vocabulary IRIs (RDF, RDFS, XSD) plus the namespaces the paper's
+//! workloads use (DBpedia, DBLP/SWRC, Dublin Core, YAGO).
+
+/// `rdf:` namespace.
+pub mod rdf {
+    /// Namespace IRI.
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    /// `rdf:type`.
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+}
+
+/// `rdfs:` namespace.
+pub mod rdfs {
+    /// Namespace IRI.
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    /// `rdfs:label`.
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+}
+
+/// `xsd:` datatypes.
+pub mod xsd {
+    /// Namespace IRI.
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    /// `xsd:string`.
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    /// `xsd:integer`.
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    /// `xsd:decimal`.
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    /// `xsd:double`.
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    /// `xsd:float`.
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    /// `xsd:boolean`.
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    /// `xsd:dateTime`.
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    /// `xsd:date`.
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    /// `xsd:gYear`.
+    pub const G_YEAR: &str = "http://www.w3.org/2001/XMLSchema#gYear";
+
+    /// Integer-family datatype check (integer, int, long, short, byte and
+    /// unsigned/negative variants).
+    pub fn is_integer_type(dt: &str) -> bool {
+        matches!(
+            dt.strip_prefix(NS),
+            Some(
+                "integer"
+                    | "int"
+                    | "long"
+                    | "short"
+                    | "byte"
+                    | "nonNegativeInteger"
+                    | "nonPositiveInteger"
+                    | "negativeInteger"
+                    | "positiveInteger"
+                    | "unsignedLong"
+                    | "unsignedInt"
+                    | "unsignedShort"
+                    | "unsignedByte"
+            )
+        )
+    }
+
+    /// Floating/decimal-family datatype check.
+    pub fn is_decimal_type(dt: &str) -> bool {
+        matches!(dt.strip_prefix(NS), Some("decimal" | "double" | "float"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_family() {
+        assert!(xsd::is_integer_type(xsd::INTEGER));
+        assert!(xsd::is_integer_type(
+            "http://www.w3.org/2001/XMLSchema#unsignedByte"
+        ));
+        assert!(!xsd::is_integer_type(xsd::DOUBLE));
+        assert!(!xsd::is_integer_type("http://example.org/integer"));
+    }
+
+    #[test]
+    fn decimal_family() {
+        assert!(xsd::is_decimal_type(xsd::DECIMAL));
+        assert!(xsd::is_decimal_type(xsd::FLOAT));
+        assert!(!xsd::is_decimal_type(xsd::INTEGER));
+    }
+}

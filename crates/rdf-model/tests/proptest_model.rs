@@ -1,0 +1,115 @@
+//! Property-based tests for the RDF model: N-Triples round trips with
+//! arbitrary terms, and index consistency of the triple store.
+
+use proptest::prelude::*;
+use rdf_model::{ntriples, Graph, Literal, Term, Triple};
+
+fn iri_strategy() -> impl Strategy<Value = Term> {
+    "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://example.org/{s}")))
+}
+
+fn literal_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        // Plain strings incl. characters needing escapes.
+        "[ -~]{0,12}".prop_map(Term::string),
+        any::<i64>().prop_map(Term::integer),
+        any::<bool>().prop_map(|b| Term::Literal(Literal::boolean(b))),
+        ("[a-z]{1,6}", "[a-z]{2}").prop_map(|(s, l)| Term::Literal(Literal::lang_string(s, l))),
+        // Unicode content.
+        "\\PC{0,8}".prop_map(Term::string),
+    ]
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        iri_strategy(),
+        literal_strategy(),
+        "[A-Za-z0-9]{1,6}".prop_map(Term::blank),
+    ]
+}
+
+fn triple_strategy() -> impl Strategy<Value = Triple> {
+    (
+        prop_oneof![iri_strategy(), "[A-Za-z0-9]{1,6}".prop_map(Term::blank)],
+        iri_strategy(),
+        term_strategy(),
+    )
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ntriples_roundtrip(triples in proptest::collection::vec(triple_strategy(), 0..20)) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t);
+        }
+        let doc = ntriples::write_document(g.iter_triples());
+        let back = ntriples::parse_into_graph(&doc).expect("reparses");
+        prop_assert_eq!(g.len(), back.len());
+        let a: Vec<Triple> = g.iter_triples().collect();
+        let b: Vec<Triple> = back.iter_triples().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indexes_agree_on_every_access_path(
+        triples in proptest::collection::vec(triple_strategy(), 1..25)
+    ) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t);
+        }
+        // For every stored triple, all bound/unbound pattern combinations
+        // must find it.
+        for (s, p, o) in g.iter_ids() {
+            for mask in 0..8u8 {
+                let qs = (mask & 4 != 0).then_some(s);
+                let qp = (mask & 2 != 0).then_some(p);
+                let qo = (mask & 1 != 0).then_some(o);
+                let found = g
+                    .match_pattern(qs, qp, qo)
+                    .any(|(ms, mp, mo)| ms == s && mp == p && mo == o);
+                prop_assert!(found, "mask {mask:#05b} misses triple");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_counts_are_consistent(
+        triples in proptest::collection::vec(triple_strategy(), 1..25)
+    ) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t);
+        }
+        // Sum of per-predicate counts equals total.
+        let total: usize = g
+            .predicates()
+            .map(|p| g.count_pattern(None, Some(p), None))
+            .sum();
+        prop_assert_eq!(total, g.len());
+        // Stats agree with exact counts per predicate.
+        let stats = g.stats();
+        for p in g.predicates() {
+            let exact = g.count_pattern(None, Some(p), None);
+            prop_assert_eq!(stats.predicates[&p].count, exact);
+        }
+    }
+
+    #[test]
+    fn term_display_parse_roundtrip(term in term_strategy()) {
+        // Round-trip any term through an N-Triples line as the object.
+        let t = Triple::new(
+            Term::iri("http://example.org/s"),
+            Term::iri("http://example.org/p"),
+            term,
+        );
+        let line = format!("{t}\n");
+        let parsed = ntriples::parse_document(&line).expect("parses");
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(&parsed[0], &t);
+    }
+}

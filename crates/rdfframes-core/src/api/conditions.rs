@@ -1,0 +1,366 @@
+//! The filter-condition mini-language.
+//!
+//! The paper's API passes conditions as strings: `'>=50'`,
+//! `'=dbpr:United_States'`, `'isURI'`, `'In(dblp:vldb, dblp:sigmod)'`,
+//! `'regex(str(?c), "USA")'`. This module parses them into structured
+//! [`Condition`]s so query generation can rename variables and render valid
+//! SPARQL.
+
+use crate::error::{FrameError, Result};
+
+/// Comparison operators in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// SPARQL spelling.
+    pub fn sparql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A literal/IRI value on the right-hand side of a condition, kept as the
+/// user wrote it (CURIEs are expanded at render time by prefix declaration).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Numeric literal.
+    Number(String),
+    /// Quoted string literal (unquoted payload).
+    String(String),
+    /// IRI or CURIE.
+    Iri(String),
+}
+
+impl Value {
+    /// Render as a SPARQL token.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Number(n) => n.clone(),
+            Value::String(s) => format!("\"{}\"", s.replace('"', "\\\"")),
+            Value::Iri(i) => {
+                if i.starts_with("http://") || i.starts_with("https://") {
+                    format!("<{i}>")
+                } else {
+                    i.clone() // CURIE; prefixes declared in the query
+                }
+            }
+        }
+    }
+
+    fn parse(raw: &str) -> Value {
+        let raw = raw.trim();
+        if let Some(stripped) = raw.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+            return Value::String(stripped.to_string());
+        }
+        if raw.parse::<f64>().is_ok() {
+            return Value::Number(raw.to_string());
+        }
+        if let Some(inner) = raw.strip_prefix('<').and_then(|r| r.strip_suffix('>')) {
+            return Value::Iri(inner.to_string());
+        }
+        Value::Iri(raw.to_string())
+    }
+}
+
+/// One parsed filter condition on a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `?col <op> value`.
+    Cmp(CmpOp, Value),
+    /// `isIRI(?col)`.
+    IsUri,
+    /// `isLiteral(?col)`.
+    IsLiteral,
+    /// `isBlank(?col)`.
+    IsBlank,
+    /// `bound(?col)`.
+    Bound,
+    /// `!bound(?col)`.
+    NotBound,
+    /// `regex(str(?col), pattern, flags)`.
+    Regex {
+        /// Pattern string.
+        pattern: String,
+        /// Flags (`i` etc.).
+        flags: String,
+    },
+    /// `?col IN (v1, v2, ...)`.
+    In(Vec<Value>),
+    /// `?col NOT IN (...)`.
+    NotIn(Vec<Value>),
+    /// `year(xsd:dateTime(?col)) <op> n` — the date-column idiom from the
+    /// paper's topic-modeling case study (written `year>=2005`).
+    YearCmp(CmpOp, i64),
+}
+
+impl Condition {
+    /// Parse one condition string as written in the paper's API.
+    pub fn parse(raw: &str) -> Result<Condition> {
+        let s = raw.trim();
+        let lower = s.to_ascii_lowercase();
+        if lower == "isuri" || lower == "isiri" {
+            return Ok(Condition::IsUri);
+        }
+        if lower == "isliteral" {
+            return Ok(Condition::IsLiteral);
+        }
+        if lower == "isblank" {
+            return Ok(Condition::IsBlank);
+        }
+        if lower == "bound" {
+            return Ok(Condition::Bound);
+        }
+        if lower == "!bound" || lower == "notbound" {
+            return Ok(Condition::NotBound);
+        }
+        if let Some(rest) = strip_ci(s, "year") {
+            let rest = rest.trim();
+            for (text, op) in [
+                (">=", CmpOp::Ge),
+                ("<=", CmpOp::Le),
+                ("!=", CmpOp::Neq),
+                (">", CmpOp::Gt),
+                ("<", CmpOp::Lt),
+                ("=", CmpOp::Eq),
+            ] {
+                if let Some(num) = rest.strip_prefix(text) {
+                    let year: i64 = num
+                        .trim()
+                        .parse()
+                        .map_err(|_| FrameError::BadCondition(raw.to_string()))?;
+                    return Ok(Condition::YearCmp(op, year));
+                }
+            }
+            return Err(FrameError::BadCondition(raw.to_string()));
+        }
+        if let Some(rest) = strip_ci(s, "regex(") {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| FrameError::BadCondition(raw.to_string()))?;
+            // Accept both `regex("USA")` and `regex("USA", "i")`.
+            let parts = split_args(inner);
+            let pattern = parts
+                .first()
+                .map(|p| unquote(p))
+                .ok_or_else(|| FrameError::BadCondition(raw.to_string()))?;
+            let flags = parts.get(1).map(|p| unquote(p)).unwrap_or_default();
+            return Ok(Condition::Regex { pattern, flags });
+        }
+        if let Some(rest) = strip_ci(s, "notin(").or_else(|| strip_ci(s, "not in(")) {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| FrameError::BadCondition(raw.to_string()))?;
+            return Ok(Condition::NotIn(
+                split_args(inner).iter().map(|a| Value::parse(a)).collect(),
+            ));
+        }
+        if let Some(rest) = strip_ci(s, "in(") {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| FrameError::BadCondition(raw.to_string()))?;
+            return Ok(Condition::In(
+                split_args(inner).iter().map(|a| Value::parse(a)).collect(),
+            ));
+        }
+        for (text, op) in [
+            (">=", CmpOp::Ge),
+            ("<=", CmpOp::Le),
+            ("!=", CmpOp::Neq),
+            (">", CmpOp::Gt),
+            ("<", CmpOp::Lt),
+            ("=", CmpOp::Eq),
+        ] {
+            if let Some(rest) = s.strip_prefix(text) {
+                if rest.trim().is_empty() {
+                    return Err(FrameError::BadCondition(raw.to_string()));
+                }
+                return Ok(Condition::Cmp(op, Value::parse(rest)));
+            }
+        }
+        // A bare value is shorthand for equality.
+        if !s.is_empty() {
+            return Ok(Condition::Cmp(CmpOp::Eq, Value::parse(s)));
+        }
+        Err(FrameError::BadCondition(raw.to_string()))
+    }
+
+    /// Render the condition as a SPARQL boolean expression on `?column`.
+    pub fn render(&self, column: &str) -> String {
+        self.render_with_lhs(&format!("?{column}"))
+    }
+
+    /// Render with an explicit left-hand side (used by HAVING, where the
+    /// aggregate expression replaces the alias variable).
+    pub fn render_with_lhs(&self, lhs: &str) -> String {
+        match self {
+            Condition::Cmp(op, v) => format!("{lhs} {} {}", op.sparql(), v.render()),
+            Condition::IsUri => format!("isIRI({lhs})"),
+            Condition::IsLiteral => format!("isLiteral({lhs})"),
+            Condition::IsBlank => format!("isBlank({lhs})"),
+            Condition::Bound => format!("bound({lhs})"),
+            Condition::NotBound => format!("!bound({lhs})"),
+            Condition::Regex { pattern, flags } => {
+                if flags.is_empty() {
+                    format!("regex(str({lhs}), \"{pattern}\")")
+                } else {
+                    format!("regex(str({lhs}), \"{pattern}\", \"{flags}\")")
+                }
+            }
+            Condition::In(values) => {
+                let items: Vec<String> = values.iter().map(Value::render).collect();
+                format!("{lhs} IN ({})", items.join(", "))
+            }
+            Condition::NotIn(values) => {
+                let items: Vec<String> = values.iter().map(Value::render).collect();
+                format!("{lhs} NOT IN ({})", items.join(", "))
+            }
+            Condition::YearCmp(op, year) => {
+                format!("year(xsd:dateTime({lhs})) {} {year}", op.sparql())
+            }
+        }
+    }
+}
+
+fn strip_ci<'a>(s: &'a str, prefix: &str) -> Option<&'a str> {
+    if s.len() >= prefix.len() && s[..prefix.len()].eq_ignore_ascii_case(prefix) {
+        Some(&s[prefix.len()..])
+    } else {
+        None
+    }
+}
+
+fn unquote(s: &str) -> String {
+    let s = s.trim();
+    s.strip_prefix('"')
+        .and_then(|x| x.strip_suffix('"'))
+        .unwrap_or(s)
+        .to_string()
+}
+
+/// Split comma-separated args, respecting quotes.
+fn split_args(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(c);
+            }
+            ',' if !in_quotes => out.push(std::mem::take(&mut current).trim().to_string()),
+            _ => current.push(c),
+        }
+    }
+    let last = current.trim().to_string();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_numbers() {
+        let c = Condition::parse(">=50").unwrap();
+        assert_eq!(c, Condition::Cmp(CmpOp::Ge, Value::Number("50".into())));
+        assert_eq!(c.render("movie_count"), "?movie_count >= 50");
+    }
+
+    #[test]
+    fn equality_curie() {
+        let c = Condition::parse("=dbpr:United_States").unwrap();
+        assert_eq!(c.render("country"), "?country = dbpr:United_States");
+    }
+
+    #[test]
+    fn equality_absolute_iri() {
+        let c = Condition::parse("=http://dbpedia.org/resource/USA").unwrap();
+        assert_eq!(
+            c.render("c"),
+            "?c = <http://dbpedia.org/resource/USA>"
+        );
+    }
+
+    #[test]
+    fn bare_value_is_equality() {
+        let c = Condition::parse("dbpr:X").unwrap();
+        assert_eq!(c.render("c"), "?c = dbpr:X");
+    }
+
+    #[test]
+    fn string_values_quoted() {
+        let c = Condition::parse("=\"drama\"").unwrap();
+        assert_eq!(c.render("genre"), "?genre = \"drama\"");
+    }
+
+    #[test]
+    fn type_checks() {
+        assert_eq!(Condition::parse("isURI").unwrap(), Condition::IsUri);
+        assert_eq!(Condition::parse("isLiteral").unwrap(), Condition::IsLiteral);
+        assert_eq!(
+            Condition::parse("isURI").unwrap().render("obj"),
+            "isIRI(?obj)"
+        );
+    }
+
+    #[test]
+    fn regex_condition() {
+        let c = Condition::parse("regex(\"USA\")").unwrap();
+        assert_eq!(c.render("c"), "regex(str(?c), \"USA\")");
+        let c = Condition::parse("regex(\"usa\", \"i\")").unwrap();
+        assert_eq!(c.render("c"), "regex(str(?c), \"usa\", \"i\")");
+    }
+
+    #[test]
+    fn in_list() {
+        let c = Condition::parse("In(dblp:vldb, dblp:sigmod)").unwrap();
+        assert_eq!(
+            c.render("conference"),
+            "?conference IN (dblp:vldb, dblp:sigmod)"
+        );
+        let c = Condition::parse("NotIn(dbpr:Eskay_Movies)").unwrap();
+        assert_eq!(c.render("studio"), "?studio NOT IN (dbpr:Eskay_Movies)");
+    }
+
+    #[test]
+    fn year_comparison() {
+        let c = Condition::parse("year>=2005").unwrap();
+        assert_eq!(c, Condition::YearCmp(CmpOp::Ge, 2005));
+        assert_eq!(
+            c.render("date"),
+            "year(xsd:dateTime(?date)) >= 2005"
+        );
+        assert!(Condition::parse("year>=twenty").is_err());
+    }
+
+    #[test]
+    fn bad_conditions_rejected() {
+        assert!(Condition::parse("").is_err());
+        assert!(Condition::parse(">=").is_err());
+        assert!(Condition::parse("regex(\"unterminated\"").is_err());
+    }
+}

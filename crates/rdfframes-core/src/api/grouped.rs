@@ -1,0 +1,111 @@
+//! Grouped frames: the result of `group_by`, awaiting aggregation.
+
+use super::operators::{AggFunc, Operator};
+use super::rdfframe::RDFFrame;
+
+/// A frame whose last recorded operator is `group_by`; call an aggregation
+/// method to obtain the grouped [`RDFFrame`] (paper:
+/// `D.group_by(cols).aggregation(fn, col, new_col)`).
+#[derive(Debug, Clone)]
+pub struct GroupedRDFFrame {
+    frame: RDFFrame,
+}
+
+impl GroupedRDFFrame {
+    pub(crate) fn new(frame: RDFFrame) -> Self {
+        GroupedRDFFrame { frame }
+    }
+
+    /// Generic aggregation.
+    pub fn aggregation(self, func: AggFunc, src: &str, alias: &str, distinct: bool) -> RDFFrame {
+        self.frame.agg(func, src, alias, distinct)
+    }
+
+    /// `COUNT(src) AS alias`; `distinct` adds `DISTINCT` inside the
+    /// aggregate (the paper's `unique=True`).
+    pub fn count(self, src: &str, alias: &str, distinct: bool) -> RDFFrame {
+        self.aggregation(AggFunc::Count, src, alias, distinct)
+    }
+
+    /// `SUM(src) AS alias`.
+    pub fn sum(self, src: &str, alias: &str) -> RDFFrame {
+        self.aggregation(AggFunc::Sum, src, alias, false)
+    }
+
+    /// `AVG(src) AS alias`.
+    pub fn avg(self, src: &str, alias: &str) -> RDFFrame {
+        self.aggregation(AggFunc::Avg, src, alias, false)
+    }
+
+    /// `MIN(src) AS alias`.
+    pub fn min(self, src: &str, alias: &str) -> RDFFrame {
+        self.aggregation(AggFunc::Min, src, alias, false)
+    }
+
+    /// `MAX(src) AS alias`.
+    pub fn max(self, src: &str, alias: &str) -> RDFFrame {
+        self.aggregation(AggFunc::Max, src, alias, false)
+    }
+
+    /// `SAMPLE(src) AS alias`.
+    pub fn sample(self, src: &str, alias: &str) -> RDFFrame {
+        self.aggregation(AggFunc::Sample, src, alias, false)
+    }
+
+    /// Abandon the pending aggregation and recover the underlying frame
+    /// (the grouping keys become a DISTINCT projection).
+    pub fn into_frame(self) -> RDFFrame {
+        self.frame
+    }
+}
+
+/// The grouping keys recorded by the pending `group_by`.
+impl GroupedRDFFrame {
+    /// Grouping column names.
+    pub fn keys(&self) -> Vec<String> {
+        match self.frame.operators().last() {
+            Some(Operator::GroupBy(keys)) => keys.clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::KnowledgeGraph;
+
+    #[test]
+    fn aggregation_methods_append_ops() {
+        let g = KnowledgeGraph::new("http://x").with_prefix("p", "http://p/");
+        let f = g
+            .feature_domain_range("p:starring", "movie", "actor")
+            .group_by(&["actor"]);
+        assert_eq!(f.keys(), vec!["actor"]);
+        let counted = f.count("movie", "n", true);
+        match counted.operators().last() {
+            Some(Operator::Aggregation {
+                func,
+                distinct,
+                alias,
+                ..
+            }) => {
+                assert_eq!(*func, AggFunc::Count);
+                assert!(*distinct);
+                assert_eq!(alias, "n");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_aggregations_chain() {
+        let g = KnowledgeGraph::new("http://x").with_prefix("p", "http://p/");
+        let f = g
+            .seed("?paper", "p:year", "?year")
+            .group_by(&["year"])
+            .count("paper", "n", false)
+            .agg(AggFunc::Min, "paper", "first_paper", false);
+        assert_eq!(f.columns(), vec!["year", "n", "first_paper"]);
+    }
+}

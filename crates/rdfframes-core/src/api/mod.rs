@@ -1,0 +1,14 @@
+//! The RDFFrames user API: knowledge-graph initializers, the lazy
+//! [`RDFFrame`] operators, and the condition mini-language.
+
+pub mod conditions;
+pub mod grouped;
+pub mod knowledge_graph;
+pub mod operators;
+pub mod rdfframe;
+
+pub use conditions::Condition;
+pub use grouped::GroupedRDFFrame;
+pub use knowledge_graph::KnowledgeGraph;
+pub use operators::{AggFunc, Direction, JoinType, Node, Operator, SortOrder};
+pub use rdfframe::RDFFrame;

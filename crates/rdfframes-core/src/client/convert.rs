@@ -1,0 +1,107 @@
+//! Conversion between engine solution tables and dataframes.
+
+use dataframe::{Cell, DataFrame};
+use rdf_model::term::TypedValue;
+use rdf_model::Term;
+use sparql_engine::SolutionTable;
+
+/// Convert one RDF term to a dataframe cell, preserving URI-ness and
+/// numeric/boolean typing.
+pub fn term_to_cell(term: &Term) -> Cell {
+    match term {
+        Term::Iri(i) => Cell::uri(i.clone()),
+        Term::Blank(b) => Cell::uri(format!("_:{b}")),
+        Term::Literal(l) => match l.parsed {
+            TypedValue::Integer(i) => Cell::Int(i),
+            TypedValue::Double(d) => Cell::Float(d),
+            TypedValue::Boolean(b) => Cell::Bool(b),
+            _ => Cell::str(l.lexical.clone()),
+        },
+    }
+}
+
+/// Convert a whole solution table.
+pub fn table_to_dataframe(table: &SolutionTable) -> DataFrame {
+    let mut df = DataFrame::new(table.vars.clone());
+    for row in &table.rows {
+        df.push_row(
+            row.iter()
+                .map(|c| c.as_ref().map_or(Cell::Null, term_to_cell))
+                .collect(),
+        );
+    }
+    df
+}
+
+/// Append a solution table's rows to an existing dataframe with the same
+/// schema (used by pagination). Returns false on schema mismatch.
+pub fn append_table(df: &mut DataFrame, table: &SolutionTable) -> bool {
+    if df.columns() != table.vars.as_slice() {
+        return false;
+    }
+    for row in &table.rows {
+        df.push_row(
+            row.iter()
+                .map(|c| c.as_ref().map_or(Cell::Null, term_to_cell))
+                .collect(),
+        );
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Literal;
+
+    #[test]
+    fn term_conversions() {
+        assert_eq!(
+            term_to_cell(&Term::iri("http://x/a")),
+            Cell::uri("http://x/a")
+        );
+        assert_eq!(term_to_cell(&Term::integer(5)), Cell::Int(5));
+        assert_eq!(
+            term_to_cell(&Term::Literal(Literal::double(2.5))),
+            Cell::Float(2.5)
+        );
+        assert_eq!(
+            term_to_cell(&Term::Literal(Literal::boolean(true))),
+            Cell::Bool(true)
+        );
+        assert_eq!(term_to_cell(&Term::string("hi")), Cell::str("hi"));
+        assert_eq!(term_to_cell(&Term::blank("b0")), Cell::uri("_:b0"));
+        // Date-times keep their lexical form as strings.
+        assert_eq!(
+            term_to_cell(&Term::Literal(Literal::date_time("2020-01-01T00:00:00"))),
+            Cell::str("2020-01-01T00:00:00")
+        );
+    }
+
+    #[test]
+    fn table_conversion_preserves_nulls() {
+        let table = SolutionTable {
+            vars: vec!["a".into(), "b".into()],
+            rows: vec![vec![Some(Term::integer(1)), None]],
+        };
+        let df = table_to_dataframe(&table);
+        assert_eq!(df.get(0, "a"), Some(&Cell::Int(1)));
+        assert_eq!(df.get(0, "b"), Some(&Cell::Null));
+    }
+
+    #[test]
+    fn append_checks_schema() {
+        let t1 = SolutionTable {
+            vars: vec!["a".into()],
+            rows: vec![vec![Some(Term::integer(1))]],
+        };
+        let mut df = table_to_dataframe(&t1);
+        assert!(append_table(&mut df, &t1));
+        assert_eq!(df.len(), 2);
+        let t2 = SolutionTable {
+            vars: vec!["z".into()],
+            rows: vec![],
+        };
+        assert!(!append_table(&mut df, &t2));
+    }
+}

@@ -1,0 +1,188 @@
+//! Wire encoding of solution tables.
+//!
+//! A real SPARQL endpoint serializes every result row (SPARQL JSON/XML/TSV)
+//! and the client parses it back. That per-row cost is a first-class part
+//! of the paper's measurements — the client-side baselines ship far more
+//! rows than RDFFrames does — so the in-process endpoint *actually
+//! performs* an encode/decode round trip per chunk (SPARQL-TSV-style)
+//! instead of pretending transfer is free.
+
+use rdf_model::term::Literal;
+use rdf_model::Term;
+use sparql_engine::SolutionTable;
+
+/// Encode a solution table as SPARQL-TSV (terms in N-Triples syntax,
+/// columns tab-separated, unbound cells empty).
+pub fn encode(table: &SolutionTable) -> String {
+    let mut out = String::with_capacity(table.rows.len() * 32 + 64);
+    for (i, v) in table.vars.iter().enumerate() {
+        if i > 0 {
+            out.push('\t');
+        }
+        out.push('?');
+        out.push_str(v);
+    }
+    out.push('\n');
+    for row in &table.rows {
+        if row.is_empty() {
+            // Zero-column rows (the unit table) need an explicit marker:
+            // an empty line is indistinguishable from "no row".
+            out.push('\u{2}');
+        }
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push('\t');
+            }
+            if let Some(term) = cell {
+                encode_term(term, &mut out);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn encode_term(term: &Term, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{term}");
+}
+
+/// Decode a SPARQL-TSV document back into a solution table. Returns `None`
+/// on malformed input.
+pub fn decode(text: &str) -> Option<SolutionTable> {
+    let mut lines = text.split('\n');
+    let header = lines.next()?;
+    let vars: Vec<String> = if header.is_empty() {
+        Vec::new()
+    } else {
+        header
+            .split('\t')
+            .map(|v| v.strip_prefix('?').unwrap_or(v).to_string())
+            .collect()
+    };
+    let mut table = SolutionTable::with_vars(vars);
+    let width = table.vars.len();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\u{2}" {
+            table.rows.push(Vec::new());
+            continue;
+        }
+        let mut row = Vec::with_capacity(width);
+        for field in line.split('\t') {
+            if field.is_empty() {
+                row.push(None);
+            } else {
+                row.push(Some(decode_term(field)?));
+            }
+        }
+        if row.len() != width {
+            return None;
+        }
+        table.rows.push(row);
+    }
+    Some(table)
+}
+
+fn decode_term(field: &str) -> Option<Term> {
+    let bytes = field.as_bytes();
+    match bytes.first()? {
+        b'<' => {
+            let inner = field.strip_prefix('<')?.strip_suffix('>')?;
+            Some(Term::iri(inner.to_string()))
+        }
+        b'_' => {
+            let label = field.strip_prefix("_:")?;
+            Some(Term::blank(label.to_string()))
+        }
+        b'"' => {
+            // Find the closing quote, honoring escapes.
+            let rest = &field[1..];
+            let mut lexical = String::with_capacity(rest.len());
+            let mut chars = rest.chars();
+            let mut tail = String::new();
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                match c {
+                    '\\' => match chars.next()? {
+                        'n' => lexical.push('\n'),
+                        'r' => lexical.push('\r'),
+                        't' => lexical.push('\t'),
+                        '"' => lexical.push('"'),
+                        '\\' => lexical.push('\\'),
+                        other => lexical.push(other),
+                    },
+                    '"' => {
+                        closed = true;
+                        tail = chars.collect();
+                        break;
+                    }
+                    other => lexical.push(other),
+                }
+            }
+            if !closed {
+                return None;
+            }
+            if let Some(lang) = tail.strip_prefix('@') {
+                Some(Term::Literal(Literal::lang_string(lexical, lang.to_string())))
+            } else if let Some(dt) = tail.strip_prefix("^^") {
+                let dt = dt.strip_prefix('<')?.strip_suffix('>')?;
+                Some(Term::Literal(Literal::typed(lexical, dt.to_string())))
+            } else if tail.is_empty() {
+                Some(Term::string(lexical))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Literal;
+
+    fn sample() -> SolutionTable {
+        SolutionTable {
+            vars: vec!["a".into(), "b".into(), "c".into()],
+            rows: vec![
+                vec![
+                    Some(Term::iri("http://x/s")),
+                    Some(Term::integer(42)),
+                    None,
+                ],
+                vec![
+                    Some(Term::string("tab\there \"quoted\"")),
+                    Some(Term::Literal(Literal::lang_string("hallo", "de"))),
+                    Some(Term::blank("b0")),
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let encoded = encode(&t);
+        let decoded = decode(&encoded).expect("decodes");
+        assert_eq!(t, decoded);
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let t = SolutionTable::with_vars(vec!["x".into()]);
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+        let unit = SolutionTable::unit();
+        let rt = decode(&encode(&unit)).unwrap();
+        assert_eq!(rt.len(), 1);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(decode("?a\n<unterminated\n").is_none());
+        assert!(decode("?a\tb?\nonly-one-field-without-term-syntax\n").is_none());
+    }
+}

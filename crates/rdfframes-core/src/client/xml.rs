@@ -1,0 +1,227 @@
+//! SPARQL Query Results XML Format encoding.
+//!
+//! The paper's client stack (SPARQLWrapper over HTTP) receives results in
+//! this format by default, so the simulated endpoint can optionally perform
+//! a *real* XML encode/parse round trip per chunk. This makes transfer cost
+//! proportional to shipped data volume — the effect that dominates the
+//! paper's client-side baselines.
+
+use rdf_model::term::Literal;
+use rdf_model::Term;
+use sparql_engine::SolutionTable;
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        let tail = &rest[idx..];
+        let (entity, len) = if tail.starts_with("&amp;") {
+            ('&', 5)
+        } else if tail.starts_with("&lt;") {
+            ('<', 4)
+        } else if tail.starts_with("&gt;") {
+            ('>', 4)
+        } else if tail.starts_with("&quot;") {
+            ('"', 6)
+        } else {
+            ('&', 1)
+        };
+        out.push(entity);
+        rest = &tail[len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Encode a solution table in the SPARQL XML Results Format.
+pub fn encode(table: &SolutionTable) -> String {
+    let mut out = String::with_capacity(table.rows.len() * 96 + 256);
+    out.push_str("<?xml version=\"1.0\"?>\n<sparql xmlns=\"http://www.w3.org/2005/sparql-results#\">\n<head>");
+    for v in &table.vars {
+        out.push_str("<variable name=\"");
+        escape_into(v, &mut out);
+        out.push_str("\"/>");
+    }
+    out.push_str("</head>\n<results>\n");
+    for row in &table.rows {
+        out.push_str("<result>");
+        for (v, cell) in table.vars.iter().zip(row) {
+            let Some(term) = cell else { continue };
+            out.push_str("<binding name=\"");
+            escape_into(v, &mut out);
+            out.push_str("\">");
+            match term {
+                Term::Iri(iri) => {
+                    out.push_str("<uri>");
+                    escape_into(iri, &mut out);
+                    out.push_str("</uri>");
+                }
+                Term::Blank(b) => {
+                    out.push_str("<bnode>");
+                    escape_into(b, &mut out);
+                    out.push_str("</bnode>");
+                }
+                Term::Literal(l) => {
+                    if let Some(lang) = &l.language {
+                        out.push_str("<literal xml:lang=\"");
+                        escape_into(lang, &mut out);
+                        out.push_str("\">");
+                    } else if let Some(dt) = &l.datatype {
+                        out.push_str("<literal datatype=\"");
+                        escape_into(dt, &mut out);
+                        out.push_str("\">");
+                    } else {
+                        out.push_str("<literal>");
+                    }
+                    escape_into(&l.lexical, &mut out);
+                    out.push_str("</literal>");
+                }
+            }
+            out.push_str("</binding>");
+        }
+        out.push_str("</result>\n");
+    }
+    out.push_str("</results>\n</sparql>\n");
+    out
+}
+
+/// Parse a SPARQL XML results document back into a solution table.
+pub fn decode(text: &str) -> Option<SolutionTable> {
+    // Header.
+    let head_start = text.find("<head>")? + "<head>".len();
+    let head_end = head_start + text[head_start..].find("</head>")?;
+    let head = &text[head_start..head_end];
+    let mut vars = Vec::new();
+    let mut rest = head;
+    while let Some(at) = rest.find("<variable name=\"") {
+        let after = &rest[at + "<variable name=\"".len()..];
+        let q = after.find('"')?;
+        vars.push(unescape(&after[..q]));
+        rest = &after[q..];
+    }
+
+    // Results block, sliced once.
+    let results_start = head_end + text[head_end..].find("<results>")? + "<results>".len();
+    let results_end = results_start + text[results_start..].find("</results>")?;
+    let mut body = &text[results_start..results_end];
+
+    let mut table = SolutionTable::with_vars(vars);
+    let width = table.vars.len();
+    while let Some(at) = body.find("<result>") {
+        let after = &body[at + "<result>".len()..];
+        let close = after.find("</result>")?;
+        let result = &after[..close];
+        body = &after[close + "</result>".len()..];
+
+        let mut row: Vec<Option<Term>> = vec![None; width];
+        let mut cursor = result;
+        while let Some(b) = cursor.find("<binding name=\"") {
+            let after = &cursor[b + "<binding name=\"".len()..];
+            let q = after.find('"')?;
+            let name = unescape(&after[..q]);
+            let after = &after[q..];
+            let gt = after.find('>')?;
+            let content_and_rest = &after[gt + 1..];
+            let bind_end = content_and_rest.find("</binding>")?;
+            let content = &content_and_rest[..bind_end];
+            cursor = &content_and_rest[bind_end + "</binding>".len()..];
+
+            let term = decode_binding(content)?;
+            let idx = table.vars.iter().position(|v| *v == name)?;
+            row[idx] = Some(term);
+        }
+        table.rows.push(row);
+    }
+    Some(table)
+}
+
+fn decode_binding(content: &str) -> Option<Term> {
+    if let Some(rest) = content.strip_prefix("<uri>") {
+        let inner = rest.strip_suffix("</uri>")?;
+        return Some(Term::iri(unescape(inner)));
+    }
+    if let Some(rest) = content.strip_prefix("<bnode>") {
+        let inner = rest.strip_suffix("</bnode>")?;
+        return Some(Term::blank(unescape(inner)));
+    }
+    if let Some(rest) = content.strip_prefix("<literal") {
+        let gt = rest.find('>')?;
+        let attrs = &rest[..gt];
+        let body = rest[gt + 1..].strip_suffix("</literal>")?;
+        let body = unescape(body);
+        return if let Some(lang) = attr_value(attrs, "xml:lang") {
+            Some(Term::Literal(Literal::lang_string(body, unescape(&lang))))
+        } else if let Some(dt) = attr_value(attrs, "datatype") {
+            Some(Term::Literal(Literal::typed(body, unescape(&dt))))
+        } else {
+            Some(Term::string(body))
+        };
+    }
+    None
+}
+
+fn attr_value(attrs: &str, name: &str) -> Option<String> {
+    let marker = format!("{name}=\"");
+    let start = attrs.find(&marker)? + marker.len();
+    let end = attrs[start..].find('"')? + start;
+    Some(attrs[start..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SolutionTable {
+        SolutionTable {
+            vars: vec!["s".into(), "label".into(), "n".into()],
+            rows: vec![
+                vec![
+                    Some(Term::iri("http://x/a?q=1&r=2")),
+                    Some(Term::Literal(Literal::lang_string("héllo <world>", "en"))),
+                    Some(Term::integer(5)),
+                ],
+                vec![Some(Term::blank("b0")), None, None],
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let decoded = decode(&encode(&t)).expect("decodes");
+        assert_eq!(t, decoded);
+    }
+
+    #[test]
+    fn empty_results() {
+        let t = SolutionTable::with_vars(vec!["x".into()]);
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut t = SolutionTable::with_vars(vec!["v".into()]);
+        t.rows
+            .push(vec![Some(Term::string("a & b < c > d \" e"))]);
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(decode("<sparql><head></head>").is_none());
+        assert!(decode("").is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type for the RDFFrames core.
+
+use std::fmt;
+
+/// Errors raised while recording operators, generating queries, or executing
+/// them against an endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// An operator referenced a column not present in the frame.
+    UnknownColumn(String),
+    /// A filter condition string could not be parsed.
+    BadCondition(String),
+    /// An operator sequence is invalid (e.g. aggregation without group_by
+    /// followed by further operators).
+    InvalidSequence(String),
+    /// The endpoint rejected or failed a query.
+    Endpoint(String),
+    /// Prefix expansion failed.
+    Prefix(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            FrameError::BadCondition(c) => write!(f, "bad filter condition: {c}"),
+            FrameError::InvalidSequence(m) => write!(f, "invalid operator sequence: {m}"),
+            FrameError::Endpoint(m) => write!(f, "endpoint error: {m}"),
+            FrameError::Prefix(m) => write!(f, "prefix error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, FrameError>;

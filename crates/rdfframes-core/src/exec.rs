@@ -1,0 +1,166 @@
+//! The Executor: SPARQL out, dataframe in (paper Figure 1, right side).
+//!
+//! Handles the mechanics the paper lists in Section 4.3: sending the
+//! generated query to the endpoint, paginating the results transparently
+//! (re-requesting chunk by chunk, since the SPARQL protocol over HTTP has
+//! no cursors), and assembling one dataframe from all chunks.
+
+use dataframe::DataFrame;
+
+use crate::api::rdfframe::RDFFrame;
+use crate::client::convert::{append_table, table_to_dataframe};
+use crate::client::Endpoint;
+use crate::error::{FrameError, Result};
+
+/// Executes frames against endpoints with transparent pagination.
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    /// Client-side page size; the effective page is
+    /// `min(page_size, endpoint.max_rows_per_request())`.
+    pub page_size: Option<usize>,
+}
+
+impl Executor {
+    /// Executor with default paging.
+    pub fn new() -> Self {
+        Executor::default()
+    }
+
+    /// Executor with an explicit client page size.
+    pub fn with_page_size(page_size: usize) -> Self {
+        Executor {
+            page_size: Some(page_size),
+        }
+    }
+
+    /// Execute the frame's optimized query.
+    pub fn execute<E: Endpoint + ?Sized>(&self, frame: &RDFFrame, endpoint: &E) -> Result<DataFrame> {
+        let sparql = frame.try_to_sparql()?;
+        self.run(&sparql, endpoint)
+    }
+
+    /// Execute the frame's naive query (baseline).
+    pub fn execute_naive<E: Endpoint + ?Sized>(
+        &self,
+        frame: &RDFFrame,
+        endpoint: &E,
+    ) -> Result<DataFrame> {
+        let sparql = frame.try_to_naive_sparql()?;
+        self.run(&sparql, endpoint)
+    }
+
+    /// Run raw SPARQL with pagination and assemble one dataframe.
+    pub fn run<E: Endpoint + ?Sized>(&self, sparql: &str, endpoint: &E) -> Result<DataFrame> {
+        let page = self
+            .page_size
+            .unwrap_or(usize::MAX)
+            .min(endpoint.max_rows_per_request())
+            .max(1);
+        let mut offset = 0usize;
+        let first = endpoint.query_chunk(sparql, offset, page)?;
+        let short = first.len() < page;
+        let mut df = table_to_dataframe(&first);
+        if short {
+            return Ok(df);
+        }
+        loop {
+            offset += page;
+            let chunk = endpoint.query_chunk(sparql, offset, page)?;
+            let done = chunk.len() < page;
+            if !append_table(&mut df, &chunk) {
+                return Err(FrameError::Endpoint(
+                    "endpoint returned inconsistent schemas across chunks".into(),
+                ));
+            }
+            if done {
+                return Ok(df);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::KnowledgeGraph;
+    use crate::client::{EndpointConfig, InProcessEndpoint};
+    use rdf_model::{Dataset, Graph, Term, Triple};
+    use std::sync::Arc;
+
+    fn endpoint(max_rows: usize) -> InProcessEndpoint {
+        let mut g = Graph::new();
+        for i in 0..25 {
+            g.insert(&Triple::new(
+                Term::iri(format!("http://x/movie{i}")),
+                Term::iri("http://x/starring"),
+                Term::iri(format!("http://x/actor{}", i % 5)),
+            ));
+        }
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://g", g);
+        InProcessEndpoint::with_config(
+            Arc::new(ds),
+            EndpointConfig {
+                max_rows_per_request: max_rows,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn frame() -> crate::api::RDFFrame {
+        KnowledgeGraph::new("http://g")
+            .with_prefix("x", "http://x/")
+            .feature_domain_range("x:starring", "movie", "actor")
+    }
+
+    #[test]
+    fn single_page_when_results_fit() {
+        let ep = endpoint(1000);
+        let df = frame().execute(&ep).unwrap();
+        assert_eq!(df.len(), 25);
+        assert_eq!(ep.stats().requests(), 1);
+    }
+
+    #[test]
+    fn pagination_requests_until_short_chunk() {
+        let ep = endpoint(10);
+        let df = frame().execute(&ep).unwrap();
+        assert_eq!(df.len(), 25);
+        // 10 + 10 + 5 → three requests.
+        assert_eq!(ep.stats().requests(), 3);
+        assert_eq!(ep.stats().rows_returned(), 25);
+    }
+
+    #[test]
+    fn exact_multiple_needs_probe_request() {
+        let ep = endpoint(5);
+        let df = frame().execute(&ep).unwrap();
+        assert_eq!(df.len(), 25);
+        // 5 full chunks + 1 empty probe.
+        assert_eq!(ep.stats().requests(), 6);
+    }
+
+    #[test]
+    fn page_size_override() {
+        let ep = endpoint(1000);
+        let df = Executor::with_page_size(7)
+            .execute(&frame(), &ep)
+            .unwrap();
+        assert_eq!(df.len(), 25);
+        assert_eq!(ep.stats().requests(), 4);
+    }
+
+    #[test]
+    fn grouped_query_roundtrip() {
+        let ep = endpoint(1000);
+        let df = frame()
+            .group_by(&["actor"])
+            .count("movie", "n", true)
+            .execute(&ep)
+            .unwrap();
+        assert_eq!(df.len(), 5);
+        for row in df.rows() {
+            assert_eq!(row[1], dataframe::Cell::Int(5));
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! Query-model generation: the paper's *Generator* (Section 4.2).
+//!
+//! Consumes an RDFFrame's recorded operator queue in FIFO order and builds a
+//! [`QueryModel`], keeping everything in one flat model whenever semantics
+//! allow and nesting only in the paper's three necessary cases:
+//!
+//! 1. `expand`/`filter` applied to a *grouped* frame (the grouping must
+//!    evaluate first) — the model so far becomes a subquery.
+//! 2. `join` involving a grouped frame — the grouped side becomes a
+//!    subquery of the other side.
+//! 3. Full outer join — SPARQL has no `FULL OUTER`, so the result is the
+//!    UNION of two OPTIONAL (left-join) branches, each operand wrapped in a
+//!    nested query.
+
+use crate::api::knowledge_graph::KnowledgeGraph;
+use crate::api::operators::{Direction, JoinType, Node, Operator};
+use crate::api::rdfframe::RDFFrame;
+use crate::error::{FrameError, Result};
+
+use super::{AggSpec, FilterSpec, OptionalBlock, QueryModel, TriplePat};
+
+/// Build the optimized query model for a frame.
+pub fn build_query_model(frame: &RDFFrame) -> Result<QueryModel> {
+    process_ops(frame.graph(), frame.operators())
+}
+
+/// Fresh model carrying the graph's URI and prefixes.
+pub(crate) fn base_model(graph: &KnowledgeGraph) -> QueryModel {
+    let mut m = QueryModel::for_graph(graph.uri());
+    for (p, ns) in graph.prefixes().iter() {
+        m.prefixes.insert(p.to_string(), ns.to_string());
+    }
+    m
+}
+
+fn triple_for_expand(
+    src: &str,
+    predicate: &str,
+    dst: &str,
+    direction: Direction,
+    graph: &str,
+) -> TriplePat {
+    let (s, o) = match direction {
+        Direction::Out => (src, dst),
+        Direction::In => (dst, src),
+    };
+    let predicate = match predicate.strip_prefix('?') {
+        Some(v) => Node::Var(v.to_string()),
+        None => Node::Term(predicate.to_string()),
+    };
+    TriplePat {
+        subject: Node::Var(s.to_string()),
+        predicate,
+        object: Node::Var(o.to_string()),
+        graph: graph.to_string(),
+    }
+}
+
+fn process_ops(graph: &KnowledgeGraph, ops: &[Operator]) -> Result<QueryModel> {
+    let mut m = base_model(graph);
+    let graph_uri = graph.uri().to_string();
+
+    for op in ops {
+        match op {
+            Operator::Seed {
+                subject,
+                predicate,
+                object,
+            } => {
+                m.triples.push(TriplePat {
+                    subject: subject.clone(),
+                    predicate: predicate.clone(),
+                    object: object.clone(),
+                    graph: graph_uri.clone(),
+                });
+            }
+            Operator::Expand {
+                src,
+                predicate,
+                dst,
+                direction,
+                optional,
+            } => {
+                // Case 1: expanding a grouped (or modifier-frozen) frame
+                // requires evaluating the group first in a subquery.
+                if m.is_grouped() || m.has_modifiers() {
+                    m = m.wrapped();
+                }
+                let t = triple_for_expand(src, predicate, dst, *direction, &graph_uri);
+                if *optional {
+                    m.optionals.push(OptionalBlock {
+                        triples: vec![t],
+                        filters: vec![],
+                    });
+                } else {
+                    m.triples.push(t);
+                }
+                // An explicit projection (select_cols) must grow to include
+                // the newly navigated column.
+                if !m.select.is_empty() && !m.select.contains(dst) {
+                    m.select.push(dst.clone());
+                }
+            }
+            Operator::Filter { column, conditions } => {
+                let spec = FilterSpec::Col {
+                    column: column.clone(),
+                    conditions: conditions.clone(),
+                };
+                if m.is_grouped() {
+                    if m.aggregates.iter().any(|a| &a.alias == column) {
+                        // Filter on an aggregate value → HAVING.
+                        m.having.push(spec);
+                    } else {
+                        // Case 1: filter on a grouping column after
+                        // aggregation must apply to the grouped result.
+                        m = m.wrapped();
+                        m.filters.push(spec);
+                    }
+                } else {
+                    if m.has_modifiers() {
+                        m = m.wrapped();
+                    }
+                    m.filters.push(spec);
+                }
+            }
+            Operator::FilterRaw(expr) => {
+                if m.is_grouped() || m.has_modifiers() {
+                    m = m.wrapped();
+                }
+                m.filters.push(FilterSpec::Raw(expr.clone()));
+            }
+            Operator::SelectCols(cols) => {
+                if m.has_modifiers() {
+                    m = m.wrapped();
+                }
+                m.select = cols.clone();
+            }
+            Operator::GroupBy(keys) => {
+                if m.is_grouped() || m.has_modifiers() {
+                    m = m.wrapped();
+                }
+                m.group_by = keys.clone();
+            }
+            Operator::Aggregation {
+                func,
+                src,
+                alias,
+                distinct,
+            } => {
+                if m.has_modifiers() {
+                    return Err(FrameError::InvalidSequence(
+                        "aggregation after sort/head is not supported".into(),
+                    ));
+                }
+                m.aggregates.push(AggSpec {
+                    func: *func,
+                    distinct: *distinct,
+                    src: src.clone(),
+                    alias: alias.clone(),
+                });
+                // Grouped models project their keys + aggregates, DISTINCT,
+                // matching the paper's generated queries.
+                m.select = m.group_by.clone();
+                m.select
+                    .extend(m.aggregates.iter().map(|a| a.alias.clone()));
+                m.distinct = true;
+            }
+            Operator::Join {
+                other,
+                col,
+                col2,
+                jtype,
+                new_col,
+            } => {
+                let mut m2 = process_ops(other.graph(), other.operators())?;
+                let join_name = new_col.clone().unwrap_or_else(|| col.clone());
+                m.rename_var(col, &join_name);
+                m2.rename_var(col2, &join_name);
+                m = merge_join(m, m2, *jtype);
+            }
+            Operator::Sort(keys) => {
+                m.order_by = keys.clone();
+            }
+            Operator::Head { k, offset } => {
+                m.limit = Some(*k);
+                if *offset > 0 {
+                    m.offset = Some(*offset);
+                }
+            }
+            Operator::Cache => {}
+        }
+    }
+    Ok(m)
+}
+
+/// Join two query models per the paper's case analysis.
+fn merge_join(mut m1: QueryModel, mut m2: QueryModel, jtype: JoinType) -> QueryModel {
+    // Mutual context (prefixes, graph lists) must flow both ways.
+    m1.absorb_context(&m2);
+    m2.absorb_context(&m1);
+
+    let n1 = m1.is_grouped() || m1.has_modifiers();
+    let n2 = m2.is_grouped() || m2.has_modifiers();
+
+    let select = merged_select(&m1, &m2);
+    let limit = merge_limit(&m1, &m2);
+    let offset = merge_offset(&m1, &m2);
+
+    let mut result = match jtype {
+        JoinType::Inner => match (n1, n2) {
+            (false, false) => flat_merge(m1, m2),
+            (true, false) => {
+                // Case 2: grouped side nests inside the other.
+                m2.subqueries.push(strip_modifier_merge(m1));
+                m2
+            }
+            (false, true) => {
+                m1.subqueries.push(strip_modifier_merge(m2));
+                m1
+            }
+            (true, true) => {
+                let mut outer = context_of(&m1);
+                outer.subqueries.push(strip_modifier_merge(m1));
+                outer.subqueries.push(strip_modifier_merge(m2));
+                outer
+            }
+        },
+        JoinType::Left => left_join(m1, m2, n1, n2),
+        JoinType::Right => left_join(m2, m1, n2, n1),
+        JoinType::Outer => {
+            // Case 3: full outer join = UNION of the two left joins, with
+            // both operands wrapped in nested queries.
+            let b1 = left_join_nested(m1.clone(), m2.clone());
+            let b2 = left_join_nested(m2.clone(), m1.clone());
+            let mut outer = context_of(&m1);
+            outer.unions.push(b1);
+            outer.unions.push(b2);
+            outer
+        }
+    };
+
+    result.select = select;
+    result.limit = limit;
+    result.offset = offset;
+    result.distinct = false;
+    result
+}
+
+/// A fresh empty model inheriting prefixes/graphs.
+fn context_of(m: &QueryModel) -> QueryModel {
+    QueryModel {
+        prefixes: m.prefixes.clone(),
+        graphs: m.graphs.clone(),
+        ..Default::default()
+    }
+}
+
+/// When a model becomes a subquery operand its own modifiers stay inside,
+/// which is exactly what wrapping already guarantees. This is the identity
+/// today but kept as the single point where operand-level normalization
+/// would go.
+fn strip_modifier_merge(m: QueryModel) -> QueryModel {
+    m
+}
+
+/// Flat merge of two non-nested models (inner join).
+///
+/// A side that carries a UNION (from an earlier full outer join) is nested
+/// as a subquery rather than merged: unions must stay *first* within their
+/// group because `OPTIONAL` elements rendered after them are left joins
+/// against everything before, and flat-merging would reorder them.
+fn flat_merge(mut m1: QueryModel, m2: QueryModel) -> QueryModel {
+    if !m2.unions.is_empty() && m1.has_patterns() {
+        m1.subqueries.push(m2);
+        return m1;
+    }
+    if !m1.unions.is_empty() && !m2.unions.is_empty() {
+        let mut outer = context_of(&m1);
+        outer.subqueries.push(m1);
+        outer.subqueries.push(m2);
+        return outer;
+    }
+    m1.triples.extend(m2.triples);
+    m1.filters.extend(m2.filters);
+    m1.optionals.extend(m2.optionals);
+    m1.subqueries.extend(m2.subqueries);
+    m1.optional_subqueries.extend(m2.optional_subqueries);
+    if m1.unions.is_empty() {
+        m1.unions = m2.unions;
+    }
+    m1
+}
+
+/// m1 ⟕ m2, given each side's nesting requirement.
+fn left_join(mut m1: QueryModel, m2: QueryModel, n1: bool, n2: bool) -> QueryModel {
+    if n1 {
+        m1 = m1.wrapped();
+    }
+    if !n2 && m2.is_simple() {
+        m1.optionals.push(OptionalBlock {
+            triples: m2.triples,
+            filters: m2.filters,
+        });
+    } else {
+        m1.optional_subqueries.push(m2);
+    }
+    m1
+}
+
+/// m1 ⟕ m2 with *both* operands as nested queries (used by full outer join,
+/// matching the paper's Listing 4 shape).
+fn left_join_nested(m1: QueryModel, m2: QueryModel) -> QueryModel {
+    let mut outer = context_of(&m1);
+    outer.subqueries.push(m1);
+    outer.optional_subqueries.push(m2);
+    outer
+}
+
+fn merged_select(m1: &QueryModel, m2: &QueryModel) -> Vec<String> {
+    // Both sides SELECT * — the join stays *.
+    if m1.select.is_empty() && m2.select.is_empty() {
+        return Vec::new();
+    }
+    // At least one side has an explicit projection: the join's visible
+    // columns are the union of both sides' columns, with any * side
+    // resolved to its concrete visible variables (the paper: "unions the
+    // selection variables of the two query models").
+    let mut out = m1.visible_columns();
+    for v in m2.visible_columns() {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn merge_limit(m1: &QueryModel, m2: &QueryModel) -> Option<usize> {
+    match (m1.limit, m2.limit) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        _ => None, // a limit inside one operand stays inside its subquery
+    }
+}
+
+fn merge_offset(m1: &QueryModel, m2: &QueryModel) -> Option<usize> {
+    match (m1.offset, m2.offset) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::KnowledgeGraph;
+
+    fn graph() -> KnowledgeGraph {
+        KnowledgeGraph::new("http://dbpedia.org")
+            .with_prefix("dbpp", "http://dbpedia.org/property/")
+            .with_prefix("dbpr", "http://dbpedia.org/resource/")
+    }
+
+    #[test]
+    fn seed_and_expand_stay_flat() {
+        let f = graph()
+            .feature_domain_range("dbpp:starring", "movie", "actor")
+            .expand("actor", "dbpp:birthPlace", "country")
+            .filter("country", &["=dbpr:United_States"]);
+        let m = build_query_model(&f).unwrap();
+        assert_eq!(m.triples.len(), 2);
+        assert_eq!(m.filters.len(), 1);
+        assert!(m.subqueries.is_empty());
+    }
+
+    #[test]
+    fn filter_on_aggregate_becomes_having() {
+        let f = graph()
+            .feature_domain_range("dbpp:starring", "movie", "actor")
+            .group_by(&["actor"])
+            .count("movie", "movie_count", true)
+            .filter("movie_count", &[">=50"]);
+        let m = build_query_model(&f).unwrap();
+        assert!(m.is_grouped());
+        assert_eq!(m.having.len(), 1);
+        assert!(m.subqueries.is_empty());
+    }
+
+    #[test]
+    fn expand_after_group_nests() {
+        // The motivating example's final step (paper Listing 1).
+        let f = graph()
+            .feature_domain_range("dbpp:starring", "movie", "actor")
+            .group_by(&["actor"])
+            .count("movie", "movie_count", true)
+            .filter("movie_count", &[">=50"])
+            .expand_in("actor", "dbpp:starring", "movie2");
+        let m = build_query_model(&f).unwrap();
+        assert!(!m.is_grouped());
+        assert_eq!(m.subqueries.len(), 1);
+        assert!(m.subqueries[0].is_grouped());
+        assert_eq!(m.triples.len(), 1); // the new expand triple
+    }
+
+    #[test]
+    fn filter_on_group_key_after_aggregation_nests() {
+        let f = graph()
+            .feature_domain_range("dbpp:starring", "movie", "actor")
+            .group_by(&["actor"])
+            .count("movie", "n", false)
+            .filter("actor", &["isURI"]);
+        let m = build_query_model(&f).unwrap();
+        assert_eq!(m.subqueries.len(), 1);
+        assert_eq!(m.filters.len(), 1);
+    }
+
+    #[test]
+    fn join_grouped_with_flat_nests_grouped_side() {
+        let g = graph();
+        let movies = g.feature_domain_range("dbpp:starring", "movie", "actor");
+        let prolific = movies
+            .clone()
+            .group_by(&["actor"])
+            .count("movie", "n", true);
+        let joined = movies.join(&prolific, "actor", crate::api::JoinType::Inner);
+        let m = build_query_model(&joined).unwrap();
+        assert_eq!(m.triples.len(), 1);
+        assert_eq!(m.subqueries.len(), 1);
+        assert!(m.subqueries[0].is_grouped());
+    }
+
+    #[test]
+    fn full_outer_join_is_union_of_optionals() {
+        let g = graph();
+        let a = g.feature_domain_range("dbpp:starring", "movie", "actor");
+        let b = g.feature_domain_range("dbpp:academyAward", "actor", "award");
+        let j = a.join(&b, "actor", crate::api::JoinType::Outer);
+        let m = build_query_model(&j).unwrap();
+        assert_eq!(m.unions.len(), 2);
+        for branch in &m.unions {
+            assert_eq!(branch.subqueries.len(), 1);
+            assert_eq!(branch.optional_subqueries.len(), 1);
+        }
+    }
+
+    #[test]
+    fn left_join_simple_becomes_optional_block() {
+        let g = graph();
+        let a = g.feature_domain_range("dbpp:starring", "movie", "actor");
+        let b = g.feature_domain_range("dbpp:academyAward", "actor", "award");
+        let j = a.join(&b, "actor", crate::api::JoinType::Left);
+        let m = build_query_model(&j).unwrap();
+        assert_eq!(m.optionals.len(), 1);
+        assert!(m.optional_subqueries.is_empty());
+    }
+
+    #[test]
+    fn join_on_renames_both_sides() {
+        let g = graph();
+        let a = g.feature_domain_range("dbpp:starring", "movie", "actor");
+        let b = g.feature_domain_range("dbpp:birthPlace", "person", "place");
+        let j = a.join_on(&b, "actor", "person", Some("star"), crate::api::JoinType::Inner);
+        let m = build_query_model(&j).unwrap();
+        let rendered = super::super::render::render(&m);
+        assert!(rendered.contains("?star"), "{rendered}");
+        assert!(!rendered.contains("?person"), "{rendered}");
+        assert!(!rendered.contains("?actor"), "{rendered}");
+    }
+
+    #[test]
+    fn cross_graph_join_collects_graphs() {
+        let dbp = graph();
+        let yago = KnowledgeGraph::new("http://yago-knowledge.org")
+            .with_prefix("y", "http://yago-knowledge.org/resource/");
+        let a = dbp.feature_domain_range("dbpp:starring", "movie", "actor");
+        let b = yago.seed("?actor", "rdf:type", "y:Actor");
+        let j = a.join(&b, "actor", crate::api::JoinType::Inner);
+        let m = build_query_model(&j).unwrap();
+        assert_eq!(m.graphs.len(), 2);
+        // Each triple remembers its origin graph.
+        assert!(m
+            .triples
+            .iter()
+            .any(|t| t.graph == "http://yago-knowledge.org"));
+    }
+
+    #[test]
+    fn head_then_expand_wraps() {
+        let f = graph()
+            .feature_domain_range("dbpp:starring", "movie", "actor")
+            .head(100)
+            .expand("actor", "dbpp:birthPlace", "c");
+        let m = build_query_model(&f).unwrap();
+        assert_eq!(m.subqueries.len(), 1);
+        assert_eq!(m.subqueries[0].limit, Some(100));
+        assert!(m.limit.is_none());
+    }
+}

@@ -1,0 +1,381 @@
+//! The query model: RDFFrames' intermediate representation for SPARQL
+//! queries (paper Figure 2 and Section 4.1).
+//!
+//! A [`QueryModel`] captures every component of a SPARQL SELECT query —
+//! graph patterns (triples, filters, optional blocks, union branches,
+//! subquery references), aggregation constructs (group-by keys, aggregate
+//! columns, HAVING), and query modifiers (order, limit, offset) — and can be
+//! nested for the cases where SPARQL requires a subquery.
+
+pub mod generator;
+pub mod naive;
+pub mod render;
+
+use std::collections::BTreeMap;
+
+use crate::api::conditions::Condition;
+use crate::api::operators::{AggFunc, Node, SortOrder};
+
+/// A triple pattern in the model. `graph` carries the source graph URI so
+/// cross-graph queries can wrap it in a `GRAPH` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePat {
+    /// Subject.
+    pub subject: Node,
+    /// Predicate.
+    pub predicate: Node,
+    /// Object.
+    pub object: Node,
+    /// Graph this pattern matches against.
+    pub graph: String,
+}
+
+/// A filter: structured (column + conditions) or raw SPARQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterSpec {
+    /// Conditions on one column, ANDed.
+    Col {
+        /// Column name.
+        column: String,
+        /// Conjunctive conditions.
+        conditions: Vec<Condition>,
+    },
+    /// Raw SPARQL boolean expression.
+    Raw(String),
+}
+
+/// An `OPTIONAL { ... }` block of simple patterns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptionalBlock {
+    /// Triple patterns inside the block.
+    pub triples: Vec<TriplePat>,
+    /// Filters inside the block.
+    pub filters: Vec<FilterSpec>,
+}
+
+/// One aggregate column of a grouped model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// `DISTINCT` inside the aggregate.
+    pub distinct: bool,
+    /// Source column.
+    pub src: String,
+    /// Output alias.
+    pub alias: String,
+}
+
+impl AggSpec {
+    /// Render the aggregate expression, e.g. `COUNT(DISTINCT ?movie)`.
+    pub fn render_expr(&self) -> String {
+        if self.distinct {
+            format!("{}(DISTINCT ?{})", self.func.keyword(), self.src)
+        } else {
+            format!("{}(?{})", self.func.keyword(), self.src)
+        }
+    }
+}
+
+/// The query model. All vectors are in generation order; rendering walks
+/// them in the order triples → subqueries → optional subqueries → optionals
+/// → unions → filters, which mirrors the paper's generated queries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryModel {
+    /// Prefix declarations (rendered only on the outermost query).
+    pub prefixes: BTreeMap<String, String>,
+    /// Graph URIs contributing patterns. Single graph → `FROM`; several →
+    /// per-pattern `GRAPH` wrapping.
+    pub graphs: Vec<String>,
+    /// Projected columns; empty means `SELECT *`.
+    pub select: Vec<String>,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Flat triple patterns.
+    pub triples: Vec<TriplePat>,
+    /// Group-level filters.
+    pub filters: Vec<FilterSpec>,
+    /// `OPTIONAL` blocks of plain patterns.
+    pub optionals: Vec<OptionalBlock>,
+    /// Nested subqueries (joined).
+    pub subqueries: Vec<QueryModel>,
+    /// Nested subqueries wrapped in `OPTIONAL`.
+    pub optional_subqueries: Vec<QueryModel>,
+    /// Union branches: non-empty means this model is a union of them (plus
+    /// any of its own patterns joined in).
+    pub unions: Vec<QueryModel>,
+    /// Grouping keys.
+    pub group_by: Vec<String>,
+    /// Aggregate columns (presence marks the model *grouped*).
+    pub aggregates: Vec<AggSpec>,
+    /// HAVING constraints: conditions whose column names an aggregate alias.
+    pub having: Vec<FilterSpec>,
+    /// ORDER BY keys.
+    pub order_by: Vec<(String, SortOrder)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+    /// OFFSET.
+    pub offset: Option<usize>,
+}
+
+impl QueryModel {
+    /// Fresh empty model for a graph.
+    pub fn for_graph(uri: &str) -> Self {
+        QueryModel {
+            graphs: vec![uri.to_string()],
+            ..Default::default()
+        }
+    }
+
+    /// Is this model grouped (has aggregation at its top level)?
+    pub fn is_grouped(&self) -> bool {
+        !self.aggregates.is_empty()
+    }
+
+    /// Does the model carry query modifiers that freeze it (further
+    /// operators must wrap it in a subquery)?
+    pub fn has_modifiers(&self) -> bool {
+        self.limit.is_some() || self.offset.is_some() || !self.order_by.is_empty()
+    }
+
+    /// Does the model have any graph pattern content at all?
+    pub fn has_patterns(&self) -> bool {
+        !self.triples.is_empty()
+            || !self.optionals.is_empty()
+            || !self.subqueries.is_empty()
+            || !self.optional_subqueries.is_empty()
+            || !self.unions.is_empty()
+    }
+
+    /// Is the model "simple" — only flat triples and filters — so it can be
+    /// merged into another model's pattern list (or an OPTIONAL block)
+    /// without a nested subquery?
+    pub fn is_simple(&self) -> bool {
+        self.subqueries.is_empty()
+            && self.optional_subqueries.is_empty()
+            && self.unions.is_empty()
+            && self.optionals.is_empty()
+            && !self.is_grouped()
+            && !self.distinct
+            && !self.has_modifiers()
+            && self.select.is_empty()
+    }
+
+    /// Wrap this model as the sole subquery of a fresh outer model,
+    /// preserving prefixes and graphs (the paper's nesting step).
+    pub fn wrapped(self) -> QueryModel {
+        QueryModel {
+            prefixes: self.prefixes.clone(),
+            graphs: self.graphs.clone(),
+            subqueries: vec![self],
+            ..Default::default()
+        }
+    }
+
+    /// The columns this model exposes: its explicit projection, or —
+    /// for `SELECT *` — every variable visible in its patterns (recursing
+    /// into subqueries, which expose only their own projections).
+    pub fn visible_columns(&self) -> Vec<String> {
+        if !self.select.is_empty() {
+            return self.select.clone();
+        }
+        if self.is_grouped() {
+            let mut names = self.group_by.clone();
+            names.extend(self.aggregates.iter().map(|a| a.alias.clone()));
+            return names;
+        }
+        let mut out: Vec<String> = Vec::new();
+        let mut push = |v: String| {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        };
+        let push_triple = |t: &TriplePat, push: &mut dyn FnMut(String)| {
+            for n in [&t.subject, &t.predicate, &t.object] {
+                if let Node::Var(v) = n {
+                    push(v.clone());
+                }
+            }
+        };
+        for t in &self.triples {
+            push_triple(t, &mut push);
+        }
+        for sub in &self.subqueries {
+            for v in sub.visible_columns() {
+                push(v);
+            }
+        }
+        for branch in &self.unions {
+            for v in branch.visible_columns() {
+                push(v);
+            }
+        }
+        for sub in &self.optional_subqueries {
+            for v in sub.visible_columns() {
+                push(v);
+            }
+        }
+        for ob in &self.optionals {
+            for t in &ob.triples {
+                push_triple(t, &mut push);
+            }
+        }
+        out
+    }
+
+    /// Rename a column everywhere in the model (used by join processing).
+    pub fn rename_var(&mut self, from: &str, to: &str) {
+        if from == to {
+            return;
+        }
+        let fix_node = |n: &mut Node| {
+            if let Node::Var(v) = n {
+                if v == from {
+                    *v = to.to_string();
+                }
+            }
+        };
+        let fix_name = |v: &mut String| {
+            if v == from {
+                *v = to.to_string();
+            }
+        };
+        let fix_filter = |f: &mut FilterSpec| {
+            if let FilterSpec::Col { column, .. } = f {
+                if column == from {
+                    *column = to.to_string();
+                }
+            }
+        };
+        for t in &mut self.triples {
+            fix_node(&mut t.subject);
+            fix_node(&mut t.predicate);
+            fix_node(&mut t.object);
+        }
+        for f in &mut self.filters {
+            fix_filter(f);
+        }
+        for ob in &mut self.optionals {
+            for t in &mut ob.triples {
+                fix_node(&mut t.subject);
+                fix_node(&mut t.predicate);
+                fix_node(&mut t.object);
+            }
+            for f in &mut ob.filters {
+                fix_filter(f);
+            }
+        }
+        for v in &mut self.select {
+            fix_name(v);
+        }
+        for v in &mut self.group_by {
+            fix_name(v);
+        }
+        for a in &mut self.aggregates {
+            fix_name(&mut a.src);
+            fix_name(&mut a.alias);
+        }
+        for h in &mut self.having {
+            fix_filter(h);
+        }
+        for (v, _) in &mut self.order_by {
+            fix_name(v);
+        }
+        for sub in &mut self.subqueries {
+            sub.rename_var(from, to);
+        }
+        for sub in &mut self.optional_subqueries {
+            sub.rename_var(from, to);
+        }
+        for sub in &mut self.unions {
+            sub.rename_var(from, to);
+        }
+    }
+
+    /// Merge prefix maps and graph lists from another model.
+    pub fn absorb_context(&mut self, other: &QueryModel) {
+        for (p, ns) in &other.prefixes {
+            self.prefixes.entry(p.clone()).or_insert_with(|| ns.clone());
+        }
+        for g in &other.graphs {
+            if !self.graphs.contains(g) {
+                self.graphs.push(g.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::conditions::Condition;
+
+    fn var(v: &str) -> Node {
+        Node::Var(v.to_string())
+    }
+
+    #[test]
+    fn rename_reaches_every_component() {
+        let mut m = QueryModel::for_graph("http://g");
+        m.triples.push(TriplePat {
+            subject: var("a"),
+            predicate: Node::Term("p:x".into()),
+            object: var("b"),
+            graph: "http://g".into(),
+        });
+        m.filters.push(FilterSpec::Col {
+            column: "a".into(),
+            conditions: vec![Condition::IsUri],
+        });
+        m.select = vec!["a".into(), "b".into()];
+        m.group_by = vec!["a".into()];
+        m.aggregates.push(AggSpec {
+            func: AggFunc::Count,
+            distinct: false,
+            src: "a".into(),
+            alias: "n".into(),
+        });
+        let mut sub = QueryModel::for_graph("http://g");
+        sub.triples.push(TriplePat {
+            subject: var("a"),
+            predicate: Node::Term("p:y".into()),
+            object: var("c"),
+            graph: "http://g".into(),
+        });
+        m.subqueries.push(sub);
+
+        m.rename_var("a", "actor");
+        assert_eq!(m.triples[0].subject, var("actor"));
+        assert!(matches!(&m.filters[0], FilterSpec::Col { column, .. } if column == "actor"));
+        assert_eq!(m.select, vec!["actor", "b"]);
+        assert_eq!(m.group_by, vec!["actor"]);
+        assert_eq!(m.aggregates[0].src, "actor");
+        assert_eq!(m.subqueries[0].triples[0].subject, var("actor"));
+    }
+
+    #[test]
+    fn wrapped_preserves_context() {
+        let mut m = QueryModel::for_graph("http://g");
+        m.prefixes.insert("p".into(), "http://p/".into());
+        m.aggregates.push(AggSpec {
+            func: AggFunc::Count,
+            distinct: false,
+            src: "x".into(),
+            alias: "n".into(),
+        });
+        let w = m.clone().wrapped();
+        assert_eq!(w.graphs, vec!["http://g"]);
+        assert_eq!(w.prefixes.get("p").map(String::as_str), Some("http://p/"));
+        assert!(!w.is_grouped());
+        assert!(w.subqueries[0].is_grouped());
+    }
+
+    #[test]
+    fn simplicity_checks() {
+        let mut m = QueryModel::for_graph("http://g");
+        assert!(m.is_simple());
+        m.limit = Some(5);
+        assert!(!m.is_simple());
+        assert!(m.has_modifiers());
+    }
+}

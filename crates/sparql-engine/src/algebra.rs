@@ -1,0 +1,463 @@
+//! Translation from the parsed AST to the SPARQL algebra.
+//!
+//! The algebra follows the SPARQL 1.1 spec structure (Section 18): group
+//! graph patterns become joins of BGPs / `LeftJoin`s / `Union`s, group-level
+//! `FILTER`s apply to the whole group, aggregation inserts a `Group` node
+//! whose aggregate expressions are pulled out of `SELECT` and `HAVING`, and
+//! solution modifiers wrap the plan in the spec-mandated order
+//! (Extend → OrderBy → Project → Distinct → Slice).
+
+use crate::ast::{
+    AggOp, Expr, GroupGraphPattern, OrderKey, PatternElem, Projection, SelectItem, SelectQuery,
+    TriplePattern,
+};
+use crate::error::{EngineError, Result};
+
+/// Which graph a BGP is matched against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphRef {
+    /// The query's default graph(s) (`FROM`, or the whole dataset).
+    Default,
+    /// An explicit `GRAPH <uri>` context.
+    Named(String),
+}
+
+/// One aggregate computed by a [`Plan::Group`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Aggregate operation.
+    pub op: AggOp,
+    /// `DISTINCT` modifier.
+    pub distinct: bool,
+    /// Aggregated expression (`None` = `COUNT(*)`).
+    pub expr: Option<Expr>,
+    /// Output column name.
+    pub output: String,
+}
+
+/// A logical query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// The unit table: one empty solution.
+    Unit,
+    /// A basic graph pattern evaluated against `graph`.
+    Bgp {
+        /// Triple patterns, in evaluation order (the optimizer may permute).
+        patterns: Vec<TriplePattern>,
+        /// Target graph.
+        graph: GraphRef,
+    },
+    /// Inner join.
+    Join(Box<Plan>, Box<Plan>),
+    /// Left outer join (`OPTIONAL`).
+    LeftJoin(Box<Plan>, Box<Plan>),
+    /// Bag union.
+    Union(Box<Plan>, Box<Plan>),
+    /// Filter by effective boolean value.
+    Filter(Expr, Box<Plan>),
+    /// Bind `var := expr`.
+    Extend(String, Expr, Box<Plan>),
+    /// Grouping and aggregation.
+    Group {
+        /// Grouping variables.
+        keys: Vec<String>,
+        /// Aggregates to compute per group.
+        aggs: Vec<AggSpec>,
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Projection to the named columns.
+    Project(Vec<String>, Box<Plan>),
+    /// Duplicate elimination (keeps first occurrence).
+    Distinct(Box<Plan>),
+    /// Sorting.
+    OrderBy(Vec<OrderKey>, Box<Plan>),
+    /// LIMIT / OFFSET.
+    Slice {
+        /// Max rows (`None` = unlimited).
+        limit: Option<usize>,
+        /// Rows to skip.
+        offset: usize,
+        /// Input plan.
+        input: Box<Plan>,
+    },
+}
+
+impl Plan {
+    fn join(self, other: Plan) -> Plan {
+        match (self, other) {
+            (Plan::Unit, p) | (p, Plan::Unit) => p,
+            (a, b) => Plan::Join(Box::new(a), Box::new(b)),
+        }
+    }
+}
+
+/// Translate a full SELECT query to a plan. `FROM` clauses are *not* encoded
+/// in the plan; the engine resolves [`GraphRef::Default`] using the
+/// query-level `FROM` list.
+pub fn translate_query(query: &SelectQuery) -> Result<Plan> {
+    let mut plan = translate_ggp(&query.pattern, &GraphRef::Default)?;
+
+    let mut extends: Vec<(String, Expr)> = Vec::new();
+    let mut having = query.having.clone();
+
+    if query.is_aggregated() {
+        let mut aggs: Vec<AggSpec> = Vec::new();
+        let mut counter = 0usize;
+        // Pull aggregates out of SELECT items.
+        if let Projection::Items(items) = &query.projection {
+            for item in items {
+                if let SelectItem::Expr { expr, alias } = item {
+                    if let Expr::Aggregate {
+                        op,
+                        distinct,
+                        expr: inner,
+                    } = expr
+                    {
+                        // Direct `(AGG(..) AS ?alias)`: name the aggregate
+                        // output after the alias, no Extend needed.
+                        aggs.push(AggSpec {
+                            op: *op,
+                            distinct: *distinct,
+                            expr: inner.as_deref().cloned(),
+                            output: alias.clone(),
+                        });
+                    } else {
+                        let rewritten = extract_aggregates(expr, &mut aggs, &mut counter);
+                        extends.push((alias.clone(), rewritten));
+                    }
+                }
+            }
+        }
+        // Pull aggregates out of HAVING.
+        having = having
+            .iter()
+            .map(|h| extract_aggregates(h, &mut aggs, &mut counter))
+            .collect();
+        plan = Plan::Group {
+            keys: query.group_by.clone(),
+            aggs,
+            input: Box::new(plan),
+        };
+    } else {
+        if !query.having.is_empty() {
+            return Err(EngineError::Semantic(
+                "HAVING requires GROUP BY or aggregates".into(),
+            ));
+        }
+        if let Projection::Items(items) = &query.projection {
+            for item in items {
+                if let SelectItem::Expr { expr, alias } = item {
+                    extends.push((alias.clone(), expr.clone()));
+                }
+            }
+        }
+    }
+
+    for h in having {
+        plan = Plan::Filter(h, Box::new(plan));
+    }
+    for (alias, expr) in extends {
+        plan = Plan::Extend(alias, expr, Box::new(plan));
+    }
+    if !query.order_by.is_empty() {
+        plan = Plan::OrderBy(query.order_by.clone(), Box::new(plan));
+    }
+    let projected = query.projected_vars();
+    plan = Plan::Project(projected, Box::new(plan));
+    if query.distinct {
+        plan = Plan::Distinct(Box::new(plan));
+    }
+    if query.limit.is_some() || query.offset.is_some() {
+        plan = Plan::Slice {
+            limit: query.limit,
+            offset: query.offset.unwrap_or(0),
+            input: Box::new(plan),
+        };
+    }
+    Ok(plan)
+}
+
+/// Replace every `Expr::Aggregate` inside `expr` with a fresh variable and
+/// record the corresponding [`AggSpec`]. Identical aggregates are shared.
+fn extract_aggregates(expr: &Expr, aggs: &mut Vec<AggSpec>, counter: &mut usize) -> Expr {
+    match expr {
+        Expr::Aggregate {
+            op,
+            distinct,
+            expr: inner,
+        } => {
+            let inner = inner.as_deref().cloned();
+            // Reuse an existing identical aggregate if present.
+            if let Some(existing) = aggs
+                .iter()
+                .find(|a| a.op == *op && a.distinct == *distinct && a.expr == inner)
+            {
+                return Expr::Var(existing.output.clone());
+            }
+            let name = format!("__agg{counter}");
+            *counter += 1;
+            aggs.push(AggSpec {
+                op: *op,
+                distinct: *distinct,
+                expr: inner,
+                output: name.clone(),
+            });
+            Expr::Var(name)
+        }
+        Expr::Var(_) | Expr::Const(_) => expr.clone(),
+        Expr::And(a, b) => Expr::And(
+            Box::new(extract_aggregates(a, aggs, counter)),
+            Box::new(extract_aggregates(b, aggs, counter)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(extract_aggregates(a, aggs, counter)),
+            Box::new(extract_aggregates(b, aggs, counter)),
+        ),
+        Expr::Not(a) => Expr::Not(Box::new(extract_aggregates(a, aggs, counter))),
+        Expr::Neg(a) => Expr::Neg(Box::new(extract_aggregates(a, aggs, counter))),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(extract_aggregates(a, aggs, counter)),
+            Box::new(extract_aggregates(b, aggs, counter)),
+        ),
+        Expr::Arith(op, a, b) => Expr::Arith(
+            *op,
+            Box::new(extract_aggregates(a, aggs, counter)),
+            Box::new(extract_aggregates(b, aggs, counter)),
+        ),
+        Expr::In {
+            expr: e,
+            list,
+            negated,
+        } => Expr::In {
+            expr: Box::new(extract_aggregates(e, aggs, counter)),
+            list: list
+                .iter()
+                .map(|i| extract_aggregates(i, aggs, counter))
+                .collect(),
+            negated: *negated,
+        },
+        Expr::Call(f, args) => Expr::Call(
+            f.clone(),
+            args.iter()
+                .map(|a| extract_aggregates(a, aggs, counter))
+                .collect(),
+        ),
+    }
+}
+
+/// Translate a group graph pattern under a graph context.
+pub fn translate_ggp(group: &GroupGraphPattern, graph: &GraphRef) -> Result<Plan> {
+    let mut plan = Plan::Unit;
+    let mut filters: Vec<Expr> = Vec::new();
+    let mut bgp: Vec<TriplePattern> = Vec::new();
+
+    fn flush(plan: Plan, bgp: &mut Vec<TriplePattern>, graph: &GraphRef) -> Plan {
+        if bgp.is_empty() {
+            return plan;
+        }
+        let patterns = std::mem::take(bgp);
+        plan.join(Plan::Bgp {
+            patterns,
+            graph: graph.clone(),
+        })
+    }
+
+    for elem in &group.elems {
+        match elem {
+            PatternElem::Triple(t) => bgp.push(t.clone()),
+            PatternElem::Filter(e) => filters.push(e.clone()),
+            PatternElem::Optional(inner) => {
+                plan = flush(plan, &mut bgp, graph);
+                let right = translate_ggp(inner, graph)?;
+                plan = Plan::LeftJoin(Box::new(plan), Box::new(right));
+            }
+            PatternElem::Union(branches) => {
+                plan = flush(plan, &mut bgp, graph);
+                let mut it = branches.iter();
+                let first = it
+                    .next()
+                    .ok_or_else(|| EngineError::Semantic("empty UNION".into()))?;
+                let mut u = translate_ggp(first, graph)?;
+                for branch in it {
+                    let b = translate_ggp(branch, graph)?;
+                    u = Plan::Union(Box::new(u), Box::new(b));
+                }
+                plan = plan.join(u);
+            }
+            PatternElem::Group(inner) => {
+                plan = flush(plan, &mut bgp, graph);
+                plan = plan.join(translate_ggp(inner, graph)?);
+            }
+            PatternElem::SubSelect(q) => {
+                plan = flush(plan, &mut bgp, graph);
+                // Subqueries inherit the enclosing graph context: rebuild
+                // their pattern under `graph` when it is a named graph.
+                let sub = if *graph == GraphRef::Default {
+                    translate_query(q)?
+                } else {
+                    translate_subquery_in_graph(q, graph)?
+                };
+                plan = plan.join(sub);
+            }
+            PatternElem::Graph(uri, inner) => {
+                plan = flush(plan, &mut bgp, graph);
+                let g = GraphRef::Named(uri.clone());
+                plan = plan.join(translate_ggp(inner, &g)?);
+            }
+            PatternElem::Bind(e, v) => {
+                plan = flush(plan, &mut bgp, graph);
+                plan = Plan::Extend(v.clone(), e.clone(), Box::new(plan));
+            }
+        }
+    }
+    plan = flush(plan, &mut bgp, graph);
+    for f in filters {
+        plan = Plan::Filter(f, Box::new(plan));
+    }
+    Ok(plan)
+}
+
+/// Translate a subquery whose BGPs should match a specific named graph.
+fn translate_subquery_in_graph(q: &SelectQuery, graph: &GraphRef) -> Result<Plan> {
+    let plan = translate_query(q)?;
+    Ok(rebind_graph(plan, graph))
+}
+
+fn rebind_graph(plan: Plan, graph: &GraphRef) -> Plan {
+    match plan {
+        Plan::Bgp {
+            patterns,
+            graph: GraphRef::Default,
+        } => Plan::Bgp {
+            patterns,
+            graph: graph.clone(),
+        },
+        Plan::Bgp { patterns, graph } => Plan::Bgp { patterns, graph },
+        Plan::Unit => Plan::Unit,
+        Plan::Join(a, b) => Plan::Join(
+            Box::new(rebind_graph(*a, graph)),
+            Box::new(rebind_graph(*b, graph)),
+        ),
+        Plan::LeftJoin(a, b) => Plan::LeftJoin(
+            Box::new(rebind_graph(*a, graph)),
+            Box::new(rebind_graph(*b, graph)),
+        ),
+        Plan::Union(a, b) => Plan::Union(
+            Box::new(rebind_graph(*a, graph)),
+            Box::new(rebind_graph(*b, graph)),
+        ),
+        Plan::Filter(e, p) => Plan::Filter(e, Box::new(rebind_graph(*p, graph))),
+        Plan::Extend(v, e, p) => Plan::Extend(v, e, Box::new(rebind_graph(*p, graph))),
+        Plan::Group { keys, aggs, input } => Plan::Group {
+            keys,
+            aggs,
+            input: Box::new(rebind_graph(*input, graph)),
+        },
+        Plan::Project(vars, p) => Plan::Project(vars, Box::new(rebind_graph(*p, graph))),
+        Plan::Distinct(p) => Plan::Distinct(Box::new(rebind_graph(*p, graph))),
+        Plan::OrderBy(keys, p) => Plan::OrderBy(keys, Box::new(rebind_graph(*p, graph))),
+        Plan::Slice {
+            limit,
+            offset,
+            input,
+        } => Plan::Slice {
+            limit,
+            offset,
+            input: Box::new(rebind_graph(*input, graph)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::PatternTerm;
+    use rdf_model::Term;
+
+    fn tp(s: &str, p: &str, o: &str) -> TriplePattern {
+        let conv = |x: &str| {
+            if let Some(v) = x.strip_prefix('?') {
+                PatternTerm::Var(v.to_string())
+            } else {
+                PatternTerm::Const(Term::iri(x.to_string()))
+            }
+        };
+        TriplePattern::new(conv(s), conv(p), conv(o))
+    }
+
+    #[test]
+    fn adjacent_triples_merge_into_one_bgp() {
+        let g = GroupGraphPattern {
+            elems: vec![
+                PatternElem::Triple(tp("?a", "http://p", "?b")),
+                PatternElem::Triple(tp("?b", "http://q", "?c")),
+            ],
+        };
+        let plan = translate_ggp(&g, &GraphRef::Default).unwrap();
+        match plan {
+            Plan::Bgp { patterns, .. } => assert_eq!(patterns.len(), 2),
+            other => panic!("expected single BGP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optional_becomes_leftjoin() {
+        let g = GroupGraphPattern {
+            elems: vec![
+                PatternElem::Triple(tp("?a", "http://p", "?b")),
+                PatternElem::Optional(GroupGraphPattern {
+                    elems: vec![PatternElem::Triple(tp("?a", "http://q", "?c"))],
+                }),
+            ],
+        };
+        let plan = translate_ggp(&g, &GraphRef::Default).unwrap();
+        assert!(matches!(plan, Plan::LeftJoin(..)));
+    }
+
+    #[test]
+    fn filter_applies_to_whole_group() {
+        let g = GroupGraphPattern {
+            elems: vec![
+                PatternElem::Filter(Expr::Const(Term::integer(1))),
+                PatternElem::Triple(tp("?a", "http://p", "?b")),
+            ],
+        };
+        let plan = translate_ggp(&g, &GraphRef::Default).unwrap();
+        // Filter wraps the BGP even though it appears first in source order.
+        assert!(matches!(plan, Plan::Filter(_, inner) if matches!(*inner, Plan::Bgp { .. })));
+    }
+
+    #[test]
+    fn graph_context_propagates() {
+        let g = GroupGraphPattern {
+            elems: vec![PatternElem::Graph(
+                "http://yago".into(),
+                GroupGraphPattern {
+                    elems: vec![PatternElem::Triple(tp("?a", "http://p", "?b"))],
+                },
+            )],
+        };
+        let plan = translate_ggp(&g, &GraphRef::Default).unwrap();
+        match plan {
+            Plan::Bgp { graph, .. } => assert_eq!(graph, GraphRef::Named("http://yago".into())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_aggregates_are_deduplicated() {
+        let count_movie = Expr::Aggregate {
+            op: AggOp::Count,
+            distinct: true,
+            expr: Some(Box::new(Expr::Var("movie".into()))),
+        };
+        let mut aggs = Vec::new();
+        let mut counter = 0;
+        let a = extract_aggregates(&count_movie, &mut aggs, &mut counter);
+        let b = extract_aggregates(&count_movie, &mut aggs, &mut counter);
+        assert_eq!(a, b);
+        assert_eq!(aggs.len(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Public engine API.
+//!
+//! [`Engine`] holds a dataset and a configuration and turns SPARQL text into
+//! a [`SolutionTable`]: parse → algebra → (optional) optimize → evaluate.
+
+use std::sync::Arc;
+
+use rdf_model::Dataset;
+
+use crate::algebra::translate_query;
+use crate::error::Result;
+use crate::eval::Evaluator;
+use crate::optimizer::Optimizer;
+use crate::parser::parse_query;
+use crate::results::SolutionTable;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Enable statistics-driven BGP reordering. Disabling it models an
+    /// engine whose optimizer takes queries literally (useful for the
+    /// ablation experiments).
+    pub optimize: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { optimize: true }
+    }
+}
+
+/// Execution statistics for one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Index entries scanned during evaluation.
+    pub rows_scanned: u64,
+}
+
+/// A SPARQL engine over an in-memory dataset.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    dataset: Arc<Dataset>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Engine with the default configuration (optimizer on).
+    pub fn new(dataset: Arc<Dataset>) -> Self {
+        Engine {
+            dataset,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Engine with an explicit configuration.
+    pub fn with_config(dataset: Arc<Dataset>, config: EngineConfig) -> Self {
+        Engine { dataset, config }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// Parse, plan, and evaluate a SELECT query.
+    pub fn execute(&self, query: &str) -> Result<SolutionTable> {
+        self.execute_with_stats(query).map(|(t, _)| t)
+    }
+
+    /// Like [`Engine::execute`], also returning work statistics.
+    pub fn execute_with_stats(&self, query: &str) -> Result<(SolutionTable, ExecStats)> {
+        let parsed = parse_query(query)?;
+        let mut plan = translate_query(&parsed)?;
+        if self.config.optimize {
+            let mut optimizer = Optimizer::new(&self.dataset, &parsed.from);
+            optimizer.optimize(&mut plan);
+        }
+        let mut evaluator = Evaluator::new(&self.dataset, parsed.from.clone());
+        let table = evaluator.eval(&plan)?;
+        let stats = ExecStats {
+            rows_scanned: evaluator.rows_scanned(),
+        };
+        Ok((table, stats))
+    }
+}

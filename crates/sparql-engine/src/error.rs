@@ -1,0 +1,46 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors raised while parsing or evaluating a SPARQL query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Lexical / syntactic error in the query text.
+    Parse {
+        /// Byte offset where the error was detected.
+        position: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// Query is syntactically valid but violates SPARQL rules (e.g. bare
+    /// variable projected from an aggregated query).
+    Semantic(String),
+    /// A `FROM` / `GRAPH` clause referenced a graph not in the dataset.
+    UnknownGraph(String),
+    /// Propagated RDF model error (bad IRI, unknown prefix, ...).
+    Model(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            EngineError::Semantic(m) => write!(f, "semantic error: {m}"),
+            EngineError::UnknownGraph(g) => write!(f, "unknown graph: {g}"),
+            EngineError::Model(m) => write!(f, "model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<rdf_model::ModelError> for EngineError {
+    fn from(e: rdf_model::ModelError) -> Self {
+        EngineError::Model(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,37 @@
+//! An in-memory SPARQL 1.1 SELECT engine.
+//!
+//! This crate is the RDF-engine substrate for the RDFFrames reproduction: it
+//! plays the role Virtuoso plays in the paper. It implements the subset of
+//! SPARQL 1.1 that RDFFrames-generated queries (and the expert-written
+//! baselines) use:
+//!
+//! - Basic graph patterns, `OPTIONAL`, `UNION`, `FILTER`, `GRAPH`, nested
+//!   `SELECT` subqueries, `BIND`/expression projection.
+//! - `GROUP BY` / aggregates (`COUNT`/`SUM`/`AVG`/`MIN`/`MAX`/`SAMPLE`, with
+//!   `DISTINCT`) and `HAVING`.
+//! - Solution modifiers: `DISTINCT`, `ORDER BY`, `LIMIT`, `OFFSET`.
+//! - Expressions: comparisons with SPARQL value semantics, boolean algebra,
+//!   arithmetic, `REGEX`, `STR`, `LANG`, `DATATYPE`, `BOUND`, `isIRI`,
+//!   `isLiteral`, `isBlank`, `YEAR`, `IN`/`NOT IN`, and `xsd:dateTime` casts.
+//!
+//! Pipeline: [`parser`] produces an AST, [`algebra`] translates it to the
+//! SPARQL algebra, [`optimizer`] reorders basic graph patterns using graph
+//! statistics (this is what a "powerful-enough" engine optimizer does and is
+//! the mechanism behind the paper's naive-vs-optimized experiments), and
+//! [`eval`] evaluates with bag semantics.
+
+pub mod algebra;
+pub mod ast;
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod regex_lite;
+pub mod results;
+
+pub use engine::{Engine, EngineConfig};
+pub use error::{EngineError, Result};
+pub use results::SolutionTable;

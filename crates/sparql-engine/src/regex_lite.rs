@@ -1,0 +1,450 @@
+//! A small backtracking regular-expression matcher for SPARQL `REGEX`.
+//!
+//! Supports the constructs the paper's queries (and reasonable user filters)
+//! need: literal characters, `.`, the quantifiers `*` `+` `?`, anchors `^`
+//! and `$`, character classes `[abc]`, ranges `[a-z]`, negation `[^...]`,
+//! groups `(...)`, alternation `|`, and the `i` (case-insensitive) flag.
+//! Matching is *search* semantics (unanchored) like SPARQL's `REGEX`.
+//!
+//! This is deliberately a simple backtracking engine — patterns in knowledge
+//! graph filters are short, and building it ourselves keeps the engine free
+//! of external dependencies.
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    alternatives: Vec<Vec<Node>>,
+    case_insensitive: bool,
+    anchored_start: bool,
+    anchored_end: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Char(char),
+    Any,
+    Class { negated: bool, items: Vec<ClassItem> },
+    Group(Vec<Vec<Node>>),
+    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+}
+
+#[derive(Debug, Clone)]
+enum ClassItem {
+    Single(char),
+    Range(char, char),
+}
+
+/// Pattern compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl std::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+struct PatternParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> PatternParser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        PatternParser {
+            chars: pattern.chars().peekable(),
+        }
+    }
+
+    /// alternation := sequence ('|' sequence)*
+    fn parse_alternation(&mut self, depth: usize) -> Result<Vec<Vec<Node>>, RegexError> {
+        if depth > 32 {
+            return Err(RegexError("nesting too deep".into()));
+        }
+        let mut alts = vec![self.parse_sequence(depth)?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alts.push(self.parse_sequence(depth)?);
+        }
+        Ok(alts)
+    }
+
+    fn parse_sequence(&mut self, depth: usize) -> Result<Vec<Node>, RegexError> {
+        let mut seq = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom(depth)?;
+            let node = self.maybe_quantify(atom)?;
+            seq.push(node);
+        }
+        Ok(seq)
+    }
+
+    fn parse_atom(&mut self, depth: usize) -> Result<Node, RegexError> {
+        let c = self.chars.next().ok_or_else(|| RegexError("truncated".into()))?;
+        match c {
+            '.' => Ok(Node::Any),
+            '(' => {
+                let alts = self.parse_alternation(depth + 1)?;
+                match self.chars.next() {
+                    Some(')') => Ok(Node::Group(alts)),
+                    _ => Err(RegexError("missing ')'".into())),
+                }
+            }
+            '[' => self.parse_class(),
+            '\\' => {
+                let esc = self
+                    .chars
+                    .next()
+                    .ok_or_else(|| RegexError("trailing backslash".into()))?;
+                match esc {
+                    'd' => Ok(Node::Class {
+                        negated: false,
+                        items: vec![ClassItem::Range('0', '9')],
+                    }),
+                    'w' => Ok(Node::Class {
+                        negated: false,
+                        items: vec![
+                            ClassItem::Range('a', 'z'),
+                            ClassItem::Range('A', 'Z'),
+                            ClassItem::Range('0', '9'),
+                            ClassItem::Single('_'),
+                        ],
+                    }),
+                    's' => Ok(Node::Class {
+                        negated: false,
+                        items: vec![
+                            ClassItem::Single(' '),
+                            ClassItem::Single('\t'),
+                            ClassItem::Single('\n'),
+                            ClassItem::Single('\r'),
+                        ],
+                    }),
+                    other => Ok(Node::Char(other)),
+                }
+            }
+            '*' | '+' | '?' => Err(RegexError(format!("dangling quantifier '{c}'"))),
+            other => Ok(Node::Char(other)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, RegexError> {
+        let mut negated = false;
+        if self.chars.peek() == Some(&'^') {
+            negated = true;
+            self.chars.next();
+        }
+        let mut items = Vec::new();
+        loop {
+            let c = self
+                .chars
+                .next()
+                .ok_or_else(|| RegexError("unterminated class".into()))?;
+            if c == ']' {
+                if items.is_empty() {
+                    return Err(RegexError("empty class".into()));
+                }
+                return Ok(Node::Class { negated, items });
+            }
+            let c = if c == '\\' {
+                self.chars
+                    .next()
+                    .ok_or_else(|| RegexError("trailing backslash".into()))?
+            } else {
+                c
+            };
+            if self.chars.peek() == Some(&'-') {
+                // Peek past '-' to see if it's a range or literal '-]'.
+                let mut clone = self.chars.clone();
+                clone.next();
+                match clone.peek() {
+                    Some(&']') | None => {
+                        items.push(ClassItem::Single(c));
+                    }
+                    Some(&hi) => {
+                        self.chars.next();
+                        self.chars.next();
+                        items.push(ClassItem::Range(c, hi));
+                    }
+                }
+            } else {
+                items.push(ClassItem::Single(c));
+            }
+        }
+    }
+
+    fn maybe_quantify(&mut self, node: Node) -> Result<Node, RegexError> {
+        match self.chars.peek() {
+            Some('*') => {
+                self.chars.next();
+                Ok(Node::Repeat {
+                    node: Box::new(node),
+                    min: 0,
+                    max: None,
+                })
+            }
+            Some('+') => {
+                self.chars.next();
+                Ok(Node::Repeat {
+                    node: Box::new(node),
+                    min: 1,
+                    max: None,
+                })
+            }
+            Some('?') => {
+                self.chars.next();
+                Ok(Node::Repeat {
+                    node: Box::new(node),
+                    min: 0,
+                    max: Some(1),
+                })
+            }
+            _ => Ok(node),
+        }
+    }
+}
+
+impl Regex {
+    /// Compile a pattern. `flags` supports `i` (case-insensitive).
+    pub fn new(pattern: &str, flags: &str) -> Result<Self, RegexError> {
+        let case_insensitive = flags.contains('i');
+        let (pattern, anchored_start) = match pattern.strip_prefix('^') {
+            Some(rest) => (rest, true),
+            None => (pattern, false),
+        };
+        let (pattern, anchored_end) = match pattern.strip_suffix('$') {
+            // Don't treat an escaped `\$` as an anchor.
+            Some(rest) if !rest.ends_with('\\') => (rest, true),
+            _ => (pattern, false),
+        };
+        let mut parser = PatternParser::new(pattern);
+        let alternatives = parser.parse_alternation(0)?;
+        if parser.chars.next().is_some() {
+            return Err(RegexError("unbalanced ')'".into()));
+        }
+        Ok(Regex {
+            alternatives,
+            case_insensitive,
+            anchored_start,
+            anchored_end,
+        })
+    }
+
+    /// Search semantics: does the pattern match anywhere in `text`?
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = if self.case_insensitive {
+            text.chars().flat_map(|c| c.to_lowercase()).collect()
+        } else {
+            text.chars().collect()
+        };
+        let starts: Vec<usize> = if self.anchored_start {
+            vec![0]
+        } else {
+            (0..=chars.len()).collect()
+        };
+        for start in starts {
+            for alt in &self.alternatives {
+                if let Some(ends) = self.match_seq(alt, &chars, start) {
+                    if !self.anchored_end {
+                        if !ends.is_empty() {
+                            return true;
+                        }
+                    } else if ends.contains(&chars.len()) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Match a sequence of nodes starting at `pos`; returns all possible end
+    /// positions (None if none).
+    fn match_seq(&self, seq: &[Node], text: &[char], pos: usize) -> Option<Vec<usize>> {
+        let mut positions = vec![pos];
+        for node in seq {
+            let mut next = Vec::new();
+            for &p in &positions {
+                self.match_node(node, text, p, &mut next);
+            }
+            next.sort_unstable();
+            next.dedup();
+            if next.is_empty() {
+                return None;
+            }
+            positions = next;
+        }
+        Some(positions)
+    }
+
+    fn match_node(&self, node: &Node, text: &[char], pos: usize, out: &mut Vec<usize>) {
+        match node {
+            Node::Char(c) => {
+                let c = if self.case_insensitive {
+                    c.to_lowercase().next().unwrap_or(*c)
+                } else {
+                    *c
+                };
+                if text.get(pos) == Some(&c) {
+                    out.push(pos + 1);
+                }
+            }
+            Node::Any => {
+                if pos < text.len() {
+                    out.push(pos + 1);
+                }
+            }
+            Node::Class { negated, items } => {
+                if let Some(&c) = text.get(pos) {
+                    let mut hit = items.iter().any(|item| match item {
+                        ClassItem::Single(s) => c == *s,
+                        ClassItem::Range(lo, hi) => c >= *lo && c <= *hi,
+                    });
+                    if self.case_insensitive && !hit {
+                        // Retry against the uppercase form of class items.
+                        hit = items.iter().any(|item| match item {
+                            ClassItem::Single(s) => {
+                                s.to_lowercase().next() == Some(c)
+                            }
+                            ClassItem::Range(lo, hi) => {
+                                let lo = lo.to_ascii_lowercase();
+                                let hi = hi.to_ascii_lowercase();
+                                c >= lo && c <= hi
+                            }
+                        });
+                    }
+                    if hit != *negated {
+                        out.push(pos + 1);
+                    }
+                }
+            }
+            Node::Group(alts) => {
+                for alt in alts {
+                    if let Some(ends) = self.match_seq(alt, text, pos) {
+                        out.extend(ends);
+                    }
+                }
+            }
+            Node::Repeat { node, min, max } => {
+                // Breadth-first expansion of repetition counts.
+                let mut frontier = vec![pos];
+                let mut count = 0u32;
+                if *min == 0 {
+                    out.push(pos);
+                }
+                loop {
+                    if let Some(m) = max {
+                        if count >= *m {
+                            break;
+                        }
+                    }
+                    let mut next = Vec::new();
+                    for &p in &frontier {
+                        self.match_node(node, text, p, &mut next);
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    // Guard against zero-width loops.
+                    next.retain(|&p| !frontier.contains(&p) || p > pos);
+                    if next.is_empty() {
+                        break;
+                    }
+                    count += 1;
+                    if count >= *min {
+                        out.extend(next.iter().copied());
+                    }
+                    if next == frontier {
+                        break;
+                    }
+                    frontier = next;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat, "").unwrap().is_match(text)
+    }
+
+    #[test]
+    fn substring_search() {
+        assert!(m("USA", "Dallas, USA"));
+        assert!(!m("USA", "Canada"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^abc", "abcdef"));
+        assert!(!m("^bcd", "abcdef"));
+        assert!(m("def$", "abcdef"));
+        assert!(!m("abc$", "abcdef"));
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "abcd"));
+    }
+
+    #[test]
+    fn dot_and_quantifiers() {
+        assert!(m("a.c", "abc"));
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(m("a.*z", "a---z"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("[abc]+", "cab"));
+        assert!(m("[a-z]+[0-9]", "hello5"));
+        assert!(m("[^0-9]", "x"));
+        assert!(!m("^[^0-9]+$", "a1b"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", "hotdog"));
+        assert!(m("(ab)+", "ababab"));
+        assert!(m("a(b|c)d", "acd"));
+        assert!(!m("a(b|c)d", "aed"));
+    }
+
+    #[test]
+    fn case_insensitive_flag() {
+        let r = Regex::new("usa", "i").unwrap();
+        assert!(r.is_match("United States (USA)"));
+        let r2 = Regex::new("USA", "i").unwrap();
+        assert!(r2.is_match("usa today"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m(r"a\.b", "a.b"));
+        assert!(!m(r"a\.b", "axb"));
+        assert!(m(r"\d+", "version 42"));
+        assert!(m(r"\w+", "word"));
+    }
+
+    #[test]
+    fn invalid_patterns_error() {
+        assert!(Regex::new("*a", "").is_err());
+        assert!(Regex::new("(a", "").is_err());
+        assert!(Regex::new("[a", "").is_err());
+        assert!(Regex::new("a)", "").is_err());
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(m("", "anything"));
+        assert!(m("", ""));
+    }
+}

@@ -1,0 +1,126 @@
+//! Query result representation.
+
+use rdf_model::Term;
+
+/// A solution table: named columns over rows of optional terms (`None` =
+/// unbound). This is both the evaluator's internal representation and the
+/// engine's public result type.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SolutionTable {
+    /// Column (variable) names.
+    pub vars: Vec<String>,
+    /// Rows; each row is parallel to `vars`.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl SolutionTable {
+    /// Empty table with a schema.
+    pub fn with_vars(vars: Vec<String>) -> Self {
+        SolutionTable {
+            vars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The unit table: no columns, one empty row (join identity).
+    pub fn unit() -> Self {
+        SolutionTable {
+            vars: Vec::new(),
+            rows: vec![Vec::new()],
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+
+    /// Iterate the values of one column.
+    pub fn column(&self, name: &str) -> Option<impl Iterator<Item = Option<&Term>>> {
+        let idx = self.column_index(name)?;
+        Some(self.rows.iter().map(move |r| r[idx].as_ref()))
+    }
+
+    /// Render as a compact TSV-ish string (tests / debugging).
+    pub fn to_tsv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.vars.join("\t"));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| match c {
+                    Some(t) => t.to_string(),
+                    None => String::new(),
+                })
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("\t"));
+        }
+        out
+    }
+
+    /// Sort rows lexicographically (for order-insensitive comparisons in
+    /// tests and result checksums).
+    pub fn canonicalize(&mut self) {
+        let order = |a: &Vec<Option<Term>>, b: &Vec<Option<Term>>| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = match (x, y) {
+                    (None, None) => std::cmp::Ordering::Equal,
+                    (None, Some(_)) => std::cmp::Ordering::Less,
+                    (Some(_), None) => std::cmp::Ordering::Greater,
+                    (Some(x), Some(y)) => x.order_cmp(y),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        self.rows.sort_by(order);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_and_empty() {
+        let u = SolutionTable::unit();
+        assert_eq!(u.len(), 1);
+        assert!(u.vars.is_empty());
+        let e = SolutionTable::with_vars(vec!["x".into()]);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn column_access() {
+        let mut t = SolutionTable::with_vars(vec!["a".into(), "b".into()]);
+        t.rows.push(vec![Some(Term::integer(1)), None]);
+        t.rows.push(vec![Some(Term::integer(2)), Some(Term::string("x"))]);
+        let a: Vec<_> = t.column("a").unwrap().collect();
+        assert_eq!(a.len(), 2);
+        assert!(t.column("missing").is_none());
+    }
+
+    #[test]
+    fn canonicalize_sorts() {
+        let mut t = SolutionTable::with_vars(vec!["a".into()]);
+        t.rows.push(vec![Some(Term::integer(2))]);
+        t.rows.push(vec![None]);
+        t.rows.push(vec![Some(Term::integer(1))]);
+        t.canonicalize();
+        assert_eq!(t.rows[0], vec![None]);
+        assert_eq!(t.rows[1], vec![Some(Term::integer(1))]);
+    }
+}

@@ -1,0 +1,54 @@
+//! # RDFFrames (Rust)
+//!
+//! A reproduction of *"RDFFrames: Knowledge Graph Access for Machine
+//! Learning Tools"* (VLDB 2020) as a Rust workspace. This facade crate
+//! re-exports the public API of every workspace member so applications can
+//! depend on a single crate:
+//!
+//! - [`api`] — the RDFFrames user API (the paper's contribution):
+//!   [`api::KnowledgeGraph`], [`api::RDFFrame`], lazy operators, SPARQL
+//!   generation, execution.
+//! - [`engine`] — the in-memory SPARQL engine substrate (Virtuoso stand-in).
+//! - [`rdf`] — the RDF data model: terms, graphs, datasets, N-Triples.
+//! - [`df`] — the dataframe library (pandas stand-in).
+//! - [`datagen`] — synthetic DBpedia/DBLP/YAGO-like graph generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rdfframes::api::KnowledgeGraph;
+//! use rdfframes::datagen::{generate_dbpedia, DbpediaConfig};
+//! use rdfframes::rdf::Dataset;
+//! use rdfframes::InProcessEndpoint;
+//!
+//! // Stand up an engine over a synthetic DBpedia-like graph.
+//! let mut dataset = Dataset::new();
+//! dataset.insert_graph("http://dbpedia.org", generate_dbpedia(&DbpediaConfig::tiny()));
+//! let endpoint = InProcessEndpoint::new(Arc::new(dataset));
+//!
+//! // Describe the dataframe lazily, then execute.
+//! let graph = KnowledgeGraph::new("http://dbpedia.org")
+//!     .with_prefix("dbpp", "http://dbpedia.org/property/")
+//!     .with_prefix("dbpr", "http://dbpedia.org/resource/");
+//! let df = graph
+//!     .feature_domain_range("dbpp:starring", "movie", "actor")
+//!     .expand("actor", "dbpp:birthPlace", "country")
+//!     .filter("country", &["=dbpr:United_States"])
+//!     .execute(&endpoint)
+//!     .unwrap();
+//! assert_eq!(df.columns(), &["movie", "actor", "country"]);
+//! assert!(df.len() > 0);
+//! ```
+
+pub use dataframe as df;
+pub use rdfframes_core::reference;
+pub use kg_datagen as datagen;
+pub use rdf_model as rdf;
+pub use rdfframes_core::api;
+pub use sparql_engine as engine;
+
+pub use rdfframes_core::{
+    AggFunc, Direction, Endpoint, EndpointConfig, EndpointStats, Executor, FrameError,
+    InProcessEndpoint, JoinType, KnowledgeGraph, RDFFrame, SortOrder,
+};

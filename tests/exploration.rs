@@ -1,0 +1,149 @@
+//! End-to-end tests for the exploration operators (paper Section 3.2 and
+//! the keyword-search future work of Section 7).
+
+use std::sync::Arc;
+
+use rdfframes::datagen::{generate_dbpedia, DbpediaConfig};
+use rdfframes::df::Cell;
+use rdfframes::rdf::Dataset;
+use rdfframes::{InProcessEndpoint, KnowledgeGraph};
+
+fn setup() -> (InProcessEndpoint, KnowledgeGraph) {
+    let mut ds = Dataset::new();
+    ds.insert_graph(
+        "http://dbpedia.org",
+        generate_dbpedia(&DbpediaConfig::tiny()),
+    );
+    (
+        InProcessEndpoint::new(Arc::new(ds)),
+        KnowledgeGraph::new("http://dbpedia.org")
+            .with_prefix("dbpp", "http://dbpedia.org/property/")
+            .with_prefix("dbpr", "http://dbpedia.org/resource/"),
+    )
+}
+
+#[test]
+fn classes_and_frequencies_finds_every_class() {
+    let (endpoint, graph) = setup();
+    let df = graph.classes_and_frequencies().execute(&endpoint).unwrap();
+    let classes: Vec<String> = df
+        .column("class")
+        .unwrap()
+        .map(|c| c.to_string())
+        .collect();
+    for expected in [
+        "Actor",
+        "Film",
+        "BasketballPlayer",
+        "BasketballTeam",
+        "Athlete",
+        "Book",
+        "Writer",
+    ] {
+        assert!(
+            classes
+                .iter()
+                .any(|c| c.contains(expected)),
+            "missing class {expected}: {classes:?}"
+        );
+    }
+    // Sorted by descending frequency.
+    let freqs: Vec<i64> = df
+        .column("frequency")
+        .unwrap()
+        .map(|c| c.as_i64().unwrap())
+        .collect();
+    assert!(freqs.windows(2).all(|w| w[0] >= w[1]), "{freqs:?}");
+}
+
+#[test]
+fn predicates_and_frequencies_counts_triples() {
+    let (endpoint, graph) = setup();
+    let df = graph
+        .predicates_and_frequencies()
+        .execute(&endpoint)
+        .unwrap();
+    assert!(df.len() > 10, "expected many predicates, got {}", df.len());
+    let total: i64 = df
+        .column("frequency")
+        .unwrap()
+        .map(|c| c.as_i64().unwrap())
+        .sum();
+    // Sum of per-predicate counts = graph size.
+    let mut ds2 = Dataset::new();
+    ds2.insert_graph(
+        "http://dbpedia.org",
+        generate_dbpedia(&DbpediaConfig::tiny()),
+    );
+    assert_eq!(
+        total as usize,
+        ds2.graph("http://dbpedia.org").unwrap().len()
+    );
+}
+
+#[test]
+fn search_by_label_matches_keyword_case_insensitively() {
+    let (endpoint, graph) = setup();
+    // Movie titles are built from a fixed word list incl. "query".
+    let df = graph.search_by_label("QUERY").execute(&endpoint).unwrap();
+    assert!(!df.is_empty(), "no labels matched");
+    for row in df.rows() {
+        let label = row[df.column_index("label").unwrap()]
+            .as_str()
+            .unwrap()
+            .to_lowercase();
+        assert!(label.contains("query"), "{label}");
+    }
+}
+
+#[test]
+fn class_predicates_profiles_a_class() {
+    let (endpoint, graph) = setup();
+    let df = graph
+        .class_predicates("dbpr:BasketballPlayer")
+        .execute(&endpoint)
+        .unwrap();
+    let preds: Vec<String> = df
+        .column("predicate")
+        .unwrap()
+        .map(|c| c.to_string())
+        .collect();
+    for expected in ["team", "nationality", "birthPlace", "birthDate"] {
+        assert!(
+            preds.iter().any(|p| p.contains(expected)),
+            "missing predicate {expected}: {preds:?}"
+        );
+    }
+    // Every player has exactly one team ⇒ the team predicate's frequency
+    // equals the class size.
+    let team_freq = df
+        .rows()
+        .iter()
+        .find(|r| r[0].to_string().contains("property/team"))
+        .and_then(|r| r[1].as_i64())
+        .unwrap();
+    let players = graph
+        .entities("dbpr:BasketballPlayer", "player")
+        .execute(&endpoint)
+        .unwrap();
+    assert_eq!(team_freq as usize, players.len());
+}
+
+#[test]
+fn describe_summarizes_prepared_dataframe() {
+    let (endpoint, graph) = setup();
+    let df = graph
+        .feature_domain_range("dbpp:starring", "movie", "actor")
+        .expand_optional("movie", "<http://dbpedia.org/ontology/genre>", "genre")
+        .execute(&endpoint)
+        .unwrap();
+    let summary = rdfframes::df::describe(&df);
+    assert_eq!(summary.len(), 3);
+    let genre = summary.iter().find(|s| s.name == "genre").unwrap();
+    assert!(genre.nulls > 0, "genre should be sparse/optional");
+    assert!(genre.count > 0);
+    let movie = summary.iter().find(|s| s.name == "movie").unwrap();
+    assert_eq!(movie.nulls, 0);
+    // Everything in the movie column is a URI cell.
+    assert!(matches!(movie.min, Some(Cell::Uri(_))));
+}
