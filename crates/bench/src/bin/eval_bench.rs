@@ -1,0 +1,176 @@
+//! Micro-benchmark for the id-native evaluator refactor.
+//!
+//! Runs a BGP-heavy query and a group-by-heavy query on the synthetic
+//! DBpedia-style dataset against both evaluators — the seed term-
+//! materialized reference ([`sparql_engine::eval_reference`]) and the
+//! id-native pipeline ([`sparql_engine::eval`]) — reporting median
+//! wall-clock time *and* the deterministic `rows_scanned` work metric, and writes the
+//! results to `BENCH_eval.json` so the perf trajectory is tracked in-repo.
+//!
+//! Usage: `cargo run --release -p bench --bin eval_bench [scale]`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::data;
+use rdf_model::Dataset;
+use sparql_engine::{Engine, EngineConfig, EvalMode};
+
+const RUNS: usize = 9;
+
+struct QuerySpec {
+    id: &'static str,
+    kind: &'static str,
+    sparql: String,
+}
+
+fn queries() -> Vec<QuerySpec> {
+    let prefixes = "PREFIX dbpp: <http://dbpedia.org/property/>\n\
+                    PREFIX dbpo: <http://dbpedia.org/ontology/>\n\
+                    PREFIX dbpr: <http://dbpedia.org/resource/>\n";
+    vec![
+        QuerySpec {
+            id: "bgp_heavy",
+            kind: "4-pattern BGP join over movies/actors, US-born filter",
+            sparql: format!(
+                "{prefixes}SELECT ?movie ?actor ?country ?genre \
+                 FROM <http://dbpedia.org> WHERE {{ \
+                   ?movie dbpp:starring ?actor . \
+                   ?actor dbpp:birthPlace ?country . \
+                   ?movie dbpo:genre ?genre . \
+                   ?movie dbpo:director ?director \
+                   FILTER ( ?country = dbpr:United_States ) }}"
+            ),
+        },
+        QuerySpec {
+            id: "group_by_heavy",
+            kind: "scan + GROUP BY actor with two aggregates",
+            sparql: format!(
+                "{prefixes}SELECT ?actor (COUNT(DISTINCT ?movie) AS ?movies) \
+                 (COUNT(?genre) AS ?genres) \
+                 FROM <http://dbpedia.org> WHERE {{ \
+                   ?movie dbpp:starring ?actor . \
+                   ?movie dbpo:genre ?genre }} \
+                 GROUP BY ?actor"
+            ),
+        },
+    ]
+}
+
+struct Outcome {
+    /// Median of the timed runs (robust to scheduler noise).
+    median: Duration,
+    rows: usize,
+    rows_scanned: u64,
+}
+
+fn run(engine: &Engine, sparql: &str) -> Outcome {
+    // Warmup (also surfaces errors before timing).
+    let (warm, stats) = engine
+        .execute_with_stats(sparql)
+        .unwrap_or_else(|e| panic!("query failed: {e}\n{sparql}"));
+    let rows = warm.len();
+    let mut samples = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let (t, _) = engine.execute_with_stats(sparql).unwrap();
+        samples.push(start.elapsed());
+        assert_eq!(t.len(), rows, "non-deterministic result size");
+    }
+    samples.sort();
+    Outcome {
+        median: samples[samples.len() / 2],
+        rows,
+        rows_scanned: stats.rows_scanned,
+    }
+}
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000);
+    eprintln!("building dataset at scale {scale}...");
+    let dataset: Arc<Dataset> = data::build_dataset(scale);
+    eprintln!("dataset: {} triples across {} graphs", dataset.total_triples(), dataset.len());
+
+    let id_native = Engine::with_config(
+        Arc::clone(&dataset),
+        EngineConfig {
+            optimize: true,
+            eval_mode: EvalMode::IdNative,
+        },
+    );
+    let reference = Engine::with_config(
+        Arc::clone(&dataset),
+        EngineConfig {
+            optimize: true,
+            eval_mode: EvalMode::TermReference,
+        },
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"eval_bench\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"triples\": {},", dataset.total_triples());
+    let _ = writeln!(json, "  \"runs\": {RUNS},");
+    let _ = writeln!(json, "  \"queries\": [");
+
+    println!(
+        "\n{:<16} {:>16} {:>16} {:>9} {:>12} {:>10}",
+        "query", "reference (ms)", "id-native (ms)", "speedup", "rows_scanned", "rows"
+    );
+    let specs = queries();
+    for (i, spec) in specs.iter().enumerate() {
+        let ref_out = run(&reference, &spec.sparql);
+        let id_out = run(&id_native, &spec.sparql);
+        assert_eq!(
+            ref_out.rows, id_out.rows,
+            "{}: evaluators disagree on result size",
+            spec.id
+        );
+        assert_eq!(
+            ref_out.rows_scanned, id_out.rows_scanned,
+            "{}: evaluators disagree on work metric",
+            spec.id
+        );
+        let speedup = ref_out.median.as_secs_f64() / id_out.median.as_secs_f64().max(1e-12);
+        println!(
+            "{:<16} {:>16.3} {:>16.3} {:>8.2}x {:>12} {:>10}",
+            spec.id,
+            ref_out.median.as_secs_f64() * 1e3,
+            id_out.median.as_secs_f64() * 1e3,
+            speedup,
+            ref_out.rows_scanned,
+            ref_out.rows
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"id\": \"{}\",", spec.id);
+        let _ = writeln!(json, "      \"kind\": \"{}\",", spec.kind);
+        let _ = writeln!(
+            json,
+            "      \"reference_ms\": {:.3},",
+            ref_out.median.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            json,
+            "      \"id_native_ms\": {:.3},",
+            id_out.median.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(json, "      \"speedup\": {speedup:.3},");
+        let _ = writeln!(json, "      \"rows_scanned\": {},", ref_out.rows_scanned);
+        let _ = writeln!(json, "      \"rows\": {}", ref_out.rows);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < specs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
+    eprintln!("\nwrote BENCH_eval.json");
+}

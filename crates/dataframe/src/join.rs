@@ -23,6 +23,10 @@ pub enum JoinType {
 /// The output key column takes the *left* column's name; other columns keep
 /// their names, with a `_right` suffix appended on collision (pandas-style
 /// disambiguation). Null keys never match (SQL semantics).
+///
+/// The hash index is built on the *smaller* input and probed with the
+/// larger, so index construction cost tracks `min(|L|, |R|)`. Output row
+/// order follows the probe side; the joined bag is identical either way.
 pub fn join_frames(
     left: &DataFrame,
     right: &DataFrame,
@@ -56,15 +60,6 @@ pub fn join_frames(
     let left_width = left.columns().len();
     let mut out = DataFrame::new(columns);
 
-    // Index the right side.
-    let mut index: HashMap<&Cell, Vec<usize>> = HashMap::new();
-    for (i, row) in right.rows().iter().enumerate() {
-        if !row[ri].is_null() {
-            index.entry(&row[ri]).or_default().push(i);
-        }
-    }
-
-    let mut right_matched = vec![false; right.rows().len()];
     let emit = |l_row: Option<&Vec<Cell>>, r_row: Option<&Vec<Cell>>, key: Option<&Cell>| {
         let mut row = Vec::with_capacity(width);
         match l_row {
@@ -89,31 +84,72 @@ pub fn join_frames(
         row
     };
 
-    for l_row in left.rows() {
-        let key = &l_row[li];
-        let matches = if key.is_null() {
-            None
+    // Build on the smaller side, probe with the larger (ties keep the
+    // classic build-right orientation). Null keys are never indexed. One
+    // swap-aware loop serves both orientations: `emit` and the outer-join
+    // rules stay phrased in left/right terms, only build/probe flip.
+    let build_right = right.rows().len() <= left.rows().len();
+    let (build, build_key, probe, probe_key) = if build_right {
+        (right, ri, left, li)
+    } else {
+        (left, li, right, ri)
+    };
+    // A probe row with no match survives when its own side is preserved.
+    let keep_unmatched_probe = if build_right {
+        matches!(how, JoinType::Left | JoinType::Outer)
+    } else {
+        matches!(how, JoinType::Right | JoinType::Outer)
+    };
+    let keep_unmatched_build = if build_right {
+        matches!(how, JoinType::Right | JoinType::Outer)
+    } else {
+        matches!(how, JoinType::Left | JoinType::Outer)
+    };
+    // Orient a (probe, build) pair back to (left, right) for `emit`.
+    fn orient<'a>(
+        build_right: bool,
+        p_row: Option<&'a Vec<Cell>>,
+        b_row: Option<&'a Vec<Cell>>,
+    ) -> (Option<&'a Vec<Cell>>, Option<&'a Vec<Cell>>) {
+        if build_right {
+            (p_row, b_row)
         } else {
-            index.get(key)
-        };
+            (b_row, p_row)
+        }
+    }
+    let as_lr = |p_row, b_row| orient(build_right, p_row, b_row);
+
+    let mut index: HashMap<&Cell, Vec<usize>> = HashMap::new();
+    for (i, row) in build.rows().iter().enumerate() {
+        if !row[build_key].is_null() {
+            index.entry(&row[build_key]).or_default().push(i);
+        }
+    }
+    let mut build_matched = vec![false; build.rows().len()];
+    for p_row in probe.rows() {
+        let key = &p_row[probe_key];
+        let matches = if key.is_null() { None } else { index.get(key) };
         match matches {
             Some(indices) => {
                 for &i in indices {
-                    right_matched[i] = true;
-                    out.push_row(emit(Some(l_row), Some(&right.rows()[i]), Some(key)));
+                    build_matched[i] = true;
+                    let (l, r) = as_lr(Some(p_row), Some(&build.rows()[i]));
+                    out.push_row(emit(l, r, Some(key)));
                 }
             }
             None => {
-                if matches!(how, JoinType::Left | JoinType::Outer) {
-                    out.push_row(emit(Some(l_row), None, Some(key)));
+                if keep_unmatched_probe {
+                    let (l, r) = as_lr(Some(p_row), None);
+                    out.push_row(emit(l, r, Some(key)));
                 }
             }
         }
     }
-    if matches!(how, JoinType::Right | JoinType::Outer) {
-        for (i, r_row) in right.rows().iter().enumerate() {
-            if !right_matched[i] {
-                out.push_row(emit(None, Some(r_row), Some(&r_row[ri])));
+    if keep_unmatched_build {
+        for (i, b_row) in build.rows().iter().enumerate() {
+            if !build_matched[i] {
+                let (l, r) = as_lr(None, Some(b_row));
+                out.push_row(emit(l, r, Some(&b_row[build_key])));
             }
         }
     }
@@ -204,6 +240,38 @@ mod tests {
         r.push_row(vec![Cell::Int(1), Cell::str("r")]);
         let j = join_frames(&l, &r, "k", "k", JoinType::Inner);
         assert_eq!(j.columns(), &["k", "v", "v_right"]);
+    }
+
+    #[test]
+    fn smaller_left_side_becomes_build_side() {
+        // left (1 row) < right (3 rows): the index is built on the left and
+        // probed with the right; results must match the classic orientation.
+        let mut l = DataFrame::new(vec!["k".into(), "lv".into()]);
+        l.push_row(vec![Cell::Int(1), Cell::str("a")]);
+        let mut r = DataFrame::new(vec!["k".into(), "rv".into()]);
+        r.push_row(vec![Cell::Int(1), Cell::str("x")]);
+        r.push_row(vec![Cell::Int(1), Cell::str("y")]);
+        r.push_row(vec![Cell::Int(2), Cell::str("z")]);
+
+        let inner = join_frames(&l, &r, "k", "k", JoinType::Inner);
+        assert_eq!(inner.len(), 2);
+        assert_eq!(inner.columns(), &["k", "lv", "rv"]);
+
+        let left_join = join_frames(&l, &r, "k", "k", JoinType::Left);
+        assert_eq!(left_join.len(), 2); // every left row matched
+
+        let right_join = join_frames(&l, &r, "k", "k", JoinType::Right);
+        assert_eq!(right_join.len(), 3); // k=2 survives with null left cols
+        let unmatched = right_join
+            .rows()
+            .iter()
+            .find(|row| row[0] == Cell::Int(2))
+            .expect("k=2 present");
+        assert_eq!(unmatched[1], Cell::Null);
+        assert_eq!(unmatched[2], Cell::str("z"));
+
+        let outer = join_frames(&l, &r, "k", "k", JoinType::Outer);
+        assert_eq!(outer.len(), 3);
     }
 
     #[test]

@@ -268,11 +268,13 @@ pub fn generate_dbpedia(config: &DbpediaConfig) -> Graph {
             &prop("name"),
             Term::string(format!("Team {t}")),
         );
-        if ctx.rng.gen_bool(0.7) {
+        // Team 0 always carries both sparse attributes so queries joining on
+        // sponsor ∧ president have a witness at every scale and seed.
+        if t == 0 || ctx.rng.gen_bool(0.7) {
             let s = ctx.rng.gen_range(0..n_studios.max(3));
             ctx.add(team.clone(), &prop("sponsor"), ctx.res(&format!("Sponsor_{s}")));
         }
-        if ctx.rng.gen_bool(0.6) {
+        if t == 0 || ctx.rng.gen_bool(0.6) {
             let p = names::person_name(&mut ctx.rng);
             ctx.add(team.clone(), &prop("president"), Term::string(p));
         }
@@ -308,7 +310,10 @@ pub fn generate_dbpedia(config: &DbpediaConfig) -> Graph {
     for a in 0..n_authors {
         let author = ctx.res(&format!("Author_{a}"));
         ctx.add(author.clone(), &type_p, ctx.res("Writer"));
-        let place = if ctx.rng.gen_bool(config.american_fraction) {
+        // Author 0 is the Zipf head (most books) and always American, so
+        // "prolific American author" queries have a witness at every scale
+        // and seed.
+        let place = if a == 0 || ctx.rng.gen_bool(config.american_fraction) {
             usa.clone()
         } else {
             countries[ctx.rng.gen_range(1..countries.len())].clone()

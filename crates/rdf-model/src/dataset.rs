@@ -1,18 +1,80 @@
-//! Named-graph dataset.
+//! Named-graph dataset with a dataset-wide term id space.
 //!
 //! The paper's queries address graphs by URI (`FROM <http://dbpedia.org>`,
 //! cross-graph joins between DBpedia and YAGO). A [`Dataset`] maps graph URIs
 //! to independent [`Graph`] stores.
+//!
+//! Each [`Graph`] interns terms into its own dense local id space. So that a
+//! query evaluator can keep *every* intermediate binding as a `u32` — even
+//! across graphs — the dataset additionally maintains a **shared interner**:
+//! when a graph is inserted, all of its terms are interned into the dataset
+//! interner and a bidirectional local↔global id translation ([`GraphIdMap`])
+//! is recorded. Global ids are therefore canonical across the whole dataset:
+//! two ids are equal iff the terms are equal, no matter which graphs they
+//! were scanned from, which lets joins, DISTINCT, and GROUP BY hash plain
+//! integers instead of strings.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use crate::graph::Graph;
+use crate::graph::{Graph, GraphStats};
+use crate::interner::{Interner, TermId};
+use crate::term::Term;
 
-/// A collection of named graphs.
+/// Bidirectional translation between one graph's local [`TermId`]s and the
+/// dataset-wide global id space.
+#[derive(Debug, Default, Clone)]
+pub struct GraphIdMap {
+    /// `to_global[local.index()]` is the global id of the local term.
+    to_global: Vec<TermId>,
+    /// Global id → local id, for binding query constants / bound variables
+    /// back into a graph's index space.
+    from_global: HashMap<TermId, TermId>,
+}
+
+impl GraphIdMap {
+    fn build(graph: &Graph, interner: &mut Interner) -> Self {
+        let graph_interner = graph.interner();
+        let mut to_global = Vec::with_capacity(graph_interner.len());
+        let mut from_global = HashMap::with_capacity(graph_interner.len());
+        for (local, term) in graph_interner.iter() {
+            let global = interner.intern(term.clone());
+            debug_assert_eq!(to_global.len(), local.index());
+            to_global.push(global);
+            from_global.insert(global, local);
+        }
+        GraphIdMap {
+            to_global,
+            from_global,
+        }
+    }
+
+    /// Translate a local id to its global id.
+    ///
+    /// # Panics
+    /// Panics if `local` did not come from the mapped graph.
+    #[inline]
+    pub fn to_global(&self, local: TermId) -> TermId {
+        self.to_global[local.index()]
+    }
+
+    /// Translate a global id to this graph's local id, `None` when the term
+    /// does not occur in the graph.
+    #[inline]
+    pub fn to_local(&self, global: TermId) -> Option<TermId> {
+        self.from_global.get(&global).copied()
+    }
+}
+
+/// A collection of named graphs sharing one global term id space.
 #[derive(Debug, Default, Clone)]
 pub struct Dataset {
     graphs: BTreeMap<String, Arc<Graph>>,
+    interner: Interner,
+    id_maps: BTreeMap<String, Arc<GraphIdMap>>,
+    /// Optimizer statistics, computed once per inserted graph (graphs are
+    /// immutable behind `Arc` once inside a dataset).
+    stats: BTreeMap<String, Arc<GraphStats>>,
 }
 
 impl Dataset {
@@ -23,17 +85,50 @@ impl Dataset {
 
     /// Insert (or replace) a named graph.
     pub fn insert_graph(&mut self, uri: impl Into<String>, graph: Graph) {
-        self.graphs.insert(uri.into(), Arc::new(graph));
+        self.insert_shared(uri, Arc::new(graph));
     }
 
     /// Insert a pre-shared graph handle.
     pub fn insert_shared(&mut self, uri: impl Into<String>, graph: Arc<Graph>) {
-        self.graphs.insert(uri.into(), graph);
+        let uri = uri.into();
+        let map = GraphIdMap::build(&graph, &mut self.interner);
+        self.id_maps.insert(uri.clone(), Arc::new(map));
+        self.stats.insert(uri.clone(), Arc::new(graph.stats()));
+        self.graphs.insert(uri, graph);
     }
 
     /// Fetch a graph by URI.
     pub fn graph(&self, uri: &str) -> Option<&Arc<Graph>> {
         self.graphs.get(uri)
+    }
+
+    /// The local↔global id translation for a graph.
+    pub fn id_map(&self, uri: &str) -> Option<&Arc<GraphIdMap>> {
+        self.id_maps.get(uri)
+    }
+
+    /// Cached optimizer statistics for a graph (computed at insert time).
+    pub fn graph_stats(&self, uri: &str) -> Option<&Arc<GraphStats>> {
+        self.stats.get(uri)
+    }
+
+    /// The dataset-wide interner (global id space).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Resolve a global id to its term.
+    ///
+    /// # Panics
+    /// Panics if the id is not a global id of this dataset.
+    #[inline]
+    pub fn resolve(&self, id: TermId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    /// Look up a term's global id without interning.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.interner.get(term)
     }
 
     /// All graph URIs, sorted.
@@ -88,5 +183,64 @@ mod tests {
         ds.insert_graph("http://a", Graph::new());
         let uris: Vec<_> = ds.graph_uris().collect();
         assert_eq!(uris, vec!["http://a", "http://b"]);
+    }
+
+    #[test]
+    fn shared_interner_unifies_ids_across_graphs() {
+        let shared = Term::iri("http://x/both");
+        let only_a = Term::iri("http://x/a");
+        let only_b = Term::iri("http://x/b");
+        let p = Term::iri("http://x/p");
+
+        let mut a = Graph::new();
+        a.insert(&Triple::new(only_a.clone(), p.clone(), shared.clone()));
+        let mut b = Graph::new();
+        b.insert(&Triple::new(shared.clone(), p.clone(), only_b.clone()));
+
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://ga", a);
+        ds.insert_graph("http://gb", b);
+
+        // The shared term has one global id reachable from both graphs.
+        let global = ds.lookup(&shared).expect("shared term interned");
+        let map_a = ds.id_map("http://ga").unwrap();
+        let map_b = ds.id_map("http://gb").unwrap();
+        let local_a = ds.graph("http://ga").unwrap().term_id(&shared).unwrap();
+        let local_b = ds.graph("http://gb").unwrap().term_id(&shared).unwrap();
+        assert_eq!(map_a.to_global(local_a), global);
+        assert_eq!(map_b.to_global(local_b), global);
+        assert_eq!(map_a.to_local(global), Some(local_a));
+        assert_eq!(map_b.to_local(global), Some(local_b));
+
+        // Terms absent from a graph translate to None.
+        let only_b_global = ds.lookup(&only_b).unwrap();
+        assert_eq!(map_a.to_local(only_b_global), None);
+        assert_eq!(ds.resolve(only_b_global), &only_b);
+    }
+
+    #[test]
+    fn replacing_a_graph_keeps_ids_stable() {
+        let mut g1 = Graph::new();
+        g1.insert(&Triple::new(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::integer(1),
+        ));
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://g", g1);
+        let old = ds.lookup(&Term::iri("http://x/s")).unwrap();
+
+        let mut g2 = Graph::new();
+        g2.insert(&Triple::new(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::integer(2),
+        ));
+        ds.insert_graph("http://g", g2);
+        // The global interner is append-only: ids survive replacement.
+        assert_eq!(ds.lookup(&Term::iri("http://x/s")), Some(old));
+        let map = ds.id_map("http://g").unwrap();
+        let local = ds.graph("http://g").unwrap().term_id(&Term::iri("http://x/s")).unwrap();
+        assert_eq!(map.to_global(local), old);
     }
 }

@@ -214,6 +214,72 @@ impl Graph {
         }
     }
 
+    /// Visit every match of a triple pattern without allocating an iterator
+    /// (the boxed [`Graph::match_pattern`] costs one heap allocation per
+    /// call, which adds up in index-nested-loop evaluation where a pattern
+    /// is matched once per intermediate row). Returns the number of index
+    /// entries visited.
+    pub fn for_each_match<F: FnMut(TermId, TermId, TermId)>(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        mut f: F,
+    ) -> u64 {
+        let mut n = 0;
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    n += 1;
+                    f(s, p, o);
+                }
+            }
+            (Some(s), Some(p), None) => {
+                for &(s, p, o) in self.spo.range((s, p, MIN)..=(s, p, MAX)) {
+                    n += 1;
+                    f(s, p, o);
+                }
+            }
+            (Some(s), None, None) => {
+                for &(s, p, o) in self.spo.range((s, MIN, MIN)..=(s, MAX, MAX)) {
+                    n += 1;
+                    f(s, p, o);
+                }
+            }
+            (Some(s), None, Some(o)) => {
+                for &(o, s, p) in self.osp.range((o, s, MIN)..=(o, s, MAX)) {
+                    n += 1;
+                    f(s, p, o);
+                }
+            }
+            (None, Some(p), Some(o)) => {
+                for &(p, o, s) in self.pos.range((p, o, MIN)..=(p, o, MAX)) {
+                    n += 1;
+                    f(s, p, o);
+                }
+            }
+            (None, Some(p), None) => {
+                for &(p, o, s) in self.pos.range((p, MIN, MIN)..=(p, MAX, MAX)) {
+                    n += 1;
+                    f(s, p, o);
+                }
+            }
+            (None, None, Some(o)) => {
+                for &(o, s, p) in self.osp.range((o, MIN, MIN)..=(o, MAX, MAX)) {
+                    n += 1;
+                    f(s, p, o);
+                }
+            }
+            (None, None, None) => {
+                for &(s, p, o) in self.spo.iter() {
+                    n += 1;
+                    f(s, p, o);
+                }
+            }
+        }
+        n
+    }
+
     /// Exact (not estimated) number of matches for a pattern.
     pub fn count_pattern(
         &self,
@@ -310,6 +376,27 @@ mod tests {
         assert_eq!(g.count_pattern(None, Some(p1), None), 3);
         assert_eq!(g.count_pattern(None, None, Some(o1)), 2);
         assert_eq!(g.count_pattern(None, None, None), 4);
+    }
+
+    #[test]
+    fn for_each_match_agrees_with_match_pattern() {
+        let g = sample();
+        let s1 = g.term_id(&Term::iri("http://x/s1"));
+        let p1 = g.term_id(&Term::iri("http://x/p1"));
+        let o1 = g.term_id(&Term::iri("http://x/o1"));
+        for s in [None, s1] {
+            for p in [None, p1] {
+                for o in [None, o1] {
+                    let via_iter: Vec<_> = g.match_pattern(s, p, o).collect();
+                    let mut via_visit = Vec::new();
+                    let n = g.for_each_match(s, p, o, |ms, mp, mo| {
+                        via_visit.push((ms, mp, mo));
+                    });
+                    assert_eq!(via_iter, via_visit);
+                    assert_eq!(n as usize, via_visit.len());
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,8 +4,14 @@
 //! triple-pattern matching, joins and grouping hash integers instead of
 //! strings. The interner is append-only; ids are stable for the lifetime of
 //! the store.
+//!
+//! Each distinct term is stored exactly once behind an `Arc<Term>` shared by
+//! the id→term table and the term→id map, and [`Interner::intern`] performs
+//! a single hash lookup on the hit path (the overwhelmingly common case when
+//! loading triples) with no clone of the probed term.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::term::Term;
 
@@ -24,8 +30,8 @@ impl TermId {
 /// Append-only bidirectional map between [`Term`]s and [`TermId`]s.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
-    terms: Vec<Term>,
-    ids: HashMap<Term, TermId>,
+    terms: Vec<Arc<Term>>,
+    ids: HashMap<Arc<Term>, TermId>,
 }
 
 impl Interner {
@@ -35,6 +41,10 @@ impl Interner {
     }
 
     /// Intern a term, returning its id (existing or fresh).
+    ///
+    /// Hit path: one hash lookup, no allocation. Miss path: the term is
+    /// wrapped in an `Arc` shared by both directions of the map, so each
+    /// distinct term is stored once.
     pub fn intern(&mut self, term: Term) -> TermId {
         if let Some(&id) = self.ids.get(&term) {
             return id;
@@ -42,8 +52,9 @@ impl Interner {
         let id = TermId(
             u32::try_from(self.terms.len()).expect("interner overflow: more than 2^32 terms"),
         );
-        self.terms.push(term.clone());
-        self.ids.insert(term, id);
+        let shared = Arc::new(term);
+        self.terms.push(Arc::clone(&shared));
+        self.ids.insert(shared, id);
         id
     }
 
@@ -76,7 +87,7 @@ impl Interner {
         self.terms
             .iter()
             .enumerate()
-            .map(|(i, t)| (TermId(i as u32), t))
+            .map(|(i, t)| (TermId(i as u32), t.as_ref()))
     }
 }
 
@@ -112,5 +123,14 @@ mod tests {
         let plain = i.intern(Term::string("x"));
         let tagged = i.intern(Term::Literal(Literal::lang_string("x", "en")));
         assert_ne!(plain, tagged);
+    }
+
+    #[test]
+    fn terms_are_stored_once() {
+        let mut i = Interner::new();
+        let id = i.intern(Term::string("shared"));
+        // The Vec entry and the map key point at the same allocation: the
+        // term is reachable from two places but owned once.
+        assert_eq!(Arc::strong_count(&i.terms[id.index()]), 2);
     }
 }

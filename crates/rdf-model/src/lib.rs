@@ -8,7 +8,9 @@
 //! - [`graph`]: an indexed triple store with SPO/POS/OSP orderings supporting
 //!   all eight triple-pattern access paths.
 //! - [`dataset`]: named-graph container (the paper queries DBpedia, DBLP and
-//!   YAGO graphs identified by graph URIs).
+//!   YAGO graphs identified by graph URIs) maintaining a dataset-wide shared
+//!   interner with per-graph local↔global id translation, so cross-graph
+//!   query evaluation can join on integer ids.
 //! - [`ntriples`]: N-Triples parser and serializer (stands in for rdflib in
 //!   the "rdflib + pandas" baseline).
 //! - [`prefix`]: prefix map / CURIE expansion used by the RDFFrames API.
@@ -23,7 +25,7 @@ pub mod prefix;
 pub mod term;
 pub mod vocab;
 
-pub use dataset::Dataset;
+pub use dataset::{Dataset, GraphIdMap};
 pub use error::{ModelError, Result};
 pub use graph::{Graph, GraphStats};
 pub use interner::{Interner, TermId};

@@ -112,6 +112,7 @@ impl InProcessEndpoint {
             dataset,
             EngineConfig {
                 optimize: config.optimize,
+                ..EngineConfig::new()
             },
         );
         InProcessEndpoint {
@@ -138,14 +139,13 @@ impl Endpoint for InProcessEndpoint {
             std::thread::sleep(self.config.request_overhead);
         }
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let mut table = self
-            .engine
-            .execute(sparql)
-            .map_err(|e| FrameError::Endpoint(e.to_string()))?;
         let limit = limit.min(self.config.max_rows_per_request);
-        let start = offset.min(table.rows.len());
-        let end = (start + limit).min(table.rows.len());
-        table.rows = table.rows.drain(start..end).collect();
+        // Page inside the engine: on the id-native path only the shipped
+        // rows are materialized to terms.
+        let (mut table, _stats) = self
+            .engine
+            .execute_page(sparql, offset, limit)
+            .map_err(|e| FrameError::Endpoint(e.to_string()))?;
         self.stats
             .rows_returned
             .fetch_add(table.rows.len() as u64, Ordering::Relaxed);

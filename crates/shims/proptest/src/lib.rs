@@ -1,0 +1,129 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal property-testing harness that is source-compatible with the
+//! subset of `proptest 1.x` the test suites use:
+//!
+//! - [`strategy::Strategy`] with `prop_map`, integer-range and tuple
+//!   strategies, [`strategy::Just`], [`strategy::any`], and regex-subset
+//!   string strategies (`"[a-z]{1,8}"`-style patterns).
+//! - [`collection::vec`] with exact or ranged sizes.
+//! - The [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], and [`prop_assert_ne!`] macros.
+//!
+//! Differences from upstream: inputs are generated from a deterministic
+//! per-test seed (derived from the test name), there is **no shrinking**,
+//! and failure reports print the raw case values via the assertion message.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_cases {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__e) = __outcome {
+                    ::std::panic!(
+                        "proptest: case {}/{} of `{}` failed:\n{}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_cases!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert failed: {}: {}", stringify!($cond), ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__va, __vb) = (&$a, &$b);
+        if !(__va == __vb) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq failed:\n  left: {:?}\n right: {:?}", __va, __vb
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__va, __vb) = (&$a, &$b);
+        if !(__va == __vb) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq failed:\n  left: {:?}\n right: {:?}\n  note: {}",
+                __va, __vb, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__va, __vb) = (&$a, &$b);
+        if __va == __vb {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_ne failed: both sides = {:?}", __va
+            ));
+        }
+    }};
+}

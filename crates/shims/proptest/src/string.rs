@@ -1,0 +1,144 @@
+//! Generation from the small regex subset the workspace's strategies use:
+//! sequences of literal characters, `[...]` character classes (with `a-z`
+//! ranges), and `\PC` ("any non-control character"), each optionally
+//! followed by `{m}` or `{m,n}` repetition.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Class(Vec<char>),
+    Literal(char),
+}
+
+/// Non-control characters sampled for `\PC`: printable ASCII plus a few
+/// multibyte code points so escaping/round-trip paths see real Unicode.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..=0x7E).map(|b| b as char).collect();
+    pool.extend(['é', 'ß', 'Ω', 'λ', '中', '日', '♥', 'π']);
+    pool
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern}");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii() || lo > '\u{7f}'));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern}");
+                i += 1; // consume ']'
+                Atom::Class(set)
+            }
+            '\\' => {
+                // Only `\PC` (non-control) is supported.
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pattern}"
+                );
+                i += 3;
+                Atom::Class(printable_pool())
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m} / {m,n} quantifier.
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                None => {
+                    let m: usize = body.parse().unwrap();
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, lo, hi) in parse(pattern) {
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => {
+                    assert!(!set.is_empty(), "empty class in pattern {pattern}");
+                    out.push(set[rng.gen_range(0..set.len())]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_range_and_quantifier() {
+        let mut rng = TestRng::deterministic("class_range");
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_class() {
+        let mut rng = TestRng::deterministic("printable");
+        for _ in 0..100 {
+            let s = generate_from_pattern("\\PC{0,8}", &mut rng);
+            assert!(s.chars().count() <= 8);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_class() {
+        let mut rng = TestRng::deterministic("ascii");
+        for _ in 0..100 {
+            let s = generate_from_pattern("[ -~]{0,12}", &mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_quantifier_and_literal() {
+        let mut rng = TestRng::deterministic("exact");
+        let s = generate_from_pattern("[a-z]{2}", &mut rng);
+        assert_eq!(s.chars().count(), 2);
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+    }
+}

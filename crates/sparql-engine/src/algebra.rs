@@ -72,6 +72,18 @@ pub enum Plan {
     Distinct(Box<Plan>),
     /// Sorting.
     OrderBy(Vec<OrderKey>, Box<Plan>),
+    /// Bounded sorting: the first `k` rows of the ORDER BY order. Never
+    /// produced by translation; the optimizer fuses `Slice { limit }` over
+    /// `OrderBy` into this so the evaluator can select top-k instead of
+    /// fully sorting.
+    TopK {
+        /// Sort keys.
+        keys: Vec<OrderKey>,
+        /// Number of rows to keep (`limit + offset` of the enclosing slice).
+        k: usize,
+        /// Input plan.
+        input: Box<Plan>,
+    },
     /// LIMIT / OFFSET.
     Slice {
         /// Max rows (`None` = unlimited).
@@ -358,6 +370,11 @@ fn rebind_graph(plan: Plan, graph: &GraphRef) -> Plan {
         Plan::Project(vars, p) => Plan::Project(vars, Box::new(rebind_graph(*p, graph))),
         Plan::Distinct(p) => Plan::Distinct(Box::new(rebind_graph(*p, graph))),
         Plan::OrderBy(keys, p) => Plan::OrderBy(keys, Box::new(rebind_graph(*p, graph))),
+        Plan::TopK { keys, k, input } => Plan::TopK {
+            keys,
+            k,
+            input: Box::new(rebind_graph(*input, graph)),
+        },
         Plan::Slice {
             limit,
             offset,

@@ -2,6 +2,12 @@
 //!
 //! [`Engine`] holds a dataset and a configuration and turns SPARQL text into
 //! a [`SolutionTable`]: parse → algebra → (optional) optimize → evaluate.
+//!
+//! Evaluation is id-native by default: the whole pipeline runs on `u32`
+//! [`rdf_model::TermId`]s and terms are materialized once at the end (see
+//! [`crate::eval`]). The pre-refactor term-materialized evaluator is still
+//! available as [`EvalMode::TermReference`] for differential testing and
+//! baseline benchmarking ([`crate::eval_reference`]).
 
 use std::sync::Arc;
 
@@ -10,9 +16,22 @@ use rdf_model::Dataset;
 use crate::algebra::translate_query;
 use crate::error::Result;
 use crate::eval::Evaluator;
+use crate::eval_reference::ReferenceEvaluator;
 use crate::optimizer::Optimizer;
 use crate::parser::parse_query;
 use crate::results::SolutionTable;
+
+/// Which evaluator executes plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Id-native pipeline: rows are `Option<TermId>`, terms materialize only
+    /// at expression/sort/projection boundaries.
+    #[default]
+    IdNative,
+    /// The seed term-materialized evaluator, kept as a correctness oracle
+    /// and perf baseline.
+    TermReference,
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -21,11 +40,23 @@ pub struct EngineConfig {
     /// engine whose optimizer takes queries literally (useful for the
     /// ablation experiments).
     pub optimize: bool,
+    /// Evaluator selection (id-native unless testing against the reference).
+    pub eval_mode: EvalMode,
+}
+
+impl EngineConfig {
+    /// The default configuration: optimizer on, id-native evaluation.
+    pub fn new() -> Self {
+        EngineConfig {
+            optimize: true,
+            eval_mode: EvalMode::IdNative,
+        }
+    }
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { optimize: true }
+        EngineConfig::new()
     }
 }
 
@@ -44,11 +75,11 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Engine with the default configuration (optimizer on).
+    /// Engine with the default configuration (optimizer on, id-native).
     pub fn new(dataset: Arc<Dataset>) -> Self {
         Engine {
             dataset,
-            config: EngineConfig::default(),
+            config: EngineConfig::new(),
         }
     }
 
@@ -69,17 +100,57 @@ impl Engine {
 
     /// Like [`Engine::execute`], also returning work statistics.
     pub fn execute_with_stats(&self, query: &str) -> Result<(SolutionTable, ExecStats)> {
+        self.run(query, None)
+    }
+
+    /// Execute and return only rows `[offset, offset+limit)` of the result.
+    ///
+    /// On the id-native path the slice happens *before* term
+    /// materialization, so a paginating endpoint only pays for the rows it
+    /// actually ships.
+    pub fn execute_page(
+        &self,
+        query: &str,
+        offset: usize,
+        limit: usize,
+    ) -> Result<(SolutionTable, ExecStats)> {
+        self.run(query, Some((offset, limit)))
+    }
+
+    fn run(
+        &self,
+        query: &str,
+        page: Option<(usize, usize)>,
+    ) -> Result<(SolutionTable, ExecStats)> {
         let parsed = parse_query(query)?;
         let mut plan = translate_query(&parsed)?;
         if self.config.optimize {
             let mut optimizer = Optimizer::new(&self.dataset, &parsed.from);
             optimizer.optimize(&mut plan);
         }
-        let mut evaluator = Evaluator::new(&self.dataset, parsed.from.clone());
-        let table = evaluator.eval(&plan)?;
-        let stats = ExecStats {
-            rows_scanned: evaluator.rows_scanned(),
-        };
-        Ok((table, stats))
+        match self.config.eval_mode {
+            EvalMode::IdNative => {
+                let mut evaluator = Evaluator::new(&self.dataset, parsed.from.clone());
+                let table = match page {
+                    None => evaluator.eval(&plan)?,
+                    Some((offset, limit)) => evaluator.eval_page(&plan, offset, limit)?,
+                };
+                let stats = ExecStats {
+                    rows_scanned: evaluator.rows_scanned(),
+                };
+                Ok((table, stats))
+            }
+            EvalMode::TermReference => {
+                let mut evaluator = ReferenceEvaluator::new(&self.dataset, parsed.from.clone());
+                let mut table = evaluator.eval(&plan)?;
+                if let Some((offset, limit)) = page {
+                    crate::results::slice_rows(&mut table.rows, offset, Some(limit));
+                }
+                let stats = ExecStats {
+                    rows_scanned: evaluator.rows_scanned(),
+                };
+                Ok((table, stats))
+            }
+        }
     }
 }

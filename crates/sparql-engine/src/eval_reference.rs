@@ -1,0 +1,640 @@
+//! Term-materialized reference evaluation (the pre-id-native evaluator).
+//!
+//! This is the seed implementation of bag-semantics plan evaluation kept
+//! verbatim as a *differential-testing oracle* and benchmarking baseline for
+//! the id-native evaluator in [`crate::eval`]: every intermediate row holds
+//! owned [`Term`] values, and every BGP extension step resolves ids back to
+//! terms (and re-looks terms up per row). It implements the same SPARQL
+//! multiset semantics of the paper's Section 5.2: BGPs evaluate by
+//! index-nested-loop over the store's access paths (in the order chosen by
+//! the optimizer), joins are hash joins on the shared variables that are
+//! bound on both sides (with compatibility checks on the rest), `OPTIONAL`
+//! is a left outer join, `UNION` is bag union with schema alignment, and
+//! grouping hashes on key tuples.
+//!
+//! Select it with [`crate::engine::EvalMode::TermReference`].
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use rdf_model::{Dataset, Graph, Term, TermId};
+
+use crate::algebra::{AggSpec, GraphRef, Plan};
+use crate::ast::{OrderKey, PatternTerm, TriplePattern};
+use crate::error::{EngineError, Result};
+use crate::expr::{ebv, eval_expr, AggState, EvalCaches, RowCtx};
+use crate::results::SolutionTable;
+
+/// Term-materialized plan evaluator bound to a dataset.
+pub struct ReferenceEvaluator<'a> {
+    dataset: &'a Dataset,
+    default_graphs: Vec<String>,
+    caches: EvalCaches,
+    rows_scanned: u64,
+}
+
+impl<'a> ReferenceEvaluator<'a> {
+    /// Create an evaluator. `default_graphs` resolves [`GraphRef::Default`].
+    pub fn new(dataset: &'a Dataset, default_graphs: Vec<String>) -> Self {
+        ReferenceEvaluator {
+            dataset,
+            default_graphs,
+            caches: EvalCaches::new(),
+            rows_scanned: 0,
+        }
+    }
+
+    /// Total index entries scanned so far (a deterministic work metric used
+    /// by benchmarks alongside wall-clock time).
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned
+    }
+
+    /// Evaluate a plan to a solution table.
+    pub fn eval(&mut self, plan: &Plan) -> Result<SolutionTable> {
+        match plan {
+            Plan::Unit => Ok(SolutionTable::unit()),
+            Plan::Bgp { patterns, graph } => self.eval_bgp(patterns, graph),
+            Plan::Join(a, b) => {
+                let left = self.eval(a)?;
+                let right = self.eval(b)?;
+                Ok(join(left, right, JoinKind::Inner))
+            }
+            Plan::LeftJoin(a, b) => {
+                let left = self.eval(a)?;
+                let right = self.eval(b)?;
+                Ok(join(left, right, JoinKind::Left))
+            }
+            Plan::Union(a, b) => {
+                let left = self.eval(a)?;
+                let right = self.eval(b)?;
+                Ok(union(left, right))
+            }
+            Plan::Filter(expr, p) => {
+                let mut t = self.eval(p)?;
+                let vars = t.vars.clone();
+                let caches = &mut self.caches;
+                t.rows.retain(|row| {
+                    let ctx = RowCtx {
+                        vars: &vars,
+                        row,
+                    };
+                    eval_expr(expr, ctx, caches)
+                        .as_ref()
+                        .and_then(ebv)
+                        .unwrap_or(false)
+                });
+                Ok(t)
+            }
+            Plan::Extend(var, expr, p) => {
+                let mut t = self.eval(p)?;
+                let existing = t.column_index(var);
+                let vars_snapshot = t.vars.clone();
+                let mut new_column = Vec::with_capacity(t.rows.len());
+                for row in &t.rows {
+                    let ctx = RowCtx {
+                        vars: &vars_snapshot,
+                        row,
+                    };
+                    new_column.push(eval_expr(expr, ctx, &mut self.caches));
+                }
+                match existing {
+                    Some(idx) => {
+                        for (row, v) in t.rows.iter_mut().zip(new_column) {
+                            row[idx] = v;
+                        }
+                    }
+                    None => {
+                        t.vars.push(var.clone());
+                        for (row, v) in t.rows.iter_mut().zip(new_column) {
+                            row.push(v);
+                        }
+                    }
+                }
+                Ok(t)
+            }
+            Plan::Group { keys, aggs, input } => {
+                let t = self.eval(input)?;
+                self.eval_group(keys, aggs, t)
+            }
+            Plan::Project(vars, p) => {
+                let t = self.eval(p)?;
+                let indices: Vec<Option<usize>> =
+                    vars.iter().map(|v| t.column_index(v)).collect();
+                let mut out = SolutionTable::with_vars(vars.clone());
+                out.rows = t
+                    .rows
+                    .into_iter()
+                    .map(|row| {
+                        indices
+                            .iter()
+                            .map(|i| i.and_then(|i| row[i].clone()))
+                            .collect()
+                    })
+                    .collect();
+                Ok(out)
+            }
+            Plan::Distinct(p) => {
+                let mut t = self.eval(p)?;
+                let mut seen: HashSet<Vec<Option<Term>>> = HashSet::with_capacity(t.rows.len());
+                t.rows.retain(|row| seen.insert(row.clone()));
+                Ok(t)
+            }
+            Plan::OrderBy(keys, p) => {
+                let mut t = self.eval(p)?;
+                self.sort_rows(&mut t, keys);
+                Ok(t)
+            }
+            // The optimizer may fuse Slice∘OrderBy into TopK; the reference
+            // evaluator keeps the unfused semantics: full sort, then cut.
+            Plan::TopK { keys, k, input } => {
+                let mut t = self.eval(input)?;
+                self.sort_rows(&mut t, keys);
+                t.rows.truncate(*k);
+                Ok(t)
+            }
+            Plan::Slice {
+                limit,
+                offset,
+                input,
+            } => {
+                let mut t = self.eval(input)?;
+                let start = (*offset).min(t.rows.len());
+                let end = match limit {
+                    Some(l) => (start + l).min(t.rows.len()),
+                    None => t.rows.len(),
+                };
+                t.rows = t.rows.drain(start..end).collect();
+                Ok(t)
+            }
+        }
+    }
+
+    fn resolve_graphs(&self, graph: &GraphRef) -> Result<Vec<Arc<Graph>>> {
+        let uris: Vec<&str> = match graph {
+            GraphRef::Default => {
+                if self.default_graphs.is_empty() {
+                    // No FROM clause: the default graph is the union of all
+                    // graphs in the dataset.
+                    self.dataset.graph_uris().collect()
+                } else {
+                    self.default_graphs.iter().map(String::as_str).collect()
+                }
+            }
+            GraphRef::Named(uri) => vec![uri.as_str()],
+        };
+        let mut graphs = Vec::with_capacity(uris.len());
+        for uri in uris {
+            let g = self
+                .dataset
+                .graph(uri)
+                .ok_or_else(|| EngineError::UnknownGraph(uri.to_string()))?;
+            graphs.push(Arc::clone(g));
+        }
+        Ok(graphs)
+    }
+
+    /// Index-nested-loop evaluation of a BGP in pattern order.
+    fn eval_bgp(&mut self, patterns: &[TriplePattern], graph: &GraphRef) -> Result<SolutionTable> {
+        let graphs = self.resolve_graphs(graph)?;
+
+        // Variable schema in first-mention order.
+        let mut vars: Vec<String> = Vec::new();
+        for p in patterns {
+            for v in p.variables() {
+                if !vars.iter().any(|x| x == v) {
+                    vars.push(v.to_string());
+                }
+            }
+        }
+        let var_idx: HashMap<&str, usize> =
+            vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+
+        let mut rows: Vec<Vec<Option<Term>>> = vec![vec![None; vars.len()]];
+        for pattern in patterns {
+            if rows.is_empty() {
+                break;
+            }
+            let mut next: Vec<Vec<Option<Term>>> = Vec::new();
+            for row in &rows {
+                for g in &graphs {
+                    self.extend_row_with_pattern(g, pattern, row, &var_idx, &mut next);
+                }
+            }
+            rows = next;
+        }
+        Ok(SolutionTable { vars, rows })
+    }
+
+    fn extend_row_with_pattern(
+        &mut self,
+        graph: &Graph,
+        pattern: &TriplePattern,
+        row: &[Option<Term>],
+        var_idx: &HashMap<&str, usize>,
+        out: &mut Vec<Vec<Option<Term>>>,
+    ) {
+        // Resolve each position: bound (graph TermId) or free (column index).
+        enum Slot {
+            Bound(TermId),
+            Free(usize),
+            Absent,
+        }
+        let resolve = |t: &PatternTerm| -> Slot {
+            match t {
+                PatternTerm::Var(v) => {
+                    let idx = var_idx[v.as_str()];
+                    match &row[idx] {
+                        Some(term) => match graph.term_id(term) {
+                            Some(id) => Slot::Bound(id),
+                            None => Slot::Absent,
+                        },
+                        None => Slot::Free(idx),
+                    }
+                }
+                PatternTerm::Const(term) => match graph.term_id(term) {
+                    Some(id) => Slot::Bound(id),
+                    None => Slot::Absent,
+                },
+            }
+        };
+        let s = resolve(&pattern.subject);
+        let p = resolve(&pattern.predicate);
+        let o = resolve(&pattern.object);
+        if matches!(s, Slot::Absent) || matches!(p, Slot::Absent) || matches!(o, Slot::Absent) {
+            return;
+        }
+        let pick = |slot: &Slot| match slot {
+            Slot::Bound(id) => Some(*id),
+            _ => None,
+        };
+        let (sb, pb, ob) = (pick(&s), pick(&p), pick(&o));
+        let assign = |slot: &Slot, id: TermId, new_row: &mut Vec<Option<Term>>| {
+            if let Slot::Free(idx) = slot {
+                let term = graph.term(id).clone();
+                match &new_row[*idx] {
+                    // Same variable twice in one pattern (?x ?p ?x):
+                    // later occurrences must agree.
+                    Some(existing) => {
+                        if *existing != term {
+                            return false;
+                        }
+                    }
+                    None => new_row[*idx] = Some(term),
+                }
+            }
+            true
+        };
+        // Same allocation-free access path the id-native evaluator uses, so
+        // wall-clock comparisons isolate the row-representation difference.
+        self.rows_scanned += graph.for_each_match(sb, pb, ob, |ms, mp, mo| {
+            let mut new_row = row.to_vec();
+            let mut ok = true;
+            ok &= assign(&s, ms, &mut new_row);
+            ok &= assign(&p, mp, &mut new_row);
+            ok &= assign(&o, mo, &mut new_row);
+            if ok {
+                out.push(new_row);
+            }
+        });
+    }
+
+    fn eval_group(
+        &mut self,
+        keys: &[String],
+        aggs: &[AggSpec],
+        input: SolutionTable,
+    ) -> Result<SolutionTable> {
+        let key_indices: Vec<Option<usize>> = keys.iter().map(|k| input.column_index(k)).collect();
+        let vars_snapshot = input.vars.clone();
+
+        // Group index: key tuple → position in `groups`.
+        let mut index: HashMap<Vec<Option<Term>>, usize> = HashMap::new();
+        let mut groups: Vec<(Vec<Option<Term>>, Vec<AggState>)> = Vec::new();
+
+        let implicit_single_group = keys.is_empty();
+        if implicit_single_group {
+            index.insert(Vec::new(), 0);
+            groups.push((
+                Vec::new(),
+                aggs.iter()
+                    .map(|a| AggState::new(a.op, a.distinct))
+                    .collect(),
+            ));
+        }
+
+        for row in &input.rows {
+            let key: Vec<Option<Term>> = key_indices
+                .iter()
+                .map(|i| i.and_then(|i| row[i].clone()))
+                .collect();
+            let gi = match index.get(&key) {
+                Some(&gi) => gi,
+                None => {
+                    let gi = groups.len();
+                    index.insert(key.clone(), gi);
+                    groups.push((
+                        key,
+                        aggs.iter()
+                            .map(|a| AggState::new(a.op, a.distinct))
+                            .collect(),
+                    ));
+                    gi
+                }
+            };
+            let ctx = RowCtx {
+                vars: &vars_snapshot,
+                row,
+            };
+            for (state, spec) in groups[gi].1.iter_mut().zip(aggs) {
+                match &spec.expr {
+                    Some(e) => state.push(eval_expr(e, ctx, &mut self.caches)),
+                    None => state.push_star(),
+                }
+            }
+        }
+
+        let mut out_vars: Vec<String> = keys.to_vec();
+        out_vars.extend(aggs.iter().map(|a| a.output.clone()));
+        let mut out = SolutionTable::with_vars(out_vars);
+        for (key, states) in groups {
+            let mut row = key;
+            for state in states {
+                row.push(state.finish());
+            }
+            out.rows.push(row);
+        }
+        Ok(out)
+    }
+
+    fn sort_rows(&mut self, table: &mut SolutionTable, keys: &[OrderKey]) {
+        type KeyedRow = (Vec<Option<Term>>, Vec<Option<Term>>);
+        let vars = table.vars.clone();
+        // Precompute sort keys (expressions may be non-trivial).
+        let mut keyed: Vec<KeyedRow> = table
+            .rows
+            .drain(..)
+            .map(|row| {
+                let computed: Vec<Option<Term>> = keys
+                    .iter()
+                    .map(|k| {
+                        let ctx = RowCtx {
+                            vars: &vars,
+                            row: &row,
+                        };
+                        eval_expr(&k.expr, ctx, &mut self.caches)
+                    })
+                    .collect();
+                (computed, row)
+            })
+            .collect();
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (key_spec, (a, b)) in keys.iter().zip(ka.iter().zip(kb.iter())) {
+                let ord = match (a, b) {
+                    (None, None) => std::cmp::Ordering::Equal,
+                    (None, Some(_)) => std::cmp::Ordering::Less,
+                    (Some(_), None) => std::cmp::Ordering::Greater,
+                    (Some(a), Some(b)) => a.order_cmp(b),
+                };
+                let ord = if key_spec.ascending { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        table.rows = keyed.into_iter().map(|(_, row)| row).collect();
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JoinKind {
+    Inner,
+    Left,
+}
+
+/// Hash join with SPARQL compatibility semantics.
+///
+/// Key selection: the shared variables bound in *every* row of both inputs
+/// form the hash key; remaining shared variables are checked per candidate
+/// pair with unbound-is-compatible semantics. Falls back to nested loop when
+/// no always-bound shared variable exists.
+fn join(left: SolutionTable, right: SolutionTable, kind: JoinKind) -> SolutionTable {
+    let shared: Vec<String> = left
+        .vars
+        .iter()
+        .filter(|v| right.vars.contains(v))
+        .cloned()
+        .collect();
+
+    let mut out_vars = left.vars.clone();
+    for v in &right.vars {
+        if !out_vars.contains(v) {
+            out_vars.push(v.clone());
+        }
+    }
+    let width = out_vars.len();
+
+    let l_idx: Vec<usize> = shared
+        .iter()
+        .map(|v| left.column_index(v).expect("shared var in left"))
+        .collect();
+    let r_idx: Vec<usize> = shared
+        .iter()
+        .map(|v| right.column_index(v).expect("shared var in right"))
+        .collect();
+
+    let always_bound = |table: &SolutionTable, idx: usize| -> bool {
+        table.rows.iter().all(|r| r[idx].is_some())
+    };
+    // Positions (within `shared`) usable as hash key.
+    let key_positions: Vec<usize> = (0..shared.len())
+        .filter(|&k| always_bound(&left, l_idx[k]) && always_bound(&right, r_idx[k]))
+        .collect();
+
+    // Precompute merge schema: for each right column, its target index in out.
+    let right_targets: Vec<usize> = right
+        .vars
+        .iter()
+        .map(|v| out_vars.iter().position(|x| x == v).expect("right var in out"))
+        .collect();
+    let mut out = SolutionTable::with_vars(out_vars);
+
+    let merge = |l_row: &[Option<Term>], r_row: &[Option<Term>]| -> Vec<Option<Term>> {
+        let mut row = l_row.to_vec();
+        row.resize(width, None);
+        for (ri, &target) in right_targets.iter().enumerate() {
+            if row[target].is_none() {
+                row[target] = r_row[ri].clone();
+            }
+        }
+        row
+    };
+    let compatible = |l_row: &[Option<Term>], r_row: &[Option<Term>]| -> bool {
+        for k in 0..shared.len() {
+            if let (Some(a), Some(b)) = (&l_row[l_idx[k]], &r_row[r_idx[k]]) {
+                if a != b {
+                    return false;
+                }
+            }
+        }
+        true
+    };
+
+    if !key_positions.is_empty() || shared.is_empty() {
+        // Build hash index on the right side.
+        let mut table: HashMap<Vec<&Term>, Vec<usize>> = HashMap::new();
+        for (ri, r_row) in right.rows.iter().enumerate() {
+            let key: Vec<&Term> = key_positions
+                .iter()
+                .map(|&k| r_row[r_idx[k]].as_ref().expect("always bound"))
+                .collect();
+            table.entry(key).or_default().push(ri);
+        }
+        for l_row in &left.rows {
+            let key: Vec<&Term> = key_positions
+                .iter()
+                .map(|&k| l_row[l_idx[k]].as_ref().expect("always bound"))
+                .collect();
+            let mut matched = false;
+            if let Some(candidates) = table.get(&key) {
+                for &ri in candidates {
+                    let r_row = &right.rows[ri];
+                    if compatible(l_row, r_row) {
+                        out.rows.push(merge(l_row, r_row));
+                        matched = true;
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut row = l_row.clone();
+                row.resize(width, None);
+                out.rows.push(row);
+            }
+        }
+    } else {
+        // Nested loop with compatibility semantics.
+        for l_row in &left.rows {
+            let mut matched = false;
+            for r_row in &right.rows {
+                if compatible(l_row, r_row) {
+                    out.rows.push(merge(l_row, r_row));
+                    matched = true;
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut row = l_row.clone();
+                row.resize(width, None);
+                out.rows.push(row);
+            }
+        }
+    }
+    out
+}
+
+/// Bag union with schema alignment.
+fn union(left: SolutionTable, right: SolutionTable) -> SolutionTable {
+    let mut vars = left.vars.clone();
+    for v in &right.vars {
+        if !vars.contains(v) {
+            vars.push(v.clone());
+        }
+    }
+    let map_right: Vec<usize> = right
+        .vars
+        .iter()
+        .map(|v| vars.iter().position(|x| x == v).expect("var present"))
+        .collect();
+    let width = vars.len();
+    let mut out = SolutionTable::with_vars(vars);
+    for mut row in left.rows {
+        row.resize(width, None);
+        out.rows.push(row);
+    }
+    for row in right.rows {
+        let mut new_row = vec![None; out.vars.len()];
+        for (ri, v) in row.into_iter().enumerate() {
+            new_row[map_right[ri]] = v;
+        }
+        out.rows.push(new_row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tbl(vars: &[&str], rows: Vec<Vec<Option<Term>>>) -> SolutionTable {
+        SolutionTable {
+            vars: vars.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
+    }
+
+    fn i(v: i64) -> Option<Term> {
+        Some(Term::integer(v))
+    }
+
+    #[test]
+    fn inner_join_on_shared() {
+        let a = tbl(&["x", "y"], vec![vec![i(1), i(10)], vec![i(2), i(20)]]);
+        let b = tbl(&["x", "z"], vec![vec![i(1), i(100)], vec![i(3), i(300)]]);
+        let j = join(a, b, JoinKind::Inner);
+        assert_eq!(j.vars, vec!["x", "y", "z"]);
+        assert_eq!(j.rows, vec![vec![i(1), i(10), i(100)]]);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched() {
+        let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
+        let b = tbl(&["x", "z"], vec![vec![i(1), i(100)]]);
+        let j = join(a, b, JoinKind::Left);
+        assert_eq!(j.rows.len(), 2);
+        assert_eq!(j.rows[1], vec![i(2), None]);
+    }
+
+    #[test]
+    fn join_with_partially_unbound_shared_var() {
+        // 'g' is shared but sometimes unbound on the left (e.g. OPTIONAL
+        // output): unbound is compatible with anything.
+        let a = tbl(
+            &["x", "g"],
+            vec![vec![i(1), None], vec![i(2), i(9)]],
+        );
+        let b = tbl(
+            &["x", "g"],
+            vec![vec![i(1), i(7)], vec![i(2), i(8)]],
+        );
+        let j = join(a, b, JoinKind::Inner);
+        // Row (1, None) joins (1, 7) → (1, 7); row (2, 9) vs (2, 8) clash.
+        assert_eq!(j.rows, vec![vec![i(1), i(7)]]);
+    }
+
+    #[test]
+    fn cross_product_when_no_shared() {
+        let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
+        let b = tbl(&["y"], vec![vec![i(3)]]);
+        let j = join(a, b, JoinKind::Inner);
+        assert_eq!(j.rows.len(), 2);
+    }
+
+    #[test]
+    fn union_aligns_schemas() {
+        let a = tbl(&["x", "y"], vec![vec![i(1), i(2)]]);
+        let b = tbl(&["y", "z"], vec![vec![i(5), i(6)]]);
+        let u = union(a, b);
+        assert_eq!(u.vars, vec!["x", "y", "z"]);
+        assert_eq!(u.rows[0], vec![i(1), i(2), None]);
+        assert_eq!(u.rows[1], vec![None, i(5), i(6)]);
+    }
+
+    #[test]
+    fn bag_semantics_preserved() {
+        let a = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
+        let b = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
+        let j = join(a, b, JoinKind::Inner);
+        // 2 × 2 duplicates → 4 rows.
+        assert_eq!(j.rows.len(), 4);
+    }
+}

@@ -9,12 +9,25 @@ use std::collections::HashMap;
 
 use rdf_model::term::{year_of_epoch, Literal, TypedValue};
 use rdf_model::vocab::xsd;
-use rdf_model::Term;
+use rdf_model::{Term, TermId};
 
 use crate::ast::{AggOp, ArithOp, CmpOp, Expr, Func};
+use crate::pool::TermPool;
 use crate::regex_lite::Regex;
 
-/// A row seen through its variable schema.
+/// A view of one solution row that can resolve variable names to terms.
+///
+/// Expression evaluation is generic over this so the same [`eval_expr`]
+/// serves the id-native evaluator (rows of `TermId`, resolved through a
+/// [`TermPool`] without cloning) and the term-materialized reference
+/// evaluator (rows of owned `Term`s).
+pub trait Bindings: Copy {
+    /// Look up a variable's binding.
+    fn get(&self, name: &str) -> Option<&Term>;
+}
+
+/// A term-materialized row seen through its variable schema (reference
+/// evaluator and unit tests).
 #[derive(Debug, Clone, Copy)]
 pub struct RowCtx<'a> {
     /// Column names of the table.
@@ -23,11 +36,29 @@ pub struct RowCtx<'a> {
     pub row: &'a [Option<Term>],
 }
 
-impl<'a> RowCtx<'a> {
-    /// Look up a variable's binding.
-    pub fn get(&self, name: &str) -> Option<&'a Term> {
+impl<'a> Bindings for RowCtx<'a> {
+    fn get(&self, name: &str) -> Option<&Term> {
         let idx = self.vars.iter().position(|v| v == name)?;
         self.row[idx].as_ref()
+    }
+}
+
+/// An id-native row: bindings are global [`TermId`]s resolved through the
+/// evaluator's [`TermPool`] only when an expression actually needs the value.
+#[derive(Debug, Clone, Copy)]
+pub struct IdRowCtx<'a> {
+    /// Column names of the table.
+    pub vars: &'a [String],
+    /// The row ids (parallel to `vars`).
+    pub row: &'a [Option<TermId>],
+    /// Resolves ids (dataset terms and query-computed overflow terms).
+    pub pool: &'a TermPool<'a>,
+}
+
+impl<'a> Bindings for IdRowCtx<'a> {
+    fn get(&self, name: &str) -> Option<&Term> {
+        let idx = self.vars.iter().position(|v| v == name)?;
+        self.row[idx].map(|id| self.pool.resolve(id))
     }
 }
 
@@ -73,7 +104,7 @@ pub fn ebv(term: &Term) -> Option<bool> {
 }
 
 /// Evaluate an expression to a term. `None` = unbound/error.
-pub fn eval_expr(expr: &Expr, ctx: RowCtx<'_>, caches: &mut EvalCaches) -> Option<Term> {
+pub fn eval_expr<B: Bindings>(expr: &Expr, ctx: B, caches: &mut EvalCaches) -> Option<Term> {
     match expr {
         Expr::Var(v) => ctx.get(v).cloned(),
         Expr::Const(t) => Some(t.clone()),
@@ -191,10 +222,10 @@ fn arith(op: ArithOp, a: &Term, b: &Term) -> Option<Term> {
     Some(Term::Literal(Literal::double(r)))
 }
 
-fn eval_call(
+fn eval_call<B: Bindings>(
     func: &Func,
     args: &[Expr],
-    ctx: RowCtx<'_>,
+    ctx: B,
     caches: &mut EvalCaches,
 ) -> Option<Term> {
     match func {

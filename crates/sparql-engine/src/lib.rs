@@ -17,21 +17,31 @@
 //! Pipeline: [`parser`] produces an AST, [`algebra`] translates it to the
 //! SPARQL algebra, [`optimizer`] reorders basic graph patterns using graph
 //! statistics (this is what a "powerful-enough" engine optimizer does and is
-//! the mechanism behind the paper's naive-vs-optimized experiments), and
-//! [`eval`] evaluates with bag semantics.
+//! the mechanism behind the paper's naive-vs-optimized experiments) and
+//! fuses `LIMIT` over `ORDER BY` into bounded top-k selection, and [`eval`]
+//! evaluates with bag semantics.
+//!
+//! Evaluation is **id-native**: intermediate rows hold dataset-global `u32`
+//! term ids end to end (scans, joins, `DISTINCT`, grouping), and terms are
+//! materialized only at expression/sort boundaries and the final
+//! projection — see [`eval`] and [`pool`]. The seed term-materialized
+//! evaluator survives in [`eval_reference`] as a differential-testing oracle
+//! and benchmarking baseline, selected via [`engine::EvalMode`].
 
 pub mod algebra;
 pub mod ast;
 pub mod engine;
 pub mod error;
 pub mod eval;
+pub mod eval_reference;
 pub mod expr;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;
+pub mod pool;
 pub mod regex_lite;
 pub mod results;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, EvalMode};
 pub use error::{EngineError, Result};
 pub use results::SolutionTable;

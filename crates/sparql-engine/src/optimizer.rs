@@ -7,7 +7,7 @@
 //! do across subquery boundaries, which is why the paper's naive
 //! one-subquery-per-operator generation is slow.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use rdf_model::{Dataset, GraphStats, TermId};
 
@@ -23,7 +23,6 @@ const BOUND_MARK: TermId = TermId(0);
 pub struct Optimizer<'a> {
     dataset: &'a Dataset,
     default_graphs: &'a [String],
-    stats_cache: HashMap<String, GraphStats>,
 }
 
 impl<'a> Optimizer<'a> {
@@ -32,7 +31,6 @@ impl<'a> Optimizer<'a> {
         Optimizer {
             dataset,
             default_graphs,
-            stats_cache: HashMap::new(),
         }
     }
 
@@ -61,7 +59,17 @@ impl<'a> Optimizer<'a> {
             | Plan::Distinct(p)
             | Plan::OrderBy(_, p) => self.optimize(p),
             Plan::Group { input, .. } => self.optimize(input),
-            Plan::Slice { input, .. } => self.optimize(input),
+            Plan::TopK { input, .. } => self.optimize(input),
+            Plan::Slice {
+                limit,
+                offset,
+                input,
+            } => {
+                if let Some(l) = limit {
+                    fuse_order_by_limit(input, l.saturating_add(*offset));
+                }
+                self.optimize(input);
+            }
             Plan::Unit => {}
         }
     }
@@ -73,12 +81,10 @@ impl<'a> Optimizer<'a> {
         }
     }
 
-    fn stats_for(&mut self, uri: &str) -> Option<&GraphStats> {
-        if !self.stats_cache.contains_key(uri) {
-            let g = self.dataset.graph(uri)?;
-            self.stats_cache.insert(uri.to_string(), g.stats());
-        }
-        self.stats_cache.get(uri)
+    fn stats_for(&self, uri: &str) -> Option<&GraphStats> {
+        // Statistics are computed once when a graph enters the dataset, so
+        // per-query optimization never rescans the store.
+        self.dataset.graph_stats(uri).map(|s| s.as_ref())
     }
 
     /// Estimate the matches of one pattern, treating variables in `bound` as
@@ -156,6 +162,25 @@ impl<'a> Optimizer<'a> {
     }
 }
 
+/// Fuse `Slice { limit } ∘ [Project…] ∘ OrderBy` into a bounded
+/// [`Plan::TopK`] with `k = limit + offset`: only the first `k` rows of the
+/// sort order are ever observable through the slice, so the evaluator can
+/// select top-k instead of fully sorting. The rewrite looks through
+/// `Project` (order- and cardinality-preserving) but deliberately **not**
+/// through `Distinct`, which must deduplicate *before* the cut.
+fn fuse_order_by_limit(node: &mut Plan, k: usize) {
+    match node {
+        Plan::Project(_, inner) => fuse_order_by_limit(inner, k),
+        Plan::OrderBy(..) => {
+            // Take ownership of the OrderBy to rebuild it as TopK.
+            if let Plan::OrderBy(keys, input) = std::mem::replace(node, Plan::Unit) {
+                *node = Plan::TopK { keys, k, input };
+            }
+        }
+        _ => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +255,65 @@ mod tests {
             patterns[2].predicate,
             konst("http://x/label"),
             "order was {patterns:?}"
+        );
+    }
+
+    #[test]
+    fn slice_over_order_by_fuses_to_top_k() {
+        use crate::ast::{Expr, OrderKey};
+        let ds = build_dataset();
+        let graphs = vec!["http://g".to_string()];
+        let mut opt = Optimizer::new(&ds, &graphs);
+        let bgp = Plan::Bgp {
+            patterns: vec![TriplePattern::new(
+                var("e"),
+                konst("http://x/label"),
+                var("l"),
+            )],
+            graph: GraphRef::Default,
+        };
+        let keys = vec![OrderKey {
+            expr: Expr::Var("l".into()),
+            ascending: true,
+        }];
+        // Slice(limit 2, offset 1) ∘ Project ∘ OrderBy → TopK with k = 3.
+        let mut plan = Plan::Slice {
+            limit: Some(2),
+            offset: 1,
+            input: Box::new(Plan::Project(
+                vec!["l".into()],
+                Box::new(Plan::OrderBy(keys.clone(), Box::new(bgp.clone()))),
+            )),
+        };
+        opt.optimize(&mut plan);
+        let Plan::Slice { input, .. } = &plan else {
+            panic!("slice survives: {plan:?}")
+        };
+        let Plan::Project(_, inner) = &**input else {
+            panic!("project survives: {input:?}")
+        };
+        assert!(
+            matches!(&**inner, Plan::TopK { k: 3, .. }),
+            "expected TopK, got {inner:?}"
+        );
+
+        // Distinct between Slice and OrderBy blocks the fusion: the cut
+        // must apply to deduplicated rows.
+        let mut plan = Plan::Slice {
+            limit: Some(2),
+            offset: 0,
+            input: Box::new(Plan::Distinct(Box::new(Plan::OrderBy(
+                keys,
+                Box::new(bgp),
+            )))),
+        };
+        opt.optimize(&mut plan);
+        let Plan::Slice { input, .. } = &plan else {
+            panic!("slice survives: {plan:?}")
+        };
+        assert!(
+            matches!(&**input, Plan::Distinct(inner) if matches!(&**inner, Plan::OrderBy(..))),
+            "distinct must not fuse: {input:?}"
         );
     }
 

@@ -1,10 +1,76 @@
-//! Query result representation.
+//! Query result representations.
+//!
+//! Two row layouts exist on purpose:
+//!
+//! - [`IdTable`] is the evaluator's *internal* representation: every cell is
+//!   an `Option<TermId>` (8 bytes) in the dataset's global id space, so
+//!   joins, DISTINCT, and grouping hash integers. It never leaves the
+//!   engine.
+//! - [`SolutionTable`] is the *public* boundary type: cells are owned
+//!   [`Term`] values, materialized exactly once when a query finishes (or a
+//!   page of it is shipped).
 
-use rdf_model::Term;
+use rdf_model::{Term, TermId};
+
+/// Keep rows `[offset, offset+limit)` in place (`None` limit = to the end),
+/// clamping both bounds to the table. Shared by `LIMIT`/`OFFSET` evaluation
+/// and the engine's paging boundary.
+pub fn slice_rows<T>(rows: &mut Vec<T>, offset: usize, limit: Option<usize>) {
+    let start = offset.min(rows.len());
+    let end = match limit {
+        Some(l) => start.saturating_add(l).min(rows.len()),
+        None => rows.len(),
+    };
+    rows.drain(..start);
+    rows.truncate(end - start);
+}
+
+/// Internal id-native solution table (cells are global [`TermId`]s).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IdTable {
+    /// Column (variable) names.
+    pub vars: Vec<String>,
+    /// Rows; each row is parallel to `vars`. `None` = unbound.
+    pub rows: Vec<Vec<Option<TermId>>>,
+}
+
+impl IdTable {
+    /// Empty table with a schema.
+    pub fn with_vars(vars: Vec<String>) -> Self {
+        IdTable {
+            vars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The unit table: no columns, one empty row (join identity).
+    pub fn unit() -> Self {
+        IdTable {
+            vars: Vec::new(),
+            rows: vec![Vec::new()],
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+}
 
 /// A solution table: named columns over rows of optional terms (`None` =
-/// unbound). This is both the evaluator's internal representation and the
-/// engine's public result type.
+/// unbound). This is the engine's public result type; the evaluator works on
+/// [`IdTable`]s internally and materializes terms only when producing one of
+/// these.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SolutionTable {
     /// Column (variable) names.
@@ -122,5 +188,16 @@ mod tests {
         t.canonicalize();
         assert_eq!(t.rows[0], vec![None]);
         assert_eq!(t.rows[1], vec![Some(Term::integer(1))]);
+    }
+
+    #[test]
+    fn id_table_unit_and_columns() {
+        let u = IdTable::unit();
+        assert_eq!(u.len(), 1);
+        let mut t = IdTable::with_vars(vec!["a".into(), "b".into()]);
+        assert!(t.is_empty());
+        t.rows.push(vec![Some(TermId(3)), None]);
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.column_index("z"), None);
     }
 }

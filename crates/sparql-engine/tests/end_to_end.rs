@@ -247,7 +247,13 @@ fn optimizer_and_naive_agree() {
         Arc::new(ds)
     };
     let opt = Engine::new(Arc::clone(&ds));
-    let noopt = Engine::with_config(ds, EngineConfig { optimize: false });
+    let noopt = Engine::with_config(
+        ds,
+        EngineConfig {
+            optimize: false,
+            ..EngineConfig::new()
+        },
+    );
     let q = format!(
         "{PREFIXES} SELECT ?movie ?actor ?c FROM <http://dbpedia.org> WHERE {{ \
             ?movie dbpp:starring ?actor . \

@@ -175,7 +175,7 @@ proptest! {
         let ds = build_graph(&triples);
         let q = render_query(&patterns);
         let on = Engine::new(Arc::clone(&ds)).execute(&q).unwrap();
-        let off = Engine::with_config(ds, EngineConfig { optimize: false })
+        let off = Engine::with_config(ds, EngineConfig { optimize: false, ..EngineConfig::new() })
             .execute(&q)
             .unwrap();
         prop_assert_eq!(canonical_rows(&on), canonical_rows(&off), "{}", q);
