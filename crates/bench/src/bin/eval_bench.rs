@@ -1,21 +1,59 @@
-//! Micro-benchmark for the id-native evaluator refactor.
+//! Micro-benchmark for the evaluator refactors.
 //!
-//! Runs a BGP-heavy query and a group-by-heavy query on the synthetic
-//! DBpedia-style dataset against both evaluators — the seed term-
-//! materialized reference ([`sparql_engine::eval_reference`]) and the
-//! id-native pipeline ([`sparql_engine::eval`]) — reporting median
-//! wall-clock time *and* the deterministic `rows_scanned` work metric, and writes the
-//! results to `BENCH_eval.json` so the perf trajectory is tracked in-repo.
+//! Runs a BGP-heavy query, a GROUP BY-heavy query, and an aggregate-heavy
+//! numeric query (MIN/MAX/SUM/AVG over `dbpp:runtime`) on the synthetic
+//! DBpedia-style dataset against all three evaluators — the seed term-
+//! materialized reference ([`sparql_engine::eval_reference`]), the PR 1
+//! row-at-a-time id-native pipeline ([`sparql_engine::eval_rows`]), and the
+//! columnar default ([`sparql_engine::eval`]) — reporting median wall-clock
+//! time, the deterministic `rows_scanned` work metric, and the number of
+//! heap allocations per execution (via a counting global allocator). A
+//! fourth, textually misordered BGP is run with the optimizer on and off to
+//! record how much statistics-driven pattern ordering matters. Results are
+//! written to `BENCH_eval.json` so the perf trajectory is tracked in-repo.
 //!
-//! Usage: `cargo run --release -p bench --bin eval_bench [scale]`
+//! Usage: `cargo run --release -p bench --bin eval_bench [--scale N] [N]`
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bench::data;
 use rdf_model::Dataset;
 use sparql_engine::{Engine, EngineConfig, EvalMode};
+
+/// Counts every heap allocation so the bench can report per-query
+/// allocation totals (the columnar evaluator's headline claim is "no
+/// per-row `Vec`"; this makes it measurable).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`, only adding a relaxed counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 const RUNS: usize = 9;
 
@@ -55,7 +93,40 @@ fn queries() -> Vec<QuerySpec> {
                  GROUP BY ?actor"
             ),
         },
+        QuerySpec {
+            id: "agg_numeric",
+            kind: "MIN/MAX/SUM/AVG over integer runtimes, GROUP BY genre",
+            sparql: format!(
+                "{prefixes}SELECT ?genre (MIN(?rt) AS ?shortest) (MAX(?rt) AS ?longest) \
+                 (SUM(?rt) AS ?total) (AVG(?rt) AS ?mean) (COUNT(?rt) AS ?n) \
+                 FROM <http://dbpedia.org> WHERE {{ \
+                   ?movie dbpo:genre ?genre . \
+                   ?movie dbpp:runtime ?rt }} \
+                 GROUP BY ?genre"
+            ),
+        },
     ]
+}
+
+/// BGP written worst-first: the selective award-like pattern comes last in
+/// the text, so evaluating in textual order scans the big indexes first.
+/// Run with the optimizer on and off to measure what selectivity-ordered
+/// evaluation buys.
+fn misordered_query() -> QuerySpec {
+    let prefixes = "PREFIX dbpp: <http://dbpedia.org/property/>\n\
+                    PREFIX dbpo: <http://dbpedia.org/ontology/>\n\
+                    PREFIX dbpr: <http://dbpedia.org/resource/>\n";
+    QuerySpec {
+        id: "bgp_misordered",
+        kind: "worst-first textual order; optimizer reorders by PredicateStats",
+        sparql: format!(
+            "{prefixes}SELECT ?movie ?actor ?genre \
+             FROM <http://dbpedia.org> WHERE {{ \
+               ?movie dbpp:starring ?actor . \
+               ?movie dbpo:genre ?genre . \
+               ?actor dbpp:academyAward ?aw }}"
+        ),
+    }
 }
 
 struct Outcome {
@@ -63,6 +134,8 @@ struct Outcome {
     median: Duration,
     rows: usize,
     rows_scanned: u64,
+    /// Heap allocations for one (post-warmup) execution.
+    allocs: u64,
 }
 
 fn run(engine: &Engine, sparql: &str) -> Outcome {
@@ -71,6 +144,10 @@ fn run(engine: &Engine, sparql: &str) -> Outcome {
         .execute_with_stats(sparql)
         .unwrap_or_else(|e| panic!("query failed: {e}\n{sparql}"));
     let rows = warm.len();
+    let allocs_before = allocations();
+    let (t, _) = engine.execute_with_stats(sparql).unwrap();
+    let allocs = allocations() - allocs_before;
+    assert_eq!(t.len(), rows, "non-deterministic result size");
     let mut samples = Vec::with_capacity(RUNS);
     for _ in 0..RUNS {
         let start = Instant::now();
@@ -83,32 +160,56 @@ fn run(engine: &Engine, sparql: &str) -> Outcome {
         median: samples[samples.len() / 2],
         rows,
         rows_scanned: stats.rows_scanned,
+        allocs,
     }
 }
 
+fn parse_args() -> usize {
+    let mut scale = 4000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--scale requires a number"));
+            }
+            other => {
+                // Positional scale, kept for backward compatibility.
+                if let Ok(n) = other.parse() {
+                    scale = n;
+                } else {
+                    panic!("unknown argument {other} (usage: eval_bench [--scale N] [N])");
+                }
+            }
+        }
+    }
+    scale
+}
+
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4000);
+    let scale = parse_args();
     eprintln!("building dataset at scale {scale}...");
     let dataset: Arc<Dataset> = data::build_dataset(scale);
-    eprintln!("dataset: {} triples across {} graphs", dataset.total_triples(), dataset.len());
+    eprintln!(
+        "dataset: {} triples across {} graphs",
+        dataset.total_triples(),
+        dataset.len()
+    );
 
-    let id_native = Engine::with_config(
-        Arc::clone(&dataset),
-        EngineConfig {
-            optimize: true,
-            eval_mode: EvalMode::IdNative,
-        },
-    );
-    let reference = Engine::with_config(
-        Arc::clone(&dataset),
-        EngineConfig {
-            optimize: true,
-            eval_mode: EvalMode::TermReference,
-        },
-    );
+    let mode_engine = |eval_mode| {
+        Engine::with_config(
+            Arc::clone(&dataset),
+            EngineConfig {
+                optimize: true,
+                eval_mode,
+            },
+        )
+    };
+    let reference = mode_engine(EvalMode::TermReference);
+    let id_rows = mode_engine(EvalMode::IdNative);
+    let columnar = mode_engine(EvalMode::Columnar);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -116,35 +217,49 @@ fn main() {
     let _ = writeln!(json, "  \"scale\": {scale},");
     let _ = writeln!(json, "  \"triples\": {},", dataset.total_triples());
     let _ = writeln!(json, "  \"runs\": {RUNS},");
+    let _ = writeln!(
+        json,
+        "  \"evaluators\": [\"reference\", \"id_native_rows\", \"columnar\"],"
+    );
     let _ = writeln!(json, "  \"queries\": [");
 
     println!(
-        "\n{:<16} {:>16} {:>16} {:>9} {:>12} {:>10}",
-        "query", "reference (ms)", "id-native (ms)", "speedup", "rows_scanned", "rows"
+        "\n{:<16} {:>13} {:>13} {:>13} {:>8} {:>8} {:>12} {:>8}",
+        "query", "ref (ms)", "rows (ms)", "col (ms)", "vs ref", "vs rows", "rows_scanned", "rows"
     );
     let specs = queries();
-    for (i, spec) in specs.iter().enumerate() {
+    for spec in &specs {
         let ref_out = run(&reference, &spec.sparql);
-        let id_out = run(&id_native, &spec.sparql);
-        assert_eq!(
-            ref_out.rows, id_out.rows,
-            "{}: evaluators disagree on result size",
-            spec.id
-        );
-        assert_eq!(
-            ref_out.rows_scanned, id_out.rows_scanned,
-            "{}: evaluators disagree on work metric",
-            spec.id
-        );
-        let speedup = ref_out.median.as_secs_f64() / id_out.median.as_secs_f64().max(1e-12);
+        let rows_out = run(&id_rows, &spec.sparql);
+        let col_out = run(&columnar, &spec.sparql);
+        for (name, out) in [("id_native_rows", &rows_out), ("columnar", &col_out)] {
+            assert_eq!(
+                ref_out.rows, out.rows,
+                "{}: {name} disagrees on result size",
+                spec.id
+            );
+            assert_eq!(
+                ref_out.rows_scanned, out.rows_scanned,
+                "{}: {name} disagrees on work metric",
+                spec.id
+            );
+        }
+        let vs_ref = ref_out.median.as_secs_f64() / col_out.median.as_secs_f64().max(1e-12);
+        let vs_rows = rows_out.median.as_secs_f64() / col_out.median.as_secs_f64().max(1e-12);
         println!(
-            "{:<16} {:>16.3} {:>16.3} {:>8.2}x {:>12} {:>10}",
+            "{:<16} {:>13.3} {:>13.3} {:>13.3} {:>7.2}x {:>7.2}x {:>12} {:>8}",
             spec.id,
             ref_out.median.as_secs_f64() * 1e3,
-            id_out.median.as_secs_f64() * 1e3,
-            speedup,
+            rows_out.median.as_secs_f64() * 1e3,
+            col_out.median.as_secs_f64() * 1e3,
+            vs_ref,
+            vs_rows,
             ref_out.rows_scanned,
             ref_out.rows
+        );
+        println!(
+            "{:<16} allocs: ref {} | rows {} | columnar {}",
+            "", ref_out.allocs, rows_out.allocs, col_out.allocs
         );
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"id\": \"{}\",", spec.id);
@@ -156,18 +271,78 @@ fn main() {
         );
         let _ = writeln!(
             json,
-            "      \"id_native_ms\": {:.3},",
-            id_out.median.as_secs_f64() * 1e3
+            "      \"id_native_rows_ms\": {:.3},",
+            rows_out.median.as_secs_f64() * 1e3
         );
-        let _ = writeln!(json, "      \"speedup\": {speedup:.3},");
-        let _ = writeln!(json, "      \"rows_scanned\": {},", ref_out.rows_scanned);
-        let _ = writeln!(json, "      \"rows\": {}", ref_out.rows);
         let _ = writeln!(
             json,
-            "    }}{}",
-            if i + 1 < specs.len() { "," } else { "" }
+            "      \"columnar_ms\": {:.3},",
+            col_out.median.as_secs_f64() * 1e3
         );
+        let _ = writeln!(json, "      \"speedup_vs_reference\": {vs_ref:.3},");
+        let _ = writeln!(json, "      \"speedup_vs_id_native_rows\": {vs_rows:.3},");
+        let _ = writeln!(
+            json,
+            "      \"allocations\": {{ \"reference\": {}, \"id_native_rows\": {}, \"columnar\": {} }},",
+            ref_out.allocs, rows_out.allocs, col_out.allocs
+        );
+        let _ = writeln!(json, "      \"rows_scanned\": {},", ref_out.rows_scanned);
+        let _ = writeln!(json, "      \"rows\": {}", ref_out.rows);
+        // The queries array always continues with the ordering case below,
+        // so every entry here takes a trailing comma.
+        let _ = writeln!(json, "    }},");
     }
+
+    // Ordering case: same engine (columnar), optimizer on vs off.
+    let unoptimized = Engine::with_config(
+        Arc::clone(&dataset),
+        EngineConfig {
+            optimize: false,
+            eval_mode: EvalMode::Columnar,
+        },
+    );
+    let mis = misordered_query();
+    let ordered_out = run(&columnar, &mis.sparql);
+    let textual_out = run(&unoptimized, &mis.sparql);
+    assert_eq!(ordered_out.rows, textual_out.rows);
+    let speedup = textual_out.median.as_secs_f64() / ordered_out.median.as_secs_f64().max(1e-12);
+    println!(
+        "{:<16} {:>13.3} {:>13.3} {:>13} {:>7.2}x {:>8} {:>12} {:>8}  (optimizer off vs on, columnar)",
+        mis.id,
+        textual_out.median.as_secs_f64() * 1e3,
+        ordered_out.median.as_secs_f64() * 1e3,
+        "-",
+        speedup,
+        "-",
+        ordered_out.rows_scanned,
+        ordered_out.rows
+    );
+    let _ = writeln!(json, "    {{");
+    let _ = writeln!(json, "      \"id\": \"{}\",", mis.id);
+    let _ = writeln!(json, "      \"kind\": \"{}\",", mis.kind);
+    let _ = writeln!(
+        json,
+        "      \"textual_order_ms\": {:.3},",
+        textual_out.median.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "      \"selectivity_ordered_ms\": {:.3},",
+        ordered_out.median.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(json, "      \"speedup_from_ordering\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "      \"rows_scanned_ordered\": {},",
+        ordered_out.rows_scanned
+    );
+    let _ = writeln!(
+        json,
+        "      \"rows_scanned_textual\": {},",
+        textual_out.rows_scanned
+    );
+    let _ = writeln!(json, "      \"rows\": {}", ordered_out.rows);
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
 

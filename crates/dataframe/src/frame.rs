@@ -65,6 +65,12 @@ impl DataFrame {
         self.columns.iter().position(|c| c == name)
     }
 
+    /// Reserve capacity for at least `additional` more rows (used by joins
+    /// that can bound their output size up front).
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+    }
+
     /// Append a row.
     ///
     /// # Panics

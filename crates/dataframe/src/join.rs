@@ -119,12 +119,15 @@ pub fn join_frames(
     }
     let as_lr = |p_row, b_row| orient(build_right, p_row, b_row);
 
-    let mut index: HashMap<&Cell, Vec<usize>> = HashMap::new();
+    let mut index: HashMap<&Cell, Vec<usize>> = HashMap::with_capacity(build.rows().len());
     for (i, row) in build.rows().iter().enumerate() {
         if !row[build_key].is_null() {
             index.entry(&row[build_key]).or_default().push(i);
         }
     }
+    // A 1:1 join emits one row per probe row; reserving that lower bound
+    // avoids most output-vector regrowth (duplicates regrow as needed).
+    out.reserve(probe.rows().len());
     let mut build_matched = vec![false; build.rows().len()];
     for p_row in probe.rows() {
         let key = &p_row[probe_key];

@@ -84,11 +84,18 @@ impl Dataset {
     }
 
     /// Insert (or replace) a named graph.
-    pub fn insert_graph(&mut self, uri: impl Into<String>, graph: Graph) {
+    ///
+    /// The graph is [compacted](Graph::compact) first: datasets freeze their
+    /// graphs behind `Arc`s, so query-time scans should run on pure slab
+    /// ranges with an empty delta.
+    pub fn insert_graph(&mut self, uri: impl Into<String>, mut graph: Graph) {
+        graph.compact();
         self.insert_shared(uri, Arc::new(graph));
     }
 
-    /// Insert a pre-shared graph handle.
+    /// Insert a pre-shared graph handle (as-is: a shared graph cannot be
+    /// compacted here, so its delta — if any — stays live and scans merge
+    /// it on the fly).
     pub fn insert_shared(&mut self, uri: impl Into<String>, graph: Arc<Graph>) {
         let uri = uri.into();
         let map = GraphIdMap::build(&graph, &mut self.interner);

@@ -1,7 +1,7 @@
-//! Indexed triple store.
+//! Indexed triple store: frozen sorted slabs + a small mutable delta.
 //!
-//! Triples are interned and stored in three `BTreeSet` orderings (SPO, POS,
-//! OSP) so that every triple-pattern shape has a contiguous range scan:
+//! Triples are interned and stored in three orderings (SPO, POS, OSP) so
+//! that every triple-pattern shape has a contiguous range scan:
 //!
 //! | bound            | index | prefix        |
 //! |------------------|-------|---------------|
@@ -13,16 +13,45 @@
 //! | o (and o, s)     | OSP   | (o, *, *)     |
 //! | none             | SPO   | full scan     |
 //!
-//! The store also maintains per-predicate statistics used by the SPARQL
+//! # Slab + delta layout
+//!
+//! Each ordering is split into two parts:
+//!
+//! - a **frozen slab**: a sorted `Vec<(TermId, TermId, TermId)>`. Range
+//!   lookups are two `partition_point` binary searches followed by a linear
+//!   walk over contiguous memory — no pointer chasing, no tree nodes, and
+//!   the prefetcher sees a plain array.
+//! - a **delta buffer**: a `BTreeSet` in the same ordering holding triples
+//!   inserted since the last compaction. Scans merge the slab slice with the
+//!   delta range on the fly (both are sorted, so the merge is linear and
+//!   preserves global index order).
+//!
+//! # Compaction contract
+//!
+//! [`Graph::compact`] drains the delta into the slabs (an `O(n)` two-way
+//! merge per ordering). Inserts trigger it automatically once the delta
+//! reaches [`Graph::DEFAULT_DELTA_THRESHOLD`] entries, so bulk loads stay
+//! `O(n · n/threshold)` instead of `O(n²)`; [`rdf_model::Dataset`] compacts
+//! every graph it takes ownership of at insert time, so query-time scans on
+//! dataset graphs normally see an empty delta and degenerate to pure slab
+//! slices. Compaction never changes observable contents or scan order —
+//! `match_pattern`, `for_each_match`, `iter_ids`, `len`, and `stats` return
+//! identical results before and after (property-tested in
+//! `tests/proptest_model.rs`).
+//!
+//! The store also derives per-predicate statistics used by the SPARQL
 //! optimizer for join reordering.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::interner::{Interner, TermId};
 use crate::term::{Term, Triple};
 
 const MIN: TermId = TermId(0);
 const MAX: TermId = TermId(u32::MAX);
+
+/// A triple of interned ids, in whatever ordering its index uses.
+type Key = (TermId, TermId, TermId);
 
 /// Per-predicate statistics for cardinality estimation.
 #[derive(Debug, Clone, Default)]
@@ -92,21 +121,177 @@ impl GraphStats {
     }
 }
 
-/// An in-memory RDF graph with full triple-pattern access paths.
+/// One index ordering: frozen sorted slab + sorted delta overlay.
 #[derive(Debug, Default, Clone)]
+struct Index {
+    slab: Vec<Key>,
+    delta: BTreeSet<Key>,
+}
+
+impl Index {
+    /// The contiguous slab range whose entries fall in `[lo, hi]`.
+    #[inline]
+    fn slab_range(&self, lo: Key, hi: Key) -> &[Key] {
+        let start = self.slab.partition_point(|&t| t < lo);
+        let end = start + self.slab[start..].partition_point(|&t| t <= hi);
+        &self.slab[start..end]
+    }
+
+    fn contains(&self, key: Key) -> bool {
+        self.slab.binary_search(&key).is_ok() || self.delta.contains(&key)
+    }
+
+    /// Visit every entry in `[lo, hi]` in index order, merging the slab
+    /// slice with the delta range (both sorted; entries are disjoint).
+    fn for_each_in<F: FnMut(Key)>(&self, lo: Key, hi: Key, mut f: F) -> u64 {
+        let slab = self.slab_range(lo, hi);
+        if self.delta.is_empty() {
+            // Fast path: pure contiguous scan.
+            for &k in slab {
+                f(k);
+            }
+            return slab.len() as u64;
+        }
+        // One canonical merge: the visitor path drives the same iterator
+        // `match_pattern` exposes, so the tie-break can never diverge.
+        let mut n = 0;
+        for k in self.range_iter(lo, hi) {
+            n += 1;
+            f(k);
+        }
+        n
+    }
+
+    /// Iterator form of [`Index::for_each_in`] (allocation is confined to
+    /// the boxed iterator the caller already pays for).
+    fn range_iter(&self, lo: Key, hi: Key) -> MergeIter<'_> {
+        MergeIter {
+            slab: self.slab_range(lo, hi).iter(),
+            slab_peek: None,
+            delta: self.delta.range(lo..=hi),
+            delta_peek: None,
+        }
+    }
+
+    /// Merge the delta into the slab (two-way merge from the back, in
+    /// place). Afterwards the delta is empty.
+    fn compact(&mut self) {
+        if self.delta.is_empty() {
+            return;
+        }
+        let add: Vec<Key> = std::mem::take(&mut self.delta).into_iter().collect();
+        if self.slab.last().is_none_or(|&last| last < add[0]) {
+            // Append-only pattern (monotone ids during bulk load).
+            self.slab.extend(add);
+            return;
+        }
+        let old_len = self.slab.len();
+        self.slab.resize(old_len + add.len(), (MIN, MIN, MIN));
+        let mut write = self.slab.len();
+        let mut read = old_len;
+        let mut extra = add.len();
+        // Entries are disjoint (inserts check contains first), so a strict
+        // comparison is enough.
+        while extra > 0 {
+            write -= 1;
+            if read > 0 && self.slab[read - 1] > add[extra - 1] {
+                read -= 1;
+                self.slab[write] = self.slab[read];
+            } else {
+                extra -= 1;
+                self.slab[write] = add[extra];
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slab.len() + self.delta.len()
+    }
+}
+
+/// Sorted two-way merge over a slab slice and a delta range.
+struct MergeIter<'a> {
+    slab: std::slice::Iter<'a, Key>,
+    slab_peek: Option<Key>,
+    delta: std::collections::btree_set::Range<'a, Key>,
+    delta_peek: Option<Key>,
+}
+
+impl Iterator for MergeIter<'_> {
+    type Item = Key;
+
+    fn next(&mut self) -> Option<Key> {
+        if self.slab_peek.is_none() {
+            self.slab_peek = self.slab.next().copied();
+        }
+        if self.delta_peek.is_none() {
+            self.delta_peek = self.delta.next().copied();
+        }
+        match (self.slab_peek, self.delta_peek) {
+            (Some(a), Some(b)) => {
+                if a <= b {
+                    self.slab_peek = None;
+                    Some(a)
+                } else {
+                    self.delta_peek = None;
+                    Some(b)
+                }
+            }
+            (Some(a), None) => {
+                self.slab_peek = None;
+                Some(a)
+            }
+            (None, Some(b)) => {
+                self.delta_peek = None;
+                Some(b)
+            }
+            (None, None) => None,
+        }
+    }
+}
+
+/// An in-memory RDF graph with full triple-pattern access paths.
+///
+/// See the module docs for the slab + delta storage design and the
+/// compaction contract.
+#[derive(Debug, Clone)]
 pub struct Graph {
     interner: Interner,
-    spo: BTreeSet<(TermId, TermId, TermId)>,
-    pos: BTreeSet<(TermId, TermId, TermId)>,
-    osp: BTreeSet<(TermId, TermId, TermId)>,
-    pred_subjects: HashMap<TermId, BTreeSet<TermId>>,
-    pred_objects: HashMap<TermId, BTreeSet<TermId>>,
+    spo: Index,
+    pos: Index,
+    osp: Index,
+    delta_threshold: usize,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph {
+            interner: Interner::new(),
+            spo: Index::default(),
+            pos: Index::default(),
+            osp: Index::default(),
+            delta_threshold: Self::DEFAULT_DELTA_THRESHOLD,
+        }
+    }
 }
 
 impl Graph {
+    /// Delta size at which an insert triggers automatic compaction.
+    pub const DEFAULT_DELTA_THRESHOLD: usize = 8192;
+
     /// Empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty graph with a custom auto-compaction threshold (tests use small
+    /// thresholds to exercise slab/delta interleavings; `usize::MAX`
+    /// disables auto-compaction entirely).
+    pub fn with_delta_threshold(threshold: usize) -> Self {
+        Graph {
+            delta_threshold: threshold.max(1),
+            ..Self::default()
+        }
     }
 
     /// Number of triples.
@@ -116,7 +301,13 @@ impl Graph {
 
     /// True when the graph holds no triples.
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.spo.len() == 0
+    }
+
+    /// Number of triples currently in the mutable delta (0 right after
+    /// [`Graph::compact`]).
+    pub fn delta_len(&self) -> usize {
+        self.spo.delta.len()
     }
 
     /// Access the term interner (read-only).
@@ -149,69 +340,70 @@ impl Graph {
 
     /// Insert a triple of already-interned ids. Returns `true` if new.
     pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
-        if !self.spo.insert((s, p, o)) {
+        if self.spo.contains((s, p, o)) {
             return false;
         }
-        self.pos.insert((p, o, s));
-        self.osp.insert((o, s, p));
-        self.pred_subjects.entry(p).or_default().insert(s);
-        self.pred_objects.entry(p).or_default().insert(o);
+        self.spo.delta.insert((s, p, o));
+        self.pos.delta.insert((p, o, s));
+        self.osp.delta.insert((o, s, p));
+        if self.spo.delta.len() >= self.delta_threshold {
+            self.compact();
+        }
         true
+    }
+
+    /// Merge the delta buffers into the frozen slabs. Idempotent; see the
+    /// module docs for the full contract.
+    pub fn compact(&mut self) {
+        self.spo.compact();
+        self.pos.compact();
+        self.osp.compact();
     }
 
     /// Does the graph contain the exact triple?
     pub fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
-        self.spo.contains(&(s, p, o))
+        self.spo.contains((s, p, o))
+    }
+
+    /// Index, bounds, and match→(s,p,o) projection for a pattern shape.
+    #[inline]
+    fn access_path(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> (&Index, Key, Key, fn(Key) -> Key) {
+        fn id_spo(k: Key) -> Key {
+            k
+        }
+        fn from_pos((p, o, s): Key) -> Key {
+            (s, p, o)
+        }
+        fn from_osp((o, s, p): Key) -> Key {
+            (s, p, o)
+        }
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => (&self.spo, (s, p, o), (s, p, o), id_spo),
+            (Some(s), Some(p), None) => (&self.spo, (s, p, MIN), (s, p, MAX), id_spo),
+            (Some(s), None, None) => (&self.spo, (s, MIN, MIN), (s, MAX, MAX), id_spo),
+            (Some(s), None, Some(o)) => (&self.osp, (o, s, MIN), (o, s, MAX), from_osp),
+            (None, Some(p), Some(o)) => (&self.pos, (p, o, MIN), (p, o, MAX), from_pos),
+            (None, Some(p), None) => (&self.pos, (p, MIN, MIN), (p, MAX, MAX), from_pos),
+            (None, None, Some(o)) => (&self.osp, (o, MIN, MIN), (o, MAX, MAX), from_osp),
+            (None, None, None) => (&self.spo, (MIN, MIN, MIN), (MAX, MAX, MAX), id_spo),
+        }
     }
 
     /// Match a triple pattern; unbound positions are `None`. Yields matches
-    /// as `(s, p, o)` id triples.
+    /// as `(s, p, o)` id triples in index order.
     pub fn match_pattern<'a>(
         &'a self,
         s: Option<TermId>,
         p: Option<TermId>,
         o: Option<TermId>,
     ) -> Box<dyn Iterator<Item = (TermId, TermId, TermId)> + 'a> {
-        match (s, p, o) {
-            (Some(s), Some(p), Some(o)) => {
-                if self.spo.contains(&(s, p, o)) {
-                    Box::new(std::iter::once((s, p, o)))
-                } else {
-                    Box::new(std::iter::empty())
-                }
-            }
-            (Some(s), Some(p), None) => Box::new(
-                self.spo
-                    .range((s, p, MIN)..=(s, p, MAX))
-                    .copied(),
-            ),
-            (Some(s), None, None) => Box::new(
-                self.spo
-                    .range((s, MIN, MIN)..=(s, MAX, MAX))
-                    .copied(),
-            ),
-            (Some(s), None, Some(o)) => Box::new(
-                self.osp
-                    .range((o, s, MIN)..=(o, s, MAX))
-                    .map(|&(o, s, p)| (s, p, o)),
-            ),
-            (None, Some(p), Some(o)) => Box::new(
-                self.pos
-                    .range((p, o, MIN)..=(p, o, MAX))
-                    .map(|&(p, o, s)| (s, p, o)),
-            ),
-            (None, Some(p), None) => Box::new(
-                self.pos
-                    .range((p, MIN, MIN)..=(p, MAX, MAX))
-                    .map(|&(p, o, s)| (s, p, o)),
-            ),
-            (None, None, Some(o)) => Box::new(
-                self.osp
-                    .range((o, MIN, MIN)..=(o, MAX, MAX))
-                    .map(|&(o, s, p)| (s, p, o)),
-            ),
-            (None, None, None) => Box::new(self.spo.iter().copied()),
-        }
+        let (index, lo, hi, project) = self.access_path(s, p, o);
+        Box::new(index.range_iter(lo, hi).map(project))
     }
 
     /// Visit every match of a triple pattern without allocating an iterator
@@ -226,58 +418,11 @@ impl Graph {
         o: Option<TermId>,
         mut f: F,
     ) -> u64 {
-        let mut n = 0;
-        match (s, p, o) {
-            (Some(s), Some(p), Some(o)) => {
-                if self.spo.contains(&(s, p, o)) {
-                    n += 1;
-                    f(s, p, o);
-                }
-            }
-            (Some(s), Some(p), None) => {
-                for &(s, p, o) in self.spo.range((s, p, MIN)..=(s, p, MAX)) {
-                    n += 1;
-                    f(s, p, o);
-                }
-            }
-            (Some(s), None, None) => {
-                for &(s, p, o) in self.spo.range((s, MIN, MIN)..=(s, MAX, MAX)) {
-                    n += 1;
-                    f(s, p, o);
-                }
-            }
-            (Some(s), None, Some(o)) => {
-                for &(o, s, p) in self.osp.range((o, s, MIN)..=(o, s, MAX)) {
-                    n += 1;
-                    f(s, p, o);
-                }
-            }
-            (None, Some(p), Some(o)) => {
-                for &(p, o, s) in self.pos.range((p, o, MIN)..=(p, o, MAX)) {
-                    n += 1;
-                    f(s, p, o);
-                }
-            }
-            (None, Some(p), None) => {
-                for &(p, o, s) in self.pos.range((p, MIN, MIN)..=(p, MAX, MAX)) {
-                    n += 1;
-                    f(s, p, o);
-                }
-            }
-            (None, None, Some(o)) => {
-                for &(o, s, p) in self.osp.range((o, MIN, MIN)..=(o, MAX, MAX)) {
-                    n += 1;
-                    f(s, p, o);
-                }
-            }
-            (None, None, None) => {
-                for &(s, p, o) in self.spo.iter() {
-                    n += 1;
-                    f(s, p, o);
-                }
-            }
-        }
-        n
+        let (index, lo, hi, project) = self.access_path(s, p, o);
+        index.for_each_in(lo, hi, |k| {
+            let (s, p, o) = project(k);
+            f(s, p, o);
+        })
     }
 
     /// Exact (not estimated) number of matches for a pattern.
@@ -287,18 +432,24 @@ impl Graph {
         p: Option<TermId>,
         o: Option<TermId>,
     ) -> usize {
-        self.match_pattern(s, p, o).count()
+        let (index, lo, hi, _) = self.access_path(s, p, o);
+        if index.delta.is_empty() {
+            index.slab_range(lo, hi).len()
+        } else {
+            index.slab_range(lo, hi).len() + index.delta.range(lo..=hi).count()
+        }
     }
 
     /// Iterate all triples as id tuples in SPO order.
     pub fn iter_ids(&self) -> impl Iterator<Item = (TermId, TermId, TermId)> + '_ {
-        self.spo.iter().copied()
+        self.spo
+            .range_iter((MIN, MIN, MIN), (MAX, MAX, MAX))
     }
 
     /// Iterate all triples as concrete [`Triple`]s (allocates per triple;
     /// intended for serialization, not evaluation).
     pub fn iter_triples(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo.iter().map(move |&(s, p, o)| {
+        self.iter_ids().map(move |(s, p, o)| {
             Triple::new(
                 self.term(s).clone(),
                 self.term(p).clone(),
@@ -307,33 +458,46 @@ impl Graph {
         })
     }
 
-    /// Build a statistics snapshot for the optimizer.
+    /// Build a statistics snapshot for the optimizer in one POS-order pass.
     pub fn stats(&self) -> GraphStats {
-        let mut predicates = HashMap::with_capacity(self.pred_subjects.len());
-        for (&p, subjects) in &self.pred_subjects {
-            let objects = &self.pred_objects[&p];
-            let count = self
-                .pos
-                .range((p, MIN, MIN)..=(p, MAX, MAX))
-                .count();
-            predicates.insert(
-                p,
-                PredicateStats {
-                    count,
-                    distinct_subjects: subjects.len(),
-                    distinct_objects: objects.len(),
-                },
-            );
+        let mut predicates: HashMap<TermId, PredicateStats> = HashMap::new();
+        let mut subjects: HashMap<TermId, HashSet<TermId>> = HashMap::new();
+        let mut current: Option<(TermId, TermId)> = None;
+        self.pos.for_each_in((MIN, MIN, MIN), (MAX, MAX, MAX), |(p, o, s)| {
+            let st = predicates.entry(p).or_default();
+            st.count += 1;
+            // POS order: distinct (p, o) prefixes arrive consecutively.
+            if current != Some((p, o)) {
+                current = Some((p, o));
+                st.distinct_objects += 1;
+            }
+            subjects.entry(p).or_default().insert(s);
+        });
+        for (p, subs) in subjects {
+            predicates
+                .get_mut(&p)
+                .expect("predicate seen in scan")
+                .distinct_subjects = subs.len();
         }
         GraphStats {
-            triples: self.spo.len(),
+            triples: self.len(),
             predicates,
         }
     }
 
-    /// Distinct predicates in the graph.
+    /// Distinct predicates in the graph, ascending.
     pub fn predicates(&self) -> impl Iterator<Item = TermId> + '_ {
-        self.pred_subjects.keys().copied()
+        let mut last: Option<TermId> = None;
+        self.pos
+            .range_iter((MIN, MIN, MIN), (MAX, MAX, MAX))
+            .filter_map(move |(p, _, _)| {
+                if last == Some(p) {
+                    None
+                } else {
+                    last = Some(p);
+                    Some(p)
+                }
+            })
     }
 }
 
@@ -354,71 +518,138 @@ mod tests {
         g
     }
 
+    /// Same contents as [`sample`] but compacted midway, so half the
+    /// triples live in the slab and half in the delta (scans must merge).
+    fn sample_half_compacted() -> Graph {
+        let mut g = Graph::new();
+        g.insert(&t("http://x/s1", "http://x/p1", "http://x/o1"));
+        g.insert(&t("http://x/s2", "http://x/p1", "http://x/o1"));
+        g.compact();
+        g.insert(&t("http://x/s1", "http://x/p1", "http://x/o2"));
+        g.insert(&t("http://x/s2", "http://x/p2", "http://x/o3"));
+        assert_eq!(g.delta_len(), 2);
+        g
+    }
+
+    /// Same contents as [`sample`] but fully compacted (pure slab scans).
+    fn sample_compacted() -> Graph {
+        let mut g = sample();
+        g.compact();
+        g
+    }
+
     #[test]
     fn insert_deduplicates() {
         let mut g = Graph::new();
         assert!(g.insert(&t("http://x/a", "http://x/p", "http://x/b")));
         assert!(!g.insert(&t("http://x/a", "http://x/p", "http://x/b")));
         assert_eq!(g.len(), 1);
+        g.compact();
+        assert!(!g.insert(&t("http://x/a", "http://x/p", "http://x/b")));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.delta_len(), 0);
     }
 
     #[test]
     fn all_eight_access_paths_agree() {
-        let g = sample();
-        let s1 = g.term_id(&Term::iri("http://x/s1")).unwrap();
-        let p1 = g.term_id(&Term::iri("http://x/p1")).unwrap();
-        let o1 = g.term_id(&Term::iri("http://x/o1")).unwrap();
-        assert_eq!(g.count_pattern(Some(s1), Some(p1), Some(o1)), 1);
-        assert_eq!(g.count_pattern(Some(s1), Some(p1), None), 2);
-        assert_eq!(g.count_pattern(Some(s1), None, None), 2);
-        assert_eq!(g.count_pattern(Some(s1), None, Some(o1)), 1);
-        assert_eq!(g.count_pattern(None, Some(p1), Some(o1)), 2);
-        assert_eq!(g.count_pattern(None, Some(p1), None), 3);
-        assert_eq!(g.count_pattern(None, None, Some(o1)), 2);
-        assert_eq!(g.count_pattern(None, None, None), 4);
+        for g in [sample(), sample_compacted(), sample_half_compacted()] {
+            let s1 = g.term_id(&Term::iri("http://x/s1")).unwrap();
+            let p1 = g.term_id(&Term::iri("http://x/p1")).unwrap();
+            let o1 = g.term_id(&Term::iri("http://x/o1")).unwrap();
+            assert_eq!(g.count_pattern(Some(s1), Some(p1), Some(o1)), 1);
+            assert_eq!(g.count_pattern(Some(s1), Some(p1), None), 2);
+            assert_eq!(g.count_pattern(Some(s1), None, None), 2);
+            assert_eq!(g.count_pattern(Some(s1), None, Some(o1)), 1);
+            assert_eq!(g.count_pattern(None, Some(p1), Some(o1)), 2);
+            assert_eq!(g.count_pattern(None, Some(p1), None), 3);
+            assert_eq!(g.count_pattern(None, None, Some(o1)), 2);
+            assert_eq!(g.count_pattern(None, None, None), 4);
+        }
     }
 
     #[test]
     fn for_each_match_agrees_with_match_pattern() {
-        let g = sample();
-        let s1 = g.term_id(&Term::iri("http://x/s1"));
-        let p1 = g.term_id(&Term::iri("http://x/p1"));
-        let o1 = g.term_id(&Term::iri("http://x/o1"));
-        for s in [None, s1] {
-            for p in [None, p1] {
-                for o in [None, o1] {
-                    let via_iter: Vec<_> = g.match_pattern(s, p, o).collect();
-                    let mut via_visit = Vec::new();
-                    let n = g.for_each_match(s, p, o, |ms, mp, mo| {
-                        via_visit.push((ms, mp, mo));
-                    });
-                    assert_eq!(via_iter, via_visit);
-                    assert_eq!(n as usize, via_visit.len());
+        for g in [sample(), sample_compacted(), sample_half_compacted()] {
+            let s1 = g.term_id(&Term::iri("http://x/s1"));
+            let p1 = g.term_id(&Term::iri("http://x/p1"));
+            let o1 = g.term_id(&Term::iri("http://x/o1"));
+            for s in [None, s1] {
+                for p in [None, p1] {
+                    for o in [None, o1] {
+                        let via_iter: Vec<_> = g.match_pattern(s, p, o).collect();
+                        let mut via_visit = Vec::new();
+                        let n = g.for_each_match(s, p, o, |ms, mp, mo| {
+                            via_visit.push((ms, mp, mo));
+                        });
+                        assert_eq!(via_iter, via_visit);
+                        assert_eq!(n as usize, via_visit.len());
+                        assert_eq!(g.count_pattern(s, p, o), via_visit.len());
+                    }
                 }
             }
         }
     }
 
     #[test]
+    fn half_compacted_scans_merge_in_order() {
+        let mut g = Graph::new();
+        g.insert(&t("http://x/s1", "http://x/p1", "http://x/o1"));
+        g.insert(&t("http://x/s2", "http://x/p1", "http://x/o1"));
+        g.compact();
+        // Interleaves before, between, and after the slab entries.
+        g.insert(&t("http://x/s1", "http://x/p1", "http://x/o0"));
+        g.insert(&t("http://x/s1", "http://x/p2", "http://x/o9"));
+        g.insert(&t("http://x/s3", "http://x/p1", "http://x/o1"));
+        assert_eq!(g.delta_len(), 3);
+        let all: Vec<_> = g.iter_ids().collect();
+        assert_eq!(all.len(), 5);
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted, "merged scan must be in SPO order");
+        let mut compacted = g.clone();
+        compacted.compact();
+        assert_eq!(compacted.delta_len(), 0);
+        let after: Vec<_> = compacted.iter_ids().collect();
+        assert_eq!(all, after, "compaction must not change contents");
+    }
+
+    #[test]
+    fn auto_compaction_at_threshold() {
+        let mut g = Graph::with_delta_threshold(4);
+        for i in 0..10 {
+            g.insert(&t(
+                &format!("http://x/s{i}"),
+                "http://x/p",
+                "http://x/o",
+            ));
+        }
+        assert_eq!(g.len(), 10);
+        assert!(g.delta_len() < 4, "delta must stay below the threshold");
+        assert_eq!(g.count_pattern(None, None, None), 10);
+    }
+
+    #[test]
     fn pattern_results_are_real_triples() {
-        let g = sample();
-        let p1 = g.term_id(&Term::iri("http://x/p1")).unwrap();
-        for (s, p, o) in g.match_pattern(None, Some(p1), None) {
-            assert_eq!(p, p1);
-            assert!(g.contains_ids(s, p, o));
+        for g in [sample(), sample_compacted(), sample_half_compacted()] {
+            let p1 = g.term_id(&Term::iri("http://x/p1")).unwrap();
+            for (s, p, o) in g.match_pattern(None, Some(p1), None) {
+                assert_eq!(p, p1);
+                assert!(g.contains_ids(s, p, o));
+            }
         }
     }
 
     #[test]
     fn stats_counts() {
-        let g = sample();
-        let stats = g.stats();
-        assert_eq!(stats.triples, 4);
-        let p1 = g.term_id(&Term::iri("http://x/p1")).unwrap();
-        let st = &stats.predicates[&p1];
-        assert_eq!(st.count, 3);
-        assert_eq!(st.distinct_subjects, 2);
-        assert_eq!(st.distinct_objects, 2);
+        for g in [sample(), sample_compacted(), sample_half_compacted()] {
+            let stats = g.stats();
+            assert_eq!(stats.triples, 4);
+            let p1 = g.term_id(&Term::iri("http://x/p1")).unwrap();
+            let st = &stats.predicates[&p1];
+            assert_eq!(st.count, 3);
+            assert_eq!(st.distinct_subjects, 2);
+            assert_eq!(st.distinct_objects, 2);
+        }
     }
 
     #[test]
@@ -438,5 +669,17 @@ mod tests {
         let g = sample();
         let stats = g.stats();
         assert_eq!(stats.estimate(None, Some(TermId(9999)), None), 0.0);
+    }
+
+    #[test]
+    fn predicates_are_distinct_and_sorted() {
+        for g in [sample(), sample_compacted(), sample_half_compacted()] {
+            let preds: Vec<_> = g.predicates().collect();
+            assert_eq!(preds.len(), 2);
+            let mut sorted = preds.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(preds, sorted);
+        }
     }
 }

@@ -37,6 +37,25 @@ fn triple_strategy() -> impl Strategy<Value = Triple> {
         .prop_map(|(s, p, o)| Triple::new(s, p, o))
 }
 
+/// One step of the slab/delta storage model exercise.
+#[derive(Debug, Clone)]
+enum StorageOp {
+    Insert(Triple),
+    Compact,
+}
+
+fn storage_op_strategy() -> impl Strategy<Value = StorageOp> {
+    // Unweighted arms (the offline proptest shim has no weight syntax):
+    // repeat the insert arm to keep compactions the rarer op.
+    prop_oneof![
+        triple_strategy().prop_map(StorageOp::Insert),
+        triple_strategy().prop_map(StorageOp::Insert),
+        triple_strategy().prop_map(StorageOp::Insert),
+        triple_strategy().prop_map(StorageOp::Insert),
+        Just(StorageOp::Compact),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
 
@@ -97,6 +116,75 @@ proptest! {
             let exact = g.count_pattern(None, Some(p), None);
             prop_assert_eq!(stats.predicates[&p].count, exact);
         }
+    }
+
+    #[test]
+    fn interleaved_inserts_and_compactions_match_naive_model(
+        ops in proptest::collection::vec(storage_op_strategy(), 1..60),
+        // Tiny auto-compaction threshold so slab merges happen mid-stream
+        // even without explicit Compact ops.
+        threshold in 2usize..6,
+    ) {
+        // Model: a plain Vec of id triples, deduplicated, sorted on demand.
+        let mut g = Graph::with_delta_threshold(threshold);
+        let mut model: Vec<(rdf_model::TermId, rdf_model::TermId, rdf_model::TermId)> = Vec::new();
+        for op in &ops {
+            match op {
+                StorageOp::Insert(t) => {
+                    let inserted = g.insert(t);
+                    let ids = (
+                        g.term_id(&t.subject).unwrap(),
+                        g.term_id(&t.predicate).unwrap(),
+                        g.term_id(&t.object).unwrap(),
+                    );
+                    prop_assert_eq!(inserted, !model.contains(&ids));
+                    if inserted {
+                        model.push(ids);
+                    }
+                }
+                StorageOp::Compact => g.compact(),
+            }
+
+            // After every step the store must agree with the naive model on
+            // every access-path shape for a sample of bound values.
+            prop_assert_eq!(g.len(), model.len());
+            let mut sorted = model.clone();
+            sorted.sort();
+            let scanned: Vec<_> = g.iter_ids().collect();
+            prop_assert_eq!(&scanned, &sorted, "full scan must be sorted SPO");
+            if let Some(&(s, p, o)) = model.last() {
+                for mask in 0..8u8 {
+                    let qs = (mask & 4 != 0).then_some(s);
+                    let qp = (mask & 2 != 0).then_some(p);
+                    let qo = (mask & 1 != 0).then_some(o);
+                    let mut expect: Vec<_> = model
+                        .iter()
+                        .filter(|(ms, mp, mo)| {
+                            qs.is_none_or(|v| v == *ms)
+                                && qp.is_none_or(|v| v == *mp)
+                                && qo.is_none_or(|v| v == *mo)
+                        })
+                        .copied()
+                        .collect();
+                    expect.sort();
+                    let mut got: Vec<_> = g.match_pattern(qs, qp, qo).collect();
+                    let mut via_visit = Vec::new();
+                    let n = g.for_each_match(qs, qp, qo, |a, b, c| via_visit.push((a, b, c)));
+                    prop_assert_eq!(&got, &via_visit, "iterator and visitor disagree");
+                    prop_assert_eq!(n as usize, via_visit.len());
+                    prop_assert_eq!(g.count_pattern(qs, qp, qo), expect.len());
+                    got.sort();
+                    prop_assert_eq!(got, expect, "mask {:#05b}", mask);
+                }
+            }
+        }
+
+        // Final compaction drains the delta without changing contents.
+        let before: Vec<_> = g.iter_ids().collect();
+        g.compact();
+        prop_assert_eq!(g.delta_len(), 0);
+        let after: Vec<_> = g.iter_ids().collect();
+        prop_assert_eq!(before, after);
     }
 
     #[test]

@@ -3,11 +3,15 @@
 //! [`Engine`] holds a dataset and a configuration and turns SPARQL text into
 //! a [`SolutionTable`]: parse → algebra → (optional) optimize → evaluate.
 //!
-//! Evaluation is id-native by default: the whole pipeline runs on `u32`
-//! [`rdf_model::TermId`]s and terms are materialized once at the end (see
-//! [`crate::eval`]). The pre-refactor term-materialized evaluator is still
-//! available as [`EvalMode::TermReference`] for differential testing and
-//! baseline benchmarking ([`crate::eval_reference`]).
+//! Evaluation is columnar and id-native by default: the whole pipeline runs
+//! on `u32` [`rdf_model::TermId`]s in struct-of-arrays batches and terms are
+//! materialized once at the end (see [`crate::eval`]). Two earlier
+//! evaluators are kept selectable for differential testing and baseline
+//! benchmarking: the PR 1 row-at-a-time id-native pipeline
+//! ([`EvalMode::IdNative`], [`crate::eval_rows`]) and the seed
+//! term-materialized one ([`EvalMode::TermReference`],
+//! [`crate::eval_reference`]). All three produce identical bags and
+//! identical `rows_scanned` work counts.
 
 use std::sync::Arc;
 
@@ -17,6 +21,7 @@ use crate::algebra::translate_query;
 use crate::error::Result;
 use crate::eval::Evaluator;
 use crate::eval_reference::ReferenceEvaluator;
+use crate::eval_rows::RowEvaluator;
 use crate::optimizer::Optimizer;
 use crate::parser::parse_query;
 use crate::results::SolutionTable;
@@ -24,9 +29,12 @@ use crate::results::SolutionTable;
 /// Which evaluator executes plans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EvalMode {
-    /// Id-native pipeline: rows are `Option<TermId>`, terms materialize only
-    /// at expression/sort/projection boundaries.
+    /// Columnar id-native pipeline (struct-of-arrays [`crate::results::IdTable`],
+    /// vectorized BGP extension and joins): the default.
     #[default]
+    Columnar,
+    /// The PR 1 row-at-a-time id-native pipeline (rows of `Option<TermId>`),
+    /// kept as a correctness oracle and perf baseline.
     IdNative,
     /// The seed term-materialized evaluator, kept as a correctness oracle
     /// and perf baseline.
@@ -40,16 +48,16 @@ pub struct EngineConfig {
     /// engine whose optimizer takes queries literally (useful for the
     /// ablation experiments).
     pub optimize: bool,
-    /// Evaluator selection (id-native unless testing against the reference).
+    /// Evaluator selection (columnar unless testing against an oracle).
     pub eval_mode: EvalMode,
 }
 
 impl EngineConfig {
-    /// The default configuration: optimizer on, id-native evaluation.
+    /// The default configuration: optimizer on, columnar evaluation.
     pub fn new() -> Self {
         EngineConfig {
             optimize: true,
-            eval_mode: EvalMode::IdNative,
+            eval_mode: EvalMode::Columnar,
         }
     }
 }
@@ -75,7 +83,7 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Engine with the default configuration (optimizer on, id-native).
+    /// Engine with the default configuration (optimizer on, columnar).
     pub fn new(dataset: Arc<Dataset>) -> Self {
         Engine {
             dataset,
@@ -129,8 +137,19 @@ impl Engine {
             optimizer.optimize(&mut plan);
         }
         match self.config.eval_mode {
-            EvalMode::IdNative => {
+            EvalMode::Columnar => {
                 let mut evaluator = Evaluator::new(&self.dataset, parsed.from.clone());
+                let table = match page {
+                    None => evaluator.eval(&plan)?,
+                    Some((offset, limit)) => evaluator.eval_page(&plan, offset, limit)?,
+                };
+                let stats = ExecStats {
+                    rows_scanned: evaluator.rows_scanned(),
+                };
+                Ok((table, stats))
+            }
+            EvalMode::IdNative => {
+                let mut evaluator = RowEvaluator::new(&self.dataset, parsed.from.clone());
                 let table = match page {
                     None => evaluator.eval(&plan)?,
                     Some((offset, limit)) => evaluator.eval_page(&plan, offset, limit)?,

@@ -1,52 +1,58 @@
-//! Id-native bag-semantics plan evaluation.
+//! Columnar (vectorized) id-native plan evaluation — the default engine.
 //!
-//! Implements the SPARQL multiset semantics of the paper's Section 5.2 with
-//! every intermediate binding kept as a dataset-global `u32` [`TermId`]
-//! (rows are `Vec<Option<TermId>>`, see [`IdTable`]): BGPs evaluate by
-//! index-nested-loop over the store's access paths (in the order chosen by
-//! the optimizer) pushing raw ids, joins are hash joins whose keys are
-//! integers, `OPTIONAL` is a left outer join, `UNION` is bag union with
-//! schema alignment, and `DISTINCT`/grouping hash id tuples.
+//! Implements the SPARQL multiset semantics of the paper's Section 5.2 over
+//! the struct-of-arrays [`IdTable`]: one dense `Vec<TermId>` per variable
+//! column plus a presence bitmap, instead of a `Vec<Option<TermId>>` per
+//! row. The operators are batch-oriented:
 //!
-//! Because the dataset interner is shared across graphs
-//! ([`rdf_model::Dataset`]), two ids are equal iff their terms are equal
-//! even in cross-graph joins — no string ever needs rehydrating in the join
-//! core. [`Term`] values are materialized only at the boundaries that
-//! genuinely need them:
+//! - **BGP extension** walks the store's sorted-slab access paths
+//!   ([`rdf_model::Graph`]) and appends match results into *column buffers*
+//!   (a gather-index vector plus one value vector per newly-bound
+//!   variable). No per-row `Vec` is ever allocated; previously-bound
+//!   columns are carried forward with a single contiguous gather.
+//! - **Hash joins** pick their key columns with a bitmap popcount
+//!   ([`Column::all_present`]), build on raw `&[TermId]` column slices,
+//!   and emit output columns by gathering over the matched pair list.
+//! - **DISTINCT** and **GROUP BY** key directly off column slices,
+//!   hashing `u64`-encoded cells (id + presence), never terms.
+//! - **Aggregates** run id-native where the shape allows: `COUNT[DISTINCT]`
+//!   over a column counts ids; `MIN`/`MAX`/`SUM`/`AVG` over a
+//!   numeric-literal column accumulate parsed `i64`/`f64` values without
+//!   materializing a single [`Term`] per row (mixed-type columns fall back
+//!   to term-based [`AggState`]); DISTINCT inputs of general expressions
+//!   intern through the [`TermPool`] and dedup on ids.
 //!
-//! - `FILTER` / `BIND` (`Extend`) expression evaluation resolves ids
-//!   *by reference* through the [`TermPool`] and interns computed results
-//!   back into the pool's query-local overflow;
-//! - `ORDER BY` / top-k key computation;
-//! - the final materialization of the public [`SolutionTable`], performed
-//!   once per query (or per shipped page, see [`Evaluator::eval_page`]).
-//!
-//! The pre-refactor evaluator is preserved in [`crate::eval_reference`] as a
-//! differential-testing oracle; both produce identical bags and identical
-//! `rows_scanned` counts.
+//! Terms are materialized only at expression/sort boundaries (through a
+//! reused scratch row) and at the final projection. The two earlier
+//! evaluators — PR 1's row-at-a-time id-native pipeline
+//! ([`crate::eval_rows`]) and the seed term-materialized one
+//! ([`crate::eval_reference`]) — are kept as differential-testing oracles:
+//! all three produce identical bags and identical `rows_scanned` counts.
 
+use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use rdf_model::term::{Literal, TypedValue};
 use rdf_model::{Dataset, Graph, GraphIdMap, Term, TermId};
 
 use crate::algebra::{AggSpec, GraphRef, Plan};
-use crate::ast::{OrderKey, PatternTerm, TriplePattern};
+use crate::ast::{AggOp, Expr, OrderKey, PatternTerm, TriplePattern};
 use crate::error::{EngineError, Result};
 use crate::expr::{ebv, eval_expr, AggState, EvalCaches, IdRowCtx};
 use crate::pool::TermPool;
-use crate::results::{IdTable, SolutionTable};
+use crate::results::{Column, IdTable, SolutionTable};
 
-/// One row of global term ids.
-type IdRow = Vec<Option<TermId>>;
-
-/// Id-native plan evaluator bound to a dataset.
+/// Columnar id-native plan evaluator bound to a dataset.
 pub struct Evaluator<'a> {
     dataset: &'a Dataset,
     default_graphs: Vec<String>,
     caches: EvalCaches,
     pool: TermPool<'a>,
     rows_scanned: u64,
+    /// Reused row buffer for expression contexts (the only place the
+    /// columnar layout is transposed back to a row).
+    scratch: Vec<Option<TermId>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -58,6 +64,7 @@ impl<'a> Evaluator<'a> {
             caches: EvalCaches::new(),
             pool: TermPool::new(dataset.interner()),
             rows_scanned: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -79,28 +86,28 @@ impl<'a> Evaluator<'a> {
     /// materialization means only the shipped page allocates terms.
     pub fn eval_page(&mut self, plan: &Plan, offset: usize, limit: usize) -> Result<SolutionTable> {
         let mut table = self.eval_ids(plan)?;
-        crate::results::slice_rows(&mut table.rows, offset, Some(limit));
+        table.slice(offset, Some(limit));
         Ok(self.materialize(table))
     }
 
     /// Resolve ids to owned terms (the single materialization point).
     fn materialize(&self, table: IdTable) -> SolutionTable {
-        let rows = table
-            .rows
-            .into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .map(|cell| cell.map(|id| self.pool.resolve(id).clone()))
-                    .collect()
-            })
-            .collect();
+        let width = table.vars.len();
+        let mut rows = Vec::with_capacity(table.len());
+        for i in 0..table.len() {
+            rows.push(
+                (0..width)
+                    .map(|c| table.get(i, c).map(|id| self.pool.resolve(id).clone()))
+                    .collect(),
+            );
+        }
         SolutionTable {
             vars: table.vars,
             rows,
         }
     }
 
-    /// Evaluate a plan to an id table (the internal hot path).
+    /// Evaluate a plan to a columnar id table (the internal hot path).
     fn eval_ids(&mut self, plan: &Plan) -> Result<IdTable> {
         match plan {
             Plan::Unit => Ok(IdTable::unit()),
@@ -122,59 +129,76 @@ impl<'a> Evaluator<'a> {
             }
             Plan::Filter(expr, p) => {
                 let mut t = self.eval_ids(p)?;
-                let vars = t.vars.clone();
-                let caches = &mut self.caches;
-                let pool = &self.pool;
-                t.rows.retain(|row| {
-                    let ctx = IdRowCtx {
-                        vars: &vars,
-                        row,
-                        pool,
-                    };
-                    eval_expr(expr, ctx, caches)
-                        .as_ref()
-                        .and_then(ebv)
-                        .unwrap_or(false)
-                });
+                let mut keep = Vec::with_capacity(t.len());
+                if let Some((col, const_id, negate)) = self.id_equality_filter(expr, &t) {
+                    // Vectorized id comparison: `?v = <iri>` over a column
+                    // is a single scan of raw ids — no term is resolved,
+                    // cloned, or compared per row. (Sound only for
+                    // non-literal constants, where SPARQL `=` is identity;
+                    // the shared interner makes id equality coincide with
+                    // term equality.)
+                    let column = t.col(col);
+                    for i in 0..t.len() {
+                        keep.push(match (column.get(i), const_id) {
+                            (Some(id), Some(c)) => (id == c) != negate,
+                            // Constant interned nowhere: can equal nothing.
+                            (Some(_), None) => negate,
+                            // Unbound input: error → filtered out.
+                            (None, _) => false,
+                        });
+                    }
+                } else {
+                    let pool = &self.pool;
+                    let caches = &mut self.caches;
+                    let buf = &mut self.scratch;
+                    for i in 0..t.len() {
+                        t.read_row(i, buf);
+                        let ctx = IdRowCtx {
+                            vars: &t.vars,
+                            row: buf,
+                            pool,
+                        };
+                        keep.push(
+                            eval_expr(expr, ctx, caches)
+                                .as_ref()
+                                .and_then(ebv)
+                                .unwrap_or(false),
+                        );
+                    }
+                }
+                t.filter_mask(&keep);
                 Ok(t)
             }
             Plan::Extend(var, expr, p) => {
                 let mut t = self.eval_ids(p)?;
                 let existing = t.column_index(var);
-                // `BIND(?x AS ?y)` is an id copy — no resolve/intern cycle.
-                let new_column: Vec<Option<TermId>> = if let crate::ast::Expr::Var(src) = expr {
+                // `BIND(?x AS ?y)` is a column copy — no resolve/intern
+                // cycle, no per-row work at all.
+                let new_col: Column = if let Expr::Var(src) = expr {
                     match t.column_index(src) {
-                        Some(idx) => t.rows.iter().map(|row| row[idx]).collect(),
-                        None => vec![None; t.rows.len()],
+                        Some(idx) => t.col(idx).clone(),
+                        None => Column::absent(t.len()),
                     }
                 } else {
-                    let vars_snapshot = t.vars.clone();
-                    let mut column = Vec::with_capacity(t.rows.len());
-                    for row in &t.rows {
+                    let mut col = Column::with_capacity(t.len());
+                    for i in 0..t.len() {
                         let value = {
+                            let buf = &mut self.scratch;
+                            t.read_row(i, buf);
                             let ctx = IdRowCtx {
-                                vars: &vars_snapshot,
-                                row,
+                                vars: &t.vars,
+                                row: buf,
                                 pool: &self.pool,
                             };
                             eval_expr(expr, ctx, &mut self.caches)
                         };
-                        column.push(value.map(|term| self.pool.intern(term)));
+                        col.push(value.map(|term| self.pool.intern(term)));
                     }
-                    column
+                    col
                 };
                 match existing {
-                    Some(idx) => {
-                        for (row, v) in t.rows.iter_mut().zip(new_column) {
-                            row[idx] = v;
-                        }
-                    }
-                    None => {
-                        t.vars.push(var.clone());
-                        for (row, v) in t.rows.iter_mut().zip(new_column) {
-                            row.push(v);
-                        }
-                    }
+                    Some(idx) => t.replace_column(idx, new_col),
+                    None => t.add_column(var.clone(), new_col),
                 }
                 Ok(t)
             }
@@ -184,20 +208,45 @@ impl<'a> Evaluator<'a> {
             }
             Plan::Project(vars, p) => {
                 let t = self.eval_ids(p)?;
-                let indices: Vec<Option<usize>> =
-                    vars.iter().map(|v| t.column_index(v)).collect();
-                let mut out = IdTable::with_vars(vars.clone());
-                out.rows = t
-                    .rows
-                    .into_iter()
-                    .map(|row| indices.iter().map(|i| i.and_then(|i| row[i])).collect())
-                    .collect();
-                Ok(out)
+                let rows = t.len();
+                // The input is owned: move projected columns out instead of
+                // cloning id vectors and bitmaps.
+                let (t_vars, t_cols, _) = t.into_parts();
+                let mut pool: Vec<Option<Column>> = t_cols.into_iter().map(Some).collect();
+                let mut out_cols: Vec<Column> = Vec::with_capacity(vars.len());
+                for (k, v) in vars.iter().enumerate() {
+                    let col = if let Some(prev) = vars[..k].iter().position(|x| x == v) {
+                        // `SELECT ?x ?x`: second occurrence clones the
+                        // already-projected column.
+                        out_cols[prev].clone()
+                    } else if let Some(i) = t_vars.iter().position(|x| x == v) {
+                        pool[i].take().expect("first projection of this var")
+                    } else {
+                        Column::absent(rows)
+                    };
+                    out_cols.push(col);
+                }
+                Ok(IdTable::from_columns(vars.clone(), out_cols, rows))
             }
             Plan::Distinct(p) => {
                 let mut t = self.eval_ids(p)?;
-                let mut seen: HashSet<IdRow> = HashSet::with_capacity(t.rows.len());
-                t.rows.retain(|row| seen.insert(row.clone()));
+                let width = t.vars.len();
+                let mut keep = Vec::with_capacity(t.len());
+                if width == 1 {
+                    // Single column: dedup on bare u64 codes, no row keys.
+                    let mut seen: HashSet<u64> = HashSet::with_capacity(t.len());
+                    let col = t.col(0);
+                    for i in 0..t.len() {
+                        keep.push(seen.insert(col.hash_code(i)));
+                    }
+                } else {
+                    let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(t.len());
+                    for i in 0..t.len() {
+                        let key: Vec<u64> = (0..width).map(|c| t.col(c).hash_code(i)).collect();
+                        keep.push(seen.insert(key));
+                    }
+                }
+                t.filter_mask(&keep);
                 Ok(t)
             }
             Plan::OrderBy(keys, p) => {
@@ -216,7 +265,7 @@ impl<'a> Evaluator<'a> {
                 input,
             } => {
                 let mut t = self.eval_ids(input)?;
-                crate::results::slice_rows(&mut t.rows, *offset, *limit);
+                t.slice(*offset, *limit);
                 Ok(t)
             }
         }
@@ -250,7 +299,14 @@ impl<'a> Evaluator<'a> {
         Ok(graphs)
     }
 
-    /// Index-nested-loop evaluation of a BGP in pattern order.
+    /// Vectorized index-nested-loop evaluation of a BGP in pattern order.
+    ///
+    /// Per pattern, matches are recorded as a gather-index vector (`src`,
+    /// which input row produced the match) plus one dense value vector per
+    /// variable the pattern newly binds. The next table is then assembled
+    /// column-at-a-time: carried columns gather contiguously, new columns
+    /// take the value vectors verbatim. Scan results stream straight into
+    /// these buffers — no row objects exist at any point.
     fn eval_bgp(&mut self, patterns: &[TriplePattern], graph: &GraphRef) -> Result<IdTable> {
         let graphs = self.resolve_graphs(graph)?;
 
@@ -263,17 +319,28 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
+        let width = vars.len();
         let var_idx: HashMap<&str, usize> =
             vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
 
-        let mut rows: Vec<IdRow> = vec![vec![None; vars.len()]];
+        // One all-absent row: the BGP extension identity.
+        let mut cur: Vec<Column> = (0..width).map(|_| Column::absent(1)).collect();
+        let mut cur_len = 1usize;
+        // A variable is bound in *all* rows once any earlier pattern
+        // mentioned it (every surviving row passed through that pattern).
+        let mut bound = vec![false; width];
+
+        // Match buffers reused across patterns.
+        let mut src: Vec<u32> = Vec::new();
+        let mut vals: Vec<Vec<TermId>> = Vec::new();
+
         for pattern in patterns {
-            if rows.is_empty() {
+            if cur_len == 0 {
                 break;
             }
-            // Resolve constants once per (pattern, graph) — local ids via the
-            // dataset-wide interner, no per-row string hashing. A graph where
-            // some constant does not occur contributes no matches at all.
+            // Resolve constants once per (pattern, graph) — local ids via
+            // the dataset-wide interner, no per-row string hashing. A graph
+            // where some constant does not occur contributes no matches.
             let pats: Vec<(&Graph, &GraphIdMap, [Slot; 3])> = graphs
                 .iter()
                 .filter_map(|(g, map)| {
@@ -283,15 +350,129 @@ impl<'a> Evaluator<'a> {
                     Some((g.as_ref(), map.as_ref(), [s, p, o]))
                 })
                 .collect();
-            let mut next: Vec<IdRow> = Vec::new();
-            for row in &rows {
-                for (g, map, slots) in &pats {
-                    self.rows_scanned += extend_row_with_pattern(g, map, slots, row, &mut next);
+
+            // Classify the pattern's positions (graph-independent): which
+            // columns the pattern newly binds (one value vector each), and
+            // which positions repeat a newly-bound variable (`?x ?p ?x`)
+            // and therefore need an equality check per match.
+            let terms = [&pattern.subject, &pattern.predicate, &pattern.object];
+            let mut free_cols: Vec<usize> = Vec::new(); // col per value slot
+            let mut primaries: Vec<(usize, usize)> = Vec::new(); // (slot, position)
+            let mut dup_checks: Vec<(usize, usize)> = Vec::new(); // (position, position)
+            for (pos, term) in terms.iter().enumerate() {
+                if let PatternTerm::Var(v) = term {
+                    let col = var_idx[v.as_str()];
+                    if bound[col] {
+                        continue;
+                    }
+                    match free_cols.iter().position(|&c| c == col) {
+                        Some(slot) => dup_checks.push((primaries[slot].1, pos)),
+                        None => {
+                            let slot = free_cols.len();
+                            free_cols.push(col);
+                            primaries.push((slot, pos));
+                        }
+                    }
                 }
             }
-            rows = next;
+
+            src.clear();
+            vals.iter_mut().for_each(Vec::clear);
+            vals.resize(free_cols.len(), Vec::new());
+
+            for i in 0..cur_len {
+                for (g, map, slots) in &pats {
+                    // Refine slots against row `i`: an already-bound
+                    // variable whose global id has no local id in this
+                    // graph can match nothing here.
+                    let mut refined = [None; 3];
+                    let mut ok = true;
+                    for (pos, slot) in slots.iter().enumerate() {
+                        refined[pos] = match slot {
+                            Slot::Bound(local) => Some(*local),
+                            Slot::Var(col) if bound[*col] => {
+                                match map.to_local(cur[*col].ids()[i]) {
+                                    Some(local) => Some(local),
+                                    None => {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            Slot::Var(_) => None,
+                        };
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    let row = i as u32;
+                    self.rows_scanned +=
+                        g.for_each_match(refined[0], refined[1], refined[2], |ms, mp, mo| {
+                            let m = [ms, mp, mo];
+                            if dup_checks.iter().any(|&(a, b)| m[a] != m[b]) {
+                                return;
+                            }
+                            src.push(row);
+                            for &(slot, pos) in &primaries {
+                                vals[slot].push(map.to_global(m[pos]));
+                            }
+                        });
+                }
+            }
+
+            // Assemble the next table column-at-a-time.
+            let total = src.len();
+            let mut next: Vec<Column> = Vec::with_capacity(width);
+            for (col, cur_col) in cur.iter().enumerate() {
+                if bound[col] {
+                    let mut out = Column::with_capacity(total);
+                    out.gather_from(cur_col, &src);
+                    next.push(out);
+                } else if let Some(slot) = free_cols.iter().position(|&c| c == col) {
+                    next.push(Column::from_ids(std::mem::take(&mut vals[slot])));
+                } else {
+                    next.push(Column::absent(total));
+                }
+            }
+            cur = next;
+            cur_len = total;
+            for &col in &free_cols {
+                bound[col] = true;
+            }
         }
-        Ok(IdTable { vars, rows })
+        drop(var_idx);
+        Ok(IdTable::from_columns(vars, cur, cur_len))
+    }
+
+    /// Recognize `FILTER ( ?v = <iri> )` / `FILTER ( ?v != <iri> )` shapes
+    /// (either operand order) whose constant is *not* a literal, so SPARQL
+    /// `=` degenerates to term identity and the filter can compare raw ids.
+    /// Returns `(column, constant id if interned anywhere, negated?)`.
+    fn id_equality_filter(
+        &self,
+        expr: &Expr,
+        t: &IdTable,
+    ) -> Option<(usize, Option<TermId>, bool)> {
+        use crate::ast::CmpOp;
+        let Expr::Cmp(op, a, b) = expr else {
+            return None;
+        };
+        let negate = match op {
+            CmpOp::Eq => false,
+            CmpOp::Neq => true,
+            _ => return None,
+        };
+        let (var, konst) = match (a.as_ref(), b.as_ref()) {
+            (Expr::Var(v), Expr::Const(c)) | (Expr::Const(c), Expr::Var(v)) => (v, c),
+            _ => return None,
+        };
+        if konst.is_literal() {
+            // Literal equality is *value* equality ("1"^^int = "01"^^int);
+            // ids are too strict. Take the general path.
+            return None;
+        }
+        let col = t.column_index(var)?;
+        Some((col, self.pool.lookup(konst), negate))
     }
 
     /// Pattern-level slot for one position: a constant bound to its local id
@@ -315,44 +496,68 @@ impl<'a> Evaluator<'a> {
 
     fn eval_group(&mut self, keys: &[String], aggs: &[AggSpec], input: IdTable) -> Result<IdTable> {
         let key_indices: Vec<Option<usize>> = keys.iter().map(|k| input.column_index(k)).collect();
-        let vars_snapshot = input.vars.clone();
 
-        // Per-aggregate execution plan: `COUNT[ DISTINCT](?v)` over a plain
-        // column counts ids directly — boundness and id-distinctness suffice,
-        // no term is ever resolved or hashed. Everything else evaluates the
-        // expression per row (the materialization boundary for aggregates).
+        // Per-aggregate execution plan, id-native where the shape allows:
+        //
+        // - `COUNT[ DISTINCT](?v)` counts ids straight off the column.
+        // - `SUM/AVG/MIN/MAX(?v)` over a column whose bound values are all
+        //   numeric literals (no NaN) accumulates parsed `i64`/`f64`
+        //   without materializing a term per row; mixed-type columns fall
+        //   back to the general term path.
+        // - `SAMPLE(?v)` takes the first bound id.
+        // - Everything else evaluates the expression per row (the
+        //   materialization boundary for aggregates).
         enum AggPlan<'e> {
             Star,
             CountCol { idx: usize, distinct: bool },
-            General(&'e crate::ast::Expr),
+            NumericCol { idx: usize, distinct: bool },
+            SampleCol { idx: usize },
+            General(&'e Expr),
         }
+        // The numeric precheck is O(rows); memoize per column so repeated
+        // aggregates over one column (MIN+MAX+SUM+AVG of ?v) scan it once.
+        let mut numeric_memo: HashMap<usize, bool> = HashMap::new();
         let plans: Vec<AggPlan> = aggs
             .iter()
             .map(|spec| match &spec.expr {
                 None => AggPlan::Star,
-                Some(crate::ast::Expr::Var(v)) if spec.op == crate::ast::AggOp::Count => {
-                    match input.column_index(v) {
-                        Some(idx) => AggPlan::CountCol {
+                Some(Expr::Var(v)) => match input.column_index(v) {
+                    Some(idx) => match spec.op {
+                        AggOp::Count => AggPlan::CountCol {
                             idx,
                             distinct: spec.distinct,
                         },
-                        // Variable absent from the input: COUNT of an
-                        // always-unbound expression is 0 either way; let the
-                        // general path produce it.
-                        None => AggPlan::General(spec.expr.as_ref().unwrap()),
-                    }
-                }
+                        AggOp::Sample => AggPlan::SampleCol { idx },
+                        AggOp::Sum | AggOp::Avg | AggOp::Min | AggOp::Max => {
+                            let numeric = *numeric_memo
+                                .entry(idx)
+                                .or_insert_with(|| self.numeric_column(input.col(idx)));
+                            if numeric {
+                                AggPlan::NumericCol {
+                                    idx,
+                                    distinct: spec.distinct,
+                                }
+                            } else {
+                                AggPlan::General(spec.expr.as_ref().unwrap())
+                            }
+                        }
+                    },
+                    // Variable absent from the input: the general path
+                    // produces the op's empty/unbound result.
+                    None => AggPlan::General(spec.expr.as_ref().unwrap()),
+                },
                 Some(e) => AggPlan::General(e),
             })
             .collect();
 
-        // Per-aggregate running state, id-native where the plan allows.
         enum AggAccum {
             Terms(AggState),
             CountIds {
                 seen: Option<HashSet<TermId>>,
                 count: usize,
             },
+            Numeric(NumericAccum),
+            First(Option<TermId>),
         }
         let fresh_accums = |aggs: &[AggSpec], plans: &[AggPlan]| -> Vec<AggAccum> {
             aggs.iter()
@@ -362,49 +567,88 @@ impl<'a> Evaluator<'a> {
                         seen: distinct.then(HashSet::new),
                         count: 0,
                     },
-                    _ => AggAccum::Terms(AggState::new(a.op, a.distinct)),
+                    AggPlan::NumericCol { distinct, .. } => {
+                        AggAccum::Numeric(NumericAccum::new(*distinct))
+                    }
+                    AggPlan::SampleCol { .. } => AggAccum::First(None),
+                    // General exprs: DISTINCT dedups on pool ids.
+                    _ => AggAccum::Terms(AggState::new_id_distinct(a.op, a.distinct)),
                 })
                 .collect()
         };
 
-        // Group index: id-tuple key → position in `groups`. Hashing u32
-        // tuples, never terms.
-        let mut index: HashMap<IdRow, usize> = HashMap::new();
-        let mut groups: Vec<(IdRow, Vec<AggAccum>)> = Vec::new();
+        // Group index: encoded id-tuple key → position in `groups`. Hashing
+        // u64-encoded cells (bijective), never terms. The common single-key
+        // case hashes one u64 with no per-row allocation.
+        enum GroupIndex {
+            One(HashMap<u64, usize>),
+            Many(HashMap<Vec<u64>, usize>),
+        }
+        let mut index = if key_indices.len() == 1 {
+            GroupIndex::One(HashMap::new())
+        } else {
+            GroupIndex::Many(HashMap::new())
+        };
+        let mut groups: Vec<(Vec<Option<TermId>>, Vec<AggAccum>)> = Vec::new();
 
         let implicit_single_group = keys.is_empty();
         if implicit_single_group {
-            index.insert(Vec::new(), 0);
+            if let GroupIndex::Many(m) = &mut index {
+                m.insert(Vec::new(), 0);
+            }
             groups.push((Vec::new(), fresh_accums(aggs, &plans)));
         }
 
-        for row in &input.rows {
-            let key: IdRow = key_indices
-                .iter()
-                .map(|i| i.and_then(|i| row[i]))
-                .collect();
-            let gi = match index.get(&key) {
-                Some(&gi) => gi,
-                None => {
-                    let gi = groups.len();
-                    index.insert(key.clone(), gi);
-                    groups.push((key, fresh_accums(aggs, &plans)));
-                    gi
+        for i in 0..input.len() {
+            let slot = match &mut index {
+                GroupIndex::One(m) => {
+                    let enc = match key_indices[0] {
+                        Some(c) => input.col(c).hash_code(i),
+                        None => 0,
+                    };
+                    m.entry(enc).or_insert(usize::MAX)
                 }
+                GroupIndex::Many(m) => {
+                    let key_enc: Vec<u64> = key_indices
+                        .iter()
+                        .map(|ki| match ki {
+                            Some(c) => input.col(*c).hash_code(i),
+                            None => 0,
+                        })
+                        .collect();
+                    m.entry(key_enc).or_insert(usize::MAX)
+                }
+            };
+            let gi = if *slot == usize::MAX {
+                let gi = groups.len();
+                *slot = gi;
+                let key: Vec<Option<TermId>> = key_indices
+                    .iter()
+                    .map(|ki| ki.and_then(|c| input.get(i, c)))
+                    .collect();
+                groups.push((key, fresh_accums(aggs, &plans)));
+                gi
+            } else {
+                *slot
             };
             for (accum, plan) in groups[gi].1.iter_mut().zip(&plans) {
                 match (accum, plan) {
                     (AggAccum::Terms(state), AggPlan::Star) => state.push_star(),
                     (AggAccum::Terms(state), AggPlan::General(e)) => {
-                        let ctx = IdRowCtx {
-                            vars: &vars_snapshot,
-                            row,
-                            pool: &self.pool,
+                        let value = {
+                            let buf = &mut self.scratch;
+                            input.read_row(i, buf);
+                            let ctx = IdRowCtx {
+                                vars: &input.vars,
+                                row: buf,
+                                pool: &self.pool,
+                            };
+                            eval_expr(e, ctx, &mut self.caches)
                         };
-                        state.push(eval_expr(e, ctx, &mut self.caches));
+                        state.push_pooled(value, &mut self.pool);
                     }
                     (AggAccum::CountIds { seen, count }, AggPlan::CountCol { idx, .. }) => {
-                        if let Some(id) = row[*idx] {
+                        if let Some(id) = input.get(i, *idx) {
                             match seen {
                                 Some(set) => {
                                     if set.insert(id) {
@@ -415,6 +659,24 @@ impl<'a> Evaluator<'a> {
                             }
                         }
                     }
+                    (AggAccum::Numeric(acc), AggPlan::NumericCol { idx, .. }) => {
+                        if let Some(id) = input.get(i, *idx) {
+                            let v = match self.pool.resolve(id) {
+                                Term::Literal(l) => match l.parsed {
+                                    TypedValue::Integer(x) => NumVal::I(x),
+                                    TypedValue::Double(d) => NumVal::D(d),
+                                    _ => unreachable!("numeric_column checked"),
+                                },
+                                _ => unreachable!("numeric_column checked"),
+                            };
+                            acc.push(id, v);
+                        }
+                    }
+                    (AggAccum::First(first), AggPlan::SampleCol { idx }) => {
+                        if first.is_none() {
+                            *first = input.get(i, *idx);
+                        }
+                    }
                     _ => unreachable!("accumulator/plan shape mismatch"),
                 }
             }
@@ -422,53 +684,84 @@ impl<'a> Evaluator<'a> {
 
         let mut out_vars: Vec<String> = keys.to_vec();
         out_vars.extend(aggs.iter().map(|a| a.output.clone()));
-        let mut out = IdTable::with_vars(out_vars);
+        let mut key_cols: Vec<Column> = (0..keys.len())
+            .map(|_| Column::with_capacity(groups.len()))
+            .collect();
+        let mut agg_cols: Vec<Column> = (0..aggs.len())
+            .map(|_| Column::with_capacity(groups.len()))
+            .collect();
+        let n_groups = groups.len();
         for (key, accums) in groups {
-            let mut row = key;
-            for accum in accums {
-                // Aggregate results are computed terms; intern them so the
-                // row stays id-native for downstream operators.
-                let value = match accum {
-                    AggAccum::Terms(state) => state.finish(),
-                    AggAccum::CountIds { count, .. } => Some(Term::integer(count as i64)),
-                };
-                row.push(value.map(|t| self.pool.intern(t)));
+            for (col, v) in key_cols.iter_mut().zip(key) {
+                col.push(v);
             }
-            out.rows.push(row);
+            for ((col, accum), spec) in agg_cols.iter_mut().zip(accums).zip(aggs) {
+                // Aggregate results are computed terms; intern them so the
+                // column stays id-native for downstream operators.
+                let value: Option<TermId> = match accum {
+                    AggAccum::Terms(state) => state.finish().map(|t| self.pool.intern(t)),
+                    AggAccum::CountIds { count, .. } => {
+                        Some(self.pool.intern(Term::integer(count as i64)))
+                    }
+                    AggAccum::Numeric(acc) => acc.finish(spec.op, &mut self.pool),
+                    AggAccum::First(id) => id,
+                };
+                col.push(value);
+            }
         }
-        Ok(out)
+        key_cols.extend(agg_cols);
+        Ok(IdTable::from_columns(out_vars, key_cols, n_groups))
+    }
+
+    /// Is every bound value in the column a numeric literal (and no NaN,
+    /// whose SPARQL ordering falls back to lexical comparison)? One linear
+    /// id scan; terms are inspected by reference, never cloned.
+    fn numeric_column(&self, col: &Column) -> bool {
+        for i in 0..col.len() {
+            if let Some(id) = col.get(i) {
+                match self.pool.resolve(id) {
+                    Term::Literal(l) => match l.parsed {
+                        TypedValue::Integer(_) => {}
+                        TypedValue::Double(d) if !d.is_nan() => {}
+                        _ => return false,
+                    },
+                    _ => return false,
+                }
+            }
+        }
+        true
     }
 
     /// Compute the ORDER BY key terms for every row (the materialization
-    /// boundary for sorting).
-    fn keyed_rows(&mut self, table: &mut IdTable, keys: &[OrderKey]) -> Vec<KeyedRow> {
-        let vars = table.vars.clone();
-        table
-            .rows
-            .drain(..)
-            .enumerate()
-            .map(|(seq, row)| {
-                let computed: Vec<Option<Term>> = keys
-                    .iter()
-                    .map(|k| {
-                        let ctx = IdRowCtx {
-                            vars: &vars,
-                            row: &row,
-                            pool: &self.pool,
-                        };
-                        eval_expr(&k.expr, ctx, &mut self.caches)
-                    })
-                    .collect();
-                (computed, seq, row)
-            })
-            .collect()
+    /// boundary for sorting). Returns `(keys, original row index)` pairs;
+    /// the row index doubles as the stability tie-break.
+    fn keyed_rows(&mut self, table: &IdTable, keys: &[OrderKey]) -> Vec<KeyedRow> {
+        let mut out = Vec::with_capacity(table.len());
+        let pool = &self.pool;
+        let caches = &mut self.caches;
+        let buf = &mut self.scratch;
+        for i in 0..table.len() {
+            table.read_row(i, buf);
+            let ctx = IdRowCtx {
+                vars: &table.vars,
+                row: buf,
+                pool,
+            };
+            let computed: Vec<Option<Term>> = keys
+                .iter()
+                .map(|k| eval_expr(&k.expr, ctx, caches))
+                .collect();
+            out.push((computed, i));
+        }
+        out
     }
 
     fn sort_rows(&mut self, table: &mut IdTable, keys: &[OrderKey]) {
         let mut keyed = self.keyed_rows(table, keys);
         // (key, seq) is a total order equal to a stable sort on key alone.
         keyed.sort_unstable_by(|a, b| compare_keyed(keys, a, b));
-        table.rows = keyed.into_iter().map(|(_, _, row)| row).collect();
+        let perm: Vec<u32> = keyed.into_iter().map(|(_, i)| i as u32).collect();
+        *table = table.gather_rows(&perm);
     }
 
     /// Bounded ORDER BY: select the first `k` rows of the sorted order
@@ -476,7 +769,7 @@ impl<'a> Evaluator<'a> {
     /// exactly the rows a stable full sort followed by `truncate(k)` would.
     fn top_k(&mut self, table: &mut IdTable, keys: &[OrderKey], k: usize) {
         if k == 0 {
-            table.rows.clear();
+            *table = table.gather_rows(&[]);
             return;
         }
         let mut keyed = self.keyed_rows(table, keys);
@@ -486,24 +779,25 @@ impl<'a> Evaluator<'a> {
             keyed.truncate(k);
         }
         keyed.sort_unstable_by(|a, b| compare_keyed(keys, a, b));
-        table.rows = keyed.into_iter().map(|(_, _, row)| row).collect();
+        let perm: Vec<u32> = keyed.into_iter().map(|(_, i)| i as u32).collect();
+        *table = table.gather_rows(&perm);
     }
 }
 
-/// A sort candidate: computed key terms, original position (stability
-/// tie-break), and the id row itself.
-type KeyedRow = (Vec<Option<Term>>, usize, IdRow);
+/// A sort candidate: computed key terms and original row index (stability
+/// tie-break).
+type KeyedRow = (Vec<Option<Term>>, usize);
 
-fn compare_keyed(keys: &[OrderKey], a: &KeyedRow, b: &KeyedRow) -> std::cmp::Ordering {
+fn compare_keyed(keys: &[OrderKey], a: &KeyedRow, b: &KeyedRow) -> Ordering {
     for (key_spec, (x, y)) in keys.iter().zip(a.0.iter().zip(b.0.iter())) {
         let ord = match (x, y) {
-            (None, None) => std::cmp::Ordering::Equal,
-            (None, Some(_)) => std::cmp::Ordering::Less,
-            (Some(_), None) => std::cmp::Ordering::Greater,
+            (None, None) => Ordering::Equal,
+            (None, Some(_)) => Ordering::Less,
+            (Some(_), None) => Ordering::Greater,
             (Some(x), Some(y)) => x.order_cmp(y),
         };
         let ord = if key_spec.ascending { ord } else { ord.reverse() };
-        if ord != std::cmp::Ordering::Equal {
+        if ord != Ordering::Equal {
             return ord;
         }
     }
@@ -514,74 +808,117 @@ fn compare_keyed(keys: &[OrderKey], a: &KeyedRow, b: &KeyedRow) -> std::cmp::Ord
 enum Slot {
     /// Constant, resolved to the graph's local id.
     Bound(TermId),
-    /// Variable at this column index (bound-ness checked per row).
+    /// Variable at this column index (bound-ness is uniform per pattern).
     Var(usize),
 }
 
-/// Row-level binding after consulting the current row.
-enum RowSlot {
-    Bound(TermId),
-    Free(usize),
+/// A numeric value as SPARQL compares it: `i64` when both sides are
+/// integers, `f64` otherwise. The column precheck guarantees no NaN.
+#[derive(Debug, Clone, Copy)]
+enum NumVal {
+    I(i64),
+    D(f64),
 }
 
-/// Extend one row with every match of `pattern` in `graph`, pushing id rows.
-/// Returns the number of index entries scanned. No `Term` is touched.
-fn extend_row_with_pattern(
-    graph: &Graph,
-    map: &GraphIdMap,
-    slots: &[Slot; 3],
-    row: &[Option<TermId>],
-    out: &mut Vec<IdRow>,
-) -> u64 {
-    // Refine pattern slots against the row: an already-bound variable whose
-    // global id has no local id in this graph can match nothing.
-    let refine = |slot: &Slot| -> Option<RowSlot> {
-        match slot {
-            Slot::Bound(local) => Some(RowSlot::Bound(*local)),
-            Slot::Var(idx) => match row[*idx] {
-                Some(global) => map.to_local(global).map(RowSlot::Bound),
-                None => Some(RowSlot::Free(*idx)),
-            },
+impl NumVal {
+    fn as_f64(self) -> f64 {
+        match self {
+            NumVal::I(i) => i as f64,
+            NumVal::D(d) => d,
         }
-    };
-    let (Some(s), Some(p), Some(o)) = (
-        refine(&slots[0]),
-        refine(&slots[1]),
-        refine(&slots[2]),
-    ) else {
-        return 0;
-    };
-    let pick = |slot: &RowSlot| match slot {
-        RowSlot::Bound(id) => Some(*id),
-        RowSlot::Free(_) => None,
-    };
-    let (sb, pb, ob) = (pick(&s), pick(&p), pick(&o));
-    let assign = |slot: &RowSlot, local: TermId, new_row: &mut IdRow| {
-        if let RowSlot::Free(idx) = slot {
-            let global = map.to_global(local);
-            match new_row[*idx] {
-                // Same variable twice in one pattern (?x ?p ?x):
-                // later occurrences must agree.
-                Some(existing) => {
-                    if existing != global {
-                        return false;
-                    }
-                }
-                None => new_row[*idx] = Some(global),
+    }
+
+    /// SPARQL numeric comparison (mirrors `Term::value_cmp` on two numeric
+    /// literals, which `order_cmp` delegates to).
+    fn cmp_sparql(self, other: NumVal) -> Ordering {
+        match (self, other) {
+            (NumVal::I(a), NumVal::I(b)) => a.cmp(&b),
+            _ => self
+                .as_f64()
+                .partial_cmp(&other.as_f64())
+                .expect("NaN excluded by numeric_column"),
+        }
+    }
+}
+
+/// Id-native accumulator for `SUM`/`AVG`/`MIN`/`MAX` over a numeric-literal
+/// column. Mirrors [`AggState`]'s arithmetic exactly (wrapping integer sum,
+/// `f64` shadow sum in row order, first-wins ties for MIN/MAX) but never
+/// materializes a term: MIN/MAX track the winning *id*, which downstream
+/// operators and the final projection resolve like any other binding.
+struct NumericAccum {
+    seen: Option<HashSet<TermId>>,
+    count: usize,
+    int_sum: i64,
+    f_sum: f64,
+    integral: bool,
+    min: Option<(TermId, NumVal)>,
+    max: Option<(TermId, NumVal)>,
+}
+
+impl NumericAccum {
+    fn new(distinct: bool) -> Self {
+        NumericAccum {
+            seen: distinct.then(HashSet::new),
+            count: 0,
+            int_sum: 0,
+            f_sum: 0.0,
+            integral: true,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn push(&mut self, id: TermId, v: NumVal) {
+        if let Some(seen) = &mut self.seen {
+            if !seen.insert(id) {
+                return;
             }
         }
-        true
-    };
-    graph.for_each_match(sb, pb, ob, |ms, mp, mo| {
-        let mut new_row = row.to_vec();
-        let mut ok = true;
-        ok &= assign(&s, ms, &mut new_row);
-        ok &= assign(&p, mp, &mut new_row);
-        ok &= assign(&o, mo, &mut new_row);
-        if ok {
-            out.push(new_row);
+        self.count += 1;
+        match v {
+            NumVal::I(i) => {
+                self.int_sum = self.int_sum.wrapping_add(i);
+                self.f_sum += i as f64;
+            }
+            NumVal::D(d) => {
+                self.integral = false;
+                self.f_sum += d;
+            }
         }
-    })
+        if self
+            .min
+            .is_none_or(|(_, m)| v.cmp_sparql(m) == Ordering::Less)
+        {
+            self.min = Some((id, v));
+        }
+        if self
+            .max
+            .is_none_or(|(_, m)| v.cmp_sparql(m) == Ordering::Greater)
+        {
+            self.max = Some((id, v));
+        }
+    }
+
+    fn finish(self, op: AggOp, pool: &mut TermPool) -> Option<TermId> {
+        match op {
+            AggOp::Sum => Some(if self.integral {
+                pool.intern(Term::integer(self.int_sum))
+            } else {
+                pool.intern(Term::Literal(Literal::double(self.f_sum)))
+            }),
+            AggOp::Avg => Some(if self.count == 0 {
+                pool.intern(Term::integer(0))
+            } else {
+                pool.intern(Term::Literal(Literal::double(
+                    self.f_sum / self.count as f64,
+                )))
+            }),
+            AggOp::Min => self.min.map(|(id, _)| id),
+            AggOp::Max => self.max.map(|(id, _)| id),
+            _ => unreachable!("NumericCol only plans SUM/AVG/MIN/MAX"),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -590,13 +927,19 @@ enum JoinKind {
     Left,
 }
 
-/// Hash join with SPARQL compatibility semantics, hashing `u32` id tuples.
+/// Marker for "left row had no match" in the pair list of a left join.
+const NO_MATCH: u32 = u32::MAX;
+
+/// Columnar hash join with SPARQL compatibility semantics.
 ///
 /// Key selection: the shared variables bound in *every* row of both inputs
-/// form the hash key; remaining shared variables are checked per candidate
-/// pair with unbound-is-compatible semantics (ids compare directly — the
-/// shared interner makes id equality coincide with term equality). Falls
-/// back to nested loop when no always-bound shared variable exists.
+/// (one bitmap popcount per column, no row scan) form the hash key;
+/// remaining shared variables are checked per candidate pair with
+/// unbound-is-compatible semantics. The match phase produces a `(left row,
+/// right row)` pair list; output columns are then assembled by gathering
+/// over it — shared columns take the left value when present and fall back
+/// to the right side. Falls back to nested loop when no always-bound shared
+/// variable exists.
 fn join(left: IdTable, right: IdTable, kind: JoinKind) -> IdTable {
     let shared: Vec<String> = left
         .vars
@@ -611,7 +954,6 @@ fn join(left: IdTable, right: IdTable, kind: JoinKind) -> IdTable {
             out_vars.push(v.clone());
         }
     }
-    let width = out_vars.len();
 
     let l_idx: Vec<usize> = shared
         .iter()
@@ -622,35 +964,14 @@ fn join(left: IdTable, right: IdTable, kind: JoinKind) -> IdTable {
         .map(|v| right.column_index(v).expect("shared var in right"))
         .collect();
 
-    let always_bound = |table: &IdTable, idx: usize| -> bool {
-        table.rows.iter().all(|r| r[idx].is_some())
-    };
     // Positions (within `shared`) usable as hash key.
     let key_positions: Vec<usize> = (0..shared.len())
-        .filter(|&k| always_bound(&left, l_idx[k]) && always_bound(&right, r_idx[k]))
+        .filter(|&k| left.col(l_idx[k]).all_present() && right.col(r_idx[k]).all_present())
         .collect();
 
-    // Precompute merge schema: for each right column, its target index in out.
-    let right_targets: Vec<usize> = right
-        .vars
-        .iter()
-        .map(|v| out_vars.iter().position(|x| x == v).expect("right var in out"))
-        .collect();
-    let mut out = IdTable::with_vars(out_vars);
-
-    let merge = |l_row: &[Option<TermId>], r_row: &[Option<TermId>]| -> IdRow {
-        let mut row = l_row.to_vec();
-        row.resize(width, None);
-        for (ri, &target) in right_targets.iter().enumerate() {
-            if row[target].is_none() {
-                row[target] = r_row[ri];
-            }
-        }
-        row
-    };
-    let compatible = |l_row: &[Option<TermId>], r_row: &[Option<TermId>]| -> bool {
+    let compatible = |li: usize, ri: usize| -> bool {
         for k in 0..shared.len() {
-            if let (Some(a), Some(b)) = (l_row[l_idx[k]], r_row[r_idx[k]]) {
+            if let (Some(a), Some(b)) = (left.get(li, l_idx[k]), right.get(ri, r_idx[k])) {
                 if a != b {
                     return false;
                 }
@@ -659,58 +980,112 @@ fn join(left: IdTable, right: IdTable, kind: JoinKind) -> IdTable {
         true
     };
 
-    if !key_positions.is_empty() || shared.is_empty() {
-        // Build hash index on the right side, keyed by id tuples.
-        let mut table: HashMap<Vec<TermId>, Vec<usize>> = HashMap::new();
-        for (ri, r_row) in right.rows.iter().enumerate() {
-            let key: Vec<TermId> = key_positions
-                .iter()
-                .map(|&k| r_row[r_idx[k]].expect("always bound"))
-                .collect();
-            table.entry(key).or_default().push(ri);
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    if key_positions.len() == 1 {
+        // Single-column key (the common case): hash raw ids.
+        let lk = left.col(l_idx[key_positions[0]]);
+        let rk = right.col(r_idx[key_positions[0]]);
+        let mut table: HashMap<TermId, Vec<u32>> = HashMap::with_capacity(right.len());
+        for (ri, &id) in rk.ids().iter().enumerate() {
+            table.entry(id).or_default().push(ri as u32);
         }
-        for l_row in &left.rows {
-            let key: Vec<TermId> = key_positions
-                .iter()
-                .map(|&k| l_row[l_idx[k]].expect("always bound"))
-                .collect();
+        for (li, &id) in lk.ids().iter().enumerate() {
             let mut matched = false;
-            if let Some(candidates) = table.get(&key) {
+            if let Some(candidates) = table.get(&id) {
                 for &ri in candidates {
-                    let r_row = &right.rows[ri];
-                    if compatible(l_row, r_row) {
-                        out.rows.push(merge(l_row, r_row));
+                    if compatible(li, ri as usize) {
+                        pairs.push((li as u32, ri));
                         matched = true;
                     }
                 }
             }
             if !matched && kind == JoinKind::Left {
-                let mut row = l_row.clone();
-                row.resize(width, None);
-                out.rows.push(row);
+                pairs.push((li as u32, NO_MATCH));
+            }
+        }
+    } else if !key_positions.is_empty() || shared.is_empty() {
+        // Multi-column (or empty = cross-product bucket) key.
+        let mut table: HashMap<Vec<TermId>, Vec<u32>> = HashMap::with_capacity(right.len());
+        for ri in 0..right.len() {
+            let key: Vec<TermId> = key_positions
+                .iter()
+                .map(|&k| right.col(r_idx[k]).ids()[ri])
+                .collect();
+            table.entry(key).or_default().push(ri as u32);
+        }
+        for li in 0..left.len() {
+            let key: Vec<TermId> = key_positions
+                .iter()
+                .map(|&k| left.col(l_idx[k]).ids()[li])
+                .collect();
+            let mut matched = false;
+            if let Some(candidates) = table.get(&key) {
+                for &ri in candidates {
+                    if compatible(li, ri as usize) {
+                        pairs.push((li as u32, ri));
+                        matched = true;
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                pairs.push((li as u32, NO_MATCH));
             }
         }
     } else {
         // Nested loop with compatibility semantics.
-        for l_row in &left.rows {
+        for li in 0..left.len() {
             let mut matched = false;
-            for r_row in &right.rows {
-                if compatible(l_row, r_row) {
-                    out.rows.push(merge(l_row, r_row));
+            for ri in 0..right.len() {
+                if compatible(li, ri) {
+                    pairs.push((li as u32, ri as u32));
                     matched = true;
                 }
             }
             if !matched && kind == JoinKind::Left {
-                let mut row = l_row.clone();
-                row.resize(width, None);
-                out.rows.push(row);
+                pairs.push((li as u32, NO_MATCH));
             }
         }
     }
-    out
+
+    // Emit output columns by gathering over the pair list.
+    let mut cols: Vec<Column> = Vec::with_capacity(out_vars.len());
+    for v in &out_vars {
+        let mut col = Column::with_capacity(pairs.len());
+        match (left.column_index(v), right.column_index(v)) {
+            (Some(lc), Some(rc)) => {
+                // Shared: left value when present, else the right side's.
+                for &(li, ri) in &pairs {
+                    let value = match left.get(li as usize, lc) {
+                        Some(x) => Some(x),
+                        None if ri != NO_MATCH => right.get(ri as usize, rc),
+                        None => None,
+                    };
+                    col.push(value);
+                }
+            }
+            (Some(lc), None) => {
+                for &(li, _) in &pairs {
+                    col.push(left.get(li as usize, lc));
+                }
+            }
+            (None, Some(rc)) => {
+                for &(_, ri) in &pairs {
+                    col.push(if ri == NO_MATCH {
+                        None
+                    } else {
+                        right.get(ri as usize, rc)
+                    });
+                }
+            }
+            (None, None) => unreachable!("out var comes from one side"),
+        }
+        cols.push(col);
+    }
+    let rows = pairs.len();
+    IdTable::from_columns(out_vars, cols, rows)
 }
 
-/// Bag union with schema alignment.
+/// Bag union with schema alignment (column-at-a-time concatenation).
 fn union(left: IdTable, right: IdTable) -> IdTable {
     let mut vars = left.vars.clone();
     for v in &right.vars {
@@ -718,25 +1093,37 @@ fn union(left: IdTable, right: IdTable) -> IdTable {
             vars.push(v.clone());
         }
     }
-    let map_right: Vec<usize> = right
-        .vars
-        .iter()
-        .map(|v| vars.iter().position(|x| x == v).expect("var present"))
-        .collect();
-    let width = vars.len();
-    let mut out = IdTable::with_vars(vars);
-    for mut row in left.rows {
-        row.resize(width, None);
-        out.rows.push(row);
-    }
-    for row in right.rows {
-        let mut new_row = vec![None; out.vars.len()];
-        for (ri, v) in row.into_iter().enumerate() {
-            new_row[map_right[ri]] = v;
+    let total = left.len() + right.len();
+    let mut cols = Vec::with_capacity(vars.len());
+    for v in &vars {
+        let mut col = Column::with_capacity(total);
+        match left.column_index(v) {
+            Some(lc) => {
+                for i in 0..left.len() {
+                    col.push(left.get(i, lc));
+                }
+            }
+            None => {
+                for _ in 0..left.len() {
+                    col.push(None);
+                }
+            }
         }
-        out.rows.push(new_row);
+        match right.column_index(v) {
+            Some(rc) => {
+                for i in 0..right.len() {
+                    col.push(right.get(i, rc));
+                }
+            }
+            None => {
+                for _ in 0..right.len() {
+                    col.push(None);
+                }
+            }
+        }
+        cols.push(col);
     }
-    out
+    IdTable::from_columns(vars, cols, total)
 }
 
 #[cfg(test)]
@@ -744,14 +1131,21 @@ mod tests {
     use super::*;
 
     fn tbl(vars: &[&str], rows: Vec<Vec<Option<TermId>>>) -> IdTable {
-        IdTable {
-            vars: vars.iter().map(|s| s.to_string()).collect(),
-            rows,
+        let mut t = IdTable::with_vars(vars.iter().map(|s| s.to_string()).collect());
+        for row in rows {
+            t.push_row(&row);
         }
+        t
     }
 
     fn i(v: u32) -> Option<TermId> {
         Some(TermId(v))
+    }
+
+    fn rows_of(t: &IdTable) -> Vec<Vec<Option<TermId>>> {
+        (0..t.len())
+            .map(|r| (0..t.vars.len()).map(|c| t.get(r, c)).collect())
+            .collect()
     }
 
     #[test]
@@ -760,7 +1154,7 @@ mod tests {
         let b = tbl(&["x", "z"], vec![vec![i(1), i(100)], vec![i(3), i(300)]]);
         let j = join(a, b, JoinKind::Inner);
         assert_eq!(j.vars, vec!["x", "y", "z"]);
-        assert_eq!(j.rows, vec![vec![i(1), i(10), i(100)]]);
+        assert_eq!(rows_of(&j), vec![vec![i(1), i(10), i(100)]]);
     }
 
     #[test]
@@ -768,8 +1162,8 @@ mod tests {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
         let b = tbl(&["x", "z"], vec![vec![i(1), i(100)]]);
         let j = join(a, b, JoinKind::Left);
-        assert_eq!(j.rows.len(), 2);
-        assert_eq!(j.rows[1], vec![i(2), None]);
+        assert_eq!(j.len(), 2);
+        assert_eq!(rows_of(&j)[1], vec![i(2), None]);
     }
 
     #[test]
@@ -780,7 +1174,7 @@ mod tests {
         let b = tbl(&["x", "g"], vec![vec![i(1), i(7)], vec![i(2), i(8)]]);
         let j = join(a, b, JoinKind::Inner);
         // Row (1, None) joins (1, 7) → (1, 7); row (2, 9) vs (2, 8) clash.
-        assert_eq!(j.rows, vec![vec![i(1), i(7)]]);
+        assert_eq!(rows_of(&j), vec![vec![i(1), i(7)]]);
     }
 
     #[test]
@@ -788,7 +1182,7 @@ mod tests {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
         let b = tbl(&["y"], vec![vec![i(3)]]);
         let j = join(a, b, JoinKind::Inner);
-        assert_eq!(j.rows.len(), 2);
+        assert_eq!(j.len(), 2);
     }
 
     #[test]
@@ -797,8 +1191,8 @@ mod tests {
         let b = tbl(&["y", "z"], vec![vec![i(5), i(6)]]);
         let u = union(a, b);
         assert_eq!(u.vars, vec!["x", "y", "z"]);
-        assert_eq!(u.rows[0], vec![i(1), i(2), None]);
-        assert_eq!(u.rows[1], vec![None, i(5), i(6)]);
+        assert_eq!(rows_of(&u)[0], vec![i(1), i(2), None]);
+        assert_eq!(rows_of(&u)[1], vec![None, i(5), i(6)]);
     }
 
     #[test]
@@ -807,6 +1201,53 @@ mod tests {
         let b = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
         let j = join(a, b, JoinKind::Inner);
         // 2 × 2 duplicates → 4 rows.
-        assert_eq!(j.rows.len(), 4);
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn unit_table_is_join_identity() {
+        let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
+        let j = join(IdTable::unit(), a, JoinKind::Inner);
+        assert_eq!(j.vars, vec!["x"]);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn numeric_accum_matches_agg_state() {
+        use crate::ast::AggOp;
+        use rdf_model::Interner;
+
+        // SUM/AVG/MIN/MAX over mixed int/double values, with and without
+        // DISTINCT, must agree with the term-based AggState.
+        let mut interner = Interner::new();
+        let values = [
+            Term::integer(5),
+            Term::integer(5),
+            Term::Literal(Literal::double(2.5)),
+            Term::integer(-3),
+            Term::Literal(Literal::double(5.0)),
+        ];
+        let ids: Vec<TermId> = values.iter().map(|t| interner.intern(t.clone())).collect();
+        for op in [AggOp::Sum, AggOp::Avg, AggOp::Min, AggOp::Max] {
+            for distinct in [false, true] {
+                let mut pool = TermPool::new(&interner);
+                let mut fast = NumericAccum::new(distinct);
+                let mut slow = AggState::new(op, distinct);
+                for (t, &id) in values.iter().zip(&ids) {
+                    let v = match t {
+                        Term::Literal(l) => match l.parsed {
+                            TypedValue::Integer(x) => NumVal::I(x),
+                            TypedValue::Double(d) => NumVal::D(d),
+                            _ => unreachable!(),
+                        },
+                        _ => unreachable!(),
+                    };
+                    fast.push(id, v);
+                    slow.push(Some(t.clone()));
+                }
+                let fast_term = fast.finish(op, &mut pool).map(|id| pool.resolve(id).clone());
+                assert_eq!(fast_term, slow.finish(), "{op:?} distinct={distinct}");
+            }
+        }
     }
 }

@@ -1,0 +1,824 @@
+//! Row-at-a-time id-native plan evaluation (the PR 1 evaluator).
+//!
+//! Kept alongside the columnar evaluator in [`crate::eval`] as a
+//! differential-testing oracle and benchmark baseline: all three evaluators
+//! (this one, the columnar default, and the term-materialized
+//! [`crate::eval_reference`]) must produce identical bags and identical
+//! `rows_scanned` counts. Select it with
+//! [`crate::engine::EvalMode::IdNative`].
+//!
+//! Implements the SPARQL multiset semantics of the paper's Section 5.2 with
+//! every intermediate binding kept as a dataset-global `u32` [`TermId`]
+//! (rows are `Vec<Option<TermId>>`, see [`RowTable`]): BGPs evaluate by
+//! index-nested-loop over the store's access paths (in the order chosen by
+//! the optimizer) pushing raw ids, joins are hash joins whose keys are
+//! integers, `OPTIONAL` is a left outer join, `UNION` is bag union with
+//! schema alignment, and `DISTINCT`/grouping hash id tuples.
+//!
+//! Because the dataset interner is shared across graphs
+//! ([`rdf_model::Dataset`]), two ids are equal iff their terms are equal
+//! even in cross-graph joins — no string ever needs rehydrating in the join
+//! core. [`Term`] values are materialized only at the boundaries that
+//! genuinely need them:
+//!
+//! - `FILTER` / `BIND` (`Extend`) expression evaluation resolves ids
+//!   *by reference* through the [`TermPool`] and interns computed results
+//!   back into the pool's query-local overflow;
+//! - `ORDER BY` / top-k key computation;
+//! - the final materialization of the public [`SolutionTable`], performed
+//!   once per query (or per shipped page, see [`RowEvaluator::eval_page`]).
+//!
+//! The pre-refactor evaluator is preserved in [`crate::eval_reference`] as a
+//! differential-testing oracle; both produce identical bags and identical
+//! `rows_scanned` counts.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use rdf_model::{Dataset, Graph, GraphIdMap, Term, TermId};
+
+use crate::algebra::{AggSpec, GraphRef, Plan};
+use crate::ast::{OrderKey, PatternTerm, TriplePattern};
+use crate::error::{EngineError, Result};
+use crate::expr::{ebv, eval_expr, AggState, EvalCaches, IdRowCtx};
+use crate::pool::TermPool;
+use crate::results::{RowTable, SolutionTable};
+
+/// One row of global term ids.
+type IdRow = Vec<Option<TermId>>;
+
+/// Id-native plan evaluator bound to a dataset.
+pub struct RowEvaluator<'a> {
+    dataset: &'a Dataset,
+    default_graphs: Vec<String>,
+    caches: EvalCaches,
+    pool: TermPool<'a>,
+    rows_scanned: u64,
+}
+
+impl<'a> RowEvaluator<'a> {
+    /// Create an evaluator. `default_graphs` resolves [`GraphRef::Default`].
+    pub fn new(dataset: &'a Dataset, default_graphs: Vec<String>) -> Self {
+        RowEvaluator {
+            dataset,
+            default_graphs,
+            caches: EvalCaches::new(),
+            pool: TermPool::new(dataset.interner()),
+            rows_scanned: 0,
+        }
+    }
+
+    /// Total index entries scanned so far (a deterministic work metric used
+    /// by benchmarks alongside wall-clock time).
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned
+    }
+
+    /// Evaluate a plan to a materialized solution table.
+    pub fn eval(&mut self, plan: &Plan) -> Result<SolutionTable> {
+        let table = self.eval_ids(plan)?;
+        Ok(self.materialize(table))
+    }
+
+    /// Evaluate a plan and materialize only rows `[offset, offset+limit)`.
+    ///
+    /// Pagination endpoints re-execute per chunk; slicing *before* term
+    /// materialization means only the shipped page allocates terms.
+    pub fn eval_page(&mut self, plan: &Plan, offset: usize, limit: usize) -> Result<SolutionTable> {
+        let mut table = self.eval_ids(plan)?;
+        crate::results::slice_rows(&mut table.rows, offset, Some(limit));
+        Ok(self.materialize(table))
+    }
+
+    /// Resolve ids to owned terms (the single materialization point).
+    fn materialize(&self, table: RowTable) -> SolutionTable {
+        let rows = table
+            .rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|cell| cell.map(|id| self.pool.resolve(id).clone()))
+                    .collect()
+            })
+            .collect();
+        SolutionTable {
+            vars: table.vars,
+            rows,
+        }
+    }
+
+    /// Evaluate a plan to an id table (the internal hot path).
+    fn eval_ids(&mut self, plan: &Plan) -> Result<RowTable> {
+        match plan {
+            Plan::Unit => Ok(RowTable::unit()),
+            Plan::Bgp { patterns, graph } => self.eval_bgp(patterns, graph),
+            Plan::Join(a, b) => {
+                let left = self.eval_ids(a)?;
+                let right = self.eval_ids(b)?;
+                Ok(join(left, right, JoinKind::Inner))
+            }
+            Plan::LeftJoin(a, b) => {
+                let left = self.eval_ids(a)?;
+                let right = self.eval_ids(b)?;
+                Ok(join(left, right, JoinKind::Left))
+            }
+            Plan::Union(a, b) => {
+                let left = self.eval_ids(a)?;
+                let right = self.eval_ids(b)?;
+                Ok(union(left, right))
+            }
+            Plan::Filter(expr, p) => {
+                let mut t = self.eval_ids(p)?;
+                let vars = t.vars.clone();
+                let caches = &mut self.caches;
+                let pool = &self.pool;
+                t.rows.retain(|row| {
+                    let ctx = IdRowCtx {
+                        vars: &vars,
+                        row,
+                        pool,
+                    };
+                    eval_expr(expr, ctx, caches)
+                        .as_ref()
+                        .and_then(ebv)
+                        .unwrap_or(false)
+                });
+                Ok(t)
+            }
+            Plan::Extend(var, expr, p) => {
+                let mut t = self.eval_ids(p)?;
+                let existing = t.column_index(var);
+                // `BIND(?x AS ?y)` is an id copy — no resolve/intern cycle.
+                let new_column: Vec<Option<TermId>> = if let crate::ast::Expr::Var(src) = expr {
+                    match t.column_index(src) {
+                        Some(idx) => t.rows.iter().map(|row| row[idx]).collect(),
+                        None => vec![None; t.rows.len()],
+                    }
+                } else {
+                    let vars_snapshot = t.vars.clone();
+                    let mut column = Vec::with_capacity(t.rows.len());
+                    for row in &t.rows {
+                        let value = {
+                            let ctx = IdRowCtx {
+                                vars: &vars_snapshot,
+                                row,
+                                pool: &self.pool,
+                            };
+                            eval_expr(expr, ctx, &mut self.caches)
+                        };
+                        column.push(value.map(|term| self.pool.intern(term)));
+                    }
+                    column
+                };
+                match existing {
+                    Some(idx) => {
+                        for (row, v) in t.rows.iter_mut().zip(new_column) {
+                            row[idx] = v;
+                        }
+                    }
+                    None => {
+                        t.vars.push(var.clone());
+                        for (row, v) in t.rows.iter_mut().zip(new_column) {
+                            row.push(v);
+                        }
+                    }
+                }
+                Ok(t)
+            }
+            Plan::Group { keys, aggs, input } => {
+                let t = self.eval_ids(input)?;
+                self.eval_group(keys, aggs, t)
+            }
+            Plan::Project(vars, p) => {
+                let t = self.eval_ids(p)?;
+                let indices: Vec<Option<usize>> =
+                    vars.iter().map(|v| t.column_index(v)).collect();
+                let mut out = RowTable::with_vars(vars.clone());
+                out.rows = t
+                    .rows
+                    .into_iter()
+                    .map(|row| indices.iter().map(|i| i.and_then(|i| row[i])).collect())
+                    .collect();
+                Ok(out)
+            }
+            Plan::Distinct(p) => {
+                let mut t = self.eval_ids(p)?;
+                let mut seen: HashSet<IdRow> = HashSet::with_capacity(t.rows.len());
+                t.rows.retain(|row| seen.insert(row.clone()));
+                Ok(t)
+            }
+            Plan::OrderBy(keys, p) => {
+                let mut t = self.eval_ids(p)?;
+                self.sort_rows(&mut t, keys);
+                Ok(t)
+            }
+            Plan::TopK { keys, k, input } => {
+                let mut t = self.eval_ids(input)?;
+                self.top_k(&mut t, keys, *k);
+                Ok(t)
+            }
+            Plan::Slice {
+                limit,
+                offset,
+                input,
+            } => {
+                let mut t = self.eval_ids(input)?;
+                crate::results::slice_rows(&mut t.rows, *offset, *limit);
+                Ok(t)
+            }
+        }
+    }
+
+    fn resolve_graphs(&self, graph: &GraphRef) -> Result<Vec<(Arc<Graph>, Arc<GraphIdMap>)>> {
+        let uris: Vec<&str> = match graph {
+            GraphRef::Default => {
+                if self.default_graphs.is_empty() {
+                    // No FROM clause: the default graph is the union of all
+                    // graphs in the dataset.
+                    self.dataset.graph_uris().collect()
+                } else {
+                    self.default_graphs.iter().map(String::as_str).collect()
+                }
+            }
+            GraphRef::Named(uri) => vec![uri.as_str()],
+        };
+        let mut graphs = Vec::with_capacity(uris.len());
+        for uri in uris {
+            let g = self
+                .dataset
+                .graph(uri)
+                .ok_or_else(|| EngineError::UnknownGraph(uri.to_string()))?;
+            let map = self
+                .dataset
+                .id_map(uri)
+                .ok_or_else(|| EngineError::UnknownGraph(uri.to_string()))?;
+            graphs.push((Arc::clone(g), Arc::clone(map)));
+        }
+        Ok(graphs)
+    }
+
+    /// Index-nested-loop evaluation of a BGP in pattern order.
+    fn eval_bgp(&mut self, patterns: &[TriplePattern], graph: &GraphRef) -> Result<RowTable> {
+        let graphs = self.resolve_graphs(graph)?;
+
+        // Variable schema in first-mention order.
+        let mut vars: Vec<String> = Vec::new();
+        for p in patterns {
+            for v in p.variables() {
+                if !vars.iter().any(|x| x == v) {
+                    vars.push(v.to_string());
+                }
+            }
+        }
+        let var_idx: HashMap<&str, usize> =
+            vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+
+        let mut rows: Vec<IdRow> = vec![vec![None; vars.len()]];
+        for pattern in patterns {
+            if rows.is_empty() {
+                break;
+            }
+            // Resolve constants once per (pattern, graph) — local ids via the
+            // dataset-wide interner, no per-row string hashing. A graph where
+            // some constant does not occur contributes no matches at all.
+            let pats: Vec<(&Graph, &GraphIdMap, [Slot; 3])> = graphs
+                .iter()
+                .filter_map(|(g, map)| {
+                    let s = self.pattern_slot(&pattern.subject, map, &var_idx)?;
+                    let p = self.pattern_slot(&pattern.predicate, map, &var_idx)?;
+                    let o = self.pattern_slot(&pattern.object, map, &var_idx)?;
+                    Some((g.as_ref(), map.as_ref(), [s, p, o]))
+                })
+                .collect();
+            let mut next: Vec<IdRow> = Vec::new();
+            for row in &rows {
+                for (g, map, slots) in &pats {
+                    self.rows_scanned += extend_row_with_pattern(g, map, slots, row, &mut next);
+                }
+            }
+            rows = next;
+        }
+        Ok(RowTable { vars, rows })
+    }
+
+    /// Pattern-level slot for one position: a constant bound to its local id
+    /// (`None` when the constant is absent from the graph) or a variable's
+    /// column index.
+    fn pattern_slot(
+        &self,
+        term: &PatternTerm,
+        map: &GraphIdMap,
+        var_idx: &HashMap<&str, usize>,
+    ) -> Option<Slot> {
+        match term {
+            PatternTerm::Var(v) => Some(Slot::Var(var_idx[v.as_str()])),
+            PatternTerm::Const(term) => {
+                let global = self.dataset.lookup(term)?;
+                let local = map.to_local(global)?;
+                Some(Slot::Bound(local))
+            }
+        }
+    }
+
+    fn eval_group(&mut self, keys: &[String], aggs: &[AggSpec], input: RowTable) -> Result<RowTable> {
+        let key_indices: Vec<Option<usize>> = keys.iter().map(|k| input.column_index(k)).collect();
+        let vars_snapshot = input.vars.clone();
+
+        // Per-aggregate execution plan: `COUNT[ DISTINCT](?v)` over a plain
+        // column counts ids directly — boundness and id-distinctness suffice,
+        // no term is ever resolved or hashed. Everything else evaluates the
+        // expression per row (the materialization boundary for aggregates).
+        enum AggPlan<'e> {
+            Star,
+            CountCol { idx: usize, distinct: bool },
+            General(&'e crate::ast::Expr),
+        }
+        let plans: Vec<AggPlan> = aggs
+            .iter()
+            .map(|spec| match &spec.expr {
+                None => AggPlan::Star,
+                Some(crate::ast::Expr::Var(v)) if spec.op == crate::ast::AggOp::Count => {
+                    match input.column_index(v) {
+                        Some(idx) => AggPlan::CountCol {
+                            idx,
+                            distinct: spec.distinct,
+                        },
+                        // Variable absent from the input: COUNT of an
+                        // always-unbound expression is 0 either way; let the
+                        // general path produce it.
+                        None => AggPlan::General(spec.expr.as_ref().unwrap()),
+                    }
+                }
+                Some(e) => AggPlan::General(e),
+            })
+            .collect();
+
+        // Per-aggregate running state, id-native where the plan allows.
+        enum AggAccum {
+            Terms(AggState),
+            CountIds {
+                seen: Option<HashSet<TermId>>,
+                count: usize,
+            },
+        }
+        let fresh_accums = |aggs: &[AggSpec], plans: &[AggPlan]| -> Vec<AggAccum> {
+            aggs.iter()
+                .zip(plans)
+                .map(|(a, plan)| match plan {
+                    AggPlan::CountCol { distinct, .. } => AggAccum::CountIds {
+                        seen: distinct.then(HashSet::new),
+                        count: 0,
+                    },
+                    // Id-native dedup: DISTINCT inputs intern through the
+                    // pool and hash `u32` ids, not whole terms.
+                    _ => AggAccum::Terms(AggState::new_id_distinct(a.op, a.distinct)),
+                })
+                .collect()
+        };
+
+        // Group index: id-tuple key → position in `groups`. Hashing u32
+        // tuples, never terms.
+        let mut index: HashMap<IdRow, usize> = HashMap::new();
+        let mut groups: Vec<(IdRow, Vec<AggAccum>)> = Vec::new();
+
+        let implicit_single_group = keys.is_empty();
+        if implicit_single_group {
+            index.insert(Vec::new(), 0);
+            groups.push((Vec::new(), fresh_accums(aggs, &plans)));
+        }
+
+        for row in &input.rows {
+            let key: IdRow = key_indices
+                .iter()
+                .map(|i| i.and_then(|i| row[i]))
+                .collect();
+            let gi = match index.get(&key) {
+                Some(&gi) => gi,
+                None => {
+                    let gi = groups.len();
+                    index.insert(key.clone(), gi);
+                    groups.push((key, fresh_accums(aggs, &plans)));
+                    gi
+                }
+            };
+            for (accum, plan) in groups[gi].1.iter_mut().zip(&plans) {
+                match (accum, plan) {
+                    (AggAccum::Terms(state), AggPlan::Star) => state.push_star(),
+                    (AggAccum::Terms(state), AggPlan::General(e)) => {
+                        let value = {
+                            let ctx = IdRowCtx {
+                                vars: &vars_snapshot,
+                                row,
+                                pool: &self.pool,
+                            };
+                            eval_expr(e, ctx, &mut self.caches)
+                        };
+                        state.push_pooled(value, &mut self.pool);
+                    }
+                    (AggAccum::CountIds { seen, count }, AggPlan::CountCol { idx, .. }) => {
+                        if let Some(id) = row[*idx] {
+                            match seen {
+                                Some(set) => {
+                                    if set.insert(id) {
+                                        *count += 1;
+                                    }
+                                }
+                                None => *count += 1,
+                            }
+                        }
+                    }
+                    _ => unreachable!("accumulator/plan shape mismatch"),
+                }
+            }
+        }
+
+        let mut out_vars: Vec<String> = keys.to_vec();
+        out_vars.extend(aggs.iter().map(|a| a.output.clone()));
+        let mut out = RowTable::with_vars(out_vars);
+        for (key, accums) in groups {
+            let mut row = key;
+            for accum in accums {
+                // Aggregate results are computed terms; intern them so the
+                // row stays id-native for downstream operators.
+                let value = match accum {
+                    AggAccum::Terms(state) => state.finish(),
+                    AggAccum::CountIds { count, .. } => Some(Term::integer(count as i64)),
+                };
+                row.push(value.map(|t| self.pool.intern(t)));
+            }
+            out.rows.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Compute the ORDER BY key terms for every row (the materialization
+    /// boundary for sorting).
+    fn keyed_rows(&mut self, table: &mut RowTable, keys: &[OrderKey]) -> Vec<KeyedRow> {
+        let vars = table.vars.clone();
+        table
+            .rows
+            .drain(..)
+            .enumerate()
+            .map(|(seq, row)| {
+                let computed: Vec<Option<Term>> = keys
+                    .iter()
+                    .map(|k| {
+                        let ctx = IdRowCtx {
+                            vars: &vars,
+                            row: &row,
+                            pool: &self.pool,
+                        };
+                        eval_expr(&k.expr, ctx, &mut self.caches)
+                    })
+                    .collect();
+                (computed, seq, row)
+            })
+            .collect()
+    }
+
+    fn sort_rows(&mut self, table: &mut RowTable, keys: &[OrderKey]) {
+        let mut keyed = self.keyed_rows(table, keys);
+        // (key, seq) is a total order equal to a stable sort on key alone.
+        keyed.sort_unstable_by(|a, b| compare_keyed(keys, a, b));
+        table.rows = keyed.into_iter().map(|(_, _, row)| row).collect();
+    }
+
+    /// Bounded ORDER BY: select the first `k` rows of the sorted order
+    /// without fully sorting the input (`Slice ∘ OrderBy` fusion). Produces
+    /// exactly the rows a stable full sort followed by `truncate(k)` would.
+    fn top_k(&mut self, table: &mut RowTable, keys: &[OrderKey], k: usize) {
+        if k == 0 {
+            table.rows.clear();
+            return;
+        }
+        let mut keyed = self.keyed_rows(table, keys);
+        if keyed.len() > k {
+            // O(n) partition around the k-th row, then sort only the prefix.
+            keyed.select_nth_unstable_by(k - 1, |a, b| compare_keyed(keys, a, b));
+            keyed.truncate(k);
+        }
+        keyed.sort_unstable_by(|a, b| compare_keyed(keys, a, b));
+        table.rows = keyed.into_iter().map(|(_, _, row)| row).collect();
+    }
+}
+
+/// A sort candidate: computed key terms, original position (stability
+/// tie-break), and the id row itself.
+type KeyedRow = (Vec<Option<Term>>, usize, IdRow);
+
+fn compare_keyed(keys: &[OrderKey], a: &KeyedRow, b: &KeyedRow) -> std::cmp::Ordering {
+    for (key_spec, (x, y)) in keys.iter().zip(a.0.iter().zip(b.0.iter())) {
+        let ord = match (x, y) {
+            (None, None) => std::cmp::Ordering::Equal,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (Some(x), Some(y)) => x.order_cmp(y),
+        };
+        let ord = if key_spec.ascending { ord } else { ord.reverse() };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.1.cmp(&b.1)
+}
+
+/// Pattern-level binding of one triple position.
+enum Slot {
+    /// Constant, resolved to the graph's local id.
+    Bound(TermId),
+    /// Variable at this column index (bound-ness checked per row).
+    Var(usize),
+}
+
+/// Row-level binding after consulting the current row.
+enum RowSlot {
+    Bound(TermId),
+    Free(usize),
+}
+
+/// Extend one row with every match of `pattern` in `graph`, pushing id rows.
+/// Returns the number of index entries scanned. No `Term` is touched.
+fn extend_row_with_pattern(
+    graph: &Graph,
+    map: &GraphIdMap,
+    slots: &[Slot; 3],
+    row: &[Option<TermId>],
+    out: &mut Vec<IdRow>,
+) -> u64 {
+    // Refine pattern slots against the row: an already-bound variable whose
+    // global id has no local id in this graph can match nothing.
+    let refine = |slot: &Slot| -> Option<RowSlot> {
+        match slot {
+            Slot::Bound(local) => Some(RowSlot::Bound(*local)),
+            Slot::Var(idx) => match row[*idx] {
+                Some(global) => map.to_local(global).map(RowSlot::Bound),
+                None => Some(RowSlot::Free(*idx)),
+            },
+        }
+    };
+    let (Some(s), Some(p), Some(o)) = (
+        refine(&slots[0]),
+        refine(&slots[1]),
+        refine(&slots[2]),
+    ) else {
+        return 0;
+    };
+    let pick = |slot: &RowSlot| match slot {
+        RowSlot::Bound(id) => Some(*id),
+        RowSlot::Free(_) => None,
+    };
+    let (sb, pb, ob) = (pick(&s), pick(&p), pick(&o));
+    let assign = |slot: &RowSlot, local: TermId, new_row: &mut IdRow| {
+        if let RowSlot::Free(idx) = slot {
+            let global = map.to_global(local);
+            match new_row[*idx] {
+                // Same variable twice in one pattern (?x ?p ?x):
+                // later occurrences must agree.
+                Some(existing) => {
+                    if existing != global {
+                        return false;
+                    }
+                }
+                None => new_row[*idx] = Some(global),
+            }
+        }
+        true
+    };
+    graph.for_each_match(sb, pb, ob, |ms, mp, mo| {
+        let mut new_row = row.to_vec();
+        let mut ok = true;
+        ok &= assign(&s, ms, &mut new_row);
+        ok &= assign(&p, mp, &mut new_row);
+        ok &= assign(&o, mo, &mut new_row);
+        if ok {
+            out.push(new_row);
+        }
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JoinKind {
+    Inner,
+    Left,
+}
+
+/// Hash join with SPARQL compatibility semantics, hashing `u32` id tuples.
+///
+/// Key selection: the shared variables bound in *every* row of both inputs
+/// form the hash key; remaining shared variables are checked per candidate
+/// pair with unbound-is-compatible semantics (ids compare directly — the
+/// shared interner makes id equality coincide with term equality). Falls
+/// back to nested loop when no always-bound shared variable exists.
+fn join(left: RowTable, right: RowTable, kind: JoinKind) -> RowTable {
+    let shared: Vec<String> = left
+        .vars
+        .iter()
+        .filter(|v| right.vars.contains(v))
+        .cloned()
+        .collect();
+
+    let mut out_vars = left.vars.clone();
+    for v in &right.vars {
+        if !out_vars.contains(v) {
+            out_vars.push(v.clone());
+        }
+    }
+    let width = out_vars.len();
+
+    let l_idx: Vec<usize> = shared
+        .iter()
+        .map(|v| left.column_index(v).expect("shared var in left"))
+        .collect();
+    let r_idx: Vec<usize> = shared
+        .iter()
+        .map(|v| right.column_index(v).expect("shared var in right"))
+        .collect();
+
+    let always_bound = |table: &RowTable, idx: usize| -> bool {
+        table.rows.iter().all(|r| r[idx].is_some())
+    };
+    // Positions (within `shared`) usable as hash key.
+    let key_positions: Vec<usize> = (0..shared.len())
+        .filter(|&k| always_bound(&left, l_idx[k]) && always_bound(&right, r_idx[k]))
+        .collect();
+
+    // Precompute merge schema: for each right column, its target index in out.
+    let right_targets: Vec<usize> = right
+        .vars
+        .iter()
+        .map(|v| out_vars.iter().position(|x| x == v).expect("right var in out"))
+        .collect();
+    let mut out = RowTable::with_vars(out_vars);
+
+    let merge = |l_row: &[Option<TermId>], r_row: &[Option<TermId>]| -> IdRow {
+        let mut row = l_row.to_vec();
+        row.resize(width, None);
+        for (ri, &target) in right_targets.iter().enumerate() {
+            if row[target].is_none() {
+                row[target] = r_row[ri];
+            }
+        }
+        row
+    };
+    let compatible = |l_row: &[Option<TermId>], r_row: &[Option<TermId>]| -> bool {
+        for k in 0..shared.len() {
+            if let (Some(a), Some(b)) = (l_row[l_idx[k]], r_row[r_idx[k]]) {
+                if a != b {
+                    return false;
+                }
+            }
+        }
+        true
+    };
+
+    if !key_positions.is_empty() || shared.is_empty() {
+        // Build hash index on the right side, keyed by id tuples.
+        let mut table: HashMap<Vec<TermId>, Vec<usize>> = HashMap::new();
+        for (ri, r_row) in right.rows.iter().enumerate() {
+            let key: Vec<TermId> = key_positions
+                .iter()
+                .map(|&k| r_row[r_idx[k]].expect("always bound"))
+                .collect();
+            table.entry(key).or_default().push(ri);
+        }
+        for l_row in &left.rows {
+            let key: Vec<TermId> = key_positions
+                .iter()
+                .map(|&k| l_row[l_idx[k]].expect("always bound"))
+                .collect();
+            let mut matched = false;
+            if let Some(candidates) = table.get(&key) {
+                for &ri in candidates {
+                    let r_row = &right.rows[ri];
+                    if compatible(l_row, r_row) {
+                        out.rows.push(merge(l_row, r_row));
+                        matched = true;
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut row = l_row.clone();
+                row.resize(width, None);
+                out.rows.push(row);
+            }
+        }
+    } else {
+        // Nested loop with compatibility semantics.
+        for l_row in &left.rows {
+            let mut matched = false;
+            for r_row in &right.rows {
+                if compatible(l_row, r_row) {
+                    out.rows.push(merge(l_row, r_row));
+                    matched = true;
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut row = l_row.clone();
+                row.resize(width, None);
+                out.rows.push(row);
+            }
+        }
+    }
+    out
+}
+
+/// Bag union with schema alignment.
+fn union(left: RowTable, right: RowTable) -> RowTable {
+    let mut vars = left.vars.clone();
+    for v in &right.vars {
+        if !vars.contains(v) {
+            vars.push(v.clone());
+        }
+    }
+    let map_right: Vec<usize> = right
+        .vars
+        .iter()
+        .map(|v| vars.iter().position(|x| x == v).expect("var present"))
+        .collect();
+    let width = vars.len();
+    let mut out = RowTable::with_vars(vars);
+    for mut row in left.rows {
+        row.resize(width, None);
+        out.rows.push(row);
+    }
+    for row in right.rows {
+        let mut new_row = vec![None; out.vars.len()];
+        for (ri, v) in row.into_iter().enumerate() {
+            new_row[map_right[ri]] = v;
+        }
+        out.rows.push(new_row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tbl(vars: &[&str], rows: Vec<Vec<Option<TermId>>>) -> RowTable {
+        RowTable {
+            vars: vars.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
+    }
+
+    fn i(v: u32) -> Option<TermId> {
+        Some(TermId(v))
+    }
+
+    #[test]
+    fn inner_join_on_shared() {
+        let a = tbl(&["x", "y"], vec![vec![i(1), i(10)], vec![i(2), i(20)]]);
+        let b = tbl(&["x", "z"], vec![vec![i(1), i(100)], vec![i(3), i(300)]]);
+        let j = join(a, b, JoinKind::Inner);
+        assert_eq!(j.vars, vec!["x", "y", "z"]);
+        assert_eq!(j.rows, vec![vec![i(1), i(10), i(100)]]);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched() {
+        let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
+        let b = tbl(&["x", "z"], vec![vec![i(1), i(100)]]);
+        let j = join(a, b, JoinKind::Left);
+        assert_eq!(j.rows.len(), 2);
+        assert_eq!(j.rows[1], vec![i(2), None]);
+    }
+
+    #[test]
+    fn join_with_partially_unbound_shared_var() {
+        // 'g' is shared but sometimes unbound on the left (e.g. OPTIONAL
+        // output): unbound is compatible with anything.
+        let a = tbl(&["x", "g"], vec![vec![i(1), None], vec![i(2), i(9)]]);
+        let b = tbl(&["x", "g"], vec![vec![i(1), i(7)], vec![i(2), i(8)]]);
+        let j = join(a, b, JoinKind::Inner);
+        // Row (1, None) joins (1, 7) → (1, 7); row (2, 9) vs (2, 8) clash.
+        assert_eq!(j.rows, vec![vec![i(1), i(7)]]);
+    }
+
+    #[test]
+    fn cross_product_when_no_shared() {
+        let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
+        let b = tbl(&["y"], vec![vec![i(3)]]);
+        let j = join(a, b, JoinKind::Inner);
+        assert_eq!(j.rows.len(), 2);
+    }
+
+    #[test]
+    fn union_aligns_schemas() {
+        let a = tbl(&["x", "y"], vec![vec![i(1), i(2)]]);
+        let b = tbl(&["y", "z"], vec![vec![i(5), i(6)]]);
+        let u = union(a, b);
+        assert_eq!(u.vars, vec!["x", "y", "z"]);
+        assert_eq!(u.rows[0], vec![i(1), i(2), None]);
+        assert_eq!(u.rows[1], vec![None, i(5), i(6)]);
+    }
+
+    #[test]
+    fn bag_semantics_preserved() {
+        let a = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
+        let b = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
+        let j = join(a, b, JoinKind::Inner);
+        // 2 × 2 duplicates → 4 rows.
+        assert_eq!(j.rows.len(), 4);
+    }
+}

@@ -359,12 +359,25 @@ fn cast(term: &Term, datatype: &str) -> Option<Term> {
     }
 }
 
+/// DISTINCT dedup strategy for [`AggState`].
+///
+/// The term-materialized reference evaluator hashes whole [`Term`]s; the
+/// id-native evaluators intern each computed aggregate input through their
+/// [`TermPool`] and dedup on `u32` [`TermId`]s instead (the pool guarantees
+/// two ids are equal iff the terms are equal, so the bags are identical —
+/// only the hashing cost changes).
+#[derive(Debug)]
+enum Dedup {
+    Terms(std::collections::HashSet<Term>),
+    Ids(std::collections::HashSet<TermId>),
+}
+
 /// Running state for one aggregate over one group.
 #[derive(Debug)]
 pub struct AggState {
     op: AggOp,
     /// `Some` when DISTINCT: the set of values already counted.
-    seen: Option<std::collections::HashSet<Term>>,
+    seen: Option<Dedup>,
     count: usize,
     sum: f64,
     sum_is_integral: bool,
@@ -375,15 +388,11 @@ pub struct AggState {
 }
 
 impl AggState {
-    /// Initialize for an aggregate op.
+    /// Initialize for an aggregate op (term-hashing DISTINCT).
     pub fn new(op: AggOp, distinct: bool) -> Self {
         AggState {
             op,
-            seen: if distinct {
-                Some(std::collections::HashSet::new())
-            } else {
-                None
-            },
+            seen: distinct.then(|| Dedup::Terms(std::collections::HashSet::new())),
             count: 0,
             sum: 0.0,
             sum_is_integral: true,
@@ -394,15 +403,59 @@ impl AggState {
         }
     }
 
+    /// Initialize with id-based DISTINCT: inputs are interned through the
+    /// evaluator's [`TermPool`] (via [`AggState::push_pooled`]) and dedup
+    /// hashes `u32` ids instead of whole terms.
+    pub fn new_id_distinct(op: AggOp, distinct: bool) -> Self {
+        AggState {
+            seen: distinct.then(|| Dedup::Ids(std::collections::HashSet::new())),
+            ..Self::new(op, false)
+        }
+    }
+
     /// Feed one value. `None` (unbound/error) contributes nothing, matching
     /// SPARQL aggregate semantics.
     pub fn push(&mut self, value: Option<Term>) {
         let Some(v) = value else { return };
-        if let Some(seen) = &mut self.seen {
-            if !seen.insert(v.clone()) {
-                return;
+        match &mut self.seen {
+            Some(Dedup::Terms(seen)) => {
+                if !seen.insert(v.clone()) {
+                    return;
+                }
             }
+            // An id-distinct state cannot dedup without the pool; silently
+            // over-counting would be a correctness bug, so fail loudly.
+            Some(Dedup::Ids(_)) => {
+                panic!("id-distinct AggState must be fed through push_pooled")
+            }
+            None => {}
         }
+        self.accumulate(v);
+    }
+
+    /// Feed one value, deduplicating through `pool` when this state was
+    /// built with [`AggState::new_id_distinct`] (falls back to term hashing
+    /// for the [`AggState::new`] flavor, so callers need not branch).
+    pub fn push_pooled(&mut self, value: Option<Term>, pool: &mut TermPool) {
+        let Some(v) = value else { return };
+        match &mut self.seen {
+            Some(Dedup::Ids(seen)) => {
+                let id = pool.intern(v.clone());
+                if !seen.insert(id) {
+                    return;
+                }
+            }
+            Some(Dedup::Terms(seen)) => {
+                if !seen.insert(v.clone()) {
+                    return;
+                }
+            }
+            None => {}
+        }
+        self.accumulate(v);
+    }
+
+    fn accumulate(&mut self, v: Term) {
         self.count += 1;
         if let Some(l) = v.as_literal() {
             match l.parsed {

@@ -21,12 +21,17 @@
 //! fuses `LIMIT` over `ORDER BY` into bounded top-k selection, and [`eval`]
 //! evaluates with bag semantics.
 //!
-//! Evaluation is **id-native**: intermediate rows hold dataset-global `u32`
-//! term ids end to end (scans, joins, `DISTINCT`, grouping), and terms are
-//! materialized only at expression/sort boundaries and the final
-//! projection — see [`eval`] and [`pool`]. The seed term-materialized
-//! evaluator survives in [`eval_reference`] as a differential-testing oracle
-//! and benchmarking baseline, selected via [`engine::EvalMode`].
+//! Evaluation is **columnar and id-native**: intermediate results are
+//! struct-of-arrays tables of dataset-global `u32` term ids (one dense
+//! column per variable plus a presence bitmap), scans append into reused
+//! column buffers, and joins, `DISTINCT`, and grouping hash integers off
+//! column slices. Terms are materialized only at expression/sort boundaries
+//! and the final projection — see [`eval`] and [`pool`]. Two earlier
+//! evaluators survive as differential-testing oracles and benchmarking
+//! baselines, selected via [`engine::EvalMode`]: the PR 1 row-at-a-time
+//! id-native pipeline ([`eval_rows`]) and the seed term-materialized one
+//! ([`eval_reference`]). All three agree on results *and* on the
+//! `rows_scanned` work metric.
 
 pub mod algebra;
 pub mod ast;
@@ -34,6 +39,7 @@ pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod eval_reference;
+pub mod eval_rows;
 pub mod expr;
 pub mod lexer;
 pub mod optimizer;

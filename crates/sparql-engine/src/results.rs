@@ -1,11 +1,17 @@
 //! Query result representations.
 //!
-//! Two row layouts exist on purpose:
+//! Three row layouts exist on purpose:
 //!
-//! - [`IdTable`] is the evaluator's *internal* representation: every cell is
-//!   an `Option<TermId>` (8 bytes) in the dataset's global id space, so
-//!   joins, DISTINCT, and grouping hash integers. It never leaves the
+//! - [`IdTable`] is the default evaluator's *internal* representation: a
+//!   struct-of-arrays table with one dense `Vec<TermId>` per variable column
+//!   plus a presence bitmap (`None`/unbound is a cleared bit, the slot holds
+//!   a zero filler). Joins, DISTINCT, and grouping read column slices
+//!   sequentially and hash integers; BGP extension appends into column
+//!   buffers instead of allocating a `Vec` per row. It never leaves the
 //!   engine.
+//! - [`RowTable`] is the row-major id layout (`Vec<Option<TermId>>` per
+//!   row) used by the PR 1 row-at-a-time evaluator, kept as a differential
+//!   oracle and benchmark baseline ([`crate::eval_rows`]).
 //! - [`SolutionTable`] is the *public* boundary type: cells are owned
 //!   [`Term`] values, materialized exactly once when a query finishes (or a
 //!   page of it is shipped).
@@ -25,19 +31,313 @@ pub fn slice_rows<T>(rows: &mut Vec<T>, offset: usize, limit: Option<usize>) {
     rows.truncate(end - start);
 }
 
-/// Internal id-native solution table (cells are global [`TermId`]s).
+/// Filler stored in absent slots so equal tables compare equal bit-for-bit.
+const ABSENT: TermId = TermId(0);
+
+/// One column of optional [`TermId`]s: dense id vector + presence bitmap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Column {
+    ids: Vec<TermId>,
+    present: Vec<u64>,
+}
+
+impl Column {
+    /// Empty column with room for `cap` values.
+    pub fn with_capacity(cap: usize) -> Self {
+        Column {
+            ids: Vec::with_capacity(cap),
+            present: Vec::with_capacity(cap.div_ceil(64)),
+        }
+    }
+
+    /// An all-absent column of length `len`.
+    pub fn absent(len: usize) -> Self {
+        Column {
+            ids: vec![ABSENT; len],
+            present: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// A fully-present column owning `ids`.
+    pub fn from_ids(ids: Vec<TermId>) -> Self {
+        let len = ids.len();
+        let mut present = vec![!0u64; len / 64];
+        if len % 64 != 0 {
+            present.push((1u64 << (len % 64)) - 1);
+        }
+        Column { ids, present }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the column has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Append one optional value.
+    #[inline]
+    pub fn push(&mut self, v: Option<TermId>) {
+        let i = self.ids.len();
+        if i % 64 == 0 {
+            self.present.push(0);
+        }
+        match v {
+            Some(id) => {
+                self.ids.push(id);
+                self.present[i / 64] |= 1 << (i % 64);
+            }
+            None => self.ids.push(ABSENT),
+        }
+    }
+
+    /// Is slot `i` bound?
+    #[inline]
+    pub fn is_present(&self, i: usize) -> bool {
+        self.present[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Read slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<TermId> {
+        if self.is_present(i) {
+            Some(self.ids[i])
+        } else {
+            None
+        }
+    }
+
+    /// The raw id slice (absent slots hold a zero filler — consult the
+    /// bitmap or [`Column::all_present`] before trusting values).
+    pub fn ids(&self) -> &[TermId] {
+        &self.ids
+    }
+
+    /// True when every slot is bound (one popcount pass over the bitmap —
+    /// this is what lets joins pick hash-key columns without a row scan).
+    pub fn all_present(&self) -> bool {
+        let len = self.ids.len();
+        let full = len / 64;
+        if self.present[..full].iter().any(|&w| w != !0u64) {
+            return false;
+        }
+        if len % 64 != 0 {
+            let mask = (1u64 << (len % 64)) - 1;
+            return self.present[full] & mask == mask;
+        }
+        true
+    }
+
+    /// Append `src[i]` for every index in `idx` (presence-preserving gather).
+    pub fn gather_from(&mut self, src: &Column, idx: &[u32]) {
+        self.ids.reserve(idx.len());
+        for &i in idx {
+            self.push(src.get(i as usize));
+        }
+    }
+
+    /// Keep only slots whose mask bit is `true` (in order).
+    pub fn filter_mask(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.ids.len());
+        let mut out = Column::with_capacity(self.ids.len());
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                out.push(self.get(i));
+            }
+        }
+        *self = out;
+    }
+
+    /// Encode slot `i` for hashing: 0 = unbound, otherwise id + 1.
+    #[inline]
+    pub fn hash_code(&self, i: usize) -> u64 {
+        match self.get(i) {
+            Some(id) => id.0 as u64 + 1,
+            None => 0,
+        }
+    }
+
+    /// Shorten the column to `len` slots, zeroing bitmap bits past the end
+    /// (the invariant `Eq` and [`Column::all_present`] rely on).
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.ids.len() {
+            return;
+        }
+        self.ids.truncate(len);
+        self.present.truncate(len.div_ceil(64));
+        if len % 64 != 0 {
+            if let Some(last) = self.present.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+    }
+}
+
+/// Internal columnar id-native solution table (struct-of-arrays).
+///
+/// Each variable is a [`Column`]; all columns share the table's row count.
+/// The unit table (no columns, one row) is representable because the row
+/// count is stored explicitly.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct IdTable {
+    /// Column (variable) names.
+    pub vars: Vec<String>,
+    cols: Vec<Column>,
+    rows: usize,
+}
+
+impl IdTable {
+    /// Empty table with a schema.
+    pub fn with_vars(vars: Vec<String>) -> Self {
+        let cols = vars.iter().map(|_| Column::default()).collect();
+        IdTable {
+            vars,
+            cols,
+            rows: 0,
+        }
+    }
+
+    /// Table assembled from prebuilt columns (all of length `rows`).
+    pub fn from_columns(vars: Vec<String>, cols: Vec<Column>, rows: usize) -> Self {
+        debug_assert_eq!(vars.len(), cols.len());
+        debug_assert!(cols.iter().all(|c| c.len() == rows));
+        IdTable { vars, cols, rows }
+    }
+
+    /// The unit table: no columns, one empty row (join identity).
+    pub fn unit() -> Self {
+        IdTable {
+            vars: Vec::new(),
+            cols: Vec::new(),
+            rows: 1,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+
+    /// Borrow a column.
+    pub fn col(&self, idx: usize) -> &Column {
+        &self.cols[idx]
+    }
+
+    /// Read one cell.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Option<TermId> {
+        self.cols[col].get(row)
+    }
+
+    /// Append a row given as a slice parallel to `vars` (test/boundary
+    /// helper; hot paths build whole columns instead).
+    pub fn push_row(&mut self, row: &[Option<TermId>]) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        for (c, v) in self.cols.iter_mut().zip(row) {
+            c.push(*v);
+        }
+        self.rows += 1;
+    }
+
+    /// Copy row `i` into `buf` (reused scratch for expression contexts).
+    pub fn read_row(&self, i: usize, buf: &mut Vec<Option<TermId>>) {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|c| c.get(i)));
+    }
+
+    /// Keep only rows whose mask bit is `true`.
+    pub fn filter_mask(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.rows);
+        for c in &mut self.cols {
+            c.filter_mask(keep);
+        }
+        self.rows = keep.iter().filter(|&&k| k).count();
+    }
+
+    /// New table holding rows `idx` (in `idx` order; duplicates allowed).
+    pub fn gather_rows(&self, idx: &[u32]) -> IdTable {
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| {
+                let mut out = Column::with_capacity(idx.len());
+                out.gather_from(c, idx);
+                out
+            })
+            .collect();
+        IdTable {
+            vars: self.vars.clone(),
+            cols,
+            rows: idx.len(),
+        }
+    }
+
+    /// Keep rows `[offset, offset+limit)` (`None` limit = to the end).
+    pub fn slice(&mut self, offset: usize, limit: Option<usize>) {
+        let start = offset.min(self.rows);
+        let end = match limit {
+            Some(l) => start.saturating_add(l).min(self.rows),
+            None => self.rows,
+        };
+        if start == 0 {
+            // LIMIT without OFFSET: truncate columns in place, no copies.
+            for c in &mut self.cols {
+                c.truncate(end);
+            }
+            self.rows = end;
+            return;
+        }
+        let idx: Vec<u32> = (start as u32..end as u32).collect();
+        *self = self.gather_rows(&idx);
+    }
+
+    /// Decompose into `(vars, columns, row count)` so consuming operators
+    /// (projection) can move columns out instead of cloning them.
+    pub fn into_parts(self) -> (Vec<String>, Vec<Column>, usize) {
+        (self.vars, self.cols, self.rows)
+    }
+
+    /// Add a column (must match the current row count).
+    pub fn add_column(&mut self, name: String, col: Column) {
+        debug_assert_eq!(col.len(), self.rows);
+        self.vars.push(name);
+        self.cols.push(col);
+    }
+
+    /// Replace an existing column (must match the current row count).
+    pub fn replace_column(&mut self, idx: usize, col: Column) {
+        debug_assert_eq!(col.len(), self.rows);
+        self.cols[idx] = col;
+    }
+}
+
+/// Internal row-major id table (`Option<TermId>` per cell) used by the PR 1
+/// row-at-a-time evaluator kept in [`crate::eval_rows`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RowTable {
     /// Column (variable) names.
     pub vars: Vec<String>,
     /// Rows; each row is parallel to `vars`. `None` = unbound.
     pub rows: Vec<Vec<Option<TermId>>>,
 }
 
-impl IdTable {
+impl RowTable {
     /// Empty table with a schema.
     pub fn with_vars(vars: Vec<String>) -> Self {
-        IdTable {
+        RowTable {
             vars,
             rows: Vec::new(),
         }
@@ -45,7 +345,7 @@ impl IdTable {
 
     /// The unit table: no columns, one empty row (join identity).
     pub fn unit() -> Self {
-        IdTable {
+        RowTable {
             vars: Vec::new(),
             rows: vec![Vec::new()],
         }
@@ -191,13 +491,99 @@ mod tests {
     }
 
     #[test]
-    fn id_table_unit_and_columns() {
-        let u = IdTable::unit();
+    fn row_table_unit_and_columns() {
+        let u = RowTable::unit();
         assert_eq!(u.len(), 1);
-        let mut t = IdTable::with_vars(vec!["a".into(), "b".into()]);
+        let mut t = RowTable::with_vars(vec!["a".into(), "b".into()]);
         assert!(t.is_empty());
         t.rows.push(vec![Some(TermId(3)), None]);
         assert_eq!(t.column_index("b"), Some(1));
         assert_eq!(t.column_index("z"), None);
+    }
+
+    #[test]
+    fn column_bitmap_round_trip() {
+        let mut c = Column::default();
+        for i in 0..130u32 {
+            c.push(if i % 3 == 0 { Some(TermId(i)) } else { None });
+        }
+        assert_eq!(c.len(), 130);
+        assert!(!c.all_present());
+        for i in 0..130 {
+            assert_eq!(
+                c.get(i),
+                if i % 3 == 0 { Some(TermId(i as u32)) } else { None }
+            );
+        }
+        let full = Column::from_ids((0..130).map(TermId).collect());
+        assert!(full.all_present());
+        assert_eq!(full.get(129), Some(TermId(129)));
+
+        // Truncation must zero tail bits so equal contents compare equal.
+        let mut trunc = c.clone();
+        trunc.truncate(65);
+        assert_eq!(trunc.len(), 65);
+        let mut rebuilt = Column::default();
+        for i in 0..65 {
+            rebuilt.push(c.get(i));
+        }
+        assert_eq!(trunc, rebuilt);
+        let mut short = Column::from_ids((0..10).map(TermId).collect());
+        short.truncate(3);
+        assert!(short.all_present());
+        assert_eq!(short.len(), 3);
+    }
+
+    #[test]
+    fn column_filter_and_gather() {
+        let mut c = Column::default();
+        c.push(Some(TermId(1)));
+        c.push(None);
+        c.push(Some(TermId(3)));
+        let mut g = Column::default();
+        g.gather_from(&c, &[2, 0, 1, 2]);
+        assert_eq!(g.get(0), Some(TermId(3)));
+        assert_eq!(g.get(1), Some(TermId(1)));
+        assert_eq!(g.get(2), None);
+        assert_eq!(g.get(3), Some(TermId(3)));
+        c.filter_mask(&[true, false, true]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Some(TermId(3)));
+        assert!(c.all_present());
+    }
+
+    #[test]
+    fn id_table_unit_rows_and_slice() {
+        let u = IdTable::unit();
+        assert_eq!(u.len(), 1);
+        assert!(u.vars.is_empty());
+
+        let mut t = IdTable::with_vars(vec!["a".into(), "b".into()]);
+        assert!(t.is_empty());
+        t.push_row(&[Some(TermId(3)), None]);
+        t.push_row(&[Some(TermId(4)), Some(TermId(5))]);
+        t.push_row(&[None, Some(TermId(6))]);
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.get(1, 1), Some(TermId(5)));
+        assert_eq!(t.get(2, 0), None);
+
+        let mut buf = Vec::new();
+        t.read_row(1, &mut buf);
+        assert_eq!(buf, vec![Some(TermId(4)), Some(TermId(5))]);
+
+        let g = t.gather_rows(&[2, 0]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.get(0, 1), Some(TermId(6)));
+
+        t.slice(1, Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0, 0), Some(TermId(4)));
+
+        let mut t2 = IdTable::with_vars(vec!["a".into()]);
+        t2.push_row(&[Some(TermId(1))]);
+        t2.push_row(&[Some(TermId(2))]);
+        t2.filter_mask(&[false, true]);
+        assert_eq!(t2.len(), 1);
+        assert_eq!(t2.get(0, 0), Some(TermId(2)));
     }
 }

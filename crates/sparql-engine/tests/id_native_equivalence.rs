@@ -1,12 +1,15 @@
-//! Differential tests: the id-native evaluator against the seed
-//! term-materialized reference evaluator.
+//! Differential tests: the columnar evaluator against the PR 1 row-at-a-time
+//! id-native evaluator and the seed term-materialized reference evaluator.
 //!
-//! Every query from the end-to-end suite runs on both paths; results must be
-//! identical after `canonicalize()` and the deterministic work metric
-//! (`rows_scanned`) must match exactly — the refactor changes the row
-//! representation, not the access-path order. A proptest additionally checks
-//! that terms projected out of id-native joins round-trip through the
-//! dataset's shared interner.
+//! Every query from the end-to-end suite (plus aggregate-heavy shapes) runs
+//! on all three paths; results must be identical after `canonicalize()` and
+//! the deterministic work metric (`rows_scanned`) must match exactly — the
+//! refactors change the row representation, not the access-path order. The
+//! whole matrix additionally runs against both storage states of the graphs
+//! (compacted slabs via `Dataset::insert_graph` and delta-resident via
+//! `Dataset::insert_shared`), so slab scans, delta scans, and merged scans
+//! all feed every evaluator. A proptest further checks that terms projected
+//! out of id-native joins round-trip through the dataset's shared interner.
 
 use std::sync::Arc;
 
@@ -18,12 +21,17 @@ fn iri(s: &str) -> Term {
     Term::iri(s.to_string())
 }
 
-/// The movie graph of the end-to-end suite.
+/// The movie graph of the end-to-end suite, extended with numeric literal
+/// properties (integer ratings, double scores, and a mixed-typed `note`
+/// column that must force the term-based aggregation fallback).
 fn movie_graph() -> Graph {
     let mut g = Graph::new();
     let starring = iri("http://dbpedia.org/property/starring");
     let birth_place = iri("http://dbpedia.org/property/birthPlace");
     let award = iri("http://dbpedia.org/property/academyAward");
+    let rating = iri("http://dbpedia.org/property/rating");
+    let score = iri("http://dbpedia.org/property/score");
+    let note = iri("http://dbpedia.org/property/note");
     let usa = iri("http://dbpedia.org/resource/United_States");
     let uk = iri("http://dbpedia.org/resource/United_Kingdom");
 
@@ -37,7 +45,27 @@ fn movie_graph() -> Graph {
         g.insert(&Triple::new(a.clone(), birth_place.clone(), (*place).clone()));
         for m in 0..movies {
             let movie = iri(&format!("http://dbpedia.org/resource/{name}_movie{m}"));
-            g.insert(&Triple::new(movie, starring.clone(), a.clone()));
+            g.insert(&Triple::new(movie.clone(), starring.clone(), a.clone()));
+            // Integer rating (id-native numeric aggregation), double score
+            // (mixed int/double comparisons), duplicated values across
+            // movies so DISTINCT aggregation differs from plain.
+            g.insert(&Triple::new(
+                movie.clone(),
+                rating.clone(),
+                Term::integer(60 + (m % 2) * 30),
+            ));
+            g.insert(&Triple::new(
+                movie.clone(),
+                score.clone(),
+                Term::Literal(Literal::double(7.5 + m as f64)),
+            ));
+            // Mixed types: integers for even movies, strings for odd ones.
+            let note_val = if m % 2 == 0 {
+                Term::integer(m)
+            } else {
+                Term::string(format!("note{m}"))
+            };
+            g.insert(&Triple::new(movie, note.clone(), note_val));
         }
         if has_award {
             g.insert(&Triple::new(
@@ -55,9 +83,7 @@ fn movie_graph() -> Graph {
     g
 }
 
-fn dataset() -> Arc<Dataset> {
-    let mut ds = Dataset::new();
-    ds.insert_graph("http://dbpedia.org", movie_graph());
+fn yago_graph() -> Graph {
     let mut yago = Graph::new();
     yago.insert(&Triple::new(
         iri("http://dbpedia.org/resource/actor1"),
@@ -69,15 +95,32 @@ fn dataset() -> Arc<Dataset> {
         iri("http://yago/actedIn"),
         iri("http://yago/movieZ"),
     ));
-    ds.insert_graph("http://yago-knowledge.org", yago);
+    yago
+}
+
+/// Build the two-graph dataset in either storage state: `compacted` uses
+/// `insert_graph` (slab-resident), otherwise `insert_shared` hands over the
+/// graphs as-is so every triple stays in the mutable delta and all scans
+/// take the slab+delta merge path.
+fn dataset(compacted: bool) -> Arc<Dataset> {
+    let mut ds = Dataset::new();
+    if compacted {
+        ds.insert_graph("http://dbpedia.org", movie_graph());
+        ds.insert_graph("http://yago-knowledge.org", yago_graph());
+    } else {
+        let movies = movie_graph();
+        assert!(movies.delta_len() > 0, "test graph should stay in delta");
+        ds.insert_shared("http://dbpedia.org", Arc::new(movies));
+        ds.insert_shared("http://yago-knowledge.org", Arc::new(yago_graph()));
+    }
     Arc::new(ds)
 }
 
 const PREFIXES: &str = "PREFIX dbpp: <http://dbpedia.org/property/>\n\
                         PREFIX dbpr: <http://dbpedia.org/resource/>\n";
 
-/// Every query shape exercised by the end-to-end suite, plus cross-graph
-/// and expression-heavy variants.
+/// Every query shape exercised by the end-to-end suite, plus cross-graph,
+/// expression-heavy, and aggregate-heavy variants.
 fn queries() -> Vec<String> {
     let q = |body: &str| format!("{PREFIXES}{body}");
     vec![
@@ -127,92 +170,144 @@ fn queries() -> Vec<String> {
            ORDER BY ?actor"),
         q("SELECT ?movie (1 AS ?one) FROM <http://dbpedia.org> WHERE { \
              ?movie dbpp:starring ?actor . BIND ( 1 AS ?one ) }"),
-        // ORDER BY + LIMIT exercises the TopK fusion on the id-native path
+        // ORDER BY + LIMIT exercises the TopK fusion on the id-native paths
         // (and plain sort+truncate on the reference path).
         q("SELECT ?movie ?actor FROM <http://dbpedia.org> \
            WHERE { ?movie dbpp:starring ?actor } ORDER BY ?actor ?movie LIMIT 3"),
         q("SELECT ?movie FROM <http://dbpedia.org> \
            WHERE { ?movie dbpp:starring ?actor } ORDER BY ?movie LIMIT 100"),
+        // --- aggregate-heavy shapes -------------------------------------
+        // Integer column: the columnar evaluator's id-native numeric path.
+        q("SELECT ?actor (SUM(?r) AS ?total) (AVG(?r) AS ?avg) \
+           (MIN(?r) AS ?lo) (MAX(?r) AS ?hi) (COUNT(?r) AS ?n) \
+           FROM <http://dbpedia.org> WHERE { \
+             ?movie dbpp:starring ?actor . ?movie dbpp:rating ?r } \
+           GROUP BY ?actor ORDER BY ?actor"),
+        // DISTINCT over duplicated numeric values (SUM/AVG change, MIN/MAX
+        // don't; dedup is on ids for the id-native paths).
+        q("SELECT ?actor (SUM(DISTINCT ?r) AS ?total) (AVG(DISTINCT ?r) AS ?avg) \
+           FROM <http://dbpedia.org> WHERE { \
+             ?movie dbpp:starring ?actor . ?movie dbpp:rating ?r } \
+           GROUP BY ?actor ORDER BY ?actor"),
+        // Mixed int/double column: still numeric, exercises f64 compare.
+        q("SELECT (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) (SUM(?v) AS ?s) \
+           FROM <http://dbpedia.org> WHERE { \
+             { ?movie dbpp:rating ?v } UNION { ?movie dbpp:score ?v } }"),
+        // Mixed numeric/string column: must fall back to term aggregation
+        // identically on every path.
+        q("SELECT (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) (COUNT(DISTINCT ?v) AS ?n) \
+           FROM <http://dbpedia.org> WHERE { ?movie dbpp:note ?v }"),
+        // COUNT DISTINCT of a *computed* expression: inputs intern through
+        // the TermPool and dedup on ids in the id-native paths.
+        q("SELECT ?actor (COUNT(DISTINCT str(?movie)) AS ?n) \
+           FROM <http://dbpedia.org> WHERE { ?movie dbpp:starring ?actor } \
+           GROUP BY ?actor ORDER BY ?actor"),
+        // SUM over a computed expression with DISTINCT.
+        q("SELECT (SUM(DISTINCT ?r + 1) AS ?s) FROM <http://dbpedia.org> \
+           WHERE { ?movie dbpp:rating ?r }"),
+        // Implicit single group over an empty input: aggregates over no rows.
+        q("SELECT (SUM(?r) AS ?s) (MIN(?r) AS ?lo) FROM <http://dbpedia.org> \
+           WHERE { ?x <http://nothing/here> ?r }"),
     ]
 }
 
-fn engines(ds: Arc<Dataset>) -> (Engine, Engine) {
-    let id_native = Engine::with_config(
-        Arc::clone(&ds),
-        EngineConfig {
-            optimize: true,
-            eval_mode: EvalMode::IdNative,
-        },
-    );
-    let reference = Engine::with_config(
-        ds,
-        EngineConfig {
-            optimize: true,
-            eval_mode: EvalMode::TermReference,
-        },
-    );
-    (id_native, reference)
+/// The three evaluators, same optimizer setting.
+fn engines(ds: Arc<Dataset>, optimize: bool) -> Vec<(&'static str, Engine)> {
+    [
+        ("columnar", EvalMode::Columnar),
+        ("id-native-rows", EvalMode::IdNative),
+        ("reference", EvalMode::TermReference),
+    ]
+    .into_iter()
+    .map(|(name, eval_mode)| {
+        (
+            name,
+            Engine::with_config(
+                Arc::clone(&ds),
+                EngineConfig {
+                    optimize,
+                    eval_mode,
+                },
+            ),
+        )
+    })
+    .collect()
 }
 
-#[test]
-fn id_native_matches_reference_on_all_queries() {
-    let (id_native, reference) = engines(dataset());
+/// Run every query on every evaluator and demand identical bags and
+/// identical `rows_scanned`.
+fn assert_all_paths_agree(ds: Arc<Dataset>, optimize: bool, label: &str) {
+    let engines = engines(ds, optimize);
     for q in queries() {
-        let (mut a, stats_a) = id_native
-            .execute_with_stats(&q)
-            .unwrap_or_else(|e| panic!("id-native failed: {e}\n{q}"));
-        let (mut b, stats_b) = reference
-            .execute_with_stats(&q)
-            .unwrap_or_else(|e| panic!("reference failed: {e}\n{q}"));
-        a.canonicalize();
-        b.canonicalize();
-        assert_eq!(a, b, "results diverge for:\n{q}");
-        assert_eq!(
-            stats_a.rows_scanned, stats_b.rows_scanned,
-            "work metric diverges for:\n{q}"
-        );
+        let mut results = Vec::new();
+        for (name, engine) in &engines {
+            let (mut t, stats) = engine
+                .execute_with_stats(&q)
+                .unwrap_or_else(|e| panic!("{name} failed ({label}): {e}\n{q}"));
+            t.canonicalize();
+            results.push((name, t, stats.rows_scanned));
+        }
+        let (base_name, base_table, base_scanned) = &results[0];
+        for (name, table, scanned) in &results[1..] {
+            assert_eq!(
+                base_table, table,
+                "results diverge between {base_name} and {name} ({label}) for:\n{q}"
+            );
+            assert_eq!(
+                base_scanned, scanned,
+                "work metric diverges between {base_name} and {name} ({label}) for:\n{q}"
+            );
+        }
     }
 }
 
 #[test]
+fn all_three_evaluators_agree_on_compacted_graphs() {
+    assert_all_paths_agree(dataset(true), true, "compacted");
+}
+
+#[test]
+fn all_three_evaluators_agree_on_uncompacted_graphs() {
+    assert_all_paths_agree(dataset(false), true, "uncompacted");
+}
+
+#[test]
 fn unoptimized_paths_also_agree() {
-    let ds = dataset();
-    let id_native = Engine::with_config(
-        Arc::clone(&ds),
-        EngineConfig {
-            optimize: false,
-            eval_mode: EvalMode::IdNative,
-        },
-    );
-    let reference = Engine::with_config(
-        ds,
-        EngineConfig {
-            optimize: false,
-            eval_mode: EvalMode::TermReference,
-        },
-    );
+    assert_all_paths_agree(dataset(true), false, "compacted, no optimizer");
+    assert_all_paths_agree(dataset(false), false, "uncompacted, no optimizer");
+}
+
+#[test]
+fn compacted_and_uncompacted_storage_agree() {
+    // Same data, different physical layout: results and scan counts must be
+    // layout-independent.
+    let compacted = Engine::new(dataset(true));
+    let delta = Engine::new(dataset(false));
     for q in queries() {
-        let (mut a, stats_a) = id_native.execute_with_stats(&q).unwrap();
-        let (mut b, stats_b) = reference.execute_with_stats(&q).unwrap();
+        let (mut a, stats_a) = compacted.execute_with_stats(&q).unwrap();
+        let (mut b, stats_b) = delta.execute_with_stats(&q).unwrap();
         a.canonicalize();
         b.canonicalize();
-        assert_eq!(a, b, "results diverge for:\n{q}");
-        assert_eq!(stats_a.rows_scanned, stats_b.rows_scanned);
+        assert_eq!(a, b, "storage layouts diverge for:\n{q}");
+        assert_eq!(stats_a.rows_scanned, stats_b.rows_scanned, "{q}");
     }
 }
 
 #[test]
 fn paged_execution_matches_full_execution() {
-    let (id_native, reference) = engines(dataset());
+    let ds = dataset(true);
+    let engines = engines(ds, true);
     let q = format!(
         "{PREFIXES} SELECT ?movie ?actor FROM <http://dbpedia.org> \
          WHERE {{ ?movie dbpp:starring ?actor }} ORDER BY ?movie ?actor"
     );
-    let full = id_native.execute(&q).unwrap();
+    let full = engines[0].1.execute(&q).unwrap();
     for offset in 0..=full.len() + 1 {
-        let (page, _) = id_native.execute_page(&q, offset, 2).unwrap();
-        let (ref_page, _) = reference.execute_page(&q, offset, 2).unwrap();
-        assert_eq!(page, ref_page, "page at offset {offset}");
+        let (page, _) = engines[0].1.execute_page(&q, offset, 2).unwrap();
+        for (name, engine) in &engines[1..] {
+            let (other, _) = engine.execute_page(&q, offset, 2).unwrap();
+            assert_eq!(page, other, "page at offset {offset} diverges on {name}");
+        }
         let lo = offset.min(full.rows.len());
         let hi = (offset + 2).min(full.rows.len());
         assert_eq!(&page.rows[..], &full.rows[lo..hi]);
@@ -244,7 +339,8 @@ fn triple_strategy() -> impl Strategy<Value = (u8, u8, u8)> {
 }
 
 /// Two overlapping graphs: triples split between them, shared terms appear
-/// in both, so joins routinely cross the graph boundary.
+/// in both, so joins routinely cross the graph boundary. Graph `a` is
+/// compacted; graph `b` stays delta-resident.
 fn build_two_graph_dataset(triples: &[(u8, u8, u8)]) -> Arc<Dataset> {
     let mut g1 = Graph::new();
     let mut g2 = Graph::new();
@@ -262,7 +358,7 @@ fn build_two_graph_dataset(triples: &[(u8, u8, u8)]) -> Arc<Dataset> {
     }
     let mut ds = Dataset::new();
     ds.insert_graph("http://test/a", g1);
-    ds.insert_graph("http://test/b", g2);
+    ds.insert_shared("http://test/b", Arc::new(g2));
     Arc::new(ds)
 }
 
@@ -290,19 +386,23 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 
     #[test]
-    fn id_native_matches_reference_on_random_multi_graph_queries(
+    fn all_evaluators_match_on_random_multi_graph_queries(
         triples in proptest::collection::vec(triple_strategy(), 1..25),
         patterns in proptest::collection::vec(pattern_strategy(), 1..4),
     ) {
         let ds = build_two_graph_dataset(&triples);
-        let (id_native, reference) = engines(ds);
+        let engines = engines(ds, true);
         let q = render_query(&patterns);
-        let (mut a, stats_a) = id_native.execute_with_stats(&q).unwrap();
-        let (mut b, stats_b) = reference.execute_with_stats(&q).unwrap();
-        a.canonicalize();
-        b.canonicalize();
-        prop_assert_eq!(&a, &b, "{}", q);
-        prop_assert_eq!(stats_a.rows_scanned, stats_b.rows_scanned, "{}", q);
+        let mut results = Vec::new();
+        for (name, engine) in &engines {
+            let (mut t, stats) = engine.execute_with_stats(&q).unwrap();
+            t.canonicalize();
+            results.push((name, t, stats.rows_scanned));
+        }
+        for pair in results.windows(2) {
+            prop_assert_eq!(&pair[0].1, &pair[1].1, "{} vs {}: {}", pair[0].0, pair[1].0, q);
+            prop_assert_eq!(pair[0].2, pair[1].2, "{} vs {}: {}", pair[0].0, pair[1].0, q);
+        }
     }
 
     #[test]
