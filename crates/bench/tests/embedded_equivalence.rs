@@ -1,0 +1,188 @@
+//! Embedded-vs-wire differential suite.
+//!
+//! The embedded execution path (query model → engine plan → columnar
+//! cursor → typed DataFrame, no SPARQL text anywhere) must be perfectly
+//! interchangeable with the paper-faithful wire path (render → parse →
+//! evaluate per page → XML/TSV round trip → per-cell decode). This suite
+//! drives every example workload — the 15 synthetic queries of Table 2 and
+//! the three case studies — through both and asserts:
+//!
+//! 1. **Plan mirror**: the direct compiler produces a plan *structurally
+//!    equal* to `translate(parse(render(model)))`, pre-optimizer, plus the
+//!    same `FROM` list. This is the strongest guarantee: after the shared
+//!    optimizer pass both paths execute the identical plan.
+//! 2. **DataFrame identity**: both paths produce the *same* DataFrame —
+//!    schema, row order, cell types and values — against the XML wire
+//!    format (and TSV for the case studies).
+//! 3. **Work parity**: `rows_scanned` on the embedded cursor equals the
+//!    engine's count for the rendered text (pagination permitting — the
+//!    wire side is checked to have served a single chunk).
+
+use std::sync::Arc;
+
+use bench::casestudies::{self, CaseParams};
+use bench::data;
+use bench::queries;
+use rdf_model::Dataset;
+use rdfframes_core::model::{compile, generator, render};
+use rdfframes_core::{
+    EmbeddedEndpoint, EndpointConfig, InProcessEndpoint, RDFFrame, WireFormat,
+};
+use sparql_engine::algebra::translate_query;
+use sparql_engine::parser::parse_query;
+
+const SCALE: usize = 150;
+
+fn wire_endpoint(ds: Arc<Dataset>, wire: WireFormat) -> InProcessEndpoint {
+    InProcessEndpoint::with_config(
+        ds,
+        EndpointConfig {
+            wire,
+            ..Default::default()
+        },
+    )
+}
+
+/// Assert all three equivalence layers for one frame.
+fn assert_equivalent(id: &str, frame: &RDFFrame, ds: &Arc<Dataset>, wire: WireFormat) {
+    // 1. Plan mirror.
+    let model = generator::build_query_model(frame)
+        .unwrap_or_else(|e| panic!("{id}: model generation failed: {e}"));
+    let compiled = compile::compile(&model)
+        .unwrap_or_else(|e| panic!("{id}: embedded compilation failed: {e}"));
+    let sparql = render::render(&model);
+    let parsed = parse_query(&sparql)
+        .unwrap_or_else(|e| panic!("{id}: render produced unparseable SPARQL: {e}\n{sparql}"));
+    let via_text = translate_query(&parsed).unwrap();
+    assert_eq!(
+        compiled.plan, via_text,
+        "{id}: compiled plan diverges from render→parse→translate\n{sparql}"
+    );
+    assert_eq!(compiled.from, parsed.from, "{id}: FROM lists diverge");
+
+    // 2. Identical DataFrames end to end.
+    let embedded = EmbeddedEndpoint::new(Arc::clone(ds));
+    let wire_ep = wire_endpoint(Arc::clone(ds), wire);
+    let scanned_before = embedded.rows_scanned();
+    let df_embedded = frame
+        .execute(&embedded)
+        .unwrap_or_else(|e| panic!("{id}: embedded execution failed: {e}"));
+    let df_wire = frame
+        .execute(&wire_ep)
+        .unwrap_or_else(|e| panic!("{id}: wire execution failed: {e}"));
+    assert_eq!(
+        df_embedded, df_wire,
+        "{id}: embedded and wire dataframes differ ({wire:?} wire format)"
+    );
+    assert!(
+        !df_embedded.is_empty(),
+        "{id}: empty result at test scale proves nothing"
+    );
+
+    // 3. rows_scanned parity (single-chunk wire executions only — the
+    // paper's HTTP model re-evaluates per page, which multiplies the wire
+    // side's work by the page count).
+    if wire_ep.stats().requests() == 1 {
+        let (_, stats) = wire_ep
+            .engine()
+            .execute_with_stats(&sparql)
+            .unwrap_or_else(|e| panic!("{id}: direct engine execution failed: {e}"));
+        assert_eq!(
+            embedded.rows_scanned() - scanned_before,
+            stats.rows_scanned,
+            "{id}: embedded cursor scanned a different number of index entries"
+        );
+    }
+}
+
+#[test]
+fn synthetic_workload_embedded_matches_xml_wire() {
+    let ds = data::build_dataset(SCALE);
+    for def in queries::all_queries() {
+        assert_equivalent(def.id, &def.frame, &ds, WireFormat::Xml);
+    }
+}
+
+#[test]
+fn case_studies_embedded_matches_both_wire_formats() {
+    let ds = data::build_dataset(SCALE);
+    let p = CaseParams::for_scale(SCALE);
+    let cases: Vec<(&str, RDFFrame)> = vec![
+        (
+            "cs1_movie_genre",
+            casestudies::movie_genre_classification(p.prolific),
+        ),
+        (
+            "cs2_topic_modeling",
+            casestudies::topic_modeling(p.since_year, p.threshold, p.recent_year),
+        ),
+        ("cs3_kg_embedding", casestudies::kg_embedding()),
+    ];
+    for (id, frame) in &cases {
+        assert_equivalent(id, frame, &ds, WireFormat::Xml);
+        assert_equivalent(id, frame, &ds, WireFormat::Tsv);
+    }
+}
+
+/// Paginated wire executions must still agree with the embedded result
+/// (modulo the work-parity check, which pagination legitimately breaks).
+#[test]
+fn pagination_does_not_break_equivalence() {
+    let ds = data::build_dataset(SCALE);
+    let frame = casestudies::kg_embedding();
+    let embedded = EmbeddedEndpoint::new(Arc::clone(&ds));
+    let wire_ep = InProcessEndpoint::with_config(
+        Arc::clone(&ds),
+        EndpointConfig {
+            max_rows_per_request: 500,
+            wire: WireFormat::Xml,
+            ..Default::default()
+        },
+    );
+    let df_embedded = frame.execute(&embedded).unwrap();
+    let df_wire = frame.execute(&wire_ep).unwrap();
+    assert!(
+        wire_ep.stats().requests() > 1,
+        "test should actually paginate"
+    );
+    assert_eq!(df_embedded, df_wire);
+    // The wire path re-planned nothing after the first chunk.
+    assert_eq!(wire_ep.cached_plans(), 1);
+}
+
+/// Float cells produced by the embedded typed-column path must round-trip
+/// through display/CSV exactly like the wire path's (no `1` vs `1.0`
+/// drift) — the regression the columnar decode could have introduced.
+#[test]
+fn float_columns_round_trip_identically() {
+    let ds = data::build_dataset(SCALE);
+    let frame = data::dbpedia_graph()
+        .feature_domain_range("dbpp:starring", "movie", "actor")
+        .expand("movie", "dbpp:runtime", "runtime")
+        .group_by(&["actor"])
+        .avg("runtime", "mean_runtime");
+
+    let embedded = EmbeddedEndpoint::new(Arc::clone(&ds));
+    let wire_ep = wire_endpoint(Arc::clone(&ds), WireFormat::Xml);
+    let df_embedded = frame.execute(&embedded).unwrap();
+    let df_wire = frame.execute(&wire_ep).unwrap();
+    assert_eq!(df_embedded, df_wire);
+
+    // AVG over integers yields doubles; find one with an integral value so
+    // the formatting distinction actually bites, and check the text forms.
+    let csv_embedded = dataframe::csv::to_csv(&df_embedded);
+    let csv_wire = dataframe::csv::to_csv(&df_wire);
+    assert_eq!(csv_embedded, csv_wire);
+    let back = dataframe::csv::from_csv(&csv_embedded).unwrap();
+    assert_eq!(back, df_embedded, "CSV round trip must preserve cell types");
+    let has_integral_float = df_embedded
+        .column("mean_runtime")
+        .unwrap()
+        .any(|c| matches!(c, dataframe::Cell::Float(f) if f.fract() == 0.0));
+    if has_integral_float {
+        assert!(
+            csv_embedded.contains(".0"),
+            "integral floats must keep their decimal point in CSV:\n{csv_embedded}"
+        );
+    }
+}

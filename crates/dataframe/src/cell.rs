@@ -156,7 +156,10 @@ impl fmt::Display for Cell {
             Cell::Uri(s) => write!(f, "<{s}>"),
             Cell::Str(s) => write!(f, "{s}"),
             Cell::Int(i) => write!(f, "{i}"),
-            Cell::Float(x) => write!(f, "{x}"),
+            // `{x:?}` keeps a decimal point on integral values ("1.0", not
+            // "1"), so a float cell's text form never collides with an
+            // integer's and CSV round trips preserve the column's type.
+            Cell::Float(x) => write!(f, "{x:?}"),
             Cell::Bool(b) => write!(f, "{b}"),
         }
     }
@@ -189,6 +192,13 @@ mod tests {
             Cell::Str("a".into()).total_cmp(&Cell::Str("b".into())),
             Ordering::Less
         );
+    }
+
+    #[test]
+    fn float_display_keeps_decimal_point() {
+        assert_eq!(Cell::Float(1.0).to_string(), "1.0");
+        assert_eq!(Cell::Float(2.5).to_string(), "2.5");
+        assert_eq!(Cell::Int(1).to_string(), "1");
     }
 
     #[test]

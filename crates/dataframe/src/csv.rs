@@ -21,7 +21,9 @@ pub fn to_csv(df: &DataFrame) -> String {
                 Cell::Uri(u) => quote(&format!("<{u}>")),
                 Cell::Str(s) => quote(s),
                 Cell::Int(i) => i.to_string(),
-                Cell::Float(f) => f.to_string(),
+                // Debug formatting keeps the decimal point on integral
+                // floats so the reader re-infers Float, not Int.
+                Cell::Float(f) => format!("{f:?}"),
                 Cell::Bool(b) => b.to_string(),
             })
             .collect();
@@ -153,6 +155,22 @@ mod tests {
         let text = to_csv(&df);
         let back = from_csv(&text).unwrap();
         assert_eq!(back.get(0, "t"), Some(&Cell::str("line1\nline2")));
+    }
+
+    #[test]
+    fn integral_float_round_trips_as_float() {
+        // Regression: `1.0` used to serialize as "1" and come back as
+        // Int(1), silently changing the column's type (and its text form)
+        // relative to what the query produced.
+        let mut df = DataFrame::new(vec!["avg".into()]);
+        df.push_row(vec![Cell::Float(1.0)]);
+        df.push_row(vec![Cell::Float(-3.0)]);
+        let text = to_csv(&df);
+        assert!(text.contains("1.0"), "{text}");
+        let back = from_csv(&text).unwrap();
+        assert!(matches!(back.get(0, "avg"), Some(Cell::Float(f)) if *f == 1.0));
+        assert!(matches!(back.get(1, "avg"), Some(Cell::Float(f)) if *f == -3.0));
+        assert_eq!(df, back);
     }
 
     #[test]

@@ -285,6 +285,40 @@ impl DataFrame {
             self.push_row(r);
         }
     }
+
+    /// Build a frame from whole columns of cells (the embedded execution
+    /// path decodes query results column-at-a-time; this transposes once,
+    /// moving every cell, instead of growing rows cell by cell).
+    ///
+    /// # Panics
+    /// Panics if the column count doesn't match `columns` or the columns
+    /// have unequal lengths.
+    pub fn from_cell_columns(columns: Vec<String>, cols: Vec<Vec<Cell>>) -> DataFrame {
+        assert_eq!(
+            columns.len(),
+            cols.len(),
+            "{} names for {} columns",
+            columns.len(),
+            cols.len()
+        );
+        let rows_len = cols.first().map_or(0, Vec::len);
+        assert!(
+            cols.iter().all(|c| c.len() == rows_len),
+            "columns of unequal length"
+        );
+        let mut iters: Vec<_> = cols.into_iter().map(Vec::into_iter).collect();
+        let mut out = DataFrame::new(columns);
+        out.rows.reserve(rows_len);
+        for _ in 0..rows_len {
+            out.rows.push(
+                iters
+                    .iter_mut()
+                    .map(|it| it.next().expect("equal lengths checked"))
+                    .collect(),
+            );
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +404,22 @@ mod tests {
         });
         assert_eq!(df2.get(0, "prolific"), Some(&Cell::Bool(true)));
         assert_eq!(df2.get(1, "prolific"), Some(&Cell::Bool(false)));
+    }
+
+    #[test]
+    fn from_cell_columns_transposes() {
+        let df = DataFrame::from_cell_columns(
+            vec!["a".into(), "b".into()],
+            vec![
+                vec![Cell::Int(1), Cell::Int(2)],
+                vec![Cell::str("x"), Cell::Null],
+            ],
+        );
+        assert_eq!(df.len(), 2);
+        assert_eq!(df.rows()[0], vec![Cell::Int(1), Cell::str("x")]);
+        assert_eq!(df.rows()[1], vec![Cell::Int(2), Cell::Null]);
+        let empty = DataFrame::from_cell_columns(vec!["a".into()], vec![vec![]]);
+        assert!(empty.is_empty());
     }
 
     #[test]

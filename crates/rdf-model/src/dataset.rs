@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use crate::graph::{Graph, GraphStats};
 use crate::interner::{Interner, TermId};
-use crate::term::Term;
+use crate::term::{Term, Triple};
 
 /// Bidirectional translation between one graph's local [`TermId`]s and the
 /// dataset-wide global id space.
@@ -34,18 +34,28 @@ pub struct GraphIdMap {
 
 impl GraphIdMap {
     fn build(graph: &Graph, interner: &mut Interner) -> Self {
+        let mut map = GraphIdMap::default();
+        map.extend_from(graph, interner);
+        map
+    }
+
+    /// Intern any graph-local terms past the end of this map into the
+    /// dataset interner and record their translations. Local ids are dense
+    /// and append-only, so this is an incremental suffix walk — the
+    /// mutation path ([`Dataset::append_triples`]) calls it instead of
+    /// rebuilding the whole map.
+    fn extend_from(&mut self, graph: &Graph, interner: &mut Interner) {
         let graph_interner = graph.interner();
-        let mut to_global = Vec::with_capacity(graph_interner.len());
-        let mut from_global = HashMap::with_capacity(graph_interner.len());
-        for (local, term) in graph_interner.iter() {
-            let global = interner.intern(term.clone());
-            debug_assert_eq!(to_global.len(), local.index());
-            to_global.push(global);
-            from_global.insert(global, local);
+        let known = self.to_global.len();
+        if known == graph_interner.len() {
+            return;
         }
-        GraphIdMap {
-            to_global,
-            from_global,
+        self.to_global.reserve(graph_interner.len() - known);
+        for (local, term) in graph_interner.iter().skip(known) {
+            let global = interner.intern(term.clone());
+            debug_assert_eq!(self.to_global.len(), local.index());
+            self.to_global.push(global);
+            self.from_global.insert(global, local);
         }
     }
 
@@ -66,15 +76,24 @@ impl GraphIdMap {
     }
 }
 
+/// A cached statistics snapshot plus the graph compaction generation it was
+/// taken at. Stats refresh when the graph's delta merges into the slabs
+/// (generation bump), so between merges they lag by at most the delta size.
+#[derive(Debug, Clone)]
+struct StatsEntry {
+    generation: u64,
+    stats: Arc<GraphStats>,
+}
+
 /// A collection of named graphs sharing one global term id space.
 #[derive(Debug, Default, Clone)]
 pub struct Dataset {
     graphs: BTreeMap<String, Arc<Graph>>,
     interner: Interner,
     id_maps: BTreeMap<String, Arc<GraphIdMap>>,
-    /// Optimizer statistics, computed once per inserted graph (graphs are
-    /// immutable behind `Arc` once inside a dataset).
-    stats: BTreeMap<String, Arc<GraphStats>>,
+    /// Optimizer statistics, snapshotted at graph insert and refreshed
+    /// delta-aware on the [`Dataset::append_triples`] mutation path.
+    stats: BTreeMap<String, StatsEntry>,
 }
 
 impl Dataset {
@@ -100,8 +119,68 @@ impl Dataset {
         let uri = uri.into();
         let map = GraphIdMap::build(&graph, &mut self.interner);
         self.id_maps.insert(uri.clone(), Arc::new(map));
-        self.stats.insert(uri.clone(), Arc::new(graph.stats()));
+        self.stats.insert(
+            uri.clone(),
+            StatsEntry {
+                generation: graph.compaction_generation(),
+                stats: Arc::new(graph.stats()),
+            },
+        );
         self.graphs.insert(uri, graph);
+    }
+
+    /// Append triples to a graph already in the dataset, keeping the whole
+    /// derived state consistent: newly seen terms are interned and added to
+    /// the graph's local↔global id translation incrementally, and — the
+    /// delta-aware part — whenever the insert burst causes the graph's
+    /// `BTreeSet` delta to merge into the slabs (threshold-triggered
+    /// compaction), the optimizer's [`PredicateStats`](crate::graph::PredicateStats)
+    /// are recomputed, so long-lived mutable graphs keep statistics-driven
+    /// BGP ordering honest. Between merges the stats lag by at most the
+    /// delta size, which the threshold bounds.
+    ///
+    /// Copy-on-write: if the graph `Arc` is shared outside the dataset, the
+    /// dataset's copy is cloned first and external handles stop observing
+    /// the appends.
+    ///
+    /// Returns the number of *new* triples, or `None` for an unknown graph.
+    pub fn append_triples<I>(&mut self, uri: &str, triples: I) -> Option<usize>
+    where
+        I: IntoIterator<Item = Triple>,
+    {
+        let graph_arc = self.graphs.get_mut(uri)?;
+        let graph = Arc::make_mut(graph_arc);
+        let mut added = 0usize;
+        for t in triples {
+            if graph.insert(&t) {
+                added += 1;
+            }
+        }
+        let map = Arc::make_mut(self.id_maps.get_mut(uri).expect("id map tracks graph"));
+        map.extend_from(graph, &mut self.interner);
+        let entry = self.stats.get_mut(uri).expect("stats track graph");
+        if entry.generation != graph.compaction_generation() {
+            *entry = StatsEntry {
+                generation: graph.compaction_generation(),
+                stats: Arc::new(graph.stats()),
+            };
+        }
+        Some(added)
+    }
+
+    /// Force a statistics refresh for one graph regardless of compaction
+    /// generation (e.g. before a batch of optimizer-sensitive queries).
+    /// Returns `false` for an unknown graph.
+    pub fn refresh_stats(&mut self, uri: &str) -> bool {
+        let Some(graph) = self.graphs.get(uri) else {
+            return false;
+        };
+        let entry = StatsEntry {
+            generation: graph.compaction_generation(),
+            stats: Arc::new(graph.stats()),
+        };
+        self.stats.insert(uri.to_string(), entry);
+        true
     }
 
     /// Fetch a graph by URI.
@@ -114,9 +193,10 @@ impl Dataset {
         self.id_maps.get(uri)
     }
 
-    /// Cached optimizer statistics for a graph (computed at insert time).
+    /// Cached optimizer statistics for a graph (snapshotted at insert,
+    /// refreshed when [`Dataset::append_triples`] merges a delta).
     pub fn graph_stats(&self, uri: &str) -> Option<&Arc<GraphStats>> {
-        self.stats.get(uri)
+        self.stats.get(uri).map(|e| &e.stats)
     }
 
     /// The dataset-wide interner (global id space).
@@ -223,6 +303,98 @@ mod tests {
         let only_b_global = ds.lookup(&only_b).unwrap();
         assert_eq!(map_a.to_local(only_b_global), None);
         assert_eq!(ds.resolve(only_b_global), &only_b);
+    }
+
+    fn t(s: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri("http://x/p"), Term::iri(o))
+    }
+
+    #[test]
+    fn append_triples_extends_id_map_incrementally() {
+        let mut g = Graph::new();
+        g.insert(&t("http://x/s0", "http://x/o0"));
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://g", g);
+
+        let added = ds
+            .append_triples(
+                "http://g",
+                vec![
+                    t("http://x/s1", "http://x/o1"),
+                    t("http://x/s0", "http://x/o0"), // duplicate
+                ],
+            )
+            .unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(ds.graph("http://g").unwrap().len(), 2);
+
+        // The new term has a global id and a working round trip.
+        let global = ds.lookup(&Term::iri("http://x/s1")).expect("interned");
+        let map = ds.id_map("http://g").unwrap();
+        let local = ds
+            .graph("http://g")
+            .unwrap()
+            .term_id(&Term::iri("http://x/s1"))
+            .unwrap();
+        assert_eq!(map.to_global(local), global);
+        assert_eq!(map.to_local(global), Some(local));
+        assert!(ds.append_triples("http://missing", vec![]).is_none());
+    }
+
+    #[test]
+    fn stats_refresh_when_delta_merges() {
+        // Threshold 4 → the graph keeps a live delta inside the dataset
+        // (insert_shared does not compact).
+        let mut g = Graph::with_delta_threshold(4);
+        g.insert(&t("http://x/s0", "http://x/o0"));
+        let mut ds = Dataset::new();
+        ds.insert_shared("http://g", Arc::new(g));
+        assert_eq!(ds.graph_stats("http://g").unwrap().triples, 1);
+
+        // Two appends: delta at 3, no merge yet → snapshot stays stale.
+        ds.append_triples(
+            "http://g",
+            vec![t("http://x/s1", "http://x/o1"), t("http://x/s2", "http://x/o2")],
+        )
+        .unwrap();
+        assert_eq!(ds.graph("http://g").unwrap().len(), 3);
+        assert_eq!(
+            ds.graph_stats("http://g").unwrap().triples,
+            1,
+            "stats lag while the delta is live"
+        );
+
+        // One more append reaches the threshold: delta merges, stats refresh.
+        ds.append_triples("http://g", vec![t("http://x/s3", "http://x/o3")])
+            .unwrap();
+        assert_eq!(ds.graph("http://g").unwrap().delta_len(), 0);
+        let stats = ds.graph_stats("http://g").unwrap();
+        assert_eq!(stats.triples, 4);
+        let p = ds.lookup(&Term::iri("http://x/p")).unwrap();
+        let local_p = ds.id_map("http://g").unwrap().to_local(p).unwrap();
+        assert_eq!(stats.predicates[&local_p].count, 4);
+
+        // Explicit refresh picks up un-merged rows on demand.
+        ds.append_triples("http://g", vec![t("http://x/s4", "http://x/o4")])
+            .unwrap();
+        assert_eq!(ds.graph_stats("http://g").unwrap().triples, 4);
+        assert!(ds.refresh_stats("http://g"));
+        assert_eq!(ds.graph_stats("http://g").unwrap().triples, 5);
+        assert!(!ds.refresh_stats("http://missing"));
+    }
+
+    #[test]
+    fn append_is_copy_on_write_for_shared_graphs() {
+        let mut g = Graph::new();
+        g.insert(&t("http://x/s0", "http://x/o0"));
+        let shared = Arc::new(g);
+        let mut ds = Dataset::new();
+        ds.insert_shared("http://g", Arc::clone(&shared));
+        ds.append_triples("http://g", vec![t("http://x/s1", "http://x/o1")])
+            .unwrap();
+        // The dataset's copy grew; the external handle did not.
+        assert_eq!(ds.graph("http://g").unwrap().len(), 2);
+        assert_eq!(shared.len(), 1);
     }
 
     #[test]

@@ -261,6 +261,11 @@ pub struct Graph {
     pos: Index,
     osp: Index,
     delta_threshold: usize,
+    /// Times a non-empty delta has merged into the slabs. Consumers caching
+    /// derived data (e.g. [`crate::Dataset`]'s optimizer statistics) compare
+    /// generations to decide when a refresh is due — the delta stays small
+    /// by construction, so "stale until the next merge" bounds the error.
+    compactions: u64,
 }
 
 impl Default for Graph {
@@ -271,6 +276,7 @@ impl Default for Graph {
             pos: Index::default(),
             osp: Index::default(),
             delta_threshold: Self::DEFAULT_DELTA_THRESHOLD,
+            compactions: 0,
         }
     }
 }
@@ -355,9 +361,22 @@ impl Graph {
     /// Merge the delta buffers into the frozen slabs. Idempotent; see the
     /// module docs for the full contract.
     pub fn compact(&mut self) {
+        if self.spo.delta.is_empty() {
+            // The three deltas mirror each other; nothing to merge.
+            return;
+        }
+        self.compactions += 1;
         self.spo.compact();
         self.pos.compact();
         self.osp.compact();
+    }
+
+    /// How many times a non-empty delta has merged into the slabs (both
+    /// explicit [`Graph::compact`] calls and threshold-triggered automatic
+    /// merges). Monotone; equal generations mean the slab contents are
+    /// unchanged since the generation was observed.
+    pub fn compaction_generation(&self) -> u64 {
+        self.compactions
     }
 
     /// Does the graph contain the exact triple?

@@ -1,9 +1,22 @@
-//! Conversion between engine solution tables and dataframes.
+//! Conversion between engine results and dataframes.
+//!
+//! Two converters live here:
+//!
+//! - the row converters ([`table_to_dataframe`], [`append_table`]) over
+//!   term-materialized [`SolutionTable`]s — the wire path;
+//! - the columnar converter ([`cursor_to_dataframe`]) over a
+//!   [`QueryCursor`]'s `TermId` batches — the embedded path. Each *distinct*
+//!   id is decoded to a [`Cell`] exactly once ([`CellInterner`]); repeated
+//!   IRI/string values share one `Arc<str>` allocation across the whole
+//!   frame, and numeric literals parse to `i64`/`f64` once instead of per
+//!   cell.
+
+use std::collections::HashMap;
 
 use dataframe::{Cell, DataFrame};
 use rdf_model::term::TypedValue;
-use rdf_model::Term;
-use sparql_engine::SolutionTable;
+use rdf_model::{Term, TermId};
+use sparql_engine::{QueryCursor, SolutionTable};
 
 /// Convert one RDF term to a dataframe cell, preserving URI-ness and
 /// numeric/boolean typing.
@@ -31,6 +44,66 @@ pub fn table_to_dataframe(table: &SolutionTable) -> DataFrame {
         );
     }
     df
+}
+
+/// Memoized id → cell decoding for the embedded path.
+///
+/// A query result usually binds the same term many times (entities repeat
+/// across rows); decoding per *distinct* [`TermId`] turns the per-cell cost
+/// into an `Arc` clone (URIs/strings) or a copy (numbers/booleans).
+#[derive(Debug, Default)]
+pub struct CellInterner {
+    memo: HashMap<TermId, Cell>,
+}
+
+impl CellInterner {
+    /// Fresh interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cell for `id`, decoding `term` on first sight only.
+    pub fn cell(&mut self, id: TermId, term: &Term) -> Cell {
+        self.memo
+            .entry(id)
+            .or_insert_with(|| term_to_cell(term))
+            .clone()
+    }
+}
+
+/// Drain a [`QueryCursor`] into a dataframe, building typed cell columns
+/// straight from the cursor's id columns (no intermediate
+/// [`SolutionTable`], no per-cell term materialization).
+pub fn cursor_to_dataframe(cursor: &mut QueryCursor<'_>) -> DataFrame {
+    let vars = cursor.vars().to_vec();
+    let width = vars.len();
+    if width == 0 {
+        // Zero-column results (every pattern position constant) still carry
+        // a row count — e.g. one empty row for "the triple exists" — which
+        // column transposition cannot represent.
+        let mut df = DataFrame::new(vars);
+        for _ in 0..cursor.row_count() {
+            df.push_row(Vec::new());
+        }
+        return df;
+    }
+    let mut cols: Vec<Vec<Cell>> = (0..width)
+        .map(|_| Vec::with_capacity(cursor.row_count()))
+        .collect();
+    let mut interner = CellInterner::new();
+    while let Some(batch) = cursor.next_batch() {
+        for (c, col) in cols.iter_mut().enumerate() {
+            let ids = batch.column_ids(c);
+            for (i, &id) in ids.iter().enumerate() {
+                col.push(if batch.is_present(c, i) {
+                    interner.cell(id, batch.resolve(id))
+                } else {
+                    Cell::Null
+                });
+            }
+        }
+    }
+    DataFrame::from_cell_columns(vars, cols)
 }
 
 /// Append a solution table's rows to an existing dataframe with the same

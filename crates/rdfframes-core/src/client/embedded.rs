@@ -1,0 +1,249 @@
+//! The embedded execution endpoint: frame → plan → DataFrame with no
+//! string round trip.
+//!
+//! [`EmbeddedEndpoint`] is the in-process alternative to
+//! [`InProcessEndpoint`](crate::client::InProcessEndpoint)'s HTTP-faithful
+//! contract. Where the wire path renders the query model to SPARQL text,
+//! re-parses and re-evaluates it per page, and round-trips every result
+//! chunk through an XML/TSV encoding, the embedded path:
+//!
+//! 1. compiles the [`QueryModel`] straight into the engine's plan algebra
+//!    ([`crate::model::compile`]),
+//! 2. runs the shared optimizer pass and evaluates **once**
+//!    ([`sparql_engine::Engine::cursor`]),
+//! 3. streams the columnar `TermId` result batches into typed dataframe
+//!    columns, decoding each distinct term a single time
+//!    ([`crate::client::convert::cursor_to_dataframe`]).
+//!
+//! The [`Executor`](crate::exec::Executor) picks this path automatically
+//! through [`Endpoint::execute_model`]; raw-SPARQL callers still get the
+//! plain (cached-plan, no-wire-format) [`Endpoint::query_chunk`] contract,
+//! so an `EmbeddedEndpoint` is a drop-in `Endpoint` everywhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dataframe::DataFrame;
+use rdf_model::Dataset;
+use sparql_engine::{Engine, EngineConfig, SolutionTable};
+
+use crate::client::convert::cursor_to_dataframe;
+use crate::client::{Endpoint, EndpointStats, PlanCache};
+use crate::error::{FrameError, Result};
+use crate::model::compile::compile;
+use crate::model::QueryModel;
+
+/// Rows per cursor batch handed from the engine to the column builders.
+const DEFAULT_BATCH_ROWS: usize = 16_384;
+
+/// An endpoint that executes query models inside the engine process,
+/// columnar end to end.
+#[derive(Clone)]
+pub struct EmbeddedEndpoint {
+    engine: Engine,
+    batch_rows: usize,
+    stats: Arc<EndpointStats>,
+    rows_scanned: Arc<AtomicU64>,
+    plans: Arc<PlanCache>,
+}
+
+impl EmbeddedEndpoint {
+    /// Embedded endpoint over a dataset (optimizer on, columnar engine).
+    pub fn new(dataset: Arc<Dataset>) -> Self {
+        Self::with_engine_config(dataset, EngineConfig::new())
+    }
+
+    /// Embedded endpoint with an explicit engine configuration (the
+    /// embedded cursor always evaluates columnar; `eval_mode` only affects
+    /// the raw-SPARQL [`Endpoint::query_chunk`] surface).
+    pub fn with_engine_config(dataset: Arc<Dataset>, config: EngineConfig) -> Self {
+        EmbeddedEndpoint {
+            engine: Engine::with_config(dataset, config),
+            batch_rows: DEFAULT_BATCH_ROWS,
+            stats: Arc::new(EndpointStats::default()),
+            rows_scanned: Arc::new(AtomicU64::new(0)),
+            plans: Arc::new(PlanCache::default()),
+        }
+    }
+
+    /// Override the cursor batch size (mainly for tests).
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows.max(1);
+        self
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Request statistics (each `execute_model` counts as one request).
+    pub fn stats(&self) -> &EndpointStats {
+        &self.stats
+    }
+
+    /// Cumulative index entries scanned by embedded executions (the same
+    /// work metric the engine reports for string queries, for
+    /// embedded-vs-wire parity checks).
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Compile, optimize, evaluate, and decode a query model.
+    pub fn execute_model_direct(&self, model: &QueryModel) -> Result<DataFrame> {
+        let compiled = compile(model)?;
+        let prepared = self.engine.prepare_plan(compiled.plan, compiled.from);
+        let mut cursor = self
+            .engine
+            .cursor(&prepared, self.batch_rows)
+            .map_err(|e| FrameError::Endpoint(e.to_string()))?;
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.rows_scanned
+            .fetch_add(cursor.rows_scanned(), Ordering::Relaxed);
+        let df = cursor_to_dataframe(&mut cursor);
+        self.stats
+            .rows_returned
+            .fetch_add(df.len() as u64, Ordering::Relaxed);
+        Ok(df)
+    }
+}
+
+impl Endpoint for EmbeddedEndpoint {
+    /// Raw SPARQL still works (baselines, expert queries): plan once per
+    /// query text (cached), evaluate the requested page, no wire-format
+    /// round trip.
+    fn query_chunk(&self, sparql: &str, offset: usize, limit: usize) -> Result<SolutionTable> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let prepared = self.plans.get_or_prepare(&self.engine, sparql)?;
+        let (table, stats) = self
+            .engine
+            .execute_prepared(&prepared, Some((offset, limit)))
+            .map_err(|e| FrameError::Endpoint(e.to_string()))?;
+        self.rows_scanned
+            .fetch_add(stats.rows_scanned, Ordering::Relaxed);
+        self.stats
+            .rows_returned
+            .fetch_add(table.rows.len() as u64, Ordering::Relaxed);
+        Ok(table)
+    }
+
+    /// No server-side page cap: the whole point is that results never cross
+    /// a row-limited wire.
+    fn max_rows_per_request(&self) -> usize {
+        usize::MAX
+    }
+
+    fn execute_model(&self, model: &QueryModel) -> Option<Result<DataFrame>> {
+        Some(self.execute_model_direct(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::{Graph, Term, Triple};
+
+    fn dataset() -> Arc<Dataset> {
+        let mut g = Graph::new();
+        for i in 0..25 {
+            g.insert(&Triple::new(
+                Term::iri(format!("http://x/movie{i}")),
+                Term::iri("http://x/starring"),
+                Term::iri(format!("http://x/actor{}", i % 5)),
+            ));
+        }
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://g", g);
+        Arc::new(ds)
+    }
+
+    fn frame() -> crate::api::RDFFrame {
+        crate::api::KnowledgeGraph::new("http://g")
+            .with_prefix("x", "http://x/")
+            .feature_domain_range("x:starring", "movie", "actor")
+    }
+
+    #[test]
+    fn embedded_execute_matches_wire() {
+        let ds = dataset();
+        let embedded = EmbeddedEndpoint::new(Arc::clone(&ds)).with_batch_rows(7);
+        let wire = crate::client::InProcessEndpoint::new(ds);
+        let f = frame();
+        let via_embedded = f.execute(&embedded).unwrap();
+        let via_wire = f.execute(&wire).unwrap();
+        assert_eq!(via_embedded, via_wire);
+        // One embedded request, no pagination.
+        assert_eq!(embedded.stats().requests(), 1);
+        assert_eq!(embedded.stats().rows_returned(), 25);
+        assert!(embedded.rows_scanned() > 0);
+    }
+
+    #[test]
+    fn embedded_grouped_query() {
+        let embedded = EmbeddedEndpoint::new(dataset());
+        let df = frame()
+            .group_by(&["actor"])
+            .count("movie", "n", true)
+            .execute(&embedded)
+            .unwrap();
+        assert_eq!(df.len(), 5);
+        for row in df.rows() {
+            assert_eq!(row[1], dataframe::Cell::Int(5));
+        }
+    }
+
+    #[test]
+    fn raw_sparql_chunks_still_work() {
+        let embedded = EmbeddedEndpoint::new(dataset());
+        let q = "SELECT ?m FROM <http://g> WHERE { ?m <http://x/starring> ?a } LIMIT 30";
+        let t = embedded.query_chunk(q, 0, 10).unwrap();
+        assert_eq!(t.len(), 10);
+        // A second chunk of the same text reuses the cached prepared plan.
+        let t2 = embedded.query_chunk(q, 10, 10).unwrap();
+        assert_eq!(t2.len(), 10);
+        assert_ne!(t.rows, t2.rows);
+    }
+
+    #[test]
+    fn zero_column_results_keep_their_rows() {
+        // Every pattern position constant: the result is one empty row
+        // ("the triple exists"), which the embedded path must preserve
+        // exactly like the wire path does.
+        let ds = dataset();
+        let g = crate::api::KnowledgeGraph::new("http://g").with_prefix("x", "http://x/");
+        let hit = g.seed("<http://x/movie0>", "x:starring", "<http://x/actor0>");
+        let miss = g.seed("<http://x/movie0>", "x:starring", "<http://x/actor1>");
+        let embedded = EmbeddedEndpoint::new(Arc::clone(&ds));
+        let wire = crate::client::InProcessEndpoint::new(ds);
+        for (frame, rows) in [(&hit, 1), (&miss, 0)] {
+            let via_embedded = frame.execute(&embedded).unwrap();
+            let via_wire = frame.execute(&wire).unwrap();
+            assert_eq!(via_embedded, via_wire);
+            assert_eq!(via_embedded.len(), rows);
+            assert!(via_embedded.columns().is_empty());
+        }
+    }
+
+    #[test]
+    fn shared_uri_cells_are_interned() {
+        let embedded = EmbeddedEndpoint::new(dataset());
+        let df = frame().execute(&embedded).unwrap();
+        // actor0 appears 5 times; all five cells must share one Arc<str>.
+        let cells: Vec<&dataframe::Cell> = df
+            .column("actor")
+            .unwrap()
+            .filter(|c| c.as_str() == Some("http://x/actor0"))
+            .collect();
+        assert_eq!(cells.len(), 5);
+        let first = match cells[0] {
+            dataframe::Cell::Uri(s) => s.clone(),
+            other => panic!("expected Uri, got {other:?}"),
+        };
+        for c in &cells[1..] {
+            match c {
+                dataframe::Cell::Uri(s) => assert!(std::sync::Arc::ptr_eq(&first, s)),
+                other => panic!("expected Uri, got {other:?}"),
+            }
+        }
+    }
+}

@@ -10,17 +10,23 @@
 //! a simulated per-request overhead.
 
 pub mod convert;
+pub mod embedded;
 pub mod wire;
 pub mod xml;
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use dataframe::DataFrame;
 use rdf_model::Dataset;
-use sparql_engine::{Engine, EngineConfig, SolutionTable};
+use sparql_engine::{Engine, EngineConfig, PreparedQuery, SolutionTable};
 
 use crate::error::{FrameError, Result};
+use crate::model::QueryModel;
+
+pub use embedded::EmbeddedEndpoint;
 
 /// Server-side configuration of the simulated endpoint.
 #[derive(Debug, Clone)]
@@ -90,6 +96,50 @@ pub trait Endpoint {
 
     /// The server's page-size cap.
     fn max_rows_per_request(&self) -> usize;
+
+    /// Embedded fast path: execute a query model directly, bypassing SPARQL
+    /// rendering, result pagination, and wire decoding. `None` (the
+    /// default) means "this endpoint only speaks SPARQL text" and the
+    /// [`Executor`](crate::exec::Executor) falls back to the wire path;
+    /// [`EmbeddedEndpoint`] overrides it.
+    fn execute_model(&self, _model: &QueryModel) -> Option<Result<DataFrame>> {
+        None
+    }
+}
+
+/// Cached prepared plans by query text, shared across endpoint clones.
+///
+/// The wire contract forces re-*evaluation* per chunk (a cursor-less HTTP
+/// server cannot resume), but nothing about HTTP forces re-*planning*: a
+/// real server caches compiled plans keyed by query text, so the simulated
+/// one does too. Bounded so a workload of many distinct queries cannot grow
+/// it without limit.
+#[derive(Default)]
+struct PlanCache {
+    plans: Mutex<HashMap<String, Arc<PreparedQuery>>>,
+}
+
+/// Entries kept in the plan cache before it is cleared wholesale (pagination
+/// workloads reuse a handful of texts; precision eviction isn't worth it).
+const PLAN_CACHE_CAP: usize = 256;
+
+impl PlanCache {
+    fn get_or_prepare(&self, engine: &Engine, sparql: &str) -> Result<Arc<PreparedQuery>> {
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        if let Some(p) = plans.get(sparql) {
+            return Ok(Arc::clone(p));
+        }
+        let prepared = Arc::new(
+            engine
+                .prepare(sparql)
+                .map_err(|e| FrameError::Endpoint(e.to_string()))?,
+        );
+        if plans.len() >= PLAN_CACHE_CAP {
+            plans.clear();
+        }
+        plans.insert(sparql.to_string(), Arc::clone(&prepared));
+        Ok(prepared)
+    }
 }
 
 /// An endpoint backed by the in-process SPARQL engine.
@@ -98,6 +148,7 @@ pub struct InProcessEndpoint {
     engine: Engine,
     config: EndpointConfig,
     stats: Arc<EndpointStats>,
+    plans: Arc<PlanCache>,
 }
 
 impl InProcessEndpoint {
@@ -119,6 +170,7 @@ impl InProcessEndpoint {
             engine,
             config,
             stats: Arc::new(EndpointStats::default()),
+            plans: Arc::new(PlanCache::default()),
         }
     }
 
@@ -131,6 +183,11 @@ impl InProcessEndpoint {
     pub fn stats(&self) -> &EndpointStats {
         &self.stats
     }
+
+    /// Prepared plans currently cached (observability for tests/benches).
+    pub fn cached_plans(&self) -> usize {
+        self.plans.plans.lock().expect("plan cache poisoned").len()
+    }
 }
 
 impl Endpoint for InProcessEndpoint {
@@ -140,11 +197,12 @@ impl Endpoint for InProcessEndpoint {
         }
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         let limit = limit.min(self.config.max_rows_per_request);
-        // Page inside the engine: on the id-native path only the shipped
-        // rows are materialized to terms.
+        // Plan once per query text; evaluate per chunk (the HTTP model).
+        // Paging inside the engine means only shipped rows materialize terms.
+        let prepared = self.plans.get_or_prepare(&self.engine, sparql)?;
         let (mut table, _stats) = self
             .engine
-            .execute_page(sparql, offset, limit)
+            .execute_prepared(&prepared, Some((offset, limit)))
             .map_err(|e| FrameError::Endpoint(e.to_string()))?;
         self.stats
             .rows_returned
@@ -230,5 +288,31 @@ mod tests {
             ep.query_chunk("NOT SPARQL", 0, 10),
             Err(FrameError::Endpoint(_))
         ));
+    }
+
+    #[test]
+    fn plan_cache_reuses_prepared_queries_across_chunks() {
+        let ep = InProcessEndpoint::with_config(
+            dataset(),
+            EndpointConfig {
+                max_rows_per_request: 4,
+                ..Default::default()
+            },
+        );
+        let q = "SELECT ?s ?o FROM <http://g> WHERE { ?s <http://x/p> ?o } ORDER BY ?o";
+        assert_eq!(ep.cached_plans(), 0);
+        let c1 = ep.query_chunk(q, 0, 4).unwrap();
+        assert_eq!(ep.cached_plans(), 1);
+        let c2 = ep.query_chunk(q, 4, 4).unwrap();
+        let c3 = ep.query_chunk(q, 8, 4).unwrap();
+        // Still one cached plan after three chunks of the same text …
+        assert_eq!(ep.cached_plans(), 1);
+        // … and another text adds a second entry.
+        ep.query_chunk("SELECT ?s FROM <http://g> WHERE { ?s <http://x/p> ?o }", 0, 4)
+            .unwrap();
+        assert_eq!(ep.cached_plans(), 2);
+        // The cached plan still pages correctly.
+        assert_eq!(c1.len() + c2.len() + c3.len(), 10);
+        assert_ne!(c1.rows, c2.rows);
     }
 }

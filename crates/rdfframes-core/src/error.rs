@@ -17,6 +17,9 @@ pub enum FrameError {
     Endpoint(String),
     /// Prefix expansion failed.
     Prefix(String),
+    /// The query model could not be compiled directly to an engine plan
+    /// (embedded execution path).
+    Compile(String),
 }
 
 impl fmt::Display for FrameError {
@@ -27,6 +30,7 @@ impl fmt::Display for FrameError {
             FrameError::InvalidSequence(m) => write!(f, "invalid operator sequence: {m}"),
             FrameError::Endpoint(m) => write!(f, "endpoint error: {m}"),
             FrameError::Prefix(m) => write!(f, "prefix error: {m}"),
+            FrameError::Compile(m) => write!(f, "query compilation error: {m}"),
         }
     }
 }

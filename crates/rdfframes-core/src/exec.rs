@@ -1,9 +1,17 @@
-//! The Executor: SPARQL out, dataframe in (paper Figure 1, right side).
+//! The Executor: frame out, dataframe in (paper Figure 1, right side).
 //!
-//! Handles the mechanics the paper lists in Section 4.3: sending the
-//! generated query to the endpoint, paginating the results transparently
-//! (re-requesting chunk by chunk, since the SPARQL protocol over HTTP has
-//! no cursors), and assembling one dataframe from all chunks.
+//! The executor builds the frame's query model once, then picks one of two
+//! execution paths per endpoint:
+//!
+//! - **embedded** — the endpoint implements
+//!   [`Endpoint::execute_model`] (see
+//!   [`EmbeddedEndpoint`](crate::client::EmbeddedEndpoint)): the model
+//!   compiles straight into the engine's plan algebra and the result comes
+//!   back as typed columns. No SPARQL text, no pagination, no wire format.
+//! - **wire** — everything else: render the model to SPARQL and do the
+//!   mechanics the paper lists in Section 4.3 — send the text, paginate
+//!   transparently (re-requesting chunk by chunk, since the SPARQL protocol
+//!   over HTTP has no cursors), and assemble one dataframe from all chunks.
 
 use dataframe::DataFrame;
 
@@ -11,6 +19,7 @@ use crate::api::rdfframe::RDFFrame;
 use crate::client::convert::{append_table, table_to_dataframe};
 use crate::client::Endpoint;
 use crate::error::{FrameError, Result};
+use crate::model::{generator, render};
 
 /// Executes frames against endpoints with transparent pagination.
 #[derive(Debug, Clone, Default)]
@@ -33,9 +42,14 @@ impl Executor {
         }
     }
 
-    /// Execute the frame's optimized query.
+    /// Execute the frame's optimized query, picking the embedded path when
+    /// the endpoint offers one and the wire path otherwise.
     pub fn execute<E: Endpoint + ?Sized>(&self, frame: &RDFFrame, endpoint: &E) -> Result<DataFrame> {
-        let sparql = frame.try_to_sparql()?;
+        let model = generator::build_query_model(frame)?;
+        if let Some(result) = endpoint.execute_model(&model) {
+            return result;
+        }
+        let sparql = render::render(&model);
         self.run(&sparql, endpoint)
     }
 

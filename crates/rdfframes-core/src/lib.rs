@@ -47,6 +47,8 @@ pub mod reference;
 pub use api::{
     AggFunc, Direction, JoinType, KnowledgeGraph, RDFFrame, SortOrder,
 };
-pub use client::{Endpoint, EndpointConfig, EndpointStats, InProcessEndpoint, WireFormat};
+pub use client::{
+    EmbeddedEndpoint, Endpoint, EndpointConfig, EndpointStats, InProcessEndpoint, WireFormat,
+};
 pub use error::{FrameError, Result};
 pub use exec::Executor;

@@ -7,6 +7,7 @@
 //! columns, HAVING), and query modifiers (order, limit, offset) — and can be
 //! nested for the cases where SPARQL requires a subquery.
 
+pub mod compile;
 pub mod generator;
 pub mod naive;
 pub mod render;

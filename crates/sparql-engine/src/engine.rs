@@ -3,6 +3,22 @@
 //! [`Engine`] holds a dataset and a configuration and turns SPARQL text into
 //! a [`SolutionTable`]: parse → algebra → (optional) optimize → evaluate.
 //!
+//! Two execution surfaces exist on top of that pipeline:
+//!
+//! - **String queries**: [`Engine::execute`] / [`Engine::execute_page`]
+//!   parse and plan per call — the HTTP-faithful contract the paper's
+//!   endpoint simulation needs. [`Engine::prepare`] factors the parse +
+//!   translate + optimize front half into a reusable [`PreparedQuery`] so a
+//!   paginating endpoint stops re-planning the same text per chunk
+//!   (re-*evaluation* per chunk remains, as a cursor-less HTTP server
+//!   requires).
+//! - **Embedded plans**: [`Engine::prepare_plan`] accepts an
+//!   already-compiled [`Plan`] (no SPARQL text anywhere), and
+//!   [`Engine::cursor`] evaluates a prepared query *once* and yields the
+//!   result as columnar [`TermId`] batches ([`QueryCursor`] /
+//!   [`ColumnBatch`]) instead of a fully `Term`-materialized table — the
+//!   in-process fast path for clients that consume columns.
+//!
 //! Evaluation is columnar and id-native by default: the whole pipeline runs
 //! on `u32` [`rdf_model::TermId`]s in struct-of-arrays batches and terms are
 //! materialized once at the end (see [`crate::eval`]). Two earlier
@@ -15,16 +31,17 @@
 
 use std::sync::Arc;
 
-use rdf_model::Dataset;
+use rdf_model::{Dataset, Term, TermId};
 
-use crate::algebra::translate_query;
+use crate::algebra::{translate_query, Plan};
 use crate::error::Result;
 use crate::eval::Evaluator;
 use crate::eval_reference::ReferenceEvaluator;
 use crate::eval_rows::RowEvaluator;
 use crate::optimizer::Optimizer;
 use crate::parser::parse_query;
-use crate::results::SolutionTable;
+use crate::pool::TermPool;
+use crate::results::{IdTable, SolutionTable};
 
 /// Which evaluator executes plans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +92,32 @@ pub struct ExecStats {
     pub rows_scanned: u64,
 }
 
+/// A query that has been parsed, translated, and optimized once and can be
+/// executed any number of times (the plan is immutable; evaluation state
+/// lives in per-call evaluators).
+///
+/// Produced by [`Engine::prepare`] (from SPARQL text) or
+/// [`Engine::prepare_plan`] (from a directly-compiled [`Plan`], bypassing
+/// strings entirely).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedQuery {
+    plan: Plan,
+    from: Vec<String>,
+}
+
+impl PreparedQuery {
+    /// The (optimized) logical plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Graphs resolving [`crate::algebra::GraphRef::Default`] BGPs (the
+    /// query's `FROM` list; empty = whole dataset).
+    pub fn from_graphs(&self) -> &[String] {
+        &self.from
+    }
+}
+
 /// A SPARQL engine over an in-memory dataset.
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -101,6 +144,25 @@ impl Engine {
         &self.dataset
     }
 
+    /// Parse, translate, and (per configuration) optimize a SELECT query
+    /// into a reusable [`PreparedQuery`].
+    pub fn prepare(&self, query: &str) -> Result<PreparedQuery> {
+        let parsed = parse_query(query)?;
+        let plan = translate_query(&parsed)?;
+        Ok(self.prepare_plan(plan, parsed.from))
+    }
+
+    /// Prepare an already-translated plan (the embedded path: the plan was
+    /// compiled straight from a client-side query model, no SPARQL text
+    /// involved). Applies the same optimizer pass string queries get.
+    pub fn prepare_plan(&self, mut plan: Plan, from: Vec<String>) -> PreparedQuery {
+        if self.config.optimize {
+            let mut optimizer = Optimizer::new(&self.dataset, &from);
+            optimizer.optimize(&mut plan);
+        }
+        PreparedQuery { plan, from }
+    }
+
     /// Parse, plan, and evaluate a SELECT query.
     pub fn execute(&self, query: &str) -> Result<SolutionTable> {
         self.execute_with_stats(query).map(|(t, _)| t)
@@ -108,7 +170,8 @@ impl Engine {
 
     /// Like [`Engine::execute`], also returning work statistics.
     pub fn execute_with_stats(&self, query: &str) -> Result<(SolutionTable, ExecStats)> {
-        self.run(query, None)
+        let prepared = self.prepare(query)?;
+        self.execute_prepared(&prepared, None)
     }
 
     /// Execute and return only rows `[offset, offset+limit)` of the result.
@@ -122,26 +185,26 @@ impl Engine {
         offset: usize,
         limit: usize,
     ) -> Result<(SolutionTable, ExecStats)> {
-        self.run(query, Some((offset, limit)))
+        let prepared = self.prepare(query)?;
+        self.execute_prepared(&prepared, Some((offset, limit)))
     }
 
-    fn run(
+    /// Evaluate a prepared query, optionally materializing only the page
+    /// `[offset, offset+limit)`. Each call re-evaluates from scratch (the
+    /// HTTP pagination model); the saving over [`Engine::execute_page`] is
+    /// the parse + translate + optimize front half.
+    pub fn execute_prepared(
         &self,
-        query: &str,
+        prepared: &PreparedQuery,
         page: Option<(usize, usize)>,
     ) -> Result<(SolutionTable, ExecStats)> {
-        let parsed = parse_query(query)?;
-        let mut plan = translate_query(&parsed)?;
-        if self.config.optimize {
-            let mut optimizer = Optimizer::new(&self.dataset, &parsed.from);
-            optimizer.optimize(&mut plan);
-        }
+        let plan = &prepared.plan;
         match self.config.eval_mode {
             EvalMode::Columnar => {
-                let mut evaluator = Evaluator::new(&self.dataset, parsed.from.clone());
+                let mut evaluator = Evaluator::new(&self.dataset, prepared.from.clone());
                 let table = match page {
-                    None => evaluator.eval(&plan)?,
-                    Some((offset, limit)) => evaluator.eval_page(&plan, offset, limit)?,
+                    None => evaluator.eval(plan)?,
+                    Some((offset, limit)) => evaluator.eval_page(plan, offset, limit)?,
                 };
                 let stats = ExecStats {
                     rows_scanned: evaluator.rows_scanned(),
@@ -149,10 +212,10 @@ impl Engine {
                 Ok((table, stats))
             }
             EvalMode::IdNative => {
-                let mut evaluator = RowEvaluator::new(&self.dataset, parsed.from.clone());
+                let mut evaluator = RowEvaluator::new(&self.dataset, prepared.from.clone());
                 let table = match page {
-                    None => evaluator.eval(&plan)?,
-                    Some((offset, limit)) => evaluator.eval_page(&plan, offset, limit)?,
+                    None => evaluator.eval(plan)?,
+                    Some((offset, limit)) => evaluator.eval_page(plan, offset, limit)?,
                 };
                 let stats = ExecStats {
                     rows_scanned: evaluator.rows_scanned(),
@@ -160,8 +223,8 @@ impl Engine {
                 Ok((table, stats))
             }
             EvalMode::TermReference => {
-                let mut evaluator = ReferenceEvaluator::new(&self.dataset, parsed.from.clone());
-                let mut table = evaluator.eval(&plan)?;
+                let mut evaluator = ReferenceEvaluator::new(&self.dataset, prepared.from.clone());
+                let mut table = evaluator.eval(plan)?;
                 if let Some((offset, limit)) = page {
                     crate::results::slice_rows(&mut table.rows, offset, Some(limit));
                 }
@@ -171,5 +234,207 @@ impl Engine {
                 Ok((table, stats))
             }
         }
+    }
+
+    /// Evaluate a prepared query **once** and return a [`QueryCursor`]
+    /// yielding the result as columnar id batches of at most `batch_rows`
+    /// rows. No [`Term`] is materialized by the engine; the consumer decodes
+    /// ids through the cursor's pool (typically once per *distinct* id).
+    ///
+    /// This is the embedded replacement for the per-page
+    /// [`Engine::execute_page`] pattern, which re-evaluates the whole query
+    /// for every chunk. The cursor always runs the columnar evaluator — the
+    /// id-table layout *is* the interface — regardless of the configured
+    /// [`EvalMode`] (the oracle modes exist for differential testing of the
+    /// string path).
+    pub fn cursor(&self, prepared: &PreparedQuery, batch_rows: usize) -> Result<QueryCursor<'_>> {
+        let mut evaluator = Evaluator::new(&self.dataset, prepared.from.clone());
+        let table = evaluator.eval_to_ids(&prepared.plan)?;
+        let rows_scanned = evaluator.rows_scanned();
+        Ok(QueryCursor {
+            table,
+            pool: evaluator.into_pool(),
+            pos: 0,
+            batch_rows: batch_rows.max(1),
+            rows_scanned,
+        })
+    }
+}
+
+/// Streaming columnar view over one evaluated query result.
+///
+/// Holds the struct-of-arrays [`IdTable`] plus the term pool that can
+/// resolve every id in it (dataset-global ids and query-local overflow ids
+/// from computed expressions alike). [`QueryCursor::next_batch`] walks the
+/// table in `batch_rows` windows; each [`ColumnBatch`] exposes raw column
+/// slices so consumers build typed columns without ever seeing a
+/// row-materialized [`Term`] table.
+pub struct QueryCursor<'a> {
+    table: IdTable,
+    pool: TermPool<'a>,
+    pos: usize,
+    batch_rows: usize,
+    rows_scanned: u64,
+}
+
+impl QueryCursor<'_> {
+    /// Result column (variable) names.
+    pub fn vars(&self) -> &[String] {
+        &self.table.vars
+    }
+
+    /// Total rows in the result.
+    pub fn row_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Index entries scanned while evaluating (same metric as
+    /// [`ExecStats::rows_scanned`]).
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned
+    }
+
+    /// Resolve any id appearing in this cursor's columns.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        self.pool.resolve(id)
+    }
+
+    /// The next window of rows, or `None` when the result is exhausted.
+    pub fn next_batch(&mut self) -> Option<ColumnBatch<'_>> {
+        if self.pos >= self.table.len() {
+            return None;
+        }
+        let start = self.pos;
+        let len = self.batch_rows.min(self.table.len() - start);
+        self.pos = start + len;
+        Some(ColumnBatch {
+            table: &self.table,
+            pool: &self.pool,
+            start,
+            len,
+        })
+    }
+}
+
+/// One window of a [`QueryCursor`]: column slices over rows
+/// `[start, start+len)` plus id resolution.
+pub struct ColumnBatch<'c> {
+    table: &'c IdTable,
+    pool: &'c TermPool<'c>,
+    /// First row (in the whole result) this batch covers.
+    pub start: usize,
+    /// Rows in this batch.
+    pub len: usize,
+}
+
+impl<'c> ColumnBatch<'c> {
+    /// Column names (parallel to column indexes).
+    pub fn vars(&self) -> &'c [String] {
+        &self.table.vars
+    }
+
+    /// The raw id slice of column `col` for this batch's rows. Absent slots
+    /// hold a zero filler — pair with [`ColumnBatch::is_present`], or use
+    /// [`ColumnBatch::get`] for the checked view.
+    pub fn column_ids(&self, col: usize) -> &'c [TermId] {
+        &self.table.col(col).ids()[self.start..self.start + self.len]
+    }
+
+    /// Is `row` (batch-relative) bound in column `col`?
+    pub fn is_present(&self, col: usize, row: usize) -> bool {
+        debug_assert!(row < self.len);
+        self.table.col(col).is_present(self.start + row)
+    }
+
+    /// Checked cell read (batch-relative row).
+    pub fn get(&self, col: usize, row: usize) -> Option<TermId> {
+        debug_assert!(row < self.len);
+        self.table.get(self.start + row, col)
+    }
+
+    /// Resolve an id from any of this batch's columns.
+    pub fn resolve(&self, id: TermId) -> &'c Term {
+        self.pool.resolve(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::{Graph, Triple};
+
+    fn dataset() -> Arc<Dataset> {
+        let mut g = Graph::new();
+        for i in 0..10 {
+            g.insert(&Triple::new(
+                Term::iri(format!("http://x/s{i}")),
+                Term::iri("http://x/p"),
+                Term::integer(i),
+            ));
+        }
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://g", g);
+        Arc::new(ds)
+    }
+
+    #[test]
+    fn prepared_query_reuses_plan_across_pages() {
+        let engine = Engine::new(dataset());
+        let q = "SELECT ?s ?o FROM <http://g> WHERE { ?s <http://x/p> ?o } ORDER BY ?o";
+        let prepared = engine.prepare(q).unwrap();
+        let (all, _) = engine.execute_prepared(&prepared, None).unwrap();
+        let (p1, _) = engine.execute_prepared(&prepared, Some((0, 4))).unwrap();
+        let (p2, _) = engine.execute_prepared(&prepared, Some((4, 4))).unwrap();
+        let (p3, _) = engine.execute_prepared(&prepared, Some((8, 4))).unwrap();
+        assert_eq!(all.len(), 10);
+        let mut stitched = p1.rows.clone();
+        stitched.extend(p2.rows.clone());
+        stitched.extend(p3.rows.clone());
+        assert_eq!(stitched, all.rows);
+        // Same rows as the one-shot string path.
+        let direct = engine.execute(q).unwrap();
+        assert_eq!(direct, all);
+    }
+
+    #[test]
+    fn cursor_batches_cover_result_in_order() {
+        let engine = Engine::new(dataset());
+        let q = "SELECT ?s ?o FROM <http://g> WHERE { ?s <http://x/p> ?o } ORDER BY ?o";
+        let prepared = engine.prepare(q).unwrap();
+        let expected = engine.execute(q).unwrap();
+
+        let mut cursor = engine.cursor(&prepared, 4).unwrap();
+        assert_eq!(cursor.vars(), expected.vars.as_slice());
+        assert_eq!(cursor.row_count(), 10);
+        let mut rebuilt: Vec<Vec<Option<Term>>> = Vec::new();
+        let mut batch_sizes = Vec::new();
+        while let Some(batch) = cursor.next_batch() {
+            batch_sizes.push(batch.len);
+            for row in 0..batch.len {
+                rebuilt.push(
+                    (0..batch.vars().len())
+                        .map(|c| batch.get(c, row).map(|id| batch.resolve(id).clone()))
+                        .collect(),
+                );
+            }
+        }
+        assert_eq!(batch_sizes, vec![4, 4, 2]);
+        assert_eq!(rebuilt, expected.rows);
+        // Work metric matches the string path.
+        let (_, stats) = engine.execute_with_stats(q).unwrap();
+        assert_eq!(cursor.rows_scanned(), stats.rows_scanned);
+    }
+
+    #[test]
+    fn cursor_resolves_computed_overflow_terms() {
+        let engine = Engine::new(dataset());
+        // AVG produces a computed double that lives only in the query pool.
+        let q = "SELECT (AVG(?o) AS ?m) FROM <http://g> WHERE { ?s <http://x/p> ?o }";
+        let prepared = engine.prepare(q).unwrap();
+        let mut cursor = engine.cursor(&prepared, 16).unwrap();
+        let batch = cursor.next_batch().unwrap();
+        let id = batch.get(0, 0).expect("aggregate value bound");
+        let term = batch.resolve(id).clone();
+        assert_eq!(term, engine.execute(q).unwrap().rows[0][0].clone().unwrap());
     }
 }

@@ -90,6 +90,20 @@ impl<'a> Evaluator<'a> {
         Ok(self.materialize(table))
     }
 
+    /// Evaluate a plan to the raw columnar id table *without* materializing
+    /// terms — the embedded execution path ([`crate::engine::QueryCursor`])
+    /// hands these columns straight to the client together with the pool.
+    pub fn eval_to_ids(&mut self, plan: &Plan) -> Result<IdTable> {
+        self.eval_ids(plan)
+    }
+
+    /// Consume the evaluator, keeping its term pool alive so ids from an
+    /// [`Evaluator::eval_to_ids`] table (including computed overflow terms)
+    /// stay resolvable after evaluation ends.
+    pub fn into_pool(self) -> TermPool<'a> {
+        self.pool
+    }
+
     /// Resolve ids to owned terms (the single materialization point).
     fn materialize(&self, table: IdTable) -> SolutionTable {
         let width = table.vars.len();

@@ -48,6 +48,6 @@ pub mod pool;
 pub mod regex_lite;
 pub mod results;
 
-pub use engine::{Engine, EngineConfig, EvalMode};
+pub use engine::{ColumnBatch, Engine, EngineConfig, EvalMode, PreparedQuery, QueryCursor};
 pub use error::{EngineError, Result};
 pub use results::SolutionTable;

@@ -10,10 +10,11 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use rdfframes::datagen::{generate_dblp, DblpConfig};
 use rdfframes::rdf::Dataset;
-use rdfframes::{EndpointConfig, Executor, InProcessEndpoint, KnowledgeGraph};
+use rdfframes::{EmbeddedEndpoint, EndpointConfig, Executor, InProcessEndpoint, KnowledgeGraph};
 
 fn main() {
     let mut dataset = Dataset::new();
@@ -21,9 +22,10 @@ fn main() {
         "http://dblp.l3s.de",
         generate_dblp(&DblpConfig::with_papers(10_000)),
     );
+    let dataset = Arc::new(dataset);
     // A small page size to show transparent pagination on a bulky result.
     let endpoint = InProcessEndpoint::with_config(
-        Arc::new(dataset),
+        Arc::clone(&dataset),
         EndpointConfig {
             max_rows_per_request: 10_000,
             ..Default::default()
@@ -36,13 +38,30 @@ fn main() {
     let triples = graph.seed("?s", "?p", "?o").filter("o", &["isURI"]);
     println!("--- generated SPARQL ---\n{}", triples.to_sparql());
 
+    let wire_start = Instant::now();
     let df = Executor::with_page_size(10_000)
         .execute(&triples, &endpoint)
         .expect("query failed");
+    let wire_time = wire_start.elapsed();
     println!(
-        "entity-to-entity triples: {} (fetched in {} requests)",
+        "entity-to-entity triples: {} (fetched in {} requests, {:.1} ms over the XML wire)",
         df.len(),
-        endpoint.stats().requests()
+        endpoint.stats().requests(),
+        wire_time.as_secs_f64() * 1e3
+    );
+
+    // The same frame on the embedded path: no SPARQL text, no pagination,
+    // no XML — one columnar evaluation decoded once per distinct term.
+    let embedded = EmbeddedEndpoint::new(Arc::clone(&dataset));
+    let embedded_start = Instant::now();
+    let df_embedded = triples.execute(&embedded).expect("embedded query failed");
+    let embedded_time = embedded_start.elapsed();
+    assert_eq!(df, df_embedded, "both paths must agree exactly");
+    println!(
+        "same frame, embedded path: {} rows in {:.1} ms ({:.1}x)",
+        df_embedded.len(),
+        embedded_time.as_secs_f64() * 1e3,
+        wire_time.as_secs_f64() / embedded_time.as_secs_f64().max(1e-9)
     );
 
     // ---- miniature embedding pass --------------------------------------

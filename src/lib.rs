@@ -49,6 +49,6 @@ pub use rdfframes_core::api;
 pub use sparql_engine as engine;
 
 pub use rdfframes_core::{
-    AggFunc, Direction, Endpoint, EndpointConfig, EndpointStats, Executor, FrameError,
-    InProcessEndpoint, JoinType, KnowledgeGraph, RDFFrame, SortOrder,
+    AggFunc, Direction, EmbeddedEndpoint, Endpoint, EndpointConfig, EndpointStats, Executor,
+    FrameError, InProcessEndpoint, JoinType, KnowledgeGraph, RDFFrame, SortOrder, WireFormat,
 };
