@@ -105,6 +105,27 @@ fn queries() -> Vec<QuerySpec> {
                  GROUP BY ?genre"
             ),
         },
+        QuerySpec {
+            id: "sort_heavy",
+            kind: "full ORDER BY over every starring pair (term-rank sort)",
+            sparql: format!(
+                "{prefixes}SELECT ?movie ?actor \
+                 FROM <http://dbpedia.org> WHERE {{ \
+                   ?movie dbpp:starring ?actor }} \
+                 ORDER BY ?actor ?movie"
+            ),
+        },
+        QuerySpec {
+            id: "star_merge_join",
+            kind: "3-way star join on ?film; all sides sorted → merge joins",
+            sparql: format!(
+                "{prefixes}PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
+                 SELECT ?film FROM <http://dbpedia.org> WHERE {{ \
+                   {{ ?film rdf:type dbpr:Film }} \
+                   {{ ?film dbpp:country dbpr:United_States }} \
+                   {{ ?film dbpo:genre dbpr:Film_score }} }}"
+            ),
+        },
     ]
 }
 
@@ -134,12 +155,15 @@ struct Outcome {
     median: Duration,
     rows: usize,
     rows_scanned: u64,
+    /// Merge joins that actually fired (columnar evaluator only).
+    merge_joins: u64,
     /// Heap allocations for one (post-warmup) execution.
     allocs: u64,
 }
 
 fn run(engine: &Engine, sparql: &str) -> Outcome {
-    // Warmup (also surfaces errors before timing).
+    // Warmup (also surfaces errors before timing, and lets lazily-built
+    // dataset caches — term ranks, refreshed stats — settle).
     let (warm, stats) = engine
         .execute_with_stats(sparql)
         .unwrap_or_else(|e| panic!("query failed: {e}\n{sparql}"));
@@ -160,36 +184,104 @@ fn run(engine: &Engine, sparql: &str) -> Outcome {
         median: samples[samples.len() / 2],
         rows,
         rows_scanned: stats.rows_scanned,
+        merge_joins: stats.merge_joins,
         allocs,
     }
 }
 
-fn parse_args() -> usize {
-    let mut scale = 4000usize;
+struct Args {
+    scale: usize,
+    /// Diff the fresh results against the previous `BENCH_eval.json`.
+    compare: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        scale: 4000,
+        compare: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
-                scale = args
+                parsed.scale = args
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| panic!("--scale requires a number"));
             }
+            "--compare" => parsed.compare = true,
             other => {
                 // Positional scale, kept for backward compatibility.
                 if let Ok(n) = other.parse() {
-                    scale = n;
+                    parsed.scale = n;
                 } else {
-                    panic!("unknown argument {other} (usage: eval_bench [--scale N] [N])");
+                    panic!(
+                        "unknown argument {other} (usage: eval_bench [--scale N] [--compare] [N])"
+                    );
                 }
             }
         }
     }
-    scale
+    parsed
+}
+
+/// Pull `(query id, columnar ms)` pairs out of a previous `BENCH_eval.json`
+/// (hand-rolled scan — the file is written by this binary, so the shape is
+/// known; no JSON dependency needed).
+fn parse_previous(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut current_id: Option<String> = None;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"id\": \"") {
+            current_id = rest.strip_suffix("\",").map(str::to_string);
+        }
+        for key in ["\"columnar_ms\": ", "\"selectivity_ordered_ms\": "] {
+            if let Some(rest) = line.strip_prefix(key) {
+                if let Ok(ms) = rest.trim_end_matches(',').parse::<f64>() {
+                    if let Some(id) = current_id.take() {
+                        out.push((id, ms));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Print per-query deltas against the previous results file, so a PR body
+/// can quote regressions/speedups without manual diffing.
+fn print_comparison(previous: &[(String, f64)], fresh: &[(String, f64)]) {
+    println!("\ncomparison vs previous BENCH_eval.json (columnar path):");
+    println!("{:<18} {:>12} {:>12} {:>9}", "query", "prev (ms)", "now (ms)", "speedup");
+    for (id, now_ms) in fresh {
+        match previous.iter().find(|(pid, _)| pid == id) {
+            Some((_, prev_ms)) => {
+                let speedup = prev_ms / now_ms.max(1e-12);
+                let marker = if speedup < 0.9 {
+                    "  <-- regression"
+                } else {
+                    ""
+                };
+                println!(
+                    "{id:<18} {prev_ms:>12.3} {now_ms:>12.3} {speedup:>8.2}x{marker}"
+                );
+            }
+            None => println!("{id:<18} {:>12} {now_ms:>12.3} {:>9}", "-", "new"),
+        }
+    }
 }
 
 fn main() {
-    let scale = parse_args();
+    let args = parse_args();
+    let scale = args.scale;
+    let previous = args
+        .compare
+        .then(|| std::fs::read_to_string("BENCH_eval.json").ok())
+        .flatten()
+        .map(|json| parse_previous(&json))
+        .unwrap_or_default();
+    let mut fresh: Vec<(String, f64)> = Vec::new();
     eprintln!("building dataset at scale {scale}...");
     let dataset: Arc<Dataset> = data::build_dataset(scale);
     eprintln!(
@@ -204,6 +296,7 @@ fn main() {
             EngineConfig {
                 optimize: true,
                 eval_mode,
+                ..EngineConfig::new()
             },
         )
     };
@@ -287,9 +380,69 @@ fn main() {
             ref_out.allocs, rows_out.allocs, col_out.allocs
         );
         let _ = writeln!(json, "      \"rows_scanned\": {},", ref_out.rows_scanned);
+        let _ = writeln!(json, "      \"merge_joins\": {},", col_out.merge_joins);
         let _ = writeln!(json, "      \"rows\": {}", ref_out.rows);
         // The queries array always continues with the ordering case below,
         // so every entry here takes a trailing comma.
+        let _ = writeln!(json, "    }},");
+        fresh.push((spec.id.to_string(), col_out.median.as_secs_f64() * 1e3));
+    }
+
+    // Rewrite ablation: the columnar evaluator with this PR's physical
+    // rewrites (merge joins, FILTER pushdown, term-rank ORDER BY) against
+    // the same evaluator with them disabled — i.e. the PR 4 baseline.
+    let pr4_baseline = Engine::with_config(
+        Arc::clone(&dataset),
+        EngineConfig {
+            filter_pushdown: false,
+            merge_joins: false,
+            rank_order_by: false,
+            ..EngineConfig::new()
+        },
+    );
+    println!(
+        "\n{:<18} {:>13} {:>13} {:>9} {:>12} {:>7}  (columnar: PR4 baseline vs rewrites)",
+        "ablation", "pr4 (ms)", "rewrite (ms)", "speedup", "merge_joins", "rows"
+    );
+    for spec in specs.iter().filter(|s| s.id == "sort_heavy" || s.id == "star_merge_join") {
+        let base_out = run(&pr4_baseline, &spec.sparql);
+        let new_out = run(&columnar, &spec.sparql);
+        assert_eq!(base_out.rows, new_out.rows, "{}: ablation result drift", spec.id);
+        let speedup = base_out.median.as_secs_f64() / new_out.median.as_secs_f64().max(1e-12);
+        println!(
+            "{:<18} {:>13.3} {:>13.3} {:>8.2}x {:>12} {:>7}",
+            spec.id,
+            base_out.median.as_secs_f64() * 1e3,
+            new_out.median.as_secs_f64() * 1e3,
+            speedup,
+            new_out.merge_joins,
+            new_out.rows
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"id\": \"{}_vs_pr4\",", spec.id);
+        let _ = writeln!(
+            json,
+            "      \"kind\": \"rewrite ablation: {} with merge joins/pushdown/rank sort off vs on\",",
+            spec.id
+        );
+        let _ = writeln!(
+            json,
+            "      \"pr4_baseline_ms\": {:.3},",
+            base_out.median.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            json,
+            "      \"columnar_ms\": {:.3},",
+            new_out.median.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(json, "      \"speedup_vs_pr4_baseline\": {speedup:.3},");
+        let _ = writeln!(json, "      \"merge_joins\": {},", new_out.merge_joins);
+        let _ = writeln!(
+            json,
+            "      \"allocations\": {{ \"pr4_baseline\": {}, \"columnar\": {} }},",
+            base_out.allocs, new_out.allocs
+        );
+        let _ = writeln!(json, "      \"rows\": {}", new_out.rows);
         let _ = writeln!(json, "    }},");
     }
 
@@ -299,6 +452,7 @@ fn main() {
         EngineConfig {
             optimize: false,
             eval_mode: EvalMode::Columnar,
+            ..EngineConfig::new()
         },
     );
     let mis = misordered_query();
@@ -345,6 +499,15 @@ fn main() {
     let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
+    fresh.push((mis.id.to_string(), ordered_out.median.as_secs_f64() * 1e3));
+
+    if args.compare {
+        if previous.is_empty() {
+            eprintln!("\n--compare: no previous BENCH_eval.json to diff against");
+        } else {
+            print_comparison(&previous, &fresh);
+        }
+    }
 
     std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
     eprintln!("\nwrote BENCH_eval.json");

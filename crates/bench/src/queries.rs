@@ -1,8 +1,9 @@
-//! The synthetic workload: 15 queries exercising different RDFFrames
+//! The synthetic workload: the paper's 15 queries exercising different
+//! RDFFrames
 //! features (paper Section 6.2 / Table 2), each with its RDFFrames pipeline
 //! and an expert-written SPARQL query.
 
-use rdfframes_core::{JoinType, RDFFrame};
+use rdfframes_core::{JoinType, RDFFrame, SortOrder};
 
 use crate::data::{self, expert_prefixes};
 
@@ -31,11 +32,12 @@ fn expert(body: &str) -> String {
     format!("{}{body}", expert_prefixes())
 }
 
-/// Build all 15 queries.
+/// Build the workload queries (the paper's Q1–Q15 plus the sort-heavy
+/// and star-join perf cases Q16–Q17).
 pub fn all_queries() -> Vec<QueryDef> {
     let dbp = data::dbpedia_graph();
     let yago = data::yago_graph();
-    let mut out = Vec::with_capacity(15);
+    let mut out = Vec::with_capacity(17);
 
     // Q1: players with nationality/birthPlace/birthDate + optional team
     // sponsor/name/president.
@@ -433,6 +435,37 @@ pub fn all_queries() -> Vec<QueryDef> {
                          FILTER ( ?bplace = dbpr:United_States ) }\n\
                  GROUP BY ?author\n\
                  HAVING ( COUNT(DISTINCT ?book) > 2 ) }\n}",
+        ),
+    ));
+
+    // Q16: sort-heavy — every starring pair, fully ordered. Exercises the
+    // engine's term-rank ORDER BY (plain variables, no LIMIT, so nothing
+    // fuses to TopK and the whole result sorts).
+    out.push(q(
+        "Q16",
+        "All starring pairs sorted by actor then movie",
+        dbp.seed("?movie", "dbpp:starring", "?actor")
+            .sort(&[("actor", SortOrder::Asc), ("movie", SortOrder::Asc)]),
+        expert(
+            "SELECT * FROM <http://dbpedia.org> WHERE {\n\
+               ?movie dbpp:starring ?actor\n\
+             } ORDER BY ?actor ?movie",
+        ),
+    ));
+
+    // Q17: star join — two single-pattern groups sharing ?film, each a POS
+    // scan with a bound (predicate, object) prefix, so both arrive sorted
+    // on ?film and the optimizer's merge-join rewrite fires.
+    let films = dbp.seed("?film", "rdf:type", "dbpr:Film");
+    let us_films = dbp.seed("?film", "dbpp:country", "dbpr:United_States");
+    out.push(q(
+        "Q17",
+        "US-produced films (star join on film)",
+        films.join(&us_films, "film", JoinType::Inner),
+        expert(
+            "SELECT * FROM <http://dbpedia.org> WHERE {\n\
+               { ?film rdf:type dbpr:Film }\n\
+               { ?film dbpp:country dbpr:United_States }\n}",
         ),
     ));
 

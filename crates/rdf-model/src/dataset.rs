@@ -15,7 +15,7 @@
 //! integers instead of strings.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use crate::graph::{Graph, GraphStats};
 use crate::interner::{Interner, TermId};
@@ -30,6 +30,13 @@ pub struct GraphIdMap {
     /// Global id → local id, for binding query constants / bound variables
     /// back into a graph's index space.
     from_global: HashMap<TermId, TermId>,
+    /// Set once some local→global translation broke strict ascent (a term
+    /// of this graph was already interned globally by an earlier graph).
+    /// While unset, local id order and global id order coincide, so index
+    /// scans — which emit triples in local id order — produce columns
+    /// sorted by *global* id, the property the query optimizer's
+    /// interesting-order tracking (and thus merge joins) relies on.
+    non_monotone: bool,
 }
 
 impl GraphIdMap {
@@ -54,9 +61,22 @@ impl GraphIdMap {
         for (local, term) in graph_interner.iter().skip(known) {
             let global = interner.intern(term.clone());
             debug_assert_eq!(self.to_global.len(), local.index());
+            if self.to_global.last().is_some_and(|&prev| global <= prev) {
+                self.non_monotone = true;
+            }
             self.to_global.push(global);
             self.from_global.insert(global, local);
         }
+    }
+
+    /// True while the local→global translation is strictly increasing, i.e.
+    /// scans in local id order yield globally-sorted ids. Holds for the
+    /// first graph inserted into a fresh dataset (the common single-graph
+    /// workload) and breaks as soon as a later graph shares terms with an
+    /// earlier one.
+    #[inline]
+    pub fn order_preserving(&self) -> bool {
+        !self.non_monotone
     }
 
     /// Translate a local id to its global id.
@@ -77,23 +97,75 @@ impl GraphIdMap {
 }
 
 /// A cached statistics snapshot plus the graph compaction generation it was
-/// taken at. Stats refresh when the graph's delta merges into the slabs
-/// (generation bump), so between merges they lag by at most the delta size.
+/// taken at. The generation is the staleness witness: whenever the graph's
+/// delta merges into the slabs (any path — explicit [`Graph::compact`] or
+/// the threshold-triggered auto-merge inside [`Graph::insert`]), the
+/// generation bumps and the next [`Dataset::graph_stats`] read rebuilds the
+/// snapshot. Between merges stats lag by at most the live delta size.
 #[derive(Debug, Clone)]
 struct StatsEntry {
     generation: u64,
     stats: Arc<GraphStats>,
 }
 
+/// Dictionary-rank permutation over a dataset interner snapshot: maps each
+/// global [`TermId`] to its rank in SPARQL `ORDER BY` term order
+/// ([`Term::order_cmp`]). Terms that compare equal under `order_cmp` (e.g.
+/// numerically-equal literals with different lexical forms) share a rank, so
+/// comparing two ranks gives *exactly* the ordering `order_cmp` would —
+/// `ORDER BY ?var` on plain variables can sort raw `u32` ranks without
+/// materializing a single sort-key term.
+#[derive(Debug)]
+pub struct TermRanks {
+    ranks: Vec<u32>,
+}
+
+impl TermRanks {
+    /// Number of ids covered (the interner length at snapshot time). Ids at
+    /// or past this index (e.g. query-local overflow terms) have no rank.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True when the snapshot covers no terms.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Rank of a global id, `None` when the id is outside the snapshot.
+    #[inline]
+    pub fn rank(&self, id: TermId) -> Option<u32> {
+        self.ranks.get(id.index()).copied()
+    }
+}
+
 /// A collection of named graphs sharing one global term id space.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct Dataset {
     graphs: BTreeMap<String, Arc<Graph>>,
     interner: Interner,
     id_maps: BTreeMap<String, Arc<GraphIdMap>>,
-    /// Optimizer statistics, snapshotted at graph insert and refreshed
-    /// delta-aware on the [`Dataset::append_triples`] mutation path.
-    stats: BTreeMap<String, StatsEntry>,
+    /// Optimizer statistics, snapshotted at graph insert. Reads go through
+    /// [`Dataset::graph_stats`], which compares the cached compaction
+    /// generation against the graph's and lazily rebuilds after any
+    /// delta→slab merge — including threshold-triggered auto-merges that
+    /// happen deep inside [`Graph::insert`], which no caller observes.
+    stats: RwLock<BTreeMap<String, StatsEntry>>,
+    /// Lazily built dictionary-rank permutation over the shared interner
+    /// (see [`Dataset::term_ranks`]); invalidated by interner growth.
+    ranks: RwLock<Option<Arc<TermRanks>>>,
+}
+
+impl Clone for Dataset {
+    fn clone(&self) -> Self {
+        Dataset {
+            graphs: self.graphs.clone(),
+            interner: self.interner.clone(),
+            id_maps: self.id_maps.clone(),
+            stats: RwLock::new(self.stats.read().expect("stats lock").clone()),
+            ranks: RwLock::new(self.ranks.read().expect("ranks lock").clone()),
+        }
+    }
 }
 
 impl Dataset {
@@ -119,7 +191,7 @@ impl Dataset {
         let uri = uri.into();
         let map = GraphIdMap::build(&graph, &mut self.interner);
         self.id_maps.insert(uri.clone(), Arc::new(map));
-        self.stats.insert(
+        self.stats.get_mut().expect("stats lock").insert(
             uri.clone(),
             StatsEntry {
                 generation: graph.compaction_generation(),
@@ -131,13 +203,13 @@ impl Dataset {
 
     /// Append triples to a graph already in the dataset, keeping the whole
     /// derived state consistent: newly seen terms are interned and added to
-    /// the graph's local↔global id translation incrementally, and — the
-    /// delta-aware part — whenever the insert burst causes the graph's
-    /// `BTreeSet` delta to merge into the slabs (threshold-triggered
-    /// compaction), the optimizer's [`PredicateStats`](crate::graph::PredicateStats)
-    /// are recomputed, so long-lived mutable graphs keep statistics-driven
-    /// BGP ordering honest. Between merges the stats lag by at most the
-    /// delta size, which the threshold bounds.
+    /// the graph's local↔global id translation incrementally. Statistics
+    /// are *not* recomputed eagerly here — [`Dataset::graph_stats`] detects
+    /// any delta→slab merge the burst triggered (via the graph's compaction
+    /// generation) and rebuilds lazily on the next optimizer read, so a
+    /// bulk-load of many batches pays for at most one stats pass per
+    /// query-after-merge instead of one per batch. Between merges the stats
+    /// lag by at most the live delta size, which the threshold bounds.
     ///
     /// Copy-on-write: if the graph `Arc` is shared outside the dataset, the
     /// dataset's copy is cloned first and external handles stop observing
@@ -158,19 +230,13 @@ impl Dataset {
         }
         let map = Arc::make_mut(self.id_maps.get_mut(uri).expect("id map tracks graph"));
         map.extend_from(graph, &mut self.interner);
-        let entry = self.stats.get_mut(uri).expect("stats track graph");
-        if entry.generation != graph.compaction_generation() {
-            *entry = StatsEntry {
-                generation: graph.compaction_generation(),
-                stats: Arc::new(graph.stats()),
-            };
-        }
         Some(added)
     }
 
     /// Force a statistics refresh for one graph regardless of compaction
-    /// generation (e.g. before a batch of optimizer-sensitive queries).
-    /// Returns `false` for an unknown graph.
+    /// generation — picks up rows still sitting in the live delta, which
+    /// the generation-keyed lazy refresh deliberately ignores. Returns
+    /// `false` for an unknown graph.
     pub fn refresh_stats(&mut self, uri: &str) -> bool {
         let Some(graph) = self.graphs.get(uri) else {
             return false;
@@ -179,7 +245,10 @@ impl Dataset {
             generation: graph.compaction_generation(),
             stats: Arc::new(graph.stats()),
         };
-        self.stats.insert(uri.to_string(), entry);
+        self.stats
+            .get_mut()
+            .expect("stats lock")
+            .insert(uri.to_string(), entry);
         true
     }
 
@@ -193,10 +262,92 @@ impl Dataset {
         self.id_maps.get(uri)
     }
 
-    /// Cached optimizer statistics for a graph (snapshotted at insert,
-    /// refreshed when [`Dataset::append_triples`] merges a delta).
-    pub fn graph_stats(&self, uri: &str) -> Option<&Arc<GraphStats>> {
-        self.stats.get(uri).map(|e| &e.stats)
+    /// Cached optimizer statistics for a graph. Self-healing: the cached
+    /// snapshot carries the compaction generation it was taken at, and a
+    /// read that observes a newer generation — i.e. the graph's delta has
+    /// merged into the slabs since, whether through an explicit
+    /// [`Graph::compact`] or the threshold auto-merge inside
+    /// [`Graph::insert`] — rebuilds the snapshot before returning. Callers
+    /// therefore never see stats staler than the live (threshold-bounded)
+    /// delta, without having to track generations themselves.
+    pub fn graph_stats(&self, uri: &str) -> Option<Arc<GraphStats>> {
+        let graph = self.graphs.get(uri)?;
+        let generation = graph.compaction_generation();
+        {
+            let stats = self.stats.read().expect("stats lock");
+            if let Some(entry) = stats.get(uri) {
+                if entry.generation == generation {
+                    return Some(Arc::clone(&entry.stats));
+                }
+            }
+        }
+        // Stale (or missing) snapshot: rebuild outside the read lock. A
+        // racing reader may rebuild too; the write is idempotent.
+        let entry = StatsEntry {
+            generation,
+            stats: Arc::new(graph.stats()),
+        };
+        let stats = Arc::clone(&entry.stats);
+        self.stats
+            .write()
+            .expect("stats lock")
+            .insert(uri.to_string(), entry);
+        Some(stats)
+    }
+
+    /// The cached dictionary-rank permutation, only if it is already built
+    /// and still fresh (interner unchanged). Lets callers use a warm cache
+    /// without committing to the full rebuild [`Dataset::term_ranks`]
+    /// performs — e.g. a 10-row `ORDER BY` is cheaper to sort on terms than
+    /// to amortize a million-term rank build against.
+    pub fn cached_term_ranks(&self) -> Option<Arc<TermRanks>> {
+        let cached = self.ranks.read().expect("ranks lock");
+        cached
+            .as_ref()
+            .filter(|r| r.len() == self.interner.len())
+            .map(Arc::clone)
+    }
+
+    /// The dictionary-rank permutation over the shared interner, built
+    /// lazily on first use and cached until the interner grows (the
+    /// interner is append-only, so a length comparison is a complete
+    /// staleness check). One `O(n log n)` sort buys every subsequent
+    /// `ORDER BY ?var` an id-native `u32` comparison per row.
+    pub fn term_ranks(&self) -> Arc<TermRanks> {
+        let len = self.interner.len();
+        {
+            let cached = self.ranks.read().expect("ranks lock");
+            if let Some(r) = cached.as_ref() {
+                if r.len() == len {
+                    return Arc::clone(r);
+                }
+            }
+        }
+        let mut ids: Vec<TermId> = (0..len as u32).map(TermId).collect();
+        ids.sort_unstable_by(|a, b| {
+            self.interner
+                .resolve(*a)
+                .order_cmp(self.interner.resolve(*b))
+        });
+        let mut ranks = vec![0u32; len];
+        let mut rank = 0u32;
+        for (i, id) in ids.iter().enumerate() {
+            // Terms comparing equal share the rank of their group head, so
+            // rank comparison reproduces order_cmp ties exactly.
+            if i > 0
+                && self
+                    .interner
+                    .resolve(ids[i - 1])
+                    .order_cmp(self.interner.resolve(*id))
+                    != std::cmp::Ordering::Equal
+            {
+                rank = i as u32;
+            }
+            ranks[id.index()] = rank;
+        }
+        let built = Arc::new(TermRanks { ranks });
+        *self.ranks.write().expect("ranks lock") = Some(Arc::clone(&built));
+        built
     }
 
     /// The dataset-wide interner (global id space).
@@ -381,6 +532,96 @@ mod tests {
         assert!(ds.refresh_stats("http://g"));
         assert_eq!(ds.graph_stats("http://g").unwrap().triples, 5);
         assert!(!ds.refresh_stats("http://missing"));
+    }
+
+    #[test]
+    fn stats_self_heal_after_threshold_triggered_merge() {
+        // Regression: a threshold-triggered auto-merge happens *inside*
+        // `Graph::insert`, where no caller can observe it. `graph_stats`
+        // must detect the generation bump on its own and rebuild — without
+        // `refresh_stats` or any caller-side generation bookkeeping.
+        let mut g = Graph::with_delta_threshold(4);
+        g.insert(&t("http://x/s0", "http://x/o0"));
+        let mut ds = Dataset::new();
+        ds.insert_shared("http://g", Arc::new(g));
+        assert_eq!(ds.graph_stats("http://g").unwrap().triples, 1);
+
+        // Below the threshold: no merge, snapshot intentionally lags.
+        ds.append_triples("http://g", vec![t("http://x/s1", "http://x/o1")])
+            .unwrap();
+        assert_eq!(ds.graph_stats("http://g").unwrap().triples, 1);
+
+        // Crossing the threshold merges the delta mid-append; the very next
+        // read must see the merged state.
+        ds.append_triples(
+            "http://g",
+            vec![t("http://x/s2", "http://x/o2"), t("http://x/s3", "http://x/o3")],
+        )
+        .unwrap();
+        assert_eq!(ds.graph("http://g").unwrap().delta_len(), 0);
+        let stats = ds.graph_stats("http://g").unwrap();
+        assert_eq!(stats.triples, 4, "read-time refresh must self-heal");
+        let p = ds.lookup(&Term::iri("http://x/p")).unwrap();
+        let local_p = ds.id_map("http://g").unwrap().to_local(p).unwrap();
+        assert_eq!(stats.predicates[&local_p].count, 4);
+    }
+
+    #[test]
+    fn id_map_order_preservation_tracking() {
+        // First graph into a fresh dataset: global ids are assigned in
+        // local id order, so the translation is monotone.
+        let mut g1 = Graph::new();
+        g1.insert(&t("http://x/s0", "http://x/o0"));
+        g1.insert(&t("http://x/s1", "http://x/o1"));
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://a", g1);
+        assert!(ds.id_map("http://a").unwrap().order_preserving());
+
+        // Second graph shares terms already interned globally: its local
+        // order no longer matches global order.
+        let mut g2 = Graph::new();
+        g2.insert(&t("http://x/z-first-local", "http://x/o0"));
+        g2.insert(&t("http://x/s0", "http://x/o9"));
+        ds.insert_graph("http://b", g2);
+        assert!(ds.id_map("http://a").unwrap().order_preserving());
+        assert!(!ds.id_map("http://b").unwrap().order_preserving());
+    }
+
+    #[test]
+    fn term_ranks_follow_order_cmp_and_share_ties() {
+        let mut g = Graph::new();
+        // Deliberately intern out of dictionary order.
+        g.insert(&Triple::new(
+            Term::iri("http://x/zzz"),
+            Term::iri("http://x/p"),
+            Term::integer(2),
+        ));
+        g.insert(&Triple::new(
+            Term::iri("http://x/aaa"),
+            Term::iri("http://x/p"),
+            Term::integer(1),
+        ));
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://g", g);
+
+        let ranks = ds.term_ranks();
+        assert_eq!(ranks.len(), ds.interner().len());
+        // Rank comparison must reproduce order_cmp on every pair.
+        for (a, ta) in ds.interner().iter() {
+            for (b, tb) in ds.interner().iter() {
+                assert_eq!(
+                    ranks.rank(a).unwrap().cmp(&ranks.rank(b).unwrap()),
+                    ta.order_cmp(tb),
+                    "ranks diverge from order_cmp for {ta} vs {tb}"
+                );
+            }
+        }
+        // The cache invalidates when the interner grows.
+        ds.append_triples("http://g", vec![t("http://x/new", "http://x/onew")])
+            .unwrap();
+        let fresh = ds.term_ranks();
+        assert_eq!(fresh.len(), ds.interner().len());
+        assert!(fresh.len() > ranks.len());
     }
 
     #[test]

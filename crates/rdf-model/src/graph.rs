@@ -413,6 +413,26 @@ impl Graph {
         }
     }
 
+    /// The order in which a scan emits its *free* positions (0 = subject,
+    /// 1 = predicate, 2 = object) for a given bound-ness shape — the suffix
+    /// of the chosen index's ordering after the bound prefix. Kept adjacent
+    /// to [`Graph::access_path`] (one row per arm, property-tested in this
+    /// module) so the two tables cannot drift: the query optimizer's
+    /// interesting-order tracking uses this to know which variable sequence
+    /// a slab scan yields sorted.
+    pub fn scan_free_order(s_bound: bool, p_bound: bool, o_bound: bool) -> &'static [usize] {
+        match (s_bound, p_bound, o_bound) {
+            (true, true, true) => &[],
+            (true, true, false) => &[2],         // SPO, (s, p) fixed → o
+            (true, false, false) => &[1, 2],     // SPO, s fixed → (p, o)
+            (true, false, true) => &[1],         // OSP, (o, s) fixed → p
+            (false, true, true) => &[0],         // POS, (p, o) fixed → s
+            (false, true, false) => &[2, 0],     // POS, p fixed → (o, s)
+            (false, false, true) => &[0, 1],     // OSP, o fixed → (s, p)
+            (false, false, false) => &[0, 1, 2], // SPO full scan
+        }
+    }
+
     /// Match a triple pattern; unbound positions are `None`. Yields matches
     /// as `(s, p, o)` id triples in index order.
     pub fn match_pattern<'a>(
@@ -645,6 +665,39 @@ mod tests {
         assert_eq!(g.len(), 10);
         assert!(g.delta_len() < 4, "delta must stay below the threshold");
         assert_eq!(g.count_pattern(None, None, None), 10);
+    }
+
+    #[test]
+    fn scan_free_order_matches_actual_scan_order() {
+        // For every bound-ness shape, the matches projected onto the
+        // claimed free-position sequence must come out lexicographically
+        // non-decreasing — pinning `scan_free_order` to `access_path`.
+        for g in [sample(), sample_compacted(), sample_half_compacted()] {
+            let s1 = g.term_id(&Term::iri("http://x/s1"));
+            let p1 = g.term_id(&Term::iri("http://x/p1"));
+            let o1 = g.term_id(&Term::iri("http://x/o1"));
+            for s in [None, s1] {
+                for p in [None, p1] {
+                    for o in [None, o1] {
+                        let order = Graph::scan_free_order(s.is_some(), p.is_some(), o.is_some());
+                        let keys: Vec<Vec<TermId>> = g
+                            .match_pattern(s, p, o)
+                            .map(|(ms, mp, mo)| {
+                                let m = [ms, mp, mo];
+                                order.iter().map(|&pos| m[pos]).collect()
+                            })
+                            .collect();
+                        assert!(
+                            keys.windows(2).all(|w| w[0] <= w[1]),
+                            "scan order claim broken for shape ({}, {}, {})",
+                            s.is_some(),
+                            p.is_some(),
+                            o.is_some()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

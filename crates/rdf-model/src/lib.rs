@@ -25,7 +25,7 @@ pub mod prefix;
 pub mod term;
 pub mod vocab;
 
-pub use dataset::{Dataset, GraphIdMap};
+pub use dataset::{Dataset, GraphIdMap, TermRanks};
 pub use error::{ModelError, Result};
 pub use graph::{Graph, GraphStats};
 pub use interner::{Interner, TermId};

@@ -405,6 +405,7 @@ impl Compiler {
             return Ok(Plan::Bgp {
                 patterns,
                 graph: GraphRef::Default,
+                filters: Vec::new(),
             });
         }
         let mut plan = Plan::Unit;
@@ -422,6 +423,7 @@ impl Compiler {
                 Plan::Bgp {
                     patterns,
                     graph: GraphRef::Named(g.clone()),
+                    filters: Vec::new(),
                 },
             );
             i = j;

@@ -35,6 +35,47 @@ pub struct AggSpec {
     pub output: String,
 }
 
+/// A single-variable `FILTER` conjunct the optimizer has sunk into a BGP.
+///
+/// Invariant: `expr` references exactly the one variable `var`, and `var`
+/// is bound by some pattern of the BGP carrying the filter. Evaluators test
+/// candidates against `expr` at the first pattern (in evaluation order)
+/// that binds `var`, *before* the row is extended — rejected rows never
+/// reach later patterns, so downstream index scans (and the `rows_scanned`
+/// work metric) shrink identically on every evaluator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushedFilter {
+    /// The one variable the expression references.
+    pub var: String,
+    /// The predicate over `var` (error/unbound counts as rejected, exactly
+    /// like a `FILTER` above the BGP).
+    pub expr: Expr,
+}
+
+/// Route each pushed filter to the pattern it fires at — the first pattern
+/// (in evaluation order) mentioning, and therefore newly binding, its
+/// variable — paired with the variable's column index per `column_index`.
+///
+/// This attachment rule is load-bearing: every evaluator must reject the
+/// same candidates at the same pattern for the differential suites' exact
+/// `rows_scanned` parity to hold, so it lives here, once.
+pub fn attach_filters<'f>(
+    patterns: &[TriplePattern],
+    filters: &'f [PushedFilter],
+    column_index: impl Fn(&str) -> usize,
+) -> Vec<Vec<(usize, &'f PushedFilter)>> {
+    let mut per_pattern: Vec<Vec<(usize, &PushedFilter)>> =
+        (0..patterns.len()).map(|_| Vec::new()).collect();
+    for f in filters {
+        let at = patterns
+            .iter()
+            .position(|p| p.variables().any(|v| v == f.var))
+            .expect("pushed filter var is bound by some pattern");
+        per_pattern[at].push((column_index(&f.var), f));
+    }
+    per_pattern
+}
+
 /// A logical query plan.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Plan {
@@ -46,9 +87,30 @@ pub enum Plan {
         patterns: Vec<TriplePattern>,
         /// Target graph.
         graph: GraphRef,
+        /// Filters sunk into the extension loop by the optimizer. Always
+        /// empty straight out of translation.
+        filters: Vec<PushedFilter>,
     },
     /// Inner join.
     Join(Box<Plan>, Box<Plan>),
+    /// Inner join whose inputs are both known to arrive sorted on `key`
+    /// (ascending global [`rdf_model::TermId`] order, always bound). Never
+    /// produced by translation; the optimizer rewrites [`Plan::Join`] into
+    /// this when interesting-order tracking proves both sides sorted, and
+    /// the columnar evaluator runs a linear merge over the key column
+    /// slices instead of building a hash table (with a defensive run-time
+    /// sortedness check that falls back to the hash join). Row-oriented
+    /// evaluators treat it exactly as [`Plan::Join`]; the merge emits pairs
+    /// in the same left-major order the hash join does, so all evaluators
+    /// stay row-for-row identical.
+    MergeJoin {
+        /// Left input (sorted on `key`).
+        left: Box<Plan>,
+        /// Right input (sorted on `key`).
+        right: Box<Plan>,
+        /// The shared join variable both inputs are sorted by.
+        key: String,
+    },
     /// Left outer join (`OPTIONAL`).
     LeftJoin(Box<Plan>, Box<Plan>),
     /// Bag union.
@@ -273,6 +335,7 @@ pub fn translate_ggp(group: &GroupGraphPattern, graph: &GraphRef) -> Result<Plan
         plan.join(Plan::Bgp {
             patterns,
             graph: graph.clone(),
+            filters: Vec::new(),
         })
     }
 
@@ -342,16 +405,31 @@ fn rebind_graph(plan: Plan, graph: &GraphRef) -> Plan {
         Plan::Bgp {
             patterns,
             graph: GraphRef::Default,
+            filters,
         } => Plan::Bgp {
             patterns,
             graph: graph.clone(),
+            filters,
         },
-        Plan::Bgp { patterns, graph } => Plan::Bgp { patterns, graph },
+        Plan::Bgp {
+            patterns,
+            graph,
+            filters,
+        } => Plan::Bgp {
+            patterns,
+            graph,
+            filters,
+        },
         Plan::Unit => Plan::Unit,
         Plan::Join(a, b) => Plan::Join(
             Box::new(rebind_graph(*a, graph)),
             Box::new(rebind_graph(*b, graph)),
         ),
+        Plan::MergeJoin { left, right, key } => Plan::MergeJoin {
+            left: Box::new(rebind_graph(*left, graph)),
+            right: Box::new(rebind_graph(*right, graph)),
+            key,
+        },
         Plan::LeftJoin(a, b) => Plan::LeftJoin(
             Box::new(rebind_graph(*a, graph)),
             Box::new(rebind_graph(*b, graph)),

@@ -61,20 +61,37 @@ pub enum EvalMode {
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Enable statistics-driven BGP reordering. Disabling it models an
-    /// engine whose optimizer takes queries literally (useful for the
+    /// Enable the optimizer (BGP reordering, TopK fusion, and — gated by
+    /// the flags below — FILTER pushdown and merge joins). Disabling it
+    /// models an engine that takes queries literally (useful for the
     /// ablation experiments).
     pub optimize: bool,
     /// Evaluator selection (columnar unless testing against an oracle).
     pub eval_mode: EvalMode,
+    /// Sink single-variable FILTER conjuncts into the BGP extension loop
+    /// (no effect with `optimize` off). Pure physical rewrite; results are
+    /// identical either way.
+    pub filter_pushdown: bool,
+    /// Rewrite hash joins into merge joins when interesting-order tracking
+    /// proves both inputs sorted on the join key (no effect with `optimize`
+    /// off). Pure physical rewrite.
+    pub merge_joins: bool,
+    /// Sort `ORDER BY ?var` by the dataset's cached term-rank permutation
+    /// instead of materializing per-row key terms (columnar evaluator
+    /// only). Pure physical rewrite.
+    pub rank_order_by: bool,
 }
 
 impl EngineConfig {
-    /// The default configuration: optimizer on, columnar evaluation.
+    /// The default configuration: optimizer on (all rewrites), columnar
+    /// evaluation.
     pub fn new() -> Self {
         EngineConfig {
             optimize: true,
             eval_mode: EvalMode::Columnar,
+            filter_pushdown: true,
+            merge_joins: true,
+            rank_order_by: true,
         }
     }
 }
@@ -90,6 +107,9 @@ impl Default for EngineConfig {
 pub struct ExecStats {
     /// Index entries scanned during evaluation.
     pub rows_scanned: u64,
+    /// Joins that executed as order-preserving merge joins instead of hash
+    /// joins (columnar evaluator only; the oracle evaluators always hash).
+    pub merge_joins: u64,
 }
 
 /// A query that has been parsed, translated, and optimized once and can be
@@ -157,7 +177,9 @@ impl Engine {
     /// involved). Applies the same optimizer pass string queries get.
     pub fn prepare_plan(&self, mut plan: Plan, from: Vec<String>) -> PreparedQuery {
         if self.config.optimize {
-            let mut optimizer = Optimizer::new(&self.dataset, &from);
+            let mut optimizer = Optimizer::new(&self.dataset, &from)
+                .with_filter_pushdown(self.config.filter_pushdown)
+                .with_merge_joins(self.config.merge_joins);
             optimizer.optimize(&mut plan);
         }
         PreparedQuery { plan, from }
@@ -202,12 +224,14 @@ impl Engine {
         match self.config.eval_mode {
             EvalMode::Columnar => {
                 let mut evaluator = Evaluator::new(&self.dataset, prepared.from.clone());
+                evaluator.set_rank_sort(self.config.rank_order_by);
                 let table = match page {
                     None => evaluator.eval(plan)?,
                     Some((offset, limit)) => evaluator.eval_page(plan, offset, limit)?,
                 };
                 let stats = ExecStats {
                     rows_scanned: evaluator.rows_scanned(),
+                    merge_joins: evaluator.merge_joins(),
                 };
                 Ok((table, stats))
             }
@@ -219,6 +243,7 @@ impl Engine {
                 };
                 let stats = ExecStats {
                     rows_scanned: evaluator.rows_scanned(),
+                    ..ExecStats::default()
                 };
                 Ok((table, stats))
             }
@@ -230,6 +255,7 @@ impl Engine {
                 }
                 let stats = ExecStats {
                     rows_scanned: evaluator.rows_scanned(),
+                    ..ExecStats::default()
                 };
                 Ok((table, stats))
             }
@@ -249,14 +275,18 @@ impl Engine {
     /// string path).
     pub fn cursor(&self, prepared: &PreparedQuery, batch_rows: usize) -> Result<QueryCursor<'_>> {
         let mut evaluator = Evaluator::new(&self.dataset, prepared.from.clone());
+        evaluator.set_rank_sort(self.config.rank_order_by);
         let table = evaluator.eval_to_ids(&prepared.plan)?;
-        let rows_scanned = evaluator.rows_scanned();
+        let stats = ExecStats {
+            rows_scanned: evaluator.rows_scanned(),
+            merge_joins: evaluator.merge_joins(),
+        };
         Ok(QueryCursor {
             table,
             pool: evaluator.into_pool(),
             pos: 0,
             batch_rows: batch_rows.max(1),
-            rows_scanned,
+            stats,
         })
     }
 }
@@ -274,7 +304,7 @@ pub struct QueryCursor<'a> {
     pool: TermPool<'a>,
     pos: usize,
     batch_rows: usize,
-    rows_scanned: u64,
+    stats: ExecStats,
 }
 
 impl QueryCursor<'_> {
@@ -291,7 +321,12 @@ impl QueryCursor<'_> {
     /// Index entries scanned while evaluating (same metric as
     /// [`ExecStats::rows_scanned`]).
     pub fn rows_scanned(&self) -> u64 {
-        self.rows_scanned
+        self.stats.rows_scanned
+    }
+
+    /// Full execution statistics (work metric plus merge-join count).
+    pub fn stats(&self) -> ExecStats {
+        self.stats
     }
 
     /// Resolve any id appearing in this cursor's columns.

@@ -36,10 +36,10 @@ use std::sync::Arc;
 use rdf_model::term::{Literal, TypedValue};
 use rdf_model::{Dataset, Graph, GraphIdMap, Term, TermId};
 
-use crate::algebra::{AggSpec, GraphRef, Plan};
+use crate::algebra::{AggSpec, GraphRef, Plan, PushedFilter};
 use crate::ast::{AggOp, Expr, OrderKey, PatternTerm, TriplePattern};
 use crate::error::{EngineError, Result};
-use crate::expr::{ebv, eval_expr, AggState, EvalCaches, IdRowCtx};
+use crate::expr::{ebv, eval_expr, id_equality_shape, AggState, EvalCaches, IdRowCtx, PushedEval};
 use crate::pool::TermPool;
 use crate::results::{Column, IdTable, SolutionTable};
 
@@ -50,6 +50,10 @@ pub struct Evaluator<'a> {
     caches: EvalCaches,
     pool: TermPool<'a>,
     rows_scanned: u64,
+    merge_joins: u64,
+    /// `ORDER BY ?var` via the dataset's cached term-rank permutation
+    /// (disable to measure the term-materializing sort it replaces).
+    rank_sort: bool,
     /// Reused row buffer for expression contexts (the only place the
     /// columnar layout is transposed back to a row).
     scratch: Vec<Option<TermId>>,
@@ -64,6 +68,8 @@ impl<'a> Evaluator<'a> {
             caches: EvalCaches::new(),
             pool: TermPool::new(dataset.interner()),
             rows_scanned: 0,
+            merge_joins: 0,
+            rank_sort: true,
             scratch: Vec::new(),
         }
     }
@@ -72,6 +78,18 @@ impl<'a> Evaluator<'a> {
     /// by benchmarks alongside wall-clock time).
     pub fn rows_scanned(&self) -> u64 {
         self.rows_scanned
+    }
+
+    /// Number of [`Plan::MergeJoin`] nodes that actually ran as merge joins
+    /// (the run-time sortedness check passed; 0 means every join hashed).
+    pub fn merge_joins(&self) -> u64 {
+        self.merge_joins
+    }
+
+    /// Toggle the term-rank `ORDER BY` fast path (on by default; the bench
+    /// turns it off to measure the PR 4 baseline behavior).
+    pub fn set_rank_sort(&mut self, on: bool) {
+        self.rank_sort = on;
     }
 
     /// Evaluate a plan to a materialized solution table.
@@ -125,11 +143,20 @@ impl<'a> Evaluator<'a> {
     fn eval_ids(&mut self, plan: &Plan) -> Result<IdTable> {
         match plan {
             Plan::Unit => Ok(IdTable::unit()),
-            Plan::Bgp { patterns, graph } => self.eval_bgp(patterns, graph),
+            Plan::Bgp {
+                patterns,
+                graph,
+                filters,
+            } => self.eval_bgp(patterns, graph, filters),
             Plan::Join(a, b) => {
                 let left = self.eval_ids(a)?;
                 let right = self.eval_ids(b)?;
                 Ok(join(left, right, JoinKind::Inner))
+            }
+            Plan::MergeJoin { left, right, key } => {
+                let left = self.eval_ids(left)?;
+                let right = self.eval_ids(right)?;
+                Ok(self.join_sorted(left, right, key))
             }
             Plan::LeftJoin(a, b) => {
                 let left = self.eval_ids(a)?;
@@ -321,7 +348,17 @@ impl<'a> Evaluator<'a> {
     /// column-at-a-time: carried columns gather contiguously, new columns
     /// take the value vectors verbatim. Scan results stream straight into
     /// these buffers — no row objects exist at any point.
-    fn eval_bgp(&mut self, patterns: &[TriplePattern], graph: &GraphRef) -> Result<IdTable> {
+    ///
+    /// Pushed filters ([`PushedFilter`]) are tested inside the match
+    /// callback of the pattern that binds their variable: a failing
+    /// candidate returns before anything is appended, so it neither
+    /// occupies the gather/value buffers nor feeds later patterns' scans.
+    fn eval_bgp(
+        &mut self,
+        patterns: &[TriplePattern],
+        graph: &GraphRef,
+        filters: &[PushedFilter],
+    ) -> Result<IdTable> {
         let graphs = self.resolve_graphs(graph)?;
 
         // Variable schema in first-mention order.
@@ -337,6 +374,26 @@ impl<'a> Evaluator<'a> {
         let var_idx: HashMap<&str, usize> =
             vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
 
+        // Borrow the fields the scan callback needs up front so it never
+        // re-borrows `self` (the work counter accumulates locally).
+        let dataset = self.dataset;
+        let pool = &self.pool;
+        let caches = &mut self.caches;
+        let mut scanned = 0u64;
+
+        // Compile each pushed filter at its shared attachment pattern
+        // ([`crate::algebra::attach_filters`]).
+        let mut pattern_filters: Vec<Vec<(usize, PushedEval)>> =
+            crate::algebra::attach_filters(patterns, filters, |v| var_idx[v])
+                .into_iter()
+                .map(|routed| {
+                    routed
+                        .into_iter()
+                        .map(|(col, f)| (col, PushedEval::compile(&f.var, &f.expr, pool)))
+                        .collect()
+                })
+                .collect();
+
         // One all-absent row: the BGP extension identity.
         let mut cur: Vec<Column> = (0..width).map(|_| Column::absent(1)).collect();
         let mut cur_len = 1usize;
@@ -348,7 +405,7 @@ impl<'a> Evaluator<'a> {
         let mut src: Vec<u32> = Vec::new();
         let mut vals: Vec<Vec<TermId>> = Vec::new();
 
-        for pattern in patterns {
+        for (pi, pattern) in patterns.iter().enumerate() {
             if cur_len == 0 {
                 break;
             }
@@ -358,9 +415,9 @@ impl<'a> Evaluator<'a> {
             let pats: Vec<(&Graph, &GraphIdMap, [Slot; 3])> = graphs
                 .iter()
                 .filter_map(|(g, map)| {
-                    let s = self.pattern_slot(&pattern.subject, map, &var_idx)?;
-                    let p = self.pattern_slot(&pattern.predicate, map, &var_idx)?;
-                    let o = self.pattern_slot(&pattern.object, map, &var_idx)?;
+                    let s = Self::pattern_slot(dataset, &pattern.subject, map, &var_idx)?;
+                    let p = Self::pattern_slot(dataset, &pattern.predicate, map, &var_idx)?;
+                    let o = Self::pattern_slot(dataset, &pattern.object, map, &var_idx)?;
                     Some((g.as_ref(), map.as_ref(), [s, p, o]))
                 })
                 .collect();
@@ -388,6 +445,17 @@ impl<'a> Evaluator<'a> {
                         }
                     }
                 }
+            }
+
+            // Filters firing at this pattern, routed to the value slot
+            // their variable binds into.
+            let mut checks: Vec<(usize, &mut PushedEval)> = Vec::new();
+            for (col, pe) in pattern_filters[pi].iter_mut() {
+                let slot = free_cols
+                    .iter()
+                    .position(|c| c == col)
+                    .expect("filter var is newly bound at its attachment pattern");
+                checks.push((slot, pe));
             }
 
             src.clear();
@@ -420,15 +488,27 @@ impl<'a> Evaluator<'a> {
                         continue;
                     }
                     let row = i as u32;
-                    self.rows_scanned +=
+                    scanned +=
                         g.for_each_match(refined[0], refined[1], refined[2], |ms, mp, mo| {
                             let m = [ms, mp, mo];
                             if dup_checks.iter().any(|&(a, b)| m[a] != m[b]) {
                                 return;
                             }
-                            src.push(row);
+                            // Translate newly-bound values first: pushed
+                            // filters test global ids, and a rejected
+                            // candidate must touch no buffer at all.
+                            let mut globals = [TermId(0); 3];
                             for &(slot, pos) in &primaries {
-                                vals[slot].push(map.to_global(m[pos]));
+                                globals[slot] = map.to_global(m[pos]);
+                            }
+                            for (slot, pe) in checks.iter_mut() {
+                                if !pe.test(globals[*slot], pool, caches) {
+                                    return;
+                                }
+                            }
+                            src.push(row);
+                            for &(slot, _) in &primaries {
+                                vals[slot].push(globals[slot]);
                             }
                         });
                 }
@@ -454,46 +534,48 @@ impl<'a> Evaluator<'a> {
                 bound[col] = true;
             }
         }
+        self.rows_scanned += scanned;
         drop(var_idx);
         Ok(IdTable::from_columns(vars, cur, cur_len))
     }
 
     /// Recognize `FILTER ( ?v = <iri> )` / `FILTER ( ?v != <iri> )` shapes
-    /// (either operand order) whose constant is *not* a literal, so SPARQL
-    /// `=` degenerates to term identity and the filter can compare raw ids.
-    /// Returns `(column, constant id if interned anywhere, negated?)`.
+    /// ([`id_equality_shape`]) over a column of the table, so the filter
+    /// can compare raw ids. Returns `(column, constant id if interned
+    /// anywhere, negated?)`.
     fn id_equality_filter(
         &self,
         expr: &Expr,
         t: &IdTable,
     ) -> Option<(usize, Option<TermId>, bool)> {
-        use crate::ast::CmpOp;
-        let Expr::Cmp(op, a, b) = expr else {
-            return None;
-        };
-        let negate = match op {
-            CmpOp::Eq => false,
-            CmpOp::Neq => true,
-            _ => return None,
-        };
-        let (var, konst) = match (a.as_ref(), b.as_ref()) {
-            (Expr::Var(v), Expr::Const(c)) | (Expr::Const(c), Expr::Var(v)) => (v, c),
-            _ => return None,
-        };
-        if konst.is_literal() {
-            // Literal equality is *value* equality ("1"^^int = "01"^^int);
-            // ids are too strict. Take the general path.
-            return None;
-        }
+        let (var, konst, negate) = id_equality_shape(expr)?;
         let col = t.column_index(var)?;
         Some((col, self.pool.lookup(konst), negate))
+    }
+
+    /// Inner join of two inputs the optimizer proved sorted on `key`.
+    /// Verifies the claim at run time (both key columns fully bound and
+    /// non-decreasing — one linear pass, far cheaper than a hash build) and
+    /// falls back to the hash join if storage reality disagrees with the
+    /// static analysis.
+    fn join_sorted(&mut self, left: IdTable, right: IdTable, key: &str) -> IdTable {
+        if let (Some(lc), Some(rc)) = (left.column_index(key), right.column_index(key)) {
+            let sorted = |t: &IdTable, c: usize| {
+                t.col(c).all_present() && t.col(c).ids().windows(2).all(|w| w[0] <= w[1])
+            };
+            if sorted(&left, lc) && sorted(&right, rc) {
+                self.merge_joins += 1;
+                return merge_join(left, right, lc, rc);
+            }
+        }
+        join(left, right, JoinKind::Inner)
     }
 
     /// Pattern-level slot for one position: a constant bound to its local id
     /// (`None` when the constant is absent from the graph) or a variable's
     /// column index.
     fn pattern_slot(
-        &self,
+        dataset: &Dataset,
         term: &PatternTerm,
         map: &GraphIdMap,
         var_idx: &HashMap<&str, usize>,
@@ -501,7 +583,7 @@ impl<'a> Evaluator<'a> {
         match term {
             PatternTerm::Var(v) => Some(Slot::Var(var_idx[v.as_str()])),
             PatternTerm::Const(term) => {
-                let global = self.dataset.lookup(term)?;
+                let global = dataset.lookup(term)?;
                 let local = map.to_local(global)?;
                 Some(Slot::Bound(local))
             }
@@ -771,6 +853,10 @@ impl<'a> Evaluator<'a> {
     }
 
     fn sort_rows(&mut self, table: &mut IdTable, keys: &[OrderKey]) {
+        if let Some(perm) = self.rank_sort_perm(table, keys, None) {
+            *table = table.gather_rows(&perm);
+            return;
+        }
         let mut keyed = self.keyed_rows(table, keys);
         // (key, seq) is a total order equal to a stable sort on key alone.
         keyed.sort_unstable_by(|a, b| compare_keyed(keys, a, b));
@@ -786,6 +872,10 @@ impl<'a> Evaluator<'a> {
             *table = table.gather_rows(&[]);
             return;
         }
+        if let Some(perm) = self.rank_sort_perm(table, keys, Some(k)) {
+            *table = table.gather_rows(&perm);
+            return;
+        }
         let mut keyed = self.keyed_rows(table, keys);
         if keyed.len() > k {
             // O(n) partition around the k-th row, then sort only the prefix.
@@ -795,6 +885,94 @@ impl<'a> Evaluator<'a> {
         keyed.sort_unstable_by(|a, b| compare_keyed(keys, a, b));
         let perm: Vec<u32> = keyed.into_iter().map(|(_, i)| i as u32).collect();
         *table = table.gather_rows(&perm);
+    }
+
+    /// `ORDER BY` over plain variables via the dataset's dictionary-rank
+    /// permutation ([`rdf_model::TermRanks`]): every key becomes a column
+    /// of `u32` ranks whose comparison reproduces [`Term::order_cmp`]
+    /// exactly (equal-comparing terms share a rank), so the sort never
+    /// materializes a key term. Returns the row permutation (bounded to the
+    /// top `k` when given), or `None` when any key is a computed
+    /// expression, any value lies outside the rank snapshot (query-local
+    /// overflow terms), or the fast path is disabled — callers then fall
+    /// back to the term-keyed sort, which produces the identical order.
+    fn rank_sort_perm(
+        &self,
+        table: &IdTable,
+        keys: &[OrderKey],
+        k: Option<usize>,
+    ) -> Option<Vec<u32>> {
+        if !self.rank_sort || keys.is_empty() {
+            return None;
+        }
+        // Every key must be a plain variable (absent variables sort as
+        // all-unbound, like the term path).
+        let cols: Vec<Option<usize>> = keys
+            .iter()
+            .map(|key| match &key.expr {
+                Expr::Var(v) => Some(table.column_index(v)),
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()?;
+        // A cold rank cache costs a full O(dict · log dict) build; only pay
+        // it when the result is big enough to plausibly amortize (the cache
+        // then serves every later sort until the interner grows). Small
+        // sorts on a cold cache stay on the term path.
+        let ranks = match self.dataset.cached_term_ranks() {
+            Some(ranks) => ranks,
+            None if table.len() >= self.dataset.interner().len() / 16 => {
+                self.dataset.term_ranks()
+            }
+            None => return None,
+        };
+        // One rank column per key; bail on ids past the snapshot.
+        let mut rank_cols: Vec<Option<Vec<Option<u32>>>> = Vec::with_capacity(keys.len());
+        for col in cols {
+            match col {
+                None => rank_cols.push(None),
+                Some(c) => {
+                    let column = table.col(c);
+                    let mut out = Vec::with_capacity(table.len());
+                    for i in 0..table.len() {
+                        match column.get(i) {
+                            None => out.push(None),
+                            Some(id) => out.push(Some(ranks.rank(id)?)),
+                        }
+                    }
+                    rank_cols.push(Some(out));
+                }
+            }
+        }
+        let cmp = |a: u32, b: u32| -> Ordering {
+            let (a, b) = (a as usize, b as usize);
+            for (key, rc) in keys.iter().zip(&rank_cols) {
+                let (x, y) = match rc {
+                    Some(v) => (v[a], v[b]),
+                    None => (None, None),
+                };
+                // Option's order (None first) matches the term path's
+                // unbound-sorts-first; descending reverses both, exactly
+                // like `compare_keyed`.
+                let mut ord = x.cmp(&y);
+                if !key.ascending {
+                    ord = ord.reverse();
+                }
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            // Original position: the stability tie-break.
+            a.cmp(&b)
+        };
+        let mut perm: Vec<u32> = (0..table.len() as u32).collect();
+        if let Some(k) = k {
+            if perm.len() > k {
+                perm.select_nth_unstable_by(k - 1, |&a, &b| cmp(a, b));
+                perm.truncate(k);
+            }
+        }
+        perm.sort_unstable_by(|&a, &b| cmp(a, b));
+        Some(perm)
     }
 }
 
@@ -955,44 +1133,18 @@ const NO_MATCH: u32 = u32::MAX;
 /// to the right side. Falls back to nested loop when no always-bound shared
 /// variable exists.
 fn join(left: IdTable, right: IdTable, kind: JoinKind) -> IdTable {
-    let shared: Vec<String> = left
-        .vars
-        .iter()
-        .filter(|v| right.vars.contains(v))
-        .cloned()
-        .collect();
+    let shape = JoinShape::new(&left, &right);
 
-    let mut out_vars = left.vars.clone();
-    for v in &right.vars {
-        if !out_vars.contains(v) {
-            out_vars.push(v.clone());
-        }
-    }
-
-    let l_idx: Vec<usize> = shared
-        .iter()
-        .map(|v| left.column_index(v).expect("shared var in left"))
+    // Positions (within the shared vars) usable as hash key.
+    let key_positions: Vec<usize> = (0..shape.shared_len())
+        .filter(|&k| {
+            left.col(shape.l_idx[k]).all_present() && right.col(shape.r_idx[k]).all_present()
+        })
         .collect();
-    let r_idx: Vec<usize> = shared
-        .iter()
-        .map(|v| right.column_index(v).expect("shared var in right"))
-        .collect();
+    let l_idx = &shape.l_idx;
+    let r_idx = &shape.r_idx;
 
-    // Positions (within `shared`) usable as hash key.
-    let key_positions: Vec<usize> = (0..shared.len())
-        .filter(|&k| left.col(l_idx[k]).all_present() && right.col(r_idx[k]).all_present())
-        .collect();
-
-    let compatible = |li: usize, ri: usize| -> bool {
-        for k in 0..shared.len() {
-            if let (Some(a), Some(b)) = (left.get(li, l_idx[k]), right.get(ri, r_idx[k])) {
-                if a != b {
-                    return false;
-                }
-            }
-        }
-        true
-    };
+    let compatible = |li: usize, ri: usize| -> bool { shape.compatible(&left, &right, li, ri) };
 
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     if key_positions.len() == 1 {
@@ -1017,7 +1169,7 @@ fn join(left: IdTable, right: IdTable, kind: JoinKind) -> IdTable {
                 pairs.push((li as u32, NO_MATCH));
             }
         }
-    } else if !key_positions.is_empty() || shared.is_empty() {
+    } else if !key_positions.is_empty() || shape.shared_len() == 0 {
         // Multi-column (or empty = cross-product bucket) key.
         let mut table: HashMap<Vec<TermId>, Vec<u32>> = HashMap::with_capacity(right.len());
         for ri in 0..right.len() {
@@ -1061,14 +1213,112 @@ fn join(left: IdTable, right: IdTable, kind: JoinKind) -> IdTable {
         }
     }
 
-    // Emit output columns by gathering over the pair list.
+    assemble_join(&left, &right, shape.out_vars, &pairs)
+}
+
+/// Join-shape setup shared by the hash and merge join implementations —
+/// the shared-variable column indexes, the output schema, and the per-pair
+/// compatibility check — so the two paths cannot drift apart (the merge
+/// rewrite's whole contract is producing row-for-row what the hash join
+/// would).
+struct JoinShape {
+    /// Output schema: left vars, then right-only vars.
+    out_vars: Vec<String>,
+    /// Shared vars' column indexes in the left input.
+    l_idx: Vec<usize>,
+    /// Shared vars' column indexes in the right input (parallel to `l_idx`).
+    r_idx: Vec<usize>,
+}
+
+impl JoinShape {
+    fn new(left: &IdTable, right: &IdTable) -> Self {
+        let shared: Vec<&String> = left
+            .vars
+            .iter()
+            .filter(|v| right.vars.contains(v))
+            .collect();
+        let mut out_vars = left.vars.clone();
+        for v in &right.vars {
+            if !out_vars.contains(v) {
+                out_vars.push(v.clone());
+            }
+        }
+        let l_idx: Vec<usize> = shared
+            .iter()
+            .map(|v| left.column_index(v).expect("shared var in left"))
+            .collect();
+        let r_idx: Vec<usize> = shared
+            .iter()
+            .map(|v| right.column_index(v).expect("shared var in right"))
+            .collect();
+        JoinShape {
+            out_vars,
+            l_idx,
+            r_idx,
+        }
+    }
+
+    fn shared_len(&self) -> usize {
+        self.l_idx.len()
+    }
+
+    /// SPARQL compatibility: every shared variable bound on both sides must
+    /// agree; unbound is compatible with anything.
+    fn compatible(&self, left: &IdTable, right: &IdTable, li: usize, ri: usize) -> bool {
+        for k in 0..self.shared_len() {
+            if let (Some(a), Some(b)) = (left.get(li, self.l_idx[k]), right.get(ri, self.r_idx[k]))
+            {
+                if a != b {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Order-preserving merge join: both inputs sorted non-decreasing on their
+/// key column (all slots bound — verified by the caller). Emits pairs in
+/// exactly the order the hash join produces — left rows in input order,
+/// each one's matches in ascending right-row order — so the rewrite is
+/// invisible to everything downstream, including the differential oracles.
+/// Remaining shared variables get the same per-pair compatibility check the
+/// hash join applies (same [`JoinShape`]).
+fn merge_join(left: IdTable, right: IdTable, l_key: usize, r_key: usize) -> IdTable {
+    let shape = JoinShape::new(&left, &right);
+    let compatible = |li: usize, ri: usize| -> bool { shape.compatible(&left, &right, li, ri) };
+
+    let lk = left.col(l_key).ids();
+    let rk = right.col(r_key).ids();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    // `run` marks the start of the right-side run for the current left key;
+    // both sides ascend, so it only ever moves forward.
+    let mut run = 0usize;
+    for (li, &key) in lk.iter().enumerate() {
+        while run < rk.len() && rk[run] < key {
+            run += 1;
+        }
+        let mut ri = run;
+        while ri < rk.len() && rk[ri] == key {
+            if compatible(li, ri) {
+                pairs.push((li as u32, ri as u32));
+            }
+            ri += 1;
+        }
+    }
+    assemble_join(&left, &right, shape.out_vars, &pairs)
+}
+
+/// Emit join output columns by gathering over a `(left row, right row)`
+/// pair list (`NO_MATCH` right = unmatched left row of a left join).
+fn assemble_join(left: &IdTable, right: &IdTable, out_vars: Vec<String>, pairs: &[(u32, u32)]) -> IdTable {
     let mut cols: Vec<Column> = Vec::with_capacity(out_vars.len());
     for v in &out_vars {
         let mut col = Column::with_capacity(pairs.len());
         match (left.column_index(v), right.column_index(v)) {
             (Some(lc), Some(rc)) => {
                 // Shared: left value when present, else the right side's.
-                for &(li, ri) in &pairs {
+                for &(li, ri) in pairs {
                     let value = match left.get(li as usize, lc) {
                         Some(x) => Some(x),
                         None if ri != NO_MATCH => right.get(ri as usize, rc),
@@ -1078,12 +1328,12 @@ fn join(left: IdTable, right: IdTable, kind: JoinKind) -> IdTable {
                 }
             }
             (Some(lc), None) => {
-                for &(li, _) in &pairs {
+                for &(li, _) in pairs {
                     col.push(left.get(li as usize, lc));
                 }
             }
             (None, Some(rc)) => {
-                for &(_, ri) in &pairs {
+                for &(_, ri) in pairs {
                     col.push(if ri == NO_MATCH {
                         None
                     } else {

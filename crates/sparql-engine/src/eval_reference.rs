@@ -19,10 +19,10 @@ use std::sync::Arc;
 
 use rdf_model::{Dataset, Graph, Term, TermId};
 
-use crate::algebra::{AggSpec, GraphRef, Plan};
+use crate::algebra::{AggSpec, GraphRef, Plan, PushedFilter};
 use crate::ast::{OrderKey, PatternTerm, TriplePattern};
 use crate::error::{EngineError, Result};
-use crate::expr::{ebv, eval_expr, AggState, EvalCaches, RowCtx};
+use crate::expr::{ebv, eval_expr, eval_single_var_filter, AggState, EvalCaches, RowCtx};
 use crate::results::SolutionTable;
 
 /// Term-materialized plan evaluator bound to a dataset.
@@ -54,8 +54,15 @@ impl<'a> ReferenceEvaluator<'a> {
     pub fn eval(&mut self, plan: &Plan) -> Result<SolutionTable> {
         match plan {
             Plan::Unit => Ok(SolutionTable::unit()),
-            Plan::Bgp { patterns, graph } => self.eval_bgp(patterns, graph),
-            Plan::Join(a, b) => {
+            Plan::Bgp {
+                patterns,
+                graph,
+                filters,
+            } => self.eval_bgp(patterns, graph, filters),
+            // The merge-join rewrite is a columnar-evaluator
+            // specialization; the oracle hash-joins it (identical rows in
+            // identical order).
+            Plan::Join(a, b) | Plan::MergeJoin { left: a, right: b, .. } => {
                 let left = self.eval(a)?;
                 let right = self.eval(b)?;
                 Ok(join(left, right, JoinKind::Inner))
@@ -194,8 +201,17 @@ impl<'a> ReferenceEvaluator<'a> {
         Ok(graphs)
     }
 
-    /// Index-nested-loop evaluation of a BGP in pattern order.
-    fn eval_bgp(&mut self, patterns: &[TriplePattern], graph: &GraphRef) -> Result<SolutionTable> {
+    /// Index-nested-loop evaluation of a BGP in pattern order. Pushed
+    /// filters cull the row set right after the pattern that binds their
+    /// variable (same attachment rule as the id-native evaluators, so the
+    /// `rows_scanned` work metric stays in exact agreement); being the
+    /// term-materialized oracle, candidates are tested directly on terms.
+    fn eval_bgp(
+        &mut self,
+        patterns: &[TriplePattern],
+        graph: &GraphRef,
+        filters: &[PushedFilter],
+    ) -> Result<SolutionTable> {
         let graphs = self.resolve_graphs(graph)?;
 
         // Variable schema in first-mention order.
@@ -210,8 +226,11 @@ impl<'a> ReferenceEvaluator<'a> {
         let var_idx: HashMap<&str, usize> =
             vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
 
+        // Shared attachment rule ([`crate::algebra::attach_filters`]).
+        let pattern_filters = crate::algebra::attach_filters(patterns, filters, |v| var_idx[v]);
+
         let mut rows: Vec<Vec<Option<Term>>> = vec![vec![None; vars.len()]];
-        for pattern in patterns {
+        for (pi, pattern) in patterns.iter().enumerate() {
             if rows.is_empty() {
                 break;
             }
@@ -222,6 +241,16 @@ impl<'a> ReferenceEvaluator<'a> {
                 }
             }
             rows = next;
+            if !pattern_filters[pi].is_empty() {
+                let caches = &mut self.caches;
+                let checks = &pattern_filters[pi];
+                rows.retain(|row| {
+                    checks.iter().all(|(col, f)| match &row[*col] {
+                        Some(term) => eval_single_var_filter(&f.expr, &f.var, term, caches),
+                        None => false,
+                    })
+                });
+            }
         }
         Ok(SolutionTable { vars, rows })
     }

@@ -37,10 +37,10 @@ use std::sync::Arc;
 
 use rdf_model::{Dataset, Graph, GraphIdMap, Term, TermId};
 
-use crate::algebra::{AggSpec, GraphRef, Plan};
+use crate::algebra::{AggSpec, GraphRef, Plan, PushedFilter};
 use crate::ast::{OrderKey, PatternTerm, TriplePattern};
 use crate::error::{EngineError, Result};
-use crate::expr::{ebv, eval_expr, AggState, EvalCaches, IdRowCtx};
+use crate::expr::{ebv, eval_expr, AggState, EvalCaches, IdRowCtx, PushedEval};
 use crate::pool::TermPool;
 use crate::results::{RowTable, SolutionTable};
 
@@ -111,8 +111,15 @@ impl<'a> RowEvaluator<'a> {
     fn eval_ids(&mut self, plan: &Plan) -> Result<RowTable> {
         match plan {
             Plan::Unit => Ok(RowTable::unit()),
-            Plan::Bgp { patterns, graph } => self.eval_bgp(patterns, graph),
-            Plan::Join(a, b) => {
+            Plan::Bgp {
+                patterns,
+                graph,
+                filters,
+            } => self.eval_bgp(patterns, graph, filters),
+            // The merge-join rewrite is a columnar-evaluator specialization;
+            // this oracle hash-joins it, which emits the identical row
+            // order (left-major, right candidates ascending).
+            Plan::Join(a, b) | Plan::MergeJoin { left: a, right: b, .. } => {
                 let left = self.eval_ids(a)?;
                 let right = self.eval_ids(b)?;
                 Ok(join(left, right, JoinKind::Inner))
@@ -257,8 +264,16 @@ impl<'a> RowEvaluator<'a> {
         Ok(graphs)
     }
 
-    /// Index-nested-loop evaluation of a BGP in pattern order.
-    fn eval_bgp(&mut self, patterns: &[TriplePattern], graph: &GraphRef) -> Result<RowTable> {
+    /// Index-nested-loop evaluation of a BGP in pattern order. Pushed
+    /// filters cull the row set right after the pattern that binds their
+    /// variable, before the next pattern's scans — the same attachment rule
+    /// (and therefore the same `rows_scanned`) as the columnar evaluator.
+    fn eval_bgp(
+        &mut self,
+        patterns: &[TriplePattern],
+        graph: &GraphRef,
+        filters: &[PushedFilter],
+    ) -> Result<RowTable> {
         let graphs = self.resolve_graphs(graph)?;
 
         // Variable schema in first-mention order.
@@ -273,8 +288,21 @@ impl<'a> RowEvaluator<'a> {
         let var_idx: HashMap<&str, usize> =
             vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
 
+        // Compile each pushed filter at its shared attachment pattern
+        // ([`crate::algebra::attach_filters`]).
+        let mut pattern_filters: Vec<Vec<(usize, PushedEval)>> =
+            crate::algebra::attach_filters(patterns, filters, |v| var_idx[v])
+                .into_iter()
+                .map(|routed| {
+                    routed
+                        .into_iter()
+                        .map(|(col, f)| (col, PushedEval::compile(&f.var, &f.expr, &self.pool)))
+                        .collect()
+                })
+                .collect();
+
         let mut rows: Vec<IdRow> = vec![vec![None; vars.len()]];
-        for pattern in patterns {
+        for (pi, pattern) in patterns.iter().enumerate() {
             if rows.is_empty() {
                 break;
             }
@@ -297,6 +325,17 @@ impl<'a> RowEvaluator<'a> {
                 }
             }
             rows = next;
+            let checks = &mut pattern_filters[pi];
+            if !checks.is_empty() {
+                let pool = &self.pool;
+                let caches = &mut self.caches;
+                rows.retain(|row| {
+                    checks.iter_mut().all(|(col, pe)| match row[*col] {
+                        Some(id) => pe.test(id, pool, caches),
+                        None => false,
+                    })
+                });
+            }
         }
         Ok(RowTable { vars, rows })
     }

@@ -521,6 +521,137 @@ impl AggState {
     }
 }
 
+// ---- pushed-filter support ------------------------------------------------
+
+/// Recognize the `?v = <const>` / `?v != <const>` shape (either operand
+/// order) whose constant is *not* a literal, so SPARQL `=` degenerates to
+/// term identity and the comparison can run on raw interned ids. Returns
+/// `(variable, constant, negated?)`. Literal constants are rejected because
+/// literal equality is *value* equality (`"1"^^int = "01"^^int`), which ids
+/// are too strict for.
+pub fn id_equality_shape(expr: &Expr) -> Option<(&str, &Term, bool)> {
+    let Expr::Cmp(op, a, b) = expr else {
+        return None;
+    };
+    let negate = match op {
+        CmpOp::Eq => false,
+        CmpOp::Neq => true,
+        _ => return None,
+    };
+    let (var, konst) = match (a.as_ref(), b.as_ref()) {
+        (Expr::Var(v), Expr::Const(c)) | (Expr::Const(c), Expr::Var(v)) => (v, c),
+        _ => return None,
+    };
+    if konst.is_literal() {
+        return None;
+    }
+    Some((var.as_str(), konst, negate))
+}
+
+/// The single variable a filter expression references, if it references
+/// exactly one (and no aggregate) — the shape eligible for pushdown into a
+/// BGP. Built on the AST's own walkers ([`Expr::collect_vars`],
+/// [`Expr::has_aggregate`]) so there is one traversal to maintain.
+pub fn single_filter_var(expr: &Expr) -> Option<String> {
+    if expr.has_aggregate() {
+        return None;
+    }
+    let mut vars = Vec::new();
+    expr.collect_vars(&mut vars);
+    if vars.len() == 1 {
+        vars.pop()
+    } else {
+        None
+    }
+}
+
+/// Bindings view exposing a single variable (pushed-filter evaluation: the
+/// expression references exactly one variable, so one slot suffices and no
+/// row buffer is built).
+#[derive(Clone, Copy)]
+struct SingleVar<'a> {
+    name: &'a str,
+    term: &'a Term,
+}
+
+impl Bindings for SingleVar<'_> {
+    fn get(&self, name: &str) -> Option<&Term> {
+        (name == self.name).then_some(self.term)
+    }
+}
+
+/// Evaluate a pushed single-variable filter against one candidate term.
+/// Error and non-boolean results reject the candidate, exactly as a
+/// `FILTER` above the BGP would drop the row.
+pub fn eval_single_var_filter(
+    expr: &Expr,
+    var: &str,
+    term: &Term,
+    caches: &mut EvalCaches,
+) -> bool {
+    eval_expr(expr, SingleVar { name: var, term }, caches)
+        .as_ref()
+        .and_then(ebv)
+        .unwrap_or(false)
+}
+
+/// A pushed filter precompiled for candidate testing during id-native BGP
+/// extension.
+///
+/// The `?v = <iri>` shape compares raw global ids — no term is resolved per
+/// candidate. General expressions memoize their verdict per candidate id
+/// (sound: the expression is deterministic in its one variable), so a value
+/// appearing in thousands of scan matches is evaluated once.
+pub enum PushedEval<'e> {
+    /// `?v =/!= <non-literal constant>`: raw id comparison. `id` is `None`
+    /// when the constant is interned nowhere (it can equal nothing).
+    IdCmp {
+        /// Global id of the constant, if interned anywhere.
+        id: Option<TermId>,
+        /// `!=` instead of `=`.
+        negate: bool,
+    },
+    /// General single-variable expression, memoized per candidate id.
+    General {
+        /// The predicate expression.
+        expr: &'e Expr,
+        /// The one variable it references.
+        var: &'e str,
+        /// Candidate id → verdict memo.
+        memo: HashMap<TermId, bool>,
+    },
+}
+
+impl<'e> PushedEval<'e> {
+    /// Compile a pushed filter for id-native testing.
+    pub fn compile(var: &'e str, expr: &'e Expr, pool: &TermPool) -> Self {
+        if let Some((v, konst, negate)) = id_equality_shape(expr) {
+            debug_assert_eq!(v, var, "pushed filter var mismatch");
+            return PushedEval::IdCmp {
+                id: pool.lookup(konst),
+                negate,
+            };
+        }
+        PushedEval::General {
+            expr,
+            var,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Does the candidate with this (always bound) id survive the filter?
+    #[inline]
+    pub fn test(&mut self, id: TermId, pool: &TermPool, caches: &mut EvalCaches) -> bool {
+        match self {
+            PushedEval::IdCmp { id: Some(c), negate } => (id == *c) != *negate,
+            PushedEval::IdCmp { id: None, negate } => *negate,
+            PushedEval::General { expr, var, memo } => *memo
+                .entry(id)
+                .or_insert_with(|| eval_single_var_filter(expr, var, pool.resolve(id), caches)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,18 +1,37 @@
 //! Statistics-driven plan optimization.
 //!
-//! The optimizer reorders the triple patterns inside each basic graph
-//! pattern greedily by estimated cardinality, propagating which variables
-//! are bound by earlier patterns (index-nested-loop order). This mirrors
-//! what production RDF engines do with flat queries — and what they *cannot*
-//! do across subquery boundaries, which is why the paper's naive
-//! one-subquery-per-operator generation is slow.
+//! Three passes run over the translated plan, in order:
+//!
+//! 1. **BGP reordering** permutes the triple patterns inside each basic
+//!    graph pattern greedily by estimated cardinality, propagating which
+//!    variables are bound by earlier patterns (index-nested-loop order),
+//!    and fuses `Slice ∘ OrderBy` into bounded [`Plan::TopK`]. This mirrors
+//!    what production RDF engines do with flat queries — and what they
+//!    *cannot* do across subquery boundaries, which is why the paper's
+//!    naive one-subquery-per-operator generation is slow.
+//! 2. **FILTER pushdown** splits conjunctive filters and sinks
+//!    single-variable conjuncts into the BGP that binds their variable
+//!    ([`crate::algebra::PushedFilter`]), through joins, the *left* side of
+//!    left joins, other filters, and non-shadowing extends. Rows failing a
+//!    pushed predicate die inside the BGP extension loop, before later
+//!    patterns scan for them.
+//! 3. **Interesting-order tracking + merge joins** computes, bottom-up, the
+//!    variable sequence each node's output is sorted by (ascending global
+//!    id order — see [`Optimizer::bgp_order`] for where order originates)
+//!    and rewrites a [`Plan::Join`] into [`Plan::MergeJoin`] when both
+//!    inputs arrive sorted on the same leading shared variable.
+//!
+//! Passes 2 and 3 are pure physical rewrites: results are identical with
+//! them on or off (property-tested), only the work done changes.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use rdf_model::{Dataset, GraphStats, TermId};
 
-use crate::algebra::{GraphRef, Plan};
-use crate::ast::{PatternTerm, TriplePattern};
+use crate::algebra::{GraphRef, Plan, PushedFilter};
+use crate::ast::{Expr, PatternTerm, TriplePattern};
+use crate::expr::single_filter_var;
 
 /// Placeholder id used to mark "this position will be bound at runtime" for
 /// cardinality estimation (the estimator only checks bound-ness).
@@ -23,43 +42,73 @@ const BOUND_MARK: TermId = TermId(0);
 pub struct Optimizer<'a> {
     dataset: &'a Dataset,
     default_graphs: &'a [String],
+    filter_pushdown: bool,
+    merge_joins: bool,
+    /// Per-query cache of graph statistics handles (the dataset's accessor
+    /// is generation-checked and lock-guarded; fetch each graph's snapshot
+    /// once per optimization).
+    stats_cache: HashMap<String, Option<Arc<GraphStats>>>,
 }
 
 impl<'a> Optimizer<'a> {
-    /// Create an optimizer for a dataset.
+    /// Create an optimizer for a dataset (all rewrite passes enabled).
     pub fn new(dataset: &'a Dataset, default_graphs: &'a [String]) -> Self {
         Optimizer {
             dataset,
             default_graphs,
+            filter_pushdown: true,
+            merge_joins: true,
+            stats_cache: HashMap::new(),
         }
     }
 
-    /// Optimize a plan in place.
+    /// Enable or disable the FILTER-pushdown pass.
+    pub fn with_filter_pushdown(mut self, on: bool) -> Self {
+        self.filter_pushdown = on;
+        self
+    }
+
+    /// Enable or disable the merge-join rewrite pass.
+    pub fn with_merge_joins(mut self, on: bool) -> Self {
+        self.merge_joins = on;
+        self
+    }
+
+    /// Optimize a plan in place (all configured passes).
     pub fn optimize(&mut self, plan: &mut Plan) {
+        self.reorder(plan);
+        if self.filter_pushdown {
+            push_filters(plan);
+        }
+        if self.merge_joins {
+            self.plan_merge_joins(plan);
+        }
+    }
+
+    /// Pass 1: statistics-driven BGP reordering + TopK fusion.
+    fn reorder(&mut self, plan: &mut Plan) {
         match plan {
-            Plan::Bgp { patterns, graph } => {
+            Plan::Bgp {
+                patterns, graph, ..
+            } => {
                 let graph = graph.clone();
                 self.reorder_bgp(patterns, &graph);
             }
-            Plan::Join(a, b) => {
-                self.optimize(a);
-                self.optimize(b);
+            Plan::Join(a, b) | Plan::LeftJoin(a, b) | Plan::Union(a, b) => {
+                self.reorder(a);
+                self.reorder(b);
             }
-            Plan::LeftJoin(a, b) => {
-                self.optimize(a);
-                self.optimize(b);
-            }
-            Plan::Union(a, b) => {
-                self.optimize(a);
-                self.optimize(b);
+            Plan::MergeJoin { left, right, .. } => {
+                self.reorder(left);
+                self.reorder(right);
             }
             Plan::Filter(_, p)
             | Plan::Extend(_, _, p)
             | Plan::Project(_, p)
             | Plan::Distinct(p)
-            | Plan::OrderBy(_, p) => self.optimize(p),
-            Plan::Group { input, .. } => self.optimize(input),
-            Plan::TopK { input, .. } => self.optimize(input),
+            | Plan::OrderBy(_, p) => self.reorder(p),
+            Plan::Group { input, .. } => self.reorder(input),
+            Plan::TopK { input, .. } => self.reorder(input),
             Plan::Slice {
                 limit,
                 offset,
@@ -68,7 +117,7 @@ impl<'a> Optimizer<'a> {
                 if let Some(l) = limit {
                     fuse_order_by_limit(input, l.saturating_add(*offset));
                 }
-                self.optimize(input);
+                self.reorder(input);
             }
             Plan::Unit => {}
         }
@@ -81,10 +130,23 @@ impl<'a> Optimizer<'a> {
         }
     }
 
-    fn stats_for(&self, uri: &str) -> Option<&GraphStats> {
-        // Statistics are computed once when a graph enters the dataset, so
-        // per-query optimization never rescans the store.
-        self.dataset.graph_stats(uri).map(|s| s.as_ref())
+    /// The graphs a BGP will actually scan, mirroring the evaluators'
+    /// resolution: an empty `FROM` list means the whole dataset.
+    fn effective_graphs(&self, graph: &GraphRef) -> Vec<String> {
+        match graph {
+            GraphRef::Default if self.default_graphs.is_empty() => {
+                self.dataset.graph_uris().map(str::to_string).collect()
+            }
+            _ => self.graph_uris(graph),
+        }
+    }
+
+    fn stats_for(&mut self, uri: &str) -> Option<Arc<GraphStats>> {
+        if !self.stats_cache.contains_key(uri) {
+            let stats = self.dataset.graph_stats(uri);
+            self.stats_cache.insert(uri.to_string(), stats);
+        }
+        self.stats_cache[uri].clone()
     }
 
     /// Estimate the matches of one pattern, treating variables in `bound` as
@@ -127,6 +189,147 @@ impl<'a> Optimizer<'a> {
         total
     }
 
+    /// Pass 3: bottom-up interesting-order tracking; rewrites eligible hash
+    /// joins into merge joins. Returns the variable sequence this node's
+    /// output is sorted by (ascending global id; `[]` = unknown/unsorted).
+    /// Every propagated order variable is always-bound in its node's output
+    /// (orders originate from BGP-bound columns and only flow through
+    /// operators that carry those columns unchanged).
+    fn plan_merge_joins(&mut self, plan: &mut Plan) -> Vec<String> {
+        match plan {
+            Plan::Unit => Vec::new(),
+            Plan::Bgp {
+                patterns, graph, ..
+            } => {
+                let graph = graph.clone();
+                self.bgp_order(patterns, &graph)
+            }
+            Plan::Join(a, b) => {
+                let left_order = self.plan_merge_joins(a);
+                let right_order = self.plan_merge_joins(b);
+                let mergeable = matches!(
+                    (left_order.first(), right_order.first()),
+                    (Some(l), Some(r)) if l == r
+                );
+                if mergeable {
+                    let key = left_order[0].clone();
+                    // Rebuild the node as a merge join; the boxes move over.
+                    if let Plan::Join(left, right) = std::mem::replace(plan, Plan::Unit) {
+                        *plan = Plan::MergeJoin { left, right, key };
+                    }
+                }
+                // Both join flavors emit pairs left-major (each left row in
+                // input order, its matches in right-row order), so the
+                // left input's order survives.
+                left_order
+            }
+            Plan::MergeJoin { left, right, .. } => {
+                let left_order = self.plan_merge_joins(left);
+                self.plan_merge_joins(right);
+                left_order
+            }
+            Plan::LeftJoin(a, b) => {
+                let left_order = self.plan_merge_joins(a);
+                self.plan_merge_joins(b);
+                // Left-major emission; unmatched left rows stay in place.
+                left_order
+            }
+            Plan::Union(a, b) => {
+                self.plan_merge_joins(a);
+                self.plan_merge_joins(b);
+                Vec::new() // concatenation interleaves nothing — but the
+                           // boundary between the halves breaks sortedness
+            }
+            Plan::Filter(_, p) | Plan::Distinct(p) => self.plan_merge_joins(p),
+            Plan::Extend(var, _, p) => {
+                let mut order = self.plan_merge_joins(p);
+                // Rebinding an order variable overwrites the sorted column.
+                if let Some(i) = order.iter().position(|v| v == var) {
+                    order.truncate(i);
+                }
+                order
+            }
+            Plan::Project(vars, p) => {
+                let mut order = self.plan_merge_joins(p);
+                // Only the prefix that survives projection stays meaningful.
+                if let Some(i) = order.iter().position(|v| !vars.contains(v)) {
+                    order.truncate(i);
+                }
+                order
+            }
+            Plan::Slice { input, .. } => self.plan_merge_joins(input),
+            Plan::Group { input, .. } => {
+                self.plan_merge_joins(input);
+                Vec::new()
+            }
+            // ORDER BY sorts by *term* order, which is not global-id order.
+            Plan::OrderBy(_, p) => {
+                self.plan_merge_joins(p);
+                Vec::new()
+            }
+            Plan::TopK { input, .. } => {
+                self.plan_merge_joins(input);
+                Vec::new()
+            }
+        }
+    }
+
+    /// The variable sequence a BGP's output is sorted by: the free-variable
+    /// order of its *first* pattern's index scan. Subsequent patterns
+    /// extend rows in ascending input-row order, so the first scan's order
+    /// survives as the output's primary (prefix) order.
+    ///
+    /// Valid only when the BGP scans a single graph whose local→global id
+    /// translation is order-preserving ([`rdf_model::GraphIdMap`]): slabs
+    /// deliver triples sorted by *local* id, and a monotone map carries
+    /// that to the global ids stored in the output columns. (Delta-resident
+    /// triples merge in the same local order, so storage state is
+    /// irrelevant.) The evaluator re-verifies sortedness at run time before
+    /// committing to a merge, so this analysis only has to be precise, not
+    /// paranoid.
+    fn bgp_order(&mut self, patterns: &[TriplePattern], graph: &GraphRef) -> Vec<String> {
+        let uris = self.effective_graphs(graph);
+        let [uri] = uris.as_slice() else {
+            return Vec::new(); // multi-graph scans interleave per row
+        };
+        let order_preserving = self
+            .dataset
+            .id_map(uri)
+            .is_some_and(|map| map.order_preserving());
+        if !order_preserving {
+            return Vec::new();
+        }
+        let Some(first) = patterns.first() else {
+            return Vec::new();
+        };
+        // A repeated variable (`?x ?p ?x`) filters the scan; the order
+        // claim would still hold but the slot bookkeeping wouldn't, so bail.
+        {
+            let mut seen: Vec<&str> = Vec::new();
+            for v in first.variables() {
+                if seen.contains(&v) {
+                    return Vec::new();
+                }
+                seen.push(v);
+            }
+        }
+        // The store itself says which position order its chosen index
+        // emits for this bound-ness shape (kept adjacent to
+        // `Graph::access_path` and property-tested there, so this cannot
+        // silently drift from scan reality).
+        let terms = [&first.subject, &first.predicate, &first.object];
+        let bound = |t: &PatternTerm| matches!(t, PatternTerm::Const(_));
+        rdf_model::Graph::scan_free_order(bound(terms[0]), bound(terms[1]), bound(terms[2]))
+            .iter()
+            .map(|&pos| {
+                terms[pos]
+                    .as_var()
+                    .expect("free position is a variable")
+                    .to_string()
+            })
+            .collect()
+    }
+
     /// Greedy reorder: repeatedly pick the cheapest pattern given variables
     /// bound so far, heavily penalizing Cartesian products.
     fn reorder_bgp(&mut self, patterns: &mut Vec<TriplePattern>, graph: &GraphRef) {
@@ -159,6 +362,109 @@ impl<'a> Optimizer<'a> {
             ordered.push(chosen);
         }
         *patterns = ordered;
+    }
+}
+
+/// Pass 2: split conjunctive FILTERs and sink single-variable conjuncts
+/// into the BGP that binds their variable. Conjuncts that find no home (or
+/// reference several variables, or contain aggregates) stay in a residual
+/// `Filter`; a fully-absorbed filter node disappears.
+fn push_filters(plan: &mut Plan) {
+    match plan {
+        Plan::Join(a, b) | Plan::LeftJoin(a, b) | Plan::Union(a, b) => {
+            push_filters(a);
+            push_filters(b);
+        }
+        Plan::MergeJoin { left, right, .. } => {
+            push_filters(left);
+            push_filters(right);
+        }
+        Plan::Extend(_, _, p)
+        | Plan::Project(_, p)
+        | Plan::Distinct(p)
+        | Plan::OrderBy(_, p) => push_filters(p),
+        Plan::Group { input, .. } | Plan::TopK { input, .. } | Plan::Slice { input, .. } => {
+            push_filters(input)
+        }
+        Plan::Bgp { .. } | Plan::Unit => {}
+        Plan::Filter(..) => {
+            let Plan::Filter(expr, input) = plan else {
+                unreachable!()
+            };
+            push_filters(input);
+            let mut conjuncts = Vec::new();
+            split_and(expr, &mut conjuncts);
+            let total = conjuncts.len();
+            let mut residual: Vec<Expr> = Vec::new();
+            for conjunct in conjuncts {
+                let pushed = single_filter_var(&conjunct)
+                    .is_some_and(|var| try_push(input, &var, &conjunct));
+                if !pushed {
+                    residual.push(conjunct);
+                }
+            }
+            if residual.is_empty() {
+                // Every conjunct was absorbed: the filter node dissolves.
+                *plan = std::mem::replace(input.as_mut(), Plan::Unit);
+            } else if residual.len() < total {
+                *expr = rejoin_and(residual);
+            }
+            // else: nothing moved, leave the expression tree untouched.
+        }
+    }
+}
+
+/// Flatten an `&&` tree into its conjuncts (source order preserved).
+fn split_and(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::And(a, b) => {
+            split_and(a, out);
+            split_and(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Rebuild a conjunction from its parts (left-leaning, like the parser).
+fn rejoin_and(mut parts: Vec<Expr>) -> Expr {
+    let first = parts.remove(0);
+    parts
+        .into_iter()
+        .fold(first, |acc, e| Expr::And(Box::new(acc), Box::new(e)))
+}
+
+/// Sink one single-variable conjunct towards a BGP that binds `var`.
+///
+/// Descent is restricted to positions where "filter above" and "filter
+/// inside" provably coincide: both sides of an inner join (a BGP that
+/// mentions `var` binds it in every row, so filtering that side filters the
+/// join), the *left* input of a left join (filtering the right side would
+/// resurrect rows the filter should have killed as unbound), other filters,
+/// and extends that do not rebind `var`. Everything else — unions, slices,
+/// grouping, sorting — blocks the descent.
+fn try_push(plan: &mut Plan, var: &str, conjunct: &Expr) -> bool {
+    match plan {
+        Plan::Bgp {
+            patterns, filters, ..
+        } => {
+            if patterns.iter().any(|p| p.variables().any(|v| v == var)) {
+                filters.push(PushedFilter {
+                    var: var.to_string(),
+                    expr: conjunct.clone(),
+                });
+                true
+            } else {
+                false
+            }
+        }
+        Plan::Join(a, b) => try_push(a, var, conjunct) || try_push(b, var, conjunct),
+        Plan::MergeJoin { left, right, .. } => {
+            try_push(left, var, conjunct) || try_push(right, var, conjunct)
+        }
+        Plan::LeftJoin(a, _) => try_push(a, var, conjunct),
+        Plan::Filter(_, p) => try_push(p, var, conjunct),
+        Plan::Extend(bound, _, p) if bound != var => try_push(p, var, conjunct),
+        _ => false,
     }
 }
 
@@ -271,6 +577,7 @@ mod tests {
                 var("l"),
             )],
             graph: GraphRef::Default,
+            filters: Vec::new(),
         };
         let keys = vec![OrderKey {
             expr: Expr::Var("l".into()),
@@ -314,6 +621,188 @@ mod tests {
         assert!(
             matches!(&**input, Plan::Distinct(inner) if matches!(&**inner, Plan::OrderBy(..))),
             "distinct must not fuse: {input:?}"
+        );
+    }
+
+    #[test]
+    fn conjunctive_filter_splits_and_sinks_into_binding_bgp() {
+        use crate::ast::{CmpOp, Expr};
+        let ds = build_dataset();
+        let graphs = vec!["http://g".to_string()];
+        let mut opt = Optimizer::new(&ds, &graphs);
+        let bgp = Plan::Bgp {
+            patterns: vec![
+                TriplePattern::new(var("e"), konst("http://x/label"), var("l")),
+                TriplePattern::new(var("e"), konst("http://x/award"), var("a")),
+            ],
+            graph: GraphRef::Default,
+            filters: Vec::new(),
+        };
+        // ( ?a = <oscar> && ?l < ?a ): first conjunct is single-var and
+        // sinks; the second references two vars and must stay behind.
+        let pushable = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Const(iri("http://x/oscar"))),
+        );
+        let residual_expr = Expr::Cmp(
+            CmpOp::Lt,
+            Box::new(Expr::Var("l".into())),
+            Box::new(Expr::Var("a".into())),
+        );
+        let mut plan = Plan::Filter(
+            Expr::And(Box::new(pushable.clone()), Box::new(residual_expr.clone())),
+            Box::new(bgp),
+        );
+        opt.optimize(&mut plan);
+        let Plan::Filter(expr, input) = &plan else {
+            panic!("residual filter survives: {plan:?}")
+        };
+        assert_eq!(expr, &residual_expr);
+        let Plan::Bgp { filters, .. } = &**input else {
+            panic!("bgp survives: {input:?}")
+        };
+        assert_eq!(filters.len(), 1);
+        assert_eq!(filters[0].var, "a");
+        assert_eq!(filters[0].expr, pushable);
+
+        // A fully-absorbed filter node dissolves.
+        let mut plan = Plan::Filter(
+            pushable.clone(),
+            Box::new(Plan::Bgp {
+                patterns: vec![TriplePattern::new(var("e"), konst("http://x/award"), var("a"))],
+                graph: GraphRef::Default,
+                filters: Vec::new(),
+            }),
+        );
+        opt.optimize(&mut plan);
+        assert!(
+            matches!(&plan, Plan::Bgp { filters, .. } if filters.len() == 1),
+            "filter node should dissolve into the BGP: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn filter_does_not_sink_into_left_join_right_side() {
+        use crate::ast::{CmpOp, Expr};
+        let ds = build_dataset();
+        let graphs = vec!["http://g".to_string()];
+        let mut opt = Optimizer::new(&ds, &graphs);
+        let left = Plan::Bgp {
+            patterns: vec![TriplePattern::new(var("e"), konst("http://x/label"), var("l"))],
+            graph: GraphRef::Default,
+            filters: Vec::new(),
+        };
+        let right = Plan::Bgp {
+            patterns: vec![TriplePattern::new(var("e"), konst("http://x/award"), var("a"))],
+            graph: GraphRef::Default,
+            filters: Vec::new(),
+        };
+        // ?a is bound only by the OPTIONAL side: pushing would let
+        // unmatched left rows (unbound ?a) survive a filter that must
+        // reject them. The conjunct has to stay above the left join.
+        let cond = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Const(iri("http://x/oscar"))),
+        );
+        let mut plan = Plan::Filter(
+            cond.clone(),
+            Box::new(Plan::LeftJoin(Box::new(left), Box::new(right))),
+        );
+        opt.optimize(&mut plan);
+        let Plan::Filter(expr, input) = &plan else {
+            panic!("filter must stay above the left join: {plan:?}")
+        };
+        assert_eq!(expr, &cond);
+        assert!(matches!(&**input, Plan::LeftJoin(..)));
+    }
+
+    #[test]
+    fn sorted_star_join_rewrites_to_merge_join() {
+        let ds = build_dataset();
+        let graphs = vec!["http://g".to_string()];
+        let mut opt = Optimizer::new(&ds, &graphs);
+        // Both sides: (?e <p> <o>) shapes — POS with (p, o) bound scans in
+        // subject order, and the single graph's id map is monotone, so both
+        // outputs are sorted on ?e.
+        let side = |p: &str, o: &str, v: &str| Plan::Bgp {
+            patterns: vec![TriplePattern::new(var("e"), konst(p), PatternTerm::Const(iri(o)))]
+                .into_iter()
+                .chain(std::iter::once(TriplePattern::new(
+                    var("e"),
+                    konst("http://x/label"),
+                    var(v),
+                )))
+                .collect(),
+            graph: GraphRef::Default,
+            filters: Vec::new(),
+        };
+        let mut plan = Plan::Join(
+            Box::new(side("http://x/award", "http://x/oscar", "l1")),
+            Box::new(side("http://x/inCountry", "http://x/usa", "l2")),
+        );
+        let before = plan.clone();
+        opt.optimize(&mut plan);
+        match &plan {
+            Plan::MergeJoin { key, .. } => assert_eq!(key, "e"),
+            other => panic!("expected merge join, got {other:?}\nfrom {before:?}"),
+        }
+
+        // Leading order vars differ (object-bound vs subject-bound shape):
+        // no rewrite.
+        let unsorted_side = Plan::Bgp {
+            patterns: vec![TriplePattern::new(var("e"), konst("http://x/label"), var("l3"))],
+            graph: GraphRef::Default,
+            filters: Vec::new(),
+        };
+        let mut plan = Plan::Join(
+            Box::new(side("http://x/award", "http://x/oscar", "l1")),
+            Box::new(unsorted_side),
+        );
+        opt.optimize(&mut plan);
+        assert!(
+            matches!(&plan, Plan::Join(..)),
+            "object-leading order must not merge on ?e: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn merge_join_requires_order_preserving_id_map() {
+        // Two graphs sharing terms: the second graph's map is non-monotone,
+        // so its scans are not globally sorted and the rewrite must not
+        // fire for BGPs over it.
+        let mut g1 = Graph::new();
+        g1.insert(&Triple::new(iri("http://x/e1"), iri("http://x/p"), iri("http://x/v1")));
+        g1.insert(&Triple::new(iri("http://x/e2"), iri("http://x/p"), iri("http://x/v2")));
+        let mut g2 = Graph::new();
+        // Interns v2 before e1/e2 → local order diverges from global.
+        g2.insert(&Triple::new(iri("http://x/v2"), iri("http://x/q"), iri("http://x/e1")));
+        g2.insert(&Triple::new(iri("http://x/e1"), iri("http://x/q"), iri("http://x/e2")));
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://a", g1);
+        ds.insert_graph("http://b", g2);
+        assert!(!ds.id_map("http://b").unwrap().order_preserving());
+
+        let graphs = vec!["http://b".to_string()];
+        let mut opt = Optimizer::new(&ds, &graphs);
+        let side = |o: &str| Plan::Bgp {
+            patterns: vec![TriplePattern::new(
+                var("s"),
+                konst("http://x/q"),
+                PatternTerm::Const(iri(o)),
+            )],
+            graph: GraphRef::Default,
+            filters: Vec::new(),
+        };
+        let mut plan = Plan::Join(
+            Box::new(side("http://x/e1")),
+            Box::new(side("http://x/e2")),
+        );
+        opt.optimize(&mut plan);
+        assert!(
+            matches!(&plan, Plan::Join(..)),
+            "non-monotone map must block the merge rewrite: {plan:?}"
         );
     }
 

@@ -208,6 +208,33 @@ fn queries() -> Vec<String> {
         // Implicit single group over an empty input: aggregates over no rows.
         q("SELECT (SUM(?r) AS ?s) (MIN(?r) AS ?lo) FROM <http://dbpedia.org> \
            WHERE { ?x <http://nothing/here> ?r }"),
+        // --- merge joins & FILTER pushdown ------------------------------
+        // Star join of two (?x <p> <o>) groups: both sides scan POS with a
+        // bound (p, o) prefix, so both arrive sorted on ?x and the
+        // optimizer rewrites the hash join into a merge join.
+        q("SELECT ?x FROM <http://dbpedia.org> WHERE { \
+             { ?x dbpp:birthPlace dbpr:United_States } \
+             { ?x dbpp:academyAward dbpr:Oscar } }"),
+        // Conjunctive FILTER whose two single-variable conjuncts sink into
+        // *different* patterns of one BGP (id-equality and numeric shapes).
+        q("SELECT ?movie ?actor FROM <http://dbpedia.org> WHERE { \
+             ?movie dbpp:starring ?actor . ?actor dbpp:birthPlace ?c . \
+             ?movie dbpp:rating ?r \
+             FILTER ( ?c = dbpr:United_States && ?r >= 70 ) }"),
+        // Mixed conjunction: one conjunct sinks, the two-variable one must
+        // stay behind as a residual filter.
+        q("SELECT ?movie ?r FROM <http://dbpedia.org> WHERE { \
+             ?movie dbpp:rating ?r . ?movie dbpp:score ?s \
+             FILTER ( ?r >= 60 && ?r < ?s ) }"),
+        // Pushdown through the *left* side of an OPTIONAL.
+        q("SELECT ?actor ?aw FROM <http://dbpedia.org> WHERE { \
+             ?actor dbpp:birthPlace ?c OPTIONAL { ?actor dbpp:academyAward ?aw } \
+             FILTER ( ?c != dbpr:United_Kingdom ) }"),
+        // General (regex) single-variable conjunct: pushed with per-id
+        // memoized evaluation.
+        q("SELECT ?actor FROM <http://dbpedia.org> WHERE { \
+             ?movie dbpp:starring ?actor . ?actor dbpp:birthPlace ?c \
+             FILTER ( regex(str(?c), \"United\") && isIRI(?c) ) }"),
     ]
 }
 
@@ -227,6 +254,7 @@ fn engines(ds: Arc<Dataset>, optimize: bool) -> Vec<(&'static str, Engine)> {
                 EngineConfig {
                     optimize,
                     eval_mode,
+                    ..EngineConfig::new()
                 },
             ),
         )
@@ -290,6 +318,90 @@ fn compacted_and_uncompacted_storage_agree() {
         b.canonicalize();
         assert_eq!(a, b, "storage layouts diverge for:\n{q}");
         assert_eq!(stats_a.rows_scanned, stats_b.rows_scanned, "{q}");
+    }
+}
+
+#[test]
+fn pushdown_and_merge_rewrites_preserve_results() {
+    // The two physical rewrites on vs off, across both storage layouts and
+    // all three evaluators: identical bags everywhere (scan counts differ —
+    // that is the point of the rewrites).
+    for compacted in [true, false] {
+        let ds = dataset(compacted);
+        let plain = Engine::with_config(
+            Arc::clone(&ds),
+            EngineConfig {
+                filter_pushdown: false,
+                merge_joins: false,
+                rank_order_by: false,
+                ..EngineConfig::new()
+            },
+        );
+        let rewriting = engines(Arc::clone(&ds), true);
+        for q in queries() {
+            let (mut base, _) = plain
+                .execute_with_stats(&q)
+                .unwrap_or_else(|e| panic!("plain engine failed: {e}\n{q}"));
+            base.canonicalize();
+            for (name, engine) in &rewriting {
+                let (mut t, _) = engine
+                    .execute_with_stats(&q)
+                    .unwrap_or_else(|e| panic!("{name} failed: {e}\n{q}"));
+                t.canonicalize();
+                assert_eq!(
+                    base, t,
+                    "rewrites changed results on {name} (compacted={compacted}) for:\n{q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn merge_join_fires_and_pushdown_cuts_scans() {
+    for compacted in [true, false] {
+        let ds = dataset(compacted);
+        let engine = Engine::new(Arc::clone(&ds));
+
+        // The star join runs as a real merge join (counter, not just plan
+        // shape) on slab-resident *and* delta-resident storage.
+        let star = format!(
+            "{PREFIXES}SELECT ?x FROM <http://dbpedia.org> WHERE {{ \
+               {{ ?x dbpp:birthPlace dbpr:United_States }} \
+               {{ ?x dbpp:academyAward dbpr:Oscar }} }}"
+        );
+        let (t, stats) = engine.execute_with_stats(&star).unwrap();
+        assert_eq!(t.len(), 1, "only actor1 is US-born with an award");
+        assert!(
+            stats.merge_joins > 0,
+            "merge join must fire (compacted={compacted}): {stats:?}"
+        );
+
+        // Pushdown strictly reduces the scan work: the birthPlace pattern
+        // binds ?c first, so UK-born rows die before the starring scan.
+        let filtered = format!(
+            "{PREFIXES}SELECT ?actor FROM <http://dbpedia.org> WHERE {{ \
+               ?movie dbpp:starring ?actor . ?actor dbpp:birthPlace ?c \
+               FILTER ( ?c = dbpr:United_States ) }}"
+        );
+        let no_pushdown = Engine::with_config(
+            Arc::clone(&ds),
+            EngineConfig {
+                filter_pushdown: false,
+                ..EngineConfig::new()
+            },
+        );
+        let (mut a, s_on) = engine.execute_with_stats(&filtered).unwrap();
+        let (mut b, s_off) = no_pushdown.execute_with_stats(&filtered).unwrap();
+        a.canonicalize();
+        b.canonicalize();
+        assert_eq!(a, b);
+        assert!(
+            s_on.rows_scanned < s_off.rows_scanned,
+            "pushdown must scan strictly less: {} vs {}",
+            s_on.rows_scanned,
+            s_off.rows_scanned
+        );
     }
 }
 
@@ -363,6 +475,10 @@ fn build_two_graph_dataset(triples: &[(u8, u8, u8)]) -> Arc<Dataset> {
 }
 
 fn render_query(patterns: &[(Pos, Pos, Pos)]) -> String {
+    render_query_with_filters(patterns, &[])
+}
+
+fn render_query_with_filters(patterns: &[(Pos, Pos, Pos)], conds: &[Cond]) -> String {
     // No FROM clause: the default graph is the union of both graphs, so BGP
     // extension hops between graphs and joins on global ids.
     let mut q = "SELECT * WHERE {\n".to_string();
@@ -378,8 +494,48 @@ fn render_query(patterns: &[(Pos, Pos, Pos)]) -> String {
             term(o, 'o')
         ));
     }
+    if !conds.is_empty() {
+        let rendered: Vec<String> = conds.iter().map(Cond::render).collect();
+        q.push_str(&format!("  FILTER ( {} )\n", rendered.join(" && ")));
+    }
     q.push('}');
     q
+}
+
+/// One conjunct of a random FILTER: the pushable single-variable equality
+/// shape (sometimes over a variable the BGP does not bind, sometimes over a
+/// constant that exists nowhere) or a two-variable comparison that must
+/// stay above the BGP.
+#[derive(Debug, Clone)]
+enum Cond {
+    /// `?v{var} =/!= <http://test/{kind}{c}>`.
+    EqConst { var: u8, kind: char, c: u8, negate: bool },
+    /// `?v{a} = ?v{b}` — not single-variable, never pushed.
+    VarVar(u8, u8),
+}
+
+impl Cond {
+    fn render(&self) -> String {
+        match self {
+            Cond::EqConst { var, kind, c, negate } => format!(
+                "?v{var} {} <http://test/{kind}{c}>",
+                if *negate { "!=" } else { "=" }
+            ),
+            Cond::VarVar(a, b) => format!("?v{a} = ?v{b}"),
+        }
+    }
+}
+
+fn cond_strategy() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        (0u8..4, 0u8..3, 0u8..8, 0u8..2).prop_map(|(var, kind, c, neg)| Cond::EqConst {
+            var,
+            kind: ['s', 'p', 'o'][kind as usize],
+            c,
+            negate: neg == 1,
+        }),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| Cond::VarVar(a, b)),
+    ]
 }
 
 proptest! {
@@ -393,6 +549,42 @@ proptest! {
         let ds = build_two_graph_dataset(&triples);
         let engines = engines(ds, true);
         let q = render_query(&patterns);
+        let mut results = Vec::new();
+        for (name, engine) in &engines {
+            let (mut t, stats) = engine.execute_with_stats(&q).unwrap();
+            t.canonicalize();
+            results.push((name, t, stats.rows_scanned));
+        }
+        for pair in results.windows(2) {
+            prop_assert_eq!(&pair[0].1, &pair[1].1, "{} vs {}: {}", pair[0].0, pair[1].0, q);
+            prop_assert_eq!(pair[0].2, pair[1].2, "{} vs {}: {}", pair[0].0, pair[1].0, q);
+        }
+    }
+
+    #[test]
+    fn pushdown_agrees_with_no_pushdown_on_random_filtered_bgps(
+        triples in proptest::collection::vec(triple_strategy(), 1..25),
+        patterns in proptest::collection::vec(pattern_strategy(), 1..4),
+        conds in proptest::collection::vec(cond_strategy(), 1..4),
+    ) {
+        let ds = build_two_graph_dataset(&triples);
+        let q = render_query_with_filters(&patterns, &conds);
+        let pushdown = Engine::new(Arc::clone(&ds));
+        let plain = Engine::with_config(
+            Arc::clone(&ds),
+            EngineConfig {
+                filter_pushdown: false,
+                merge_joins: false,
+                ..EngineConfig::new()
+            },
+        );
+        let (mut a, _) = pushdown.execute_with_stats(&q).unwrap();
+        let (mut b, _) = plain.execute_with_stats(&q).unwrap();
+        a.canonicalize();
+        b.canonicalize();
+        prop_assert_eq!(&a, &b, "pushdown changed results: {}", q);
+        // And the rewritten plan still holds exact cross-evaluator parity.
+        let engines = engines(ds, true);
         let mut results = Vec::new();
         for (name, engine) in &engines {
             let (mut t, stats) = engine.execute_with_stats(&q).unwrap();

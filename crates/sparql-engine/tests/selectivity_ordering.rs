@@ -65,6 +65,7 @@ fn engine(ds: &Arc<Dataset>, optimize: bool, eval_mode: EvalMode) -> Engine {
         EngineConfig {
             optimize,
             eval_mode,
+            ..EngineConfig::new()
         },
     )
 }
