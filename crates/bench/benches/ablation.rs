@@ -51,7 +51,7 @@ fn bench_pagination(c: &mut Criterion) {
                 ..Default::default()
             },
         );
-        group.bench_function(format!("chunk_{chunk}"), |b| {
+        group.bench_function(&format!("chunk_{chunk}"), |b| {
             b.iter(|| baselines::rdfframes(&frame, &ep).unwrap())
         });
     }

@@ -31,8 +31,8 @@ fn bench_case_studies(c: &mut Criterion) {
     for (name, frame) in &studies {
         let mut group = c.benchmark_group(format!("fig3/{name}"));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(1));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(1));
         group.bench_function("rdfframes", |b| {
             b.iter(|| baselines::rdfframes(frame, &endpoint).unwrap())
         });

@@ -42,8 +42,8 @@ fn bench_alternatives(c: &mut Criterion) {
     for (name, frame, expert, nt) in &studies {
         let mut group = c.benchmark_group(format!("fig4/{name}"));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(1));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(1));
         group.bench_function("rdfframes", |b| {
             b.iter(|| baselines::rdfframes(frame, &endpoint).unwrap())
         });

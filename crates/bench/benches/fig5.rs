@@ -14,8 +14,8 @@ fn bench_workload(c: &mut Criterion) {
     for def in queries::all_queries() {
         let mut group = c.benchmark_group(format!("fig5/{}", def.id));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(1));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(1));
         group.bench_function("expert", |b| {
             b.iter(|| baselines::expert_sparql(&def.expert, &endpoint).unwrap())
         });

@@ -13,8 +13,8 @@ use dataframe::DataFrame;
 use rdf_model::{ntriples, Dataset};
 use rdfframes_core::api::operators::{Node, Operator};
 use rdfframes_core::reference::{apply_operators, DatasetResolver, FrameResolver};
-use rdfframes_core::{Executor, FrameError, InProcessEndpoint, RDFFrame};
 use rdfframes_core::Result;
+use rdfframes_core::{Executor, FrameError, InProcessEndpoint, RDFFrame};
 
 /// RDFFrames proper: optimized single query, pushed to the engine.
 pub fn rdfframes(frame: &RDFFrame, endpoint: &InProcessEndpoint) -> Result<DataFrame> {
@@ -89,8 +89,8 @@ pub fn navigation_plus_df(frame: &RDFFrame, endpoint: &InProcessEndpoint) -> Res
 /// dump (producing it is part of this baseline's setup, not its runtime,
 /// matching the paper's use of an on-disk `.nt` file).
 pub fn rdflib_plus_df(frame: &RDFFrame, nt_document: &str) -> Result<DataFrame> {
-    let graph = ntriples::parse_into_graph(nt_document)
-        .map_err(|e| FrameError::Endpoint(e.to_string()))?;
+    let graph =
+        ntriples::parse_into_graph(nt_document).map_err(|e| FrameError::Endpoint(e.to_string()))?;
     let mut ds = Dataset::new();
     ds.insert_graph(frame.graph().uri(), graph);
     let resolver = DatasetResolver::new(&ds);

@@ -18,17 +18,15 @@ use rdfframes_core::{EndpointConfig, Executor, InProcessEndpoint};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let scale: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2000);
+    let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2000);
     let runs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
     let params = CaseParams::for_scale(scale);
     println!("Ablations — scale {scale}, {runs} runs");
     let ds = data::build_dataset(scale);
 
     // --- 1. Optimizer on/off -------------------------------------------
-    let frame = casestudies::topic_modeling(params.since_year, params.threshold, params.recent_year);
+    let frame =
+        casestudies::topic_modeling(params.since_year, params.threshold, params.recent_year);
     let on = data::build_endpoint(Arc::clone(&ds));
     let off = InProcessEndpoint::with_config(
         Arc::clone(&ds),
@@ -51,7 +49,10 @@ fn main() {
             baselines::naive(&frame, &off)
         }),
     ];
-    harness::print_panel("Ablation 1: engine optimizer (topic modeling)", &measurements);
+    harness::print_panel(
+        "Ablation 1: engine optimizer (topic modeling)",
+        &measurements,
+    );
 
     // --- 2. Pagination chunk size ---------------------------------------
     let kg_frame = casestudies::kg_embedding();
@@ -64,11 +65,9 @@ fn main() {
                 ..Default::default()
             },
         );
-        measurements.push(harness::measure(
-            &format!("chunk = {chunk}"),
-            runs,
-            || baselines::rdfframes(&kg_frame, &ep),
-        ));
+        measurements.push(harness::measure(&format!("chunk = {chunk}"), runs, || {
+            baselines::rdfframes(&kg_frame, &ep)
+        }));
     }
     harness::print_panel(
         "Ablation 2: pagination chunk size (KG embedding result transfer)",

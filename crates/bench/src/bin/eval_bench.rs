@@ -126,6 +126,37 @@ fn queries() -> Vec<QuerySpec> {
                    {{ ?film dbpo:genre dbpr:Film_score }} }}"
             ),
         },
+        QuerySpec {
+            id: "optional_heavy",
+            kind: "all films OPTIONAL-extended twice; sorted sides → merge left joins",
+            sparql: format!(
+                "{prefixes}PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
+                 SELECT ?film ?rt ?la FROM <http://dbpedia.org> WHERE {{ \
+                   {{ ?film rdf:type dbpr:Film }} \
+                   OPTIONAL {{ ?film dbpo:genre dbpr:Film_score . ?film dbpp:runtime ?rt }} \
+                   OPTIONAL {{ ?film dbpp:country dbpr:United_States . ?film dbpp:language ?la }} }}"
+            ),
+        },
+        QuerySpec {
+            id: "sorted_agg",
+            kind: "GROUP BY the leading sort var of the POS starring scan → run detection",
+            sparql: format!(
+                "{prefixes}SELECT ?actor (COUNT(?movie) AS ?movies) \
+                 (COUNT(DISTINCT ?movie) AS ?distinct_movies) \
+                 FROM <http://dbpedia.org> WHERE {{ \
+                   ?movie dbpp:starring ?actor }} \
+                 GROUP BY ?actor"
+            ),
+        },
+        QuerySpec {
+            id: "sorted_distinct",
+            kind: "DISTINCT over the full sort sequence of the starring scan → run detection",
+            sparql: format!(
+                "{prefixes}SELECT DISTINCT ?actor ?movie \
+                 FROM <http://dbpedia.org> WHERE {{ \
+                   ?movie dbpp:starring ?actor }}"
+            ),
+        },
     ]
 }
 
@@ -157,6 +188,12 @@ struct Outcome {
     rows_scanned: u64,
     /// Merge joins that actually fired (columnar evaluator only).
     merge_joins: u64,
+    /// Merge *left* joins that actually fired (columnar evaluator only).
+    merge_left_joins: u64,
+    /// DISTINCTs that deduplicated by run detection (columnar only).
+    sorted_distincts: u64,
+    /// GROUP BYs that grouped by run detection (columnar only).
+    sorted_groups: u64,
     /// Heap allocations for one (post-warmup) execution.
     allocs: u64,
 }
@@ -185,6 +222,9 @@ fn run(engine: &Engine, sparql: &str) -> Outcome {
         rows,
         rows_scanned: stats.rows_scanned,
         merge_joins: stats.merge_joins,
+        merge_left_joins: stats.merge_left_joins,
+        sorted_distincts: stats.sorted_distincts,
+        sorted_groups: stats.sorted_groups,
         allocs,
     }
 }
@@ -253,7 +293,10 @@ fn parse_previous(json: &str) -> Vec<(String, f64)> {
 /// can quote regressions/speedups without manual diffing.
 fn print_comparison(previous: &[(String, f64)], fresh: &[(String, f64)]) {
     println!("\ncomparison vs previous BENCH_eval.json (columnar path):");
-    println!("{:<18} {:>12} {:>12} {:>9}", "query", "prev (ms)", "now (ms)", "speedup");
+    println!(
+        "{:<18} {:>12} {:>12} {:>9}",
+        "query", "prev (ms)", "now (ms)", "speedup"
+    );
     for (id, now_ms) in fresh {
         match previous.iter().find(|(pid, _)| pid == id) {
             Some((_, prev_ms)) => {
@@ -263,9 +306,7 @@ fn print_comparison(previous: &[(String, f64)], fresh: &[(String, f64)]) {
                 } else {
                     ""
                 };
-                println!(
-                    "{id:<18} {prev_ms:>12.3} {now_ms:>12.3} {speedup:>8.2}x{marker}"
-                );
+                println!("{id:<18} {prev_ms:>12.3} {now_ms:>12.3} {speedup:>8.2}x{marker}");
             }
             None => println!("{id:<18} {:>12} {now_ms:>12.3} {:>9}", "-", "new"),
         }
@@ -381,6 +422,17 @@ fn main() {
         );
         let _ = writeln!(json, "      \"rows_scanned\": {},", ref_out.rows_scanned);
         let _ = writeln!(json, "      \"merge_joins\": {},", col_out.merge_joins);
+        let _ = writeln!(
+            json,
+            "      \"merge_left_joins\": {},",
+            col_out.merge_left_joins
+        );
+        let _ = writeln!(
+            json,
+            "      \"sorted_distincts\": {},",
+            col_out.sorted_distincts
+        );
+        let _ = writeln!(json, "      \"sorted_groups\": {},", col_out.sorted_groups);
         let _ = writeln!(json, "      \"rows\": {}", ref_out.rows);
         // The queries array always continues with the ordering case below,
         // so every entry here takes a trailing comma.
@@ -404,10 +456,17 @@ fn main() {
         "\n{:<18} {:>13} {:>13} {:>9} {:>12} {:>7}  (columnar: PR4 baseline vs rewrites)",
         "ablation", "pr4 (ms)", "rewrite (ms)", "speedup", "merge_joins", "rows"
     );
-    for spec in specs.iter().filter(|s| s.id == "sort_heavy" || s.id == "star_merge_join") {
+    for spec in specs
+        .iter()
+        .filter(|s| s.id == "sort_heavy" || s.id == "star_merge_join")
+    {
         let base_out = run(&pr4_baseline, &spec.sparql);
         let new_out = run(&columnar, &spec.sparql);
-        assert_eq!(base_out.rows, new_out.rows, "{}: ablation result drift", spec.id);
+        assert_eq!(
+            base_out.rows, new_out.rows,
+            "{}: ablation result drift",
+            spec.id
+        );
         let speedup = base_out.median.as_secs_f64() / new_out.median.as_secs_f64().max(1e-12);
         println!(
             "{:<18} {:>13.3} {:>13.3} {:>8.2}x {:>12} {:>7}",
@@ -440,6 +499,89 @@ fn main() {
         let _ = writeln!(
             json,
             "      \"allocations\": {{ \"pr4_baseline\": {}, \"columnar\": {} }},",
+            base_out.allocs, new_out.allocs
+        );
+        let _ = writeln!(json, "      \"rows\": {}", new_out.rows);
+        let _ = writeln!(json, "    }},");
+    }
+
+    // Second ablation: this PR's order-aware rewrites (merge left joins,
+    // sorted DISTINCT, sorted GROUP BY) against the same columnar engine
+    // with only them disabled — i.e. the PR 6 baseline, which already has
+    // inner merge joins, FILTER pushdown, and rank ORDER BY.
+    let pr6_baseline = Engine::with_config(
+        Arc::clone(&dataset),
+        EngineConfig {
+            merge_left_joins: false,
+            sorted_distinct: false,
+            sorted_group_by: false,
+            ..EngineConfig::new()
+        },
+    );
+    println!(
+        "\n{:<18} {:>13} {:>13} {:>9} {:>9} {:>8} {:>8} {:>9}  (columnar: PR6 baseline vs order-aware aggregation)",
+        "ablation", "pr6 (ms)", "rewrite (ms)", "speedup", "mljoins", "sdist", "sgroup", "rows"
+    );
+    for spec in specs
+        .iter()
+        .filter(|s| s.id == "optional_heavy" || s.id == "sorted_agg" || s.id == "sorted_distinct")
+    {
+        let base_out = run(&pr6_baseline, &spec.sparql);
+        let new_out = run(&columnar, &spec.sparql);
+        assert_eq!(
+            base_out.rows, new_out.rows,
+            "{}: ablation result drift",
+            spec.id
+        );
+        assert_eq!(
+            base_out.rows_scanned, new_out.rows_scanned,
+            "{}: order-aware rewrites must not change scan work",
+            spec.id
+        );
+        let speedup = base_out.median.as_secs_f64() / new_out.median.as_secs_f64().max(1e-12);
+        println!(
+            "{:<18} {:>13.3} {:>13.3} {:>8.2}x {:>9} {:>8} {:>8} {:>9}",
+            spec.id,
+            base_out.median.as_secs_f64() * 1e3,
+            new_out.median.as_secs_f64() * 1e3,
+            speedup,
+            new_out.merge_left_joins,
+            new_out.sorted_distincts,
+            new_out.sorted_groups,
+            new_out.rows
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"id\": \"{}_vs_pr6\",", spec.id);
+        let _ = writeln!(
+            json,
+            "      \"kind\": \"rewrite ablation: {} with merge left joins/sorted distinct/sorted group-by off vs on\",",
+            spec.id
+        );
+        let _ = writeln!(
+            json,
+            "      \"pr6_baseline_ms\": {:.3},",
+            base_out.median.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            json,
+            "      \"columnar_ms\": {:.3},",
+            new_out.median.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(json, "      \"speedup_vs_pr6_baseline\": {speedup:.3},");
+        let _ = writeln!(
+            json,
+            "      \"merge_left_joins\": {},",
+            new_out.merge_left_joins
+        );
+        let _ = writeln!(
+            json,
+            "      \"sorted_distincts\": {},",
+            new_out.sorted_distincts
+        );
+        let _ = writeln!(json, "      \"sorted_groups\": {},", new_out.sorted_groups);
+        let _ = writeln!(
+            json,
+            "      \"allocations\": {{ \"pr6_baseline\": {}, \"columnar\": {} }},",
             base_out.allocs, new_out.allocs
         );
         let _ = writeln!(json, "      \"rows\": {}", new_out.rows);

@@ -14,10 +14,7 @@ use rdf_model::ntriples;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let scale: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2000);
+    let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2000);
     let runs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
     let params = CaseParams::for_scale(scale);
     println!("Figure 4 reproduction — scale {scale}, {runs} runs, params {params:?}");

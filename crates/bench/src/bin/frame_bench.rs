@@ -44,7 +44,10 @@ fn workloads(scale: usize) -> Vec<Workload> {
     let mut out = vec![
         Workload {
             id: "cs1_movie_genre",
-            kind: format!("case study 1: movie-genre features (prolific ≥ {})", p.prolific),
+            kind: format!(
+                "case study 1: movie-genre features (prolific ≥ {})",
+                p.prolific
+            ),
             frame: casestudies::movie_genre_classification(p.prolific),
         },
         Workload {
@@ -64,7 +67,11 @@ fn workloads(scale: usize) -> Vec<Workload> {
     for def in queries::all_queries() {
         if def.id == "Q1" || def.id == "Q8" {
             out.push(Workload {
-                id: if def.id == "Q1" { "q1_players" } else { "q8_films" },
+                id: if def.id == "Q1" {
+                    "q1_players"
+                } else {
+                    "q8_films"
+                },
                 kind: format!("synthetic {}: {}", def.id, def.description),
                 frame: def.frame,
             });
@@ -159,7 +166,14 @@ fn main() {
 
     println!(
         "\n{:<18} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
-        "workload", "embed (ms)", "none (ms)", "tsv (ms)", "xml (ms)", "vs none", "vs tsv", "vs xml"
+        "workload",
+        "embed (ms)",
+        "none (ms)",
+        "tsv (ms)",
+        "xml (ms)",
+        "vs none",
+        "vs tsv",
+        "vs xml"
     );
     let specs = workloads(scale);
     let n = specs.len();

@@ -201,8 +201,7 @@ mod tests {
         let frame = movie_genre_classification(p.prolific);
         let ours = baselines::rdfframes(&frame, &endpoint).unwrap();
         assert!(!ours.is_empty(), "empty CS1 result at test scale");
-        let expert =
-            baselines::expert_sparql(&movie_genre_expert(p.prolific), &endpoint).unwrap();
+        let expert = baselines::expert_sparql(&movie_genre_expert(p.prolific), &endpoint).unwrap();
         // Project ours onto the expert's columns (internal naming only).
         let cols: Vec<&str> = expert.columns().iter().map(String::as_str).collect();
         let ours_proj = ours.select(&cols);

@@ -26,8 +26,14 @@ pub fn build_dataset(scale: usize) -> Arc<Dataset> {
         uris::DBPEDIA,
         generate_dbpedia(&DbpediaConfig::with_scale(scale)),
     );
-    ds.insert_graph(uris::DBLP, generate_dblp(&DblpConfig::with_papers(scale * 2)));
-    ds.insert_graph(uris::YAGO, generate_yago(&YagoConfig::for_dbpedia_scale(scale)));
+    ds.insert_graph(
+        uris::DBLP,
+        generate_dblp(&DblpConfig::with_papers(scale * 2)),
+    );
+    ds.insert_graph(
+        uris::YAGO,
+        generate_yago(&YagoConfig::for_dbpedia_scale(scale)),
+    );
     Arc::new(ds)
 }
 

@@ -32,12 +32,13 @@ fn expert(body: &str) -> String {
     format!("{}{body}", expert_prefixes())
 }
 
-/// Build the workload queries (the paper's Q1–Q15 plus the sort-heavy
-/// and star-join perf cases Q16–Q17).
+/// Build the workload queries (the paper's Q1–Q15 plus the perf cases:
+/// sort-heavy Q16, star-join Q17, merge-left-join Q18, and sorted
+/// aggregation Q19).
 pub fn all_queries() -> Vec<QueryDef> {
     let dbp = data::dbpedia_graph();
     let yago = data::yago_graph();
-    let mut out = Vec::with_capacity(17);
+    let mut out = Vec::with_capacity(19);
 
     // Q1: players with nationality/birthPlace/birthDate + optional team
     // sponsor/name/president.
@@ -272,9 +273,11 @@ pub fn all_queries() -> Vec<QueryDef> {
     ));
 
     // Q10: athletes with birthplace and the number of athletes born there.
-    let athletes = dbp
-        .seed("?athlete", "rdf:type", "dbpr:Athlete")
-        .expand("athlete", "dbpp:birthPlace", "place");
+    let athletes = dbp.seed("?athlete", "rdf:type", "dbpr:Athlete").expand(
+        "athlete",
+        "dbpp:birthPlace",
+        "place",
+    );
     let by_place = athletes
         .clone()
         .group_by(&["place"])
@@ -469,6 +472,45 @@ pub fn all_queries() -> Vec<QueryDef> {
         ),
     ));
 
+    // Q18: OPTIONAL-heavy — every film, left-joined with its Film_score
+    // tag and runtime. Both sides lead with POS scans bound on
+    // (predicate, object), so both arrive sorted on ?film and the
+    // optimizer's merge-left-join rewrite fires (unmatched films survive
+    // with unbound runtime, as OPTIONAL requires).
+    let films = dbp.seed("?film", "rdf:type", "dbpr:Film");
+    let scored = dbp.seed("?film", "dbpo:genre", "dbpr:Film_score").expand(
+        "film",
+        "dbpp:runtime",
+        "runtime",
+    );
+    out.push(q(
+        "Q18",
+        "Films with optional Film_score tag and runtime (merge left join)",
+        films.join(&scored, "film", JoinType::Left),
+        expert(
+            "SELECT * FROM <http://dbpedia.org> WHERE {\n\
+               { ?film rdf:type dbpr:Film }\n\
+               OPTIONAL { ?film dbpo:genre dbpr:Film_score . ?film dbpp:runtime ?runtime }\n}",
+        ),
+    ));
+
+    // Q19: sorted aggregation — movie counts per actor off the POS
+    // starring scan, whose output arrives sorted on [?actor, ?movie]:
+    // GROUP BY ?actor is an order prefix, so grouping degenerates to run
+    // detection over raw id columns instead of hashing.
+    out.push(q(
+        "Q19",
+        "Movies per actor (sorted-input aggregation)",
+        dbp.seed("?movie", "dbpp:starring", "?actor")
+            .group_by(&["actor"])
+            .count("movie", "movie_count", true),
+        expert(
+            "SELECT DISTINCT ?actor (COUNT(DISTINCT ?movie) AS ?movie_count)\n\
+             FROM <http://dbpedia.org> WHERE { ?movie dbpp:starring ?actor }\n\
+             GROUP BY ?actor",
+        ),
+    ));
+
     out
 }
 
@@ -508,7 +550,11 @@ mod tests {
             let ours_proj = ours.select(&cols);
             compare_unordered(&ours_proj, &expert)
                 .unwrap_or_else(|e| panic!("{} mismatch: {e}", def.id));
-            assert!(!ours.is_empty(), "{} returned no rows at test scale", def.id);
+            assert!(
+                !ours.is_empty(),
+                "{} returned no rows at test scale",
+                def.id
+            );
         }
     }
 

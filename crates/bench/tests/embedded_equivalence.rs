@@ -25,9 +25,7 @@ use bench::data;
 use bench::queries;
 use rdf_model::Dataset;
 use rdfframes_core::model::{compile, generator, render};
-use rdfframes_core::{
-    EmbeddedEndpoint, EndpointConfig, InProcessEndpoint, RDFFrame, WireFormat,
-};
+use rdfframes_core::{EmbeddedEndpoint, EndpointConfig, InProcessEndpoint, RDFFrame, WireFormat};
 use sparql_engine::algebra::translate_query;
 use sparql_engine::parser::parse_query;
 

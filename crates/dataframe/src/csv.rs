@@ -11,7 +11,13 @@ use crate::frame::DataFrame;
 /// Serialize to CSV (header row + data rows).
 pub fn to_csv(df: &DataFrame) -> String {
     let mut out = String::new();
-    out.push_str(&df.columns().iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &df.columns()
+            .iter()
+            .map(|c| quote(c))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in df.rows() {
         let fields: Vec<String> = row

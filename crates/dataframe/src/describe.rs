@@ -103,7 +103,9 @@ pub fn describe_table(df: &DataFrame) -> String {
             s.distinct,
             fmt_cell(&s.min),
             fmt_cell(&s.max),
-            s.mean.map(|m| format!("{m:.2}")).unwrap_or_else(|| "-".into()),
+            s.mean
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
     out

@@ -182,7 +182,13 @@ impl DataFrame {
     }
 
     /// Hash join with another frame on one column from each side.
-    pub fn join(&self, other: &DataFrame, left_on: &str, right_on: &str, how: JoinType) -> DataFrame {
+    pub fn join(
+        &self,
+        other: &DataFrame,
+        left_on: &str,
+        right_on: &str,
+        how: JoinType,
+    ) -> DataFrame {
         join_frames(self, other, left_on, right_on, how)
     }
 
@@ -214,13 +220,7 @@ impl DataFrame {
     /// First `k` rows starting at `offset`.
     pub fn head(&self, k: usize, offset: usize) -> DataFrame {
         let mut out = DataFrame::new(self.columns.clone());
-        out.rows = self
-            .rows
-            .iter()
-            .skip(offset)
-            .take(k)
-            .cloned()
-            .collect();
+        out.rows = self.rows.iter().skip(offset).take(k).cloned().collect();
         out
     }
 

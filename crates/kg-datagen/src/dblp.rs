@@ -91,7 +91,11 @@ pub fn generate_dblp(config: &DblpConfig) -> Graph {
 
     for p in 0..config.papers {
         let paper = Term::iri(format!("{}paper_{p}", dblp::PAPER));
-        g.insert(&Triple::new(paper.clone(), type_p.clone(), in_proceedings.clone()));
+        g.insert(&Triple::new(
+            paper.clone(),
+            type_p.clone(),
+            in_proceedings.clone(),
+        ));
 
         let n_authors = rng.gen_range(1..=4);
         let first_author = author_zipf.sample(&mut rng);

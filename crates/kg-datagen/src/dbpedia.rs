@@ -272,7 +272,11 @@ pub fn generate_dbpedia(config: &DbpediaConfig) -> Graph {
         // sponsor ∧ president have a witness at every scale and seed.
         if t == 0 || ctx.rng.gen_bool(0.7) {
             let s = ctx.rng.gen_range(0..n_studios.max(3));
-            ctx.add(team.clone(), &prop("sponsor"), ctx.res(&format!("Sponsor_{s}")));
+            ctx.add(
+                team.clone(),
+                &prop("sponsor"),
+                ctx.res(&format!("Sponsor_{s}")),
+            );
         }
         if t == 0 || ctx.rng.gen_bool(0.6) {
             let p = names::person_name(&mut ctx.rng);
@@ -284,7 +288,11 @@ pub fn generate_dbpedia(config: &DbpediaConfig) -> Graph {
         ctx.add(player.clone(), &type_p, ctx.res("BasketballPlayer"));
         ctx.add(player.clone(), &type_p, ctx.res("Athlete"));
         let team = ctx.rng.gen_range(0..n_teams);
-        ctx.add(player.clone(), &prop("team"), ctx.res(&format!("Team_{team}")));
+        ctx.add(
+            player.clone(),
+            &prop("team"),
+            ctx.res(&format!("Team_{team}")),
+        );
         let c = ctx.rng.gen_range(0..countries.len());
         ctx.add(player.clone(), &prop("nationality"), countries[c].clone());
         let bp = ctx.rng.gen_range(0..countries.len());
@@ -334,7 +342,11 @@ pub fn generate_dbpedia(config: &DbpediaConfig) -> Graph {
         let book = ctx.res(&format!("Book_{b}"));
         ctx.add(book.clone(), &type_p, ctx.res("Book"));
         let a = author_zipf.sample(&mut ctx.rng);
-        ctx.add(book.clone(), &onto("author"), ctx.res(&format!("Author_{a}")));
+        ctx.add(
+            book.clone(),
+            &onto("author"),
+            ctx.res(&format!("Author_{a}")),
+        );
         let t = names::title(&mut ctx.rng, 4);
         ctx.add(book.clone(), &prop("title"), Term::string(t));
         let subj = ctx.rng.gen_range(0..n_subjects);
@@ -390,7 +402,9 @@ mod tests {
             "http://dbpedia.org/ontology/author",
             "http://dbpedia.org/property/publisher",
         ] {
-            let id = g.term_id(&Term::iri(p)).unwrap_or_else(|| panic!("missing {p}"));
+            let id = g
+                .term_id(&Term::iri(p))
+                .unwrap_or_else(|| panic!("missing {p}"));
             assert!(g.count_pattern(None, Some(id), None) > 0, "{p}");
         }
     }
@@ -401,9 +415,7 @@ mod tests {
         let genre = g
             .term_id(&Term::iri("http://dbpedia.org/ontology/genre"))
             .unwrap();
-        let label = g
-            .term_id(&Term::iri(rdfs::LABEL))
-            .unwrap();
+        let label = g.term_id(&Term::iri(rdfs::LABEL)).unwrap();
         let genres = g.count_pattern(None, Some(genre), None);
         let labels = g.count_pattern(None, Some(label), None);
         assert!(genres * 2 < labels, "genre should be optional-sparse");

@@ -26,6 +26,6 @@ pub mod vocab;
 pub mod yago;
 pub mod zipf;
 
-pub use dblp::{DblpConfig, generate_dblp};
-pub use dbpedia::{DbpediaConfig, generate_dbpedia};
-pub use yago::{YagoConfig, generate_yago};
+pub use dblp::{generate_dblp, DblpConfig};
+pub use dbpedia::{generate_dbpedia, DbpediaConfig};
+pub use yago::{generate_yago, YagoConfig};

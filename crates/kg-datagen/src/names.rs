@@ -3,15 +3,36 @@
 use rand::Rng;
 
 const SYLLABLES: &[&str] = &[
-    "an", "bel", "cor", "dan", "el", "fir", "gal", "har", "il", "jor", "kel", "lor", "mar",
-    "nor", "ol", "per", "quin", "ros", "sal", "tor", "ul", "ver", "wil", "xan", "yor", "zel",
+    "an", "bel", "cor", "dan", "el", "fir", "gal", "har", "il", "jor", "kel", "lor", "mar", "nor",
+    "ol", "per", "quin", "ros", "sal", "tor", "ul", "ver", "wil", "xan", "yor", "zel",
 ];
 
 const TITLE_WORDS: &[&str] = &[
-    "query", "graph", "learning", "scalable", "distributed", "efficient", "adaptive",
-    "streaming", "transactional", "indexing", "join", "optimization", "knowledge", "embedding",
-    "relational", "parallel", "storage", "processing", "analytics", "inference", "neural",
-    "semantic", "caching", "approximate", "incremental",
+    "query",
+    "graph",
+    "learning",
+    "scalable",
+    "distributed",
+    "efficient",
+    "adaptive",
+    "streaming",
+    "transactional",
+    "indexing",
+    "join",
+    "optimization",
+    "knowledge",
+    "embedding",
+    "relational",
+    "parallel",
+    "storage",
+    "processing",
+    "analytics",
+    "inference",
+    "neural",
+    "semantic",
+    "caching",
+    "approximate",
+    "incremental",
 ];
 
 /// A capitalized pseudo-name of 2–3 syllables.

@@ -64,7 +64,11 @@ pub fn generate_yago(config: &YagoConfig) -> Graph {
     }
     for a in chosen {
         let actor = Term::iri(format!("{}Actor_{a}", dbp::RES));
-        g.insert(&Triple::new(actor.clone(), type_p.clone(), actor_class.clone()));
+        g.insert(&Triple::new(
+            actor.clone(),
+            type_p.clone(),
+            actor_class.clone(),
+        ));
         let n = rng.gen_range(1..=3);
         for _ in 0..n {
             let m = rng.gen_range(0..config.dbpedia_actors * 2);
@@ -81,7 +85,11 @@ pub fn generate_yago(config: &YagoConfig) -> Graph {
     // Native YAGO actors (no DBpedia counterpart).
     for a in 0..config.native_actors {
         let actor = Term::iri(format!("{}YActor_{a}", yago::RES));
-        g.insert(&Triple::new(actor.clone(), type_p.clone(), actor_class.clone()));
+        g.insert(&Triple::new(
+            actor.clone(),
+            type_p.clone(),
+            actor_class.clone(),
+        ));
         if rng.gen_bool(0.3) {
             g.insert(&Triple::new(actor, citizen_of.clone(), usa.clone()));
         }
@@ -105,7 +113,7 @@ mod tests {
         let class_id = g.term_id(&actor_class).unwrap();
         let typed = g.count_pattern(None, None, Some(class_id));
         assert_eq!(typed, 70); // 50 shared + 20 native
-        // At least one shared actor keeps its DBpedia URI.
+                               // At least one shared actor keeps its DBpedia URI.
         let shared = g
             .iter_triples()
             .filter(|t| t.subject.str_value().starts_with(dbp::RES))

@@ -51,6 +51,14 @@ impl GraphIdMap {
     /// and append-only, so this is an incremental suffix walk — the
     /// mutation path ([`Dataset::append_triples`]) calls it instead of
     /// rebuilding the whole map.
+    ///
+    /// Monotonicity bookkeeping: comparing each new global against
+    /// `to_global.last()` is a *complete* check, not a sample — while the
+    /// map is monotone the last entry is its maximum, so `global <= last`
+    /// holds iff the extension breaks strict ascent (and once broken the
+    /// flag latches). Property-tested against ground truth under arbitrary
+    /// append interleavings in `tests/proptest_model.rs`
+    /// (`order_preservation_flag_is_truthful_under_appends`).
     fn extend_from(&mut self, graph: &Graph, interner: &mut Interner) {
         let graph_interner = graph.interner();
         let known = self.to_global.len();
@@ -154,6 +162,9 @@ pub struct Dataset {
     /// Lazily built dictionary-rank permutation over the shared interner
     /// (see [`Dataset::term_ranks`]); invalidated by interner growth.
     ranks: RwLock<Option<Arc<TermRanks>>>,
+    /// Count of graph mutations (inserts, replacements, append batches) —
+    /// the staleness witness behind [`Dataset::stats_generation`].
+    mutations: u64,
 }
 
 impl Clone for Dataset {
@@ -164,6 +175,7 @@ impl Clone for Dataset {
             id_maps: self.id_maps.clone(),
             stats: RwLock::new(self.stats.read().expect("stats lock").clone()),
             ranks: RwLock::new(self.ranks.read().expect("ranks lock").clone()),
+            mutations: self.mutations,
         }
     }
 }
@@ -189,6 +201,7 @@ impl Dataset {
     /// it on the fly).
     pub fn insert_shared(&mut self, uri: impl Into<String>, graph: Arc<Graph>) {
         let uri = uri.into();
+        self.mutations += 1;
         let map = GraphIdMap::build(&graph, &mut self.interner);
         self.id_maps.insert(uri.clone(), Arc::new(map));
         self.stats.get_mut().expect("stats lock").insert(
@@ -221,6 +234,7 @@ impl Dataset {
         I: IntoIterator<Item = Triple>,
     {
         let graph_arc = self.graphs.get_mut(uri)?;
+        self.mutations += 1;
         let graph = Arc::make_mut(graph_arc);
         let mut added = 0usize;
         for t in triples {
@@ -293,6 +307,20 @@ impl Dataset {
             .expect("stats lock")
             .insert(uri.to_string(), entry);
         Some(stats)
+    }
+
+    /// Monotonic witness of every dataset state a statistics-driven query
+    /// plan depends on: bumped by each [`Dataset::insert_graph`] /
+    /// [`Dataset::insert_shared`] (including replacements) and each
+    /// [`Dataset::append_triples`] batch — the only paths that can mutate
+    /// a dataset's graphs, since graph handles are frozen behind `Arc`s.
+    /// Two equal generations therefore guarantee the optimizer would
+    /// produce the same plan; plan caches stamp their entries with this
+    /// and re-optimize on mismatch. A bump whose appends still sit in an
+    /// un-merged delta (stats intentionally lag it) costs one harmless
+    /// few-microsecond re-prepare, never a wrong plan.
+    pub fn stats_generation(&self) -> u64 {
+        self.mutations
     }
 
     /// The cached dictionary-rank permutation, only if it is already built
@@ -505,7 +533,10 @@ mod tests {
         // Two appends: delta at 3, no merge yet → snapshot stays stale.
         ds.append_triples(
             "http://g",
-            vec![t("http://x/s1", "http://x/o1"), t("http://x/s2", "http://x/o2")],
+            vec![
+                t("http://x/s1", "http://x/o1"),
+                t("http://x/s2", "http://x/o2"),
+            ],
         )
         .unwrap();
         assert_eq!(ds.graph("http://g").unwrap().len(), 3);
@@ -555,7 +586,10 @@ mod tests {
         // read must see the merged state.
         ds.append_triples(
             "http://g",
-            vec![t("http://x/s2", "http://x/o2"), t("http://x/s3", "http://x/o3")],
+            vec![
+                t("http://x/s2", "http://x/o2"),
+                t("http://x/s3", "http://x/o3"),
+            ],
         )
         .unwrap();
         assert_eq!(ds.graph("http://g").unwrap().delta_len(), 0);
@@ -585,6 +619,91 @@ mod tests {
         ds.insert_graph("http://b", g2);
         assert!(ds.id_map("http://a").unwrap().order_preserving());
         assert!(!ds.id_map("http://b").unwrap().order_preserving());
+    }
+
+    #[test]
+    fn stats_generation_witnesses_every_mutation_path() {
+        let mut ds = Dataset::new();
+        let g0 = ds.stats_generation();
+
+        let mut g = Graph::new();
+        g.insert(&t("http://x/s0", "http://x/o0"));
+        ds.insert_graph("http://g", g);
+        let g1 = ds.stats_generation();
+        assert_ne!(g0, g1, "insert bumps");
+
+        ds.append_triples("http://g", vec![t("http://x/s1", "http://x/o1")])
+            .unwrap();
+        let g2 = ds.stats_generation();
+        assert_ne!(
+            g1, g2,
+            "append batch bumps (even below the merge threshold)"
+        );
+
+        // Replacing a graph under the same URI — even with the same triple
+        // count and only already-interned terms — must bump: cached plans
+        // were optimized for the *old* graph's statistics.
+        let mut replacement = Graph::new();
+        replacement.insert(&t("http://x/s1", "http://x/o0"));
+        replacement.insert(&t("http://x/s0", "http://x/o1"));
+        ds.insert_graph("http://g", replacement);
+        assert_ne!(g2, ds.stats_generation(), "same-URI replacement bumps");
+
+        // Pure reads don't.
+        let before = ds.stats_generation();
+        let _ = ds.graph_stats("http://g");
+        let _ = ds.term_ranks();
+        assert_eq!(before, ds.stats_generation());
+        // Clones carry the witness.
+        assert_eq!(ds.clone().stats_generation(), before);
+    }
+
+    #[test]
+    fn append_of_out_of_order_term_flips_order_preservation() {
+        // Regression for the incremental id-map extension: graph A is
+        // order-preserving until an append introduces a term whose global
+        // id (assigned earlier, via graph B) is smaller than A's current
+        // maximum. `extend_from` must flip the flag — a stale `true` would
+        // let the optimizer plan merge joins whose sortedness precondition
+        // is false (the run-time check would save correctness but silently
+        // eat the rewrite on every query).
+        let mut a = Graph::new();
+        a.insert(&t("http://x/a0", "http://x/oa0"));
+        a.insert(&t("http://x/a1", "http://x/oa1"));
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://a", a);
+        // B's fresh terms get globals past all of A's.
+        let mut b = Graph::new();
+        b.insert(&t("http://x/b0", "http://x/ob0"));
+        ds.insert_graph("http://b", b);
+        assert!(ds.id_map("http://a").unwrap().order_preserving());
+
+        // An order-compatible append (all-new terms intern past A's max, in
+        // local order) must NOT flip the flag.
+        ds.append_triples("http://a", vec![t("http://x/a2", "http://x/oa2")])
+            .unwrap();
+        assert!(ds.id_map("http://a").unwrap().order_preserving());
+
+        // Append to A a triple whose subject is brand new (global past
+        // everything) and whose object is B's term (small global): the
+        // suffix walk sees ascending-then-descending globals and must mark
+        // the map non-monotone.
+        ds.append_triples(
+            "http://a",
+            vec![Triple::new(
+                Term::iri("http://x/a3"),
+                Term::iri("http://x/p"),
+                Term::iri("http://x/b0"),
+            )],
+        )
+        .unwrap();
+        let map = ds.id_map("http://a").unwrap();
+        assert!(
+            !map.order_preserving(),
+            "append broke local→global monotonicity; the flag must flip"
+        );
+        // The map itself really is non-monotone (the flag tells the truth).
+        assert!(map.to_global.windows(2).any(|w| w[1] <= w[0]));
     }
 
     #[test]
@@ -660,7 +779,11 @@ mod tests {
         // The global interner is append-only: ids survive replacement.
         assert_eq!(ds.lookup(&Term::iri("http://x/s")), Some(old));
         let map = ds.id_map("http://g").unwrap();
-        let local = ds.graph("http://g").unwrap().term_id(&Term::iri("http://x/s")).unwrap();
+        let local = ds
+            .graph("http://g")
+            .unwrap()
+            .term_id(&Term::iri("http://x/s"))
+            .unwrap();
         assert_eq!(map.to_global(local), old);
     }
 }

@@ -465,12 +465,7 @@ impl Graph {
     }
 
     /// Exact (not estimated) number of matches for a pattern.
-    pub fn count_pattern(
-        &self,
-        s: Option<TermId>,
-        p: Option<TermId>,
-        o: Option<TermId>,
-    ) -> usize {
+    pub fn count_pattern(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
         let (index, lo, hi, _) = self.access_path(s, p, o);
         if index.delta.is_empty() {
             index.slab_range(lo, hi).len()
@@ -481,8 +476,7 @@ impl Graph {
 
     /// Iterate all triples as id tuples in SPO order.
     pub fn iter_ids(&self) -> impl Iterator<Item = (TermId, TermId, TermId)> + '_ {
-        self.spo
-            .range_iter((MIN, MIN, MIN), (MAX, MAX, MAX))
+        self.spo.range_iter((MIN, MIN, MIN), (MAX, MAX, MAX))
     }
 
     /// Iterate all triples as concrete [`Triple`]s (allocates per triple;
@@ -502,16 +496,17 @@ impl Graph {
         let mut predicates: HashMap<TermId, PredicateStats> = HashMap::new();
         let mut subjects: HashMap<TermId, HashSet<TermId>> = HashMap::new();
         let mut current: Option<(TermId, TermId)> = None;
-        self.pos.for_each_in((MIN, MIN, MIN), (MAX, MAX, MAX), |(p, o, s)| {
-            let st = predicates.entry(p).or_default();
-            st.count += 1;
-            // POS order: distinct (p, o) prefixes arrive consecutively.
-            if current != Some((p, o)) {
-                current = Some((p, o));
-                st.distinct_objects += 1;
-            }
-            subjects.entry(p).or_default().insert(s);
-        });
+        self.pos
+            .for_each_in((MIN, MIN, MIN), (MAX, MAX, MAX), |(p, o, s)| {
+                let st = predicates.entry(p).or_default();
+                st.count += 1;
+                // POS order: distinct (p, o) prefixes arrive consecutively.
+                if current != Some((p, o)) {
+                    current = Some((p, o));
+                    st.distinct_objects += 1;
+                }
+                subjects.entry(p).or_default().insert(s);
+            });
         for (p, subs) in subjects {
             predicates
                 .get_mut(&p)
@@ -656,11 +651,7 @@ mod tests {
     fn auto_compaction_at_threshold() {
         let mut g = Graph::with_delta_threshold(4);
         for i in 0..10 {
-            g.insert(&t(
-                &format!("http://x/s{i}"),
-                "http://x/p",
-                "http://x/o",
-            ));
+            g.insert(&t(&format!("http://x/s{i}"), "http://x/p", "http://x/o"));
         }
         assert_eq!(g.len(), 10);
         assert!(g.delta_len() < 4, "delta must stay below the threshold");

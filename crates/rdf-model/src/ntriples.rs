@@ -336,7 +336,8 @@ mod tests {
 
     #[test]
     fn parse_into_graph_dedups() {
-        let doc = "<http://x/s> <http://x/p> <http://x/o> .\n<http://x/s> <http://x/p> <http://x/o> .\n";
+        let doc =
+            "<http://x/s> <http://x/p> <http://x/o> .\n<http://x/s> <http://x/p> <http://x/o> .\n";
         let g = parse_into_graph(doc).unwrap();
         assert_eq!(g.len(), 1);
     }

@@ -60,8 +60,7 @@ impl PrefixMap {
         if let Some(stripped) = name.strip_prefix('<') {
             return Ok(stripped.trim_end_matches('>').to_string());
         }
-        if name.starts_with("http://") || name.starts_with("https://") || name.starts_with("urn:")
-        {
+        if name.starts_with("http://") || name.starts_with("https://") || name.starts_with("urn:") {
             return Ok(name.to_string());
         }
         match name.split_once(':') {

@@ -371,24 +371,22 @@ impl Term {
     /// comparable (type error in SPARQL, row filtered out).
     pub fn value_cmp(&self, other: &Term) -> Option<Ordering> {
         match (self, other) {
-            (Term::Literal(a), Term::Literal(b)) => {
-                match (a.parsed, b.parsed) {
-                    (TypedValue::Integer(x), TypedValue::Integer(y)) => Some(x.cmp(&y)),
-                    (TypedValue::DateTime(x), TypedValue::DateTime(y)) => Some(x.cmp(&y)),
-                    (TypedValue::Boolean(x), TypedValue::Boolean(y)) => Some(x.cmp(&y)),
-                    _ => {
-                        if a.is_numeric() && b.is_numeric() {
-                            a.as_f64()?.partial_cmp(&b.as_f64()?)
-                        } else if matches!(a.parsed, TypedValue::String)
-                            && matches!(b.parsed, TypedValue::String)
-                        {
-                            Some(a.lexical.as_ref().cmp(b.lexical.as_ref()))
-                        } else {
-                            None
-                        }
+            (Term::Literal(a), Term::Literal(b)) => match (a.parsed, b.parsed) {
+                (TypedValue::Integer(x), TypedValue::Integer(y)) => Some(x.cmp(&y)),
+                (TypedValue::DateTime(x), TypedValue::DateTime(y)) => Some(x.cmp(&y)),
+                (TypedValue::Boolean(x), TypedValue::Boolean(y)) => Some(x.cmp(&y)),
+                _ => {
+                    if a.is_numeric() && b.is_numeric() {
+                        a.as_f64()?.partial_cmp(&b.as_f64()?)
+                    } else if matches!(a.parsed, TypedValue::String)
+                        && matches!(b.parsed, TypedValue::String)
+                    {
+                        Some(a.lexical.as_ref().cmp(b.lexical.as_ref()))
+                    } else {
+                        None
                     }
                 }
-            }
+            },
             (Term::Iri(a), Term::Iri(b)) => Some(a.as_ref().cmp(b.as_ref())),
             _ => None,
         }

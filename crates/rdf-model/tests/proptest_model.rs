@@ -188,6 +188,54 @@ proptest! {
     }
 
     #[test]
+    fn order_preservation_flag_is_truthful_under_appends(
+        initial_a in proptest::collection::vec(triple_strategy(), 1..10),
+        initial_b in proptest::collection::vec(triple_strategy(), 1..10),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(triple_strategy(), 1..5), 0..6),
+        targets in proptest::collection::vec(any::<bool>(), 6),
+    ) {
+        // Audit property for `GraphIdMap::extend_from`: after ANY sequence
+        // of appends to either of two overlapping graphs, each graph's
+        // `order_preserving()` must equal the ground truth "the local→global
+        // translation is strictly increasing" — i.e. "index scans emit
+        // globally-sorted ids". A stale `true` would let the optimizer plan
+        // merge joins whose precondition is false; a spurious `false` would
+        // silently disable the rewrite forever.
+        let mut ds = rdf_model::Dataset::new();
+        let mut ga = Graph::new();
+        for t in &initial_a {
+            ga.insert(t);
+        }
+        let mut gb = Graph::new();
+        for t in &initial_b {
+            gb.insert(t);
+        }
+        ds.insert_graph("http://a", ga);
+        ds.insert_graph("http://b", gb);
+        for (i, batch) in batches.iter().enumerate() {
+            let uri = if targets[i] { "http://a" } else { "http://b" };
+            ds.append_triples(uri, batch.clone()).unwrap();
+        }
+        for uri in ["http://a", "http://b"] {
+            let graph = ds.graph(uri).unwrap();
+            let map = ds.id_map(uri).unwrap();
+            let mut globals: Vec<rdf_model::TermId> = Vec::new();
+            for (local, _) in graph.interner().iter() {
+                globals.push(map.to_global(local));
+            }
+            let truly_monotone = globals.windows(2).all(|w| w[0] < w[1]);
+            prop_assert_eq!(
+                map.order_preserving(),
+                truly_monotone,
+                "flag lies for {} (globals: {:?})",
+                uri,
+                globals
+            );
+        }
+    }
+
+    #[test]
     fn term_display_parse_roundtrip(term in term_strategy()) {
         // Round-trip any term through an N-Triples line as the object.
         let t = Triple::new(

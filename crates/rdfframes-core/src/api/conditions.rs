@@ -299,10 +299,7 @@ mod tests {
     #[test]
     fn equality_absolute_iri() {
         let c = Condition::parse("=http://dbpedia.org/resource/USA").unwrap();
-        assert_eq!(
-            c.render("c"),
-            "?c = <http://dbpedia.org/resource/USA>"
-        );
+        assert_eq!(c.render("c"), "?c = <http://dbpedia.org/resource/USA>");
     }
 
     #[test]
@@ -350,10 +347,7 @@ mod tests {
     fn year_comparison() {
         let c = Condition::parse("year>=2005").unwrap();
         assert_eq!(c, Condition::YearCmp(CmpOp::Ge, 2005));
-        assert_eq!(
-            c.render("date"),
-            "year(xsd:dateTime(?date)) >= 2005"
-        );
+        assert_eq!(c.render("date"), "year(xsd:dateTime(?date)) >= 2005");
         assert!(Condition::parse("year>=twenty").is_err());
     }
 

@@ -166,7 +166,10 @@ mod tests {
             .with_prefix("b", "http://b/");
         assert_eq!(g.prefixes().namespace("a"), Some("http://a/"));
         assert_eq!(g.prefixes().namespace("b"), Some("http://b/"));
-        assert_eq!(g.prefixes().namespace("rdf"), Some(rdf_model::vocab::rdf::NS));
+        assert_eq!(
+            g.prefixes().namespace("rdf"),
+            Some(rdf_model::vocab::rdf::NS)
+        );
     }
 
     #[test]

@@ -335,14 +335,12 @@ pub fn ends_grouped(ops: &[Operator]) -> bool {
             Operator::GroupBy(_) | Operator::Aggregation { .. } => grouped = true,
             // Operators the generator handles inside the grouped model keep
             // it grouped; ones that force wrapping clear the flag.
-            Operator::Filter { column, .. }
-                if grouped && !is_agg_alias(ops, column) => {
-                    grouped = false; // wrapped (case 1)
-                }
-            Operator::Expand { .. } | Operator::Join { .. }
-                if grouped => {
-                    grouped = false;
-                }
+            Operator::Filter { column, .. } if grouped && !is_agg_alias(ops, column) => {
+                grouped = false; // wrapped (case 1)
+            }
+            Operator::Expand { .. } | Operator::Join { .. } if grouped => {
+                grouped = false;
+            }
             _ => {}
         }
     }
@@ -351,9 +349,8 @@ pub fn ends_grouped(ops: &[Operator]) -> bool {
 
 /// Does any recorded aggregation name this column as its alias?
 pub fn is_agg_alias(ops: &[Operator], column: &str) -> bool {
-    ops.iter().any(
-        |op| matches!(op, Operator::Aggregation { alias, .. } if alias == column),
-    )
+    ops.iter()
+        .any(|op| matches!(op, Operator::Aggregation { alias, .. } if alias == column))
 }
 
 #[cfg(test)]
@@ -404,10 +401,7 @@ mod tests {
     fn grouped_state_tracking() {
         let g = graph();
         let f = g.feature_domain_range("dbpp:starring", "movie", "actor");
-        let grouped = f
-            .clone()
-            .group_by(&["actor"])
-            .count("movie", "n", false);
+        let grouped = f.clone().group_by(&["actor"]).count("movie", "n", false);
         assert!(ends_grouped(grouped.operators()));
         // Filter on the aggregate keeps it grouped (HAVING).
         let havinged = grouped.clone().filter("n", &[">=5"]);

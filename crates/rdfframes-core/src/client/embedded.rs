@@ -77,6 +77,15 @@ impl EmbeddedEndpoint {
         &self.engine
     }
 
+    /// Mutable engine access — the ingestion path for a live endpoint
+    /// (`engine_mut().dataset_mut()` to append triples). Cached raw-SPARQL
+    /// plans notice the resulting
+    /// [`rdf_model::Dataset::stats_generation`] change and re-optimize on
+    /// their next use; model executions re-compile per call anyway.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
     /// Request statistics (each `execute_model` counts as one request).
     pub fn stats(&self) -> &EndpointStats {
         &self.stats

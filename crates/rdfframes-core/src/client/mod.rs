@@ -114,9 +114,23 @@ pub trait Endpoint {
 /// real server caches compiled plans keyed by query text, so the simulated
 /// one does too. Bounded so a workload of many distinct queries cannot grow
 /// it without limit.
+///
+/// Every entry is stamped with the [`Dataset::stats_generation`] observed
+/// when it was prepared. Query text alone is *not* a valid cache key: a
+/// plan optimized before [`Dataset::append_triples`] bakes in a
+/// statistics-driven BGP order that appended data can invert, and a
+/// text-keyed cache would re-serve that stale order forever. A generation
+/// mismatch re-optimizes against the current statistics and replaces the
+/// entry.
 #[derive(Default)]
 struct PlanCache {
-    plans: Mutex<HashMap<String, Arc<PreparedQuery>>>,
+    plans: Mutex<HashMap<String, CachedPlan>>,
+}
+
+/// One cached plan plus the dataset fingerprint it was optimized under.
+struct CachedPlan {
+    stats_generation: u64,
+    prepared: Arc<PreparedQuery>,
 }
 
 /// Entries kept in the plan cache before it is cleared wholesale (pagination
@@ -125,9 +139,14 @@ const PLAN_CACHE_CAP: usize = 256;
 
 impl PlanCache {
     fn get_or_prepare(&self, engine: &Engine, sparql: &str) -> Result<Arc<PreparedQuery>> {
+        let generation = engine.dataset().stats_generation();
         let mut plans = self.plans.lock().expect("plan cache poisoned");
-        if let Some(p) = plans.get(sparql) {
-            return Ok(Arc::clone(p));
+        if let Some(entry) = plans.get(sparql) {
+            if entry.stats_generation == generation {
+                return Ok(Arc::clone(&entry.prepared));
+            }
+            // Stale: the dataset's statistics-relevant state moved since
+            // this plan was optimized. Fall through and re-prepare.
         }
         let prepared = Arc::new(
             engine
@@ -137,8 +156,23 @@ impl PlanCache {
         if plans.len() >= PLAN_CACHE_CAP {
             plans.clear();
         }
-        plans.insert(sparql.to_string(), Arc::clone(&prepared));
+        plans.insert(
+            sparql.to_string(),
+            CachedPlan {
+                stats_generation: generation,
+                prepared: Arc::clone(&prepared),
+            },
+        );
         Ok(prepared)
+    }
+
+    /// The cached plan for a query text, if any (observability for tests).
+    fn get(&self, sparql: &str) -> Option<Arc<PreparedQuery>> {
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .get(sparql)
+            .map(|e| Arc::clone(&e.prepared))
     }
 }
 
@@ -179,6 +213,14 @@ impl InProcessEndpoint {
         &self.engine
     }
 
+    /// Mutable engine access — the ingestion path for a live endpoint
+    /// (`engine_mut().dataset_mut()` to append triples). Cached plans
+    /// notice the resulting [`rdf_model::Dataset::stats_generation`] change
+    /// and re-optimize on their next use.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
     /// Request statistics.
     pub fn stats(&self) -> &EndpointStats {
         &self.stats
@@ -187,6 +229,13 @@ impl InProcessEndpoint {
     /// Prepared plans currently cached (observability for tests/benches).
     pub fn cached_plans(&self) -> usize {
         self.plans.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// The cached prepared plan for a query text, if present (observability
+    /// for tests/benches — e.g. asserting that a post-append re-preparation
+    /// actually changed the plan).
+    pub fn cached_plan(&self, sparql: &str) -> Option<Arc<PreparedQuery>> {
+        self.plans.get(sparql)
     }
 }
 
@@ -282,12 +331,125 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_chunks_are_empty_on_wire_and_embedded_paths() {
+        // `offset > len` through prepared-plan pagination must agree
+        // between the wire endpoint (XML round trip included) and the
+        // embedded endpoint: an empty table with the schema intact, no
+        // panic, no error — so a paginating client that overshoots the last
+        // page terminates cleanly on either path.
+        let ds = dataset();
+        let wire = InProcessEndpoint::new(Arc::clone(&ds));
+        let embedded = crate::client::EmbeddedEndpoint::new(ds);
+        let q = "SELECT ?s ?o FROM <http://g> WHERE { ?s <http://x/p> ?o } ORDER BY ?o";
+        for offset in [10, 11, 1000, usize::MAX] {
+            let via_wire = wire.query_chunk(q, offset, 4).unwrap();
+            let via_embedded = embedded.query_chunk(q, offset, 4).unwrap();
+            assert!(via_wire.rows.is_empty(), "offset {offset}");
+            assert_eq!(via_wire.vars, vec!["s", "o"]);
+            assert_eq!(via_wire, via_embedded, "paths disagree at offset {offset}");
+        }
+        // The page straddling the end is the same partial chunk on both.
+        let via_wire = wire.query_chunk(q, 8, usize::MAX).unwrap();
+        let via_embedded = embedded.query_chunk(q, 8, usize::MAX).unwrap();
+        assert_eq!(via_wire.len(), 2);
+        assert_eq!(via_wire, via_embedded);
+    }
+
+    #[test]
     fn bad_query_is_endpoint_error() {
         let ep = InProcessEndpoint::new(dataset());
         assert!(matches!(
             ep.query_chunk("NOT SPARQL", 0, 10),
             Err(FrameError::Endpoint(_))
         ));
+    }
+
+    #[test]
+    fn plan_cache_reoptimizes_after_append_inverts_selectivities() {
+        use rdf_model::Triple as T;
+        use sparql_engine::algebra::Plan;
+
+        let common = |i: usize| Term::iri(format!("http://x/c{i}"));
+        let rare = |i: usize| Term::iri(format!("http://x/r{i}"));
+        let p_common = Term::iri("http://x/common");
+        let p_rare = Term::iri("http://x/rare");
+
+        // Skewed small graph: <common> has 40 triples, <rare> has 2. A tiny
+        // delta threshold keeps the graph auto-merging inside the dataset,
+        // so appends refresh statistics without an explicit compact.
+        let mut g = Graph::with_delta_threshold(4);
+        for i in 0..40 {
+            g.insert(&T::new(
+                common(i),
+                p_common.clone(),
+                Term::integer(i as i64),
+            ));
+        }
+        for i in 0..2 {
+            g.insert(&T::new(rare(i), p_rare.clone(), Term::integer(i as i64)));
+        }
+        let mut ds = Dataset::new();
+        ds.insert_shared("http://g", Arc::new(g));
+        let mut ep = InProcessEndpoint::new(Arc::new(ds));
+
+        let q = "SELECT ?s ?a ?b FROM <http://g> WHERE { \
+                 ?s <http://x/common> ?a . ?s <http://x/rare> ?b }";
+        let first_predicate = |prepared: &sparql_engine::PreparedQuery| -> Term {
+            let mut plan = prepared.plan();
+            loop {
+                match plan {
+                    Plan::Bgp { patterns, .. } => {
+                        let sparql_engine::ast::PatternTerm::Const(t) = &patterns[0].predicate
+                        else {
+                            panic!("constant predicate expected")
+                        };
+                        return t.clone();
+                    }
+                    Plan::Project(_, p) => plan = p.as_ref(),
+                    other => panic!("unexpected plan shape: {other:?}"),
+                }
+            }
+        };
+
+        // Cache the plan on the skewed graph: <rare> is selective → first.
+        ep.query_chunk(q, 0, 100).unwrap();
+        let stale = ep.cached_plan(q).expect("plan cached");
+        assert_eq!(first_predicate(&stale), p_rare);
+
+        // Append enough <rare> triples (fresh subjects) to invert the
+        // selectivities; the threshold-triggered merges refresh stats.
+        let appended: Vec<T> = (100..400)
+            .map(|i| T::new(rare(i), p_rare.clone(), Term::integer(i as i64)))
+            .collect();
+        let added = ep
+            .engine_mut()
+            .dataset_mut()
+            .expect("endpoint holds the sole dataset reference")
+            .append_triples("http://g", appended)
+            .unwrap();
+        assert_eq!(added, 300);
+
+        // The next chunk must NOT be served from the stale plan: the cache
+        // detects the stats-generation change and re-optimizes.
+        ep.query_chunk(q, 0, 100).unwrap();
+        assert_eq!(ep.cached_plans(), 1, "entry replaced, not duplicated");
+        let fresh = ep.cached_plan(q).expect("plan re-cached");
+        assert_eq!(
+            first_predicate(&fresh),
+            p_common,
+            "re-served plan must reorder the BGP for the new statistics"
+        );
+
+        // And the re-optimized order scans strictly less than the stale one
+        // would on the post-append data.
+        let (_, stale_stats) = ep.engine().execute_prepared(&stale, None).unwrap();
+        let (_, fresh_stats) = ep.engine().execute_prepared(&fresh, None).unwrap();
+        assert!(
+            fresh_stats.rows_scanned < stale_stats.rows_scanned,
+            "re-optimization must cut scan work: fresh {} vs stale {}",
+            fresh_stats.rows_scanned,
+            stale_stats.rows_scanned
+        );
     }
 
     #[test]
@@ -308,8 +470,12 @@ mod tests {
         // Still one cached plan after three chunks of the same text …
         assert_eq!(ep.cached_plans(), 1);
         // … and another text adds a second entry.
-        ep.query_chunk("SELECT ?s FROM <http://g> WHERE { ?s <http://x/p> ?o }", 0, 4)
-            .unwrap();
+        ep.query_chunk(
+            "SELECT ?s FROM <http://g> WHERE { ?s <http://x/p> ?o }",
+            0,
+            4,
+        )
+        .unwrap();
         assert_eq!(ep.cached_plans(), 2);
         // The cached plan still pages correctly.
         assert_eq!(c1.len() + c2.len() + c3.len(), 10);

@@ -126,7 +126,10 @@ fn decode_term(field: &str) -> Option<Term> {
                 return None;
             }
             if let Some(lang) = tail.strip_prefix('@') {
-                Some(Term::Literal(Literal::lang_string(lexical, lang.to_string())))
+                Some(Term::Literal(Literal::lang_string(
+                    lexical,
+                    lang.to_string(),
+                )))
             } else if let Some(dt) = tail.strip_prefix("^^") {
                 let dt = dt.strip_prefix('<')?.strip_suffix('>')?;
                 Some(Term::Literal(Literal::typed(lexical, dt.to_string())))
@@ -149,11 +152,7 @@ mod tests {
         SolutionTable {
             vars: vec!["a".into(), "b".into(), "c".into()],
             rows: vec![
-                vec![
-                    Some(Term::iri("http://x/s")),
-                    Some(Term::integer(42)),
-                    None,
-                ],
+                vec![Some(Term::iri("http://x/s")), Some(Term::integer(42)), None],
                 vec![
                     Some(Term::string("tab\there \"quoted\"")),
                     Some(Term::Literal(Literal::lang_string("hallo", "de"))),

@@ -214,8 +214,7 @@ mod tests {
     #[test]
     fn escaping() {
         let mut t = SolutionTable::with_vars(vec!["v".into()]);
-        t.rows
-            .push(vec![Some(Term::string("a & b < c > d \" e"))]);
+        t.rows.push(vec![Some(Term::string("a & b < c > d \" e"))]);
         assert_eq!(decode(&encode(&t)).unwrap(), t);
     }
 

@@ -44,7 +44,11 @@ impl Executor {
 
     /// Execute the frame's optimized query, picking the embedded path when
     /// the endpoint offers one and the wire path otherwise.
-    pub fn execute<E: Endpoint + ?Sized>(&self, frame: &RDFFrame, endpoint: &E) -> Result<DataFrame> {
+    pub fn execute<E: Endpoint + ?Sized>(
+        &self,
+        frame: &RDFFrame,
+        endpoint: &E,
+    ) -> Result<DataFrame> {
         let model = generator::build_query_model(frame)?;
         if let Some(result) = endpoint.execute_model(&model) {
             return result;
@@ -157,9 +161,7 @@ mod tests {
     #[test]
     fn page_size_override() {
         let ep = endpoint(1000);
-        let df = Executor::with_page_size(7)
-            .execute(&frame(), &ep)
-            .unwrap();
+        let df = Executor::with_page_size(7).execute(&frame(), &ep).unwrap();
         assert_eq!(df.len(), 25);
         assert_eq!(ep.stats().requests(), 4);
     }

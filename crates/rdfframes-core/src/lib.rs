@@ -44,9 +44,7 @@ pub mod exec;
 pub mod model;
 pub mod reference;
 
-pub use api::{
-    AggFunc, Direction, JoinType, KnowledgeGraph, RDFFrame, SortOrder,
-};
+pub use api::{AggFunc, Direction, JoinType, KnowledgeGraph, RDFFrame, SortOrder};
 pub use client::{
     EmbeddedEndpoint, Endpoint, EndpointConfig, EndpointStats, InProcessEndpoint, WireFormat,
 };

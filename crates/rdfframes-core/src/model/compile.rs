@@ -136,13 +136,11 @@ impl Compiler {
             m.select.clone()
         };
 
-        let is_agg_alias =
-            |name: &String| m.aggregates.iter().any(|a| &a.alias == name);
+        let is_agg_alias = |name: &String| m.aggregates.iter().any(|a| &a.alias == name);
         // Mirrors `SelectQuery::is_aggregated` on the rendered text: GROUP
         // BY present, HAVING present, or an aggregate item in SELECT.
-        let aggregated = !m.group_by.is_empty()
-            || !m.having.is_empty()
-            || select_names.iter().any(is_agg_alias);
+        let aggregated =
+            !m.group_by.is_empty() || !m.having.is_empty() || select_names.iter().any(is_agg_alias);
 
         if aggregated {
             // Aggregates surface in SELECT order (translation pulls them out
@@ -169,6 +167,7 @@ impl Compiler {
                 keys: m.group_by.clone(),
                 aggs,
                 input: Box::new(plan),
+                sorted_on: Vec::new(),
             };
             for h in having_filters {
                 plan = Plan::Filter(h, Box::new(plan));
@@ -293,10 +292,9 @@ impl Compiler {
                     Some(agg_spec) => {
                         let op = agg_op(agg_spec.func);
                         let expr = Some(Expr::Var(agg_spec.src.clone()));
-                        match aggs
-                            .iter()
-                            .find(|a| a.op == op && a.distinct == agg_spec.distinct && a.expr == expr)
-                        {
+                        match aggs.iter().find(|a| {
+                            a.op == op && a.distinct == agg_spec.distinct && a.expr == expr
+                        }) {
                             Some(existing) => existing.output.clone(),
                             None => {
                                 let name = format!("__agg{counter}");
@@ -474,7 +472,7 @@ impl Compiler {
             if !t.as_bytes().first().is_some_and(|b| b.is_ascii_digit()) {
                 return Err(err("signed numeric literals are not valid SPARQL tokens"));
             }
-            return Ok(number_term(t).map_err(|m| err(&m))?);
+            return number_term(t).map_err(|m| err(&m));
         }
         if t == "a" {
             return if pos == TriplePos::Predicate {
@@ -485,7 +483,9 @@ impl Compiler {
         }
         if t.eq_ignore_ascii_case("true") || t.eq_ignore_ascii_case("false") {
             return if pos == TriplePos::Object {
-                Ok(Term::Literal(Literal::boolean(t.eq_ignore_ascii_case("true"))))
+                Ok(Term::Literal(Literal::boolean(
+                    t.eq_ignore_ascii_case("true"),
+                )))
             } else {
                 Err(err("booleans are only allowed in the object position"))
             };
@@ -494,7 +494,9 @@ impl Compiler {
         match t.split_once(':') {
             Some((prefix, local)) => match self.prefixes.namespace(prefix) {
                 Some(ns) => Ok(Term::iri(format!("{ns}{local}"))),
-                None => Err(FrameError::Compile(format!("unknown prefix `{prefix}:` in `{t}`"))),
+                None => Err(FrameError::Compile(format!(
+                    "unknown prefix `{prefix}:` in `{t}`"
+                ))),
             },
             None => Err(err("not a variable, IRI, CURIE, or literal")),
         }
@@ -537,7 +539,10 @@ impl Compiler {
             return Ok(Term::string(lexical));
         }
         if let Some(lang) = tail.strip_prefix('@') {
-            return Ok(Term::Literal(Literal::lang_string(lexical, lang.to_string())));
+            return Ok(Term::Literal(Literal::lang_string(
+                lexical,
+                lang.to_string(),
+            )));
         }
         if let Some(dt) = tail.strip_prefix("^^") {
             let iri = if let Some(inner) = dt.strip_prefix('<') {
@@ -549,9 +554,7 @@ impl Compiler {
                 match dt.split_once(':') {
                     Some((prefix, local)) => match self.prefixes.namespace(prefix) {
                         Some(ns) => format!("{ns}{local}"),
-                        None => {
-                            return Err(err(&format!("unknown datatype prefix `{prefix}:`")))
-                        }
+                        None => return Err(err(&format!("unknown datatype prefix `{prefix}:`"))),
                     },
                     None => return Err(err("bad datatype")),
                 }
@@ -590,16 +593,12 @@ impl Compiler {
     fn condition_expr(&self, cond: &Condition, lhs: &Expr) -> Result<Expr> {
         let lhs = || Box::new(lhs.clone());
         Ok(match cond {
-            Condition::Cmp(op, v) => {
-                Expr::Cmp(cmp_op(*op), lhs(), Box::new(self.value_expr(v)?))
-            }
+            Condition::Cmp(op, v) => Expr::Cmp(cmp_op(*op), lhs(), Box::new(self.value_expr(v)?)),
             Condition::IsUri => Expr::Call(Func::IsIri, vec![*lhs()]),
             Condition::IsLiteral => Expr::Call(Func::IsLiteral, vec![*lhs()]),
             Condition::IsBlank => Expr::Call(Func::IsBlank, vec![*lhs()]),
             Condition::Bound => Expr::Call(Func::Bound, vec![*lhs()]),
-            Condition::NotBound => {
-                Expr::Not(Box::new(Expr::Call(Func::Bound, vec![*lhs()])))
-            }
+            Condition::NotBound => Expr::Not(Box::new(Expr::Call(Func::Bound, vec![*lhs()]))),
             Condition::Regex { pattern, flags } => {
                 let mut args = vec![
                     Expr::Call(Func::Str, vec![*lhs()]),
@@ -788,7 +787,11 @@ mod tests {
     #[test]
     fn optional_union_sort_head_mirror_text_path() {
         let movies = graph().feature_domain_range("dbpp:starring", "movie", "actor");
-        assert_mirrors(&movies.clone().expand_optional("movie", "dbpo:genre", "genre"));
+        assert_mirrors(
+            &movies
+                .clone()
+                .expand_optional("movie", "dbpo:genre", "genre"),
+        );
         assert_mirrors(&movies.clone().join(
             &graph().feature_domain_range("dbpp:academyAward", "actor", "award"),
             "actor",
@@ -835,9 +838,7 @@ mod tests {
                 .expand("movie", "dbpp:released", "date")
                 .filter("date", &["year>=2005"]),
         );
-        assert_mirrors(
-            &movies.filter_raw("year(xsd:dateTime(?movie)) >= 2005 || isIRI(?actor)"),
-        );
+        assert_mirrors(&movies.filter_raw("year(xsd:dateTime(?movie)) >= 2005 || isIRI(?actor)"));
     }
 
     #[test]
@@ -875,7 +876,8 @@ mod tests {
             Term::Literal(Literal::lang_string("hi", "en"))
         );
         assert_eq!(
-            cx.term_const("\"5\"^^xsd:integer", TriplePos::Object).unwrap(),
+            cx.term_const("\"5\"^^xsd:integer", TriplePos::Object)
+                .unwrap(),
             Term::Literal(Literal::typed("5", vocab::xsd::INTEGER))
         );
     }

@@ -457,7 +457,13 @@ mod tests {
         let g = graph();
         let a = g.feature_domain_range("dbpp:starring", "movie", "actor");
         let b = g.feature_domain_range("dbpp:birthPlace", "person", "place");
-        let j = a.join_on(&b, "actor", "person", Some("star"), crate::api::JoinType::Inner);
+        let j = a.join_on(
+            &b,
+            "actor",
+            "person",
+            Some("star"),
+            crate::api::JoinType::Inner,
+        );
         let m = build_query_model(&j).unwrap();
         let rendered = super::super::render::render(&m);
         assert!(rendered.contains("?star"), "{rendered}");

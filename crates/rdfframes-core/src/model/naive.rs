@@ -287,7 +287,6 @@ fn naive_ops(graph: &KnowledgeGraph, ops: &[Operator]) -> Result<QueryModel> {
 mod tests {
     use super::*;
     use crate::api::KnowledgeGraph;
-    
 
     fn graph() -> KnowledgeGraph {
         KnowledgeGraph::new("http://dbpedia.org")

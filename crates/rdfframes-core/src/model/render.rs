@@ -73,13 +73,7 @@ pub(crate) fn render_term(t: &str) -> String {
     t.to_string() // CURIE
 }
 
-fn render_select(
-    model: &QueryModel,
-    out: &mut String,
-    level: usize,
-    top: bool,
-    multi_graph: bool,
-) {
+fn render_select(model: &QueryModel, out: &mut String, level: usize, top: bool, multi_graph: bool) {
     indent(out, level);
     out.push_str("SELECT ");
     if model.distinct {
@@ -101,12 +95,12 @@ fn render_select(
     } else {
         let rendered: Vec<String> = select_names
             .iter()
-            .map(|name| {
-                match model.aggregates.iter().find(|a| &a.alias == name) {
+            .map(
+                |name| match model.aggregates.iter().find(|a| &a.alias == name) {
                     Some(agg) => format!("({} AS ?{})", agg.render_expr(), agg.alias),
                     None => format!("?{name}"),
-                }
-            })
+                },
+            )
             .collect();
         out.push_str(&rendered.join(" "));
     }
@@ -157,12 +151,7 @@ fn render_select(
     }
 }
 
-fn render_triples(
-    triples: &[TriplePat],
-    out: &mut String,
-    level: usize,
-    multi_graph: bool,
-) {
+fn render_triples(triples: &[TriplePat], out: &mut String, level: usize, multi_graph: bool) {
     if !multi_graph {
         for t in triples {
             indent(out, level);
@@ -221,10 +210,7 @@ fn render_having(model: &QueryModel, f: &FilterSpec) -> String {
                 Some(agg) => agg.render_expr(),
                 None => format!("?{column}"),
             };
-            let parts: Vec<String> = conditions
-                .iter()
-                .map(|c| c.render_with_lhs(&lhs))
-                .collect();
+            let parts: Vec<String> = conditions.iter().map(|c| c.render_with_lhs(&lhs)).collect();
             parts.join(" && ")
         }
         FilterSpec::Raw(raw) => raw.clone(),
@@ -304,7 +290,10 @@ mod tests {
             .feature_domain_range("dbpp:starring", "movie", "actor")
             .filter("actor", &["isURI"]);
         let q = f.to_sparql();
-        assert!(q.contains("PREFIX dbpp: <http://dbpedia.org/property/>"), "{q}");
+        assert!(
+            q.contains("PREFIX dbpp: <http://dbpedia.org/property/>"),
+            "{q}"
+        );
         assert!(q.contains("FROM <http://dbpedia.org>"), "{q}");
         assert!(q.contains("?movie dbpp:starring ?actor ."), "{q}");
         assert!(q.contains("FILTER ( isIRI(?actor) )"), "{q}");
@@ -366,7 +355,9 @@ mod tests {
         let frames = vec![
             movies.clone(),
             movies.clone().filter("actor", &["isURI"]),
-            movies.clone().expand_optional("movie", "dbpp:genre", "genre"),
+            movies
+                .clone()
+                .expand_optional("movie", "dbpp:genre", "genre"),
             movies
                 .clone()
                 .group_by(&["actor"])
@@ -378,7 +369,10 @@ mod tests {
                 .count("movie", "n", true)
                 .expand("actor", "dbpp:birthPlace", "c"),
             movies.clone().join(
-                &movies.clone().group_by(&["actor"]).count("movie", "n", false),
+                &movies
+                    .clone()
+                    .group_by(&["actor"])
+                    .count("movie", "n", false),
                 "actor",
                 crate::api::JoinType::Inner,
             ),
@@ -387,7 +381,10 @@ mod tests {
                 "actor",
                 crate::api::JoinType::Outer,
             ),
-            movies.clone().sort(&[("movie", crate::api::SortOrder::Desc)]).head(10),
+            movies
+                .clone()
+                .sort(&[("movie", crate::api::SortOrder::Desc)])
+                .head(10),
         ];
         for f in frames {
             let q = f.to_sparql();

@@ -138,9 +138,10 @@ pub fn compat_join(left: &DataFrame, right: &DataFrame, how: JoinType) -> DataFr
     let mut out = DataFrame::new(columns);
 
     let compatible = |l: &[Cell], r: &[Cell]| -> bool {
-        l_idx.iter().zip(&r_idx).all(|(&li, &ri)| {
-            l[li].is_null() || r[ri].is_null() || l[li] == r[ri]
-        })
+        l_idx
+            .iter()
+            .zip(&r_idx)
+            .all(|(&li, &ri)| l[li].is_null() || r[ri].is_null() || l[li] == r[ri])
     };
     let merge = |l: &[Cell], r: &[Cell]| -> Vec<Cell> {
         let mut row = l.to_vec();
@@ -213,9 +214,10 @@ fn value_to_cell(frame: &RDFFrame, v: &Value) -> Result<Cell> {
             if let Ok(i) = n.parse::<i64>() {
                 Cell::Int(i)
             } else {
-                Cell::Float(n.parse::<f64>().map_err(|_| {
-                    FrameError::BadCondition(format!("bad number {n}"))
-                })?)
+                Cell::Float(
+                    n.parse::<f64>()
+                        .map_err(|_| FrameError::BadCondition(format!("bad number {n}")))?,
+                )
             }
         }
         Value::String(s) => Cell::str(s.clone()),
@@ -253,11 +255,7 @@ pub fn condition_holds(frame: &RDFFrame, cond: &Condition, cell: &Cell) -> Resul
                     let ord = match (cell.as_f64(), rhs.as_f64()) {
                         (Some(a), Some(b)) => a.partial_cmp(&b),
                         _ => match (cell.as_str(), rhs.as_str()) {
-                            (Some(a), Some(b))
-                                if cell.is_uri() == rhs.is_uri() =>
-                            {
-                                Some(a.cmp(b))
-                            }
+                            (Some(a), Some(b)) if cell.is_uri() == rhs.is_uri() => Some(a.cmp(b)),
                             _ => None,
                         },
                     };
@@ -277,8 +275,8 @@ pub fn condition_holds(frame: &RDFFrame, cond: &Condition, cell: &Cell) -> Resul
         Condition::Bound => !cell.is_null(),
         Condition::NotBound => cell.is_null(),
         Condition::Regex { pattern, flags } => {
-            let re = Regex::new(pattern, flags)
-                .map_err(|e| FrameError::BadCondition(e.to_string()))?;
+            let re =
+                Regex::new(pattern, flags).map_err(|e| FrameError::BadCondition(e.to_string()))?;
             match cell {
                 Cell::Null => false,
                 Cell::Uri(s) | Cell::Str(s) => re.is_match(s),

@@ -19,7 +19,9 @@ fn squash(s: &str) -> String {
 
 #[test]
 fn table1_seed_projects_pattern_vars() {
-    let q = graph().seed("?movie", "dbpp:starring", "?actor").to_sparql();
+    let q = graph()
+        .seed("?movie", "dbpp:starring", "?actor")
+        .to_sparql();
     assert!(q.contains("?movie dbpp:starring ?actor ."), "{q}");
     assert!(q.contains("SELECT *"), "{q}");
 }
@@ -83,7 +85,10 @@ fn table1_inner_join_merges_patterns() {
     // Flat merge: both triples at the same level, no subquery.
     assert!(q.contains("?movie dbpp:starring ?actor ."), "{q}");
     assert!(q.contains("?actor dbpp:birthPlace ?c ."), "{q}");
-    assert!(!q.contains("SELECT *\n    WHERE"), "no nesting expected:\n{q}");
+    assert!(
+        !q.contains("SELECT *\n    WHERE"),
+        "no nesting expected:\n{q}"
+    );
 }
 
 #[test]
@@ -182,7 +187,10 @@ fn listing2_shape_single_nested_subquery() {
     assert_eq!(q.matches("SELECT").count(), 2, "exactly one subquery:\n{q}");
     assert_eq!(q.matches("OPTIONAL").count(), 1, "{q}");
     assert!(q.contains("HAVING ( COUNT(DISTINCT ?movie) >= 50 )"), "{q}");
-    assert!(q.contains("FILTER ( ?country = dbpr:United_States )"), "{q}");
+    assert!(
+        q.contains("FILTER ( ?country = dbpr:United_States )"),
+        "{q}"
+    );
 }
 
 #[test]
@@ -202,8 +210,14 @@ fn generated_queries_declare_used_prefixes() {
         .seed("?movie", "dbpp:starring", "?actor")
         .filter("actor", &["=dbpr:X"])
         .to_sparql();
-    assert!(q.contains("PREFIX dbpp: <http://dbpedia.org/property/>"), "{q}");
-    assert!(q.contains("PREFIX dbpr: <http://dbpedia.org/resource/>"), "{q}");
+    assert!(
+        q.contains("PREFIX dbpp: <http://dbpedia.org/property/>"),
+        "{q}"
+    );
+    assert!(
+        q.contains("PREFIX dbpr: <http://dbpedia.org/resource/>"),
+        "{q}"
+    );
 }
 
 #[test]

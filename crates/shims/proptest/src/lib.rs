@@ -122,7 +122,8 @@ macro_rules! prop_assert_ne {
         let (__va, __vb) = (&$a, &$b);
         if __va == __vb {
             return ::std::result::Result::Err(::std::format!(
-                "prop_assert_ne failed: both sides = {:?}", __va
+                "prop_assert_ne failed: both sides = {:?}",
+                __va
             ));
         }
     }};

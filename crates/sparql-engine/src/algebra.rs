@@ -111,6 +111,21 @@ pub enum Plan {
         /// The shared join variable both inputs are sorted by.
         key: String,
     },
+    /// Left outer join (`OPTIONAL`) whose inputs are both known to arrive
+    /// sorted on `key` (same contract as [`Plan::MergeJoin`]). Never
+    /// produced by translation; the optimizer rewrites [`Plan::LeftJoin`]
+    /// into this, and the columnar evaluator runs a linear merge that emits
+    /// unmatched left rows in place — exactly the hash left join's pair
+    /// order — with the same run-time sortedness check + hash fallback.
+    /// Row-oriented evaluators treat it exactly as [`Plan::LeftJoin`].
+    MergeLeftJoin {
+        /// Left (preserved) input, sorted on `key`.
+        left: Box<Plan>,
+        /// Right (optional) input, sorted on `key`.
+        right: Box<Plan>,
+        /// The shared join variable both inputs are sorted by.
+        key: String,
+    },
     /// Left outer join (`OPTIONAL`).
     LeftJoin(Box<Plan>, Box<Plan>),
     /// Bag union.
@@ -127,11 +142,33 @@ pub enum Plan {
         aggs: Vec<AggSpec>,
         /// Input plan.
         input: Box<Plan>,
+        /// Sort-order prefix of the input that covers exactly the grouping
+        /// keys (ascending global [`rdf_model::TermId`] order). Empty
+        /// straight out of translation; the optimizer fills it when
+        /// interesting-order tracking proves the input sorted with the keys
+        /// as a prefix, letting the columnar evaluator detect group runs
+        /// over raw id column slices instead of hashing (with a run-time
+        /// sortedness check + hash fallback). Groups come out in
+        /// first-occurrence order either way, so the rewrite is invisible.
+        sorted_on: Vec<String>,
     },
     /// Projection to the named columns.
     Project(Vec<String>, Box<Plan>),
     /// Duplicate elimination (keeps first occurrence).
     Distinct(Box<Plan>),
+    /// Duplicate elimination over an input the optimizer proved sorted on
+    /// `order` (the input's full interesting-order sequence). Never produced
+    /// by translation. The columnar evaluator deduplicates by linear run
+    /// detection over raw id column slices when `order` covers every output
+    /// column (verified at run time together with sortedness; hash fallback
+    /// otherwise). Keeps first occurrences in input order, exactly like
+    /// [`Plan::Distinct`], which row-oriented evaluators run it as.
+    SortedDistinct {
+        /// The variable sequence the input is sorted by.
+        order: Vec<String>,
+        /// Input plan.
+        input: Box<Plan>,
+    },
     /// Sorting.
     OrderBy(Vec<OrderKey>, Box<Plan>),
     /// Bounded sorting: the first `k` rows of the ORDER BY order. Never
@@ -212,6 +249,7 @@ pub fn translate_query(query: &SelectQuery) -> Result<Plan> {
             keys: query.group_by.clone(),
             aggs,
             input: Box::new(plan),
+            sorted_on: Vec::new(),
         };
     } else {
         if !query.having.is_empty() {
@@ -430,6 +468,11 @@ fn rebind_graph(plan: Plan, graph: &GraphRef) -> Plan {
             right: Box::new(rebind_graph(*right, graph)),
             key,
         },
+        Plan::MergeLeftJoin { left, right, key } => Plan::MergeLeftJoin {
+            left: Box::new(rebind_graph(*left, graph)),
+            right: Box::new(rebind_graph(*right, graph)),
+            key,
+        },
         Plan::LeftJoin(a, b) => Plan::LeftJoin(
             Box::new(rebind_graph(*a, graph)),
             Box::new(rebind_graph(*b, graph)),
@@ -440,13 +483,23 @@ fn rebind_graph(plan: Plan, graph: &GraphRef) -> Plan {
         ),
         Plan::Filter(e, p) => Plan::Filter(e, Box::new(rebind_graph(*p, graph))),
         Plan::Extend(v, e, p) => Plan::Extend(v, e, Box::new(rebind_graph(*p, graph))),
-        Plan::Group { keys, aggs, input } => Plan::Group {
+        Plan::Group {
+            keys,
+            aggs,
+            input,
+            sorted_on,
+        } => Plan::Group {
             keys,
             aggs,
             input: Box::new(rebind_graph(*input, graph)),
+            sorted_on,
         },
         Plan::Project(vars, p) => Plan::Project(vars, Box::new(rebind_graph(*p, graph))),
         Plan::Distinct(p) => Plan::Distinct(Box::new(rebind_graph(*p, graph))),
+        Plan::SortedDistinct { order, input } => Plan::SortedDistinct {
+            order,
+            input: Box::new(rebind_graph(*input, graph)),
+        },
         Plan::OrderBy(keys, p) => Plan::OrderBy(keys, Box::new(rebind_graph(*p, graph))),
         Plan::TopK { keys, k, input } => Plan::TopK {
             keys,

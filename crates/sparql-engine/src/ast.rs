@@ -391,7 +391,11 @@ mod tests {
 
     #[test]
     fn triple_vars() {
-        let t = TriplePattern::new(var("s"), PatternTerm::Const(Term::iri("http://p")), var("o"));
+        let t = TriplePattern::new(
+            var("s"),
+            PatternTerm::Const(Term::iri("http://p")),
+            var("o"),
+        );
         let vs: Vec<_> = t.variables().collect();
         assert_eq!(vs, vec!["s", "o"]);
     }

@@ -72,10 +72,22 @@ pub struct EngineConfig {
     /// (no effect with `optimize` off). Pure physical rewrite; results are
     /// identical either way.
     pub filter_pushdown: bool,
-    /// Rewrite hash joins into merge joins when interesting-order tracking
-    /// proves both inputs sorted on the join key (no effect with `optimize`
-    /// off). Pure physical rewrite.
+    /// Rewrite inner hash joins into merge joins when interesting-order
+    /// tracking proves both inputs sorted on the join key (no effect with
+    /// `optimize` off). Pure physical rewrite.
     pub merge_joins: bool,
+    /// Rewrite left (OPTIONAL) hash joins into merge left joins under the
+    /// same condition (no effect with `optimize` off). Pure physical
+    /// rewrite: unmatched left rows are emitted in place either way.
+    pub merge_left_joins: bool,
+    /// Deduplicate DISTINCT by linear run detection when the input arrives
+    /// sorted on a sequence covering every output column (no effect with
+    /// `optimize` off; columnar evaluator only). Pure physical rewrite.
+    pub sorted_distinct: bool,
+    /// Group by linear run detection when the grouping keys are a prefix of
+    /// the input's sort order (no effect with `optimize` off; columnar
+    /// evaluator only). Pure physical rewrite.
+    pub sorted_group_by: bool,
     /// Sort `ORDER BY ?var` by the dataset's cached term-rank permutation
     /// instead of materializing per-row key terms (columnar evaluator
     /// only). Pure physical rewrite.
@@ -91,6 +103,9 @@ impl EngineConfig {
             eval_mode: EvalMode::Columnar,
             filter_pushdown: true,
             merge_joins: true,
+            merge_left_joins: true,
+            sorted_distinct: true,
+            sorted_group_by: true,
             rank_order_by: true,
         }
     }
@@ -107,9 +122,19 @@ impl Default for EngineConfig {
 pub struct ExecStats {
     /// Index entries scanned during evaluation.
     pub rows_scanned: u64,
-    /// Joins that executed as order-preserving merge joins instead of hash
-    /// joins (columnar evaluator only; the oracle evaluators always hash).
+    /// Inner joins that executed as order-preserving merge joins instead of
+    /// hash joins (columnar evaluator only; the oracle evaluators always
+    /// hash).
     pub merge_joins: u64,
+    /// Left (OPTIONAL) joins that executed as order-preserving merge joins
+    /// (columnar evaluator only).
+    pub merge_left_joins: u64,
+    /// DISTINCT operators that deduplicated by linear run detection over
+    /// sorted input instead of hashing (columnar evaluator only).
+    pub sorted_distincts: u64,
+    /// GROUP BY operators that grouped by linear run detection over sorted
+    /// input instead of hashing (columnar evaluator only).
+    pub sorted_groups: u64,
 }
 
 /// A query that has been parsed, translated, and optimized once and can be
@@ -164,6 +189,15 @@ impl Engine {
         &self.dataset
     }
 
+    /// Mutable access to the dataset when this engine is its sole owner
+    /// (`None` if the `Arc` is shared — clone-free ingestion only works on
+    /// an exclusively-held engine). This is the supported way to
+    /// [`Dataset::append_triples`] behind a live engine; plan caches detect
+    /// the mutation through [`Dataset::stats_generation`].
+    pub fn dataset_mut(&mut self) -> Option<&mut Dataset> {
+        Arc::get_mut(&mut self.dataset)
+    }
+
     /// Parse, translate, and (per configuration) optimize a SELECT query
     /// into a reusable [`PreparedQuery`].
     pub fn prepare(&self, query: &str) -> Result<PreparedQuery> {
@@ -179,7 +213,10 @@ impl Engine {
         if self.config.optimize {
             let mut optimizer = Optimizer::new(&self.dataset, &from)
                 .with_filter_pushdown(self.config.filter_pushdown)
-                .with_merge_joins(self.config.merge_joins);
+                .with_merge_joins(self.config.merge_joins)
+                .with_merge_left_joins(self.config.merge_left_joins)
+                .with_sorted_distinct(self.config.sorted_distinct)
+                .with_sorted_group_by(self.config.sorted_group_by);
             optimizer.optimize(&mut plan);
         }
         PreparedQuery { plan, from }
@@ -232,6 +269,9 @@ impl Engine {
                 let stats = ExecStats {
                     rows_scanned: evaluator.rows_scanned(),
                     merge_joins: evaluator.merge_joins(),
+                    merge_left_joins: evaluator.merge_left_joins(),
+                    sorted_distincts: evaluator.sorted_distincts(),
+                    sorted_groups: evaluator.sorted_groups(),
                 };
                 Ok((table, stats))
             }
@@ -280,6 +320,9 @@ impl Engine {
         let stats = ExecStats {
             rows_scanned: evaluator.rows_scanned(),
             merge_joins: evaluator.merge_joins(),
+            merge_left_joins: evaluator.merge_left_joins(),
+            sorted_distincts: evaluator.sorted_distincts(),
+            sorted_groups: evaluator.sorted_groups(),
         };
         Ok(QueryCursor {
             table,
@@ -429,6 +472,51 @@ mod tests {
         // Same rows as the one-shot string path.
         let direct = engine.execute(q).unwrap();
         assert_eq!(direct, all);
+    }
+
+    #[test]
+    fn out_of_range_pages_come_back_empty_on_every_evaluator() {
+        // `offset > len` (and saturating offset+limit arithmetic) must
+        // yield an empty table — never a panic or a debug overflow — on all
+        // three evaluators, through both the page API and query text.
+        let q = "SELECT ?s ?o FROM <http://g> WHERE { ?s <http://x/p> ?o } ORDER BY ?o";
+        for eval_mode in [
+            EvalMode::Columnar,
+            EvalMode::IdNative,
+            EvalMode::TermReference,
+        ] {
+            let engine = Engine::with_config(
+                dataset(),
+                EngineConfig {
+                    eval_mode,
+                    ..EngineConfig::new()
+                },
+            );
+            for (offset, limit) in [(10, 4), (11, 4), (usize::MAX, 4), (usize::MAX, usize::MAX)] {
+                let (page, _) = engine.execute_page(q, offset, limit).unwrap();
+                assert_eq!(page.vars, vec!["s", "o"], "{eval_mode:?}");
+                assert!(page.rows.is_empty(), "{eval_mode:?} offset={offset}");
+            }
+            // Boundary page ending exactly at the result edge.
+            let (page, _) = engine.execute_page(q, 8, usize::MAX).unwrap();
+            assert_eq!(page.len(), 2, "{eval_mode:?}");
+            // Adversarial Slice built programmatically (the embedded
+            // compile path accepts arbitrary usize limits — query text
+            // cannot express them, the parser caps literals at i64).
+            // Regression: the reference evaluator used to compute
+            // offset+limit unclamped, overflowing in debug builds.
+            let prepared = engine.prepare(q).unwrap();
+            let sliced = engine.prepare_plan(
+                Plan::Slice {
+                    limit: Some(usize::MAX),
+                    offset: 1,
+                    input: Box::new(prepared.plan().clone()),
+                },
+                prepared.from_graphs().to_vec(),
+            );
+            let (t, _) = engine.execute_prepared(&sliced, None).unwrap();
+            assert_eq!(t.len(), 9, "{eval_mode:?}");
+        }
     }
 
     #[test]

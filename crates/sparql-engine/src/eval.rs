@@ -51,6 +51,9 @@ pub struct Evaluator<'a> {
     pool: TermPool<'a>,
     rows_scanned: u64,
     merge_joins: u64,
+    merge_left_joins: u64,
+    sorted_distincts: u64,
+    sorted_groups: u64,
     /// `ORDER BY ?var` via the dataset's cached term-rank permutation
     /// (disable to measure the term-materializing sort it replaces).
     rank_sort: bool,
@@ -69,6 +72,9 @@ impl<'a> Evaluator<'a> {
             pool: TermPool::new(dataset.interner()),
             rows_scanned: 0,
             merge_joins: 0,
+            merge_left_joins: 0,
+            sorted_distincts: 0,
+            sorted_groups: 0,
             rank_sort: true,
             scratch: Vec::new(),
         }
@@ -84,6 +90,24 @@ impl<'a> Evaluator<'a> {
     /// (the run-time sortedness check passed; 0 means every join hashed).
     pub fn merge_joins(&self) -> u64 {
         self.merge_joins
+    }
+
+    /// Number of [`Plan::MergeLeftJoin`] nodes that actually ran as merge
+    /// left joins (run-time sortedness check passed).
+    pub fn merge_left_joins(&self) -> u64 {
+        self.merge_left_joins
+    }
+
+    /// Number of [`Plan::SortedDistinct`] nodes that deduplicated by run
+    /// detection instead of hashing.
+    pub fn sorted_distincts(&self) -> u64 {
+        self.sorted_distincts
+    }
+
+    /// Number of [`Plan::Group`] nodes that grouped by run detection
+    /// instead of hashing.
+    pub fn sorted_groups(&self) -> u64 {
+        self.sorted_groups
     }
 
     /// Toggle the term-rank `ORDER BY` fast path (on by default; the bench
@@ -156,7 +180,12 @@ impl<'a> Evaluator<'a> {
             Plan::MergeJoin { left, right, key } => {
                 let left = self.eval_ids(left)?;
                 let right = self.eval_ids(right)?;
-                Ok(self.join_sorted(left, right, key))
+                Ok(self.join_sorted(left, right, key, JoinKind::Inner))
+            }
+            Plan::MergeLeftJoin { left, right, key } => {
+                let left = self.eval_ids(left)?;
+                let right = self.eval_ids(right)?;
+                Ok(self.join_sorted(left, right, key, JoinKind::Left))
             }
             Plan::LeftJoin(a, b) => {
                 let left = self.eval_ids(a)?;
@@ -243,9 +272,14 @@ impl<'a> Evaluator<'a> {
                 }
                 Ok(t)
             }
-            Plan::Group { keys, aggs, input } => {
+            Plan::Group {
+                keys,
+                aggs,
+                input,
+                sorted_on,
+            } => {
                 let t = self.eval_ids(input)?;
-                self.eval_group(keys, aggs, t)
+                self.eval_group(keys, aggs, sorted_on, t)
             }
             Plan::Project(vars, p) => {
                 let t = self.eval_ids(p)?;
@@ -270,25 +304,21 @@ impl<'a> Evaluator<'a> {
                 Ok(IdTable::from_columns(vars.clone(), out_cols, rows))
             }
             Plan::Distinct(p) => {
-                let mut t = self.eval_ids(p)?;
-                let width = t.vars.len();
-                let mut keep = Vec::with_capacity(t.len());
-                if width == 1 {
-                    // Single column: dedup on bare u64 codes, no row keys.
-                    let mut seen: HashSet<u64> = HashSet::with_capacity(t.len());
-                    let col = t.col(0);
-                    for i in 0..t.len() {
-                        keep.push(seen.insert(col.hash_code(i)));
+                let t = self.eval_ids(p)?;
+                Ok(hash_distinct(t))
+            }
+            Plan::SortedDistinct { order, input } => {
+                let mut t = self.eval_ids(input)?;
+                match sorted_distinct_mask(&t, order) {
+                    Some(keep) => {
+                        self.sorted_distincts += 1;
+                        t.filter_mask(&keep);
+                        Ok(t)
                     }
-                } else {
-                    let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(t.len());
-                    for i in 0..t.len() {
-                        let key: Vec<u64> = (0..width).map(|c| t.col(c).hash_code(i)).collect();
-                        keep.push(seen.insert(key));
-                    }
+                    // Coverage or sortedness claim failed at run time: the
+                    // hash path produces the identical keep-first bag.
+                    None => Ok(hash_distinct(t)),
                 }
-                t.filter_mask(&keep);
-                Ok(t)
             }
             Plan::OrderBy(keys, p) => {
                 let mut t = self.eval_ids(p)?;
@@ -371,8 +401,11 @@ impl<'a> Evaluator<'a> {
             }
         }
         let width = vars.len();
-        let var_idx: HashMap<&str, usize> =
-            vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+        let var_idx: HashMap<&str, usize> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
 
         // Borrow the fields the scan callback needs up front so it never
         // re-borrows `self` (the work counter accumulates locally).
@@ -553,22 +586,25 @@ impl<'a> Evaluator<'a> {
         Some((col, self.pool.lookup(konst), negate))
     }
 
-    /// Inner join of two inputs the optimizer proved sorted on `key`.
-    /// Verifies the claim at run time (both key columns fully bound and
-    /// non-decreasing — one linear pass, far cheaper than a hash build) and
-    /// falls back to the hash join if storage reality disagrees with the
-    /// static analysis.
-    fn join_sorted(&mut self, left: IdTable, right: IdTable, key: &str) -> IdTable {
+    /// Join (inner or left) of two inputs the optimizer proved sorted on
+    /// `key`. Verifies the claim at run time (both key columns fully bound
+    /// and non-decreasing — one linear pass, far cheaper than a hash build)
+    /// and falls back to the hash join if storage reality disagrees with
+    /// the static analysis.
+    fn join_sorted(&mut self, left: IdTable, right: IdTable, key: &str, kind: JoinKind) -> IdTable {
         if let (Some(lc), Some(rc)) = (left.column_index(key), right.column_index(key)) {
             let sorted = |t: &IdTable, c: usize| {
                 t.col(c).all_present() && t.col(c).ids().windows(2).all(|w| w[0] <= w[1])
             };
             if sorted(&left, lc) && sorted(&right, rc) {
-                self.merge_joins += 1;
-                return merge_join(left, right, lc, rc);
+                match kind {
+                    JoinKind::Inner => self.merge_joins += 1,
+                    JoinKind::Left => self.merge_left_joins += 1,
+                }
+                return merge_join(left, right, lc, rc, kind);
             }
         }
-        join(left, right, JoinKind::Inner)
+        join(left, right, kind)
     }
 
     /// Pattern-level slot for one position: a constant bound to its local id
@@ -590,7 +626,13 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn eval_group(&mut self, keys: &[String], aggs: &[AggSpec], input: IdTable) -> Result<IdTable> {
+    fn eval_group(
+        &mut self,
+        keys: &[String],
+        aggs: &[AggSpec],
+        sorted_on: &[String],
+        input: IdTable,
+    ) -> Result<IdTable> {
         let key_indices: Vec<Option<usize>> = keys.iter().map(|k| input.column_index(k)).collect();
 
         // Per-aggregate execution plan, id-native where the shape allows:
@@ -675,15 +717,27 @@ impl<'a> Evaluator<'a> {
 
         // Group index: encoded id-tuple key → position in `groups`. Hashing
         // u64-encoded cells (bijective), never terms. The common single-key
-        // case hashes one u64 with no per-row allocation.
+        // case hashes one u64 with no per-row allocation. Over an input the
+        // optimizer proved sorted with the keys as an order prefix, hashing
+        // disappears entirely: equal keys are adjacent, so a strict
+        // increase on the prefix columns *is* a group boundary
+        // (`GroupIndex::Sorted`). Both strategies emit groups in
+        // first-occurrence order, so they are interchangeable row for row.
         enum GroupIndex {
             One(HashMap<u64, usize>),
             Many(HashMap<Vec<u64>, usize>),
+            /// Run detection over these (fully bound, presorted — verified
+            /// below) key-prefix columns.
+            Sorted(Vec<usize>),
         }
-        let mut index = if key_indices.len() == 1 {
-            GroupIndex::One(HashMap::new())
-        } else {
-            GroupIndex::Many(HashMap::new())
+        let sorted_cols = self.sorted_group_columns(sorted_on, keys, &input);
+        let mut index = match sorted_cols {
+            Some(cols) => {
+                self.sorted_groups += 1;
+                GroupIndex::Sorted(cols)
+            }
+            None if key_indices.len() == 1 => GroupIndex::One(HashMap::new()),
+            None => GroupIndex::Many(HashMap::new()),
         };
         let mut groups: Vec<(Vec<Option<TermId>>, Vec<AggAccum>)> = Vec::new();
 
@@ -696,13 +750,22 @@ impl<'a> Evaluator<'a> {
         }
 
         for i in 0..input.len() {
-            let slot = match &mut index {
+            // `None` = this row starts a new group; `Some(gi)` = it joins
+            // group `gi` (any earlier one for the hash strategies, always
+            // the most recent for run detection).
+            let existing: Option<usize> = match &mut index {
                 GroupIndex::One(m) => {
                     let enc = match key_indices[0] {
                         Some(c) => input.col(c).hash_code(i),
                         None => 0,
                     };
-                    m.entry(enc).or_insert(usize::MAX)
+                    let slot = m.entry(enc).or_insert(usize::MAX);
+                    if *slot == usize::MAX {
+                        *slot = groups.len();
+                        None
+                    } else {
+                        Some(*slot)
+                    }
                 }
                 GroupIndex::Many(m) => {
                     let key_enc: Vec<u64> = key_indices
@@ -712,20 +775,37 @@ impl<'a> Evaluator<'a> {
                             None => 0,
                         })
                         .collect();
-                    m.entry(key_enc).or_insert(usize::MAX)
+                    let slot = m.entry(key_enc).or_insert(usize::MAX);
+                    if *slot == usize::MAX {
+                        *slot = groups.len();
+                        None
+                    } else {
+                        Some(*slot)
+                    }
+                }
+                GroupIndex::Sorted(cols) => {
+                    // Presorted input: a neighbor differing on any prefix
+                    // column starts a new group; equal neighbors extend the
+                    // last one. (Non-adjacency of equal keys is impossible
+                    // — sortedness was verified.)
+                    if i == 0 || lex_cmp_prev(&input, cols, i) != Ordering::Equal {
+                        None
+                    } else {
+                        Some(groups.len() - 1)
+                    }
                 }
             };
-            let gi = if *slot == usize::MAX {
-                let gi = groups.len();
-                *slot = gi;
-                let key: Vec<Option<TermId>> = key_indices
-                    .iter()
-                    .map(|ki| ki.and_then(|c| input.get(i, c)))
-                    .collect();
-                groups.push((key, fresh_accums(aggs, &plans)));
-                gi
-            } else {
-                *slot
+            let gi = match existing {
+                Some(gi) => gi,
+                None => {
+                    let gi = groups.len();
+                    let key: Vec<Option<TermId>> = key_indices
+                        .iter()
+                        .map(|ki| ki.and_then(|c| input.get(i, c)))
+                        .collect();
+                    groups.push((key, fresh_accums(aggs, &plans)));
+                    gi
+                }
             };
             for (accum, plan) in groups[gi].1.iter_mut().zip(&plans) {
                 match (accum, plan) {
@@ -807,6 +887,40 @@ impl<'a> Evaluator<'a> {
         }
         key_cols.extend(agg_cols);
         Ok(IdTable::from_columns(out_vars, key_cols, n_groups))
+    }
+
+    /// Validate a [`Plan::Group`]'s `sorted_on` claim against the actual
+    /// input, returning the prefix column indexes to run-detect on, or
+    /// `None` for the hash fallback. Checks (all linear or cheaper): the
+    /// annotation is present, its variables and the grouping keys name the
+    /// same column set, every prefix column exists and is fully bound, and
+    /// the rows really are lexicographically non-decreasing on the prefix
+    /// sequence — the same trust-but-verify contract as the merge joins.
+    fn sorted_group_columns(
+        &self,
+        sorted_on: &[String],
+        keys: &[String],
+        input: &IdTable,
+    ) -> Option<Vec<usize>> {
+        if sorted_on.is_empty() {
+            return None;
+        }
+        // Set equality with the keys (the optimizer guarantees it; a stale
+        // or hand-built plan must not silently misgroup).
+        if !keys.iter().all(|k| sorted_on.contains(k))
+            || !sorted_on.iter().all(|v| keys.contains(v))
+        {
+            return None;
+        }
+        let cols: Vec<usize> = sorted_on
+            .iter()
+            .map(|v| input.column_index(v))
+            .collect::<Option<Vec<_>>>()?;
+        if cols.iter().any(|&c| !input.col(c).all_present()) {
+            return None;
+        }
+        let sorted = (1..input.len()).all(|i| lex_cmp_prev(input, &cols, i) != Ordering::Greater);
+        sorted.then_some(cols)
     }
 
     /// Is every bound value in the column a numeric literal (and no NaN,
@@ -920,9 +1034,7 @@ impl<'a> Evaluator<'a> {
         // sorts on a cold cache stay on the term path.
         let ranks = match self.dataset.cached_term_ranks() {
             Some(ranks) => ranks,
-            None if table.len() >= self.dataset.interner().len() / 16 => {
-                self.dataset.term_ranks()
-            }
+            None if table.len() >= self.dataset.interner().len() / 16 => self.dataset.term_ranks(),
             None => return None,
         };
         // One rank column per key; bail on ids past the snapshot.
@@ -988,7 +1100,11 @@ fn compare_keyed(keys: &[OrderKey], a: &KeyedRow, b: &KeyedRow) -> Ordering {
             (Some(_), None) => Ordering::Greater,
             (Some(x), Some(y)) => x.order_cmp(y),
         };
-        let ord = if key_spec.ascending { ord } else { ord.reverse() };
+        let ord = if key_spec.ascending {
+            ord
+        } else {
+            ord.reverse()
+        };
         if ord != Ordering::Equal {
             return ord;
         }
@@ -1277,14 +1393,23 @@ impl JoinShape {
     }
 }
 
-/// Order-preserving merge join: both inputs sorted non-decreasing on their
-/// key column (all slots bound — verified by the caller). Emits pairs in
-/// exactly the order the hash join produces — left rows in input order,
-/// each one's matches in ascending right-row order — so the rewrite is
-/// invisible to everything downstream, including the differential oracles.
-/// Remaining shared variables get the same per-pair compatibility check the
-/// hash join applies (same [`JoinShape`]).
-fn merge_join(left: IdTable, right: IdTable, l_key: usize, r_key: usize) -> IdTable {
+/// Order-preserving merge join (inner or left): both inputs sorted
+/// non-decreasing on their key column (all slots bound — verified by the
+/// caller). Emits pairs in exactly the order the hash join produces — left
+/// rows in input order, each one's matches in ascending right-row order,
+/// and (for the left flavor) an unmatched-left marker in place — so the
+/// rewrite is invisible to everything downstream, including the
+/// differential oracles. Remaining shared variables get the same per-pair
+/// compatibility check the hash join applies (same [`JoinShape`]): a left
+/// row whose key-run candidates all fail it counts as unmatched, exactly
+/// like the hash join's bucket probe.
+fn merge_join(
+    left: IdTable,
+    right: IdTable,
+    l_key: usize,
+    r_key: usize,
+    kind: JoinKind,
+) -> IdTable {
     let shape = JoinShape::new(&left, &right);
     let compatible = |li: usize, ri: usize| -> bool { shape.compatible(&left, &right, li, ri) };
 
@@ -1299,19 +1424,106 @@ fn merge_join(left: IdTable, right: IdTable, l_key: usize, r_key: usize) -> IdTa
             run += 1;
         }
         let mut ri = run;
+        let mut matched = false;
         while ri < rk.len() && rk[ri] == key {
             if compatible(li, ri) {
                 pairs.push((li as u32, ri as u32));
+                matched = true;
             }
             ri += 1;
+        }
+        if !matched && kind == JoinKind::Left {
+            pairs.push((li as u32, NO_MATCH));
         }
     }
     assemble_join(&left, &right, shape.out_vars, &pairs)
 }
 
+/// Hash-based DISTINCT (keeps first occurrences): the general path, and the
+/// fallback when a [`Plan::SortedDistinct`] claim fails at run time.
+fn hash_distinct(mut t: IdTable) -> IdTable {
+    let width = t.vars.len();
+    let mut keep = Vec::with_capacity(t.len());
+    if width == 1 {
+        // Single column: dedup on bare u64 codes, no row keys.
+        let mut seen: HashSet<u64> = HashSet::with_capacity(t.len());
+        let col = t.col(0);
+        for i in 0..t.len() {
+            keep.push(seen.insert(col.hash_code(i)));
+        }
+    } else {
+        let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(t.len());
+        for i in 0..t.len() {
+            let key: Vec<u64> = (0..width).map(|c| t.col(c).hash_code(i)).collect();
+            keep.push(seen.insert(key));
+        }
+    }
+    t.filter_mask(&keep);
+    t
+}
+
+/// Linear run-detection DISTINCT over a table claimed sorted on `order`.
+///
+/// Eligibility is re-verified here, not trusted: every order variable must
+/// be a column, every column must appear in the order (otherwise rows equal
+/// on the order columns could still differ and run detection would
+/// over-delete), every order column must be fully bound, and the rows must
+/// actually be lexicographically non-decreasing on the order sequence. The
+/// sortedness check and the dedup are one fused pass: a strictly greater
+/// neighbor starts a new run (keep), an equal neighbor is a duplicate
+/// (drop — order covers all columns, so order-equal means row-equal), and
+/// an out-of-order neighbor aborts to `None` (hash fallback).
+fn sorted_distinct_mask(t: &IdTable, order: &[String]) -> Option<Vec<bool>> {
+    let cols: Vec<usize> = order
+        .iter()
+        .map(|v| t.column_index(v))
+        .collect::<Option<Vec<_>>>()?;
+    // Coverage: duplicate-named columns are clones by construction
+    // (projection copies the first occurrence), so name coverage is column
+    // coverage.
+    if !t.vars.iter().all(|v| order.contains(v)) {
+        return None;
+    }
+    if cols.iter().any(|&c| !t.col(c).all_present()) {
+        return None;
+    }
+    let mut keep = Vec::with_capacity(t.len());
+    if !t.is_empty() {
+        keep.push(true);
+    }
+    for i in 1..t.len() {
+        match lex_cmp_prev(t, &cols, i) {
+            Ordering::Greater => return None, // claim was wrong: fall back
+            Ordering::Less => keep.push(true),
+            Ordering::Equal => keep.push(false),
+        }
+    }
+    Some(keep)
+}
+
+/// Compare rows `i-1` and `i` lexicographically on `cols` by raw id (the
+/// one comparator behind every run-time sortedness check and run
+/// detection — callers must have verified the columns fully bound).
+#[inline]
+fn lex_cmp_prev(t: &IdTable, cols: &[usize], i: usize) -> Ordering {
+    for &c in cols {
+        let ids = t.col(c).ids();
+        let ord = ids[i - 1].cmp(&ids[i]);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
 /// Emit join output columns by gathering over a `(left row, right row)`
 /// pair list (`NO_MATCH` right = unmatched left row of a left join).
-fn assemble_join(left: &IdTable, right: &IdTable, out_vars: Vec<String>, pairs: &[(u32, u32)]) -> IdTable {
+fn assemble_join(
+    left: &IdTable,
+    right: &IdTable,
+    out_vars: Vec<String>,
+    pairs: &[(u32, u32)],
+) -> IdTable {
     let mut cols: Vec<Column> = Vec::with_capacity(out_vars.len());
     for v in &out_vars {
         let mut col = Column::with_capacity(pairs.len());
@@ -1477,6 +1689,62 @@ mod tests {
     }
 
     #[test]
+    fn merge_left_join_matches_hash_left_join() {
+        // Sorted key columns; left rows 1..4, right matches for 1 (two,
+        // one incompatible on the extra shared var), none for 2, one for 4.
+        let left = tbl(
+            &["x", "g"],
+            vec![vec![i(1), i(7)], vec![i(2), i(7)], vec![i(4), None]],
+        );
+        let right = tbl(
+            &["x", "g", "z"],
+            vec![
+                vec![i(1), i(7), i(100)],
+                vec![i(1), i(8), i(101)], // clashes on ?g → incompatible
+                vec![i(4), i(9), i(102)], // joins the unbound-?g left row
+            ],
+        );
+        let via_hash = join(left.clone(), right.clone(), JoinKind::Left);
+        let via_merge = merge_join(left, right, 0, 0, JoinKind::Left);
+        assert_eq!(rows_of(&via_hash), rows_of(&via_merge));
+        assert_eq!(via_hash.vars, via_merge.vars);
+        // Row 2 (x=2) must appear unmatched, in place.
+        assert_eq!(rows_of(&via_merge)[1], vec![i(2), i(7), None]);
+    }
+
+    #[test]
+    fn sorted_distinct_mask_checks_its_claims() {
+        let order: Vec<String> = vec!["a".into(), "b".into()];
+        // Sorted with duplicates: run detection keeps first occurrences.
+        let t = tbl(
+            &["a", "b"],
+            vec![
+                vec![i(1), i(5)],
+                vec![i(1), i(5)],
+                vec![i(1), i(6)],
+                vec![i(2), i(3)],
+                vec![i(2), i(3)],
+            ],
+        );
+        assert_eq!(
+            sorted_distinct_mask(&t, &order),
+            Some(vec![true, false, true, true, false])
+        );
+        // Out-of-order rows: the claim is rejected (hash fallback).
+        let unsorted = tbl(&["a", "b"], vec![vec![i(2), i(1)], vec![i(1), i(1)]]);
+        assert_eq!(sorted_distinct_mask(&unsorted, &order), None);
+        // A column the order does not cover: rejected.
+        let extra = tbl(&["a", "c"], vec![vec![i(1), i(1)]]);
+        assert_eq!(sorted_distinct_mask(&extra, &order), None);
+        // An unbound slot in an order column: rejected.
+        let unbound = tbl(&["a", "b"], vec![vec![i(1), None]]);
+        assert_eq!(sorted_distinct_mask(&unbound, &order), None);
+        // Empty input is trivially sorted.
+        let empty = tbl(&["a", "b"], vec![]);
+        assert_eq!(sorted_distinct_mask(&empty, &order), Some(vec![]));
+    }
+
+    #[test]
     fn numeric_accum_matches_agg_state() {
         use crate::ast::AggOp;
         use rdf_model::Interner;
@@ -1509,7 +1777,9 @@ mod tests {
                     fast.push(id, v);
                     slow.push(Some(t.clone()));
                 }
-                let fast_term = fast.finish(op, &mut pool).map(|id| pool.resolve(id).clone());
+                let fast_term = fast
+                    .finish(op, &mut pool)
+                    .map(|id| pool.resolve(id).clone());
                 assert_eq!(fast_term, slow.finish(), "{op:?} distinct={distinct}");
             }
         }

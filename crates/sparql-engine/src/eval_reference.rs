@@ -59,15 +59,21 @@ impl<'a> ReferenceEvaluator<'a> {
                 graph,
                 filters,
             } => self.eval_bgp(patterns, graph, filters),
-            // The merge-join rewrite is a columnar-evaluator
-            // specialization; the oracle hash-joins it (identical rows in
-            // identical order).
-            Plan::Join(a, b) | Plan::MergeJoin { left: a, right: b, .. } => {
+            // The merge-join rewrites are columnar-evaluator
+            // specializations; the oracle hash-joins them (identical rows
+            // in identical order).
+            Plan::Join(a, b)
+            | Plan::MergeJoin {
+                left: a, right: b, ..
+            } => {
                 let left = self.eval(a)?;
                 let right = self.eval(b)?;
                 Ok(join(left, right, JoinKind::Inner))
             }
-            Plan::LeftJoin(a, b) => {
+            Plan::LeftJoin(a, b)
+            | Plan::MergeLeftJoin {
+                left: a, right: b, ..
+            } => {
                 let left = self.eval(a)?;
                 let right = self.eval(b)?;
                 Ok(join(left, right, JoinKind::Left))
@@ -82,10 +88,7 @@ impl<'a> ReferenceEvaluator<'a> {
                 let vars = t.vars.clone();
                 let caches = &mut self.caches;
                 t.rows.retain(|row| {
-                    let ctx = RowCtx {
-                        vars: &vars,
-                        row,
-                    };
+                    let ctx = RowCtx { vars: &vars, row };
                     eval_expr(expr, ctx, caches)
                         .as_ref()
                         .and_then(ebv)
@@ -120,14 +123,16 @@ impl<'a> ReferenceEvaluator<'a> {
                 }
                 Ok(t)
             }
-            Plan::Group { keys, aggs, input } => {
+            // `sorted_on` is a columnar-evaluator hint; hash-group here.
+            Plan::Group {
+                keys, aggs, input, ..
+            } => {
                 let t = self.eval(input)?;
                 self.eval_group(keys, aggs, t)
             }
             Plan::Project(vars, p) => {
                 let t = self.eval(p)?;
-                let indices: Vec<Option<usize>> =
-                    vars.iter().map(|v| t.column_index(v)).collect();
+                let indices: Vec<Option<usize>> = vars.iter().map(|v| t.column_index(v)).collect();
                 let mut out = SolutionTable::with_vars(vars.clone());
                 out.rows = t
                     .rows
@@ -141,7 +146,8 @@ impl<'a> ReferenceEvaluator<'a> {
                     .collect();
                 Ok(out)
             }
-            Plan::Distinct(p) => {
+            // Sorted DISTINCT is the same keep-first bag; hash it here.
+            Plan::Distinct(p) | Plan::SortedDistinct { input: p, .. } => {
                 let mut t = self.eval(p)?;
                 let mut seen: HashSet<Vec<Option<Term>>> = HashSet::with_capacity(t.rows.len());
                 t.rows.retain(|row| seen.insert(row.clone()));
@@ -166,12 +172,10 @@ impl<'a> ReferenceEvaluator<'a> {
                 input,
             } => {
                 let mut t = self.eval(input)?;
-                let start = (*offset).min(t.rows.len());
-                let end = match limit {
-                    Some(l) => (start + l).min(t.rows.len()),
-                    None => t.rows.len(),
-                };
-                t.rows = t.rows.drain(start..end).collect();
+                // Shared clamped slice: `offset > len` yields an empty
+                // table, and `offset + limit` saturates instead of
+                // overflowing on adversarial LIMIT/OFFSET values.
+                crate::results::slice_rows(&mut t.rows, *offset, *limit);
                 Ok(t)
             }
         }
@@ -223,8 +227,11 @@ impl<'a> ReferenceEvaluator<'a> {
                 }
             }
         }
-        let var_idx: HashMap<&str, usize> =
-            vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+        let var_idx: HashMap<&str, usize> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
 
         // Shared attachment rule ([`crate::algebra::attach_filters`]).
         let pattern_filters = crate::algebra::attach_filters(patterns, filters, |v| var_idx[v]);
@@ -425,7 +432,11 @@ impl<'a> ReferenceEvaluator<'a> {
                     (Some(_), None) => std::cmp::Ordering::Greater,
                     (Some(a), Some(b)) => a.order_cmp(b),
                 };
-                let ord = if key_spec.ascending { ord } else { ord.reverse() };
+                let ord = if key_spec.ascending {
+                    ord
+                } else {
+                    ord.reverse()
+                };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
                 }
@@ -473,9 +484,8 @@ fn join(left: SolutionTable, right: SolutionTable, kind: JoinKind) -> SolutionTa
         .map(|v| right.column_index(v).expect("shared var in right"))
         .collect();
 
-    let always_bound = |table: &SolutionTable, idx: usize| -> bool {
-        table.rows.iter().all(|r| r[idx].is_some())
-    };
+    let always_bound =
+        |table: &SolutionTable, idx: usize| -> bool { table.rows.iter().all(|r| r[idx].is_some()) };
     // Positions (within `shared`) usable as hash key.
     let key_positions: Vec<usize> = (0..shared.len())
         .filter(|&k| always_bound(&left, l_idx[k]) && always_bound(&right, r_idx[k]))
@@ -485,7 +495,12 @@ fn join(left: SolutionTable, right: SolutionTable, kind: JoinKind) -> SolutionTa
     let right_targets: Vec<usize> = right
         .vars
         .iter()
-        .map(|v| out_vars.iter().position(|x| x == v).expect("right var in out"))
+        .map(|v| {
+            out_vars
+                .iter()
+                .position(|x| x == v)
+                .expect("right var in out")
+        })
         .collect();
     let mut out = SolutionTable::with_vars(out_vars);
 
@@ -627,14 +642,8 @@ mod tests {
     fn join_with_partially_unbound_shared_var() {
         // 'g' is shared but sometimes unbound on the left (e.g. OPTIONAL
         // output): unbound is compatible with anything.
-        let a = tbl(
-            &["x", "g"],
-            vec![vec![i(1), None], vec![i(2), i(9)]],
-        );
-        let b = tbl(
-            &["x", "g"],
-            vec![vec![i(1), i(7)], vec![i(2), i(8)]],
-        );
+        let a = tbl(&["x", "g"], vec![vec![i(1), None], vec![i(2), i(9)]]);
+        let b = tbl(&["x", "g"], vec![vec![i(1), i(7)], vec![i(2), i(8)]]);
         let j = join(a, b, JoinKind::Inner);
         // Row (1, None) joins (1, 7) → (1, 7); row (2, 9) vs (2, 8) clash.
         assert_eq!(j.rows, vec![vec![i(1), i(7)]]);

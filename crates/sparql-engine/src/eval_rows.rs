@@ -116,15 +116,22 @@ impl<'a> RowEvaluator<'a> {
                 graph,
                 filters,
             } => self.eval_bgp(patterns, graph, filters),
-            // The merge-join rewrite is a columnar-evaluator specialization;
-            // this oracle hash-joins it, which emits the identical row
-            // order (left-major, right candidates ascending).
-            Plan::Join(a, b) | Plan::MergeJoin { left: a, right: b, .. } => {
+            // The merge-join rewrites are columnar-evaluator
+            // specializations; this oracle hash-joins them, which emits the
+            // identical row order (left-major, right candidates ascending,
+            // unmatched left rows in place).
+            Plan::Join(a, b)
+            | Plan::MergeJoin {
+                left: a, right: b, ..
+            } => {
                 let left = self.eval_ids(a)?;
                 let right = self.eval_ids(b)?;
                 Ok(join(left, right, JoinKind::Inner))
             }
-            Plan::LeftJoin(a, b) => {
+            Plan::LeftJoin(a, b)
+            | Plan::MergeLeftJoin {
+                left: a, right: b, ..
+            } => {
                 let left = self.eval_ids(a)?;
                 let right = self.eval_ids(b)?;
                 Ok(join(left, right, JoinKind::Left))
@@ -192,14 +199,17 @@ impl<'a> RowEvaluator<'a> {
                 }
                 Ok(t)
             }
-            Plan::Group { keys, aggs, input } => {
+            // `sorted_on` is a columnar-evaluator hint; grouping hashes
+            // here either way (identical first-occurrence group order).
+            Plan::Group {
+                keys, aggs, input, ..
+            } => {
                 let t = self.eval_ids(input)?;
                 self.eval_group(keys, aggs, t)
             }
             Plan::Project(vars, p) => {
                 let t = self.eval_ids(p)?;
-                let indices: Vec<Option<usize>> =
-                    vars.iter().map(|v| t.column_index(v)).collect();
+                let indices: Vec<Option<usize>> = vars.iter().map(|v| t.column_index(v)).collect();
                 let mut out = RowTable::with_vars(vars.clone());
                 out.rows = t
                     .rows
@@ -208,7 +218,8 @@ impl<'a> RowEvaluator<'a> {
                     .collect();
                 Ok(out)
             }
-            Plan::Distinct(p) => {
+            // Sorted DISTINCT is the same keep-first bag; hash it here.
+            Plan::Distinct(p) | Plan::SortedDistinct { input: p, .. } => {
                 let mut t = self.eval_ids(p)?;
                 let mut seen: HashSet<IdRow> = HashSet::with_capacity(t.rows.len());
                 t.rows.retain(|row| seen.insert(row.clone()));
@@ -285,8 +296,11 @@ impl<'a> RowEvaluator<'a> {
                 }
             }
         }
-        let var_idx: HashMap<&str, usize> =
-            vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+        let var_idx: HashMap<&str, usize> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
 
         // Compile each pushed filter at its shared attachment pattern
         // ([`crate::algebra::attach_filters`]).
@@ -359,7 +373,12 @@ impl<'a> RowEvaluator<'a> {
         }
     }
 
-    fn eval_group(&mut self, keys: &[String], aggs: &[AggSpec], input: RowTable) -> Result<RowTable> {
+    fn eval_group(
+        &mut self,
+        keys: &[String],
+        aggs: &[AggSpec],
+        input: RowTable,
+    ) -> Result<RowTable> {
         let key_indices: Vec<Option<usize>> = keys.iter().map(|k| input.column_index(k)).collect();
         let vars_snapshot = input.vars.clone();
 
@@ -393,6 +412,9 @@ impl<'a> RowEvaluator<'a> {
             .collect();
 
         // Per-aggregate running state, id-native where the plan allows.
+        // (One accumulator per aggregate per group; the size skew between
+        // the term-based and count-only variants is irrelevant there.)
+        #[allow(clippy::large_enum_variant)]
         enum AggAccum {
             Terms(AggState),
             CountIds {
@@ -427,10 +449,7 @@ impl<'a> RowEvaluator<'a> {
         }
 
         for row in &input.rows {
-            let key: IdRow = key_indices
-                .iter()
-                .map(|i| i.and_then(|i| row[i]))
-                .collect();
+            let key: IdRow = key_indices.iter().map(|i| i.and_then(|i| row[i])).collect();
             let gi = match index.get(&key) {
                 Some(&gi) => gi,
                 None => {
@@ -553,7 +572,11 @@ fn compare_keyed(keys: &[OrderKey], a: &KeyedRow, b: &KeyedRow) -> std::cmp::Ord
             (Some(_), None) => std::cmp::Ordering::Greater,
             (Some(x), Some(y)) => x.order_cmp(y),
         };
-        let ord = if key_spec.ascending { ord } else { ord.reverse() };
+        let ord = if key_spec.ascending {
+            ord
+        } else {
+            ord.reverse()
+        };
         if ord != std::cmp::Ordering::Equal {
             return ord;
         }
@@ -595,11 +618,8 @@ fn extend_row_with_pattern(
             },
         }
     };
-    let (Some(s), Some(p), Some(o)) = (
-        refine(&slots[0]),
-        refine(&slots[1]),
-        refine(&slots[2]),
-    ) else {
+    let (Some(s), Some(p), Some(o)) = (refine(&slots[0]), refine(&slots[1]), refine(&slots[2]))
+    else {
         return 0;
     };
     let pick = |slot: &RowSlot| match slot {
@@ -673,9 +693,8 @@ fn join(left: RowTable, right: RowTable, kind: JoinKind) -> RowTable {
         .map(|v| right.column_index(v).expect("shared var in right"))
         .collect();
 
-    let always_bound = |table: &RowTable, idx: usize| -> bool {
-        table.rows.iter().all(|r| r[idx].is_some())
-    };
+    let always_bound =
+        |table: &RowTable, idx: usize| -> bool { table.rows.iter().all(|r| r[idx].is_some()) };
     // Positions (within `shared`) usable as hash key.
     let key_positions: Vec<usize> = (0..shared.len())
         .filter(|&k| always_bound(&left, l_idx[k]) && always_bound(&right, r_idx[k]))
@@ -685,7 +704,12 @@ fn join(left: RowTable, right: RowTable, kind: JoinKind) -> RowTable {
     let right_targets: Vec<usize> = right
         .vars
         .iter()
-        .map(|v| out_vars.iter().position(|x| x == v).expect("right var in out"))
+        .map(|v| {
+            out_vars
+                .iter()
+                .position(|x| x == v)
+                .expect("right var in out")
+        })
         .collect();
     let mut out = RowTable::with_vars(out_vars);
 

@@ -270,10 +270,7 @@ fn eval_call<B: Bindings>(
             let pattern = eval_expr(args.get(1)?, ctx, caches)?;
             let pattern = pattern.as_literal()?.lexical.to_string();
             let flags = match args.get(2) {
-                Some(f) => eval_expr(f, ctx, caches)?
-                    .as_literal()?
-                    .lexical
-                    .to_string(),
+                Some(f) => eval_expr(f, ctx, caches)?.as_literal()?.lexical.to_string(),
                 None => String::new(),
             };
             let re = caches.regex(&pattern, &flags)?;
@@ -417,6 +414,8 @@ impl AggState {
     /// SPARQL aggregate semantics.
     pub fn push(&mut self, value: Option<Term>) {
         let Some(v) = value else { return };
+        // (Not a match guard: dedup insertion needs the mutable binding.)
+        #[allow(clippy::collapsible_match)]
         match &mut self.seen {
             Some(Dedup::Terms(seen)) => {
                 if !seen.insert(v.clone()) {
@@ -438,6 +437,8 @@ impl AggState {
     /// for the [`AggState::new`] flavor, so callers need not branch).
     pub fn push_pooled(&mut self, value: Option<Term>, pool: &mut TermPool) {
         let Some(v) = value else { return };
+        // (Not a match guard: dedup insertion needs the mutable binding.)
+        #[allow(clippy::collapsible_match)]
         match &mut self.seen {
             Some(Dedup::Ids(seen)) => {
                 let id = pool.intern(v.clone());
@@ -643,7 +644,10 @@ impl<'e> PushedEval<'e> {
     #[inline]
     pub fn test(&mut self, id: TermId, pool: &TermPool, caches: &mut EvalCaches) -> bool {
         match self {
-            PushedEval::IdCmp { id: Some(c), negate } => (id == *c) != *negate,
+            PushedEval::IdCmp {
+                id: Some(c),
+                negate,
+            } => (id == *c) != *negate,
             PushedEval::IdCmp { id: None, negate } => *negate,
             PushedEval::General { expr, var, memo } => *memo
                 .entry(id)
@@ -693,7 +697,10 @@ mod tests {
             Box::new(Expr::Var("n".into())),
             Box::new(Expr::Const(Term::integer(10))),
         );
-        assert_eq!(eval_expr(&ge, ctx, &mut caches).as_ref().and_then(ebv), Some(true));
+        assert_eq!(
+            eval_expr(&ge, ctx, &mut caches).as_ref().and_then(ebv),
+            Some(true)
+        );
         let plus = Expr::Arith(
             ArithOp::Add,
             Box::new(Expr::Var("n".into())),
@@ -719,10 +726,16 @@ mod tests {
         let t = Expr::Const(Term::Literal(Literal::boolean(true)));
         // false && error = false
         let e = Expr::And(Box::new(f.clone()), Box::new(err.clone()));
-        assert_eq!(eval_expr(&e, ctx, &mut caches).as_ref().and_then(ebv), Some(false));
+        assert_eq!(
+            eval_expr(&e, ctx, &mut caches).as_ref().and_then(ebv),
+            Some(false)
+        );
         // true || error = true
         let e = Expr::Or(Box::new(t.clone()), Box::new(err.clone()));
-        assert_eq!(eval_expr(&e, ctx, &mut caches).as_ref().and_then(ebv), Some(true));
+        assert_eq!(
+            eval_expr(&e, ctx, &mut caches).as_ref().and_then(ebv),
+            Some(true)
+        );
         // true && error = error
         let e = Expr::And(Box::new(t), Box::new(err));
         assert_eq!(eval_expr(&e, ctx, &mut caches), None);
@@ -741,7 +754,10 @@ mod tests {
                 Expr::Const(Term::string("USA")),
             ],
         );
-        assert_eq!(eval_expr(&e, ctx, &mut caches).as_ref().and_then(ebv), Some(true));
+        assert_eq!(
+            eval_expr(&e, ctx, &mut caches).as_ref().and_then(ebv),
+            Some(true)
+        );
     }
 
     #[test]
@@ -775,13 +791,19 @@ mod tests {
             ],
             negated: false,
         };
-        assert_eq!(eval_expr(&e, ctx, &mut caches).as_ref().and_then(ebv), Some(true));
+        assert_eq!(
+            eval_expr(&e, ctx, &mut caches).as_ref().and_then(ebv),
+            Some(true)
+        );
         let e = Expr::In {
             expr: Box::new(Expr::Var("c".into())),
             list: vec![Expr::Const(Term::iri("http://conf/icde"))],
             negated: true,
         };
-        assert_eq!(eval_expr(&e, ctx, &mut caches).as_ref().and_then(ebv), Some(true));
+        assert_eq!(
+            eval_expr(&e, ctx, &mut caches).as_ref().and_then(ebv),
+            Some(true)
+        );
     }
 
     #[test]

@@ -291,9 +291,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                             b'n' => body.push('\n'),
                             b'r' => body.push('\r'),
                             b't' => body.push('\t'),
-                            other => {
-                                return Err(err(j, format!("bad escape \\{}", other as char)))
-                            }
+                            other => return Err(err(j, format!("bad escape \\{}", other as char))),
                         }
                         j += 1;
                     } else {
@@ -462,10 +460,7 @@ mod tests {
     #[test]
     fn pname_with_trailing_dot() {
         let ks = kinds("?s dbpp:starring ?o .");
-        assert_eq!(
-            ks[1],
-            TokenKind::PName("dbpp".into(), "starring".into())
-        );
+        assert_eq!(ks[1], TokenKind::PName("dbpp".into(), "starring".into()));
         assert_eq!(ks[3], TokenKind::Dot);
     }
 

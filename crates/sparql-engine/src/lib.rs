@@ -48,6 +48,8 @@ pub mod pool;
 pub mod regex_lite;
 pub mod results;
 
-pub use engine::{ColumnBatch, Engine, EngineConfig, EvalMode, PreparedQuery, QueryCursor};
+pub use engine::{
+    ColumnBatch, Engine, EngineConfig, EvalMode, ExecStats, PreparedQuery, QueryCursor,
+};
 pub use error::{EngineError, Result};
 pub use results::SolutionTable;

@@ -15,14 +15,31 @@
 //!    left joins, other filters, and non-shadowing extends. Rows failing a
 //!    pushed predicate die inside the BGP extension loop, before later
 //!    patterns scan for them.
-//! 3. **Interesting-order tracking + merge joins** computes, bottom-up, the
-//!    variable sequence each node's output is sorted by (ascending global
-//!    id order — see [`Optimizer::bgp_order`] for where order originates)
-//!    and rewrites a [`Plan::Join`] into [`Plan::MergeJoin`] when both
-//!    inputs arrive sorted on the same leading shared variable.
+//! 3. **Interesting-order tracking + order-aware rewrites** computes,
+//!    bottom-up, the *full* variable sequence each node's output is sorted
+//!    by (ascending global id order — see [`Optimizer::bgp_order`] for
+//!    where order originates) and spends it four ways:
+//!
+//!    - [`Plan::Join`] → [`Plan::MergeJoin`] when both inputs arrive
+//!      sorted on the same leading shared variable;
+//!    - [`Plan::LeftJoin`] → [`Plan::MergeLeftJoin`] under the same
+//!      condition (the merge emits unmatched left rows in place, exactly
+//!      like the hash left join);
+//!    - [`Plan::Distinct`] → [`Plan::SortedDistinct`] annotated with the
+//!      input's order sequence, so the evaluator can deduplicate by run
+//!      detection when the sequence covers every output column;
+//!    - [`Plan::Group`] gets its `sorted_on` field filled when the
+//!      grouping keys are exactly a *prefix* of the input order (in any
+//!      key order — prefix equality is set-wise), so grouping degenerates
+//!      to run detection. This is where secondary sort orders pay off:
+//!      a BGP sorted on `[?a, ?b]` serves `GROUP BY ?a` and
+//!      `DISTINCT ?a ?b` alike.
 //!
 //! Passes 2 and 3 are pure physical rewrites: results are identical with
-//! them on or off (property-tested), only the work done changes.
+//! them on or off (property-tested), only the work done changes. Every
+//! order claim is re-verified at run time by the columnar evaluator (one
+//! linear pass) with a hash fallback, so this analysis only has to be
+//! precise, not paranoid.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -44,6 +61,9 @@ pub struct Optimizer<'a> {
     default_graphs: &'a [String],
     filter_pushdown: bool,
     merge_joins: bool,
+    merge_left_joins: bool,
+    sorted_distinct: bool,
+    sorted_group_by: bool,
     /// Per-query cache of graph statistics handles (the dataset's accessor
     /// is generation-checked and lock-guarded; fetch each graph's snapshot
     /// once per optimization).
@@ -58,6 +78,9 @@ impl<'a> Optimizer<'a> {
             default_graphs,
             filter_pushdown: true,
             merge_joins: true,
+            merge_left_joins: true,
+            sorted_distinct: true,
+            sorted_group_by: true,
             stats_cache: HashMap::new(),
         }
     }
@@ -68,9 +91,27 @@ impl<'a> Optimizer<'a> {
         self
     }
 
-    /// Enable or disable the merge-join rewrite pass.
+    /// Enable or disable the inner-join merge rewrite.
     pub fn with_merge_joins(mut self, on: bool) -> Self {
         self.merge_joins = on;
+        self
+    }
+
+    /// Enable or disable the left-join merge rewrite.
+    pub fn with_merge_left_joins(mut self, on: bool) -> Self {
+        self.merge_left_joins = on;
+        self
+    }
+
+    /// Enable or disable the sorted-DISTINCT rewrite.
+    pub fn with_sorted_distinct(mut self, on: bool) -> Self {
+        self.sorted_distinct = on;
+        self
+    }
+
+    /// Enable or disable the sorted-GROUP BY rewrite.
+    pub fn with_sorted_group_by(mut self, on: bool) -> Self {
+        self.sorted_group_by = on;
         self
     }
 
@@ -80,8 +121,9 @@ impl<'a> Optimizer<'a> {
         if self.filter_pushdown {
             push_filters(plan);
         }
-        if self.merge_joins {
-            self.plan_merge_joins(plan);
+        if self.merge_joins || self.merge_left_joins || self.sorted_distinct || self.sorted_group_by
+        {
+            self.plan_order_rewrites(plan);
         }
     }
 
@@ -98,7 +140,7 @@ impl<'a> Optimizer<'a> {
                 self.reorder(a);
                 self.reorder(b);
             }
-            Plan::MergeJoin { left, right, .. } => {
+            Plan::MergeJoin { left, right, .. } | Plan::MergeLeftJoin { left, right, .. } => {
                 self.reorder(left);
                 self.reorder(right);
             }
@@ -106,6 +148,7 @@ impl<'a> Optimizer<'a> {
             | Plan::Extend(_, _, p)
             | Plan::Project(_, p)
             | Plan::Distinct(p)
+            | Plan::SortedDistinct { input: p, .. }
             | Plan::OrderBy(_, p) => self.reorder(p),
             Plan::Group { input, .. } => self.reorder(input),
             Plan::TopK { input, .. } => self.reorder(input),
@@ -169,7 +212,9 @@ impl<'a> Optimizer<'a> {
                         Some(None)
                     }
                 }
-                PatternTerm::Const(term) => dataset.graph(uri).and_then(|g| g.term_id(term)).map(Some),
+                PatternTerm::Const(term) => {
+                    dataset.graph(uri).and_then(|g| g.term_id(term)).map(Some)
+                }
             }
         };
         let mut total = 0.0;
@@ -189,13 +234,16 @@ impl<'a> Optimizer<'a> {
         total
     }
 
-    /// Pass 3: bottom-up interesting-order tracking; rewrites eligible hash
-    /// joins into merge joins. Returns the variable sequence this node's
-    /// output is sorted by (ascending global id; `[]` = unknown/unsorted).
-    /// Every propagated order variable is always-bound in its node's output
-    /// (orders originate from BGP-bound columns and only flow through
-    /// operators that carry those columns unchanged).
-    fn plan_merge_joins(&mut self, plan: &mut Plan) -> Vec<String> {
+    /// Pass 3: bottom-up interesting-order tracking; spends the orders on
+    /// merge joins (inner and left) and sorted DISTINCT/GROUP BY. Returns
+    /// the variable sequence this node's output is sorted by (ascending
+    /// global id; `[]` = unknown/unsorted). Every propagated order variable
+    /// is always-bound in its node's output (orders originate from
+    /// BGP-bound columns and only flow through operators that carry those
+    /// columns unchanged); the evaluator re-verifies boundness and
+    /// sortedness at run time before committing to any order-based
+    /// execution.
+    fn plan_order_rewrites(&mut self, plan: &mut Plan) -> Vec<String> {
         match plan {
             Plan::Unit => Vec::new(),
             Plan::Bgp {
@@ -205,12 +253,13 @@ impl<'a> Optimizer<'a> {
                 self.bgp_order(patterns, &graph)
             }
             Plan::Join(a, b) => {
-                let left_order = self.plan_merge_joins(a);
-                let right_order = self.plan_merge_joins(b);
-                let mergeable = matches!(
-                    (left_order.first(), right_order.first()),
-                    (Some(l), Some(r)) if l == r
-                );
+                let left_order = self.plan_order_rewrites(a);
+                let right_order = self.plan_order_rewrites(b);
+                let mergeable = self.merge_joins
+                    && matches!(
+                        (left_order.first(), right_order.first()),
+                        (Some(l), Some(r)) if l == r
+                    );
                 if mergeable {
                     let key = left_order[0].clone();
                     // Rebuild the node as a merge join; the boxes move over.
@@ -223,26 +272,63 @@ impl<'a> Optimizer<'a> {
                 // left input's order survives.
                 left_order
             }
-            Plan::MergeJoin { left, right, .. } => {
-                let left_order = self.plan_merge_joins(left);
-                self.plan_merge_joins(right);
+            Plan::MergeJoin { left, right, .. } | Plan::MergeLeftJoin { left, right, .. } => {
+                let left_order = self.plan_order_rewrites(left);
+                self.plan_order_rewrites(right);
                 left_order
             }
             Plan::LeftJoin(a, b) => {
-                let left_order = self.plan_merge_joins(a);
-                self.plan_merge_joins(b);
-                // Left-major emission; unmatched left rows stay in place.
+                let left_order = self.plan_order_rewrites(a);
+                let right_order = self.plan_order_rewrites(b);
+                // Left-major emission; unmatched left rows stay in place —
+                // which is exactly why the merge variant can preserve
+                // OPTIONAL semantics: the merge walks left rows in order
+                // and emits the no-match row at the same position the hash
+                // join would.
+                let mergeable = self.merge_left_joins
+                    && matches!(
+                        (left_order.first(), right_order.first()),
+                        (Some(l), Some(r)) if l == r
+                    );
+                if mergeable {
+                    let key = left_order[0].clone();
+                    if let Plan::LeftJoin(left, right) = std::mem::replace(plan, Plan::Unit) {
+                        *plan = Plan::MergeLeftJoin { left, right, key };
+                    }
+                }
                 left_order
             }
             Plan::Union(a, b) => {
-                self.plan_merge_joins(a);
-                self.plan_merge_joins(b);
+                self.plan_order_rewrites(a);
+                self.plan_order_rewrites(b);
                 Vec::new() // concatenation interleaves nothing — but the
                            // boundary between the halves breaks sortedness
             }
-            Plan::Filter(_, p) | Plan::Distinct(p) => self.plan_merge_joins(p),
+            Plan::Filter(_, p) => self.plan_order_rewrites(p),
+            Plan::Distinct(p) => {
+                let order = self.plan_order_rewrites(p);
+                // Dedup keeps first occurrences in input order, so the
+                // order survives — and when one is known, the evaluator can
+                // dedup by run detection (it checks coverage of the output
+                // schema and actual sortedness itself).
+                if self.sorted_distinct && !order.is_empty() {
+                    if let Plan::Distinct(input) = std::mem::replace(plan, Plan::Unit) {
+                        *plan = Plan::SortedDistinct {
+                            order: order.clone(),
+                            input,
+                        };
+                    }
+                }
+                order
+            }
+            Plan::SortedDistinct { order, input } => {
+                // Already rewritten (re-optimization): refresh the claim.
+                let fresh = self.plan_order_rewrites(input);
+                *order = fresh.clone();
+                fresh
+            }
             Plan::Extend(var, _, p) => {
-                let mut order = self.plan_merge_joins(p);
+                let mut order = self.plan_order_rewrites(p);
                 // Rebinding an order variable overwrites the sorted column.
                 if let Some(i) = order.iter().position(|v| v == var) {
                     order.truncate(i);
@@ -250,25 +336,56 @@ impl<'a> Optimizer<'a> {
                 order
             }
             Plan::Project(vars, p) => {
-                let mut order = self.plan_merge_joins(p);
+                let mut order = self.plan_order_rewrites(p);
                 // Only the prefix that survives projection stays meaningful.
                 if let Some(i) = order.iter().position(|v| !vars.contains(v)) {
                     order.truncate(i);
                 }
                 order
             }
-            Plan::Slice { input, .. } => self.plan_merge_joins(input),
-            Plan::Group { input, .. } => {
-                self.plan_merge_joins(input);
-                Vec::new()
+            Plan::Slice { input, .. } => self.plan_order_rewrites(input),
+            Plan::Group {
+                keys,
+                input,
+                sorted_on,
+                ..
+            } => {
+                let input_order = self.plan_order_rewrites(input);
+                sorted_on.clear();
+                if self.sorted_group_by && !keys.is_empty() {
+                    // The keys must be exactly a *prefix* of the input
+                    // order, set-wise: rows equal on an order prefix are
+                    // adjacent, so run boundaries on the prefix columns are
+                    // group boundaries. Key order within the prefix is
+                    // irrelevant (equality is symmetric); duplicate keys
+                    // (GROUP BY ?a ?a) collapse.
+                    let mut distinct_keys: Vec<&String> = Vec::new();
+                    for k in keys.iter() {
+                        if !distinct_keys.contains(&k) {
+                            distinct_keys.push(k);
+                        }
+                    }
+                    let n = distinct_keys.len();
+                    if n <= input_order.len()
+                        && distinct_keys.iter().all(|k| input_order[..n].contains(k))
+                    {
+                        *sorted_on = input_order[..n].to_vec();
+                    }
+                }
+                // Groups are emitted in first-occurrence order; over an
+                // input sorted on the key prefix that *is* ascending prefix
+                // order, so the annotation doubles as the output order.
+                // (If the run-time check falls back to hashing, any
+                // consumer of this claim re-verifies at run time too.)
+                sorted_on.clone()
             }
             // ORDER BY sorts by *term* order, which is not global-id order.
             Plan::OrderBy(_, p) => {
-                self.plan_merge_joins(p);
+                self.plan_order_rewrites(p);
                 Vec::new()
             }
             Plan::TopK { input, .. } => {
-                self.plan_merge_joins(input);
+                self.plan_order_rewrites(input);
                 Vec::new()
             }
         }
@@ -344,8 +461,7 @@ impl<'a> Optimizer<'a> {
             let mut best_cost = f64::INFINITY;
             for (i, pat) in remaining.iter().enumerate() {
                 let mut cost = self.estimate_pattern(pat, &bound, graph);
-                let connected =
-                    bound.is_empty() || pat.variables().any(|v| bound.contains(v));
+                let connected = bound.is_empty() || pat.variables().any(|v| bound.contains(v));
                 if !connected {
                     // Disconnected pattern → Cartesian product. Defer.
                     cost = cost * 1e6 + 1e6;
@@ -375,13 +491,14 @@ fn push_filters(plan: &mut Plan) {
             push_filters(a);
             push_filters(b);
         }
-        Plan::MergeJoin { left, right, .. } => {
+        Plan::MergeJoin { left, right, .. } | Plan::MergeLeftJoin { left, right, .. } => {
             push_filters(left);
             push_filters(right);
         }
         Plan::Extend(_, _, p)
         | Plan::Project(_, p)
         | Plan::Distinct(p)
+        | Plan::SortedDistinct { input: p, .. }
         | Plan::OrderBy(_, p) => push_filters(p),
         Plan::Group { input, .. } | Plan::TopK { input, .. } | Plan::Slice { input, .. } => {
             push_filters(input)
@@ -446,22 +563,21 @@ fn try_push(plan: &mut Plan, var: &str, conjunct: &Expr) -> bool {
     match plan {
         Plan::Bgp {
             patterns, filters, ..
-        } => {
-            if patterns.iter().any(|p| p.variables().any(|v| v == var)) {
-                filters.push(PushedFilter {
-                    var: var.to_string(),
-                    expr: conjunct.clone(),
-                });
-                true
-            } else {
-                false
-            }
+        } if patterns.iter().any(|p| p.variables().any(|v| v == var)) => {
+            filters.push(PushedFilter {
+                var: var.to_string(),
+                expr: conjunct.clone(),
+            });
+            true
         }
+        Plan::Bgp { .. } => false,
         Plan::Join(a, b) => try_push(a, var, conjunct) || try_push(b, var, conjunct),
         Plan::MergeJoin { left, right, .. } => {
             try_push(left, var, conjunct) || try_push(right, var, conjunct)
         }
-        Plan::LeftJoin(a, _) => try_push(a, var, conjunct),
+        // Left joins (merge or hash): *left* side only — an absorbed filter
+        // on the optional side would resurrect rows it should kill.
+        Plan::LeftJoin(a, _) | Plan::MergeLeftJoin { left: a, .. } => try_push(a, var, conjunct),
         Plan::Filter(_, p) => try_push(p, var, conjunct),
         Plan::Extend(bound, _, p) if bound != var => try_push(p, var, conjunct),
         _ => false,
@@ -609,10 +725,7 @@ mod tests {
         let mut plan = Plan::Slice {
             limit: Some(2),
             offset: 0,
-            input: Box::new(Plan::Distinct(Box::new(Plan::OrderBy(
-                keys,
-                Box::new(bgp),
-            )))),
+            input: Box::new(Plan::Distinct(Box::new(Plan::OrderBy(keys, Box::new(bgp))))),
         };
         opt.optimize(&mut plan);
         let Plan::Slice { input, .. } = &plan else {
@@ -670,7 +783,11 @@ mod tests {
         let mut plan = Plan::Filter(
             pushable.clone(),
             Box::new(Plan::Bgp {
-                patterns: vec![TriplePattern::new(var("e"), konst("http://x/award"), var("a"))],
+                patterns: vec![TriplePattern::new(
+                    var("e"),
+                    konst("http://x/award"),
+                    var("a"),
+                )],
                 graph: GraphRef::Default,
                 filters: Vec::new(),
             }),
@@ -689,12 +806,20 @@ mod tests {
         let graphs = vec!["http://g".to_string()];
         let mut opt = Optimizer::new(&ds, &graphs);
         let left = Plan::Bgp {
-            patterns: vec![TriplePattern::new(var("e"), konst("http://x/label"), var("l"))],
+            patterns: vec![TriplePattern::new(
+                var("e"),
+                konst("http://x/label"),
+                var("l"),
+            )],
             graph: GraphRef::Default,
             filters: Vec::new(),
         };
         let right = Plan::Bgp {
-            patterns: vec![TriplePattern::new(var("e"), konst("http://x/award"), var("a"))],
+            patterns: vec![TriplePattern::new(
+                var("e"),
+                konst("http://x/award"),
+                var("a"),
+            )],
             graph: GraphRef::Default,
             filters: Vec::new(),
         };
@@ -727,14 +852,18 @@ mod tests {
         // subject order, and the single graph's id map is monotone, so both
         // outputs are sorted on ?e.
         let side = |p: &str, o: &str, v: &str| Plan::Bgp {
-            patterns: vec![TriplePattern::new(var("e"), konst(p), PatternTerm::Const(iri(o)))]
-                .into_iter()
-                .chain(std::iter::once(TriplePattern::new(
-                    var("e"),
-                    konst("http://x/label"),
-                    var(v),
-                )))
-                .collect(),
+            patterns: vec![TriplePattern::new(
+                var("e"),
+                konst(p),
+                PatternTerm::Const(iri(o)),
+            )]
+            .into_iter()
+            .chain(std::iter::once(TriplePattern::new(
+                var("e"),
+                konst("http://x/label"),
+                var(v),
+            )))
+            .collect(),
             graph: GraphRef::Default,
             filters: Vec::new(),
         };
@@ -752,7 +881,11 @@ mod tests {
         // Leading order vars differ (object-bound vs subject-bound shape):
         // no rewrite.
         let unsorted_side = Plan::Bgp {
-            patterns: vec![TriplePattern::new(var("e"), konst("http://x/label"), var("l3"))],
+            patterns: vec![TriplePattern::new(
+                var("e"),
+                konst("http://x/label"),
+                var("l3"),
+            )],
             graph: GraphRef::Default,
             filters: Vec::new(),
         };
@@ -768,17 +901,204 @@ mod tests {
     }
 
     #[test]
+    fn sorted_left_join_rewrites_to_merge_left_join() {
+        let ds = build_dataset();
+        let graphs = vec!["http://g".to_string()];
+        let mut opt = Optimizer::new(&ds, &graphs);
+        let side = |p: &str, o: &str| Plan::Bgp {
+            patterns: vec![TriplePattern::new(
+                var("e"),
+                konst(p),
+                PatternTerm::Const(iri(o)),
+            )],
+            graph: GraphRef::Default,
+            filters: Vec::new(),
+        };
+        let mut plan = Plan::LeftJoin(
+            Box::new(side("http://x/award", "http://x/oscar")),
+            Box::new(side("http://x/inCountry", "http://x/usa")),
+        );
+        opt.optimize(&mut plan);
+        match &plan {
+            Plan::MergeLeftJoin { key, .. } => assert_eq!(key, "e"),
+            other => panic!("expected merge left join, got {other:?}"),
+        }
+
+        // Toggled off: the left join stays a hash join.
+        let mut opt = Optimizer::new(&ds, &graphs).with_merge_left_joins(false);
+        let mut plan = Plan::LeftJoin(
+            Box::new(side("http://x/award", "http://x/oscar")),
+            Box::new(side("http://x/inCountry", "http://x/usa")),
+        );
+        opt.optimize(&mut plan);
+        assert!(matches!(&plan, Plan::LeftJoin(..)), "toggle off: {plan:?}");
+
+        // Unsorted right side (subject-bound shape leads with the object
+        // variable): no rewrite.
+        let mut opt = Optimizer::new(&ds, &graphs);
+        let unsorted = Plan::Bgp {
+            patterns: vec![TriplePattern::new(
+                var("e"),
+                konst("http://x/label"),
+                var("l"),
+            )],
+            graph: GraphRef::Default,
+            filters: Vec::new(),
+        };
+        let mut plan = Plan::LeftJoin(
+            Box::new(side("http://x/award", "http://x/oscar")),
+            Box::new(unsorted),
+        );
+        opt.optimize(&mut plan);
+        assert!(
+            matches!(&plan, Plan::LeftJoin(..)),
+            "unsorted side: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn sorted_distinct_and_group_annotations() {
+        let ds = build_dataset();
+        let graphs = vec!["http://g".to_string()];
+        // (?e <label> ?l): predicate-bound POS scan → order [?l, ?e].
+        let bgp = || Plan::Bgp {
+            patterns: vec![TriplePattern::new(
+                var("e"),
+                konst("http://x/label"),
+                var("l"),
+            )],
+            graph: GraphRef::Default,
+            filters: Vec::new(),
+        };
+
+        // DISTINCT over a sorted input is annotated with the full sequence.
+        let mut plan = Plan::Distinct(Box::new(bgp()));
+        Optimizer::new(&ds, &graphs).optimize(&mut plan);
+        match &plan {
+            Plan::SortedDistinct { order, .. } => assert_eq!(order, &["l", "e"]),
+            other => panic!("expected sorted distinct, got {other:?}"),
+        }
+        // Toggled off: plain Distinct survives.
+        let mut plan = Plan::Distinct(Box::new(bgp()));
+        Optimizer::new(&ds, &graphs)
+            .with_sorted_distinct(false)
+            .optimize(&mut plan);
+        assert!(matches!(&plan, Plan::Distinct(..)));
+
+        // GROUP BY the *leading* order var: keys are an order prefix.
+        let group = |keys: Vec<&str>| Plan::Group {
+            keys: keys.into_iter().map(str::to_string).collect(),
+            aggs: Vec::new(),
+            input: Box::new(bgp()),
+            sorted_on: Vec::new(),
+        };
+        let mut plan = group(vec!["l"]);
+        Optimizer::new(&ds, &graphs).optimize(&mut plan);
+        match &plan {
+            Plan::Group { sorted_on, .. } => assert_eq!(sorted_on, &["l"]),
+            other => panic!("{other:?}"),
+        }
+        // Both order vars, written in *reverse* key order: still a prefix
+        // (set-wise), so the annotation carries the order sequence.
+        let mut plan = group(vec!["e", "l"]);
+        Optimizer::new(&ds, &graphs).optimize(&mut plan);
+        match &plan {
+            Plan::Group { sorted_on, .. } => assert_eq!(sorted_on, &["l", "e"]),
+            other => panic!("{other:?}"),
+        }
+        // GROUP BY the secondary var alone: not a prefix → no annotation.
+        let mut plan = group(vec!["e"]);
+        Optimizer::new(&ds, &graphs).optimize(&mut plan);
+        match &plan {
+            Plan::Group { sorted_on, .. } => assert!(sorted_on.is_empty(), "{sorted_on:?}"),
+            other => panic!("{other:?}"),
+        }
+        // Toggled off: no annotation even for a perfect prefix.
+        let mut plan = group(vec!["l"]);
+        Optimizer::new(&ds, &graphs)
+            .with_sorted_group_by(false)
+            .optimize(&mut plan);
+        match &plan {
+            Plan::Group { sorted_on, .. } => assert!(sorted_on.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_does_not_sink_into_merge_left_join_right_side() {
+        use crate::ast::{CmpOp, Expr};
+        let ds = build_dataset();
+        let graphs = vec!["http://g".to_string()];
+        let side = |p: &str, o: &str, extra: Option<(&str, &str)>| {
+            let mut patterns = vec![TriplePattern::new(
+                var("e"),
+                konst(p),
+                PatternTerm::Const(iri(o)),
+            )];
+            if let Some((p2, v)) = extra {
+                patterns.push(TriplePattern::new(var("e"), konst(p2), var(v)));
+            }
+            Plan::Bgp {
+                patterns,
+                graph: GraphRef::Default,
+                filters: Vec::new(),
+            }
+        };
+        // ?a is bound only on the OPTIONAL (right) side; the filter must
+        // stay above even once the left join is merge-rewritten.
+        let cond = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Const(iri("http://x/oscar"))),
+        );
+        let mut plan = Plan::Filter(
+            cond.clone(),
+            Box::new(Plan::MergeLeftJoin {
+                left: Box::new(side("http://x/award", "http://x/oscar", None)),
+                right: Box::new(side(
+                    "http://x/inCountry",
+                    "http://x/usa",
+                    Some(("http://x/award", "a")),
+                )),
+                key: "e".into(),
+            }),
+        );
+        Optimizer::new(&ds, &graphs).optimize(&mut plan);
+        let Plan::Filter(expr, input) = &plan else {
+            panic!("filter must stay above the merge left join: {plan:?}")
+        };
+        assert_eq!(expr, &cond);
+        assert!(matches!(&**input, Plan::MergeLeftJoin { .. }));
+    }
+
+    #[test]
     fn merge_join_requires_order_preserving_id_map() {
         // Two graphs sharing terms: the second graph's map is non-monotone,
         // so its scans are not globally sorted and the rewrite must not
         // fire for BGPs over it.
         let mut g1 = Graph::new();
-        g1.insert(&Triple::new(iri("http://x/e1"), iri("http://x/p"), iri("http://x/v1")));
-        g1.insert(&Triple::new(iri("http://x/e2"), iri("http://x/p"), iri("http://x/v2")));
+        g1.insert(&Triple::new(
+            iri("http://x/e1"),
+            iri("http://x/p"),
+            iri("http://x/v1"),
+        ));
+        g1.insert(&Triple::new(
+            iri("http://x/e2"),
+            iri("http://x/p"),
+            iri("http://x/v2"),
+        ));
         let mut g2 = Graph::new();
         // Interns v2 before e1/e2 → local order diverges from global.
-        g2.insert(&Triple::new(iri("http://x/v2"), iri("http://x/q"), iri("http://x/e1")));
-        g2.insert(&Triple::new(iri("http://x/e1"), iri("http://x/q"), iri("http://x/e2")));
+        g2.insert(&Triple::new(
+            iri("http://x/v2"),
+            iri("http://x/q"),
+            iri("http://x/e1"),
+        ));
+        g2.insert(&Triple::new(
+            iri("http://x/e1"),
+            iri("http://x/q"),
+            iri("http://x/e2"),
+        ));
         let mut ds = Dataset::new();
         ds.insert_graph("http://a", g1);
         ds.insert_graph("http://b", g2);
@@ -795,14 +1115,85 @@ mod tests {
             graph: GraphRef::Default,
             filters: Vec::new(),
         };
-        let mut plan = Plan::Join(
-            Box::new(side("http://x/e1")),
-            Box::new(side("http://x/e2")),
-        );
+        let mut plan = Plan::Join(Box::new(side("http://x/e1")), Box::new(side("http://x/e2")));
         opt.optimize(&mut plan);
         assert!(
             matches!(&plan, Plan::Join(..)),
             "non-monotone map must block the merge rewrite: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn append_that_breaks_id_order_stops_merge_join_planning() {
+        // Regression for the incremental id-map extension: planning merge
+        // joins over a graph is only sound while its map is monotone. An
+        // append that pulls in a term another graph interned earlier breaks
+        // monotonicity; `GraphIdMap::extend_from` must flip the flag so the
+        // optimizer stops planning merges (a stale flag would plan them,
+        // and the run-time check would silently eat the rewrite forever).
+        let mut g = Graph::new();
+        for i in 0..3 {
+            g.insert(&Triple::new(
+                iri(&format!("http://x/e{i}")),
+                iri("http://x/p"),
+                iri(&format!("http://x/v{i}")),
+            ));
+        }
+        let mut ds = Dataset::new();
+        ds.insert_graph("http://a", g);
+        // A second graph interns a fresh term the append will reuse.
+        let mut other = Graph::new();
+        other.insert(&Triple::new(
+            iri("http://y/s"),
+            iri("http://y/q"),
+            iri("http://y/o"),
+        ));
+        ds.insert_graph("http://b", other);
+
+        let graphs = vec!["http://a".to_string()];
+        let side = |o: &str| {
+            Plan::Join(
+                Box::new(Plan::Bgp {
+                    patterns: vec![TriplePattern::new(var("s"), konst("http://x/p"), konst(o))],
+                    graph: GraphRef::Default,
+                    filters: Vec::new(),
+                }),
+                Box::new(Plan::Bgp {
+                    patterns: vec![TriplePattern::new(
+                        var("s"),
+                        konst("http://x/p"),
+                        konst("http://x/v1"),
+                    )],
+                    graph: GraphRef::Default,
+                    filters: Vec::new(),
+                }),
+            )
+        };
+
+        let mut plan = side("http://x/v0");
+        Optimizer::new(&ds, &graphs).optimize(&mut plan);
+        assert!(
+            matches!(&plan, Plan::MergeJoin { .. }),
+            "monotone map: merge join planned ({plan:?})"
+        );
+
+        // Append a triple whose object is graph B's term: its global id is
+        // below A's maximum, so A's scans are no longer globally sorted.
+        ds.append_triples(
+            "http://a",
+            vec![Triple::new(
+                iri("http://x/e9"),
+                iri("http://x/p"),
+                iri("http://y/o"),
+            )],
+        )
+        .unwrap();
+        assert!(!ds.id_map("http://a").unwrap().order_preserving());
+        let mut plan = side("http://x/v0");
+        Optimizer::new(&ds, &graphs).optimize(&mut plan);
+        assert!(
+            matches!(&plan, Plan::Join(..)),
+            "non-monotone map after append: merge join must not be planned ({plan:?})"
         );
     }
 

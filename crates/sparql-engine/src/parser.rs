@@ -449,7 +449,9 @@ impl Parser {
                 Ok(PatternTerm::Const(Term::iri(self.resolve_pname(&p, &l)?)))
             }
             TokenKind::BlankLabel(b) => Ok(PatternTerm::Const(Term::blank(b))),
-            TokenKind::String(s) if allow_literal => Ok(PatternTerm::Const(self.finish_literal(s)?)),
+            TokenKind::String(s) if allow_literal => {
+                Ok(PatternTerm::Const(self.finish_literal(s)?))
+            }
             TokenKind::Integer(n) if allow_literal => Ok(PatternTerm::Const(Term::integer(n))),
             TokenKind::Decimal(d) if allow_literal => {
                 Ok(PatternTerm::Const(Term::Literal(Literal::double(d))))
@@ -791,10 +793,7 @@ mod tests {
 
     #[test]
     fn filter_builtin_without_parens() {
-        let q = parse_query(
-            "SELECT * WHERE { ?s ?p ?c FILTER regex(str(?c), \"USA\") }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * WHERE { ?s ?p ?c FILTER regex(str(?c), \"USA\") }").unwrap();
         let filter = q
             .pattern
             .elems
@@ -859,10 +858,7 @@ mod tests {
 
     #[test]
     fn graph_clause() {
-        let q = parse_query(
-            "SELECT * WHERE { GRAPH <http://yago> { ?a <http://p> ?b } }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * WHERE { GRAPH <http://yago> { ?a <http://p> ?b } }").unwrap();
         assert!(matches!(
             &q.pattern.elems[0],
             PatternElem::Graph(uri, _) if uri == "http://yago"

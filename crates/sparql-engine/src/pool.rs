@@ -71,7 +71,9 @@ impl<'a> TermPool<'a> {
 
     /// Id for a term without interning (`None` if unseen).
     pub fn lookup(&self, term: &Term) -> Option<TermId> {
-        self.base.get(term).or_else(|| self.extra_ids.get(term).copied())
+        self.base
+            .get(term)
+            .or_else(|| self.extra_ids.get(term).copied())
     }
 }
 

@@ -23,9 +23,16 @@ pub struct Regex {
 enum Node {
     Char(char),
     Any,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     Group(Vec<Vec<Node>>),
-    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+    Repeat {
+        node: Box<Node>,
+        min: u32,
+        max: Option<u32>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -84,7 +91,10 @@ impl<'a> PatternParser<'a> {
     }
 
     fn parse_atom(&mut self, depth: usize) -> Result<Node, RegexError> {
-        let c = self.chars.next().ok_or_else(|| RegexError("truncated".into()))?;
+        let c = self
+            .chars
+            .next()
+            .ok_or_else(|| RegexError("truncated".into()))?;
         match c {
             '.' => Ok(Node::Any),
             '(' => {
@@ -306,9 +316,7 @@ impl Regex {
                     if self.case_insensitive && !hit {
                         // Retry against the uppercase form of class items.
                         hit = items.iter().any(|item| match item {
-                            ClassItem::Single(s) => {
-                                s.to_lowercase().next() == Some(c)
-                            }
+                            ClassItem::Single(s) => s.to_lowercase().next() == Some(c),
                             ClassItem::Range(lo, hi) => {
                                 let lo = lo.to_ascii_lowercase();
                                 let hi = hi.to_ascii_lowercase();

@@ -62,7 +62,7 @@ impl Column {
     pub fn from_ids(ids: Vec<TermId>) -> Self {
         let len = ids.len();
         let mut present = vec![!0u64; len / 64];
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             present.push((1u64 << (len % 64)) - 1);
         }
         Column { ids, present }
@@ -82,7 +82,7 @@ impl Column {
     #[inline]
     pub fn push(&mut self, v: Option<TermId>) {
         let i = self.ids.len();
-        if i % 64 == 0 {
+        if i.is_multiple_of(64) {
             self.present.push(0);
         }
         match v {
@@ -124,7 +124,7 @@ impl Column {
         if self.present[..full].iter().any(|&w| w != !0u64) {
             return false;
         }
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             let mask = (1u64 << (len % 64)) - 1;
             return self.present[full] & mask == mask;
         }
@@ -168,7 +168,7 @@ impl Column {
         }
         self.ids.truncate(len);
         self.present.truncate(len.div_ceil(64));
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             if let Some(last) = self.present.last_mut() {
                 *last &= (1u64 << (len % 64)) - 1;
             }
@@ -473,7 +473,8 @@ mod tests {
     fn column_access() {
         let mut t = SolutionTable::with_vars(vec!["a".into(), "b".into()]);
         t.rows.push(vec![Some(Term::integer(1)), None]);
-        t.rows.push(vec![Some(Term::integer(2)), Some(Term::string("x"))]);
+        t.rows
+            .push(vec![Some(Term::integer(2)), Some(Term::string("x"))]);
         let a: Vec<_> = t.column("a").unwrap().collect();
         assert_eq!(a.len(), 2);
         assert!(t.column("missing").is_none());
@@ -512,7 +513,11 @@ mod tests {
         for i in 0..130 {
             assert_eq!(
                 c.get(i),
-                if i % 3 == 0 { Some(TermId(i as u32)) } else { None }
+                if i % 3 == 0 {
+                    Some(TermId(i as u32))
+                } else {
+                    None
+                }
             );
         }
         let full = Column::from_ids((0..130).map(TermId).collect());
@@ -578,6 +583,21 @@ mod tests {
         t.slice(1, Some(1));
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(0, 0), Some(TermId(4)));
+
+        // Out-of-range slices clamp to empty, with saturating arithmetic.
+        let mut oob = g.clone();
+        oob.slice(5, Some(3));
+        assert_eq!(oob.len(), 0);
+        let mut oob = g.clone();
+        oob.slice(usize::MAX, Some(usize::MAX));
+        assert_eq!(oob.len(), 0);
+        assert_eq!(oob.vars, g.vars);
+        let mut rows = vec![1, 2, 3];
+        slice_rows(&mut rows, 7, Some(usize::MAX));
+        assert!(rows.is_empty());
+        let mut rows = vec![1, 2, 3];
+        slice_rows(&mut rows, 1, Some(usize::MAX));
+        assert_eq!(rows, vec![2, 3]);
 
         let mut t2 = IdTable::with_vars(vec!["a".into()]);
         t2.push_row(&[Some(TermId(1))]);

@@ -27,7 +27,11 @@ fn movie_graph() -> Graph {
     ];
     for (name, place, movies, has_award) in actors {
         let a = iri(&format!("http://dbpedia.org/resource/{name}"));
-        g.insert(&Triple::new(a.clone(), birth_place.clone(), (*place).clone()));
+        g.insert(&Triple::new(
+            a.clone(),
+            birth_place.clone(),
+            (*place).clone(),
+        ));
         for m in 0..movies {
             let movie = iri(&format!("http://dbpedia.org/resource/{name}_movie{m}"));
             g.insert(&Triple::new(movie, starring.clone(), a.clone()));

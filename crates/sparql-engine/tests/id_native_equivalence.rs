@@ -42,7 +42,11 @@ fn movie_graph() -> Graph {
     ];
     for (name, place, movies, has_award) in actors {
         let a = iri(&format!("http://dbpedia.org/resource/{name}"));
-        g.insert(&Triple::new(a.clone(), birth_place.clone(), (*place).clone()));
+        g.insert(&Triple::new(
+            a.clone(),
+            birth_place.clone(),
+            (*place).clone(),
+        ));
         for m in 0..movies {
             let movie = iri(&format!("http://dbpedia.org/resource/{name}_movie{m}"));
             g.insert(&Triple::new(movie.clone(), starring.clone(), a.clone()));
@@ -168,8 +172,10 @@ fn queries() -> Vec<String> {
              ?movie dbpp:starring ?actor } \
            GROUP BY ?actor HAVING ( COUNT(?movie) >= 1 ) \
            ORDER BY ?actor"),
-        q("SELECT ?movie (1 AS ?one) FROM <http://dbpedia.org> WHERE { \
-             ?movie dbpp:starring ?actor . BIND ( 1 AS ?one ) }"),
+        q(
+            "SELECT ?movie (1 AS ?one) FROM <http://dbpedia.org> WHERE { \
+             ?movie dbpp:starring ?actor . BIND ( 1 AS ?one ) }",
+        ),
         // ORDER BY + LIMIT exercises the TopK fusion on the id-native paths
         // (and plain sort+truncate on the reference path).
         q("SELECT ?movie ?actor FROM <http://dbpedia.org> \
@@ -185,29 +191,37 @@ fn queries() -> Vec<String> {
            GROUP BY ?actor ORDER BY ?actor"),
         // DISTINCT over duplicated numeric values (SUM/AVG change, MIN/MAX
         // don't; dedup is on ids for the id-native paths).
-        q("SELECT ?actor (SUM(DISTINCT ?r) AS ?total) (AVG(DISTINCT ?r) AS ?avg) \
+        q(
+            "SELECT ?actor (SUM(DISTINCT ?r) AS ?total) (AVG(DISTINCT ?r) AS ?avg) \
            FROM <http://dbpedia.org> WHERE { \
              ?movie dbpp:starring ?actor . ?movie dbpp:rating ?r } \
-           GROUP BY ?actor ORDER BY ?actor"),
+           GROUP BY ?actor ORDER BY ?actor",
+        ),
         // Mixed int/double column: still numeric, exercises f64 compare.
         q("SELECT (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) (SUM(?v) AS ?s) \
            FROM <http://dbpedia.org> WHERE { \
              { ?movie dbpp:rating ?v } UNION { ?movie dbpp:score ?v } }"),
         // Mixed numeric/string column: must fall back to term aggregation
         // identically on every path.
-        q("SELECT (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) (COUNT(DISTINCT ?v) AS ?n) \
-           FROM <http://dbpedia.org> WHERE { ?movie dbpp:note ?v }"),
+        q(
+            "SELECT (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) (COUNT(DISTINCT ?v) AS ?n) \
+           FROM <http://dbpedia.org> WHERE { ?movie dbpp:note ?v }",
+        ),
         // COUNT DISTINCT of a *computed* expression: inputs intern through
         // the TermPool and dedup on ids in the id-native paths.
         q("SELECT ?actor (COUNT(DISTINCT str(?movie)) AS ?n) \
            FROM <http://dbpedia.org> WHERE { ?movie dbpp:starring ?actor } \
            GROUP BY ?actor ORDER BY ?actor"),
         // SUM over a computed expression with DISTINCT.
-        q("SELECT (SUM(DISTINCT ?r + 1) AS ?s) FROM <http://dbpedia.org> \
-           WHERE { ?movie dbpp:rating ?r }"),
+        q(
+            "SELECT (SUM(DISTINCT ?r + 1) AS ?s) FROM <http://dbpedia.org> \
+           WHERE { ?movie dbpp:rating ?r }",
+        ),
         // Implicit single group over an empty input: aggregates over no rows.
-        q("SELECT (SUM(?r) AS ?s) (MIN(?r) AS ?lo) FROM <http://dbpedia.org> \
-           WHERE { ?x <http://nothing/here> ?r }"),
+        q(
+            "SELECT (SUM(?r) AS ?s) (MIN(?r) AS ?lo) FROM <http://dbpedia.org> \
+           WHERE { ?x <http://nothing/here> ?r }",
+        ),
         // --- merge joins & FILTER pushdown ------------------------------
         // Star join of two (?x <p> <o>) groups: both sides scan POS with a
         // bound (p, o) prefix, so both arrive sorted on ?x and the
@@ -235,6 +249,38 @@ fn queries() -> Vec<String> {
         q("SELECT ?actor FROM <http://dbpedia.org> WHERE { \
              ?movie dbpp:starring ?actor . ?actor dbpp:birthPlace ?c \
              FILTER ( regex(str(?c), \"United\") && isIRI(?c) ) }"),
+        // --- order-aware OPTIONAL / DISTINCT / GROUP BY ------------------
+        // OPTIONAL whose two sides both scan POS with a bound (p, o)
+        // prefix: both sorted on ?actor, so the left join merges.
+        q("SELECT ?actor ?l FROM <http://dbpedia.org> WHERE { \
+             ?actor dbpp:birthPlace dbpr:United_States \
+             OPTIONAL { ?actor dbpp:academyAward dbpr:Oscar . \
+                        ?actor <http://www.w3.org/2000/01/rdf-schema#label> ?l } }"),
+        // DISTINCT whose projected columns are exactly the BGP's sort
+        // sequence ([?actor, ?movie] off the POS starring scan): dedup by
+        // run detection.
+        q(
+            "SELECT DISTINCT ?actor ?movie FROM <http://dbpedia.org> WHERE { \
+             ?movie dbpp:starring ?actor }",
+        ),
+        // GROUP BY on the leading order variable: grouping by run
+        // detection (keys are an order prefix).
+        q(
+            "SELECT ?actor (COUNT(?movie) AS ?n) (MIN(?movie) AS ?first) \
+           FROM <http://dbpedia.org> WHERE { ?movie dbpp:starring ?actor } \
+           GROUP BY ?actor",
+        ),
+        // GROUP BY on a non-prefix variable (?movie is the *secondary*
+        // order): must keep hashing, identically everywhere.
+        q(
+            "SELECT ?movie (COUNT(?actor) AS ?n) FROM <http://dbpedia.org> \
+           WHERE { ?movie dbpp:starring ?actor } GROUP BY ?movie",
+        ),
+        // DISTINCT over a projection that drops the secondary order column
+        // (?actor): the surviving [?c] prefix still covers the schema, so
+        // run detection works on the single remaining sorted column.
+        q("SELECT DISTINCT ?c FROM <http://dbpedia.org> WHERE { \
+             ?actor dbpp:birthPlace ?c . ?movie dbpp:starring ?actor }"),
     ]
 }
 
@@ -406,6 +452,88 @@ fn merge_join_fires_and_pushdown_cuts_scans() {
 }
 
 #[test]
+fn order_aware_rewrites_fire_and_agree_per_toggle() {
+    // For each of the three new rewrites: the counter fires (>0) on a query
+    // shaped for it, on slab-resident *and* delta-resident storage, and
+    // toggling just that rewrite off yields identical results with *exactly*
+    // the same `rows_scanned` (these rewrites change join/dedup/group
+    // strategy, never scan work).
+    let optional_q = format!(
+        "{PREFIXES}SELECT ?actor ?l FROM <http://dbpedia.org> WHERE {{ \
+           ?actor dbpp:birthPlace dbpr:United_States \
+           OPTIONAL {{ ?actor dbpp:academyAward dbpr:Oscar . \
+                       ?actor <http://www.w3.org/2000/01/rdf-schema#label> ?l }} }}"
+    );
+    let distinct_q = format!(
+        "{PREFIXES}SELECT DISTINCT ?actor ?movie FROM <http://dbpedia.org> \
+         WHERE {{ ?movie dbpp:starring ?actor }}"
+    );
+    let group_q = format!(
+        "{PREFIXES}SELECT ?actor (COUNT(?movie) AS ?n) FROM <http://dbpedia.org> \
+         WHERE {{ ?movie dbpp:starring ?actor }} GROUP BY ?actor"
+    );
+    type CounterFn = Box<dyn Fn(&sparql_engine::ExecStats) -> u64>;
+    for compacted in [true, false] {
+        let ds = dataset(compacted);
+        let on = Engine::new(Arc::clone(&ds));
+
+        let cases: [(&str, &str, CounterFn, EngineConfig); 3] = [
+            (
+                "merge_left_joins",
+                optional_q.as_str(),
+                Box::new(|s| s.merge_left_joins),
+                EngineConfig {
+                    merge_left_joins: false,
+                    ..EngineConfig::new()
+                },
+            ),
+            (
+                "sorted_distinct",
+                distinct_q.as_str(),
+                Box::new(|s| s.sorted_distincts),
+                EngineConfig {
+                    sorted_distinct: false,
+                    ..EngineConfig::new()
+                },
+            ),
+            (
+                "sorted_group_by",
+                group_q.as_str(),
+                Box::new(|s| s.sorted_groups),
+                EngineConfig {
+                    sorted_group_by: false,
+                    ..EngineConfig::new()
+                },
+            ),
+        ];
+        for (name, query, counter, off_config) in cases {
+            let (mut with, s_on) = on.execute_with_stats(query).unwrap();
+            assert!(
+                counter(&s_on) > 0,
+                "{name} must fire (compacted={compacted}): {s_on:?}\n{query}"
+            );
+            let off = Engine::with_config(Arc::clone(&ds), off_config);
+            let (mut without, s_off) = off.execute_with_stats(query).unwrap();
+            assert_eq!(
+                counter(&s_off),
+                0,
+                "{name} must not fire when toggled off (compacted={compacted})"
+            );
+            with.canonicalize();
+            without.canonicalize();
+            assert_eq!(
+                with, without,
+                "{name} changed results (compacted={compacted}) for:\n{query}"
+            );
+            assert_eq!(
+                s_on.rows_scanned, s_off.rows_scanned,
+                "{name} changed scan work (compacted={compacted}) for:\n{query}"
+            );
+        }
+    }
+}
+
+#[test]
 fn paged_execution_matches_full_execution() {
     let ds = dataset(true);
     let engines = engines(ds, true);
@@ -509,7 +637,12 @@ fn render_query_with_filters(patterns: &[(Pos, Pos, Pos)], conds: &[Cond]) -> St
 #[derive(Debug, Clone)]
 enum Cond {
     /// `?v{var} =/!= <http://test/{kind}{c}>`.
-    EqConst { var: u8, kind: char, c: u8, negate: bool },
+    EqConst {
+        var: u8,
+        kind: char,
+        c: u8,
+        negate: bool,
+    },
     /// `?v{a} = ?v{b}` — not single-variable, never pushed.
     VarVar(u8, u8),
 }
@@ -517,7 +650,12 @@ enum Cond {
 impl Cond {
     fn render(&self) -> String {
         match self {
-            Cond::EqConst { var, kind, c, negate } => format!(
+            Cond::EqConst {
+                var,
+                kind,
+                c,
+                negate,
+            } => format!(
                 "?v{var} {} <http://test/{kind}{c}>",
                 if *negate { "!=" } else { "=" }
             ),
@@ -594,6 +732,57 @@ proptest! {
         for pair in results.windows(2) {
             prop_assert_eq!(&pair[0].1, &pair[1].1, "{} vs {}: {}", pair[0].0, pair[1].0, q);
             prop_assert_eq!(pair[0].2, pair[1].2, "{} vs {}: {}", pair[0].0, pair[1].0, q);
+        }
+    }
+
+    #[test]
+    fn sorted_dedup_and_grouping_agree_with_hash_paths_on_random_bgps(
+        triples in proptest::collection::vec(triple_strategy(), 1..25),
+        patterns in proptest::collection::vec(pattern_strategy(), 1..4),
+        group_var in 0u8..4,
+    ) {
+        // Mirrors `pushdown_agrees_with_no_pushdown_on_random_filtered_bgps`
+        // for the order-aware DISTINCT/GROUP BY/LeftJoin rewrites: random
+        // BGPs (graph `a` compacted, graph `b` delta-resident) wrapped in
+        // DISTINCT and in GROUP BY, executed with the sorted fast paths on
+        // vs off — identical bags — and with exact result + `rows_scanned`
+        // parity across all three evaluators on the rewritten plans.
+        let ds = build_two_graph_dataset(&triples);
+        let body = render_query(&patterns);
+        let pattern_block = body.strip_prefix("SELECT * ").unwrap();
+        let distinct_q = format!("SELECT DISTINCT * {pattern_block}");
+        let group_q = format!(
+            "SELECT ?v{group_var} (COUNT(*) AS ?n) {pattern_block} GROUP BY ?v{group_var}"
+        );
+        let sorted = Engine::new(Arc::clone(&ds));
+        let hashed = Engine::with_config(
+            Arc::clone(&ds),
+            EngineConfig {
+                sorted_distinct: false,
+                sorted_group_by: false,
+                merge_left_joins: false,
+                ..EngineConfig::new()
+            },
+        );
+        for q in [&distinct_q, &group_q] {
+            let (mut a, s_a) = sorted.execute_with_stats(q).unwrap();
+            let (mut b, s_b) = hashed.execute_with_stats(q).unwrap();
+            a.canonicalize();
+            b.canonicalize();
+            prop_assert_eq!(&a, &b, "sorted fast path changed results: {}", q);
+            prop_assert_eq!(s_a.rows_scanned, s_b.rows_scanned, "scan work drifted: {}", q);
+            // Cross-evaluator parity on the rewritten plan.
+            let engines = engines(Arc::clone(&ds), true);
+            let mut results = Vec::new();
+            for (name, engine) in &engines {
+                let (mut t, stats) = engine.execute_with_stats(q).unwrap();
+                t.canonicalize();
+                results.push((name, t, stats.rows_scanned));
+            }
+            for pair in results.windows(2) {
+                prop_assert_eq!(&pair[0].1, &pair[1].1, "{} vs {}: {}", pair[0].0, pair[1].0, q);
+                prop_assert_eq!(pair[0].2, pair[1].2, "{} vs {}: {}", pair[0].0, pair[1].0, q);
+            }
         }
     }
 

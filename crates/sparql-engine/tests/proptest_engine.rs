@@ -73,10 +73,7 @@ fn render_query(patterns: &[(Pos, Pos, Pos)]) -> String {
 
 /// Brute-force BGP evaluation: nested loops over the raw triple list with
 /// a binding environment.
-fn brute_force(
-    triples: &[(u8, u8, u8)],
-    patterns: &[(Pos, Pos, Pos)],
-) -> Vec<HashMap<u8, String>> {
+fn brute_force(triples: &[(u8, u8, u8)], patterns: &[(Pos, Pos, Pos)]) -> Vec<HashMap<u8, String>> {
     // Deduplicate the triple list (the graph is a set).
     let mut set: Vec<(u8, u8, u8)> = Vec::new();
     for t in triples {
@@ -91,9 +88,7 @@ fn brute_force(
             for (s, p, o) in &set {
                 let mut candidate = env.clone();
                 let mut ok = true;
-                for (pos, val, kind) in
-                    [(ps, s, 's'), (pp, p, 'p'), (po, o, 'o')]
-                {
+                for (pos, val, kind) in [(ps, s, 's'), (pp, p, 'p'), (po, o, 'o')] {
                     let term = format!("http://test/{kind}{val}");
                     match pos {
                         Pos::Const(c) => {

@@ -44,7 +44,11 @@ fn skewed_dataset() -> Arc<Dataset> {
             ));
         }
         if i < 3 {
-            g.insert(&Triple::new(e, iri("http://x/award"), iri("http://x/oscar")));
+            g.insert(&Triple::new(
+                e,
+                iri("http://x/award"),
+                iri("http://x/oscar"),
+            ));
         }
     }
     let mut ds = Dataset::new();
@@ -100,7 +104,9 @@ fn reordering_preserves_results_on_all_evaluators() {
 fn reordering_scans_fewer_index_entries() {
     let ds = skewed_dataset();
     for mode in MODES {
-        let (_, with_opt) = engine(&ds, true, mode).execute_with_stats(MISORDERED).unwrap();
+        let (_, with_opt) = engine(&ds, true, mode)
+            .execute_with_stats(MISORDERED)
+            .unwrap();
         let (_, without) = engine(&ds, false, mode)
             .execute_with_stats(MISORDERED)
             .unwrap();

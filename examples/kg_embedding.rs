@@ -77,9 +77,7 @@ fn main() {
     for row in df.rows() {
         for cell in [&row[si], &row[oi]] {
             let next_id = entity_ids.len();
-            entity_ids
-                .entry(cell.to_string())
-                .or_insert(next_id);
+            entity_ids.entry(cell.to_string()).or_insert(next_id);
         }
         *relation_freq.entry(row[pi].to_string()).or_insert(0) += 1;
     }
@@ -101,9 +99,5 @@ fn main() {
     let test_size = (df.len() / 10).max(1);
     let test = df.head(test_size, 0);
     let train = df.head(df.len() - test_size, test_size);
-    println!(
-        "split: {} train / {} test triples",
-        train.len(),
-        test.len()
-    );
+    println!("split: {} train / {} test triples", train.len(), test.len());
 }

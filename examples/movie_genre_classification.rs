@@ -48,12 +48,17 @@ fn main() {
         .group_by(&["actor"])
         .count("movie", "movie_count", true)
         .filter("movie_count", &[">=10"]);
-    let dataset_frame = american
-        .join(&prolific, "actor", JoinType::Outer)
-        .join(&movies, "actor", JoinType::Inner);
+    let dataset_frame =
+        american
+            .join(&prolific, "actor", JoinType::Outer)
+            .join(&movies, "actor", JoinType::Inner);
 
     let df = dataset_frame.execute(&endpoint).expect("query failed");
-    println!("prepared dataframe: {} rows, columns {:?}", df.len(), df.columns());
+    println!(
+        "prepared dataframe: {} rows, columns {:?}",
+        df.len(),
+        df.columns()
+    );
 
     // ---- a deliberately tiny "model": majority genre per subject ------
     // (The paper uses scikit-learn here; the preparation step above is

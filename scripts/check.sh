@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification in one command: formatting, lints, the full test
+# suite, and a small-scale smoke run of both benchmark binaries (which
+# exercises dataset generation, both execution paths, and the JSON
+# writers end to end).
+#
+# Usage: scripts/check.sh [--no-bench]
+#
+# The bench smoke runs at --scale 64 (seconds, not minutes). The benches
+# overwrite BENCH_eval.json / BENCH_frames.json with small-scale numbers,
+# so the script snapshots the working-tree versions first and restores
+# them afterwards — uncommitted full-scale results survive the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_bench=1
+if [[ "${1:-}" == "--no-bench" ]]; then
+    run_bench=0
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> cargo test"
+cargo test -q
+
+if [[ "$run_bench" == 1 ]]; then
+    snapshot=$(mktemp -d)
+    trap 'rm -rf "$snapshot"' EXIT
+    cp BENCH_eval.json BENCH_frames.json "$snapshot"/ 2>/dev/null || true
+    echo "==> eval_bench smoke (--scale 64)"
+    cargo run --release -p bench --bin eval_bench -- --scale 64
+    echo "==> frame_bench smoke (--scale 64)"
+    cargo run --release -p bench --bin frame_bench -- --scale 64
+    # Restore the pre-run results files (working tree, not HEAD — do not
+    # clobber uncommitted full-scale measurements).
+    cp "$snapshot"/BENCH_eval.json "$snapshot"/BENCH_frames.json . 2>/dev/null || true
+fi
+
+echo "==> all checks passed"

@@ -42,10 +42,10 @@
 //! ```
 
 pub use dataframe as df;
-pub use rdfframes_core::reference;
 pub use kg_datagen as datagen;
 pub use rdf_model as rdf;
 pub use rdfframes_core::api;
+pub use rdfframes_core::reference;
 pub use sparql_engine as engine;
 
 pub use rdfframes_core::{

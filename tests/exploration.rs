@@ -26,11 +26,7 @@ fn setup() -> (InProcessEndpoint, KnowledgeGraph) {
 fn classes_and_frequencies_finds_every_class() {
     let (endpoint, graph) = setup();
     let df = graph.classes_and_frequencies().execute(&endpoint).unwrap();
-    let classes: Vec<String> = df
-        .column("class")
-        .unwrap()
-        .map(|c| c.to_string())
-        .collect();
+    let classes: Vec<String> = df.column("class").unwrap().map(|c| c.to_string()).collect();
     for expected in [
         "Actor",
         "Film",
@@ -41,9 +37,7 @@ fn classes_and_frequencies_finds_every_class() {
         "Writer",
     ] {
         assert!(
-            classes
-                .iter()
-                .any(|c| c.contains(expected)),
+            classes.iter().any(|c| c.contains(expected)),
             "missing class {expected}: {classes:?}"
         );
     }

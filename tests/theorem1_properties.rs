@@ -59,7 +59,10 @@ fn step_strategy() -> impl Strategy<Value = Step> {
         Just(Step::FilterCountry),
         Just(Step::FilterIsUri),
         Just(Step::FilterRegex),
-        (any::<bool>(), prop_oneof![Just(None), Just(Some(2)), Just(Some(3))])
+        (
+            any::<bool>(),
+            prop_oneof![Just(None), Just(Some(2)), Just(Some(3))]
+        )
             .prop_map(|(distinct, threshold)| Step::GroupCount {
                 distinct,
                 threshold
@@ -211,8 +214,7 @@ fn build_frame(steps: &[Step]) -> RDFFrame {
                 if !has("actor") || head_applied {
                     continue;
                 }
-                let other = kg()
-                    .feature_domain_range("dbpp:academyAward", "actor", "award");
+                let other = kg().feature_domain_range("dbpp:academyAward", "actor", "award");
                 let jt = match kind {
                     JoinKind::Inner => JoinType::Inner,
                     JoinKind::Left => JoinType::Left,
@@ -241,7 +243,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
         max_shrink_iters: 200,
-        ..ProptestConfig::default()
     })]
 
     /// Theorem 1: SPARQL-compiled execution ≡ direct operator semantics.
