@@ -9,7 +9,9 @@
 //! time, the deterministic `rows_scanned` work metric, and the number of
 //! heap allocations per execution (via a counting global allocator). A
 //! fourth, textually misordered BGP is run with the optimizer on and off to
-//! record how much statistics-driven pattern ordering matters. Results are
+//! record how much statistics-driven pattern ordering matters, and
+//! `bgp_heavy` is re-run with resource budgets armed on every axis (but
+//! never hit) to keep the governor's overhead honest (<2%). Results are
 //! written to `BENCH_eval.json` so the perf trajectory is tracked in-repo.
 //!
 //! Usage: `cargo run --release -p bench --bin eval_bench [--scale N] [N]`
@@ -22,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use bench::data;
 use rdf_model::Dataset;
-use sparql_engine::{Engine, EngineConfig, EvalMode};
+use sparql_engine::{Engine, EngineConfig, EvalMode, QueryBudget};
 
 /// Counts every heap allocation so the bench can report per-query
 /// allocation totals (the columnar evaluator's headline claim is "no
@@ -639,9 +641,76 @@ fn main() {
     );
     let _ = writeln!(json, "      \"rows\": {}", ordered_out.rows);
     let _ = writeln!(json, "    }}");
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
+    let _ = writeln!(json, "  ],");
     fresh.push((mis.id.to_string(), ordered_out.median.as_secs_f64() * 1e3));
+
+    // Budget-governor overhead: `bgp_heavy` with generous limits armed on
+    // every axis (so the meter runs but never trips) against the plain
+    // engine. The governor's contract is that an armed-but-unhit budget is
+    // invisible: same rows, same `rows_scanned`, and a median wall-clock
+    // regression under 2%.
+    let budgeted = Engine::with_config(
+        Arc::clone(&dataset),
+        EngineConfig {
+            optimize: true,
+            eval_mode: EvalMode::Columnar,
+            budget: QueryBudget::unlimited()
+                .with_max_rows_scanned(u64::MAX / 2)
+                .with_max_intermediate_rows(u64::MAX / 2)
+                .with_max_memory_bytes(u64::MAX / 2)
+                .with_deadline(Duration::from_secs(3600)),
+            ..EngineConfig::new()
+        },
+    );
+    let heavy = specs
+        .iter()
+        .find(|s| s.id == "bgp_heavy")
+        .expect("bgp_heavy spec");
+    let off_out = run(&columnar, &heavy.sparql);
+    let on_out = run(&budgeted, &heavy.sparql);
+    assert_eq!(off_out.rows, on_out.rows, "budget meter changed the result");
+    assert_eq!(
+        off_out.rows_scanned, on_out.rows_scanned,
+        "budget meter changed the work metric"
+    );
+    let overhead_pct =
+        (on_out.median.as_secs_f64() / off_out.median.as_secs_f64().max(1e-12) - 1.0) * 100.0;
+    println!(
+        "\n{:<18} {:>13} {:>13} {:>9}  (columnar bgp_heavy: budgets off vs armed-but-unhit)",
+        "budget_overhead", "off (ms)", "armed (ms)", "overhead"
+    );
+    println!(
+        "{:<18} {:>13.3} {:>13.3} {:>8.2}%",
+        "bgp_heavy",
+        off_out.median.as_secs_f64() * 1e3,
+        on_out.median.as_secs_f64() * 1e3,
+        overhead_pct
+    );
+    let _ = writeln!(json, "  \"budget_overhead\": {{");
+    let _ = writeln!(json, "    \"id\": \"budget_overhead\",");
+    let _ = writeln!(
+        json,
+        "    \"kind\": \"bgp_heavy on columnar: budgets off vs armed on all four axes but never hit\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"budgets_off_ms\": {:.3},",
+        off_out.median.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "    \"budgets_armed_ms\": {:.3},",
+        on_out.median.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(json, "    \"overhead_pct\": {overhead_pct:.3},");
+    let _ = writeln!(
+        json,
+        "    \"allocations\": {{ \"off\": {}, \"armed\": {} }},",
+        off_out.allocs, on_out.allocs
+    );
+    let _ = writeln!(json, "    \"rows\": {}", on_out.rows);
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
 
     if args.compare {
         if previous.is_empty() {

@@ -18,6 +18,9 @@ use rdf_model::term::TypedValue;
 use rdf_model::{Term, TermId};
 use sparql_engine::{QueryCursor, SolutionTable};
 
+use crate::client::engine_error;
+use crate::error::{FrameError, Result};
+
 /// Convert one RDF term to a dataframe cell, preserving URI-ness and
 /// numeric/boolean typing.
 pub fn term_to_cell(term: &Term) -> Cell {
@@ -34,16 +37,31 @@ pub fn term_to_cell(term: &Term) -> Cell {
 }
 
 /// Convert a whole solution table.
-pub fn table_to_dataframe(table: &SolutionTable) -> DataFrame {
+///
+/// Fallible because the table may have been decoded from a wire chunk a
+/// fault corrupted: a ragged row (width ≠ header) is reported as a
+/// [`FrameError::Transport`] instead of tripping the dataframe's width
+/// assertion — the wire path must never panic on malformed input.
+pub fn table_to_dataframe(table: &SolutionTable) -> Result<DataFrame> {
+    let width = table.vars.len();
     let mut df = DataFrame::new(table.vars.clone());
     for row in &table.rows {
+        if row.len() != width {
+            return Err(ragged_row(row.len(), width));
+        }
         df.push_row(
             row.iter()
                 .map(|c| c.as_ref().map_or(Cell::Null, term_to_cell))
                 .collect(),
         );
     }
-    df
+    Ok(df)
+}
+
+fn ragged_row(got: usize, want: usize) -> FrameError {
+    FrameError::Transport(format!(
+        "malformed result chunk: row width {got} does not match header width {want}"
+    ))
 }
 
 /// Memoized id → cell decoding for the embedded path.
@@ -74,7 +92,7 @@ impl CellInterner {
 /// Drain a [`QueryCursor`] into a dataframe, building typed cell columns
 /// straight from the cursor's id columns (no intermediate
 /// [`SolutionTable`], no per-cell term materialization).
-pub fn cursor_to_dataframe(cursor: &mut QueryCursor<'_>) -> DataFrame {
+pub fn cursor_to_dataframe(cursor: &mut QueryCursor<'_>) -> Result<DataFrame> {
     let vars = cursor.vars().to_vec();
     let width = vars.len();
     if width == 0 {
@@ -85,13 +103,13 @@ pub fn cursor_to_dataframe(cursor: &mut QueryCursor<'_>) -> DataFrame {
         for _ in 0..cursor.row_count() {
             df.push_row(Vec::new());
         }
-        return df;
+        return Ok(df);
     }
     let mut cols: Vec<Vec<Cell>> = (0..width)
         .map(|_| Vec::with_capacity(cursor.row_count()))
         .collect();
     let mut interner = CellInterner::new();
-    while let Some(batch) = cursor.next_batch() {
+    while let Some(batch) = cursor.next_batch().map_err(engine_error)? {
         for (c, col) in cols.iter_mut().enumerate() {
             let ids = batch.column_ids(c);
             for (i, &id) in ids.iter().enumerate() {
@@ -103,14 +121,27 @@ pub fn cursor_to_dataframe(cursor: &mut QueryCursor<'_>) -> DataFrame {
             }
         }
     }
-    DataFrame::from_cell_columns(vars, cols)
+    Ok(DataFrame::from_cell_columns(vars, cols))
 }
 
 /// Append a solution table's rows to an existing dataframe with the same
-/// schema (used by pagination). Returns false on schema mismatch.
-pub fn append_table(df: &mut DataFrame, table: &SolutionTable) -> bool {
+/// schema (used by pagination).
+///
+/// A chunk whose header differs from the accumulated frame's (schema
+/// drift) or whose rows are ragged is a [`FrameError::Transport`]: a
+/// damaged response, worth re-requesting — re-execution per chunk makes the
+/// retry safe.
+pub fn append_table(df: &mut DataFrame, table: &SolutionTable) -> Result<()> {
     if df.columns() != table.vars.as_slice() {
-        return false;
+        return Err(FrameError::Transport(
+            "endpoint returned inconsistent schemas across chunks".into(),
+        ));
+    }
+    let width = table.vars.len();
+    // Validate every row before appending any: a retry after a mid-chunk
+    // error must not find half the bad chunk already merged.
+    if let Some(row) = table.rows.iter().find(|r| r.len() != width) {
+        return Err(ragged_row(row.len(), width));
     }
     for row in &table.rows {
         df.push_row(
@@ -119,7 +150,7 @@ pub fn append_table(df: &mut DataFrame, table: &SolutionTable) -> bool {
                 .collect(),
         );
     }
-    true
+    Ok(())
 }
 
 #[cfg(test)]
@@ -157,7 +188,7 @@ mod tests {
             vars: vec!["a".into(), "b".into()],
             rows: vec![vec![Some(Term::integer(1)), None]],
         };
-        let df = table_to_dataframe(&table);
+        let df = table_to_dataframe(&table).unwrap();
         assert_eq!(df.get(0, "a"), Some(&Cell::Int(1)));
         assert_eq!(df.get(0, "b"), Some(&Cell::Null));
     }
@@ -168,13 +199,45 @@ mod tests {
             vars: vec!["a".into()],
             rows: vec![vec![Some(Term::integer(1))]],
         };
-        let mut df = table_to_dataframe(&t1);
-        assert!(append_table(&mut df, &t1));
+        let mut df = table_to_dataframe(&t1).unwrap();
+        assert!(append_table(&mut df, &t1).is_ok());
         assert_eq!(df.len(), 2);
         let t2 = SolutionTable {
             vars: vec!["z".into()],
             rows: vec![],
         };
-        assert!(!append_table(&mut df, &t2));
+        assert!(matches!(
+            append_table(&mut df, &t2),
+            Err(FrameError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn ragged_rows_error_instead_of_panicking() {
+        // A truncated wire chunk can decode to a row narrower than the
+        // header; conversion must reject it as a transport error, not trip
+        // the dataframe's width assertion.
+        let ragged = SolutionTable {
+            vars: vec!["a".into(), "b".into()],
+            rows: vec![
+                vec![Some(Term::integer(1)), Some(Term::integer(2))],
+                vec![Some(Term::integer(3))],
+            ],
+        };
+        assert!(matches!(
+            table_to_dataframe(&ragged),
+            Err(FrameError::Transport(_))
+        ));
+        let ok = SolutionTable {
+            vars: vec!["a".into(), "b".into()],
+            rows: vec![vec![Some(Term::integer(1)), Some(Term::integer(2))]],
+        };
+        let mut df = table_to_dataframe(&ok).unwrap();
+        assert!(matches!(
+            append_table(&mut df, &ragged),
+            Err(FrameError::Transport(_))
+        ));
+        // Nothing from the bad chunk was merged — a retry starts clean.
+        assert_eq!(df.len(), 1);
     }
 }

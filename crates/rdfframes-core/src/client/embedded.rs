@@ -28,8 +28,8 @@ use rdf_model::Dataset;
 use sparql_engine::{Engine, EngineConfig, SolutionTable};
 
 use crate::client::convert::cursor_to_dataframe;
-use crate::client::{Endpoint, EndpointStats, PlanCache};
-use crate::error::{FrameError, Result};
+use crate::client::{engine_error, Endpoint, EndpointStats, PlanCache};
+use crate::error::Result;
 use crate::model::compile::compile;
 use crate::model::QueryModel;
 
@@ -100,16 +100,40 @@ impl EmbeddedEndpoint {
 
     /// Compile, optimize, evaluate, and decode a query model.
     pub fn execute_model_direct(&self, model: &QueryModel) -> Result<DataFrame> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let result = self.execute_model_inner(model);
+        if result.is_err() {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// The raw-SPARQL request body ([`Endpoint::query_chunk`] charges the
+    /// request/error counters around it, mirroring the wire endpoint).
+    fn serve_chunk(&self, sparql: &str, offset: usize, limit: usize) -> Result<SolutionTable> {
+        let prepared = self.plans.get_or_prepare(&self.engine, sparql)?;
+        let (table, stats) = self
+            .engine
+            .execute_prepared(&prepared, Some((offset, limit)))
+            .map_err(engine_error)?;
+        self.rows_scanned
+            .fetch_add(stats.rows_scanned, Ordering::Relaxed);
+        self.stats
+            .rows_returned
+            .fetch_add(table.rows.len() as u64, Ordering::Relaxed);
+        Ok(table)
+    }
+
+    fn execute_model_inner(&self, model: &QueryModel) -> Result<DataFrame> {
         let compiled = compile(model)?;
         let prepared = self.engine.prepare_plan(compiled.plan, compiled.from);
         let mut cursor = self
             .engine
             .cursor(&prepared, self.batch_rows)
-            .map_err(|e| FrameError::Endpoint(e.to_string()))?;
-        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+            .map_err(engine_error)?;
         self.rows_scanned
             .fetch_add(cursor.rows_scanned(), Ordering::Relaxed);
-        let df = cursor_to_dataframe(&mut cursor);
+        let df = cursor_to_dataframe(&mut cursor)?;
         self.stats
             .rows_returned
             .fetch_add(df.len() as u64, Ordering::Relaxed);
@@ -123,17 +147,11 @@ impl Endpoint for EmbeddedEndpoint {
     /// round trip.
     fn query_chunk(&self, sparql: &str, offset: usize, limit: usize) -> Result<SolutionTable> {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let prepared = self.plans.get_or_prepare(&self.engine, sparql)?;
-        let (table, stats) = self
-            .engine
-            .execute_prepared(&prepared, Some((offset, limit)))
-            .map_err(|e| FrameError::Endpoint(e.to_string()))?;
-        self.rows_scanned
-            .fetch_add(stats.rows_scanned, Ordering::Relaxed);
-        self.stats
-            .rows_returned
-            .fetch_add(table.rows.len() as u64, Ordering::Relaxed);
-        Ok(table)
+        let result = self.serve_chunk(sparql, offset, limit);
+        if result.is_err() {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        result
     }
 
     /// No server-side page cap: the whole point is that results never cross

@@ -11,6 +11,7 @@
 
 pub mod convert;
 pub mod embedded;
+pub mod faulty;
 pub mod wire;
 pub mod xml;
 
@@ -21,12 +22,31 @@ use std::time::Duration;
 
 use dataframe::DataFrame;
 use rdf_model::Dataset;
-use sparql_engine::{Engine, EngineConfig, PreparedQuery, SolutionTable};
+use sparql_engine::{
+    Engine, EngineConfig, EngineError, EvalMode, PreparedQuery, QueryBudget, SolutionTable,
+};
 
 use crate::error::{FrameError, Result};
 use crate::model::QueryModel;
 
 pub use embedded::EmbeddedEndpoint;
+pub use faulty::{Fault, FaultyEndpoint};
+
+/// Map an engine-side failure onto the client error taxonomy: budget trips
+/// keep their typed identity (fatal, not worth retrying, but distinguishable
+/// from a rejected query), everything else is an endpoint rejection.
+pub(crate) fn engine_error(e: EngineError) -> FrameError {
+    match e {
+        EngineError::ResourceExhausted { .. } => {
+            // The engine's Display already leads with "resource exhausted:",
+            // as does FrameError's — keep only the axis/limit detail.
+            let msg = e.to_string();
+            let detail = msg.strip_prefix("resource exhausted: ").unwrap_or(&msg);
+            FrameError::ResourceExhausted(detail.to_string())
+        }
+        other => FrameError::Endpoint(other.to_string()),
+    }
+}
 
 /// Server-side configuration of the simulated endpoint.
 #[derive(Debug, Clone)]
@@ -38,9 +58,16 @@ pub struct EndpointConfig {
     pub request_overhead: Duration,
     /// Enable the engine's query optimizer.
     pub optimize: bool,
+    /// Which engine evaluator serves requests (columnar unless testing
+    /// against an oracle).
+    pub eval_mode: EvalMode,
     /// Result-format round trip performed on every chunk (models the
     /// SPARQL-over-HTTP result encoding the paper's setup pays for).
     pub wire: WireFormat,
+    /// Server-side resource limits enforced during evaluation (Virtuoso's
+    /// query timeout / result cap family). Unlimited by default; violations
+    /// come back as [`FrameError::ResourceExhausted`].
+    pub budget: QueryBudget,
 }
 
 /// Result serialization performed by the simulated endpoint.
@@ -61,7 +88,9 @@ impl Default for EndpointConfig {
             max_rows_per_request: 100_000,
             request_overhead: Duration::ZERO,
             optimize: true,
+            eval_mode: EvalMode::default(),
             wire: WireFormat::Xml,
+            budget: QueryBudget::unlimited(),
         }
     }
 }
@@ -69,10 +98,14 @@ impl Default for EndpointConfig {
 /// Cumulative endpoint-side statistics (for the experiments).
 #[derive(Debug, Default)]
 pub struct EndpointStats {
-    /// Requests served.
+    /// Requests served (successful or not — a failed request still consumed
+    /// a server round trip).
     pub requests: AtomicU64,
     /// Total rows shipped to clients.
     pub rows_returned: AtomicU64,
+    /// Requests that ended in an error (rejection, budget trip, or wire
+    /// encoding failure). Always ≤ `requests`.
+    pub errors: AtomicU64,
 }
 
 impl EndpointStats {
@@ -84,6 +117,11 @@ impl EndpointStats {
     /// Rows shipped so far.
     pub fn rows_returned(&self) -> u64 {
         self.rows_returned.load(Ordering::Relaxed)
+    }
+
+    /// Requests that ended in an error so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
     }
 }
 
@@ -197,6 +235,8 @@ impl InProcessEndpoint {
             dataset,
             EngineConfig {
                 optimize: config.optimize,
+                eval_mode: config.eval_mode,
+                budget: config.budget.clone(),
                 ..EngineConfig::new()
             },
         );
@@ -239,12 +279,12 @@ impl InProcessEndpoint {
     }
 }
 
-impl Endpoint for InProcessEndpoint {
-    fn query_chunk(&self, sparql: &str, offset: usize, limit: usize) -> Result<SolutionTable> {
-        if !self.config.request_overhead.is_zero() {
-            std::thread::sleep(self.config.request_overhead);
-        }
-        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+impl InProcessEndpoint {
+    /// The request body, separated so [`Endpoint::query_chunk`] can account
+    /// uniformly: overhead and the request counter are charged before this
+    /// runs (a failed request still consumed a round trip), and any error
+    /// it returns bumps the error counter exactly once.
+    fn serve_chunk(&self, sparql: &str, offset: usize, limit: usize) -> Result<SolutionTable> {
         let limit = limit.min(self.config.max_rows_per_request);
         // Plan once per query text; evaluate per chunk (the HTTP model).
         // Paging inside the engine means only shipped rows materialize terms.
@@ -252,7 +292,7 @@ impl Endpoint for InProcessEndpoint {
         let (mut table, _stats) = self
             .engine
             .execute_prepared(&prepared, Some((offset, limit)))
-            .map_err(|e| FrameError::Endpoint(e.to_string()))?;
+            .map_err(engine_error)?;
         self.stats
             .rows_returned
             .fetch_add(table.rows.len() as u64, Ordering::Relaxed);
@@ -261,15 +301,29 @@ impl Endpoint for InProcessEndpoint {
             WireFormat::Tsv => {
                 let encoded = wire::encode(&table);
                 table = wire::decode(&encoded)
-                    .ok_or_else(|| FrameError::Endpoint("TSV round trip failed".into()))?;
+                    .ok_or_else(|| FrameError::Transport("TSV round trip failed".into()))?;
             }
             WireFormat::Xml => {
                 let encoded = xml::encode(&table);
                 table = xml::decode(&encoded)
-                    .ok_or_else(|| FrameError::Endpoint("XML round trip failed".into()))?;
+                    .ok_or_else(|| FrameError::Transport("XML round trip failed".into()))?;
             }
         }
         Ok(table)
+    }
+}
+
+impl Endpoint for InProcessEndpoint {
+    fn query_chunk(&self, sparql: &str, offset: usize, limit: usize) -> Result<SolutionTable> {
+        if !self.config.request_overhead.is_zero() {
+            std::thread::sleep(self.config.request_overhead);
+        }
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let result = self.serve_chunk(sparql, offset, limit);
+        if result.is_err() {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        result
     }
 
     fn max_rows_per_request(&self) -> usize {

@@ -13,13 +13,36 @@ pub enum FrameError {
     /// An operator sequence is invalid (e.g. aggregation without group_by
     /// followed by further operators).
     InvalidSequence(String),
-    /// The endpoint rejected or failed a query.
+    /// The endpoint rejected or failed a query. Fatal: retrying the same
+    /// request reproduces the same failure (parse error, unknown graph,
+    /// server-side rejection).
     Endpoint(String),
+    /// A transport-level fault: the request may not have reached the
+    /// server, or the response arrived damaged (connection reset, truncated
+    /// or malformed result encoding, schema drift between chunks).
+    /// Retryable — a cursor-less SPARQL endpoint re-executes per request,
+    /// so repeating the chunk is always safe.
+    Transport(String),
+    /// The server gave up on the query because it exceeded a configured
+    /// resource budget (rows scanned, intermediate size, memory, or
+    /// deadline). Fatal: re-sending the identical query hits the identical
+    /// limit.
+    ResourceExhausted(String),
     /// Prefix expansion failed.
     Prefix(String),
     /// The query model could not be compiled directly to an engine plan
     /// (embedded execution path).
     Compile(String),
+}
+
+impl FrameError {
+    /// Is retrying the same request worthwhile? Only transport faults
+    /// qualify: the failure was in delivery, not in the query. Endpoint
+    /// rejections, budget exhaustion, and every client-side error are
+    /// deterministic — the retry would fail the same way.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, FrameError::Transport(_))
+    }
 }
 
 impl fmt::Display for FrameError {
@@ -29,6 +52,8 @@ impl fmt::Display for FrameError {
             FrameError::BadCondition(c) => write!(f, "bad filter condition: {c}"),
             FrameError::InvalidSequence(m) => write!(f, "invalid operator sequence: {m}"),
             FrameError::Endpoint(m) => write!(f, "endpoint error: {m}"),
+            FrameError::Transport(m) => write!(f, "transport error: {m}"),
+            FrameError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             FrameError::Prefix(m) => write!(f, "prefix error: {m}"),
             FrameError::Compile(m) => write!(f, "query compilation error: {m}"),
         }

@@ -12,8 +12,20 @@
 //!   mechanics the paper lists in Section 4.3 — send the text, paginate
 //!   transparently (re-requesting chunk by chunk, since the SPARQL protocol
 //!   over HTTP has no cursors), and assemble one dataframe from all chunks.
+//!
+//! The wire path is where faults live (each chunk is a separate request
+//! over an unreliable transport), so the executor owns the client half of
+//! the failure story: a [`RetryPolicy`] re-requests chunks that failed
+//! *in delivery* (transport faults — the protocol's re-execution-per-chunk
+//! contract makes retries idempotent), and [`Executor::run_partial`]
+//! reports the rows assembled before an unrecoverable failure instead of
+//! discarding them, tagged with a [`Completeness`] marker.
+
+use std::time::Duration;
 
 use dataframe::DataFrame;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::api::rdfframe::RDFFrame;
 use crate::client::convert::{append_table, table_to_dataframe};
@@ -21,12 +33,126 @@ use crate::client::Endpoint;
 use crate::error::{FrameError, Result};
 use crate::model::{generator, render};
 
+/// When (and how hard) the executor retries a failed chunk request.
+///
+/// Backoff is exponential with deterministic jitter: attempt *k* (1-based)
+/// sleeps `base_backoff · backoff_multiplier^(k-1)`, capped at
+/// `max_backoff`, scaled by a jitter factor in `[0.5, 1.0)` drawn from a
+/// [`StdRng`] seeded with `jitter_seed` — two runs with the same policy
+/// sleep identically, so chaos tests replay bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per chunk, including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Sleep before the first retry.
+    pub base_backoff: Duration,
+    /// Growth factor per further retry.
+    pub backoff_multiplier: f64,
+    /// Upper bound on any single sleep.
+    pub max_backoff: Duration,
+    /// Seed for the jitter generator.
+    pub jitter_seed: u64,
+    /// Which errors are worth retrying. Defaults to
+    /// [`FrameError::is_retryable`] (transport faults only); fatal query
+    /// errors and budget trips always surface immediately.
+    pub retry_on: fn(&FrameError) -> bool,
+}
+
+impl RetryPolicy {
+    /// Never retry (the default — failures surface immediately, exactly
+    /// like the pre-retry executor).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::ZERO,
+            jitter_seed: 0,
+            retry_on: FrameError::is_retryable,
+        }
+    }
+
+    /// A production-shaped policy: 3 attempts, 10 ms base backoff doubling
+    /// per retry, capped at 100 ms.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_millis(100),
+            jitter_seed: 0,
+            retry_on: FrameError::is_retryable,
+        }
+    }
+
+    /// `standard()` with zero sleeps — full retry control flow at unit-test
+    /// speed.
+    pub fn fast(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            ..RetryPolicy::standard()
+        }
+    }
+
+    /// The sleep before retry number `retry` (1-based), jittered.
+    fn backoff(&self, retry: u32, rng: &mut StdRng) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self.backoff_multiplier.powi(retry.saturating_sub(1) as i32);
+        let raw = self.base_backoff.as_secs_f64() * exp;
+        let capped = raw.min(self.max_backoff.as_secs_f64().max(0.0));
+        let jitter = 0.5 + rng.gen::<f64>() * 0.5;
+        Duration::from_secs_f64(capped * jitter)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Did [`Executor::run_partial`] assemble the whole result?
+#[derive(Debug, Clone, PartialEq)]
+pub enum Completeness {
+    /// Every chunk arrived; the frame is the full result.
+    Complete,
+    /// Pagination failed past the retry budget; the frame holds the intact
+    /// prefix assembled before this error. The failed chunk contributed
+    /// nothing (chunk appends are atomic).
+    Partial {
+        /// The unrecoverable error that ended pagination.
+        error: FrameError,
+    },
+}
+
+impl Completeness {
+    /// True for [`Completeness::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completeness::Complete)
+    }
+}
+
+/// A possibly-prefix result: the assembled rows plus how far they got.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialFrame {
+    /// The rows assembled (all of them, or an intact prefix).
+    pub frame: DataFrame,
+    /// Whether `frame` is the whole result.
+    pub completeness: Completeness,
+}
+
 /// Executes frames against endpoints with transparent pagination.
 #[derive(Debug, Clone, Default)]
 pub struct Executor {
     /// Client-side page size; the effective page is
     /// `min(page_size, endpoint.max_rows_per_request())`.
     pub page_size: Option<usize>,
+    /// Chunk-level retry policy (default: no retries).
+    pub retry: RetryPolicy,
 }
 
 impl Executor {
@@ -39,7 +165,14 @@ impl Executor {
     pub fn with_page_size(page_size: usize) -> Self {
         Executor {
             page_size: Some(page_size),
+            ..Executor::default()
         }
+    }
+
+    /// This executor with a retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Execute the frame's optimized query, picking the embedded path when
@@ -68,31 +201,114 @@ impl Executor {
     }
 
     /// Run raw SPARQL with pagination and assemble one dataframe.
+    ///
+    /// All-or-nothing surface over [`Executor::run_partial`]: an
+    /// unrecoverable failure discards the assembled prefix and returns the
+    /// error.
     pub fn run<E: Endpoint + ?Sized>(&self, sparql: &str, endpoint: &E) -> Result<DataFrame> {
+        let partial = self.run_partial(sparql, endpoint)?;
+        match partial.completeness {
+            Completeness::Complete => Ok(partial.frame),
+            Completeness::Partial { error } => Err(error),
+        }
+    }
+
+    /// Run raw SPARQL with pagination, retrying faulted chunks per the
+    /// retry policy, and keep whatever prefix was assembled if a chunk
+    /// fails past the retry budget.
+    ///
+    /// Returns `Err` only for failures that produce *no* rows to keep (the
+    /// first chunk never arrived). Once at least one chunk is merged, a
+    /// later unrecoverable failure comes back as
+    /// [`Completeness::Partial`] with the intact prefix — chunk appends
+    /// are atomic, so the prefix never contains part of a damaged chunk.
+    pub fn run_partial<E: Endpoint + ?Sized>(
+        &self,
+        sparql: &str,
+        endpoint: &E,
+    ) -> Result<PartialFrame> {
         let page = self
             .page_size
             .unwrap_or(usize::MAX)
             .min(endpoint.max_rows_per_request())
             .max(1);
-        let mut offset = 0usize;
-        let first = endpoint.query_chunk(sparql, offset, page)?;
+        let mut rng = StdRng::seed_from_u64(self.retry.jitter_seed);
+
+        // First chunk: nothing assembled yet, so an unrecoverable failure
+        // here is a plain error.
+        let first = self.chunk_with_retry(endpoint, sparql, 0, page, &mut rng)?;
         let short = first.len() < page;
-        let mut df = table_to_dataframe(&first);
+        let mut df = table_to_dataframe(&first)?;
         if short {
-            return Ok(df);
+            return Ok(PartialFrame {
+                frame: df,
+                completeness: Completeness::Complete,
+            });
         }
+
+        let mut offset = 0usize;
         loop {
             offset += page;
-            let chunk = endpoint.query_chunk(sparql, offset, page)?;
-            let done = chunk.len() < page;
-            if !append_table(&mut df, &chunk) {
-                return Err(FrameError::Endpoint(
-                    "endpoint returned inconsistent schemas across chunks".into(),
-                ));
+            // Fetch *and append* under one retry budget: schema drift only
+            // shows when the chunk's header meets the accumulated frame's,
+            // and re-requesting the chunk is the fix for that too.
+            let mut tries = 0u32;
+            let appended = loop {
+                tries += 1;
+                let outcome = endpoint
+                    .query_chunk(sparql, offset, page)
+                    .and_then(|chunk| append_table(&mut df, &chunk).map(|()| chunk.len()));
+                match outcome {
+                    Ok(n) => break n,
+                    Err(e)
+                        if tries < self.retry.max_attempts.max(1) && (self.retry.retry_on)(&e) =>
+                    {
+                        self.sleep_backoff(tries, &mut rng)
+                    }
+                    Err(error) => {
+                        return Ok(PartialFrame {
+                            frame: df,
+                            completeness: Completeness::Partial { error },
+                        })
+                    }
+                }
+            };
+            if appended < page {
+                return Ok(PartialFrame {
+                    frame: df,
+                    completeness: Completeness::Complete,
+                });
             }
-            if done {
-                return Ok(df);
+        }
+    }
+
+    /// One chunk request under the retry policy (no append).
+    fn chunk_with_retry<E: Endpoint + ?Sized>(
+        &self,
+        endpoint: &E,
+        sparql: &str,
+        offset: usize,
+        page: usize,
+        rng: &mut StdRng,
+    ) -> Result<sparql_engine::SolutionTable> {
+        let mut tries = 0u32;
+        loop {
+            tries += 1;
+            match endpoint.query_chunk(sparql, offset, page) {
+                Ok(t) => return Ok(t),
+                Err(e) if tries < self.retry.max_attempts.max(1) && (self.retry.retry_on)(&e) => {
+                    self.sleep_backoff(tries, rng)
+                }
+                Err(e) => return Err(e),
             }
+        }
+    }
+
+    /// Sleep the jittered backoff before retry number `retry` (1-based).
+    fn sleep_backoff(&self, retry: u32, rng: &mut StdRng) {
+        let d = self.retry.backoff(retry, rng);
+        if !d.is_zero() {
+            std::thread::sleep(d);
         }
     }
 }

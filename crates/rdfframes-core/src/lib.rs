@@ -46,7 +46,8 @@ pub mod reference;
 
 pub use api::{AggFunc, Direction, JoinType, KnowledgeGraph, RDFFrame, SortOrder};
 pub use client::{
-    EmbeddedEndpoint, Endpoint, EndpointConfig, EndpointStats, InProcessEndpoint, WireFormat,
+    EmbeddedEndpoint, Endpoint, EndpointConfig, EndpointStats, Fault, FaultyEndpoint,
+    InProcessEndpoint, WireFormat,
 };
 pub use error::{FrameError, Result};
-pub use exec::Executor;
+pub use exec::{Completeness, Executor, PartialFrame, RetryPolicy};

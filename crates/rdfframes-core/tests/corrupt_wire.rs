@@ -1,0 +1,173 @@
+//! Wire-path panic audit: malformed or truncated response bodies must
+//! surface as typed [`FrameError`]s through the whole client stack — the
+//! decoders return `None`, the converters return `Err`, and
+//! [`Executor::run`] reports a transport error. Nothing on this path may
+//! panic on attacker-shaped bytes.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use rdf_model::{Dataset, Graph, Term, Triple};
+use rdfframes_core::client::{wire, xml, Endpoint};
+use rdfframes_core::exec::Executor;
+use rdfframes_core::{FrameError, Result};
+use sparql_engine::SolutionTable;
+
+/// An endpoint that serves pre-baked response *bodies*: each request pops
+/// the next body and decodes it exactly like a real client would, turning
+/// decode failures into transport errors. This is how corrupted bytes enter
+/// `Executor::run` in production — after the HTTP layer, before conversion.
+struct RawBodyEndpoint {
+    bodies: Mutex<Vec<(Body, &'static str)>>,
+    page: usize,
+}
+
+enum Body {
+    Xml,
+    Tsv,
+}
+
+impl Endpoint for RawBodyEndpoint {
+    fn query_chunk(&self, _sparql: &str, _offset: usize, _limit: usize) -> Result<SolutionTable> {
+        let (format, body) = self
+            .bodies
+            .lock()
+            .unwrap()
+            .pop()
+            .expect("test script exhausted");
+        let decoded = match format {
+            Body::Xml => xml::decode(body),
+            Body::Tsv => wire::decode(body),
+        };
+        decoded.ok_or_else(|| FrameError::Transport("response body failed to decode".into()))
+    }
+
+    fn max_rows_per_request(&self) -> usize {
+        self.page
+    }
+}
+
+/// Corrupted response bodies: truncations, tag soup, mismatched structure.
+fn corrupt_bodies() -> Vec<&'static str> {
+    vec![
+        "",
+        "<?xml version=\"1.0\"?>",
+        "<sparql><head>",
+        "<sparql><head></head><results><result>",
+        "<head></head><results><result><binding name=\"s\"><uri>http://x</uri>",
+        "<head><variable name=\"s\"/></head><results><result>\
+         <binding name=\"s\"><uri>http://x</binding></result></results>",
+        "<head><variable name=\"s\"/></head><results><result>\
+         <binding name=\"UNDECLARED\"><uri>http://x</uri></binding></result></results>",
+        "<head><variable name=\"s\"/></head><results>\
+         <result><binding name=\"s\"><literal datatype=\"oops>x</literal></binding></result></results>",
+        // TSV with a term that is not N-Triples syntax.
+        "?s\nnot-a-term\n",
+        // TSV with an unterminated literal.
+        "?s\n\"unterminated\n",
+        // TSV with a dangling escape at end of input.
+        "?s\n\"abc\\\n",
+        // Ragged TSV row (two fields under a one-column header).
+        "?s\n<http://x/a>\t<http://x/b>\n",
+    ]
+}
+
+#[test]
+fn decoders_reject_corrupt_bodies_without_panicking() {
+    for body in corrupt_bodies() {
+        // Either decoder may be handed any bytes; both must return a value.
+        let _ = xml::decode(body);
+        let _ = wire::decode(body);
+    }
+    // Spot-check the ones that *must* be rejected outright.
+    assert!(xml::decode("<sparql><head>").is_none());
+    assert!(wire::decode("?s\n\"unterminated\n").is_none());
+    assert!(wire::decode("?s\n<http://x/a>\t<http://x/b>\n").is_none());
+}
+
+#[test]
+fn corrupted_first_chunk_is_a_typed_error_through_run() {
+    for body in corrupt_bodies() {
+        // Skip bodies that legitimately decode (e.g. "" is not valid XML
+        // but IS an empty TSV header) — this test targets the reject path.
+        if xml::decode(body).is_some() {
+            continue;
+        }
+        let ep = RawBodyEndpoint {
+            bodies: Mutex::new(vec![(Body::Xml, body)]),
+            page: 10,
+        };
+        let err = Executor::new().run("SELECT ?s WHERE { ?s ?p ?o }", &ep);
+        assert!(
+            matches!(err, Err(FrameError::Transport(_))),
+            "body {body:?} gave {err:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_mid_pagination_chunk_is_a_typed_error_through_run() {
+    // Chunk 0 decodes fine and fills the page (so pagination continues);
+    // chunk 1 arrives truncated. The run must fail typed, not panic.
+    let good: &str = "?s\n<http://x/a>\n<http://x/b>\n";
+    let bad: &str = "?s\n\"unterminated\n";
+    // Bodies pop from the back: push in reverse order.
+    let ep = RawBodyEndpoint {
+        bodies: Mutex::new(vec![(Body::Tsv, bad), (Body::Tsv, good)]),
+        page: 2,
+    };
+    let err = Executor::new().run("SELECT ?s WHERE { ?s ?p ?o }", &ep);
+    assert!(matches!(err, Err(FrameError::Transport(_))), "{err:?}");
+}
+
+#[test]
+fn schema_drift_between_chunks_is_a_typed_error_through_run() {
+    // Chunk 0 establishes {s}; chunk 1 decodes fine but answers {z}.
+    let good: &str = "?s\n<http://x/a>\n<http://x/b>\n";
+    let drifted: &str = "?z\n<http://x/c>\n";
+    let ep = RawBodyEndpoint {
+        bodies: Mutex::new(vec![(Body::Tsv, drifted), (Body::Tsv, good)]),
+        page: 2,
+    };
+    let err = Executor::new().run("SELECT ?s WHERE { ?s ?p ?o }", &ep);
+    match err {
+        Err(FrameError::Transport(m)) => {
+            assert!(m.contains("inconsistent schemas"), "{m}")
+        }
+        other => panic!("expected schema-drift transport error, got {other:?}"),
+    }
+}
+
+#[test]
+fn wire_endpoint_with_xml_roundtrip_never_panics_on_any_query_shape() {
+    // End-to-end sanity over the real InProcessEndpoint with the XML wire
+    // format: unusual-but-legal terms (quotes, angle brackets, newlines,
+    // unicode, empty strings) survive the round trip — the characters most
+    // likely to break a hand-rolled encoder.
+    let mut g = Graph::new();
+    let weird = [
+        "plain",
+        "with \"quotes\" inside",
+        "tabs\tand\nnewlines",
+        "ampersand & <angle> brackets",
+        "ünïcödé ≠ ascii",
+        "",
+    ];
+    for (i, w) in weird.iter().enumerate() {
+        g.insert(&Triple::new(
+            Term::iri(format!("http://x/s{i}")),
+            Term::iri("http://x/p"),
+            Term::string(*w),
+        ));
+    }
+    let mut ds = Dataset::new();
+    ds.insert_graph("http://g", g);
+    let ep = rdfframes_core::InProcessEndpoint::new(Arc::new(ds));
+    let df = Executor::new()
+        .run(
+            "SELECT ?s ?o FROM <http://g> WHERE { ?s <http://x/p> ?o } ORDER BY ?s",
+            &ep,
+        )
+        .unwrap();
+    assert_eq!(df.len(), weird.len());
+}

@@ -34,6 +34,7 @@ use std::sync::Arc;
 use rdf_model::{Dataset, Term, TermId};
 
 use crate::algebra::{translate_query, Plan};
+use crate::budget::{BudgetMeter, QueryBudget};
 use crate::error::Result;
 use crate::eval::Evaluator;
 use crate::eval_reference::ReferenceEvaluator;
@@ -92,6 +93,14 @@ pub struct EngineConfig {
     /// instead of materializing per-row key terms (columnar evaluator
     /// only). Pure physical rewrite.
     pub rank_order_by: bool,
+    /// Resource limits enforced cooperatively during evaluation (all axes
+    /// optional; the default is unlimited, which keeps the meter to a single
+    /// branch per check). Violations surface as
+    /// [`crate::error::EngineError::ResourceExhausted`] — never a panic.
+    ///
+    /// The deadline clock starts when an evaluator is created for a query,
+    /// so each `execute_*`/`cursor` call gets the full allowance.
+    pub budget: QueryBudget,
 }
 
 impl EngineConfig {
@@ -107,6 +116,7 @@ impl EngineConfig {
             sorted_distinct: true,
             sorted_group_by: true,
             rank_order_by: true,
+            budget: QueryBudget::unlimited(),
         }
     }
 }
@@ -262,6 +272,7 @@ impl Engine {
             EvalMode::Columnar => {
                 let mut evaluator = Evaluator::new(&self.dataset, prepared.from.clone());
                 evaluator.set_rank_sort(self.config.rank_order_by);
+                evaluator.set_budget(&self.config.budget);
                 let table = match page {
                     None => evaluator.eval(plan)?,
                     Some((offset, limit)) => evaluator.eval_page(plan, offset, limit)?,
@@ -277,6 +288,7 @@ impl Engine {
             }
             EvalMode::IdNative => {
                 let mut evaluator = RowEvaluator::new(&self.dataset, prepared.from.clone());
+                evaluator.set_budget(&self.config.budget);
                 let table = match page {
                     None => evaluator.eval(plan)?,
                     Some((offset, limit)) => evaluator.eval_page(plan, offset, limit)?,
@@ -289,6 +301,7 @@ impl Engine {
             }
             EvalMode::TermReference => {
                 let mut evaluator = ReferenceEvaluator::new(&self.dataset, prepared.from.clone());
+                evaluator.set_budget(&self.config.budget);
                 let mut table = evaluator.eval(plan)?;
                 if let Some((offset, limit)) = page {
                     crate::results::slice_rows(&mut table.rows, offset, Some(limit));
@@ -314,8 +327,15 @@ impl Engine {
     /// [`EvalMode`] (the oracle modes exist for differential testing of the
     /// string path).
     pub fn cursor(&self, prepared: &PreparedQuery, batch_rows: usize) -> Result<QueryCursor<'_>> {
+        // The cursor keeps its own meter (sharing the evaluation's deadline
+        // clock, started here) so a consumer that drains batches slowly
+        // still trips the deadline in `next_batch`. Evaluation itself is
+        // eager, so the scan/memory axes are fully enforced before this
+        // function returns.
+        let meter = BudgetMeter::new(&self.config.budget);
         let mut evaluator = Evaluator::new(&self.dataset, prepared.from.clone());
         evaluator.set_rank_sort(self.config.rank_order_by);
+        evaluator.set_budget(&self.config.budget);
         let table = evaluator.eval_to_ids(&prepared.plan)?;
         let stats = ExecStats {
             rows_scanned: evaluator.rows_scanned(),
@@ -330,6 +350,7 @@ impl Engine {
             pos: 0,
             batch_rows: batch_rows.max(1),
             stats,
+            meter,
         })
     }
 }
@@ -348,6 +369,7 @@ pub struct QueryCursor<'a> {
     pos: usize,
     batch_rows: usize,
     stats: ExecStats,
+    meter: BudgetMeter,
 }
 
 impl QueryCursor<'_> {
@@ -377,20 +399,26 @@ impl QueryCursor<'_> {
         self.pool.resolve(id)
     }
 
-    /// The next window of rows, or `None` when the result is exhausted.
-    pub fn next_batch(&mut self) -> Option<ColumnBatch<'_>> {
+    /// The next window of rows, or `Ok(None)` when the result is exhausted.
+    ///
+    /// Checks the query deadline (if one was budgeted) before yielding, so
+    /// a consumer that drains a large result slowly is still cancelled —
+    /// the other budget axes were fully enforced during the eager
+    /// evaluation in [`Engine::cursor`].
+    pub fn next_batch(&mut self) -> Result<Option<ColumnBatch<'_>>> {
+        self.meter.check_deadline()?;
         if self.pos >= self.table.len() {
-            return None;
+            return Ok(None);
         }
         let start = self.pos;
         let len = self.batch_rows.min(self.table.len() - start);
         self.pos = start + len;
-        Some(ColumnBatch {
+        Ok(Some(ColumnBatch {
             table: &self.table,
             pool: &self.pool,
             start,
             len,
-        })
+        }))
     }
 }
 
@@ -531,7 +559,7 @@ mod tests {
         assert_eq!(cursor.row_count(), 10);
         let mut rebuilt: Vec<Vec<Option<Term>>> = Vec::new();
         let mut batch_sizes = Vec::new();
-        while let Some(batch) = cursor.next_batch() {
+        while let Some(batch) = cursor.next_batch().unwrap() {
             batch_sizes.push(batch.len);
             for row in 0..batch.len {
                 rebuilt.push(
@@ -555,7 +583,7 @@ mod tests {
         let q = "SELECT (AVG(?o) AS ?m) FROM <http://g> WHERE { ?s <http://x/p> ?o }";
         let prepared = engine.prepare(q).unwrap();
         let mut cursor = engine.cursor(&prepared, 16).unwrap();
-        let batch = cursor.next_batch().unwrap();
+        let batch = cursor.next_batch().unwrap().unwrap();
         let id = batch.get(0, 0).expect("aggregate value bound");
         let term = batch.resolve(id).clone();
         assert_eq!(term, engine.execute(q).unwrap().rows[0][0].clone().unwrap());

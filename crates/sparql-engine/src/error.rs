@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::budget::ResourceKind;
+
 /// Errors raised while parsing or evaluating a SPARQL query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
@@ -19,6 +21,18 @@ pub enum EngineError {
     UnknownGraph(String),
     /// Propagated RDF model error (bad IRI, unknown prefix, ...).
     Model(String),
+    /// Evaluation exceeded a [`crate::budget::QueryBudget`] axis. For
+    /// [`ResourceKind::Deadline`] the limit and observed values are in
+    /// milliseconds; other axes count rows or bytes.
+    ResourceExhausted {
+        /// Which budget axis tripped.
+        resource: ResourceKind,
+        /// The configured limit.
+        limit: u64,
+        /// The observed value at the check that tripped (may overshoot
+        /// the limit by up to one hot-loop iteration).
+        observed: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -30,6 +44,14 @@ impl fmt::Display for EngineError {
             EngineError::Semantic(m) => write!(f, "semantic error: {m}"),
             EngineError::UnknownGraph(g) => write!(f, "unknown graph: {g}"),
             EngineError::Model(m) => write!(f, "model error: {m}"),
+            EngineError::ResourceExhausted {
+                resource,
+                limit,
+                observed,
+            } => write!(
+                f,
+                "resource exhausted: {resource} limit {limit} exceeded (observed {observed})"
+            ),
         }
     }
 }

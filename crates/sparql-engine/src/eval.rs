@@ -38,6 +38,7 @@ use rdf_model::{Dataset, Graph, GraphIdMap, Term, TermId};
 
 use crate::algebra::{AggSpec, GraphRef, Plan, PushedFilter};
 use crate::ast::{AggOp, Expr, OrderKey, PatternTerm, TriplePattern};
+use crate::budget::{BudgetMeter, QueryBudget};
 use crate::error::{EngineError, Result};
 use crate::expr::{ebv, eval_expr, id_equality_shape, AggState, EvalCaches, IdRowCtx, PushedEval};
 use crate::pool::TermPool;
@@ -50,6 +51,8 @@ pub struct Evaluator<'a> {
     caches: EvalCaches,
     pool: TermPool<'a>,
     rows_scanned: u64,
+    /// Budget enforcement state ([`crate::budget`]); inactive by default.
+    meter: BudgetMeter,
     merge_joins: u64,
     merge_left_joins: u64,
     sorted_distincts: u64,
@@ -71,6 +74,7 @@ impl<'a> Evaluator<'a> {
             caches: EvalCaches::new(),
             pool: TermPool::new(dataset.interner()),
             rows_scanned: 0,
+            meter: BudgetMeter::unlimited(),
             merge_joins: 0,
             merge_left_joins: 0,
             sorted_distincts: 0,
@@ -114,6 +118,12 @@ impl<'a> Evaluator<'a> {
     /// turns it off to measure the PR 4 baseline behavior).
     pub fn set_rank_sort(&mut self, on: bool) {
         self.rank_sort = on;
+    }
+
+    /// Install a resource budget. The meter (and its deadline clock) is
+    /// created here, so call this right before evaluation starts.
+    pub fn set_budget(&mut self, budget: &QueryBudget) {
+        self.meter = BudgetMeter::new(budget);
     }
 
     /// Evaluate a plan to a materialized solution table.
@@ -164,7 +174,20 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluate a plan to a columnar id table (the internal hot path).
+    ///
+    /// Every operator's output passes through this chokepoint, where its
+    /// row count and estimated footprint are checked against the budget —
+    /// operators whose hot loops can balloon *before* producing output
+    /// (BGP extension, join pair emission, group accumulation) carry
+    /// additional in-loop checks of their own.
     fn eval_ids(&mut self, plan: &Plan) -> Result<IdTable> {
+        let t = self.eval_ids_node(plan)?;
+        self.meter
+            .charge_intermediate(t.len() as u64, t.estimated_bytes())?;
+        Ok(t)
+    }
+
+    fn eval_ids_node(&mut self, plan: &Plan) -> Result<IdTable> {
         match plan {
             Plan::Unit => Ok(IdTable::unit()),
             Plan::Bgp {
@@ -175,22 +198,22 @@ impl<'a> Evaluator<'a> {
             Plan::Join(a, b) => {
                 let left = self.eval_ids(a)?;
                 let right = self.eval_ids(b)?;
-                Ok(join(left, right, JoinKind::Inner))
+                join(left, right, JoinKind::Inner, &mut self.meter)
             }
             Plan::MergeJoin { left, right, key } => {
                 let left = self.eval_ids(left)?;
                 let right = self.eval_ids(right)?;
-                Ok(self.join_sorted(left, right, key, JoinKind::Inner))
+                self.join_sorted(left, right, key, JoinKind::Inner)
             }
             Plan::MergeLeftJoin { left, right, key } => {
                 let left = self.eval_ids(left)?;
                 let right = self.eval_ids(right)?;
-                Ok(self.join_sorted(left, right, key, JoinKind::Left))
+                self.join_sorted(left, right, key, JoinKind::Left)
             }
             Plan::LeftJoin(a, b) => {
                 let left = self.eval_ids(a)?;
                 let right = self.eval_ids(b)?;
-                Ok(join(left, right, JoinKind::Left))
+                join(left, right, JoinKind::Left, &mut self.meter)
             }
             Plan::Union(a, b) => {
                 let left = self.eval_ids(a)?;
@@ -496,6 +519,7 @@ impl<'a> Evaluator<'a> {
             vals.resize(free_cols.len(), Vec::new());
 
             for i in 0..cur_len {
+                let row_start = scanned;
                 for (g, map, slots) in &pats {
                     // Refine slots against row `i`: an already-bound
                     // variable whose global id has no local id in this
@@ -545,6 +569,17 @@ impl<'a> Evaluator<'a> {
                             }
                         });
                 }
+                // Budget checkpoint between rows: the scan work this row
+                // added, plus (when the periodic poll fires) the match
+                // buffers' current size. `for_each_match` has no early
+                // exit, so overshoot is bounded by one row's matches.
+                if self.meter.charge_scan(scanned - row_start)? {
+                    let bytes = (src.len() as u64).saturating_mul(4).saturating_add(
+                        vals.iter()
+                            .fold(0u64, |a, v| a.saturating_add(v.len() as u64 * 4)),
+                    );
+                    self.meter.charge_intermediate(src.len() as u64, bytes)?;
+                }
             }
 
             // Assemble the next table column-at-a-time.
@@ -563,6 +598,14 @@ impl<'a> Evaluator<'a> {
             }
             cur = next;
             cur_len = total;
+            // Per-pattern intermediates never reach the operator-output
+            // chokepoint, so check each assembled table here.
+            if self.meter.is_active() {
+                let bytes = cur
+                    .iter()
+                    .fold(0u64, |a, c| a.saturating_add(c.estimated_bytes()));
+                self.meter.charge_intermediate(cur_len as u64, bytes)?;
+            }
             for &col in &free_cols {
                 bound[col] = true;
             }
@@ -591,7 +634,13 @@ impl<'a> Evaluator<'a> {
     /// and non-decreasing — one linear pass, far cheaper than a hash build)
     /// and falls back to the hash join if storage reality disagrees with
     /// the static analysis.
-    fn join_sorted(&mut self, left: IdTable, right: IdTable, key: &str, kind: JoinKind) -> IdTable {
+    fn join_sorted(
+        &mut self,
+        left: IdTable,
+        right: IdTable,
+        key: &str,
+        kind: JoinKind,
+    ) -> Result<IdTable> {
         if let (Some(lc), Some(rc)) = (left.column_index(key), right.column_index(key)) {
             let sorted = |t: &IdTable, c: usize| {
                 t.col(c).all_present() && t.col(c).ids().windows(2).all(|w| w[0] <= w[1])
@@ -601,10 +650,10 @@ impl<'a> Evaluator<'a> {
                     JoinKind::Inner => self.merge_joins += 1,
                     JoinKind::Left => self.merge_left_joins += 1,
                 }
-                return merge_join(left, right, lc, rc, kind);
+                return merge_join(left, right, lc, rc, kind, &mut self.meter);
             }
         }
-        join(left, right, kind)
+        join(left, right, kind, &mut self.meter)
     }
 
     /// Pattern-level slot for one position: a constant bound to its local id
@@ -749,7 +798,16 @@ impl<'a> Evaluator<'a> {
             groups.push((Vec::new(), fresh_accums(aggs, &plans)));
         }
 
+        // Rough per-group footprint (key ids + accumulator state) for the
+        // memory axis: grouping state is the one allocation that grows
+        // without a corresponding operator output until the loop ends.
+        let group_bytes =
+            (keys.len() as u64).saturating_mul(16) + (aggs.len() as u64).saturating_mul(64);
         for i in 0..input.len() {
+            self.meter.charge_intermediate(
+                groups.len() as u64,
+                (groups.len() as u64).saturating_mul(group_bytes),
+            )?;
             // `None` = this row starts a new group; `Some(gi)` = it joins
             // group `gi` (any earlier one for the hash strategies, always
             // the most recent for run detection).
@@ -1248,7 +1306,12 @@ const NO_MATCH: u32 = u32::MAX;
 /// over it — shared columns take the left value when present and fall back
 /// to the right side. Falls back to nested loop when no always-bound shared
 /// variable exists.
-fn join(left: IdTable, right: IdTable, kind: JoinKind) -> IdTable {
+///
+/// The pair list is the allocation a cross-product-shaped join balloons
+/// before any output column exists, so every probe strategy checks it
+/// against the budget between left rows (overshoot bounded by one left
+/// row's candidates).
+fn join(left: IdTable, right: IdTable, kind: JoinKind, meter: &mut BudgetMeter) -> Result<IdTable> {
     let shape = JoinShape::new(&left, &right);
 
     // Positions (within the shared vars) usable as hash key.
@@ -1284,6 +1347,7 @@ fn join(left: IdTable, right: IdTable, kind: JoinKind) -> IdTable {
             if !matched && kind == JoinKind::Left {
                 pairs.push((li as u32, NO_MATCH));
             }
+            meter.charge_intermediate(pairs.len() as u64, pairs.len() as u64 * 8)?;
         }
     } else if !key_positions.is_empty() || shape.shared_len() == 0 {
         // Multi-column (or empty = cross-product bucket) key.
@@ -1312,6 +1376,7 @@ fn join(left: IdTable, right: IdTable, kind: JoinKind) -> IdTable {
             if !matched && kind == JoinKind::Left {
                 pairs.push((li as u32, NO_MATCH));
             }
+            meter.charge_intermediate(pairs.len() as u64, pairs.len() as u64 * 8)?;
         }
     } else {
         // Nested loop with compatibility semantics.
@@ -1326,10 +1391,11 @@ fn join(left: IdTable, right: IdTable, kind: JoinKind) -> IdTable {
             if !matched && kind == JoinKind::Left {
                 pairs.push((li as u32, NO_MATCH));
             }
+            meter.charge_intermediate(pairs.len() as u64, pairs.len() as u64 * 8)?;
         }
     }
 
-    assemble_join(&left, &right, shape.out_vars, &pairs)
+    Ok(assemble_join(&left, &right, shape.out_vars, &pairs))
 }
 
 /// Join-shape setup shared by the hash and merge join implementations —
@@ -1409,7 +1475,8 @@ fn merge_join(
     l_key: usize,
     r_key: usize,
     kind: JoinKind,
-) -> IdTable {
+    meter: &mut BudgetMeter,
+) -> Result<IdTable> {
     let shape = JoinShape::new(&left, &right);
     let compatible = |li: usize, ri: usize| -> bool { shape.compatible(&left, &right, li, ri) };
 
@@ -1435,8 +1502,9 @@ fn merge_join(
         if !matched && kind == JoinKind::Left {
             pairs.push((li as u32, NO_MATCH));
         }
+        meter.charge_intermediate(pairs.len() as u64, pairs.len() as u64 * 8)?;
     }
-    assemble_join(&left, &right, shape.out_vars, &pairs)
+    Ok(assemble_join(&left, &right, shape.out_vars, &pairs))
 }
 
 /// Hash-based DISTINCT (keeps first occurrences): the general path, and the
@@ -1628,7 +1696,7 @@ mod tests {
     fn inner_join_on_shared() {
         let a = tbl(&["x", "y"], vec![vec![i(1), i(10)], vec![i(2), i(20)]]);
         let b = tbl(&["x", "z"], vec![vec![i(1), i(100)], vec![i(3), i(300)]]);
-        let j = join(a, b, JoinKind::Inner);
+        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
         assert_eq!(j.vars, vec!["x", "y", "z"]);
         assert_eq!(rows_of(&j), vec![vec![i(1), i(10), i(100)]]);
     }
@@ -1637,7 +1705,7 @@ mod tests {
     fn left_join_keeps_unmatched() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
         let b = tbl(&["x", "z"], vec![vec![i(1), i(100)]]);
-        let j = join(a, b, JoinKind::Left);
+        let j = join(a, b, JoinKind::Left, &mut BudgetMeter::unlimited()).unwrap();
         assert_eq!(j.len(), 2);
         assert_eq!(rows_of(&j)[1], vec![i(2), None]);
     }
@@ -1648,7 +1716,7 @@ mod tests {
         // output): unbound is compatible with anything.
         let a = tbl(&["x", "g"], vec![vec![i(1), None], vec![i(2), i(9)]]);
         let b = tbl(&["x", "g"], vec![vec![i(1), i(7)], vec![i(2), i(8)]]);
-        let j = join(a, b, JoinKind::Inner);
+        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
         // Row (1, None) joins (1, 7) → (1, 7); row (2, 9) vs (2, 8) clash.
         assert_eq!(rows_of(&j), vec![vec![i(1), i(7)]]);
     }
@@ -1657,7 +1725,7 @@ mod tests {
     fn cross_product_when_no_shared() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
         let b = tbl(&["y"], vec![vec![i(3)]]);
-        let j = join(a, b, JoinKind::Inner);
+        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
         assert_eq!(j.len(), 2);
     }
 
@@ -1675,7 +1743,7 @@ mod tests {
     fn bag_semantics_preserved() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
         let b = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
-        let j = join(a, b, JoinKind::Inner);
+        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
         // 2 × 2 duplicates → 4 rows.
         assert_eq!(j.len(), 4);
     }
@@ -1683,7 +1751,13 @@ mod tests {
     #[test]
     fn unit_table_is_join_identity() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
-        let j = join(IdTable::unit(), a, JoinKind::Inner);
+        let j = join(
+            IdTable::unit(),
+            a,
+            JoinKind::Inner,
+            &mut BudgetMeter::unlimited(),
+        )
+        .unwrap();
         assert_eq!(j.vars, vec!["x"]);
         assert_eq!(j.len(), 2);
     }
@@ -1704,8 +1778,22 @@ mod tests {
                 vec![i(4), i(9), i(102)], // joins the unbound-?g left row
             ],
         );
-        let via_hash = join(left.clone(), right.clone(), JoinKind::Left);
-        let via_merge = merge_join(left, right, 0, 0, JoinKind::Left);
+        let via_hash = join(
+            left.clone(),
+            right.clone(),
+            JoinKind::Left,
+            &mut BudgetMeter::unlimited(),
+        )
+        .unwrap();
+        let via_merge = merge_join(
+            left,
+            right,
+            0,
+            0,
+            JoinKind::Left,
+            &mut BudgetMeter::unlimited(),
+        )
+        .unwrap();
         assert_eq!(rows_of(&via_hash), rows_of(&via_merge));
         assert_eq!(via_hash.vars, via_merge.vars);
         // Row 2 (x=2) must appear unmatched, in place.

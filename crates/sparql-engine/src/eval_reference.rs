@@ -21,6 +21,7 @@ use rdf_model::{Dataset, Graph, Term, TermId};
 
 use crate::algebra::{AggSpec, GraphRef, Plan, PushedFilter};
 use crate::ast::{OrderKey, PatternTerm, TriplePattern};
+use crate::budget::{BudgetMeter, QueryBudget};
 use crate::error::{EngineError, Result};
 use crate::expr::{ebv, eval_expr, eval_single_var_filter, AggState, EvalCaches, RowCtx};
 use crate::results::SolutionTable;
@@ -31,6 +32,17 @@ pub struct ReferenceEvaluator<'a> {
     default_graphs: Vec<String>,
     caches: EvalCaches,
     rows_scanned: u64,
+    /// Budget enforcement state ([`crate::budget`]); inactive by default.
+    meter: BudgetMeter,
+}
+
+/// Estimated heap bytes of `rows` term-materialized rows of `width` columns.
+/// Owned [`Term`]s vary wildly in size; 64 bytes/cell is a deliberately
+/// rough stand-in (enum + small string) — the budget needs an order of
+/// magnitude, not an audit.
+#[inline]
+fn term_table_bytes(rows: usize, width: usize) -> u64 {
+    (rows as u64).saturating_mul((width as u64).saturating_mul(64).saturating_add(24))
 }
 
 impl<'a> ReferenceEvaluator<'a> {
@@ -41,7 +53,14 @@ impl<'a> ReferenceEvaluator<'a> {
             default_graphs,
             caches: EvalCaches::new(),
             rows_scanned: 0,
+            meter: BudgetMeter::unlimited(),
         }
+    }
+
+    /// Install a resource budget. The meter (and its deadline clock) is
+    /// created here, so call this right before evaluation starts.
+    pub fn set_budget(&mut self, budget: &QueryBudget) {
+        self.meter = BudgetMeter::new(budget);
     }
 
     /// Total index entries scanned so far (a deterministic work metric used
@@ -51,7 +70,21 @@ impl<'a> ReferenceEvaluator<'a> {
     }
 
     /// Evaluate a plan to a solution table.
+    ///
+    /// This is both the public entry point and the internal recursion, so
+    /// it doubles as the budget chokepoint: every operator's output has its
+    /// row count and estimated footprint checked here; BGP extension,
+    /// joins, and grouping carry in-loop checks of their own.
     pub fn eval(&mut self, plan: &Plan) -> Result<SolutionTable> {
+        let t = self.eval_node(plan)?;
+        self.meter.charge_intermediate(
+            t.rows.len() as u64,
+            term_table_bytes(t.rows.len(), t.vars.len()),
+        )?;
+        Ok(t)
+    }
+
+    fn eval_node(&mut self, plan: &Plan) -> Result<SolutionTable> {
         match plan {
             Plan::Unit => Ok(SolutionTable::unit()),
             Plan::Bgp {
@@ -68,7 +101,7 @@ impl<'a> ReferenceEvaluator<'a> {
             } => {
                 let left = self.eval(a)?;
                 let right = self.eval(b)?;
-                Ok(join(left, right, JoinKind::Inner))
+                join(left, right, JoinKind::Inner, &mut self.meter)
             }
             Plan::LeftJoin(a, b)
             | Plan::MergeLeftJoin {
@@ -76,7 +109,7 @@ impl<'a> ReferenceEvaluator<'a> {
             } => {
                 let left = self.eval(a)?;
                 let right = self.eval(b)?;
-                Ok(join(left, right, JoinKind::Left))
+                join(left, right, JoinKind::Left, &mut self.meter)
             }
             Plan::Union(a, b) => {
                 let left = self.eval(a)?;
@@ -243,11 +276,26 @@ impl<'a> ReferenceEvaluator<'a> {
             }
             let mut next: Vec<Vec<Option<Term>>> = Vec::new();
             for row in &rows {
+                let mut scanned = 0u64;
                 for g in &graphs {
-                    self.extend_row_with_pattern(g, pattern, row, &var_idx, &mut next);
+                    scanned += self.extend_row_with_pattern(g, pattern, row, &var_idx, &mut next);
+                }
+                // Budget checkpoint between rows: the scan work this row
+                // added, plus (when the periodic poll fires) the output
+                // buffer's current size. `for_each_match` has no early
+                // exit, so overshoot is bounded by one row's matches.
+                if self.meter.charge_scan(scanned)? {
+                    self.meter.charge_intermediate(
+                        next.len() as u64,
+                        term_table_bytes(next.len(), vars.len()),
+                    )?;
                 }
             }
             rows = next;
+            // Per-pattern intermediates never reach the operator-output
+            // chokepoint, so check each one here.
+            self.meter
+                .charge_intermediate(rows.len() as u64, term_table_bytes(rows.len(), vars.len()))?;
             if !pattern_filters[pi].is_empty() {
                 let caches = &mut self.caches;
                 let checks = &pattern_filters[pi];
@@ -262,6 +310,9 @@ impl<'a> ReferenceEvaluator<'a> {
         Ok(SolutionTable { vars, rows })
     }
 
+    /// Returns the number of index entries this pattern's scans visited
+    /// (also accumulated into `rows_scanned`), so the caller can charge the
+    /// budget meter per input row.
     fn extend_row_with_pattern(
         &mut self,
         graph: &Graph,
@@ -269,7 +320,7 @@ impl<'a> ReferenceEvaluator<'a> {
         row: &[Option<Term>],
         var_idx: &HashMap<&str, usize>,
         out: &mut Vec<Vec<Option<Term>>>,
-    ) {
+    ) -> u64 {
         // Resolve each position: bound (graph TermId) or free (column index).
         enum Slot {
             Bound(TermId),
@@ -298,7 +349,7 @@ impl<'a> ReferenceEvaluator<'a> {
         let p = resolve(&pattern.predicate);
         let o = resolve(&pattern.object);
         if matches!(s, Slot::Absent) || matches!(p, Slot::Absent) || matches!(o, Slot::Absent) {
-            return;
+            return 0;
         }
         let pick = |slot: &Slot| match slot {
             Slot::Bound(id) => Some(*id),
@@ -323,7 +374,7 @@ impl<'a> ReferenceEvaluator<'a> {
         };
         // Same allocation-free access path the id-native evaluator uses, so
         // wall-clock comparisons isolate the row-representation difference.
-        self.rows_scanned += graph.for_each_match(sb, pb, ob, |ms, mp, mo| {
+        let scanned = graph.for_each_match(sb, pb, ob, |ms, mp, mo| {
             let mut new_row = row.to_vec();
             let mut ok = true;
             ok &= assign(&s, ms, &mut new_row);
@@ -333,6 +384,8 @@ impl<'a> ReferenceEvaluator<'a> {
                 out.push(new_row);
             }
         });
+        self.rows_scanned += scanned;
+        scanned
     }
 
     fn eval_group(
@@ -359,7 +412,16 @@ impl<'a> ReferenceEvaluator<'a> {
             ));
         }
 
+        // Rough per-group footprint (key terms + accumulator state) for the
+        // memory axis: grouping state is the one allocation that grows
+        // without a corresponding operator output until the loop ends.
+        let group_bytes =
+            (keys.len() as u64).saturating_mul(64) + (aggs.len() as u64).saturating_mul(64);
         for row in &input.rows {
+            self.meter.charge_intermediate(
+                groups.len() as u64,
+                (groups.len() as u64).saturating_mul(group_bytes),
+            )?;
             let key: Vec<Option<Term>> = key_indices
                 .iter()
                 .map(|i| i.and_then(|i| row[i].clone()))
@@ -459,7 +521,16 @@ enum JoinKind {
 /// form the hash key; remaining shared variables are checked per candidate
 /// pair with unbound-is-compatible semantics. Falls back to nested loop when
 /// no always-bound shared variable exists.
-fn join(left: SolutionTable, right: SolutionTable, kind: JoinKind) -> SolutionTable {
+///
+/// The output rows are the allocation a cross-product-shaped join balloons
+/// through, so both probe strategies check them against the budget between
+/// left rows (overshoot bounded by one left row's candidates).
+fn join(
+    left: SolutionTable,
+    right: SolutionTable,
+    kind: JoinKind,
+    meter: &mut BudgetMeter,
+) -> Result<SolutionTable> {
     let shared: Vec<String> = left
         .vars
         .iter()
@@ -555,6 +626,10 @@ fn join(left: SolutionTable, right: SolutionTable, kind: JoinKind) -> SolutionTa
                 row.resize(width, None);
                 out.rows.push(row);
             }
+            meter.charge_intermediate(
+                out.rows.len() as u64,
+                term_table_bytes(out.rows.len(), width),
+            )?;
         }
     } else {
         // Nested loop with compatibility semantics.
@@ -571,9 +646,13 @@ fn join(left: SolutionTable, right: SolutionTable, kind: JoinKind) -> SolutionTa
                 row.resize(width, None);
                 out.rows.push(row);
             }
+            meter.charge_intermediate(
+                out.rows.len() as u64,
+                term_table_bytes(out.rows.len(), width),
+            )?;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Bag union with schema alignment.
@@ -624,7 +703,7 @@ mod tests {
     fn inner_join_on_shared() {
         let a = tbl(&["x", "y"], vec![vec![i(1), i(10)], vec![i(2), i(20)]]);
         let b = tbl(&["x", "z"], vec![vec![i(1), i(100)], vec![i(3), i(300)]]);
-        let j = join(a, b, JoinKind::Inner);
+        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
         assert_eq!(j.vars, vec!["x", "y", "z"]);
         assert_eq!(j.rows, vec![vec![i(1), i(10), i(100)]]);
     }
@@ -633,7 +712,7 @@ mod tests {
     fn left_join_keeps_unmatched() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
         let b = tbl(&["x", "z"], vec![vec![i(1), i(100)]]);
-        let j = join(a, b, JoinKind::Left);
+        let j = join(a, b, JoinKind::Left, &mut BudgetMeter::unlimited()).unwrap();
         assert_eq!(j.rows.len(), 2);
         assert_eq!(j.rows[1], vec![i(2), None]);
     }
@@ -644,7 +723,7 @@ mod tests {
         // output): unbound is compatible with anything.
         let a = tbl(&["x", "g"], vec![vec![i(1), None], vec![i(2), i(9)]]);
         let b = tbl(&["x", "g"], vec![vec![i(1), i(7)], vec![i(2), i(8)]]);
-        let j = join(a, b, JoinKind::Inner);
+        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
         // Row (1, None) joins (1, 7) → (1, 7); row (2, 9) vs (2, 8) clash.
         assert_eq!(j.rows, vec![vec![i(1), i(7)]]);
     }
@@ -653,7 +732,7 @@ mod tests {
     fn cross_product_when_no_shared() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
         let b = tbl(&["y"], vec![vec![i(3)]]);
-        let j = join(a, b, JoinKind::Inner);
+        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
         assert_eq!(j.rows.len(), 2);
     }
 
@@ -671,7 +750,7 @@ mod tests {
     fn bag_semantics_preserved() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
         let b = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
-        let j = join(a, b, JoinKind::Inner);
+        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
         // 2 × 2 duplicates → 4 rows.
         assert_eq!(j.rows.len(), 4);
     }

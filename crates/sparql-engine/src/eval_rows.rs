@@ -39,6 +39,7 @@ use rdf_model::{Dataset, Graph, GraphIdMap, Term, TermId};
 
 use crate::algebra::{AggSpec, GraphRef, Plan, PushedFilter};
 use crate::ast::{OrderKey, PatternTerm, TriplePattern};
+use crate::budget::{BudgetMeter, QueryBudget};
 use crate::error::{EngineError, Result};
 use crate::expr::{ebv, eval_expr, AggState, EvalCaches, IdRowCtx, PushedEval};
 use crate::pool::TermPool;
@@ -54,6 +55,15 @@ pub struct RowEvaluator<'a> {
     caches: EvalCaches,
     pool: TermPool<'a>,
     rows_scanned: u64,
+    /// Budget enforcement state ([`crate::budget`]); inactive by default.
+    meter: BudgetMeter,
+}
+
+/// Estimated heap bytes of `rows` row-major id rows of `width` columns
+/// (cells plus per-row `Vec` header) — the budget's memory-axis input.
+#[inline]
+fn row_table_bytes(rows: usize, width: usize) -> u64 {
+    (rows as u64).saturating_mul((width as u64).saturating_mul(8).saturating_add(24))
 }
 
 impl<'a> RowEvaluator<'a> {
@@ -65,7 +75,14 @@ impl<'a> RowEvaluator<'a> {
             caches: EvalCaches::new(),
             pool: TermPool::new(dataset.interner()),
             rows_scanned: 0,
+            meter: BudgetMeter::unlimited(),
         }
+    }
+
+    /// Install a resource budget. The meter (and its deadline clock) is
+    /// created here, so call this right before evaluation starts.
+    pub fn set_budget(&mut self, budget: &QueryBudget) {
+        self.meter = BudgetMeter::new(budget);
     }
 
     /// Total index entries scanned so far (a deterministic work metric used
@@ -108,7 +125,21 @@ impl<'a> RowEvaluator<'a> {
     }
 
     /// Evaluate a plan to an id table (the internal hot path).
+    ///
+    /// Every operator's output passes through this chokepoint, where its
+    /// row count and estimated footprint are checked against the budget;
+    /// BGP extension, joins, and grouping carry in-loop checks of their
+    /// own (their state balloons before any output exists).
     fn eval_ids(&mut self, plan: &Plan) -> Result<RowTable> {
+        let t = self.eval_ids_node(plan)?;
+        self.meter.charge_intermediate(
+            t.rows.len() as u64,
+            row_table_bytes(t.rows.len(), t.vars.len()),
+        )?;
+        Ok(t)
+    }
+
+    fn eval_ids_node(&mut self, plan: &Plan) -> Result<RowTable> {
         match plan {
             Plan::Unit => Ok(RowTable::unit()),
             Plan::Bgp {
@@ -126,7 +157,7 @@ impl<'a> RowEvaluator<'a> {
             } => {
                 let left = self.eval_ids(a)?;
                 let right = self.eval_ids(b)?;
-                Ok(join(left, right, JoinKind::Inner))
+                join(left, right, JoinKind::Inner, &mut self.meter)
             }
             Plan::LeftJoin(a, b)
             | Plan::MergeLeftJoin {
@@ -134,7 +165,7 @@ impl<'a> RowEvaluator<'a> {
             } => {
                 let left = self.eval_ids(a)?;
                 let right = self.eval_ids(b)?;
-                Ok(join(left, right, JoinKind::Left))
+                join(left, right, JoinKind::Left, &mut self.meter)
             }
             Plan::Union(a, b) => {
                 let left = self.eval_ids(a)?;
@@ -334,11 +365,27 @@ impl<'a> RowEvaluator<'a> {
                 .collect();
             let mut next: Vec<IdRow> = Vec::new();
             for row in &rows {
+                let mut scanned = 0u64;
                 for (g, map, slots) in &pats {
-                    self.rows_scanned += extend_row_with_pattern(g, map, slots, row, &mut next);
+                    scanned += extend_row_with_pattern(g, map, slots, row, &mut next);
+                }
+                self.rows_scanned += scanned;
+                // Budget checkpoint between rows: the scan work this row
+                // added, plus (when the periodic poll fires) the output
+                // buffer's current size. `for_each_match` has no early
+                // exit, so overshoot is bounded by one row's matches.
+                if self.meter.charge_scan(scanned)? {
+                    self.meter.charge_intermediate(
+                        next.len() as u64,
+                        row_table_bytes(next.len(), vars.len()),
+                    )?;
                 }
             }
             rows = next;
+            // Per-pattern intermediates never reach the operator-output
+            // chokepoint, so check each one here.
+            self.meter
+                .charge_intermediate(rows.len() as u64, row_table_bytes(rows.len(), vars.len()))?;
             let checks = &mut pattern_filters[pi];
             if !checks.is_empty() {
                 let pool = &self.pool;
@@ -448,7 +495,16 @@ impl<'a> RowEvaluator<'a> {
             groups.push((Vec::new(), fresh_accums(aggs, &plans)));
         }
 
+        // Rough per-group footprint (key ids + accumulator state) for the
+        // memory axis: grouping state is the one allocation that grows
+        // without a corresponding operator output until the loop ends.
+        let group_bytes =
+            (keys.len() as u64).saturating_mul(16) + (aggs.len() as u64).saturating_mul(64);
         for row in &input.rows {
+            self.meter.charge_intermediate(
+                groups.len() as u64,
+                (groups.len() as u64).saturating_mul(group_bytes),
+            )?;
             let key: IdRow = key_indices.iter().map(|i| i.and_then(|i| row[i])).collect();
             let gi = match index.get(&key) {
                 Some(&gi) => gi,
@@ -668,7 +724,16 @@ enum JoinKind {
 /// pair with unbound-is-compatible semantics (ids compare directly — the
 /// shared interner makes id equality coincide with term equality). Falls
 /// back to nested loop when no always-bound shared variable exists.
-fn join(left: RowTable, right: RowTable, kind: JoinKind) -> RowTable {
+///
+/// The output rows are the allocation a cross-product-shaped join balloons
+/// through, so both probe strategies check them against the budget between
+/// left rows (overshoot bounded by one left row's candidates).
+fn join(
+    left: RowTable,
+    right: RowTable,
+    kind: JoinKind,
+    meter: &mut BudgetMeter,
+) -> Result<RowTable> {
     let shared: Vec<String> = left
         .vars
         .iter()
@@ -764,6 +829,10 @@ fn join(left: RowTable, right: RowTable, kind: JoinKind) -> RowTable {
                 row.resize(width, None);
                 out.rows.push(row);
             }
+            meter.charge_intermediate(
+                out.rows.len() as u64,
+                row_table_bytes(out.rows.len(), width),
+            )?;
         }
     } else {
         // Nested loop with compatibility semantics.
@@ -780,9 +849,13 @@ fn join(left: RowTable, right: RowTable, kind: JoinKind) -> RowTable {
                 row.resize(width, None);
                 out.rows.push(row);
             }
+            meter.charge_intermediate(
+                out.rows.len() as u64,
+                row_table_bytes(out.rows.len(), width),
+            )?;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Bag union with schema alignment.
@@ -833,7 +906,7 @@ mod tests {
     fn inner_join_on_shared() {
         let a = tbl(&["x", "y"], vec![vec![i(1), i(10)], vec![i(2), i(20)]]);
         let b = tbl(&["x", "z"], vec![vec![i(1), i(100)], vec![i(3), i(300)]]);
-        let j = join(a, b, JoinKind::Inner);
+        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
         assert_eq!(j.vars, vec!["x", "y", "z"]);
         assert_eq!(j.rows, vec![vec![i(1), i(10), i(100)]]);
     }
@@ -842,7 +915,7 @@ mod tests {
     fn left_join_keeps_unmatched() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
         let b = tbl(&["x", "z"], vec![vec![i(1), i(100)]]);
-        let j = join(a, b, JoinKind::Left);
+        let j = join(a, b, JoinKind::Left, &mut BudgetMeter::unlimited()).unwrap();
         assert_eq!(j.rows.len(), 2);
         assert_eq!(j.rows[1], vec![i(2), None]);
     }
@@ -853,7 +926,7 @@ mod tests {
         // output): unbound is compatible with anything.
         let a = tbl(&["x", "g"], vec![vec![i(1), None], vec![i(2), i(9)]]);
         let b = tbl(&["x", "g"], vec![vec![i(1), i(7)], vec![i(2), i(8)]]);
-        let j = join(a, b, JoinKind::Inner);
+        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
         // Row (1, None) joins (1, 7) → (1, 7); row (2, 9) vs (2, 8) clash.
         assert_eq!(j.rows, vec![vec![i(1), i(7)]]);
     }
@@ -862,7 +935,7 @@ mod tests {
     fn cross_product_when_no_shared() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
         let b = tbl(&["y"], vec![vec![i(3)]]);
-        let j = join(a, b, JoinKind::Inner);
+        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
         assert_eq!(j.rows.len(), 2);
     }
 
@@ -880,7 +953,7 @@ mod tests {
     fn bag_semantics_preserved() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
         let b = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
-        let j = join(a, b, JoinKind::Inner);
+        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
         // 2 × 2 duplicates → 4 rows.
         assert_eq!(j.rows.len(), 4);
     }

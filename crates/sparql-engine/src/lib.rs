@@ -35,6 +35,7 @@
 
 pub mod algebra;
 pub mod ast;
+pub mod budget;
 pub mod engine;
 pub mod error;
 pub mod eval;
@@ -48,6 +49,7 @@ pub mod pool;
 pub mod regex_lite;
 pub mod results;
 
+pub use budget::{BudgetMeter, QueryBudget, ResourceKind};
 pub use engine::{
     ColumnBatch, Engine, EngineConfig, EvalMode, ExecStats, PreparedQuery, QueryCursor,
 };

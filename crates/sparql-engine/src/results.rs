@@ -160,6 +160,14 @@ impl Column {
         }
     }
 
+    /// Estimated heap bytes held by this column (id vector + presence
+    /// bitmap). Used by budget enforcement; tracks the dominant
+    /// allocations, not the allocator's exact footprint.
+    pub fn estimated_bytes(&self) -> u64 {
+        (self.ids.len() as u64).saturating_mul(std::mem::size_of::<TermId>() as u64)
+            + (self.present.len() as u64).saturating_mul(8)
+    }
+
     /// Shorten the column to `len` slots, zeroing bitmap bits past the end
     /// (the invariant `Eq` and [`Column::all_present`] rely on).
     pub fn truncate(&mut self, len: usize) {
@@ -321,6 +329,14 @@ impl IdTable {
     pub fn replace_column(&mut self, idx: usize, col: Column) {
         debug_assert_eq!(col.len(), self.rows);
         self.cols[idx] = col;
+    }
+
+    /// Estimated heap bytes held by this table's columns (budget
+    /// enforcement input; see [`Column::estimated_bytes`]).
+    pub fn estimated_bytes(&self) -> u64 {
+        self.cols
+            .iter()
+            .fold(0u64, |acc, c| acc.saturating_add(c.estimated_bytes()))
     }
 }
 

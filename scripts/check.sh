@@ -27,6 +27,21 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 echo "==> cargo test"
 cargo test -q
 
+# Budget-meter arithmetic is saturating by contract; run the enforcement
+# suite under the dev profile (debug assertions ON, so any overflow in
+# meter arithmetic aborts instead of wrapping). `cargo test -q` above
+# already covers this — the explicit step keeps the overflow coverage
+# from silently vanishing if the main run ever moves to --release.
+echo "==> budget enforcement (debug assertions on)"
+cargo test -q -p sparql-engine --test budget_enforcement
+
+# Fixed-seed chaos smoke: the paper workload through a fault-injecting
+# endpoint — retried runs must be byte-identical, give-ups typed, partial
+# results whole-chunk prefixes.
+echo "==> chaos smoke (fixed seed)"
+cargo test -q -p bench --test chaos_suite
+cargo test -q -p rdfframes-core --test chaos_retry --test corrupt_wire
+
 if [[ "$run_bench" == 1 ]]; then
     snapshot=$(mktemp -d)
     trap 'rm -rf "$snapshot"' EXIT

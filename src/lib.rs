@@ -49,6 +49,7 @@ pub use rdfframes_core::reference;
 pub use sparql_engine as engine;
 
 pub use rdfframes_core::{
-    AggFunc, Direction, EmbeddedEndpoint, Endpoint, EndpointConfig, EndpointStats, Executor,
-    FrameError, InProcessEndpoint, JoinType, KnowledgeGraph, RDFFrame, SortOrder, WireFormat,
+    AggFunc, Completeness, Direction, EmbeddedEndpoint, Endpoint, EndpointConfig, EndpointStats,
+    Executor, Fault, FaultyEndpoint, FrameError, InProcessEndpoint, JoinType, KnowledgeGraph,
+    PartialFrame, RDFFrame, RetryPolicy, SortOrder, WireFormat,
 };
