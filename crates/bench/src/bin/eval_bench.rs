@@ -23,7 +23,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bench::data;
-use rdf_model::Dataset;
+use rdf_model::persist::{format, MemVfs, Store, Vfs};
+use rdf_model::{ntriples, Dataset, Graph, Term, Triple};
 use sparql_engine::{Engine, EngineConfig, EvalMode, QueryBudget};
 
 /// Counts every heap allocation so the bench can report per-query
@@ -58,6 +59,23 @@ fn allocations() -> u64 {
 }
 
 const RUNS: usize = 9;
+/// Runs for the persistence cold-start timings (each run rebuilds a whole
+/// dataset, so fewer samples than the query loop).
+const PERSIST_RUNS: usize = 5;
+
+/// Median wall-clock of `runs` invocations of `f` (the result is consumed
+/// by the caller-supplied asserts inside `f`, so nothing is optimized out).
+fn median_of<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        let out = f();
+        samples.push(start.elapsed());
+        drop(out);
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
 
 struct QuerySpec {
     id: &'static str,
@@ -709,6 +727,140 @@ fn main() {
         off_out.allocs, on_out.allocs
     );
     let _ = writeln!(json, "    \"rows\": {}", on_out.rows);
+    let _ = writeln!(json, "  }},");
+
+    // Durability: cold-start cost of the three ways to get this dataset
+    // back into memory — binary snapshot decode, N-Triples re-parse +
+    // rebuild, and full Store recovery (snapshot load + WAL replay) — plus
+    // encode cost and at-rest sizes. The acceptance bar is the snapshot
+    // beating the N-Triples re-parse by ≥5× at the paper scale.
+    let snapshot_encode = median_of(PERSIST_RUNS, || format::encode_dataset(&dataset));
+    let snapshot = format::encode_dataset(&dataset);
+    let nt_docs: Vec<(String, String)> = dataset
+        .graph_uris()
+        .map(|uri| {
+            let g = dataset.graph(uri).expect("graph");
+            (uri.to_string(), ntriples::write_document(g.iter_triples()))
+        })
+        .collect();
+    let nt_bytes: usize = nt_docs.iter().map(|(_, d)| d.len()).sum();
+
+    let snapshot_load = median_of(PERSIST_RUNS, || {
+        let ds = format::decode_dataset(&snapshot).expect("snapshot decode");
+        assert_eq!(ds.total_triples(), dataset.total_triples());
+        ds
+    });
+    let ntriples_reload = median_of(PERSIST_RUNS, || {
+        let mut ds = Dataset::new();
+        for (uri, doc) in &nt_docs {
+            let triples = ntriples::parse_document(doc).expect("re-parse");
+            let mut g = Graph::new();
+            for t in &triples {
+                g.insert(t);
+            }
+            ds.insert_graph(uri.clone(), g);
+        }
+        assert_eq!(ds.total_triples(), dataset.total_triples());
+        ds
+    });
+
+    // A realistic crash image: checkpointed snapshot plus a WAL tail of
+    // append batches that recovery has to replay on top of it.
+    let wal_batches = 8usize;
+    let batch = 512usize;
+    let vfs = Arc::new(MemVfs::new());
+    let mut store = Store::open(Arc::clone(&vfs) as Arc<dyn Vfs>).expect("store open");
+    for uri in dataset.graph_uris() {
+        store
+            .insert_graph(uri, dataset.graph(uri).expect("graph"))
+            .expect("insert_graph");
+    }
+    store.checkpoint().expect("checkpoint");
+    let wal_uri = dataset.graph_uris().next().expect("graph uri").to_string();
+    let mut fresh_id = 0usize;
+    for _ in 0..wal_batches {
+        let triples: Vec<Triple> = (0..batch)
+            .map(|_| {
+                fresh_id += 1;
+                Triple::new(
+                    Term::iri(format!("http://persist.bench/s{fresh_id}")),
+                    Term::iri("http://persist.bench/p"),
+                    Term::integer(fresh_id as i64),
+                )
+            })
+            .collect();
+        store.append_triples(&wal_uri, triples).expect("append");
+    }
+    let image_gen = store.dataset().stats_generation();
+    let wal_bytes = store.wal_len();
+    let images: Vec<Arc<MemVfs>> = (0..PERSIST_RUNS)
+        .map(|_| Arc::new(MemVfs::reopen_from(&vfs)))
+        .collect();
+    let mut image_idx = 0usize;
+    let recovery = median_of(PERSIST_RUNS, || {
+        let image = Arc::clone(&images[image_idx]);
+        image_idx += 1;
+        let recovered = Store::open(image as Arc<dyn Vfs>).expect("recovery");
+        assert_eq!(recovered.dataset().stats_generation(), image_gen);
+        assert_eq!(recovered.recovery().replayed, wal_batches);
+        recovered
+    });
+
+    let snapshot_speedup = ntriples_reload.as_secs_f64() / snapshot_load.as_secs_f64().max(1e-12);
+    println!(
+        "\n{:<18} {:>13} {:>13} {:>13} {:>9}  (cold start at scale {scale})",
+        "persistence", "snapshot (ms)", "ntriples (ms)", "recovery (ms)", "speedup"
+    );
+    println!(
+        "{:<18} {:>13.3} {:>13.3} {:>13.3} {:>8.2}x",
+        "cold_start",
+        snapshot_load.as_secs_f64() * 1e3,
+        ntriples_reload.as_secs_f64() * 1e3,
+        recovery.as_secs_f64() * 1e3,
+        snapshot_speedup
+    );
+    println!(
+        "{:<18} snapshot {} B | ntriples {} B | wal {} B | encode {:.3} ms",
+        "",
+        snapshot.len(),
+        nt_bytes,
+        wal_bytes,
+        snapshot_encode.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(json, "  \"persistence\": {{");
+    let _ = writeln!(json, "    \"id\": \"persistence_cold_start\",");
+    let _ = writeln!(
+        json,
+        "    \"kind\": \"cold start: binary snapshot decode vs N-Triples re-parse vs Store recovery (snapshot + {wal_batches} WAL batches of {batch})\","
+    );
+    let _ = writeln!(json, "    \"snapshot_bytes\": {},", snapshot.len());
+    let _ = writeln!(json, "    \"ntriples_bytes\": {nt_bytes},");
+    let _ = writeln!(json, "    \"wal_bytes\": {wal_bytes},");
+    let _ = writeln!(
+        json,
+        "    \"snapshot_encode_ms\": {:.3},",
+        snapshot_encode.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "    \"snapshot_load_ms\": {:.3},",
+        snapshot_load.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "    \"ntriples_reload_ms\": {:.3},",
+        ntriples_reload.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "    \"recovery_ms\": {:.3},",
+        recovery.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(json, "    \"wal_records_replayed\": {wal_batches},");
+    let _ = writeln!(
+        json,
+        "    \"snapshot_speedup_vs_ntriples\": {snapshot_speedup:.3}"
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 

@@ -62,7 +62,6 @@ fn alternating_script(requests: usize) -> Vec<Option<Fault>> {
 fn every_workload_query_survives_scripted_faults_byte_identically() {
     let ds = data::build_dataset(SCALE);
     let clean = endpoint(&ds);
-    let executor = Executor::new().with_retry(RetryPolicy::fast(2));
     for q in queries::all_queries() {
         let expected = q
             .frame
@@ -70,6 +69,8 @@ fn every_workload_query_survives_scripted_faults_byte_identically() {
             .unwrap_or_else(|e| panic!("{}: clean run failed: {e}", q.id));
         // Enough faulted slots to cover every chunk of the largest result.
         let faulty = FaultyEndpoint::scripted(endpoint(&ds), alternating_script(256));
+        // Per-query executor so its stats isolate this query's retries.
+        let executor = Executor::new().with_retry(RetryPolicy::fast(2));
         let got = executor
             .execute(&q.frame, &faulty)
             .unwrap_or_else(|e| panic!("{}: faulted run failed: {e}", q.id));
@@ -77,6 +78,21 @@ fn every_workload_query_survives_scripted_faults_byte_identically() {
         assert!(
             faulty.faults_injected() > 0,
             "{}: script injected nothing — page too large?",
+            q.id
+        );
+        // Observability: every injected fault was answered by exactly one
+        // re-request (the alternating script never needs a second), and
+        // fast() policies sleep zero time.
+        assert_eq!(
+            executor.stats().retries(),
+            faulty.faults_injected(),
+            "{}: retry counter out of step with injected faults",
+            q.id
+        );
+        assert_eq!(
+            executor.stats().backoff_total(),
+            std::time::Duration::ZERO,
+            "{}: fast() policy must not sleep",
             q.id
         );
     }
@@ -148,6 +164,11 @@ fn faults_past_the_retry_limit_keep_the_intact_prefix() {
         }
         Completeness::Complete => panic!("expected a partial result"),
     }
+    // Attempt accounting: 3 faults injected, but only 2 earned a
+    // re-request — the third fault exhausted the 2-attempt budget, so the
+    // executor gave up instead of retrying again.
+    assert_eq!(faulty.faults_injected(), 3);
+    assert_eq!(executor.stats().retries(), 2);
     assert_eq!(partial.frame.len(), 2 * PAGE, "prefix must be whole chunks");
     assert_eq!(
         partial.frame,

@@ -14,10 +14,11 @@
 //! were scanned from, which lets joins, DISTINCT, and GROUP BY hash plain
 //! integers instead of strings.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
 use crate::graph::{Graph, GraphStats};
+use crate::hash::FxHashMap;
 use crate::interner::{Interner, TermId};
 use crate::term::{Term, Triple};
 
@@ -29,7 +30,7 @@ pub struct GraphIdMap {
     to_global: Vec<TermId>,
     /// Global id → local id, for binding query constants / bound variables
     /// back into a graph's index space.
-    from_global: HashMap<TermId, TermId>,
+    from_global: FxHashMap<TermId, TermId>,
     /// Set once some local→global translation broke strict ascent (a term
     /// of this graph was already interned globally by an earlier graph).
     /// While unset, local id order and global id order coincide, so index
@@ -184,6 +185,38 @@ impl Dataset {
     /// Empty dataset.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Open (or create) a durable dataset rooted at `dir`: the persistent
+    /// counterpart of [`Dataset::new`]. An absent or empty directory yields
+    /// a fresh, fully usable store; an existing one is recovered from its
+    /// snapshot and write-ahead log (see [`crate::persist`] for the on-disk
+    /// contract). Mutations go through the returned
+    /// [`Store`](crate::persist::Store) so they are logged durably.
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::result::Result<crate::persist::Store, crate::persist::StorageError> {
+        crate::persist::Store::open_path(dir)
+    }
+
+    /// Install a restored interner (snapshot recovery only). The dataset
+    /// must still be empty: graphs inserted afterwards re-intern their terms
+    /// against this table and hit the persisted ids exactly, which is what
+    /// keeps recovered id maps identical to the originals.
+    pub(crate) fn restore_interner(&mut self, interner: Interner) {
+        debug_assert!(
+            self.graphs.is_empty() && self.interner.is_empty(),
+            "restore_interner requires an empty dataset"
+        );
+        self.interner = interner;
+    }
+
+    /// Overwrite the mutation counter (snapshot/WAL recovery only): a
+    /// restored dataset must report the same [`Dataset::stats_generation`]
+    /// the persisted one did, or plan caches stamped before a restart would
+    /// wrongly validate (or wrongly discard) their entries after it.
+    pub(crate) fn set_stats_generation(&mut self, generation: u64) {
+        self.mutations = generation;
     }
 
     /// Insert (or replace) a named graph.

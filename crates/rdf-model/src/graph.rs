@@ -316,6 +316,70 @@ impl Graph {
         self.spo.delta.len()
     }
 
+    /// The configured auto-compaction threshold ([`usize::MAX`] when
+    /// auto-compaction is disabled).
+    pub fn delta_threshold(&self) -> usize {
+        self.delta_threshold
+    }
+
+    /// Read-only view of the frozen SPO slab — the exact sorted array the
+    /// persistence layer serializes block-by-block (and a future pager maps).
+    pub fn spo_slab(&self) -> &[(TermId, TermId, TermId)] {
+        &self.spo.slab
+    }
+
+    /// Iterate the delta-resident triples in SPO order (disjoint from
+    /// [`Graph::spo_slab`]; slab ∪ delta is the full graph).
+    pub fn delta_ids(&self) -> impl Iterator<Item = (TermId, TermId, TermId)> + '_ {
+        self.spo.delta.iter().copied()
+    }
+
+    /// The frozen POS slab (persistence internals).
+    pub(crate) fn pos_slab(&self) -> &[Key] {
+        &self.pos.slab
+    }
+
+    /// The frozen OSP slab (persistence internals).
+    pub(crate) fn osp_slab(&self) -> &[Key] {
+        &self.osp.slab
+    }
+
+    /// Reassemble a graph from persisted parts without triggering any
+    /// compaction: the three slabs are installed as-is, the SPO-order delta
+    /// is replicated into POS/OSP order by permutation, and the compaction
+    /// generation is restored verbatim. The caller (the snapshot decoder)
+    /// is responsible for slab sortedness and slab/delta disjointness —
+    /// both are verified during decode before this runs.
+    pub(crate) fn from_parts(
+        interner: Interner,
+        spo_slab: Vec<Key>,
+        pos_slab: Vec<Key>,
+        osp_slab: Vec<Key>,
+        spo_delta: Vec<Key>,
+        delta_threshold: usize,
+        compactions: u64,
+    ) -> Graph {
+        let pos_delta: BTreeSet<Key> = spo_delta.iter().map(|&(s, p, o)| (p, o, s)).collect();
+        let osp_delta: BTreeSet<Key> = spo_delta.iter().map(|&(s, p, o)| (o, s, p)).collect();
+        Graph {
+            interner,
+            spo: Index {
+                slab: spo_slab,
+                delta: spo_delta.into_iter().collect(),
+            },
+            pos: Index {
+                slab: pos_slab,
+                delta: pos_delta,
+            },
+            osp: Index {
+                slab: osp_slab,
+                delta: osp_delta,
+            },
+            delta_threshold: delta_threshold.max(1),
+            compactions,
+        }
+    }
+
     /// Access the term interner (read-only).
     pub fn interner(&self) -> &Interner {
         &self.interner

@@ -10,9 +10,9 @@
 //! a single hash lookup on the hit path (the overwhelmingly common case when
 //! loading triples) with no clone of the probed term.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::hash::FxHashMap;
 use crate::term::Term;
 
 /// Dense identifier for an interned term.
@@ -31,7 +31,7 @@ impl TermId {
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
     terms: Vec<Arc<Term>>,
-    ids: HashMap<Arc<Term>, TermId>,
+    ids: FxHashMap<Arc<Term>, TermId>,
 }
 
 impl Interner {
@@ -56,6 +56,22 @@ impl Interner {
         self.terms.push(Arc::clone(&shared));
         self.ids.insert(shared, id);
         id
+    }
+
+    /// Rebuild an interner from its persisted id-ordered term table. Ids are
+    /// reassigned densely in iteration order, so feeding back the terms from
+    /// [`Interner::iter`] reproduces the original id assignment exactly.
+    /// Returns `None` when the list contains duplicates (a corrupt snapshot
+    /// — a healthy interner never stores a term twice).
+    pub(crate) fn from_terms(terms: Vec<Term>) -> Option<Self> {
+        let count = terms.len();
+        let mut interner = Interner::new();
+        interner.terms.reserve(count);
+        interner.ids.reserve(count);
+        for term in terms {
+            interner.intern(term);
+        }
+        (interner.len() == count).then_some(interner)
     }
 
     /// Look up an id without interning. `None` if the term was never seen.

@@ -13,14 +13,19 @@
 //!   query evaluation can join on integer ids.
 //! - [`ntriples`]: N-Triples parser and serializer (stands in for rdflib in
 //!   the "rdflib + pandas" baseline).
+//! - [`persist`]: durable, crash-consistent dataset storage — checksummed
+//!   snapshots plus a write-ahead log, recovered via [`Dataset::open`].
+//! - [`hash`]: a fast non-cryptographic hasher for interner-style maps.
 //! - [`prefix`]: prefix map / CURIE expansion used by the RDFFrames API.
 //! - [`vocab`]: well-known vocabulary constants.
 
 pub mod dataset;
 pub mod error;
 pub mod graph;
+pub mod hash;
 pub mod interner;
 pub mod ntriples;
+pub mod persist;
 pub mod prefix;
 pub mod term;
 pub mod vocab;
@@ -29,5 +34,6 @@ pub use dataset::{Dataset, GraphIdMap, TermRanks};
 pub use error::{ModelError, Result};
 pub use graph::{Graph, GraphStats};
 pub use interner::{Interner, TermId};
+pub use persist::{RecoveryReport, StorageError, Store};
 pub use prefix::PrefixMap;
 pub use term::{Literal, Term, Triple};

@@ -1,0 +1,167 @@
+//! Hardening tests for the N-Triples parser: malformed input must yield a
+//! typed [`ModelError::Syntax`] with the right line number — never a
+//! panic, and never a silently skipped line.
+
+use rdf_model::error::ModelError;
+use rdf_model::ntriples::{parse_document, write_document};
+use rdf_model::term::{Term, Triple};
+
+fn syntax_line(err: ModelError) -> usize {
+    match err {
+        ModelError::Syntax { line, .. } => line,
+        other => panic!("expected Syntax error, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_prefix_truncation_is_handled() {
+    // A document exercising every token kind, cut at every byte boundary:
+    // each prefix must parse or fail typed — no panics, no partial junk.
+    let doc = "<http://x/s> <http://x/p> \"a\\u00e9b\"@en-GB .\n\
+               _:b0 <http://x/q> \"\\\"quoted\\\" \\\\ \\n\"^^<http://www.w3.org/2001/XMLSchema#string> .\n\
+               <http://x/s> <http://x/r> _:b1 .\n";
+    for cut in 0..doc.len() {
+        if !doc.is_char_boundary(cut) {
+            continue;
+        }
+        // Either outcome is legal; what's illegal is a panic or a triple
+        // materialized from a torn line.
+        match parse_document(&doc[..cut]) {
+            Ok(triples) => {
+                // Whatever parsed must be well-formed: it re-serializes
+                // and reparses to itself.
+                let doc2 = write_document(triples.clone().into_iter());
+                assert_eq!(
+                    parse_document(&doc2).expect("rendered triples reparse"),
+                    triples
+                );
+            }
+            Err(e) => {
+                let _ = e.to_string(); // Display must not panic either
+            }
+        }
+    }
+}
+
+#[test]
+fn garbage_lines_report_their_line_number() {
+    let cases = [
+        // (document, expected failing line)
+        (
+            "<http://x/s> <http://x/p> <http://x/o> .\ngarbage here\n",
+            2,
+        ),
+        ("# comment\n\n<http://x/s> <http://x/p .\n", 3),
+        ("\u{0}\u{1}\u{2}", 1),
+        ("<http://x/s> <http://x/p> <http://x/o> .\n\n<a> <b>\n", 3),
+    ];
+    for (doc, want_line) in cases {
+        let err = parse_document(doc).expect_err("garbage must not parse");
+        assert_eq!(syntax_line(err), want_line, "doc: {doc:?}");
+    }
+}
+
+#[test]
+fn unterminated_iri() {
+    let err = parse_document("<http://x/s <http://x/p> <http://x/o> .").unwrap_err();
+    assert_eq!(syntax_line(err), 1);
+}
+
+#[test]
+fn unterminated_string() {
+    let err = parse_document("<http://x/s> <http://x/p> \"no closing quote .").unwrap_err();
+    assert_eq!(syntax_line(err), 1);
+}
+
+#[test]
+fn bad_escape_sequence() {
+    let err = parse_document("<http://x/s> <http://x/p> \"bad \\q escape\" .").unwrap_err();
+    assert!(matches!(err, ModelError::Syntax { line: 1, .. }));
+}
+
+#[test]
+fn truncated_unicode_escape() {
+    for lit in ["\"\\u12\"", "\"\\u\"", "\"\\U0001F60\""] {
+        let doc = format!("<http://x/s> <http://x/p> {lit} .");
+        let err = parse_document(&doc).expect_err("truncated \\u escape must fail");
+        assert_eq!(syntax_line(err), 1, "literal: {lit}");
+    }
+}
+
+#[test]
+fn lone_surrogate_escape() {
+    let err = parse_document("<http://x/s> <http://x/p> \"\\uD800\" .").unwrap_err();
+    assert!(matches!(err, ModelError::Syntax { line: 1, .. }));
+}
+
+#[test]
+fn missing_terminating_dot() {
+    let err = parse_document("<http://x/s> <http://x/p> <http://x/o>").unwrap_err();
+    assert_eq!(syntax_line(err), 1);
+}
+
+#[test]
+fn trailing_content_after_dot() {
+    let err = parse_document("<http://x/s> <http://x/p> <http://x/o> . extra").unwrap_err();
+    assert_eq!(syntax_line(err), 1);
+}
+
+#[test]
+fn literal_in_subject_or_predicate_position() {
+    for doc in [
+        "\"lit\" <http://x/p> <http://x/o> .",
+        "<http://x/s> \"lit\" <http://x/o> .",
+        "<http://x/s> _:b <http://x/o> .",
+    ] {
+        let err = parse_document(doc).expect_err("invalid term position must fail");
+        assert!(
+            matches!(err, ModelError::Syntax { line: 1, .. }),
+            "doc: {doc}"
+        );
+    }
+}
+
+#[test]
+fn empty_blank_node_label() {
+    let err = parse_document("_: <http://x/p> <http://x/o> .").unwrap_err();
+    assert!(matches!(err, ModelError::Syntax { line: 1, .. }));
+}
+
+#[test]
+fn error_line_numbers_skip_comments_and_blanks() {
+    let doc = "# header\n\
+               \n\
+               <http://x/s> <http://x/p> <http://x/o> .\n\
+               # another comment\n\
+               broken\n";
+    assert_eq!(syntax_line(parse_document(doc).unwrap_err()), 5);
+}
+
+#[test]
+fn roundtrip_survives_hostile_strings() {
+    let triples = vec![
+        Triple::new(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::string("tab\there \"quotes\" back\\slash\nnewline é ☃"),
+        ),
+        Triple::new(
+            Term::blank("b0"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/o"),
+        ),
+    ];
+    let doc = write_document(triples.clone().into_iter());
+    let back = parse_document(&doc).expect("serializer output must reparse");
+    assert_eq!(back, triples);
+}
+
+#[test]
+fn no_silent_skips_on_mixed_documents() {
+    // One bad line poisons the parse: callers must never receive a
+    // partial result they could mistake for the whole document.
+    let doc = "<http://x/a> <http://x/p> <http://x/o> .\n\
+               BAD LINE\n\
+               <http://x/b> <http://x/p> <http://x/o> .\n";
+    assert!(parse_document(doc).is_err());
+}

@@ -21,6 +21,8 @@
 //! reports the rows assembled before an unrecoverable failure instead of
 //! discarding them, tagged with a [`Completeness`] marker.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use dataframe::DataFrame;
@@ -145,6 +147,29 @@ pub struct PartialFrame {
     pub completeness: Completeness,
 }
 
+/// Cumulative retry observability counters for an [`Executor`].
+///
+/// Counters are atomic and shared: cloning an executor clones the `Arc`,
+/// so clones report into the same stats — the natural reading when one
+/// configured executor is reused across queries.
+#[derive(Debug, Default)]
+pub struct ExecutorStats {
+    retries: AtomicU64,
+    backoff_nanos: AtomicU64,
+}
+
+impl ExecutorStats {
+    /// Total chunk re-requests issued (first attempts are not retries).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total time spent sleeping in backoff between attempts.
+    pub fn backoff_total(&self) -> Duration {
+        Duration::from_nanos(self.backoff_nanos.load(Ordering::Relaxed))
+    }
+}
+
 /// Executes frames against endpoints with transparent pagination.
 #[derive(Debug, Clone, Default)]
 pub struct Executor {
@@ -153,6 +178,8 @@ pub struct Executor {
     pub page_size: Option<usize>,
     /// Chunk-level retry policy (default: no retries).
     pub retry: RetryPolicy,
+    /// Retry observability counters (shared across clones).
+    stats: Arc<ExecutorStats>,
 }
 
 impl Executor {
@@ -173,6 +200,12 @@ impl Executor {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Retry observability counters: how many chunk re-requests this
+    /// executor (and its clones) issued, and how long they backed off.
+    pub fn stats(&self) -> &Arc<ExecutorStats> {
+        &self.stats
     }
 
     /// Execute the frame's optimized query, picking the embedded path when
@@ -263,6 +296,7 @@ impl Executor {
                     Err(e)
                         if tries < self.retry.max_attempts.max(1) && (self.retry.retry_on)(&e) =>
                     {
+                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
                         self.sleep_backoff(tries, &mut rng)
                     }
                     Err(error) => {
@@ -297,6 +331,7 @@ impl Executor {
             match endpoint.query_chunk(sparql, offset, page) {
                 Ok(t) => return Ok(t),
                 Err(e) if tries < self.retry.max_attempts.max(1) && (self.retry.retry_on)(&e) => {
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
                     self.sleep_backoff(tries, rng)
                 }
                 Err(e) => return Err(e),
@@ -307,6 +342,9 @@ impl Executor {
     /// Sleep the jittered backoff before retry number `retry` (1-based).
     fn sleep_backoff(&self, retry: u32, rng: &mut StdRng) {
         let d = self.retry.backoff(retry, rng);
+        self.stats
+            .backoff_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
         if !d.is_zero() {
             std::thread::sleep(d);
         }
@@ -380,6 +418,37 @@ mod tests {
         let df = Executor::with_page_size(7).execute(&frame(), &ep).unwrap();
         assert_eq!(df.len(), 25);
         assert_eq!(ep.stats().requests(), 4);
+    }
+
+    #[test]
+    fn stats_count_retries_and_backoff() {
+        use crate::client::{Fault, FaultyEndpoint};
+        let ep = FaultyEndpoint::scripted(
+            endpoint(10),
+            vec![Some(Fault::Transient), None, Some(Fault::Transient), None],
+        );
+        let exec = Executor::new().with_retry(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_micros(400),
+            ..RetryPolicy::standard()
+        });
+        let df = exec.execute(&frame(), &ep).unwrap();
+        assert_eq!(df.len(), 25);
+        assert_eq!(exec.stats().retries(), ep.faults_injected());
+        assert_eq!(exec.stats().retries(), 2);
+        assert!(exec.stats().backoff_total() > Duration::ZERO);
+        // Clones share the counters.
+        assert_eq!(exec.clone().stats().retries(), 2);
+    }
+
+    #[test]
+    fn stats_stay_zero_on_clean_runs() {
+        let ep = endpoint(10);
+        let exec = Executor::new().with_retry(RetryPolicy::standard());
+        exec.execute(&frame(), &ep).unwrap();
+        assert_eq!(exec.stats().retries(), 0);
+        assert_eq!(exec.stats().backoff_total(), Duration::ZERO);
     }
 
     #[test]

@@ -50,4 +50,4 @@ pub use client::{
     InProcessEndpoint, WireFormat,
 };
 pub use error::{FrameError, Result};
-pub use exec::{Completeness, Executor, PartialFrame, RetryPolicy};
+pub use exec::{Completeness, Executor, ExecutorStats, PartialFrame, RetryPolicy};

@@ -42,6 +42,15 @@ echo "==> chaos smoke (fixed seed)"
 cargo test -q -p bench --test chaos_suite
 cargo test -q -p rdfframes-core --test chaos_retry --test corrupt_wire
 
+# Crash-recovery smoke: the paper workload (scale 64) committed through
+# the durable store, crashed at fixed fault points, recovered, and
+# checked for full Q1–Q19 result/row-scan parity against an in-memory
+# oracle — plus the snapshot codec's round-trip proptests (fixed seeds).
+echo "==> crash-recovery smoke (fixed seed, scale 64)"
+cargo test -q -p bench --test crash_recovery scale_64_smoke_with_full_query_parity
+cargo test -q -p rdf-model --test persist_roundtrip
+cargo test -q -p rdfframes-core --test restart_semantics
+
 if [[ "$run_bench" == 1 ]]; then
     snapshot=$(mktemp -d)
     trap 'rm -rf "$snapshot"' EXIT
