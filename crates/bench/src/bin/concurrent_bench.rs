@@ -1,0 +1,347 @@
+//! Parallel-execution and concurrent-serving benchmark.
+//!
+//! Two experiments over one synthetic dataset:
+//!
+//! 1. **Parallel speedup** — the embedded endpoint runs case studies 1 and
+//!    3 (plus synthetic Q1) with the engine's work-stealing pool at 1, 2, 4,
+//!    and 8 threads. Every thread count must produce the same number of
+//!    rows (the evaluator's determinism contract says the *content* is
+//!    byte-identical too; the test suite asserts that — here we record
+//!    latency). Speedups are relative to `threads = 1` on **this
+//!    machine**: on a single-core container the pool adds coordination
+//!    overhead and the honest speedup is ≤ 1.
+//!
+//! 2. **Concurrent serving** — a [`SnapshotServer`] serves 1/2/4/8 reader
+//!    threads executing a one-hop RDFFrames query while a writer loops
+//!    `update()` (append one triple → publish a new epoch). Reported:
+//!    aggregate queries/s, per-query p50/p99 latency, and epochs published
+//!    during the window — readers never block on the writer beyond the
+//!    epoch pointer swap.
+//!
+//! Results go to `BENCH_concurrent.json`.
+//!
+//! Usage: `cargo run --release -p bench --bin concurrent_bench [--scale N]`
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::casestudies::{self, CaseParams};
+use bench::data;
+use bench::queries;
+use rdf_model::{Term, Triple};
+use rdfframes_core::{EmbeddedEndpoint, RDFFrame, SnapshotServer};
+use sparql_engine::EngineConfig;
+
+/// Timed repetitions per (workload, thread-count) cell.
+const RUNS: usize = 5;
+/// Engine thread counts swept in the parallel-speedup experiment.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Reader thread counts swept in the concurrent-serving experiment.
+const READERS: [usize; 4] = [1, 2, 4, 8];
+/// Measurement window per reader count.
+const SERVE_WINDOW: Duration = Duration::from_millis(600);
+
+fn parse_args() -> usize {
+    let mut scale = 4000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--scale requires a number"));
+            }
+            other => {
+                if let Ok(n) = other.parse() {
+                    scale = n;
+                } else {
+                    panic!("unknown argument {other} (usage: concurrent_bench [--scale N] [N])");
+                }
+            }
+        }
+    }
+    scale
+}
+
+struct Workload {
+    id: &'static str,
+    frame: RDFFrame,
+}
+
+fn workloads(scale: usize) -> Vec<Workload> {
+    let p = CaseParams::for_scale(scale);
+    let mut out = vec![
+        Workload {
+            id: "cs1_movie_genre",
+            frame: casestudies::movie_genre_classification(p.prolific),
+        },
+        Workload {
+            id: "cs3_kg_embedding",
+            frame: casestudies::kg_embedding(),
+        },
+    ];
+    if let Some(q1) = queries::all_queries().into_iter().find(|d| d.id == "Q1") {
+        out.push(Workload {
+            id: "q1_players",
+            frame: q1.frame,
+        });
+    }
+    out
+}
+
+struct Cell {
+    median: Duration,
+    rows: usize,
+    par_chunks: u64,
+}
+
+fn run(frame: &RDFFrame, endpoint: &EmbeddedEndpoint) -> Cell {
+    let warm = frame
+        .execute(endpoint)
+        .unwrap_or_else(|e| panic!("execution failed: {e}"));
+    let rows = warm.len();
+    let chunks_before = endpoint.stats().par_chunks();
+    let mut samples = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let df = frame.execute(endpoint).unwrap();
+        samples.push(start.elapsed());
+        assert_eq!(df.len(), rows, "non-deterministic result size");
+    }
+    samples.sort();
+    Cell {
+        median: samples[samples.len() / 2],
+        rows,
+        par_chunks: endpoint.stats().par_chunks() - chunks_before,
+    }
+}
+
+/// Percentile (nearest-rank) of a sorted latency sample.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+struct ServeOutcome {
+    queries: u64,
+    qps: f64,
+    p50: Duration,
+    p99: Duration,
+    epochs: u64,
+    final_rows: usize,
+}
+
+/// Run `n_readers` query loops against a fresh [`SnapshotServer`] while one
+/// writer publishes append epochs as fast as it can.
+fn serve(scale: usize, n_readers: usize) -> ServeOutcome {
+    let server = Arc::new(SnapshotServer::new(data::build_dataset(scale)));
+    // One-hop feature extraction: enough work to be a real query, cheap
+    // enough that the window collects a meaningful latency sample.
+    let frame = data::dbpedia_graph().feature_domain_range("dbpp:starring", "movie", "actor");
+    let epochs_before = server.epochs_published();
+    let stop = AtomicBool::new(false);
+    let (latencies, writer_updates) = std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..n_readers {
+            readers.push(scope.spawn(|| {
+                let mut lat = Vec::new();
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = server.snapshot();
+                    // Epochs observed by one reader never go backwards.
+                    assert!(snap.epoch() >= last_epoch, "epoch went backwards");
+                    last_epoch = snap.epoch();
+                    let start = Instant::now();
+                    let df = frame.execute(snap.embedded()).expect("reader query failed");
+                    lat.push(start.elapsed());
+                    assert!(!df.is_empty(), "reader saw an empty result");
+                }
+                lat
+            }));
+        }
+        let writer = scope.spawn(|| {
+            let mut published = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let n = published;
+                server.update(|ds| {
+                    ds.append_triples(
+                        data::uris::DBPEDIA,
+                        [Triple::new(
+                            Term::iri(format!("http://dbpedia.org/resource/NewMovie{n}")),
+                            Term::iri("http://dbpedia.org/property/starring"),
+                            Term::iri(format!("http://dbpedia.org/resource/NewActor{n}")),
+                        )],
+                    );
+                });
+                published += 1;
+            }
+            published
+        });
+        std::thread::sleep(SERVE_WINDOW);
+        stop.store(true, Ordering::Relaxed);
+        let mut lat: Vec<Duration> = Vec::new();
+        for r in readers {
+            lat.extend(r.join().expect("reader panicked"));
+        }
+        (lat, writer.join().expect("writer panicked"))
+    });
+    let mut sorted = latencies;
+    sorted.sort();
+    let queries = sorted.len() as u64;
+    // Every published append added exactly one row to the reader query.
+    let final_snap = server.snapshot();
+    let final_rows = frame
+        .execute(final_snap.embedded())
+        .expect("final query failed")
+        .len();
+    let out = ServeOutcome {
+        queries,
+        qps: queries as f64 / SERVE_WINDOW.as_secs_f64(),
+        p50: percentile(&sorted, 50.0),
+        p99: percentile(&sorted, 99.0),
+        epochs: server.epochs_published() - epochs_before,
+        final_rows,
+    };
+    // Sanity: one epoch per writer update call, no drift.
+    assert_eq!(out.epochs, writer_updates, "epoch counter drifted");
+    out
+}
+
+fn main() {
+    let scale = parse_args();
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("building dataset at scale {scale} ({hardware} hardware threads)...");
+    let dataset = data::build_dataset(scale);
+    eprintln!(
+        "dataset: {} triples across {} graphs",
+        dataset.total_triples(),
+        dataset.len()
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"concurrent_bench\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"triples\": {},", dataset.total_triples());
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(json, "  \"runs\": {RUNS},");
+
+    // ── Experiment 1: parallel speedup ────────────────────────────────
+    println!(
+        "\n{:<18} {:>8} {:>12} {:>10} {:>12} {:>10}",
+        "workload", "threads", "median (ms)", "speedup", "par_chunks", "rows"
+    );
+    let _ = writeln!(json, "  \"parallel_speedup\": [");
+    let specs = workloads(scale);
+    for (wi, w) in specs.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"id\": \"{}\",", w.id);
+        let _ = writeln!(json, "      \"by_threads\": [");
+        let mut base = Duration::ZERO;
+        let mut base_rows = 0usize;
+        for (ti, &threads) in THREADS.iter().enumerate() {
+            let endpoint = EmbeddedEndpoint::with_engine_config(
+                Arc::clone(&dataset),
+                EngineConfig {
+                    threads,
+                    ..EngineConfig::new()
+                },
+            );
+            let cell = run(&w.frame, &endpoint);
+            if ti == 0 {
+                base = cell.median;
+                base_rows = cell.rows;
+            } else {
+                assert_eq!(
+                    cell.rows, base_rows,
+                    "{}: thread count changed the result size",
+                    w.id
+                );
+            }
+            let speedup = base.as_secs_f64() / cell.median.as_secs_f64().max(1e-12);
+            println!(
+                "{:<18} {:>8} {:>12.3} {:>9.2}x {:>12} {:>10}",
+                w.id,
+                threads,
+                cell.median.as_secs_f64() * 1e3,
+                speedup,
+                cell.par_chunks,
+                cell.rows
+            );
+            let _ = writeln!(json, "        {{");
+            let _ = writeln!(json, "          \"threads\": {threads},");
+            let _ = writeln!(
+                json,
+                "          \"median_ms\": {:.3},",
+                cell.median.as_secs_f64() * 1e3
+            );
+            let _ = writeln!(json, "          \"speedup_vs_1\": {speedup:.3},");
+            let _ = writeln!(json, "          \"par_chunks\": {},", cell.par_chunks);
+            let _ = writeln!(json, "          \"rows\": {}", cell.rows);
+            let _ = writeln!(
+                json,
+                "        }}{}",
+                if ti + 1 < THREADS.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 < specs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    // ── Experiment 2: concurrent serving ──────────────────────────────
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10}",
+        "readers", "queries", "qps", "p50 (ms)", "p99 (ms)", "epochs", "final rows"
+    );
+    let _ = writeln!(json, "  \"concurrent_serving\": [");
+    for (ri, &readers) in READERS.iter().enumerate() {
+        let out = serve(scale, readers);
+        println!(
+            "{:<8} {:>10} {:>10.1} {:>10.3} {:>10.3} {:>8} {:>10}",
+            readers,
+            out.queries,
+            out.qps,
+            out.p50.as_secs_f64() * 1e3,
+            out.p99.as_secs_f64() * 1e3,
+            out.epochs,
+            out.final_rows
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"readers\": {readers},");
+        let _ = writeln!(json, "      \"window_ms\": {},", SERVE_WINDOW.as_millis());
+        let _ = writeln!(json, "      \"queries\": {},", out.queries);
+        let _ = writeln!(json, "      \"qps\": {:.1},", out.qps);
+        let _ = writeln!(
+            json,
+            "      \"p50_ms\": {:.3},",
+            out.p50.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            json,
+            "      \"p99_ms\": {:.3},",
+            out.p99.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(json, "      \"epochs_published\": {}", out.epochs);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if ri + 1 < READERS.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write("BENCH_concurrent.json", &json).expect("write BENCH_concurrent.json");
+    eprintln!("\nwrote BENCH_concurrent.json");
+}

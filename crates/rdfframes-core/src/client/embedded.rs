@@ -20,21 +20,34 @@
 //! plain (cached-plan, no-wire-format) [`Endpoint::query_chunk`] contract,
 //! so an `EmbeddedEndpoint` is a drop-in `Endpoint` everywhere.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use dataframe::DataFrame;
 use rdf_model::Dataset;
-use sparql_engine::{Engine, EngineConfig, SolutionTable};
+use sparql_engine::{Engine, EngineConfig, PreparedQuery, SolutionTable};
 
 use crate::client::convert::cursor_to_dataframe;
-use crate::client::{engine_error, Endpoint, EndpointStats, PlanCache};
+use crate::client::{engine_error, Endpoint, EndpointStats, PlanCache, PLAN_CACHE_CAP};
 use crate::error::Result;
 use crate::model::compile::compile;
-use crate::model::QueryModel;
+use crate::model::{render, QueryModel};
 
 /// Rows per cursor batch handed from the engine to the column builders.
 const DEFAULT_BATCH_ROWS: usize = 16_384;
+
+/// Prepared plans for *model* executions, keyed by the model's rendered
+/// SPARQL text. The rendered string is used purely as an identity key — it
+/// is never parsed; the cached plan was built by the direct
+/// [`compile`] → [`Engine::prepare_plan`] path. Like
+/// [`PlanCache`](crate::client::PlanCache), every entry is stamped with the
+/// [`Dataset::stats_generation`] it was optimized under, so plans re-optimize
+/// after `append_triples` instead of re-serving a stale join order.
+#[derive(Default)]
+struct ModelPlanCache {
+    plans: Mutex<HashMap<String, (u64, Arc<PreparedQuery>)>>,
+}
 
 /// An endpoint that executes query models inside the engine process,
 /// columnar end to end.
@@ -45,6 +58,7 @@ pub struct EmbeddedEndpoint {
     stats: Arc<EndpointStats>,
     rows_scanned: Arc<AtomicU64>,
     plans: Arc<PlanCache>,
+    model_plans: Arc<ModelPlanCache>,
 }
 
 impl EmbeddedEndpoint {
@@ -63,6 +77,7 @@ impl EmbeddedEndpoint {
             stats: Arc::new(EndpointStats::default()),
             rows_scanned: Arc::new(AtomicU64::new(0)),
             plans: Arc::new(PlanCache::default()),
+            model_plans: Arc::new(ModelPlanCache::default()),
         }
     }
 
@@ -77,11 +92,30 @@ impl EmbeddedEndpoint {
         &self.engine
     }
 
+    /// A new endpoint over `dataset` that keeps this endpoint's engine
+    /// configuration and batch size and **shares** its statistics, scan
+    /// counter, and both plan caches (Arc-cloned).
+    /// [`SnapshotServer`](crate::client::SnapshotServer) uses this to
+    /// publish dataset epochs: every cached plan is stamped with the
+    /// stats generation it was optimized under, so queries against the new
+    /// snapshot re-optimize exactly when the statistics moved and reuse the
+    /// plan otherwise.
+    pub fn with_dataset(&self, dataset: Arc<Dataset>) -> Self {
+        EmbeddedEndpoint {
+            engine: Engine::with_config(dataset, self.engine.config().clone()),
+            batch_rows: self.batch_rows,
+            stats: Arc::clone(&self.stats),
+            rows_scanned: Arc::clone(&self.rows_scanned),
+            plans: Arc::clone(&self.plans),
+            model_plans: Arc::clone(&self.model_plans),
+        }
+    }
+
     /// Mutable engine access — the ingestion path for a live endpoint
-    /// (`engine_mut().dataset_mut()` to append triples). Cached raw-SPARQL
-    /// plans notice the resulting
+    /// (`engine_mut().dataset_mut()` to append triples). Cached plans on
+    /// both surfaces (raw-SPARQL and model) notice the resulting
     /// [`rdf_model::Dataset::stats_generation`] change and re-optimize on
-    /// their next use; model executions re-compile per call anyway.
+    /// their next use.
     pub fn engine_mut(&mut self) -> &mut Engine {
         &mut self.engine
     }
@@ -125,19 +159,77 @@ impl EmbeddedEndpoint {
     }
 
     fn execute_model_inner(&self, model: &QueryModel) -> Result<DataFrame> {
-        let compiled = compile(model)?;
-        let prepared = self.engine.prepare_plan(compiled.plan, compiled.from);
+        let prepared = self.model_plan(model)?;
         let mut cursor = self
             .engine
             .cursor(&prepared, self.batch_rows)
             .map_err(engine_error)?;
         self.rows_scanned
             .fetch_add(cursor.rows_scanned(), Ordering::Relaxed);
+        self.stats
+            .par_chunks
+            .fetch_add(cursor.stats().par_chunks, Ordering::Relaxed);
         let df = cursor_to_dataframe(&mut cursor)?;
         self.stats
             .rows_returned
             .fetch_add(df.len() as u64, Ordering::Relaxed);
         Ok(df)
+    }
+
+    /// The prepared (compiled + optimized) plan for `model`, cached by
+    /// rendered query text and re-optimized when the dataset's statistics
+    /// generation moves. Repeated executions of the same model — the
+    /// benchmark loop, a dashboard refresh — skip compile *and* optimize.
+    fn model_plan(&self, model: &QueryModel) -> Result<Arc<PreparedQuery>> {
+        let key = render::render(model);
+        let generation = self.engine.dataset().stats_generation();
+        {
+            let plans = self
+                .model_plans
+                .plans
+                .lock()
+                .expect("model plan cache poisoned");
+            if let Some((stamped, prepared)) = plans.get(&key) {
+                if *stamped == generation {
+                    return Ok(Arc::clone(prepared));
+                }
+                // Stale: statistics moved since this plan was optimized.
+            }
+        }
+        // Compile + optimize outside the lock; a concurrent duplicate
+        // preparation is harmless (last insert wins, plans are equivalent).
+        let compiled = compile(model)?;
+        let prepared = Arc::new(self.engine.prepare_plan(compiled.plan, compiled.from));
+        let mut plans = self
+            .model_plans
+            .plans
+            .lock()
+            .expect("model plan cache poisoned");
+        if plans.len() >= PLAN_CACHE_CAP {
+            plans.clear();
+        }
+        plans.insert(key, (generation, Arc::clone(&prepared)));
+        Ok(prepared)
+    }
+
+    /// Model plans currently cached (observability for tests/benches).
+    pub fn cached_model_plans(&self) -> usize {
+        self.model_plans
+            .plans
+            .lock()
+            .expect("model plan cache poisoned")
+            .len()
+    }
+
+    /// The cached prepared plan for a model, if present (observability for
+    /// tests — e.g. asserting that an append re-optimized the plan).
+    pub fn cached_model_plan(&self, model: &QueryModel) -> Option<Arc<PreparedQuery>> {
+        self.model_plans
+            .plans
+            .lock()
+            .expect("model plan cache poisoned")
+            .get(&render::render(model))
+            .map(|(_, prepared)| Arc::clone(prepared))
     }
 }
 

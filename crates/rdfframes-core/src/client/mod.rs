@@ -9,6 +9,7 @@
 //! the [`sparql_engine`] crate (our Virtuoso stand-in), optionally charging
 //! a simulated per-request overhead.
 
+pub mod concurrent;
 pub mod convert;
 pub mod embedded;
 pub mod faulty;
@@ -29,6 +30,7 @@ use sparql_engine::{
 use crate::error::{FrameError, Result};
 use crate::model::QueryModel;
 
+pub use concurrent::{EpochEndpoints, SnapshotServer};
 pub use embedded::EmbeddedEndpoint;
 pub use faulty::{Fault, FaultyEndpoint};
 
@@ -106,6 +108,10 @@ pub struct EndpointStats {
     /// Requests that ended in an error (rejection, budget trip, or wire
     /// encoding failure). Always ≤ `requests`.
     pub errors: AtomicU64,
+    /// Parallel work chunks executed by the engine on behalf of this
+    /// endpoint (sum of [`sparql_engine::ExecStats::par_chunks`] across
+    /// served requests). Zero when the engine runs single-threaded.
+    pub par_chunks: AtomicU64,
 }
 
 impl EndpointStats {
@@ -122,6 +128,11 @@ impl EndpointStats {
     /// Requests that ended in an error so far.
     pub fn errors(&self) -> u64 {
         self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Parallel work chunks executed so far on behalf of this endpoint.
+    pub fn par_chunks(&self) -> u64 {
+        self.par_chunks.load(Ordering::Relaxed)
     }
 }
 
@@ -253,6 +264,21 @@ impl InProcessEndpoint {
         &self.engine
     }
 
+    /// A new endpoint over `dataset` that keeps this endpoint's
+    /// configuration and **shares** its statistics and plan cache
+    /// (Arc-cloned). [`SnapshotServer`](crate::client::SnapshotServer) uses
+    /// this to publish dataset epochs: cached plans carry the
+    /// stats-generation stamp they were optimized under, so queries against
+    /// the new snapshot re-optimize exactly when the statistics moved.
+    pub fn with_dataset(&self, dataset: Arc<Dataset>) -> Self {
+        InProcessEndpoint {
+            engine: Engine::with_config(dataset, self.engine.config().clone()),
+            config: self.config.clone(),
+            stats: Arc::clone(&self.stats),
+            plans: Arc::clone(&self.plans),
+        }
+    }
+
     /// Mutable engine access — the ingestion path for a live endpoint
     /// (`engine_mut().dataset_mut()` to append triples). Cached plans
     /// notice the resulting [`rdf_model::Dataset::stats_generation`] change
@@ -289,13 +315,16 @@ impl InProcessEndpoint {
         // Plan once per query text; evaluate per chunk (the HTTP model).
         // Paging inside the engine means only shipped rows materialize terms.
         let prepared = self.plans.get_or_prepare(&self.engine, sparql)?;
-        let (mut table, _stats) = self
+        let (mut table, exec_stats) = self
             .engine
             .execute_prepared(&prepared, Some((offset, limit)))
             .map_err(engine_error)?;
         self.stats
             .rows_returned
             .fetch_add(table.rows.len() as u64, Ordering::Relaxed);
+        self.stats
+            .par_chunks
+            .fetch_add(exec_stats.par_chunks, Ordering::Relaxed);
         match self.config.wire {
             WireFormat::None => {}
             WireFormat::Tsv => {

@@ -1,0 +1,163 @@
+//! Stress test for epoch-snapshot serving: concurrent readers must never
+//! observe a torn dataset, no matter how aggressively a writer publishes.
+//!
+//! The torn-read detector works by construction: every writer update
+//! appends **one matched pair** of triples — one to each of two graphs —
+//! inside a single epoch publication. A reader counts both graphs through
+//! one snapshot handle; if snapshots were ever assembled from mixed epochs
+//! (or a query could see a half-applied update), the two counts would
+//! disagree. Equality on every read, across thousands of reads racing
+//! hundreds of publications, is the invariant.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rdf_model::{Dataset, Graph, Term, Triple};
+use rdfframes_core::{KnowledgeGraph, SnapshotServer};
+
+const GRAPH_A: &str = "http://a";
+const GRAPH_B: &str = "http://b";
+const SEED_ROWS: usize = 300;
+
+fn pair(graph: &str, i: usize) -> Triple {
+    Triple::new(
+        Term::iri(format!("{graph}/s{i}")),
+        Term::iri("http://x/p"),
+        Term::iri(format!("{graph}/o{i}")),
+    )
+}
+
+fn dataset() -> Arc<Dataset> {
+    let mut ds = Dataset::new();
+    for uri in [GRAPH_A, GRAPH_B] {
+        let mut g = Graph::new();
+        for i in 0..SEED_ROWS {
+            g.insert(&pair(uri, i));
+        }
+        ds.insert_graph(uri, g);
+    }
+    Arc::new(ds)
+}
+
+fn scan_frame(graph: &str) -> rdfframes_core::RDFFrame {
+    KnowledgeGraph::new(graph).feature_domain_range("<http://x/p>", "s", "o")
+}
+
+/// Rows of graph `graph` visible through `snap`, via a real query.
+fn visible_rows(snap: &rdfframes_core::EpochEndpoints, graph: &str) -> i64 {
+    scan_frame(graph)
+        .execute(snap.embedded())
+        .expect("scan query failed")
+        .len() as i64
+}
+
+#[test]
+fn readers_never_observe_torn_epochs() {
+    let server = Arc::new(SnapshotServer::new(dataset()));
+    let stop = AtomicBool::new(false);
+    const UPDATES: usize = 200;
+    const READERS: usize = 4;
+
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..READERS {
+            readers.push(scope.spawn(|| {
+                let mut reads = 0u64;
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = server.snapshot();
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "published epochs went backwards"
+                    );
+                    last_epoch = snap.epoch();
+                    let a = visible_rows(&snap, GRAPH_A);
+                    let b = visible_rows(&snap, GRAPH_B);
+                    // Both graphs grow in lockstep within one epoch; a
+                    // mismatch means this snapshot mixed two epochs.
+                    assert_eq!(a, b, "torn read at epoch {}", snap.epoch());
+                    assert!(a >= SEED_ROWS as i64);
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+
+        // The writer appends the matched pair and publishes, as fast as it
+        // can, UPDATES times.
+        for u in 0..UPDATES {
+            let published = server.update(|ds| {
+                let i = SEED_ROWS + u;
+                assert_eq!(ds.append_triples(GRAPH_A, [pair(GRAPH_A, i)]), Some(1));
+                assert_eq!(ds.append_triples(GRAPH_B, [pair(GRAPH_B, i)]), Some(1));
+            });
+            assert_eq!(published.epoch(), (u + 1) as u64);
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        let total_reads: u64 = readers
+            .into_iter()
+            .map(|r| r.join().expect("reader panicked"))
+            .sum();
+        assert!(total_reads > 0, "readers never ran");
+    });
+
+    // All epochs drained: the final snapshot sees every appended pair.
+    assert_eq!(server.epochs_published(), UPDATES as u64 + 1);
+    let last = server.snapshot();
+    assert_eq!(last.epoch(), UPDATES as u64);
+    assert_eq!(visible_rows(&last, GRAPH_A), (SEED_ROWS + UPDATES) as i64);
+    assert_eq!(visible_rows(&last, GRAPH_B), (SEED_ROWS + UPDATES) as i64);
+}
+
+#[test]
+fn plan_cache_survives_epochs_and_reoptimizes_per_generation() {
+    let server = SnapshotServer::new(dataset());
+    let frame = scan_frame(GRAPH_A);
+    let model = rdfframes_core::model::generator::build_query_model(&frame).unwrap();
+
+    let snap0 = server.snapshot();
+    frame.execute(snap0.embedded()).unwrap();
+    let plan_epoch0 = snap0.embedded().cached_model_plan(&model).unwrap();
+
+    // Re-running on the same epoch reuses the exact cached plan object.
+    frame.execute(snap0.embedded()).unwrap();
+    assert!(Arc::ptr_eq(
+        &plan_epoch0,
+        &snap0.embedded().cached_model_plan(&model).unwrap()
+    ));
+
+    // The published epoch shares the cache but carries a new statistics
+    // generation: first use re-optimizes (new plan object), then sticks.
+    let snap1 = server.update(|ds| {
+        ds.append_triples(GRAPH_A, [pair(GRAPH_A, SEED_ROWS)]);
+    });
+    assert!(snap1.generation() > snap0.generation());
+    frame.execute(snap1.embedded()).unwrap();
+    let plan_epoch1 = snap1.embedded().cached_model_plan(&model).unwrap();
+    assert!(
+        !Arc::ptr_eq(&plan_epoch0, &plan_epoch1),
+        "stale plan served across a generation change"
+    );
+    frame.execute(snap1.embedded()).unwrap();
+    assert!(Arc::ptr_eq(
+        &plan_epoch1,
+        &snap1.embedded().cached_model_plan(&model).unwrap()
+    ));
+}
+
+#[test]
+fn old_snapshots_serve_unchanged_while_new_ones_advance() {
+    let server = SnapshotServer::new(dataset());
+    let old = server.snapshot();
+    let before = visible_rows(&old, GRAPH_A);
+    for u in 0..10 {
+        server.update(|ds| {
+            let i = SEED_ROWS + u;
+            ds.append_triples(GRAPH_A, [pair(GRAPH_A, i)]);
+        });
+        // The retained handle is frozen at its epoch's contents.
+        assert_eq!(visible_rows(&old, GRAPH_A), before);
+    }
+    assert_eq!(visible_rows(&server.snapshot(), GRAPH_A), before + 10);
+}

@@ -1,0 +1,533 @@
+//! Offline stand-in for the `rayon` crate: a hand-rolled work-stealing
+//! thread pool.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the minimal pool surface the engine's parallel operators use:
+//!
+//! - [`ThreadPool::scope`] — scoped task spawning (borrows from the
+//!   enclosing stack frame, all tasks joined before the scope returns),
+//! - [`ThreadPool::join`] — two-way fork/join,
+//! - [`ThreadPool::run_chunks`] — chunked parallel-for over an index
+//!   range, returning per-chunk results **in chunk order** so reductions
+//!   are deterministic regardless of which worker ran which chunk.
+//!
+//! Scheduling is work-stealing over per-worker deques: a worker pops its
+//! own queue LIFO and steals FIFO from a victim when empty. `new(n)`
+//! spawns `n - 1` background workers; the thread that submits work
+//! participates as the `n`-th executor while it waits, so an idle pool
+//! costs `n - 1` parked threads and a busy one uses exactly `n`.
+//!
+//! Steal counts are tracked per submitted batch (observability for the
+//! engine's `ExecStats`), and panics inside tasks are caught, recorded,
+//! and re-raised on the submitting thread after every task finished —
+//! never a deadlock, never a silently lost worker.
+
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// A lifetime-erased queued task. Soundness: every task is joined (via its
+/// batch's [`Latch`]) before the borrows it captures go out of scope — the
+/// same argument `std::thread::scope` makes.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Set by the executor right before running a task: did this task come
+    /// off another worker's queue? The task wrapper folds it into its
+    /// batch's steal counter.
+    static STOLEN: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Completion tracking for one batch of tasks (a scope or a chunked run).
+struct Latch {
+    pending: AtomicUsize,
+    poisoned: AtomicBool,
+    steals: AtomicU64,
+    done_mutex: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            pending: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            done_mutex: Mutex::new(()),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.done_mutex.lock().expect("latch mutex");
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// State shared between the pool handle and its background workers.
+struct Shared {
+    /// One deque per background worker (at least one even for a pool with
+    /// no workers, so a single-threaded pool can still queue and self-drain).
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Round-robin push target.
+    next_queue: AtomicUsize,
+    /// Total successful steals (one worker executing from another's queue)
+    /// over the pool's lifetime.
+    steals: AtomicU64,
+    shutdown: AtomicBool,
+    sleep_mutex: Mutex<()>,
+    wake_cv: Condvar,
+}
+
+impl Shared {
+    fn push(&self, task: Task) {
+        let q = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[q].lock().expect("task queue").push_back(task);
+        let _g = self.sleep_mutex.lock().expect("sleep mutex");
+        self.wake_cv.notify_all();
+    }
+
+    /// A worker's next task: own queue LIFO, then steal FIFO from victims.
+    fn take(&self, me: usize) -> Option<(Task, bool)> {
+        if let Some(t) = self.queues[me].lock().expect("task queue").pop_back() {
+            return Some((t, false));
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(t) = self.queues[victim].lock().expect("task queue").pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some((t, true));
+            }
+        }
+        None
+    }
+
+    /// The submitting thread's next task while it helps drain a batch (not
+    /// counted as a steal — the submitter has no home queue).
+    fn take_any(&self) -> Option<Task> {
+        for q in &self.queues {
+            if let Some(t) = q.lock().expect("task queue").pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn run(task: Task, stolen: bool) {
+        STOLEN.with(|s| s.set(stolen));
+        task();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    loop {
+        if let Some((task, stolen)) = shared.take(me) {
+            Shared::run(task, stolen);
+            continue;
+        }
+        let guard = shared.sleep_mutex.lock().expect("sleep mutex");
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Timed wait: a push between `take` and `wait` is re-checked within
+        // one tick even if its notify raced past us.
+        let _ = shared
+            .wake_cv
+            .wait_timeout(guard, Duration::from_millis(10))
+            .expect("sleep cv");
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// Results of one [`ThreadPool::run_chunks`] call.
+pub struct ChunkRun<R> {
+    /// Per-chunk results, **in chunk order** (chunk `c` covered rows
+    /// `[c * chunk_size, (c + 1) * chunk_size)`), independent of which
+    /// worker ran which chunk — the deterministic-reduction contract.
+    pub results: Vec<R>,
+    /// Chunks executed (including a single inline chunk).
+    pub chunks: u64,
+    /// Tasks of this run a worker executed from another worker's queue.
+    pub steals: u64,
+}
+
+/// A hand-rolled work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Pool with `threads`-way parallelism: `threads - 1` background
+    /// workers plus the submitting thread (which executes tasks while it
+    /// waits on a batch).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            queues: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            next_queue: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_mutex: Mutex::new(()),
+            wake_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("pool-worker-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// A process-wide pool of this size, created on first use and reused by
+    /// every later caller (queries share one set of workers instead of
+    /// spawning threads per evaluation).
+    pub fn global(threads: usize) -> Arc<ThreadPool> {
+        static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+        let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut pools = pools.lock().expect("pool registry");
+        Arc::clone(
+            pools
+                .entry(threads.max(1))
+                .or_insert_with(|| Arc::new(ThreadPool::new(threads))),
+        )
+    }
+
+    /// Configured parallelism (background workers + the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Lifetime steal count across all batches (monotonic).
+    pub fn total_steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Run `f` with a [`Scope`] that can spawn borrowing tasks. Every
+    /// spawned task completes before this returns (the submitting thread
+    /// executes queued tasks while it waits). A panicking task poisons the
+    /// scope, which re-panics here after all tasks finished.
+    pub fn scope<'env, F, R>(&'env self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        let latch = Arc::new(Latch::new());
+        let scope = Scope {
+            shared: &self.shared,
+            latch: Arc::clone(&latch),
+            scope: PhantomData,
+            env: PhantomData,
+        };
+        let result = {
+            // Waits for stragglers even if `f` unwinds, so borrows stay
+            // valid for as long as any task can run.
+            let _wait = WaitGuard {
+                shared: &self.shared,
+                latch: &latch,
+            };
+            f(&scope)
+        };
+        if latch.poisoned.load(Ordering::Acquire) {
+            panic!("a task spawned in ThreadPool::scope panicked");
+        }
+        result
+    }
+
+    /// Two-way fork/join: `a` runs as a pool task while `b` runs on the
+    /// calling thread.
+    pub fn join<A, B, FA, FB>(&self, a: FA, b: FB) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+        FA: FnOnce() -> A + Send,
+        FB: FnOnce() -> B + Send,
+    {
+        let mut ra = None;
+        let mut rb = None;
+        self.scope(|s| {
+            s.spawn(|| ra = Some(a()));
+            rb = Some(b());
+        });
+        (ra.expect("joined task ran"), rb.expect("inline task ran"))
+    }
+
+    /// Chunked parallel-for over `0..len`: chunk `c` covers
+    /// `[c * chunk_size, min((c + 1) * chunk_size, len))` and `f(c, range)`
+    /// runs once per chunk, on whichever executor gets to it first. Results
+    /// come back in chunk order ([`ChunkRun::results`]), so any
+    /// order-sensitive reduction over them is deterministic. A single-chunk
+    /// run executes inline with no queue traffic.
+    pub fn run_chunks<R, F>(&self, len: usize, chunk_size: usize, f: F) -> ChunkRun<R>
+    where
+        R: Send,
+        F: Fn(usize, Range<usize>) -> R + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let n_chunks = len.div_ceil(chunk_size);
+        if n_chunks <= 1 {
+            let results = if len == 0 {
+                Vec::new()
+            } else {
+                vec![f(0, 0..len)]
+            };
+            return ChunkRun {
+                results,
+                chunks: n_chunks as u64,
+                steals: 0,
+            };
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        let latch = Arc::new(Latch::new());
+        {
+            let slots_ref = &slots;
+            let f_ref = &f;
+            let _wait = WaitGuard {
+                shared: &self.shared,
+                latch: &latch,
+            };
+            for (c, slot) in slots_ref.iter().enumerate() {
+                let lo = c * chunk_size;
+                let hi = (lo + chunk_size).min(len);
+                latch.pending.fetch_add(1, Ordering::AcqRel);
+                let task_latch = Arc::clone(&latch);
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    if STOLEN.with(|s| s.get()) {
+                        task_latch.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f_ref(c, lo..hi))) {
+                        Ok(v) => *slot.lock().expect("chunk slot") = Some(v),
+                        Err(_) => task_latch.poisoned.store(true, Ordering::Release),
+                    }
+                    task_latch.complete();
+                });
+                // Erase the borrow lifetime; the WaitGuard above keeps the
+                // borrowed data alive until every task completed.
+                let task: Task =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+                self.shared.push(task);
+            }
+        }
+        if latch.poisoned.load(Ordering::Acquire) {
+            panic!("a chunk task in ThreadPool::run_chunks panicked");
+        }
+        ChunkRun {
+            results: slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("chunk slot")
+                        .expect("every chunk completed")
+                })
+                .collect(),
+            chunks: n_chunks as u64,
+            steals: latch.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Execute queued tasks on the calling thread until `latch` drains.
+    fn help_until(shared: &Shared, latch: &Latch) {
+        loop {
+            if latch.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if let Some(task) = shared.take_any() {
+                Shared::run(task, false);
+                continue;
+            }
+            let guard = latch.done_mutex.lock().expect("latch mutex");
+            if latch.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // Timed: a task queued by another task between `take_any` and
+            // `wait` is picked up within a tick.
+            let _ = latch
+                .done_cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .expect("latch cv");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.sleep_mutex.lock().expect("sleep mutex");
+            self.shared.wake_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Drains the batch on drop — including during an unwind — so no task can
+/// outlive the data it borrows.
+struct WaitGuard<'a> {
+    shared: &'a Shared,
+    latch: &'a Latch,
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        ThreadPool::help_until(self.shared, self.latch);
+    }
+}
+
+/// Spawn surface handed to [`ThreadPool::scope`] closures. The two
+/// invariant lifetimes reproduce `std::thread::scope`'s soundness argument:
+/// spawned closures may borrow anything outliving the `scope` call (`'env`)
+/// and nothing shorter.
+pub struct Scope<'scope, 'env: 'scope> {
+    shared: &'scope Arc<Shared>,
+    latch: Arc<Latch>,
+    scope: PhantomData<&'scope mut &'scope ()>,
+    env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    /// Queue a task; it runs on some pool executor before the enclosing
+    /// [`ThreadPool::scope`] returns.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.pending.fetch_add(1, Ordering::AcqRel);
+        let latch = Arc::clone(&self.latch);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if STOLEN.with(|s| s.get()) {
+                latch.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            if catch_unwind(AssertUnwindSafe(f)).is_err() {
+                latch.poisoned.store(true, Ordering::Release);
+            }
+            latch.complete();
+        });
+        // Erase `'scope`; the scope's WaitGuard joins every task before the
+        // borrowed data can go away.
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
+        self.shared.push(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_results_come_back_in_chunk_order() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<u64> = (0..10_000).collect();
+        let run = pool.run_chunks(data.len(), 256, |c, range| {
+            (c, data[range].iter().sum::<u64>())
+        });
+        assert_eq!(run.chunks, 40);
+        // Chunk indexes in order, sums reduce to the sequential total.
+        for (i, (c, _)) in run.results.iter().enumerate() {
+            assert_eq!(i, *c);
+        }
+        let total: u64 = run.results.iter().map(|(_, s)| s).sum();
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn chunk_order_is_identical_across_runs_and_pool_sizes() {
+        let data: Vec<u64> = (0..5_000).map(|i| i * 7 % 1013).collect();
+        let reduce = |pool: &ThreadPool, chunk: usize| -> Vec<u64> {
+            pool.run_chunks(data.len(), chunk, |_, range| data[range].to_vec())
+                .results
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        let seq: Vec<u64> = data.clone();
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            for chunk in [1, 64, 333, 5_000, 10_000] {
+                assert_eq!(reduce(&pool, chunk), seq, "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_spawn_borrows_and_joins() {
+        let pool = ThreadPool::new(3);
+        let data = [1u64, 2, 3, 4];
+        let partials: Vec<Mutex<u64>> = (0..4).map(|_| Mutex::new(0)).collect();
+        pool.scope(|s| {
+            for (i, v) in data.iter().enumerate() {
+                let slot = &partials[i];
+                s.spawn(move || *slot.lock().unwrap() = v * 10);
+            }
+        });
+        let got: Vec<u64> = partials.iter().map(|m| *m.lock().unwrap()).collect();
+        assert_eq!(got, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn single_threaded_pool_still_completes_everything() {
+        let pool = ThreadPool::new(1);
+        let run = pool.run_chunks(1_000, 100, |_, range| range.len());
+        assert_eq!(run.results.iter().sum::<usize>(), 1_000);
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn task_panic_is_propagated_not_deadlocked() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_chunks(100, 10, |c, _| {
+                if c == 5 {
+                    panic!("boom");
+                }
+                c
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives and serves later batches.
+        let run = pool.run_chunks(10, 5, |_, range| range.len());
+        assert_eq!(run.results.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn global_pools_are_shared_by_size() {
+        let a = ThreadPool::global(3);
+        let b = ThreadPool::global(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = ThreadPool::global(2);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

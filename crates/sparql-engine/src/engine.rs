@@ -101,12 +101,27 @@ pub struct EngineConfig {
     /// The deadline clock starts when an evaluator is created for a query,
     /// so each `execute_*`/`cursor` call gets the full allowance.
     pub budget: QueryBudget,
+    /// Worker threads for the columnar evaluator's parallel operators (BGP
+    /// extension, single-key hash join, mergeable GROUP BY). `1` (the
+    /// default) runs fully sequential; `n > 1` fans large inputs out over a
+    /// shared work-stealing pool. Results are byte-identical at any thread
+    /// count, and `rows_scanned` parity is exact. The oracle evaluators
+    /// ([`EvalMode::IdNative`], [`EvalMode::TermReference`]) always run
+    /// sequentially.
+    pub threads: usize,
 }
 
 impl EngineConfig {
     /// The default configuration: optimizer on (all rewrites), columnar
-    /// evaluation.
+    /// evaluation. Thread count comes from `RDFFRAMES_THREADS` when set
+    /// (so whole test suites can re-run parallel without code changes),
+    /// defaulting to 1.
     pub fn new() -> Self {
+        let threads = std::env::var("RDFFRAMES_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
         EngineConfig {
             optimize: true,
             eval_mode: EvalMode::Columnar,
@@ -117,6 +132,7 @@ impl EngineConfig {
             sorted_group_by: true,
             rank_order_by: true,
             budget: QueryBudget::unlimited(),
+            threads,
         }
     }
 }
@@ -145,6 +161,17 @@ pub struct ExecStats {
     /// GROUP BY operators that grouped by linear run detection over sorted
     /// input instead of hashing (columnar evaluator only).
     pub sorted_groups: u64,
+    /// Configured worker count the query ran with (1 = sequential).
+    pub par_workers: u64,
+    /// Chunks processed by parallel operator runs (0 when sequential or
+    /// every input stayed under the parallel threshold).
+    pub par_chunks: u64,
+    /// Chunk tasks executed by a worker other than the one they were queued
+    /// on (work stealing actually rebalanced).
+    pub par_steals: u64,
+    /// Nanoseconds spent folding parallel chunk results back together in
+    /// chunk order (the deterministic merge phases).
+    pub par_merge_nanos: u64,
 }
 
 /// A query that has been parsed, translated, and optimized once and can be
@@ -206,6 +233,12 @@ impl Engine {
     /// the mutation through [`Dataset::stats_generation`].
     pub fn dataset_mut(&mut self) -> Option<&mut Dataset> {
         Arc::get_mut(&mut self.dataset)
+    }
+
+    /// The engine's configuration (read-only; construct a new engine to
+    /// change it).
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Parse, translate, and (per configuration) optimize a SELECT query
@@ -273,16 +306,22 @@ impl Engine {
                 let mut evaluator = Evaluator::new(&self.dataset, prepared.from.clone());
                 evaluator.set_rank_sort(self.config.rank_order_by);
                 evaluator.set_budget(&self.config.budget);
+                evaluator.set_threads(self.config.threads);
                 let table = match page {
                     None => evaluator.eval(plan)?,
                     Some((offset, limit)) => evaluator.eval_page(plan, offset, limit)?,
                 };
+                let par = evaluator.par_stats();
                 let stats = ExecStats {
                     rows_scanned: evaluator.rows_scanned(),
                     merge_joins: evaluator.merge_joins(),
                     merge_left_joins: evaluator.merge_left_joins(),
                     sorted_distincts: evaluator.sorted_distincts(),
                     sorted_groups: evaluator.sorted_groups(),
+                    par_workers: evaluator.threads() as u64,
+                    par_chunks: par.chunks,
+                    par_steals: par.steals,
+                    par_merge_nanos: par.merge_nanos,
                 };
                 Ok((table, stats))
             }
@@ -336,13 +375,19 @@ impl Engine {
         let mut evaluator = Evaluator::new(&self.dataset, prepared.from.clone());
         evaluator.set_rank_sort(self.config.rank_order_by);
         evaluator.set_budget(&self.config.budget);
+        evaluator.set_threads(self.config.threads);
         let table = evaluator.eval_to_ids(&prepared.plan)?;
+        let par = evaluator.par_stats();
         let stats = ExecStats {
             rows_scanned: evaluator.rows_scanned(),
             merge_joins: evaluator.merge_joins(),
             merge_left_joins: evaluator.merge_left_joins(),
             sorted_distincts: evaluator.sorted_distincts(),
             sorted_groups: evaluator.sorted_groups(),
+            par_workers: evaluator.threads() as u64,
+            par_chunks: par.chunks,
+            par_steals: par.steals,
+            par_merge_nanos: par.merge_nanos,
         };
         Ok(QueryCursor {
             table,

@@ -31,18 +31,52 @@
 
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
+use std::ops::Range;
 use std::sync::Arc;
+use std::time::Instant;
 
 use rdf_model::term::{Literal, TypedValue};
 use rdf_model::{Dataset, Graph, GraphIdMap, Term, TermId};
 
 use crate::algebra::{AggSpec, GraphRef, Plan, PushedFilter};
 use crate::ast::{AggOp, Expr, OrderKey, PatternTerm, TriplePattern};
-use crate::budget::{BudgetMeter, QueryBudget};
+use crate::budget::{BudgetMeter, OpMeter, QueryBudget, SharedMeter};
 use crate::error::{EngineError, Result};
 use crate::expr::{ebv, eval_expr, id_equality_shape, AggState, EvalCaches, IdRowCtx, PushedEval};
 use crate::pool::TermPool;
 use crate::results::{Column, IdTable, SolutionTable};
+
+/// Inputs below this row count run sequentially even with parallelism on:
+/// the fan-out overhead (task queueing, per-chunk state) dwarfs the work.
+const PAR_MIN_ROWS: usize = 256;
+
+/// Chunk size for a parallel operator: aim for ~4 chunks per worker (so
+/// work stealing can rebalance skew) but never chunks so small the
+/// per-chunk setup dominates.
+fn par_chunk_size(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads.max(1) * 4).max(128)
+}
+
+/// Parallel execution context: a shared work-stealing pool plus the
+/// configured degree. Cloning shares the pool.
+#[derive(Clone)]
+struct ParCtx {
+    pool: Arc<rayon::ThreadPool>,
+    threads: usize,
+}
+
+/// Observability counters for parallel operator runs (exposed through
+/// [`crate::engine::ExecStats`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ParStats {
+    /// Chunks executed across all parallel operator runs.
+    pub chunks: u64,
+    /// Chunk tasks a worker stole from another worker's queue.
+    pub steals: u64,
+    /// Nanoseconds spent in the single-threaded merge phases that fold
+    /// chunk results back together in chunk order.
+    pub merge_nanos: u64,
+}
 
 /// Columnar id-native plan evaluator bound to a dataset.
 pub struct Evaluator<'a> {
@@ -63,6 +97,10 @@ pub struct Evaluator<'a> {
     /// Reused row buffer for expression contexts (the only place the
     /// columnar layout is transposed back to a row).
     scratch: Vec<Option<TermId>>,
+    /// Parallel execution context (`None` = sequential, the default).
+    par: Option<ParCtx>,
+    /// Counters from parallel operator runs.
+    par_stats: ParStats,
 }
 
 impl<'a> Evaluator<'a> {
@@ -81,7 +119,31 @@ impl<'a> Evaluator<'a> {
             sorted_groups: 0,
             rank_sort: true,
             scratch: Vec::new(),
+            par: None,
+            par_stats: ParStats::default(),
         }
+    }
+
+    /// Enable `n`-way parallel execution of the hot operators (BGP
+    /// extension, single-key hash join, mergeable GROUP BY). `n <= 1`
+    /// disables it. Output is byte-identical to sequential execution —
+    /// chunk results are folded back in chunk order, which reproduces row
+    /// order exactly — and `rows_scanned` parity is exact.
+    pub fn set_threads(&mut self, n: usize) {
+        self.par = (n > 1).then(|| ParCtx {
+            pool: rayon::ThreadPool::global(n),
+            threads: n,
+        });
+    }
+
+    /// Configured parallelism degree (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.par.as_ref().map_or(1, |p| p.threads)
+    }
+
+    /// Counters from parallel operator runs so far.
+    pub fn par_stats(&self) -> ParStats {
+        self.par_stats
     }
 
     /// Total index entries scanned so far (a deterministic work metric used
@@ -198,7 +260,14 @@ impl<'a> Evaluator<'a> {
             Plan::Join(a, b) => {
                 let left = self.eval_ids(a)?;
                 let right = self.eval_ids(b)?;
-                join(left, right, JoinKind::Inner, &mut self.meter)
+                join(
+                    left,
+                    right,
+                    JoinKind::Inner,
+                    &mut self.meter,
+                    self.par.as_ref(),
+                    &mut self.par_stats,
+                )
             }
             Plan::MergeJoin { left, right, key } => {
                 let left = self.eval_ids(left)?;
@@ -213,7 +282,14 @@ impl<'a> Evaluator<'a> {
             Plan::LeftJoin(a, b) => {
                 let left = self.eval_ids(a)?;
                 let right = self.eval_ids(b)?;
-                join(left, right, JoinKind::Left, &mut self.meter)
+                join(
+                    left,
+                    right,
+                    JoinKind::Left,
+                    &mut self.meter,
+                    self.par.as_ref(),
+                    &mut self.par_stats,
+                )
             }
             Plan::Union(a, b) => {
                 let left = self.eval_ids(a)?;
@@ -434,7 +510,6 @@ impl<'a> Evaluator<'a> {
         // re-borrows `self` (the work counter accumulates locally).
         let dataset = self.dataset;
         let pool = &self.pool;
-        let caches = &mut self.caches;
         let mut scanned = 0u64;
 
         // Compile each pushed filter at its shared attachment pattern
@@ -456,10 +531,6 @@ impl<'a> Evaluator<'a> {
         // A variable is bound in *all* rows once any earlier pattern
         // mentioned it (every surviving row passed through that pattern).
         let mut bound = vec![false; width];
-
-        // Match buffers reused across patterns.
-        let mut src: Vec<u32> = Vec::new();
-        let mut vals: Vec<Vec<TermId>> = Vec::new();
 
         for (pi, pattern) in patterns.iter().enumerate() {
             if cur_len == 0 {
@@ -504,94 +575,113 @@ impl<'a> Evaluator<'a> {
             }
 
             // Filters firing at this pattern, routed to the value slot
-            // their variable binds into.
-            let mut checks: Vec<(usize, &mut PushedEval)> = Vec::new();
-            for (col, pe) in pattern_filters[pi].iter_mut() {
-                let slot = free_cols
-                    .iter()
-                    .position(|c| c == col)
-                    .expect("filter var is newly bound at its attachment pattern");
-                checks.push((slot, pe));
-            }
+            // their variable binds into. Owned (not borrowed from
+            // `pattern_filters`): the parallel path clones them per chunk,
+            // and each compiled filter serves exactly this one pattern, so
+            // its memo's lifetime is unchanged.
+            let mut checks: Vec<(usize, PushedEval)> = std::mem::take(&mut pattern_filters[pi])
+                .into_iter()
+                .map(|(col, pe)| {
+                    let slot = free_cols
+                        .iter()
+                        .position(|c| *c == col)
+                        .expect("filter var is newly bound at its attachment pattern");
+                    (slot, pe)
+                })
+                .collect();
 
-            src.clear();
-            vals.iter_mut().for_each(Vec::clear);
-            vals.resize(free_cols.len(), Vec::new());
-
-            for i in 0..cur_len {
-                let row_start = scanned;
-                for (g, map, slots) in &pats {
-                    // Refine slots against row `i`: an already-bound
-                    // variable whose global id has no local id in this
-                    // graph can match nothing here.
-                    let mut refined = [None; 3];
-                    let mut ok = true;
-                    for (pos, slot) in slots.iter().enumerate() {
-                        refined[pos] = match slot {
-                            Slot::Bound(local) => Some(*local),
-                            Slot::Var(col) if bound[*col] => {
-                                match map.to_local(cur[*col].ids()[i]) {
-                                    Some(local) => Some(local),
-                                    None => {
-                                        ok = false;
-                                        break;
-                                    }
+            let n_slots = free_cols.len();
+            let (pat_src, mut pat_vals, pat_scanned) = match &self.par {
+                Some(p) if cur_len >= PAR_MIN_ROWS => {
+                    // Fan the input rows out over chunks; each chunk runs
+                    // the identical loop body with its own buffers, filter
+                    // clones, caches, and a worker handle on the shared
+                    // budget. Concatenating results in chunk order below
+                    // reproduces the sequential output byte for byte.
+                    let chunk = par_chunk_size(cur_len, p.threads);
+                    let n_chunks = cur_len.div_ceil(chunk);
+                    let shared = SharedMeter::new(&self.meter, n_chunks);
+                    let pats_ref = &pats;
+                    let cur_ref = &cur;
+                    let bound_ref = &bound;
+                    let primaries_ref = &primaries;
+                    let dup_ref = &dup_checks;
+                    let checks_ref = &checks;
+                    let run = p.pool.run_chunks(cur_len, chunk, |ci, range| {
+                        let mut chunk_checks = checks_ref.clone();
+                        let mut chunk_caches = EvalCaches::new();
+                        let mut wm = shared.worker(ci);
+                        bgp_scan_rows(
+                            range,
+                            pats_ref,
+                            cur_ref,
+                            bound_ref,
+                            primaries_ref,
+                            dup_ref,
+                            &mut chunk_checks,
+                            n_slots,
+                            pool,
+                            &mut chunk_caches,
+                            &mut wm,
+                        )
+                    });
+                    self.par_stats.chunks += run.chunks;
+                    self.par_stats.steals += run.steals;
+                    let merge_start = Instant::now();
+                    let mut src: Vec<u32> = Vec::new();
+                    let mut vals: Vec<Vec<TermId>> = (0..n_slots).map(|_| Vec::new()).collect();
+                    let mut pat_scanned = 0u64;
+                    let mut chunk_err: Option<EngineError> = None;
+                    for r in run.results {
+                        match r {
+                            Ok((s, v, n)) => {
+                                pat_scanned += n;
+                                src.extend_from_slice(&s);
+                                for (dst, sv) in vals.iter_mut().zip(v) {
+                                    dst.extend(sv);
                                 }
                             }
-                            Slot::Var(_) => None,
-                        };
+                            Err(e) => {
+                                chunk_err.get_or_insert(e);
+                            }
+                        }
                     }
-                    if !ok {
-                        continue;
+                    self.par_stats.merge_nanos += merge_start.elapsed().as_nanos() as u64;
+                    // Fold worker scan charges back and surface the first
+                    // recorded trip (sequential behavior: a tripped pattern
+                    // does not update `rows_scanned`).
+                    shared.finish(&mut self.meter)?;
+                    if let Some(e) = chunk_err {
+                        return Err(e);
                     }
-                    let row = i as u32;
-                    scanned +=
-                        g.for_each_match(refined[0], refined[1], refined[2], |ms, mp, mo| {
-                            let m = [ms, mp, mo];
-                            if dup_checks.iter().any(|&(a, b)| m[a] != m[b]) {
-                                return;
-                            }
-                            // Translate newly-bound values first: pushed
-                            // filters test global ids, and a rejected
-                            // candidate must touch no buffer at all.
-                            let mut globals = [TermId(0); 3];
-                            for &(slot, pos) in &primaries {
-                                globals[slot] = map.to_global(m[pos]);
-                            }
-                            for (slot, pe) in checks.iter_mut() {
-                                if !pe.test(globals[*slot], pool, caches) {
-                                    return;
-                                }
-                            }
-                            src.push(row);
-                            for &(slot, _) in &primaries {
-                                vals[slot].push(globals[slot]);
-                            }
-                        });
+                    (src, vals, pat_scanned)
                 }
-                // Budget checkpoint between rows: the scan work this row
-                // added, plus (when the periodic poll fires) the match
-                // buffers' current size. `for_each_match` has no early
-                // exit, so overshoot is bounded by one row's matches.
-                if self.meter.charge_scan(scanned - row_start)? {
-                    let bytes = (src.len() as u64).saturating_mul(4).saturating_add(
-                        vals.iter()
-                            .fold(0u64, |a, v| a.saturating_add(v.len() as u64 * 4)),
-                    );
-                    self.meter.charge_intermediate(src.len() as u64, bytes)?;
-                }
-            }
+                _ => bgp_scan_rows(
+                    0..cur_len,
+                    &pats,
+                    &cur,
+                    &bound,
+                    &primaries,
+                    &dup_checks,
+                    &mut checks,
+                    n_slots,
+                    pool,
+                    &mut self.caches,
+                    &mut self.meter,
+                )?,
+            };
+            scanned += pat_scanned;
 
             // Assemble the next table column-at-a-time.
-            let total = src.len();
+            let total = pat_src.len();
             let mut next: Vec<Column> = Vec::with_capacity(width);
             for (col, cur_col) in cur.iter().enumerate() {
                 if bound[col] {
                     let mut out = Column::with_capacity(total);
-                    out.gather_from(cur_col, &src);
+                    out.gather_from(cur_col, &pat_src);
                     next.push(out);
                 } else if let Some(slot) = free_cols.iter().position(|&c| c == col) {
-                    next.push(Column::from_ids(std::mem::take(&mut vals[slot])));
+                    next.push(Column::from_ids(std::mem::take(&mut pat_vals[slot])));
                 } else {
                     next.push(Column::absent(total));
                 }
@@ -653,7 +743,14 @@ impl<'a> Evaluator<'a> {
                 return merge_join(left, right, lc, rc, kind, &mut self.meter);
             }
         }
-        join(left, right, kind, &mut self.meter)
+        join(
+            left,
+            right,
+            kind,
+            &mut self.meter,
+            self.par.as_ref(),
+            &mut self.par_stats,
+        )
     }
 
     /// Pattern-level slot for one position: a constant bound to its local id
@@ -780,6 +877,282 @@ impl<'a> Evaluator<'a> {
             Sorted(Vec<usize>),
         }
         let sorted_cols = self.sorted_group_columns(sorted_on, keys, &input);
+
+        // Rough per-group footprint (key ids + accumulator state) for the
+        // memory axis: grouping state is the one allocation that grows
+        // without a corresponding operator output until the loop ends.
+        let group_bytes =
+            (keys.len() as u64).saturating_mul(16) + (aggs.len() as u64).saturating_mul(64);
+
+        // Parallel grouping: eligible when the input is large, grouping is
+        // by hash (run detection is already one cheap sequential pass), and
+        // every aggregate merges across chunks without order sensitivity —
+        // COUNT/COUNT(*) (count sums / seen-set unions), SAMPLE (first
+        // non-empty in chunk order), and id-native MIN/MAX (strict-
+        // improvement merge in chunk order preserves first-wins ties).
+        // `f64` SUM/AVG stay sequential: float addition is non-associative
+        // and byte-identical output is the contract.
+        let par_eligible = sorted_cols.is_none()
+            && input.len() >= PAR_MIN_ROWS
+            && plans.iter().zip(aggs).all(|(plan, spec)| match plan {
+                AggPlan::Star | AggPlan::CountCol { .. } | AggPlan::SampleCol { .. } => true,
+                AggPlan::NumericCol { .. } => matches!(spec.op, AggOp::Min | AggOp::Max),
+                AggPlan::General(_) => false,
+            });
+        if par_eligible {
+            if let Some(p) = self.par.clone() {
+                // Chunk-local accumulator restricted to the mergeable
+                // shapes (mirrors the sequential accumulators exactly).
+                enum ParAccum {
+                    Count {
+                        seen: Option<HashSet<TermId>>,
+                        count: usize,
+                    },
+                    MinMax(Option<(TermId, NumVal)>),
+                    First(Option<TermId>),
+                }
+                // Encoded group key: bijective cell codes, so code equality
+                // is cell equality (same contract as the sequential index).
+                #[derive(Clone, PartialEq, Eq, Hash)]
+                enum KeyEnc {
+                    One(u64),
+                    Many(Vec<u64>),
+                }
+                let fresh_par = |plans: &[AggPlan]| -> Vec<ParAccum> {
+                    plans
+                        .iter()
+                        .map(|plan| match plan {
+                            AggPlan::Star => ParAccum::Count {
+                                seen: None,
+                                count: 0,
+                            },
+                            AggPlan::CountCol { distinct, .. } => ParAccum::Count {
+                                seen: distinct.then(HashSet::new),
+                                count: 0,
+                            },
+                            AggPlan::NumericCol { .. } => ParAccum::MinMax(None),
+                            AggPlan::SampleCol { .. } => ParAccum::First(None),
+                            AggPlan::General(_) => unreachable!("gated out of the parallel path"),
+                        })
+                        .collect()
+                };
+
+                let chunk = par_chunk_size(input.len(), p.threads);
+                let n_chunks = input.len().div_ceil(chunk);
+                let shared = SharedMeter::new(&self.meter, n_chunks);
+                let pool = &self.pool;
+                let input_ref = &input;
+                let plans_ref = &plans;
+                let key_idx_ref = &key_indices;
+                let single_key = key_indices.len() == 1;
+                let run = p.pool.run_chunks(input.len(), chunk, |ci, range| {
+                    let mut wm = shared.worker(ci);
+                    let mut map: HashMap<KeyEnc, usize> = HashMap::new();
+                    let mut groups: Vec<(KeyEnc, Vec<Option<TermId>>, Vec<ParAccum>)> = Vec::new();
+                    for i in range {
+                        // Same per-row budget shape as the sequential loop;
+                        // the shared meter sums live group state across
+                        // chunks (that memory really is held concurrently).
+                        wm.charge_intermediate(
+                            groups.len() as u64,
+                            (groups.len() as u64).saturating_mul(group_bytes),
+                        )?;
+                        let enc = if single_key {
+                            KeyEnc::One(match key_idx_ref[0] {
+                                Some(c) => input_ref.col(c).hash_code(i),
+                                None => 0,
+                            })
+                        } else {
+                            KeyEnc::Many(
+                                key_idx_ref
+                                    .iter()
+                                    .map(|ki| match ki {
+                                        Some(c) => input_ref.col(*c).hash_code(i),
+                                        None => 0,
+                                    })
+                                    .collect(),
+                            )
+                        };
+                        let slot = map.entry(enc.clone()).or_insert(usize::MAX);
+                        let gi = if *slot == usize::MAX {
+                            *slot = groups.len();
+                            let key: Vec<Option<TermId>> = key_idx_ref
+                                .iter()
+                                .map(|ki| ki.and_then(|c| input_ref.get(i, c)))
+                                .collect();
+                            groups.push((enc, key, fresh_par(plans_ref)));
+                            groups.len() - 1
+                        } else {
+                            *slot
+                        };
+                        for ((accum, plan), spec) in
+                            groups[gi].2.iter_mut().zip(plans_ref.iter()).zip(aggs)
+                        {
+                            match (accum, plan) {
+                                (ParAccum::Count { count, .. }, AggPlan::Star) => *count += 1,
+                                (
+                                    ParAccum::Count { seen, count },
+                                    AggPlan::CountCol { idx, .. },
+                                ) => {
+                                    if let Some(id) = input_ref.get(i, *idx) {
+                                        match seen {
+                                            Some(set) => {
+                                                if set.insert(id) {
+                                                    *count += 1;
+                                                }
+                                            }
+                                            None => *count += 1,
+                                        }
+                                    }
+                                }
+                                (ParAccum::MinMax(best), AggPlan::NumericCol { idx, .. }) => {
+                                    if let Some(id) = input_ref.get(i, *idx) {
+                                        let v = match pool.resolve(id) {
+                                            Term::Literal(l) => match l.parsed {
+                                                TypedValue::Integer(x) => NumVal::I(x),
+                                                TypedValue::Double(d) => NumVal::D(d),
+                                                _ => unreachable!("numeric_column checked"),
+                                            },
+                                            _ => unreachable!("numeric_column checked"),
+                                        };
+                                        let better = match spec.op {
+                                            AggOp::Min => Ordering::Less,
+                                            _ => Ordering::Greater,
+                                        };
+                                        if best.is_none_or(|(_, m)| v.cmp_sparql(m) == better) {
+                                            *best = Some((id, v));
+                                        }
+                                    }
+                                }
+                                (ParAccum::First(first), AggPlan::SampleCol { idx }) => {
+                                    if first.is_none() {
+                                        *first = input_ref.get(i, *idx);
+                                    }
+                                }
+                                _ => unreachable!("accumulator/plan shape mismatch"),
+                            }
+                        }
+                    }
+                    Ok::<_, EngineError>(groups)
+                });
+                self.par_stats.chunks += run.chunks;
+                self.par_stats.steals += run.steals;
+
+                // Merge chunk groups in chunk order: chunk concatenation
+                // order is row order, so the first chunk (and within it the
+                // first row) to produce a key is the global first
+                // occurrence — the sequential group order exactly.
+                let merge_start = Instant::now();
+                let mut global: HashMap<KeyEnc, usize> = HashMap::new();
+                let mut merged: Vec<(Vec<Option<TermId>>, Vec<ParAccum>)> = Vec::new();
+                let mut chunk_err: Option<EngineError> = None;
+                for r in run.results {
+                    let chunk_groups = match r {
+                        Ok(g) => g,
+                        Err(e) => {
+                            chunk_err.get_or_insert(e);
+                            continue;
+                        }
+                    };
+                    for (enc, key, accums) in chunk_groups {
+                        let slot = global.entry(enc).or_insert(usize::MAX);
+                        if *slot == usize::MAX {
+                            *slot = merged.len();
+                            merged.push((key, accums));
+                            continue;
+                        }
+                        let dst = &mut merged[*slot].1;
+                        for ((d, s), spec) in dst.iter_mut().zip(accums).zip(aggs) {
+                            match (d, s) {
+                                (
+                                    ParAccum::Count { seen: None, count },
+                                    ParAccum::Count {
+                                        seen: None,
+                                        count: c2,
+                                    },
+                                ) => *count += c2,
+                                (
+                                    ParAccum::Count {
+                                        seen: Some(set),
+                                        count,
+                                    },
+                                    ParAccum::Count {
+                                        seen: Some(other), ..
+                                    },
+                                ) => {
+                                    // Distinct count = size of the union.
+                                    for id in other {
+                                        if set.insert(id) {
+                                            *count += 1;
+                                        }
+                                    }
+                                }
+                                (ParAccum::MinMax(best), ParAccum::MinMax(theirs)) => {
+                                    if let Some((id, v)) = theirs {
+                                        let better = match spec.op {
+                                            AggOp::Min => Ordering::Less,
+                                            _ => Ordering::Greater,
+                                        };
+                                        // Strict improvement only: a tie
+                                        // keeps the earlier chunk's id
+                                        // (first-wins, like row order).
+                                        if best.is_none_or(|(_, m)| v.cmp_sparql(m) == better) {
+                                            *best = Some((id, v));
+                                        }
+                                    }
+                                }
+                                (ParAccum::First(first), ParAccum::First(theirs)) => {
+                                    if first.is_none() {
+                                        *first = theirs;
+                                    }
+                                }
+                                _ => unreachable!("accumulator shape mismatch across chunks"),
+                            }
+                        }
+                    }
+                }
+                self.par_stats.merge_nanos += merge_start.elapsed().as_nanos() as u64;
+                shared.finish(&mut self.meter)?;
+                if let Some(e) = chunk_err {
+                    return Err(e);
+                }
+                self.meter.charge_intermediate(
+                    merged.len() as u64,
+                    (merged.len() as u64).saturating_mul(group_bytes),
+                )?;
+
+                // Finish on the main thread in merged (= sequential) order:
+                // every interned term and its order match the sequential
+                // path, keeping the pool state identical too.
+                let mut out_vars: Vec<String> = keys.to_vec();
+                out_vars.extend(aggs.iter().map(|a| a.output.clone()));
+                let mut key_cols: Vec<Column> = (0..keys.len())
+                    .map(|_| Column::with_capacity(merged.len()))
+                    .collect();
+                let mut agg_cols: Vec<Column> = (0..aggs.len())
+                    .map(|_| Column::with_capacity(merged.len()))
+                    .collect();
+                let n_groups = merged.len();
+                for (key, accums) in merged {
+                    for (col, v) in key_cols.iter_mut().zip(key) {
+                        col.push(v);
+                    }
+                    for (col, accum) in agg_cols.iter_mut().zip(accums) {
+                        let value: Option<TermId> = match accum {
+                            ParAccum::Count { count, .. } => {
+                                Some(self.pool.intern(Term::integer(count as i64)))
+                            }
+                            ParAccum::MinMax(best) => best.map(|(id, _)| id),
+                            ParAccum::First(id) => id,
+                        };
+                        col.push(value);
+                    }
+                }
+                key_cols.extend(agg_cols);
+                return Ok(IdTable::from_columns(out_vars, key_cols, n_groups));
+            }
+        }
+
         let mut index = match sorted_cols {
             Some(cols) => {
                 self.sorted_groups += 1;
@@ -798,11 +1171,6 @@ impl<'a> Evaluator<'a> {
             groups.push((Vec::new(), fresh_accums(aggs, &plans)));
         }
 
-        // Rough per-group footprint (key ids + accumulator state) for the
-        // memory axis: grouping state is the one allocation that grows
-        // without a corresponding operator output until the loop ends.
-        let group_bytes =
-            (keys.len() as u64).saturating_mul(16) + (aggs.len() as u64).saturating_mul(64);
         for i in 0..input.len() {
             self.meter.charge_intermediate(
                 groups.len() as u64,
@@ -1170,6 +1538,99 @@ fn compare_keyed(keys: &[OrderKey], a: &KeyedRow, b: &KeyedRow) -> Ordering {
     a.1.cmp(&b.1)
 }
 
+/// One BGP extension pass over the input rows in `rows` for a single
+/// pattern: refine the pattern's slots against each row, scan every graph's
+/// access path, apply duplicate-variable and pushed-filter checks, and
+/// append matches as a gather index (the *global* input row number) plus
+/// one value per newly-bound slot.
+///
+/// Factored out of [`Evaluator::eval_bgp`] so the sequential path (whole
+/// range, the evaluator's [`BudgetMeter`]) and each parallel chunk
+/// (sub-range, a [`crate::budget::WorkerMeter`]) run the identical loop
+/// body: concatenating chunk results in chunk order reproduces the
+/// sequential match order exactly (gather indexes ascend within and across
+/// chunks), and summing the returned scan counts reproduces `rows_scanned`
+/// exactly (per-row scan work is independent of the partitioning).
+#[allow(clippy::too_many_arguments)]
+fn bgp_scan_rows<M: OpMeter>(
+    rows: Range<usize>,
+    pats: &[(&Graph, &GraphIdMap, [Slot; 3])],
+    cur: &[Column],
+    bound: &[bool],
+    primaries: &[(usize, usize)],
+    dup_checks: &[(usize, usize)],
+    checks: &mut [(usize, PushedEval)],
+    n_slots: usize,
+    pool: &TermPool,
+    caches: &mut EvalCaches,
+    meter: &mut M,
+) -> Result<(Vec<u32>, Vec<Vec<TermId>>, u64)> {
+    let mut src: Vec<u32> = Vec::new();
+    let mut vals: Vec<Vec<TermId>> = (0..n_slots).map(|_| Vec::new()).collect();
+    let mut scanned = 0u64;
+    for i in rows {
+        let row_start = scanned;
+        for (g, map, slots) in pats {
+            // Refine slots against row `i`: an already-bound variable whose
+            // global id has no local id in this graph can match nothing
+            // here.
+            let mut refined = [None; 3];
+            let mut ok = true;
+            for (pos, slot) in slots.iter().enumerate() {
+                refined[pos] = match slot {
+                    Slot::Bound(local) => Some(*local),
+                    Slot::Var(col) if bound[*col] => match map.to_local(cur[*col].ids()[i]) {
+                        Some(local) => Some(local),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                    Slot::Var(_) => None,
+                };
+            }
+            if !ok {
+                continue;
+            }
+            let row = i as u32;
+            scanned += g.for_each_match(refined[0], refined[1], refined[2], |ms, mp, mo| {
+                let m = [ms, mp, mo];
+                if dup_checks.iter().any(|&(a, b)| m[a] != m[b]) {
+                    return;
+                }
+                // Translate newly-bound values first: pushed filters test
+                // global ids, and a rejected candidate must touch no
+                // buffer at all.
+                let mut globals = [TermId(0); 3];
+                for &(slot, pos) in primaries {
+                    globals[slot] = map.to_global(m[pos]);
+                }
+                for (slot, pe) in checks.iter_mut() {
+                    if !pe.test(globals[*slot], pool, caches) {
+                        return;
+                    }
+                }
+                src.push(row);
+                for &(slot, _) in primaries {
+                    vals[slot].push(globals[slot]);
+                }
+            });
+        }
+        // Budget checkpoint between rows: the scan work this row added,
+        // plus (when the periodic poll fires) the match buffers' current
+        // size. `for_each_match` has no early exit, so overshoot is
+        // bounded by one row's matches per executing worker.
+        if meter.charge_scan(scanned - row_start)? {
+            let bytes = (src.len() as u64).saturating_mul(4).saturating_add(
+                vals.iter()
+                    .fold(0u64, |a, v| a.saturating_add(v.len() as u64 * 4)),
+            );
+            meter.charge_intermediate(src.len() as u64, bytes)?;
+        }
+    }
+    Ok((src, vals, scanned))
+}
+
 /// Pattern-level binding of one triple position.
 enum Slot {
     /// Constant, resolved to the graph's local id.
@@ -1311,7 +1772,21 @@ const NO_MATCH: u32 = u32::MAX;
 /// before any output column exists, so every probe strategy checks it
 /// against the budget between left rows (overshoot bounded by one left
 /// row's candidates).
-fn join(left: IdTable, right: IdTable, kind: JoinKind, meter: &mut BudgetMeter) -> Result<IdTable> {
+///
+/// With a parallel context, the single-key path runs partitioned: each
+/// build chunk indexes its own right-row range, and each probe chunk walks
+/// *all* chunk maps in chunk order — right-row indexes ascend within a
+/// chunk map and across maps, so every left row sees its candidates in
+/// exactly the sequential bucket order, and concatenating per-chunk pair
+/// lists in chunk order reproduces the sequential pair list byte for byte.
+fn join(
+    left: IdTable,
+    right: IdTable,
+    kind: JoinKind,
+    meter: &mut BudgetMeter,
+    par: Option<&ParCtx>,
+    par_stats: &mut ParStats,
+) -> Result<IdTable> {
     let shape = JoinShape::new(&left, &right);
 
     // Positions (within the shared vars) usable as hash key.
@@ -1330,24 +1805,88 @@ fn join(left: IdTable, right: IdTable, kind: JoinKind, meter: &mut BudgetMeter) 
         // Single-column key (the common case): hash raw ids.
         let lk = left.col(l_idx[key_positions[0]]);
         let rk = right.col(r_idx[key_positions[0]]);
-        let mut table: HashMap<TermId, Vec<u32>> = HashMap::with_capacity(right.len());
-        for (ri, &id) in rk.ids().iter().enumerate() {
-            table.entry(id).or_default().push(ri as u32);
-        }
-        for (li, &id) in lk.ids().iter().enumerate() {
-            let mut matched = false;
-            if let Some(candidates) = table.get(&id) {
-                for &ri in candidates {
-                    if compatible(li, ri as usize) {
-                        pairs.push((li as u32, ri));
-                        matched = true;
+        let par_run = par.filter(|_| left.len() >= PAR_MIN_ROWS);
+        if let Some(p) = par_run {
+            // Partitioned build: each chunk indexes its right-row range.
+            let build_chunk = par_chunk_size(right.len(), p.threads);
+            let build = p.pool.run_chunks(right.len(), build_chunk, |_ci, range| {
+                let mut m: HashMap<TermId, Vec<u32>> = HashMap::with_capacity(range.len());
+                for ri in range {
+                    m.entry(rk.ids()[ri]).or_default().push(ri as u32);
+                }
+                m
+            });
+            par_stats.chunks += build.chunks;
+            par_stats.steals += build.steals;
+            let maps = build.results;
+            // Chunked probe: a left row probes every chunk map in chunk
+            // order, seeing candidates in ascending right-row order — the
+            // sequential bucket order.
+            let probe_chunk = par_chunk_size(left.len(), p.threads);
+            let n_chunks = left.len().div_ceil(probe_chunk);
+            let shared = SharedMeter::new(meter, n_chunks);
+            let maps_ref = &maps;
+            let compatible_ref = &compatible;
+            let probe = p.pool.run_chunks(left.len(), probe_chunk, |ci, range| {
+                let mut wm = shared.worker(ci);
+                let mut out: Vec<(u32, u32)> = Vec::new();
+                for li in range {
+                    let id = lk.ids()[li];
+                    let mut matched = false;
+                    for m in maps_ref {
+                        if let Some(candidates) = m.get(&id) {
+                            for &ri in candidates {
+                                if compatible_ref(li, ri as usize) {
+                                    out.push((li as u32, ri));
+                                    matched = true;
+                                }
+                            }
+                        }
+                    }
+                    if !matched && kind == JoinKind::Left {
+                        out.push((li as u32, NO_MATCH));
+                    }
+                    wm.charge_intermediate(out.len() as u64, out.len() as u64 * 8)?;
+                }
+                Ok::<_, EngineError>(out)
+            });
+            par_stats.chunks += probe.chunks;
+            par_stats.steals += probe.steals;
+            let merge_start = Instant::now();
+            let mut chunk_err: Option<EngineError> = None;
+            for r in probe.results {
+                match r {
+                    Ok(mut v) => pairs.append(&mut v),
+                    Err(e) => {
+                        chunk_err.get_or_insert(e);
                     }
                 }
             }
-            if !matched && kind == JoinKind::Left {
-                pairs.push((li as u32, NO_MATCH));
+            par_stats.merge_nanos += merge_start.elapsed().as_nanos() as u64;
+            shared.finish(meter)?;
+            if let Some(e) = chunk_err {
+                return Err(e);
             }
-            meter.charge_intermediate(pairs.len() as u64, pairs.len() as u64 * 8)?;
+        } else {
+            let mut table: HashMap<TermId, Vec<u32>> = HashMap::with_capacity(right.len());
+            for (ri, &id) in rk.ids().iter().enumerate() {
+                table.entry(id).or_default().push(ri as u32);
+            }
+            for (li, &id) in lk.ids().iter().enumerate() {
+                let mut matched = false;
+                if let Some(candidates) = table.get(&id) {
+                    for &ri in candidates {
+                        if compatible(li, ri as usize) {
+                            pairs.push((li as u32, ri));
+                            matched = true;
+                        }
+                    }
+                }
+                if !matched && kind == JoinKind::Left {
+                    pairs.push((li as u32, NO_MATCH));
+                }
+                meter.charge_intermediate(pairs.len() as u64, pairs.len() as u64 * 8)?;
+            }
         }
     } else if !key_positions.is_empty() || shape.shared_len() == 0 {
         // Multi-column (or empty = cross-product bucket) key.
@@ -1696,7 +2235,15 @@ mod tests {
     fn inner_join_on_shared() {
         let a = tbl(&["x", "y"], vec![vec![i(1), i(10)], vec![i(2), i(20)]]);
         let b = tbl(&["x", "z"], vec![vec![i(1), i(100)], vec![i(3), i(300)]]);
-        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
+        let j = join(
+            a,
+            b,
+            JoinKind::Inner,
+            &mut BudgetMeter::unlimited(),
+            None,
+            &mut ParStats::default(),
+        )
+        .unwrap();
         assert_eq!(j.vars, vec!["x", "y", "z"]);
         assert_eq!(rows_of(&j), vec![vec![i(1), i(10), i(100)]]);
     }
@@ -1705,7 +2252,15 @@ mod tests {
     fn left_join_keeps_unmatched() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
         let b = tbl(&["x", "z"], vec![vec![i(1), i(100)]]);
-        let j = join(a, b, JoinKind::Left, &mut BudgetMeter::unlimited()).unwrap();
+        let j = join(
+            a,
+            b,
+            JoinKind::Left,
+            &mut BudgetMeter::unlimited(),
+            None,
+            &mut ParStats::default(),
+        )
+        .unwrap();
         assert_eq!(j.len(), 2);
         assert_eq!(rows_of(&j)[1], vec![i(2), None]);
     }
@@ -1716,7 +2271,15 @@ mod tests {
         // output): unbound is compatible with anything.
         let a = tbl(&["x", "g"], vec![vec![i(1), None], vec![i(2), i(9)]]);
         let b = tbl(&["x", "g"], vec![vec![i(1), i(7)], vec![i(2), i(8)]]);
-        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
+        let j = join(
+            a,
+            b,
+            JoinKind::Inner,
+            &mut BudgetMeter::unlimited(),
+            None,
+            &mut ParStats::default(),
+        )
+        .unwrap();
         // Row (1, None) joins (1, 7) → (1, 7); row (2, 9) vs (2, 8) clash.
         assert_eq!(rows_of(&j), vec![vec![i(1), i(7)]]);
     }
@@ -1725,7 +2288,15 @@ mod tests {
     fn cross_product_when_no_shared() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(2)]]);
         let b = tbl(&["y"], vec![vec![i(3)]]);
-        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
+        let j = join(
+            a,
+            b,
+            JoinKind::Inner,
+            &mut BudgetMeter::unlimited(),
+            None,
+            &mut ParStats::default(),
+        )
+        .unwrap();
         assert_eq!(j.len(), 2);
     }
 
@@ -1743,7 +2314,15 @@ mod tests {
     fn bag_semantics_preserved() {
         let a = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
         let b = tbl(&["x"], vec![vec![i(1)], vec![i(1)]]);
-        let j = join(a, b, JoinKind::Inner, &mut BudgetMeter::unlimited()).unwrap();
+        let j = join(
+            a,
+            b,
+            JoinKind::Inner,
+            &mut BudgetMeter::unlimited(),
+            None,
+            &mut ParStats::default(),
+        )
+        .unwrap();
         // 2 × 2 duplicates → 4 rows.
         assert_eq!(j.len(), 4);
     }
@@ -1756,6 +2335,8 @@ mod tests {
             a,
             JoinKind::Inner,
             &mut BudgetMeter::unlimited(),
+            None,
+            &mut ParStats::default(),
         )
         .unwrap();
         assert_eq!(j.vars, vec!["x"]);
@@ -1783,6 +2364,8 @@ mod tests {
             right.clone(),
             JoinKind::Left,
             &mut BudgetMeter::unlimited(),
+            None,
+            &mut ParStats::default(),
         )
         .unwrap();
         let via_merge = merge_join(

@@ -27,6 +27,13 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 echo "==> cargo test"
 cargo test -q
 
+# Thread-count invariance: the whole suite again with the work-stealing
+# pool on. Any test whose result, work count, or error type depends on
+# the number of engine threads is a determinism-contract violation and
+# fails here.
+echo "==> cargo test (RDFFRAMES_THREADS=4)"
+RDFFRAMES_THREADS=4 cargo test -q
+
 # Budget-meter arithmetic is saturating by contract; run the enforcement
 # suite under the dev profile (debug assertions ON, so any overflow in
 # meter arithmetic aborts instead of wrapping). `cargo test -q` above
@@ -54,14 +61,17 @@ cargo test -q -p rdfframes-core --test restart_semantics
 if [[ "$run_bench" == 1 ]]; then
     snapshot=$(mktemp -d)
     trap 'rm -rf "$snapshot"' EXIT
-    cp BENCH_eval.json BENCH_frames.json "$snapshot"/ 2>/dev/null || true
+    cp BENCH_eval.json BENCH_frames.json BENCH_concurrent.json "$snapshot"/ 2>/dev/null || true
     echo "==> eval_bench smoke (--scale 64)"
     cargo run --release -p bench --bin eval_bench -- --scale 64
     echo "==> frame_bench smoke (--scale 64)"
     cargo run --release -p bench --bin frame_bench -- --scale 64
+    echo "==> concurrent_bench smoke (--scale 64)"
+    cargo run --release -p bench --bin concurrent_bench -- --scale 64
     # Restore the pre-run results files (working tree, not HEAD — do not
     # clobber uncommitted full-scale measurements).
-    cp "$snapshot"/BENCH_eval.json "$snapshot"/BENCH_frames.json . 2>/dev/null || true
+    cp "$snapshot"/BENCH_eval.json "$snapshot"/BENCH_frames.json \
+       "$snapshot"/BENCH_concurrent.json . 2>/dev/null || true
 fi
 
 echo "==> all checks passed"
