@@ -18,6 +18,20 @@
 //!    during the window — readers never block on the writer beyond the
 //!    epoch pointer swap.
 //!
+//! 3. **Durability tax** — the same readers-vs-writer race, with the
+//!    writer's publications running durability off (plain
+//!    [`SnapshotServer`]), WAL-commit-per-update, and WAL-per-update with
+//!    threshold-coalesced checkpoints ([`DurableSnapshotServer`] over a
+//!    `MemVfs`). Reported per mode: publish p50/p99, epochs, reader
+//!    qps/p99, and the store's commit/checkpoint counters. The backing
+//!    store is in-memory, so the tax measured is WAL serialization and
+//!    checkpoint copying — real `fsync` cost comes on top of this floor.
+//!
+//! 4. **Overload** — submitters hammer a [`DurableSnapshotServer`] whose
+//!    admission limit is far below the offered concurrency; reported:
+//!    submitted/admitted/shed counts (which must reconcile exactly) and
+//!    the accepted-query throughput while shedding.
+//!
 //! Results go to `BENCH_concurrent.json`.
 //!
 //! Usage: `cargo run --release -p bench --bin concurrent_bench [--scale N]`
@@ -30,8 +44,11 @@ use std::time::{Duration, Instant};
 use bench::casestudies::{self, CaseParams};
 use bench::data;
 use bench::queries;
+use rdf_model::persist::{MemVfs, Vfs};
 use rdf_model::{Term, Triple};
-use rdfframes_core::{EmbeddedEndpoint, RDFFrame, SnapshotServer};
+use rdfframes_core::{
+    DurableSnapshotServer, EmbeddedEndpoint, FrameError, RDFFrame, ServingConfig, SnapshotServer,
+};
 use sparql_engine::EngineConfig;
 
 /// Timed repetitions per (workload, thread-count) cell.
@@ -169,16 +186,18 @@ fn serve(scale: usize, n_readers: usize) -> ServeOutcome {
             let mut published = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 let n = published;
-                server.update(|ds| {
-                    ds.append_triples(
-                        data::uris::DBPEDIA,
-                        [Triple::new(
-                            Term::iri(format!("http://dbpedia.org/resource/NewMovie{n}")),
-                            Term::iri("http://dbpedia.org/property/starring"),
-                            Term::iri(format!("http://dbpedia.org/resource/NewActor{n}")),
-                        )],
-                    );
-                });
+                server
+                    .update(|ds| {
+                        ds.append_triples(
+                            data::uris::DBPEDIA,
+                            [Triple::new(
+                                Term::iri(format!("http://dbpedia.org/resource/NewMovie{n}")),
+                                Term::iri("http://dbpedia.org/property/starring"),
+                                Term::iri(format!("http://dbpedia.org/resource/NewActor{n}")),
+                            )],
+                        );
+                    })
+                    .expect("publish failed");
                 published += 1;
             }
             published
@@ -211,6 +230,271 @@ fn serve(scale: usize, n_readers: usize) -> ServeOutcome {
     // Sanity: one epoch per writer update call, no drift.
     assert_eq!(out.epochs, writer_updates, "epoch counter drifted");
     out
+}
+
+/// The triple the writer appends on publication `n`.
+fn write_triple(n: u64) -> Triple {
+    Triple::new(
+        Term::iri(format!("http://dbpedia.org/resource/NewMovie{n}")),
+        Term::iri("http://dbpedia.org/property/starring"),
+        Term::iri(format!("http://dbpedia.org/resource/NewActor{n}")),
+    )
+}
+
+/// Writer-side durability swept by experiment 3.
+#[derive(Clone, Copy, PartialEq)]
+enum Durability {
+    /// Plain [`SnapshotServer`]: publish is a pointer swap, nothing survives
+    /// a crash.
+    Off,
+    /// [`DurableSnapshotServer`], WAL commit before every publish, no
+    /// checkpoints during the window.
+    WalEachUpdate,
+    /// WAL commit per publish plus threshold-coalesced checkpoints.
+    WalCheckpoint,
+}
+
+impl Durability {
+    fn label(self) -> &'static str {
+        match self {
+            Durability::Off => "off",
+            Durability::WalEachUpdate => "wal_per_update",
+            Durability::WalCheckpoint => "wal_checkpoint_coalesced",
+        }
+    }
+}
+
+/// Checkpoint-coalescing threshold for [`Durability::WalCheckpoint`]. Low
+/// enough that single-triple appends actually reach it within the window
+/// even at full scale (where publishes are slow and only a few dozen
+/// epochs fit), so the sweep shows real checkpoint spikes, not an idle
+/// policy.
+const COALESCE_WAL_BYTES: u64 = 1 << 10;
+/// Reader threads held constant across the durability sweep.
+const TAX_READERS: usize = 2;
+
+/// A durable server over `MemVfs`, seeded with the benchmark dataset and
+/// checkpointed so the measurement window starts from an empty WAL.
+fn seed_durable(scale: usize, config: ServingConfig) -> DurableSnapshotServer {
+    let server = DurableSnapshotServer::open(Arc::new(MemVfs::new()) as Arc<dyn Vfs>, config)
+        .expect("open durable server");
+    let ds = data::build_dataset(scale);
+    for uri in ds.graph_uris() {
+        server
+            .insert_graph(uri, ds.graph(uri).unwrap())
+            .expect("seed graph");
+    }
+    server.checkpoint().expect("seed checkpoint");
+    server
+}
+
+/// One serving surface for the durability sweep: same read path, different
+/// writer-side durability.
+enum TaxServer {
+    Plain(SnapshotServer),
+    Durable(Box<DurableSnapshotServer>),
+}
+
+impl TaxServer {
+    fn build(scale: usize, mode: Durability) -> TaxServer {
+        match mode {
+            Durability::Off => TaxServer::Plain(SnapshotServer::new(data::build_dataset(scale))),
+            Durability::WalEachUpdate => TaxServer::Durable(Box::new(seed_durable(
+                scale,
+                ServingConfig {
+                    checkpoint_wal_bytes: None,
+                    ..ServingConfig::default()
+                },
+            ))),
+            Durability::WalCheckpoint => TaxServer::Durable(Box::new(seed_durable(
+                scale,
+                ServingConfig {
+                    checkpoint_wal_bytes: Some(COALESCE_WAL_BYTES),
+                    ..ServingConfig::default()
+                },
+            ))),
+        }
+    }
+
+    fn snapshot(&self) -> Arc<rdfframes_core::EpochEndpoints> {
+        match self {
+            TaxServer::Plain(s) => s.snapshot(),
+            TaxServer::Durable(s) => s.snapshot(),
+        }
+    }
+
+    fn publish(&self, n: u64) {
+        match self {
+            TaxServer::Plain(s) => {
+                s.update(|ds| {
+                    ds.append_triples(data::uris::DBPEDIA, [write_triple(n)]);
+                })
+                .expect("publish failed");
+            }
+            TaxServer::Durable(s) => {
+                s.append_triples(data::uris::DBPEDIA, vec![write_triple(n)])
+                    .expect("publish failed");
+            }
+        }
+    }
+
+    fn epochs_published(&self) -> u64 {
+        match self {
+            TaxServer::Plain(s) => s.epochs_published(),
+            TaxServer::Durable(s) => s.stats().epochs_published,
+        }
+    }
+
+    /// `(wal_commits, checkpoints)` so far; zeros for the in-memory server.
+    fn store_counters(&self) -> (u64, u64) {
+        match self {
+            TaxServer::Plain(_) => (0, 0),
+            TaxServer::Durable(s) => {
+                let st = s.store_stats();
+                (st.commits, st.checkpoints)
+            }
+        }
+    }
+}
+
+struct TaxOutcome {
+    publish_p50: Duration,
+    publish_p99: Duration,
+    epochs: u64,
+    reader_qps: f64,
+    reader_p99: Duration,
+    wal_commits: u64,
+    checkpoints: u64,
+}
+
+/// Experiment 3 cell: readers race a writer whose publications run at the
+/// given durability level; both sides' latencies are sampled.
+fn serve_tax(scale: usize, mode: Durability) -> TaxOutcome {
+    let server = TaxServer::build(scale, mode);
+    let frame = data::dbpedia_graph().feature_domain_range("dbpp:starring", "movie", "actor");
+    let epochs_before = server.epochs_published();
+    let (commits_before, checkpoints_before) = server.store_counters();
+    let stop = AtomicBool::new(false);
+    let (reader_lat, publish_lat) = std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..TAX_READERS {
+            readers.push(scope.spawn(|| {
+                let mut lat = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = server.snapshot();
+                    let start = Instant::now();
+                    let df = frame.execute(snap.embedded()).expect("reader query failed");
+                    lat.push(start.elapsed());
+                    assert!(!df.is_empty(), "reader saw an empty result");
+                }
+                lat
+            }));
+        }
+        let writer = scope.spawn(|| {
+            let mut lat = Vec::new();
+            let mut published = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let start = Instant::now();
+                server.publish(published);
+                lat.push(start.elapsed());
+                published += 1;
+            }
+            lat
+        });
+        std::thread::sleep(SERVE_WINDOW);
+        stop.store(true, Ordering::Relaxed);
+        let mut lat: Vec<Duration> = Vec::new();
+        for r in readers {
+            lat.extend(r.join().expect("reader panicked"));
+        }
+        (lat, writer.join().expect("writer panicked"))
+    });
+    let mut reader_sorted = reader_lat;
+    reader_sorted.sort();
+    let mut publish_sorted = publish_lat;
+    publish_sorted.sort();
+    let (commits_after, checkpoints_after) = server.store_counters();
+    let epochs = server.epochs_published() - epochs_before;
+    assert_eq!(epochs, publish_sorted.len() as u64, "epoch counter drifted");
+    TaxOutcome {
+        publish_p50: percentile(&publish_sorted, 50.0),
+        publish_p99: percentile(&publish_sorted, 99.0),
+        epochs,
+        reader_qps: reader_sorted.len() as f64 / SERVE_WINDOW.as_secs_f64(),
+        reader_p99: percentile(&reader_sorted, 99.0),
+        wal_commits: commits_after - commits_before,
+        checkpoints: checkpoints_after - checkpoints_before,
+    }
+}
+
+/// Offered concurrency in the overload experiment — far above the limit.
+const OVERLOAD_SUBMITTERS: usize = 8;
+/// Admission limit the overload experiment pins the server at.
+const OVERLOAD_MAX_IN_FLIGHT: usize = 2;
+
+struct OverloadOutcome {
+    submitted: u64,
+    admitted: u64,
+    shed: u64,
+    completed: u64,
+    accepted_qps: f64,
+}
+
+/// Experiment 4: hammer the governed front door with far more concurrency
+/// than the admission limit; every rejection must be a typed
+/// [`FrameError::Overloaded`], and the counters must reconcile exactly.
+fn overload(scale: usize) -> OverloadOutcome {
+    let server = seed_durable(
+        scale,
+        ServingConfig {
+            max_in_flight: OVERLOAD_MAX_IN_FLIGHT,
+            max_waiters: 0,
+            max_wait: Duration::ZERO,
+            checkpoint_wal_bytes: None,
+            ..ServingConfig::default()
+        },
+    );
+    let frame = data::dbpedia_graph().feature_domain_range("dbpp:starring", "movie", "actor");
+    let stop = AtomicBool::new(false);
+    let completed: u64 = std::thread::scope(|scope| {
+        let mut submitters = Vec::new();
+        for _ in 0..OVERLOAD_SUBMITTERS {
+            submitters.push(scope.spawn(|| {
+                let mut ok = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match server.execute(&frame) {
+                        Ok(df) => {
+                            assert!(!df.is_empty());
+                            ok += 1;
+                        }
+                        Err(FrameError::Overloaded(_)) => {}
+                        Err(e) => panic!("unexpected error under overload: {e}"),
+                    }
+                }
+                ok
+            }));
+        }
+        std::thread::sleep(SERVE_WINDOW);
+        stop.store(true, Ordering::Relaxed);
+        submitters
+            .into_iter()
+            .map(|s| s.join().expect("submitter panicked"))
+            .sum()
+    });
+    let stats = server.stats();
+    assert_eq!(
+        stats.admitted + stats.shed,
+        stats.submitted,
+        "admission counters must reconcile"
+    );
+    assert_eq!(stats.admitted, completed, "every admitted query completed");
+    OverloadOutcome {
+        submitted: stats.submitted,
+        admitted: stats.admitted,
+        shed: stats.shed,
+        completed,
+        accepted_qps: completed as f64 / SERVE_WINDOW.as_secs_f64(),
+    }
 }
 
 fn main() {
@@ -339,7 +623,91 @@ fn main() {
             if ri + 1 < READERS.len() { "," } else { "" }
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+
+    // ── Experiment 3: durability tax ──────────────────────────────────
+    println!(
+        "\n{:<26} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8} {:>6}",
+        "durability",
+        "pub p50 (ms)",
+        "pub p99 (ms)",
+        "epochs",
+        "rd qps",
+        "rd p99",
+        "commits",
+        "ckpts"
+    );
+    let modes = [
+        Durability::Off,
+        Durability::WalEachUpdate,
+        Durability::WalCheckpoint,
+    ];
+    let _ = writeln!(json, "  \"durability_tax\": [");
+    for (mi, &mode) in modes.iter().enumerate() {
+        let out = serve_tax(scale, mode);
+        println!(
+            "{:<26} {:>12.4} {:>12.4} {:>8} {:>10.1} {:>10.3} {:>8} {:>6}",
+            mode.label(),
+            out.publish_p50.as_secs_f64() * 1e3,
+            out.publish_p99.as_secs_f64() * 1e3,
+            out.epochs,
+            out.reader_qps,
+            out.reader_p99.as_secs_f64() * 1e3,
+            out.wal_commits,
+            out.checkpoints
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"mode\": \"{}\",", mode.label());
+        let _ = writeln!(json, "      \"readers\": {TAX_READERS},");
+        let _ = writeln!(json, "      \"window_ms\": {},", SERVE_WINDOW.as_millis());
+        let _ = writeln!(
+            json,
+            "      \"publish_p50_ms\": {:.4},",
+            out.publish_p50.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            json,
+            "      \"publish_p99_ms\": {:.4},",
+            out.publish_p99.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(json, "      \"epochs_published\": {},", out.epochs);
+        let _ = writeln!(json, "      \"reader_qps\": {:.1},", out.reader_qps);
+        let _ = writeln!(
+            json,
+            "      \"reader_p99_ms\": {:.3},",
+            out.reader_p99.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(json, "      \"wal_commits\": {},", out.wal_commits);
+        let _ = writeln!(json, "      \"checkpoints\": {}", out.checkpoints);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if mi + 1 < modes.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    // ── Experiment 4: overload shedding ───────────────────────────────
+    let over = overload(scale);
+    println!(
+        "\noverload: {} submitters vs limit {} → submitted {} admitted {} shed {} ({:.1} accepted qps)",
+        OVERLOAD_SUBMITTERS,
+        OVERLOAD_MAX_IN_FLIGHT,
+        over.submitted,
+        over.admitted,
+        over.shed,
+        over.accepted_qps
+    );
+    let _ = writeln!(json, "  \"overload\": {{");
+    let _ = writeln!(json, "    \"submitters\": {OVERLOAD_SUBMITTERS},");
+    let _ = writeln!(json, "    \"max_in_flight\": {OVERLOAD_MAX_IN_FLIGHT},");
+    let _ = writeln!(json, "    \"window_ms\": {},", SERVE_WINDOW.as_millis());
+    let _ = writeln!(json, "    \"submitted\": {},", over.submitted);
+    let _ = writeln!(json, "    \"admitted\": {},", over.admitted);
+    let _ = writeln!(json, "    \"shed\": {},", over.shed);
+    let _ = writeln!(json, "    \"completed\": {},", over.completed);
+    let _ = writeln!(json, "    \"accepted_qps\": {:.1}", over.accepted_qps);
+    let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
     std::fs::write("BENCH_concurrent.json", &json).expect("write BENCH_concurrent.json");

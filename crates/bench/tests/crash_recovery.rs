@@ -118,6 +118,16 @@ fn run_until_failure(vfs: Arc<MemVfs>, ops: &[Op]) -> u64 {
             Err(_) => break,
         }
     }
+    // Telemetry invariant: in this workload every checkpoint follows at
+    // least one commit, and both counters only count completed operations,
+    // so no crash point may leave more checkpoints than commits recorded.
+    let stats = store.stats();
+    assert!(
+        stats.checkpoints <= stats.commits,
+        "checkpoints {} exceed commits {}",
+        stats.checkpoints,
+        stats.commits
+    );
     last_ok_gen
 }
 

@@ -21,7 +21,7 @@ pub mod store;
 pub mod vfs;
 pub mod wal;
 
-pub use store::{RecoveryReport, Store, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, WAL_FILE};
+pub use store::{RecoveryReport, Store, StoreStats, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, WAL_FILE};
 pub use vfs::{FaultPlan, MemVfs, StdVfs, Vfs};
 pub use wal::WalRecord;
 

@@ -75,11 +75,33 @@ pub struct RecoveryReport {
     pub torn_bytes_truncated: u64,
 }
 
+/// Cumulative durability telemetry over a store's open-to-drop lifetime.
+///
+/// Counters start at what [`Store::open`] observed (`recoveries`,
+/// recovery-time `wal_bytes_truncated`) and grow with use; they are *not*
+/// persisted, so a reopened store starts fresh. The serving layer surfaces
+/// them so an operator can see the write-path cost (commits vs
+/// checkpoints) and whether crashes ever tore the log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Mutations durably committed through the WAL (append succeeded).
+    pub commits: u64,
+    /// Checkpoints completed end-to-end (snapshot renamed *and* WAL reset).
+    pub checkpoints: u64,
+    /// Bytes of WAL discarded as invalid: torn tails cut at recovery plus
+    /// torn frames rolled back after a failed commit append.
+    pub wal_bytes_truncated: u64,
+    /// 1 when [`Store::open`] found prior state to recover (a snapshot, WAL
+    /// records to replay or skip, or a torn tail); 0 for a fresh directory.
+    pub recoveries: u64,
+}
+
 /// A durable, crash-consistent [`Dataset`].
 pub struct Store {
     vfs: Arc<dyn Vfs>,
     dataset: Dataset,
     recovery: RecoveryReport,
+    stats: StoreStats,
     /// Length of the valid (whole-frame) WAL prefix on disk.
     wal_len: u64,
     /// Set when a failed commit could not be rolled back; all further
@@ -138,10 +160,20 @@ impl Store {
         // A leftover snapshot.tmp is a checkpoint that died before its
         // rename; it was never authoritative.
         vfs.remove(SNAPSHOT_TMP_FILE)?;
+        let recovered = recovery.snapshot_loaded
+            || recovery.replayed > 0
+            || recovery.skipped > 0
+            || recovery.torn_bytes_truncated > 0;
+        let stats = StoreStats {
+            wal_bytes_truncated: recovery.torn_bytes_truncated,
+            recoveries: u64::from(recovered),
+            ..StoreStats::default()
+        };
         Ok(Store {
             vfs,
             dataset,
             recovery,
+            stats,
             wal_len,
             poisoned: false,
         })
@@ -189,11 +221,16 @@ impl Store {
         match self.vfs.append(WAL_FILE, &frame) {
             Ok(()) => {
                 self.wal_len += frame.len() as u64;
+                self.stats.commits += 1;
                 Self::apply(&mut self.dataset, rec)
             }
             Err(e) => {
                 if self.vfs.truncate(WAL_FILE, self.wal_len).is_err() {
                     self.poisoned = true;
+                } else {
+                    // The torn frame (up to `frame.len()` bytes of it) is
+                    // gone from the log.
+                    self.stats.wal_bytes_truncated += frame.len() as u64;
                 }
                 Err(e)
             }
@@ -248,6 +285,7 @@ impl Store {
         match self.vfs.write(WAL_FILE, WAL_MAGIC) {
             Ok(()) => {
                 self.wal_len = WAL_MAGIC.len() as u64;
+                self.stats.checkpoints += 1;
                 Ok(())
             }
             Err(e) => {
@@ -270,6 +308,11 @@ impl Store {
     /// What recovery found when this store was opened.
     pub fn recovery(&self) -> &RecoveryReport {
         &self.recovery
+    }
+
+    /// Durability telemetry accumulated since this store was opened.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
     }
 
     /// Length of the valid WAL prefix on disk (magic + whole frames).
@@ -405,6 +448,8 @@ mod tests {
         // Memory untouched, log truncated back to whole frames.
         assert!(store.dataset().is_empty());
         assert!(!store.is_poisoned());
+        assert_eq!(store.stats().commits, 0);
+        assert!(store.stats().wal_bytes_truncated > 0);
         assert_eq!(
             vfs.len(WAL_FILE).unwrap(),
             Some(WAL_MAGIC.len() as u64),
@@ -435,6 +480,34 @@ mod tests {
         let store2 = Store::open(Arc::new(MemVfs::reopen_from(&vfs))).unwrap();
         assert!(store2.dataset().is_empty());
         assert!(store2.recovery().torn_bytes_truncated > 0);
+        assert_eq!(store2.stats().recoveries, 1);
+        assert_eq!(
+            store2.stats().wal_bytes_truncated,
+            store2.recovery().torn_bytes_truncated
+        );
+    }
+
+    #[test]
+    fn store_stats_account_commits_checkpoints_and_recoveries() {
+        let vfs = Arc::new(MemVfs::new());
+        let mut store = Store::open(vfs.clone()).unwrap();
+        assert_eq!(store.stats(), StoreStats::default());
+        store.insert_graph("http://g", &small_graph(3)).unwrap();
+        store.append_triples("http://g", vec![triple(10)]).unwrap();
+        assert_eq!(store.stats().commits, 2);
+        assert_eq!(store.stats().checkpoints, 0);
+        store.checkpoint().unwrap();
+        let s = store.stats();
+        assert_eq!(s.checkpoints, 1);
+        assert!(s.checkpoints <= s.commits);
+        assert_eq!(s.recoveries, 0, "a fresh directory is not a recovery");
+        // Counters are per-lifetime: a reopen observes one recovery and
+        // starts the mutation counters over.
+        let store2 = Store::open(Arc::new(MemVfs::reopen_from(&vfs))).unwrap();
+        let s2 = store2.stats();
+        assert_eq!(s2.recoveries, 1);
+        assert_eq!(s2.commits, 0);
+        assert_eq!(s2.checkpoints, 0);
     }
 
     #[test]

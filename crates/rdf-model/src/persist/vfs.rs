@@ -212,6 +212,17 @@ impl MemVfs {
         fresh
     }
 
+    /// Arm (or replace) the fault plan on a live VFS — lets a test build
+    /// clean state first and inject faults only for the phase under test.
+    /// Budgets count from this call onward; a disk that already crashed
+    /// stays crashed.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let mut st = self.state.lock().expect("state lock");
+        st.write_budget = plan.crash_after_bytes;
+        st.enospc_budget = plan.enospc_after_bytes;
+        st.short_read_next = plan.short_read_next;
+    }
+
     /// Total bytes applied to the disk image so far (fault-free dry runs
     /// use this to enumerate every possible crash point).
     pub fn bytes_written(&self) -> u64 {

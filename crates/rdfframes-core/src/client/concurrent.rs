@@ -33,13 +33,27 @@
 //! the new epoch re-optimizes against fresh statistics while untouched
 //! epochs keep serving cached plans.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use rdf_model::Dataset;
 use sparql_engine::EngineConfig;
 
 use crate::client::{EmbeddedEndpoint, EndpointConfig, InProcessEndpoint};
+use crate::error::{FrameError, Result};
+
+/// Describe a caught panic payload (panics carry `&str` or `String` in
+/// practice; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One published epoch: an immutable dataset snapshot plus the two endpoint
 /// flavors serving it. Cloned `Arc`s of this struct are what readers hold;
@@ -51,6 +65,15 @@ pub struct EpochEndpoints {
     dataset: Arc<Dataset>,
     embedded: EmbeddedEndpoint,
     wire: InProcessEndpoint,
+}
+
+impl std::fmt::Debug for EpochEndpoints {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochEndpoints")
+            .field("epoch", &self.epoch)
+            .field("generation", &self.generation)
+            .finish_non_exhaustive()
+    }
 }
 
 impl EpochEndpoints {
@@ -129,22 +152,57 @@ impl SnapshotServer {
     /// The currently published epoch. This is the entire read path: queries
     /// executed through the returned handle see exactly one dataset version
     /// regardless of what writers publish meanwhile.
+    ///
+    /// Poison-proof: the protected state is a plain `Arc`, which is swapped
+    /// atomically under the lock — a panic elsewhere can never leave it
+    /// half-written, so a poisoned lock is recovered rather than propagated
+    /// and the last published epoch keeps serving.
     pub fn snapshot(&self) -> Arc<EpochEndpoints> {
-        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+        Arc::clone(&self.current.read().unwrap_or_else(|p| p.into_inner()))
     }
 
     /// Build and publish the next epoch by applying `mutate` to a copy of
     /// the current dataset. Serialized against other writers; readers stay
     /// unblocked the whole time except for the final pointer swap. Returns
     /// the newly published epoch.
-    pub fn update(&self, mutate: impl FnOnce(&mut Dataset)) -> Arc<EpochEndpoints> {
-        let _writer = self.writer.lock().expect("writer lock poisoned");
+    ///
+    /// A panicking `mutate` closure does **not** wedge the server: the
+    /// panic is caught, the half-mutated dataset copy is discarded, nothing
+    /// is published, and the panic surfaces as a typed
+    /// [`FrameError::Mutation`] while readers keep serving the last
+    /// published epoch.
+    pub fn update(&self, mutate: impl FnOnce(&mut Dataset)) -> Result<Arc<EpochEndpoints>> {
+        let _writer = self.writer_lock();
         // Snapshot → clone → mutate → rebuild, all outside the read lock:
         // readers keep serving the old epoch while this runs.
         let base = self.snapshot();
         let mut next = (*base.dataset).clone();
-        mutate(&mut next);
-        let next = Arc::new(next);
+        // The mutation runs on a private copy: if it panics, the copy is
+        // dropped and the published state was never touched — catching the
+        // unwind is safe by construction, not by audit.
+        catch_unwind(AssertUnwindSafe(|| mutate(&mut next))).map_err(|p| {
+            FrameError::Mutation(format!("mutation panicked: {}", panic_message(&*p)))
+        })?;
+        Ok(self.publish(Arc::new(next)))
+    }
+
+    /// Publish `dataset` as the next epoch, rebuilding both endpoints over
+    /// it (sharing the previous epoch's plan caches) and swapping the epoch
+    /// pointer. Serialized against [`SnapshotServer::update`] writers.
+    ///
+    /// This is the publication half of the write path, split out so a
+    /// durable front door (see [`crate::client::DurableSnapshotServer`])
+    /// can commit the mutation to stable storage first and publish the
+    /// *store's* canonical dataset rather than a privately mutated clone.
+    pub fn publish_dataset(&self, dataset: Arc<Dataset>) -> Arc<EpochEndpoints> {
+        let _writer = self.writer_lock();
+        self.publish(dataset)
+    }
+
+    /// Swap the epoch pointer to a fully built next epoch. Caller must hold
+    /// the writer lock.
+    fn publish(&self, next: Arc<Dataset>) -> Arc<EpochEndpoints> {
+        let base = self.snapshot();
         let published = Arc::new(EpochEndpoints {
             epoch: base.epoch + 1,
             generation: next.stats_generation(),
@@ -152,9 +210,16 @@ impl SnapshotServer {
             wire: base.wire.with_dataset(Arc::clone(&next)),
             dataset: next,
         });
-        *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&published);
+        *self.current.write().unwrap_or_else(|p| p.into_inner()) = Arc::clone(&published);
         self.epochs_published.fetch_add(1, Ordering::Relaxed);
         published
+    }
+
+    /// The writer mutex, recovering poison: it guards no data (the epoch
+    /// swap is atomic under `current`), only writer ordering, so a panicked
+    /// previous writer leaves nothing inconsistent behind.
+    fn writer_lock(&self) -> MutexGuard<'_, ()> {
+        self.writer.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Epochs published so far, counting the initial snapshot.
@@ -206,9 +271,11 @@ mod tests {
         assert_eq!(before.epoch(), 0);
         assert_eq!(frame().execute(before.embedded()).unwrap().len(), 10);
 
-        let after = server.update(|ds| {
-            ds.append_triples("http://g", [triple(100)]);
-        });
+        let after = server
+            .update(|ds| {
+                ds.append_triples("http://g", [triple(100)]);
+            })
+            .unwrap();
         assert_eq!(after.epoch(), 1);
         assert!(after.generation() > before.generation());
         assert_eq!(server.epochs_published(), 2);
@@ -223,9 +290,11 @@ mod tests {
     #[test]
     fn wire_and_embedded_agree_within_an_epoch() {
         let server = SnapshotServer::new(dataset(25));
-        server.update(|ds| {
-            ds.append_triples("http://g", [triple(200), triple(201)]);
-        });
+        server
+            .update(|ds| {
+                ds.append_triples("http://g", [triple(200), triple(201)]);
+            })
+            .unwrap();
         let snap = server.snapshot();
         let via_embedded = frame().execute(snap.embedded()).unwrap();
         let via_wire = frame().execute(snap.wire()).unwrap();
@@ -249,11 +318,45 @@ mod tests {
 
         // Published mutation bumps the generation: the shared cache entry
         // goes stale and the next execution on the new epoch re-optimizes.
-        let snap1 = server.update(|ds| {
-            ds.append_triples("http://g", [triple(300)]);
-        });
+        let snap1 = server
+            .update(|ds| {
+                ds.append_triples("http://g", [triple(300)]);
+            })
+            .unwrap();
         f.execute(snap1.embedded()).unwrap();
         let plan1 = snap1.embedded().cached_model_plan(&model).unwrap();
         assert!(!Arc::ptr_eq(&plan0, &plan1));
+    }
+
+    #[test]
+    fn panicking_mutator_is_caught_and_server_keeps_serving() {
+        let server = SnapshotServer::new(dataset(10));
+        let before = server.snapshot();
+
+        let err = server
+            .update(|_ds| panic!("boom in mutator"))
+            .expect_err("panicking mutation must surface as an error");
+        match &err {
+            FrameError::Mutation(m) => assert!(m.contains("boom in mutator"), "got: {m}"),
+            other => panic!("expected Mutation error, got {other:?}"),
+        }
+        assert!(!err.is_retryable());
+
+        // Nothing was published and the server is not wedged: the last
+        // epoch keeps serving and a subsequent good update succeeds.
+        assert_eq!(server.snapshot().epoch(), before.epoch());
+        assert_eq!(server.epochs_published(), 1);
+        assert_eq!(
+            frame().execute(server.snapshot().embedded()).unwrap().len(),
+            10
+        );
+
+        let after = server
+            .update(|ds| {
+                ds.append_triples("http://g", [triple(500)]);
+            })
+            .unwrap();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(frame().execute(after.embedded()).unwrap().len(), 11);
     }
 }

@@ -13,6 +13,7 @@ pub mod concurrent;
 pub mod convert;
 pub mod embedded;
 pub mod faulty;
+pub mod serving;
 pub mod wire;
 pub mod xml;
 
@@ -33,6 +34,10 @@ use crate::model::QueryModel;
 pub use concurrent::{EpochEndpoints, SnapshotServer};
 pub use embedded::EmbeddedEndpoint;
 pub use faulty::{Fault, FaultyEndpoint};
+pub use serving::{
+    AdmissionGovernor, AdmissionPermit, DurableSnapshotServer, QueryClass, ServerStats,
+    ServingConfig,
+};
 
 /// Map an engine-side failure onto the client error taxonomy: budget trips
 /// keep their typed identity (fatal, not worth retrying, but distinguishable

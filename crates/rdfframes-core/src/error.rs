@@ -33,15 +33,28 @@ pub enum FrameError {
     /// The query model could not be compiled directly to an engine plan
     /// (embedded execution path).
     Compile(String),
+    /// The server's admission controller shed this query: every execution
+    /// slot was busy and the bounded wait queue was full (or the query
+    /// class does not queue). Retryable — nothing about the query itself
+    /// failed; the server was momentarily saturated and says so instead of
+    /// queueing unboundedly or hanging.
+    Overloaded(String),
+    /// A server-side mutation failed before it was published: the
+    /// write-ahead commit errored (disk fault, poisoned store) or the
+    /// mutation closure panicked. The last published epoch keeps serving;
+    /// nothing was partially applied.
+    Mutation(String),
 }
 
 impl FrameError {
-    /// Is retrying the same request worthwhile? Only transport faults
-    /// qualify: the failure was in delivery, not in the query. Endpoint
-    /// rejections, budget exhaustion, and every client-side error are
-    /// deterministic — the retry would fail the same way.
+    /// Is retrying the same request worthwhile? Transport faults qualify
+    /// (the failure was in delivery, not in the query), as does admission
+    /// shedding (the server was saturated at that instant; the load may
+    /// have drained by the retry). Endpoint rejections, budget exhaustion,
+    /// and every client-side error are deterministic — the retry would
+    /// fail the same way.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, FrameError::Transport(_))
+        matches!(self, FrameError::Transport(_) | FrameError::Overloaded(_))
     }
 }
 
@@ -56,6 +69,8 @@ impl fmt::Display for FrameError {
             FrameError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             FrameError::Prefix(m) => write!(f, "prefix error: {m}"),
             FrameError::Compile(m) => write!(f, "query compilation error: {m}"),
+            FrameError::Overloaded(m) => write!(f, "server overloaded: {m}"),
+            FrameError::Mutation(m) => write!(f, "mutation failed: {m}"),
         }
     }
 }

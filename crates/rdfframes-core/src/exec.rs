@@ -178,6 +178,17 @@ pub struct Executor {
     pub page_size: Option<usize>,
     /// Chunk-level retry policy (default: no retries).
     pub retry: RetryPolicy,
+    /// Cumulative cap on rows assembled across wire chunks: once the
+    /// assembled frame reaches this many rows, pagination stops and the
+    /// intact prefix comes back as [`Completeness::Partial`] — bounded
+    /// work instead of an unbounded result. `None` = assemble everything.
+    pub wire_row_cap: Option<u64>,
+    /// Cumulative wall-clock deadline across wire chunks, measured from
+    /// the start of [`Executor::run_partial`]. Unlike an engine budget
+    /// deadline (which restarts at every chunk's evaluation), this spans
+    /// the whole paginated query: when it expires between chunks the
+    /// intact prefix comes back as [`Completeness::Partial`].
+    pub wire_deadline: Option<Duration>,
     /// Retry observability counters (shared across clones).
     stats: Arc<ExecutorStats>,
 }
@@ -199,6 +210,23 @@ impl Executor {
     /// This executor with a retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// This executor with a cumulative cross-chunk row cap (degraded
+    /// service: [`Executor::run_partial`] stops at the cap and returns the
+    /// intact prefix as [`Completeness::Partial`]).
+    pub fn with_wire_row_cap(mut self, cap: u64) -> Self {
+        self.wire_row_cap = Some(cap);
+        self
+    }
+
+    /// This executor with a cumulative cross-chunk wall-clock deadline
+    /// (degraded service: [`Executor::run_partial`] stops paginating when
+    /// it expires and returns the intact prefix as
+    /// [`Completeness::Partial`]).
+    pub fn with_wire_deadline(mut self, deadline: Duration) -> Self {
+        self.wire_deadline = Some(deadline);
         self
     }
 
@@ -265,6 +293,7 @@ impl Executor {
             .unwrap_or(usize::MAX)
             .min(endpoint.max_rows_per_request())
             .max(1);
+        let start = std::time::Instant::now();
         let mut rng = StdRng::seed_from_u64(self.retry.jitter_seed);
 
         // First chunk: nothing assembled yet, so an unrecoverable failure
@@ -281,6 +310,15 @@ impl Executor {
 
         let mut offset = 0usize;
         loop {
+            // Graceful degradation between chunks: the prefix assembled so
+            // far is intact and atomic, so a cumulative limit stops here
+            // and keeps it rather than discarding work already paid for.
+            if let Some(stop) = self.degrade_between_chunks(&df, start) {
+                return Ok(PartialFrame {
+                    frame: df,
+                    completeness: Completeness::Partial { error: stop },
+                });
+            }
             offset += page;
             // Fetch *and append* under one retry budget: schema drift only
             // shows when the chunk's header meets the accumulated frame's,
@@ -314,6 +352,33 @@ impl Executor {
                 });
             }
         }
+    }
+
+    /// The cumulative cross-chunk limit tripped by the pagination state so
+    /// far, if any. Checked only between chunks, so a short first chunk
+    /// (already a complete result) is never downgraded.
+    fn degrade_between_chunks(
+        &self,
+        df: &DataFrame,
+        start: std::time::Instant,
+    ) -> Option<FrameError> {
+        if let Some(cap) = self.wire_row_cap {
+            if df.len() as u64 >= cap {
+                return Some(FrameError::ResourceExhausted(format!(
+                    "wire row cap: {} rows assembled (cap {cap})",
+                    df.len()
+                )));
+            }
+        }
+        if let Some(deadline) = self.wire_deadline {
+            if start.elapsed() >= deadline {
+                return Some(FrameError::ResourceExhausted(format!(
+                    "deadline (ms): pagination exceeded {} ms",
+                    deadline.as_millis()
+                )));
+            }
+        }
+        None
     }
 
     /// One chunk request under the retry policy (no append).

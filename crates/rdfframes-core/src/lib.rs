@@ -46,8 +46,9 @@ pub mod reference;
 
 pub use api::{AggFunc, Direction, JoinType, KnowledgeGraph, RDFFrame, SortOrder};
 pub use client::{
-    EmbeddedEndpoint, Endpoint, EndpointConfig, EndpointStats, EpochEndpoints, Fault,
-    FaultyEndpoint, InProcessEndpoint, SnapshotServer, WireFormat,
+    AdmissionGovernor, AdmissionPermit, DurableSnapshotServer, EmbeddedEndpoint, Endpoint,
+    EndpointConfig, EndpointStats, EpochEndpoints, Fault, FaultyEndpoint, InProcessEndpoint,
+    QueryClass, ServerStats, ServingConfig, SnapshotServer, WireFormat,
 };
 pub use error::{FrameError, Result};
 pub use exec::{Completeness, Executor, ExecutorStats, PartialFrame, RetryPolicy};

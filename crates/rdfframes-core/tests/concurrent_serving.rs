@@ -86,11 +86,13 @@ fn readers_never_observe_torn_epochs() {
         // The writer appends the matched pair and publishes, as fast as it
         // can, UPDATES times.
         for u in 0..UPDATES {
-            let published = server.update(|ds| {
-                let i = SEED_ROWS + u;
-                assert_eq!(ds.append_triples(GRAPH_A, [pair(GRAPH_A, i)]), Some(1));
-                assert_eq!(ds.append_triples(GRAPH_B, [pair(GRAPH_B, i)]), Some(1));
-            });
+            let published = server
+                .update(|ds| {
+                    let i = SEED_ROWS + u;
+                    assert_eq!(ds.append_triples(GRAPH_A, [pair(GRAPH_A, i)]), Some(1));
+                    assert_eq!(ds.append_triples(GRAPH_B, [pair(GRAPH_B, i)]), Some(1));
+                })
+                .expect("publish failed");
             assert_eq!(published.epoch(), (u + 1) as u64);
         }
         stop.store(true, Ordering::Relaxed);
@@ -129,9 +131,11 @@ fn plan_cache_survives_epochs_and_reoptimizes_per_generation() {
 
     // The published epoch shares the cache but carries a new statistics
     // generation: first use re-optimizes (new plan object), then sticks.
-    let snap1 = server.update(|ds| {
-        ds.append_triples(GRAPH_A, [pair(GRAPH_A, SEED_ROWS)]);
-    });
+    let snap1 = server
+        .update(|ds| {
+            ds.append_triples(GRAPH_A, [pair(GRAPH_A, SEED_ROWS)]);
+        })
+        .unwrap();
     assert!(snap1.generation() > snap0.generation());
     frame.execute(snap1.embedded()).unwrap();
     let plan_epoch1 = snap1.embedded().cached_model_plan(&model).unwrap();
@@ -152,10 +156,12 @@ fn old_snapshots_serve_unchanged_while_new_ones_advance() {
     let old = server.snapshot();
     let before = visible_rows(&old, GRAPH_A);
     for u in 0..10 {
-        server.update(|ds| {
-            let i = SEED_ROWS + u;
-            ds.append_triples(GRAPH_A, [pair(GRAPH_A, i)]);
-        });
+        server
+            .update(|ds| {
+                let i = SEED_ROWS + u;
+                ds.append_triples(GRAPH_A, [pair(GRAPH_A, i)]);
+            })
+            .unwrap();
         // The retained handle is frozen at its epoch's contents.
         assert_eq!(visible_rows(&old, GRAPH_A), before);
     }

@@ -207,3 +207,88 @@ fn plan_cache_reoptimizes_after_post_restart_appends_invert_selectivities() {
     assert!(!Arc::ptr_eq(&stale, &fresh), "stale plan must be replaced");
     assert_eq!(first_predicate(&fresh), p_common);
 }
+
+#[test]
+fn durable_server_restart_recovers_committed_epoch_and_revalidates_plans() {
+    use rdfframes_core::{DurableSnapshotServer, ServingConfig};
+
+    // A durable server with a mixed insert+append history, still serving.
+    let vfs = Arc::new(MemVfs::new());
+    let server = DurableSnapshotServer::open(
+        Arc::clone(&vfs) as Arc<dyn rdf_model::persist::Vfs>,
+        ServingConfig::default(),
+    )
+    .unwrap();
+    let mut g = Graph::with_delta_threshold(8);
+    for i in 0..30 {
+        g.insert(&movie_triple(i));
+    }
+    server.insert_graph("http://g", &g).unwrap();
+    server
+        .append_triples("http://g", (30..45).map(movie_triple).collect())
+        .unwrap();
+
+    let f = frame();
+    let model = rdfframes_core::model::generator::build_query_model(&f).unwrap();
+    let before = server.execute(&f).unwrap();
+    let retained = server.snapshot();
+    let warm = retained
+        .embedded()
+        .cached_model_plan(&model)
+        .expect("execute warmed the model-plan cache");
+    let committed_gen = retained.generation();
+
+    // Restart while serving: a new process opens the surviving image while
+    // the old process's reader still holds its epoch. Recovery must land
+    // on exactly the committed epoch.
+    let reopened = DurableSnapshotServer::open(
+        Arc::new(MemVfs::reopen_from(&vfs)),
+        ServingConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(reopened.recovery().replayed, 2);
+    assert_eq!(reopened.snapshot().generation(), committed_gen);
+    assert_eq!(reopened.execute(&f).unwrap(), before);
+    // The pre-restart reader drains unaffected on its frozen epoch.
+    assert_eq!(
+        Executor::new().execute(&f, retained.embedded()).unwrap(),
+        before
+    );
+
+    // Equal generation ⇒ a warm plan cache revalidates against the
+    // recovered dataset instead of re-preparing.
+    let swapped = retained
+        .embedded()
+        .with_dataset(Arc::clone(reopened.snapshot().dataset()));
+    Executor::new().execute(&f, &swapped).unwrap();
+    assert!(
+        Arc::ptr_eq(&warm, &swapped.cached_model_plan(&model).unwrap()),
+        "restart at equal stats_generation must re-serve the warm plan"
+    );
+
+    // A post-restart append moves the generation: the reopened server's
+    // cache re-optimizes exactly once, then sticks.
+    let plan_recovered = reopened
+        .snapshot()
+        .embedded()
+        .cached_model_plan(&model)
+        .unwrap();
+    let snap1 = reopened
+        .append_triples("http://g", vec![movie_triple(100)])
+        .unwrap();
+    assert!(snap1.generation() > committed_gen);
+    reopened.execute(&f).unwrap();
+    let plan_fresh = snap1.embedded().cached_model_plan(&model).unwrap();
+    assert!(
+        !Arc::ptr_eq(&plan_recovered, &plan_fresh),
+        "generation change must re-optimize"
+    );
+    reopened.execute(&f).unwrap();
+    assert!(
+        Arc::ptr_eq(
+            &plan_fresh,
+            &snap1.embedded().cached_model_plan(&model).unwrap()
+        ),
+        "re-optimized exactly once, then re-served"
+    );
+}

@@ -58,6 +58,16 @@ cargo test -q -p bench --test crash_recovery scale_64_smoke_with_full_query_pari
 cargo test -q -p rdf-model --test persist_roundtrip
 cargo test -q -p rdfframes-core --test restart_semantics
 
+# Serving-resilience smoke: the same workload (scale 64) through the
+# durable serving layer — crash points swept across the byte timeline
+# while epochs publish, recovery landing on the committed epoch with full
+# Q1–Q19 parity; plus the overload contract with deterministic
+# shed-vs-accepted counts (saturation pinned via governor permits, no
+# timing involved).
+echo "==> serving-resilience smoke (crash-while-serving, scale 64 + overload)"
+cargo test -q -p bench --test serving_resilience scale_64_crash_while_serving_smoke_with_query_parity
+cargo test -q -p bench --test serving_resilience overload_sheds_typed_retryable_and_accepted_results_are_unaffected
+
 if [[ "$run_bench" == 1 ]]; then
     snapshot=$(mktemp -d)
     trap 'rm -rf "$snapshot"' EXIT
