@@ -24,6 +24,11 @@ use sparql_engine::EngineConfig;
 const SCALE: usize = 400;
 
 fn endpoint(ds: &Arc<Dataset>, threads: usize) -> EmbeddedEndpoint {
+    // Pin a large cursor batch size: this suite asserts that parallel
+    // chunking actually engaged, and the streaming pipeline only fans out
+    // batches that reach the 256-row parallel gate. A small ambient
+    // `RDFFRAMES_BATCH_ROWS` (the CI batch-size re-run) would starve the
+    // gate and make the par_chunks assertions vacuous.
     EmbeddedEndpoint::with_engine_config(
         Arc::clone(ds),
         EngineConfig {
@@ -31,6 +36,7 @@ fn endpoint(ds: &Arc<Dataset>, threads: usize) -> EmbeddedEndpoint {
             ..EngineConfig::new()
         },
     )
+    .with_batch_rows(65_536)
 }
 
 /// Execute `frame` on both endpoints, assert identical frames and work

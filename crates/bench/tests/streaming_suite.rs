@@ -1,0 +1,129 @@
+//! Streaming differential suite over the full example workload.
+//!
+//! The operator-level contract lives in
+//! `sparql-engine/tests/streaming_pipeline.rs`; this suite asserts the
+//! same property end to end through the RDFFrames stack: every synthetic
+//! Table 2 query and all three case studies must produce **identical
+//! DataFrames** (schema, row order, cell values) and identical
+//! `rows_scanned` work counts whether the embedded engine streams
+//! batches through the pull-based pipeline or fully materializes first —
+//! at every batch size in the sweep (1, 7, 256, 65536) and over both
+//! storage layouts (compacted slabs and an all-delta overlay).
+//!
+//! Scan parity is exact here because nothing in this corpus carries a
+//! `LIMIT`: the streaming slice's early exit (the one sanctioned scan
+//! divergence — see `streaming_pipeline.rs`) never engages.
+
+use std::sync::Arc;
+
+use bench::casestudies::{self, CaseParams};
+use bench::data;
+use bench::queries;
+use rdf_model::{Dataset, Graph};
+use rdfframes_core::{EmbeddedEndpoint, RDFFrame};
+use sparql_engine::EngineConfig;
+
+/// Big enough for multi-thousand-row intermediates (so batching is
+/// genuinely exercised), small enough to keep the 4-batch × 2-layout
+/// sweep fast.
+const SCALE: usize = 100;
+
+const BATCH_SWEEP: [usize; 4] = [1, 7, 256, 65_536];
+
+fn endpoint(ds: &Arc<Dataset>, streaming: bool, batch_rows: usize) -> EmbeddedEndpoint {
+    EmbeddedEndpoint::with_engine_config(
+        Arc::clone(ds),
+        EngineConfig {
+            streaming,
+            ..EngineConfig::new()
+        },
+    )
+    .with_batch_rows(batch_rows)
+}
+
+/// Rebuild every graph with auto-compaction disabled so all triples sit
+/// in the mutable delta overlay instead of frozen slabs — resumable
+/// scans must behave identically over both layouts.
+fn delta_resident_copy(ds: &Arc<Dataset>) -> Arc<Dataset> {
+    let uris: Vec<String> = ds.graph_uris().map(str::to_owned).collect();
+    let mut out = Dataset::new();
+    for uri in uris {
+        let src = ds.graph(&uri).expect("graph listed but missing");
+        let mut g = Graph::with_delta_threshold(usize::MAX);
+        for t in src.iter_triples() {
+            g.insert(&t);
+        }
+        assert_eq!(
+            g.delta_len(),
+            src.len(),
+            "layout setup: delta must hold every triple of {uri}"
+        );
+        out.insert_graph(uri, g);
+    }
+    Arc::new(out)
+}
+
+fn workload() -> Vec<(String, RDFFrame)> {
+    let p = CaseParams::for_scale(SCALE);
+    let mut all: Vec<(String, RDFFrame)> = queries::all_queries()
+        .into_iter()
+        .map(|def| (def.id.to_string(), def.frame))
+        .collect();
+    all.push((
+        "cs1_movie_genre".into(),
+        casestudies::movie_genre_classification(p.prolific),
+    ));
+    all.push((
+        "cs2_topic_modeling".into(),
+        casestudies::topic_modeling(p.since_year, p.threshold, p.recent_year),
+    ));
+    all.push(("cs3_kg_embedding".into(), casestudies::kg_embedding()));
+    all
+}
+
+/// One workload execution, returning (DataFrame, rows scanned by it).
+fn run(frame: &RDFFrame, ep: &EmbeddedEndpoint, id: &str) -> (dataframe::DataFrame, u64) {
+    let before = ep.rows_scanned();
+    let df = frame
+        .execute(ep)
+        .unwrap_or_else(|e| panic!("{id}: execution failed: {e}"));
+    (df, ep.rows_scanned() - before)
+}
+
+fn sweep_layout(ds: &Arc<Dataset>, layout: &str) {
+    // The materializing baseline is batch-size-independent (batching a
+    // materialized table only slices it), so compute it once per frame
+    // and hold every streaming batch size to it.
+    let baseline = endpoint(ds, false, 16_384);
+    for (id, frame) in workload() {
+        let (df_base, scanned_base) = run(&frame, &baseline, &id);
+        assert!(
+            !df_base.is_empty(),
+            "{id}: empty result at test scale proves nothing"
+        );
+        for batch_rows in BATCH_SWEEP {
+            let streaming = endpoint(ds, true, batch_rows);
+            let (df_stream, scanned_stream) = run(&frame, &streaming, &id);
+            assert_eq!(
+                df_base, df_stream,
+                "{id} @ batch {batch_rows} ({layout}): streaming changed the DataFrame"
+            );
+            assert_eq!(
+                scanned_base, scanned_stream,
+                "{id} @ batch {batch_rows} ({layout}): streaming changed the scan work count"
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_streams_identically_over_compacted_slabs() {
+    let ds = data::build_dataset(SCALE);
+    sweep_layout(&ds, "compacted");
+}
+
+#[test]
+fn workload_streams_identically_over_delta_overlay() {
+    let ds = delta_resident_copy(&data::build_dataset(SCALE));
+    sweep_layout(&ds, "delta-resident");
+}

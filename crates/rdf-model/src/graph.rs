@@ -53,6 +53,27 @@ const MAX: TermId = TermId(u32::MAX);
 /// A triple of interned ids, in whatever ordering its index uses.
 type Key = (TermId, TermId, TermId);
 
+/// Opaque suspension point of a [`Graph::for_each_match_from`] scan: the raw
+/// index key (in the chosen index's own ordering, *not* (s, p, o)) the scan
+/// stopped at. Only meaningful when passed back to the same graph with the
+/// same pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanPos(Key);
+
+/// Strict successor of a key in lexicographic order (`None` past the end).
+#[inline]
+fn key_successor((a, b, c): Key) -> Option<Key> {
+    if c < MAX {
+        Some((a, b, TermId(c.0 + 1)))
+    } else if b < MAX {
+        Some((a, TermId(b.0 + 1), MIN))
+    } else if a < MAX {
+        Some((TermId(a.0 + 1), MIN, MIN))
+    } else {
+        None
+    }
+}
+
 /// Per-predicate statistics for cardinality estimation.
 #[derive(Debug, Clone, Default)]
 pub struct PredicateStats {
@@ -160,6 +181,39 @@ impl Index {
             f(k);
         }
         n
+    }
+
+    /// Like [`Index::for_each_in`], but the visitor can stop the scan early
+    /// by returning `false`. Returns the number of entries visited (the
+    /// stopping entry counts — it was handed to `f`) plus the key the scan
+    /// stopped *at*, or `None` when the range was exhausted. Resuming from
+    /// the successor of the returned key visits every remaining entry
+    /// exactly once, so the total visited across suspensions equals one
+    /// uninterrupted [`Index::for_each_in`] pass.
+    fn for_each_in_until<F: FnMut(Key) -> bool>(
+        &self,
+        lo: Key,
+        hi: Key,
+        mut f: F,
+    ) -> (u64, Option<Key>) {
+        if self.delta.is_empty() {
+            // Fast path: pure contiguous scan.
+            let slab = self.slab_range(lo, hi);
+            for (i, &k) in slab.iter().enumerate() {
+                if !f(k) {
+                    return (i as u64 + 1, Some(k));
+                }
+            }
+            return (slab.len() as u64, None);
+        }
+        let mut n = 0;
+        for k in self.range_iter(lo, hi) {
+            n += 1;
+            if !f(k) {
+                return (n, Some(k));
+            }
+        }
+        (n, None)
     }
 
     /// Iterator form of [`Index::for_each_in`] (allocation is confined to
@@ -528,6 +582,44 @@ impl Graph {
         })
     }
 
+    /// Resumable form of [`Graph::for_each_match`]: visit matches in index
+    /// order starting *after* `resume` (a [`ScanPos`] returned by a previous
+    /// suspension; `None` starts from the beginning), stopping early when
+    /// the visitor returns `false`.
+    ///
+    /// Returns `(visited, pos)`: `visited` counts index entries handed to
+    /// the visitor in this call, and `pos` is `Some` when the visitor
+    /// stopped the scan (pass it back to continue) or `None` when the
+    /// pattern's range is exhausted. The sum of `visited` across a chain of
+    /// suspended calls equals the count one uninterrupted
+    /// [`Graph::for_each_match`] reports — streaming executors rely on this
+    /// for scan-work parity with materializing ones.
+    pub fn for_each_match_from<F: FnMut(TermId, TermId, TermId) -> bool>(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        resume: Option<ScanPos>,
+        mut f: F,
+    ) -> (u64, Option<ScanPos>) {
+        let (index, lo, hi, project) = self.access_path(s, p, o);
+        let lo = match resume {
+            // Ranges are inclusive, so resuming means the strict successor
+            // of the suspension key; `None` when that overflows past the
+            // whole key space (the previous visit was (MAX, MAX, MAX)).
+            Some(ScanPos(k)) => match key_successor(k) {
+                Some(next) if next <= hi => next,
+                _ => return (0, None),
+            },
+            None => lo,
+        };
+        let (visited, stopped) = index.for_each_in_until(lo, hi, |k| {
+            let (s, p, o) = project(k);
+            f(s, p, o)
+        });
+        (visited, stopped.map(ScanPos))
+    }
+
     /// Exact (not estimated) number of matches for a pattern.
     pub fn count_pattern(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
         let (index, lo, hi, _) = self.access_path(s, p, o);
@@ -634,6 +726,49 @@ mod tests {
         let mut g = sample();
         g.compact();
         g
+    }
+
+    #[test]
+    fn resumable_scan_matches_uninterrupted_scan() {
+        // Every boundness shape × every storage layout × several suspension
+        // strides: chaining suspended scans must visit the same triples in
+        // the same order, with the same total visited count, as one
+        // uninterrupted `for_each_match` pass.
+        for g in [sample(), sample_compacted(), sample_half_compacted()] {
+            let s1 = g.term_id(&Term::iri("http://x/s1"));
+            let p1 = g.term_id(&Term::iri("http://x/p1"));
+            let o1 = g.term_id(&Term::iri("http://x/o1"));
+            for s in [None, s1] {
+                for p in [None, p1] {
+                    for o in [None, o1] {
+                        let mut full = Vec::new();
+                        let full_n = g.for_each_match(s, p, o, |ms, mp, mo| {
+                            full.push((ms, mp, mo));
+                        });
+                        for stride in [1usize, 2, 3, 100] {
+                            let mut seen = Vec::new();
+                            let mut total = 0u64;
+                            let mut pos = None;
+                            loop {
+                                let mut left = stride;
+                                let (n, next) = g.for_each_match_from(s, p, o, pos, |a, b, c| {
+                                    seen.push((a, b, c));
+                                    left -= 1;
+                                    left > 0
+                                });
+                                total += n;
+                                match next {
+                                    Some(_) => pos = next,
+                                    None => break,
+                                }
+                            }
+                            assert_eq!(seen, full, "stride {stride} changed the visit order");
+                            assert_eq!(total, full_n, "stride {stride} changed the work count");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod vocab;
 
 pub use dataset::{Dataset, GraphIdMap, TermRanks};
 pub use error::{ModelError, Result};
-pub use graph::{Graph, GraphStats};
+pub use graph::{Graph, GraphStats, ScanPos};
 pub use interner::{Interner, TermId};
 pub use persist::{RecoveryReport, StorageError, Store};
 pub use prefix::PrefixMap;

@@ -98,16 +98,17 @@ pub fn cursor_to_dataframe(cursor: &mut QueryCursor<'_>) -> Result<DataFrame> {
     if width == 0 {
         // Zero-column results (every pattern position constant) still carry
         // a row count — e.g. one empty row for "the triple exists" — which
-        // column transposition cannot represent.
+        // column transposition cannot represent. Drain the cursor and count
+        // (batches are how a streaming cursor reports rows at all).
         let mut df = DataFrame::new(vars);
-        for _ in 0..cursor.row_count() {
-            df.push_row(Vec::new());
+        while let Some(batch) = cursor.next_batch().map_err(engine_error)? {
+            for _ in 0..batch.len {
+                df.push_row(Vec::new());
+            }
         }
         return Ok(df);
     }
-    let mut cols: Vec<Vec<Cell>> = (0..width)
-        .map(|_| Vec::with_capacity(cursor.row_count()))
-        .collect();
+    let mut cols: Vec<Vec<Cell>> = (0..width).map(|_| Vec::new()).collect();
     let mut interner = CellInterner::new();
     while let Some(batch) = cursor.next_batch().map_err(engine_error)? {
         for (c, col) in cols.iter_mut().enumerate() {

@@ -37,6 +37,18 @@ use crate::model::{render, QueryModel};
 /// Rows per cursor batch handed from the engine to the column builders.
 const DEFAULT_BATCH_ROWS: usize = 16_384;
 
+/// The default batch size, overridable through `RDFFRAMES_BATCH_ROWS` (so
+/// whole test suites can re-run under a pathological batch size without
+/// code changes, mirroring `RDFFRAMES_THREADS`). Explicit
+/// [`EmbeddedEndpoint::with_batch_rows`] calls always win over the env.
+fn default_batch_rows() -> usize {
+    std::env::var("RDFFRAMES_BATCH_ROWS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_BATCH_ROWS)
+        .max(1)
+}
+
 /// Prepared plans for *model* executions, keyed by the model's rendered
 /// SPARQL text. The rendered string is used purely as an identity key — it
 /// is never parsed; the cached plan was built by the direct
@@ -73,7 +85,7 @@ impl EmbeddedEndpoint {
     pub fn with_engine_config(dataset: Arc<Dataset>, config: EngineConfig) -> Self {
         EmbeddedEndpoint {
             engine: Engine::with_config(dataset, config),
-            batch_rows: DEFAULT_BATCH_ROWS,
+            batch_rows: default_batch_rows(),
             stats: Arc::new(EndpointStats::default()),
             rows_scanned: Arc::new(AtomicU64::new(0)),
             plans: Arc::new(PlanCache::default()),
@@ -164,12 +176,21 @@ impl EmbeddedEndpoint {
             .engine
             .cursor(&prepared, self.batch_rows)
             .map_err(engine_error)?;
+        let df = cursor_to_dataframe(&mut cursor)?;
+        // Harvest statistics only after the drain: the streaming cursor
+        // evaluates (and counts) as batches are pulled.
+        let stats = cursor.stats();
         self.rows_scanned
-            .fetch_add(cursor.rows_scanned(), Ordering::Relaxed);
+            .fetch_add(stats.rows_scanned, Ordering::Relaxed);
         self.stats
             .par_chunks
-            .fetch_add(cursor.stats().par_chunks, Ordering::Relaxed);
-        let df = cursor_to_dataframe(&mut cursor)?;
+            .fetch_add(stats.par_chunks, Ordering::Relaxed);
+        self.stats
+            .batches_emitted
+            .fetch_add(stats.batches_emitted, Ordering::Relaxed);
+        self.stats
+            .peak_live_rows
+            .fetch_max(stats.peak_live_rows, Ordering::Relaxed);
         self.stats
             .rows_returned
             .fetch_add(df.len() as u64, Ordering::Relaxed);

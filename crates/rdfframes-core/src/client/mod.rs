@@ -117,6 +117,16 @@ pub struct EndpointStats {
     /// endpoint (sum of [`sparql_engine::ExecStats::par_chunks`] across
     /// served requests). Zero when the engine runs single-threaded.
     pub par_chunks: AtomicU64,
+    /// Cursor batches the embedded path streamed into dataframes (sum of
+    /// [`sparql_engine::ExecStats::batches_emitted`] across requests).
+    /// Zero on wire-only endpoints.
+    pub batches_emitted: AtomicU64,
+    /// High-water mark of rows simultaneously live in any one embedded
+    /// execution's pipeline (max of
+    /// [`sparql_engine::ExecStats::peak_live_rows`] across requests):
+    /// O(batch size + breaker state) under streaming, O(result) when
+    /// `streaming` is off.
+    pub peak_live_rows: AtomicU64,
 }
 
 impl EndpointStats {
@@ -138,6 +148,16 @@ impl EndpointStats {
     /// Parallel work chunks executed so far on behalf of this endpoint.
     pub fn par_chunks(&self) -> u64 {
         self.par_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Cursor batches streamed so far by embedded executions.
+    pub fn batches_emitted(&self) -> u64 {
+        self.batches_emitted.load(Ordering::Relaxed)
+    }
+
+    /// Peak rows simultaneously live in any one embedded execution.
+    pub fn peak_live_rows(&self) -> u64 {
+        self.peak_live_rows.load(Ordering::Relaxed)
     }
 }
 

@@ -36,6 +36,7 @@ use rdf_model::{Dataset, Term, TermId};
 use crate::algebra::{translate_query, Plan};
 use crate::budget::{BudgetMeter, QueryBudget};
 use crate::error::Result;
+use crate::eval::pipeline::{self, BoxOp};
 use crate::eval::Evaluator;
 use crate::eval_reference::ReferenceEvaluator;
 use crate::eval_rows::RowEvaluator;
@@ -109,6 +110,15 @@ pub struct EngineConfig {
     /// ([`EvalMode::IdNative`], [`EvalMode::TermReference`]) always run
     /// sequentially.
     pub threads: usize,
+    /// Run [`Engine::cursor`] queries through the pull-based streaming
+    /// operator pipeline (bounded live state: each batch is produced on
+    /// demand, operators hold only their own state) instead of eagerly
+    /// materializing the whole result up front. Results, result order, and
+    /// `rows_scanned` are identical either way (the LIMIT early-exit is the
+    /// one documented scan-count exception); this flag only changes *when*
+    /// work happens and how much memory is live. Affects only the cursor
+    /// path — `execute*` always materializes, that is its contract.
+    pub streaming: bool,
 }
 
 impl EngineConfig {
@@ -133,6 +143,7 @@ impl EngineConfig {
             rank_order_by: true,
             budget: QueryBudget::unlimited(),
             threads,
+            streaming: true,
         }
     }
 }
@@ -172,6 +183,17 @@ pub struct ExecStats {
     /// Nanoseconds spent folding parallel chunk results back together in
     /// chunk order (the deterministic merge phases).
     pub par_merge_nanos: u64,
+    /// Peak rows simultaneously live across the cursor's operator pipeline
+    /// (operator state plus the batch being emitted), sampled after every
+    /// batch. On the streaming path this is O(batch size + breaker state),
+    /// not O(result); on the materializing path it is the full result size.
+    /// Zero on the `execute*` paths, which don't track liveness.
+    pub peak_live_rows: u64,
+    /// Peak estimated heap bytes simultaneously live (same sampling as
+    /// [`ExecStats::peak_live_rows`]).
+    pub peak_live_bytes: u64,
+    /// Batches the cursor handed to the consumer (zero on `execute*`).
+    pub batches_emitted: u64,
 }
 
 /// A query that has been parsed, translated, and optimized once and can be
@@ -322,6 +344,7 @@ impl Engine {
                     par_chunks: par.chunks,
                     par_steals: par.steals,
                     par_merge_nanos: par.merge_nanos,
+                    ..ExecStats::default()
                 };
                 Ok((table, stats))
             }
@@ -354,123 +377,189 @@ impl Engine {
         }
     }
 
-    /// Evaluate a prepared query **once** and return a [`QueryCursor`]
-    /// yielding the result as columnar id batches of at most `batch_rows`
-    /// rows. No [`Term`] is materialized by the engine; the consumer decodes
-    /// ids through the cursor's pool (typically once per *distinct* id).
+    /// Open a [`QueryCursor`] over a prepared query, yielding the result as
+    /// columnar id batches of at most `batch_rows` rows. No [`Term`] is
+    /// materialized by the engine; the consumer decodes ids through the
+    /// cursor's pool (typically once per *distinct* id).
     ///
-    /// This is the embedded replacement for the per-page
-    /// [`Engine::execute_page`] pattern, which re-evaluates the whole query
-    /// for every chunk. The cursor always runs the columnar evaluator — the
-    /// id-table layout *is* the interface — regardless of the configured
-    /// [`EvalMode`] (the oracle modes exist for differential testing of the
-    /// string path).
-    pub fn cursor(&self, prepared: &PreparedQuery, batch_rows: usize) -> Result<QueryCursor<'_>> {
+    /// With [`EngineConfig::streaming`] on (the default) the plan compiles
+    /// into a pull-based operator pipeline and each `next_batch` call does
+    /// just enough work to produce one batch: live memory stays bounded by
+    /// the batch size plus any pipeline breaker's own state, and a `LIMIT`
+    /// stops pulling (and therefore scanning) as soon as it is satisfied.
+    /// With it off, evaluation is eager — the whole result materializes
+    /// here and batches are windows over it. Both modes produce
+    /// byte-identical batches in the same order.
+    ///
+    /// The cursor always runs the columnar evaluator — the id-table layout
+    /// *is* the interface — regardless of the configured [`EvalMode`] (the
+    /// oracle modes exist for differential testing of the string path).
+    pub fn cursor<'a>(
+        &'a self,
+        prepared: &'a PreparedQuery,
+        batch_rows: usize,
+    ) -> Result<QueryCursor<'a>> {
         // The cursor keeps its own meter (sharing the evaluation's deadline
         // clock, started here) so a consumer that drains batches slowly
-        // still trips the deadline in `next_batch`. Evaluation itself is
-        // eager, so the scan/memory axes are fully enforced before this
-        // function returns.
+        // still trips the deadline in `next_batch` even when the pipeline
+        // itself has no work left to charge.
         let meter = BudgetMeter::new(&self.config.budget);
         let mut evaluator = Evaluator::new(&self.dataset, prepared.from.clone());
         evaluator.set_rank_sort(self.config.rank_order_by);
         evaluator.set_budget(&self.config.budget);
         evaluator.set_threads(self.config.threads);
-        let table = evaluator.eval_to_ids(&prepared.plan)?;
-        let par = evaluator.par_stats();
-        let stats = ExecStats {
-            rows_scanned: evaluator.rows_scanned(),
-            merge_joins: evaluator.merge_joins(),
-            merge_left_joins: evaluator.merge_left_joins(),
-            sorted_distincts: evaluator.sorted_distincts(),
-            sorted_groups: evaluator.sorted_groups(),
-            par_workers: evaluator.threads() as u64,
-            par_chunks: par.chunks,
-            par_steals: par.steals,
-            par_merge_nanos: par.merge_nanos,
+        let (source, peak_rows, peak_bytes) = if self.config.streaming {
+            let op = pipeline::build(&evaluator, &prepared.plan)?;
+            (Source::Streamed(op), 0, 0)
+        } else {
+            let table = evaluator.eval_to_ids(&prepared.plan)?;
+            // Eager evaluation held the full result live by construction.
+            let (rows, bytes) = (table.len() as u64, table.estimated_bytes());
+            (Source::Materialized { table, pos: 0 }, rows, bytes)
+        };
+        let vars = match &source {
+            Source::Streamed(op) => op.vars().to_vec(),
+            Source::Materialized { table, .. } => table.vars.clone(),
         };
         Ok(QueryCursor {
-            table,
-            pool: evaluator.into_pool(),
-            pos: 0,
+            evaluator,
+            source,
+            vars,
             batch_rows: batch_rows.max(1),
-            stats,
             meter,
+            emitted: 0,
+            batches_emitted: 0,
+            peak_live_rows: peak_rows,
+            peak_live_bytes: peak_bytes,
         })
     }
 }
 
-/// Streaming columnar view over one evaluated query result.
+/// Where a cursor's batches come from.
+enum Source<'a> {
+    /// Pull-based operator pipeline: each batch is computed on demand.
+    Streamed(BoxOp<'a>),
+    /// Eagerly evaluated result; batches are copied windows over it.
+    Materialized { table: IdTable, pos: usize },
+}
+
+/// Streaming columnar view over one query's result.
 ///
-/// Holds the struct-of-arrays [`IdTable`] plus the term pool that can
-/// resolve every id in it (dataset-global ids and query-local overflow ids
-/// from computed expressions alike). [`QueryCursor::next_batch`] walks the
-/// table in `batch_rows` windows; each [`ColumnBatch`] exposes raw column
-/// slices so consumers build typed columns without ever seeing a
+/// Owns the evaluator (and therefore the term pool that can resolve every
+/// id the query produces — dataset-global ids and query-local overflow ids
+/// from computed expressions alike) plus the batch source: the operator
+/// pipeline when streaming, the materialized table otherwise.
+/// [`QueryCursor::next_batch`] yields the result in `batch_rows`-bounded
+/// [`ColumnBatch`]es; consumers build typed columns without ever seeing a
 /// row-materialized [`Term`] table.
 pub struct QueryCursor<'a> {
-    table: IdTable,
-    pool: TermPool<'a>,
-    pos: usize,
+    evaluator: Evaluator<'a>,
+    source: Source<'a>,
+    vars: Vec<String>,
     batch_rows: usize,
-    stats: ExecStats,
     meter: BudgetMeter,
+    emitted: usize,
+    batches_emitted: u64,
+    peak_live_rows: u64,
+    peak_live_bytes: u64,
 }
 
 impl QueryCursor<'_> {
     /// Result column (variable) names.
     pub fn vars(&self) -> &[String] {
-        &self.table.vars
+        &self.vars
     }
 
-    /// Total rows in the result.
-    pub fn row_count(&self) -> usize {
-        self.table.len()
-    }
-
-    /// Index entries scanned while evaluating (same metric as
-    /// [`ExecStats::rows_scanned`]).
+    /// Index entries scanned so far (same metric as
+    /// [`ExecStats::rows_scanned`]). On the streaming path this grows as
+    /// batches are pulled; read it after draining for the whole-query
+    /// number the `execute*` paths report.
     pub fn rows_scanned(&self) -> u64 {
-        self.stats.rows_scanned
+        self.evaluator.rows_scanned()
     }
 
-    /// Full execution statistics (work metric plus merge-join count).
+    /// Execution statistics so far (work metric, rewrite counters, peak
+    /// live-memory high-water marks). Streaming counters are final only
+    /// once the cursor is drained.
     pub fn stats(&self) -> ExecStats {
-        self.stats
+        let par = self.evaluator.par_stats();
+        ExecStats {
+            rows_scanned: self.evaluator.rows_scanned(),
+            merge_joins: self.evaluator.merge_joins(),
+            merge_left_joins: self.evaluator.merge_left_joins(),
+            sorted_distincts: self.evaluator.sorted_distincts(),
+            sorted_groups: self.evaluator.sorted_groups(),
+            par_workers: self.evaluator.threads() as u64,
+            par_chunks: par.chunks,
+            par_steals: par.steals,
+            par_merge_nanos: par.merge_nanos,
+            peak_live_rows: self.peak_live_rows,
+            peak_live_bytes: self.peak_live_bytes,
+            batches_emitted: self.batches_emitted,
+        }
     }
 
     /// Resolve any id appearing in this cursor's columns.
     pub fn resolve(&self, id: TermId) -> &Term {
-        self.pool.resolve(id)
+        self.evaluator.pool().resolve(id)
     }
 
     /// The next window of rows, or `Ok(None)` when the result is exhausted.
     ///
-    /// Checks the query deadline (if one was budgeted) before yielding, so
-    /// a consumer that drains a large result slowly is still cancelled —
-    /// the other budget axes were fully enforced during the eager
-    /// evaluation in [`Engine::cursor`].
+    /// On the streaming path this is where evaluation happens: the root
+    /// operator is pulled for up to `batch_rows` rows and every budget axis
+    /// (scan, memory, deadline) is enforced inside the pull. The deadline
+    /// is additionally checked here even when no work remains, so a
+    /// consumer that drains a large result slowly is still cancelled.
     pub fn next_batch(&mut self) -> Result<Option<ColumnBatch<'_>>> {
         self.meter.check_deadline()?;
-        if self.pos >= self.table.len() {
-            return Ok(None);
+        let window = match &mut self.source {
+            Source::Streamed(op) => {
+                let out = op.next_batch(&mut self.evaluator, self.batch_rows)?;
+                let (live_rows, live_bytes) = op.live_size();
+                let (out_rows, out_bytes) = match &out {
+                    Some(t) => (t.len() as u64, t.estimated_bytes()),
+                    None => (0, 0),
+                };
+                self.peak_live_rows = self.peak_live_rows.max(live_rows.saturating_add(out_rows));
+                self.peak_live_bytes = self
+                    .peak_live_bytes
+                    .max(live_bytes.saturating_add(out_bytes));
+                out
+            }
+            Source::Materialized { table, pos } => {
+                if *pos >= table.len() {
+                    None
+                } else {
+                    let len = self.batch_rows.min(table.len() - *pos);
+                    let idx: Vec<u32> = (*pos as u32..(*pos + len) as u32).collect();
+                    *pos += len;
+                    Some(table.gather_rows(&idx))
+                }
+            }
+        };
+        match window {
+            None => Ok(None),
+            Some(t) => {
+                let start = self.emitted;
+                let len = t.len();
+                self.emitted += len;
+                self.batches_emitted += 1;
+                Ok(Some(ColumnBatch {
+                    table: t,
+                    pool: self.evaluator.pool(),
+                    start,
+                    len,
+                }))
+            }
         }
-        let start = self.pos;
-        let len = self.batch_rows.min(self.table.len() - start);
-        self.pos = start + len;
-        Ok(Some(ColumnBatch {
-            table: &self.table,
-            pool: &self.pool,
-            start,
-            len,
-        }))
     }
 }
 
-/// One window of a [`QueryCursor`]: column slices over rows
-/// `[start, start+len)` plus id resolution.
+/// One batch of a [`QueryCursor`]: an owned columnar window over rows
+/// `[start, start+len)` of the result, plus id resolution.
 pub struct ColumnBatch<'c> {
-    table: &'c IdTable,
+    table: IdTable,
     pool: &'c TermPool<'c>,
     /// First row (in the whole result) this batch covers.
     pub start: usize,
@@ -480,27 +569,27 @@ pub struct ColumnBatch<'c> {
 
 impl<'c> ColumnBatch<'c> {
     /// Column names (parallel to column indexes).
-    pub fn vars(&self) -> &'c [String] {
+    pub fn vars(&self) -> &[String] {
         &self.table.vars
     }
 
     /// The raw id slice of column `col` for this batch's rows. Absent slots
     /// hold a zero filler — pair with [`ColumnBatch::is_present`], or use
     /// [`ColumnBatch::get`] for the checked view.
-    pub fn column_ids(&self, col: usize) -> &'c [TermId] {
-        &self.table.col(col).ids()[self.start..self.start + self.len]
+    pub fn column_ids(&self, col: usize) -> &[TermId] {
+        self.table.col(col).ids()
     }
 
     /// Is `row` (batch-relative) bound in column `col`?
     pub fn is_present(&self, col: usize, row: usize) -> bool {
         debug_assert!(row < self.len);
-        self.table.col(col).is_present(self.start + row)
+        self.table.col(col).is_present(row)
     }
 
     /// Checked cell read (batch-relative row).
     pub fn get(&self, col: usize, row: usize) -> Option<TermId> {
         debug_assert!(row < self.len);
-        self.table.get(self.start + row, col)
+        self.table.get(row, col)
     }
 
     /// Resolve an id from any of this batch's columns.
@@ -599,26 +688,36 @@ mod tests {
         let prepared = engine.prepare(q).unwrap();
         let expected = engine.execute(q).unwrap();
 
-        let mut cursor = engine.cursor(&prepared, 4).unwrap();
-        assert_eq!(cursor.vars(), expected.vars.as_slice());
-        assert_eq!(cursor.row_count(), 10);
-        let mut rebuilt: Vec<Vec<Option<Term>>> = Vec::new();
-        let mut batch_sizes = Vec::new();
-        while let Some(batch) = cursor.next_batch().unwrap() {
-            batch_sizes.push(batch.len);
-            for row in 0..batch.len {
-                rebuilt.push(
-                    (0..batch.vars().len())
-                        .map(|c| batch.get(c, row).map(|id| batch.resolve(id).clone()))
-                        .collect(),
-                );
+        for streaming in [true, false] {
+            let engine = Engine::with_config(
+                dataset(),
+                EngineConfig {
+                    streaming,
+                    ..EngineConfig::new()
+                },
+            );
+            let mut cursor = engine.cursor(&prepared, 4).unwrap();
+            assert_eq!(cursor.vars(), expected.vars.as_slice());
+            let mut rebuilt: Vec<Vec<Option<Term>>> = Vec::new();
+            let mut batch_sizes = Vec::new();
+            while let Some(batch) = cursor.next_batch().unwrap() {
+                batch_sizes.push(batch.len);
+                for row in 0..batch.len {
+                    rebuilt.push(
+                        (0..batch.vars().len())
+                            .map(|c| batch.get(c, row).map(|id| batch.resolve(id).clone()))
+                            .collect(),
+                    );
+                }
             }
+            assert_eq!(batch_sizes, vec![4, 4, 2], "streaming={streaming}");
+            assert_eq!(rebuilt, expected.rows, "streaming={streaming}");
+            // Work metric matches the string path (read after draining:
+            // the streaming cursor scans as batches are pulled).
+            let (_, stats) = engine.execute_with_stats(q).unwrap();
+            assert_eq!(cursor.rows_scanned(), stats.rows_scanned);
+            assert_eq!(cursor.stats().batches_emitted, 3);
         }
-        assert_eq!(batch_sizes, vec![4, 4, 2]);
-        assert_eq!(rebuilt, expected.rows);
-        // Work metric matches the string path.
-        let (_, stats) = engine.execute_with_stats(q).unwrap();
-        assert_eq!(cursor.rows_scanned(), stats.rows_scanned);
     }
 
     #[test]

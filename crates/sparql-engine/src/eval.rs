@@ -46,6 +46,8 @@ use crate::expr::{ebv, eval_expr, id_equality_shape, AggState, EvalCaches, IdRow
 use crate::pool::TermPool;
 use crate::results::{Column, IdTable, SolutionTable};
 
+pub(crate) mod pipeline;
+
 /// Inputs below this row count run sequentially even with parallelism on:
 /// the fan-out overhead (task queueing, per-chunk state) dwarfs the work.
 const PAR_MIN_ROWS: usize = 256;
@@ -297,79 +299,12 @@ impl<'a> Evaluator<'a> {
                 Ok(union(left, right))
             }
             Plan::Filter(expr, p) => {
-                let mut t = self.eval_ids(p)?;
-                let mut keep = Vec::with_capacity(t.len());
-                if let Some((col, const_id, negate)) = self.id_equality_filter(expr, &t) {
-                    // Vectorized id comparison: `?v = <iri>` over a column
-                    // is a single scan of raw ids — no term is resolved,
-                    // cloned, or compared per row. (Sound only for
-                    // non-literal constants, where SPARQL `=` is identity;
-                    // the shared interner makes id equality coincide with
-                    // term equality.)
-                    let column = t.col(col);
-                    for i in 0..t.len() {
-                        keep.push(match (column.get(i), const_id) {
-                            (Some(id), Some(c)) => (id == c) != negate,
-                            // Constant interned nowhere: can equal nothing.
-                            (Some(_), None) => negate,
-                            // Unbound input: error → filtered out.
-                            (None, _) => false,
-                        });
-                    }
-                } else {
-                    let pool = &self.pool;
-                    let caches = &mut self.caches;
-                    let buf = &mut self.scratch;
-                    for i in 0..t.len() {
-                        t.read_row(i, buf);
-                        let ctx = IdRowCtx {
-                            vars: &t.vars,
-                            row: buf,
-                            pool,
-                        };
-                        keep.push(
-                            eval_expr(expr, ctx, caches)
-                                .as_ref()
-                                .and_then(ebv)
-                                .unwrap_or(false),
-                        );
-                    }
-                }
-                t.filter_mask(&keep);
-                Ok(t)
+                let t = self.eval_ids(p)?;
+                Ok(self.filter_table(expr, t))
             }
             Plan::Extend(var, expr, p) => {
-                let mut t = self.eval_ids(p)?;
-                let existing = t.column_index(var);
-                // `BIND(?x AS ?y)` is a column copy — no resolve/intern
-                // cycle, no per-row work at all.
-                let new_col: Column = if let Expr::Var(src) = expr {
-                    match t.column_index(src) {
-                        Some(idx) => t.col(idx).clone(),
-                        None => Column::absent(t.len()),
-                    }
-                } else {
-                    let mut col = Column::with_capacity(t.len());
-                    for i in 0..t.len() {
-                        let value = {
-                            let buf = &mut self.scratch;
-                            t.read_row(i, buf);
-                            let ctx = IdRowCtx {
-                                vars: &t.vars,
-                                row: buf,
-                                pool: &self.pool,
-                            };
-                            eval_expr(expr, ctx, &mut self.caches)
-                        };
-                        col.push(value.map(|term| self.pool.intern(term)));
-                    }
-                    col
-                };
-                match existing {
-                    Some(idx) => t.replace_column(idx, new_col),
-                    None => t.add_column(var.clone(), new_col),
-                }
-                Ok(t)
+                let t = self.eval_ids(p)?;
+                Ok(self.extend_table(var, expr, t))
             }
             Plan::Group {
                 keys,
@@ -382,25 +317,7 @@ impl<'a> Evaluator<'a> {
             }
             Plan::Project(vars, p) => {
                 let t = self.eval_ids(p)?;
-                let rows = t.len();
-                // The input is owned: move projected columns out instead of
-                // cloning id vectors and bitmaps.
-                let (t_vars, t_cols, _) = t.into_parts();
-                let mut pool: Vec<Option<Column>> = t_cols.into_iter().map(Some).collect();
-                let mut out_cols: Vec<Column> = Vec::with_capacity(vars.len());
-                for (k, v) in vars.iter().enumerate() {
-                    let col = if let Some(prev) = vars[..k].iter().position(|x| x == v) {
-                        // `SELECT ?x ?x`: second occurrence clones the
-                        // already-projected column.
-                        out_cols[prev].clone()
-                    } else if let Some(i) = t_vars.iter().position(|x| x == v) {
-                        pool[i].take().expect("first projection of this var")
-                    } else {
-                        Column::absent(rows)
-                    };
-                    out_cols.push(col);
-                }
-                Ok(IdTable::from_columns(vars.clone(), out_cols, rows))
+                Ok(project_table(vars, t))
             }
             Plan::Distinct(p) => {
                 let t = self.eval_ids(p)?;
@@ -591,85 +508,16 @@ impl<'a> Evaluator<'a> {
                 .collect();
 
             let n_slots = free_cols.len();
-            let (pat_src, mut pat_vals, pat_scanned) = match &self.par {
-                Some(p) if cur_len >= PAR_MIN_ROWS => {
-                    // Fan the input rows out over chunks; each chunk runs
-                    // the identical loop body with its own buffers, filter
-                    // clones, caches, and a worker handle on the shared
-                    // budget. Concatenating results in chunk order below
-                    // reproduces the sequential output byte for byte.
-                    let chunk = par_chunk_size(cur_len, p.threads);
-                    let n_chunks = cur_len.div_ceil(chunk);
-                    let shared = SharedMeter::new(&self.meter, n_chunks);
-                    let pats_ref = &pats;
-                    let cur_ref = &cur;
-                    let bound_ref = &bound;
-                    let primaries_ref = &primaries;
-                    let dup_ref = &dup_checks;
-                    let checks_ref = &checks;
-                    let run = p.pool.run_chunks(cur_len, chunk, |ci, range| {
-                        let mut chunk_checks = checks_ref.clone();
-                        let mut chunk_caches = EvalCaches::new();
-                        let mut wm = shared.worker(ci);
-                        bgp_scan_rows(
-                            range,
-                            pats_ref,
-                            cur_ref,
-                            bound_ref,
-                            primaries_ref,
-                            dup_ref,
-                            &mut chunk_checks,
-                            n_slots,
-                            pool,
-                            &mut chunk_caches,
-                            &mut wm,
-                        )
-                    });
-                    self.par_stats.chunks += run.chunks;
-                    self.par_stats.steals += run.steals;
-                    let merge_start = Instant::now();
-                    let mut src: Vec<u32> = Vec::new();
-                    let mut vals: Vec<Vec<TermId>> = (0..n_slots).map(|_| Vec::new()).collect();
-                    let mut pat_scanned = 0u64;
-                    let mut chunk_err: Option<EngineError> = None;
-                    for r in run.results {
-                        match r {
-                            Ok((s, v, n)) => {
-                                pat_scanned += n;
-                                src.extend_from_slice(&s);
-                                for (dst, sv) in vals.iter_mut().zip(v) {
-                                    dst.extend(sv);
-                                }
-                            }
-                            Err(e) => {
-                                chunk_err.get_or_insert(e);
-                            }
-                        }
-                    }
-                    self.par_stats.merge_nanos += merge_start.elapsed().as_nanos() as u64;
-                    // Fold worker scan charges back and surface the first
-                    // recorded trip (sequential behavior: a tripped pattern
-                    // does not update `rows_scanned`).
-                    shared.finish(&mut self.meter)?;
-                    if let Some(e) = chunk_err {
-                        return Err(e);
-                    }
-                    (src, vals, pat_scanned)
-                }
-                _ => bgp_scan_rows(
-                    0..cur_len,
-                    &pats,
-                    &cur,
-                    &bound,
-                    &primaries,
-                    &dup_checks,
-                    &mut checks,
-                    n_slots,
-                    pool,
-                    &mut self.caches,
-                    &mut self.meter,
-                )?,
-            };
+            let (pat_src, mut pat_vals, pat_scanned) = self.extend_rows(
+                0..cur_len,
+                &pats,
+                &cur,
+                &bound,
+                &primaries,
+                &dup_checks,
+                &mut checks,
+                n_slots,
+            )?;
             scanned += pat_scanned;
 
             // Assemble the next table column-at-a-time.
@@ -703,6 +551,191 @@ impl<'a> Evaluator<'a> {
         self.rows_scanned += scanned;
         drop(var_idx);
         Ok(IdTable::from_columns(vars, cur, cur_len))
+    }
+
+    /// Extend the input rows `rows` (drawn from `cur`/`bound`) through one
+    /// pattern's resolved graph scans, choosing between the sequential loop
+    /// and the chunked parallel fan-out. Factored out of [`Self::eval_bgp`]
+    /// so the streaming pipeline's BGP operator reuses the identical
+    /// decision and loop bodies — result, `rows_scanned`, and parallel
+    /// chunk-accounting parity is inherited rather than re-implemented.
+    ///
+    /// Parallel path: the rows fan out over chunks; each chunk runs the
+    /// identical loop body with its own buffers, filter clones, caches, and
+    /// a worker handle on the shared budget. Concatenating results in chunk
+    /// order reproduces the sequential output byte for byte.
+    #[allow(clippy::too_many_arguments)]
+    fn extend_rows(
+        &mut self,
+        rows: Range<usize>,
+        pats: &[(&Graph, &GraphIdMap, [Slot; 3])],
+        cur: &[Column],
+        bound: &[bool],
+        primaries: &[(usize, usize)],
+        dup_checks: &[(usize, usize)],
+        checks: &mut Vec<(usize, PushedEval)>,
+        n_slots: usize,
+    ) -> Result<(Vec<u32>, Vec<Vec<TermId>>, u64)> {
+        let len = rows.len();
+        let pool = &self.pool;
+        match &self.par {
+            Some(p) if len >= PAR_MIN_ROWS => {
+                let chunk = par_chunk_size(len, p.threads);
+                let n_chunks = len.div_ceil(chunk);
+                let shared = SharedMeter::new(&self.meter, n_chunks);
+                let start = rows.start;
+                let checks_ref = &*checks;
+                let run = p.pool.run_chunks(len, chunk, |ci, range| {
+                    let range = range.start + start..range.end + start;
+                    let mut chunk_checks = checks_ref.clone();
+                    let mut chunk_caches = EvalCaches::new();
+                    let mut wm = shared.worker(ci);
+                    bgp_scan_rows(
+                        range,
+                        pats,
+                        cur,
+                        bound,
+                        primaries,
+                        dup_checks,
+                        &mut chunk_checks,
+                        n_slots,
+                        pool,
+                        &mut chunk_caches,
+                        &mut wm,
+                    )
+                });
+                self.par_stats.chunks += run.chunks;
+                self.par_stats.steals += run.steals;
+                let merge_start = Instant::now();
+                let mut src: Vec<u32> = Vec::new();
+                let mut vals: Vec<Vec<TermId>> = (0..n_slots).map(|_| Vec::new()).collect();
+                let mut pat_scanned = 0u64;
+                let mut chunk_err: Option<EngineError> = None;
+                for r in run.results {
+                    match r {
+                        Ok((s, v, n)) => {
+                            pat_scanned += n;
+                            src.extend_from_slice(&s);
+                            for (dst, sv) in vals.iter_mut().zip(v) {
+                                dst.extend(sv);
+                            }
+                        }
+                        Err(e) => {
+                            chunk_err.get_or_insert(e);
+                        }
+                    }
+                }
+                self.par_stats.merge_nanos += merge_start.elapsed().as_nanos() as u64;
+                // Fold worker scan charges back and surface the first
+                // recorded trip (sequential behavior: a tripped pattern
+                // does not update `rows_scanned`).
+                shared.finish(&mut self.meter)?;
+                if let Some(e) = chunk_err {
+                    return Err(e);
+                }
+                Ok((src, vals, pat_scanned))
+            }
+            _ => bgp_scan_rows(
+                rows,
+                pats,
+                cur,
+                bound,
+                primaries,
+                dup_checks,
+                checks,
+                n_slots,
+                pool,
+                &mut self.caches,
+                &mut self.meter,
+            ),
+        }
+    }
+
+    /// Borrow the evaluator's term pool (the embedded cursor resolves
+    /// result ids through it while streaming batches out).
+    pub(crate) fn pool(&self) -> &TermPool<'a> {
+        &self.pool
+    }
+
+    /// Body of [`Plan::Filter`] over an owned table. Row-independent, so
+    /// the streaming pipeline applies it batch-at-a-time with identical
+    /// results.
+    fn filter_table(&mut self, expr: &Expr, mut t: IdTable) -> IdTable {
+        let mut keep = Vec::with_capacity(t.len());
+        if let Some((col, const_id, negate)) = self.id_equality_filter(expr, &t) {
+            // Vectorized id comparison: `?v = <iri>` over a column
+            // is a single scan of raw ids — no term is resolved,
+            // cloned, or compared per row. (Sound only for
+            // non-literal constants, where SPARQL `=` is identity;
+            // the shared interner makes id equality coincide with
+            // term equality.)
+            let column = t.col(col);
+            for i in 0..t.len() {
+                keep.push(match (column.get(i), const_id) {
+                    (Some(id), Some(c)) => (id == c) != negate,
+                    // Constant interned nowhere: can equal nothing.
+                    (Some(_), None) => negate,
+                    // Unbound input: error → filtered out.
+                    (None, _) => false,
+                });
+            }
+        } else {
+            let pool = &self.pool;
+            let caches = &mut self.caches;
+            let buf = &mut self.scratch;
+            for i in 0..t.len() {
+                t.read_row(i, buf);
+                let ctx = IdRowCtx {
+                    vars: &t.vars,
+                    row: buf,
+                    pool,
+                };
+                keep.push(
+                    eval_expr(expr, ctx, caches)
+                        .as_ref()
+                        .and_then(ebv)
+                        .unwrap_or(false),
+                );
+            }
+        }
+        t.filter_mask(&keep);
+        t
+    }
+
+    /// Body of [`Plan::Extend`] over an owned table. Rows are evaluated in
+    /// input order (intern order is row order), so batch-at-a-time
+    /// application produces the identical column.
+    fn extend_table(&mut self, var: &str, expr: &Expr, mut t: IdTable) -> IdTable {
+        let existing = t.column_index(var);
+        // `BIND(?x AS ?y)` is a column copy — no resolve/intern
+        // cycle, no per-row work at all.
+        let new_col: Column = if let Expr::Var(src) = expr {
+            match t.column_index(src) {
+                Some(idx) => t.col(idx).clone(),
+                None => Column::absent(t.len()),
+            }
+        } else {
+            let mut col = Column::with_capacity(t.len());
+            for i in 0..t.len() {
+                let value = {
+                    let buf = &mut self.scratch;
+                    t.read_row(i, buf);
+                    let ctx = IdRowCtx {
+                        vars: &t.vars,
+                        row: buf,
+                        pool: &self.pool,
+                    };
+                    eval_expr(expr, ctx, &mut self.caches)
+                };
+                col.push(value.map(|term| self.pool.intern(term)));
+            }
+            col
+        };
+        match existing {
+            Some(idx) => t.replace_column(idx, new_col),
+            None => t.add_column(var.to_string(), new_col),
+        }
+        t
     }
 
     /// Recognize `FILTER ( ?v = <iri> )` / `FILTER ( ?v != <iri> )` shapes
@@ -1632,6 +1665,7 @@ fn bgp_scan_rows<M: OpMeter>(
 }
 
 /// Pattern-level binding of one triple position.
+#[derive(Clone, Copy)]
 enum Slot {
     /// Constant, resolved to the graph's local id.
     Bound(TermId),
@@ -2044,6 +2078,29 @@ fn merge_join(
         meter.charge_intermediate(pairs.len() as u64, pairs.len() as u64 * 8)?;
     }
     Ok(assemble_join(&left, &right, shape.out_vars, &pairs))
+}
+
+/// Body of [`Plan::Project`] over an owned table: move projected columns
+/// out instead of cloning id vectors and bitmaps. Pure column shuffling —
+/// the streaming pipeline applies it per batch.
+fn project_table(vars: &[String], t: IdTable) -> IdTable {
+    let rows = t.len();
+    let (t_vars, t_cols, _) = t.into_parts();
+    let mut pool: Vec<Option<Column>> = t_cols.into_iter().map(Some).collect();
+    let mut out_cols: Vec<Column> = Vec::with_capacity(vars.len());
+    for (k, v) in vars.iter().enumerate() {
+        let col = if let Some(prev) = vars[..k].iter().position(|x| x == v) {
+            // `SELECT ?x ?x`: second occurrence clones the
+            // already-projected column.
+            out_cols[prev].clone()
+        } else if let Some(i) = t_vars.iter().position(|x| x == v) {
+            pool[i].take().expect("first projection of this var")
+        } else {
+            Column::absent(rows)
+        };
+        out_cols.push(col);
+    }
+    IdTable::from_columns(vars.to_vec(), out_cols, rows)
 }
 
 /// Hash-based DISTINCT (keeps first occurrences): the general path, and the

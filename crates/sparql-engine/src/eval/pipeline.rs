@@ -1,0 +1,1749 @@
+//! Pull-based streaming operator pipeline over the columnar evaluator.
+//!
+//! Each plan node becomes an [`Operator`] that produces its output batch
+//! at a time by pulling batches from its inputs, holding only per-operator
+//! staging state between calls. The contract with the materializing path
+//! ([`Evaluator::eval_to_ids`]) is strict: the concatenation of all emitted
+//! batches is byte-identical to the materialized table for every batch
+//! size, `rows_scanned` totals match exactly (fully drained plans), and
+//! order-aware rewrite counters (`merge_joins`, `sorted_distincts`,
+//! `sorted_groups`) reach the same values because every sortedness claim is
+//! re-verified incrementally (batch-local checks plus run boundaries).
+//!
+//! Streaming operators (BGP extension, join probe, filter/extend/project,
+//! slice) keep live state bounded by the batch size; pipeline breakers
+//! (sort, top-k, group, distinct, the join build side, union's nothing —
+//! union streams too) materialize only their own input or their own
+//! accumulation state and charge it against the budget as it grows, so
+//! `max_intermediate_rows`/`max_memory_bytes` bound *peak live state* per
+//! operator rather than whole-query materialization.
+//!
+//! The one deliberate divergence: [`SliceOp`] stops pulling upstream once
+//! its limit is satisfied, so `LIMIT` queries legitimately scan *fewer*
+//! index entries than the materializing path (the early-exit carve-out in
+//! the differential oracle).
+
+use rdf_model::ScanPos;
+
+use super::*;
+
+/// One streaming operator: a node of the pull-based pipeline.
+///
+/// `next_batch` returns `Some(batch)` with at least one row, or `None`
+/// when exhausted (and keeps returning `None`). Operators never emit empty
+/// batches; they loop internally until they have output or their input is
+/// dry. Batches may be *smaller* than `batch_rows` (operators flush at
+/// input-batch boundaries rather than buffer across them), never larger.
+pub(crate) trait Operator<'e> {
+    /// Output schema (stable across all batches).
+    fn vars(&self) -> &[String];
+
+    /// Produce the next non-empty output batch, or `None` when exhausted.
+    fn next_batch(&mut self, ev: &mut Evaluator<'e>, batch_rows: usize) -> Result<Option<IdTable>>;
+
+    /// Current live state of this operator *and its inputs*, as
+    /// `(rows, bytes)` — staging buffers, accumulated build/breaker state,
+    /// and undrained staged output. Feeds `ExecStats::peak_live_rows`.
+    fn live_size(&self) -> (u64, u64);
+}
+
+/// A boxed operator (the pipeline is built as a tree of these).
+pub(crate) type BoxOp<'e> = Box<dyn Operator<'e> + 'e>;
+
+/// Build the operator pipeline for a plan.
+///
+/// Graph resolution happens eagerly here (same [`EngineError::UnknownGraph`]
+/// timing as the materializing path, which resolves before any scan).
+pub(crate) fn build<'e>(ev: &Evaluator<'e>, plan: &'e Plan) -> Result<BoxOp<'e>> {
+    Ok(match plan {
+        Plan::Unit => Box::new(UnitOp { done: false }),
+        Plan::Bgp {
+            patterns,
+            graph,
+            filters,
+        } => Box::new(BgpOp::new(ev, patterns, graph, filters)?),
+        Plan::Join(a, b) => Box::new(JoinOp::new(
+            build(ev, a)?,
+            build(ev, b)?,
+            JoinKind::Inner,
+            None,
+        )),
+        Plan::LeftJoin(a, b) => Box::new(JoinOp::new(
+            build(ev, a)?,
+            build(ev, b)?,
+            JoinKind::Left,
+            None,
+        )),
+        Plan::MergeJoin { left, right, key } => Box::new(JoinOp::new(
+            build(ev, left)?,
+            build(ev, right)?,
+            JoinKind::Inner,
+            Some(key),
+        )),
+        Plan::MergeLeftJoin { left, right, key } => Box::new(JoinOp::new(
+            build(ev, left)?,
+            build(ev, right)?,
+            JoinKind::Left,
+            Some(key),
+        )),
+        Plan::Union(a, b) => Box::new(UnionOp::new(build(ev, a)?, build(ev, b)?)),
+        Plan::Filter(expr, p) => Box::new(FilterOp {
+            input: build(ev, p)?,
+            expr,
+        }),
+        Plan::Extend(var, expr, p) => Box::new(ExtendOp::new(build(ev, p)?, var, expr)),
+        Plan::Group {
+            keys,
+            aggs,
+            input,
+            sorted_on,
+        } => Box::new(GroupOp::new(build(ev, input)?, keys, aggs, sorted_on)),
+        Plan::Project(vars, p) => Box::new(ProjectOp {
+            input: build(ev, p)?,
+            vars: vars.clone(),
+        }),
+        Plan::Distinct(p) => Box::new(DistinctOp::new(build(ev, p)?, None)),
+        Plan::SortedDistinct { order, input } => {
+            Box::new(DistinctOp::new(build(ev, input)?, Some(order)))
+        }
+        Plan::OrderBy(keys, p) => Box::new(SortOp::new(build(ev, p)?, keys, None)),
+        Plan::TopK { keys, k, input } => Box::new(SortOp::new(build(ev, input)?, keys, Some(*k))),
+        Plan::Slice {
+            limit,
+            offset,
+            input,
+        } => Box::new(SliceOp {
+            input: build(ev, input)?,
+            offset: *offset,
+            limit: *limit,
+            skipped: 0,
+            emitted: 0,
+            done: false,
+        }),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shared staging helpers
+// ---------------------------------------------------------------------------
+
+/// Staged output: a table an operator produced in one gulp (a flush, a
+/// sorted result, a join's assembled batch) being handed out in windows.
+struct Staged {
+    table: IdTable,
+    off: usize,
+}
+
+impl Staged {
+    fn remaining(&self) -> usize {
+        self.table.len().saturating_sub(self.off)
+    }
+}
+
+/// Cut the next window of up to `n` rows off a staged table, clearing it
+/// when exhausted. Whole-table staging hands the table out without a copy.
+fn take_window(staged: &mut Option<Staged>, n: usize) -> Option<IdTable> {
+    let s = staged.as_mut()?;
+    let len = s.table.len();
+    if s.off >= len {
+        *staged = None;
+        return None;
+    }
+    let out = if s.off == 0 && len <= n {
+        let t = std::mem::take(&mut s.table);
+        *staged = None;
+        t
+    } else {
+        let end = (s.off + n).min(len);
+        let idx: Vec<u32> = (s.off as u32..end as u32).collect();
+        let w = s.table.gather_rows(&idx);
+        s.off = end;
+        if s.off >= len {
+            *staged = None;
+        }
+        w
+    };
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+fn staged_live(staged: &Option<Staged>) -> (u64, u64) {
+    match staged {
+        Some(s) => (s.remaining() as u64, s.table.estimated_bytes()),
+        None => (0, 0),
+    }
+}
+
+fn add2(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
+    (a.0.saturating_add(b.0), a.1.saturating_add(b.1))
+}
+
+/// Incremental sortedness check for one batch against `cols`, carrying the
+/// previous batch's last key row in `prev` so run boundaries that cross
+/// batch edges are verified too. Returns `false` (claim refuted) on any
+/// unbound key cell, in-batch inversion, or boundary inversion; on success
+/// updates `prev` to this batch's last key row.
+fn batch_sorted_on(t: &IdTable, cols: &[usize], prev: &mut Option<Vec<TermId>>) -> bool {
+    if t.is_empty() {
+        return true;
+    }
+    for &c in cols {
+        if !t.col(c).all_present() {
+            return false;
+        }
+    }
+    if let Some(p) = prev.as_ref() {
+        for (k, &c) in cols.iter().enumerate() {
+            match p[k].cmp(&t.col(c).ids()[0]) {
+                Ordering::Less => break,
+                Ordering::Equal => continue,
+                Ordering::Greater => return false,
+            }
+        }
+    }
+    for i in 1..t.len() {
+        if lex_cmp_prev(t, cols, i) == Ordering::Greater {
+            return false;
+        }
+    }
+    *prev = Some(cols.iter().map(|&c| t.col(c).ids()[t.len() - 1]).collect());
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Unit
+// ---------------------------------------------------------------------------
+
+/// [`Plan::Unit`]: the single empty solution, emitted once.
+struct UnitOp {
+    done: bool,
+}
+
+impl<'e> Operator<'e> for UnitOp {
+    fn vars(&self) -> &[String] {
+        &[]
+    }
+
+    fn next_batch(&mut self, _ev: &mut Evaluator<'e>, _n: usize) -> Result<Option<IdTable>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        Ok(Some(IdTable::unit()))
+    }
+
+    fn live_size(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BGP
+// ---------------------------------------------------------------------------
+
+/// Suspension point of a level's scan: which `(graph, pattern)` entry, and
+/// where inside its index range (`None` = restart the entry from its
+/// beginning — only produced transiently by [`extend_level_seq`]).
+struct Scan {
+    entry: usize,
+    at: Option<ScanPos>,
+}
+
+/// One BGP pattern's streaming extension state.
+struct Level<'e> {
+    /// `(graph index, resolved slots)` per graph where every constant
+    /// resolved; a graph missing a constant contributes no matches.
+    pats: Vec<(usize, [Slot; 3])>,
+    /// Columns this pattern newly binds, one per value slot.
+    free_cols: Vec<usize>,
+    /// `(slot, position)` — which triple position binds each slot.
+    primaries: Vec<(usize, usize)>,
+    /// Repeated-new-variable positions needing per-match equality.
+    dup_checks: Vec<(usize, usize)>,
+    /// Pushed filters firing at this pattern, routed to value slots.
+    checks: Vec<(usize, PushedEval<'e>)>,
+    /// Input-side bound-ness (vars bound by earlier levels).
+    bound: Vec<bool>,
+    /// Current input batch from the previous level (full-width schema).
+    input: IdTable,
+    /// Next input row to extend.
+    pos: usize,
+    /// In-flight suspended scan within row `pos`.
+    scan: Option<Scan>,
+    /// Match gather indexes (global row numbers into `input`).
+    src: Vec<u32>,
+    /// New-binding value vectors, one per slot.
+    vals: Vec<Vec<TermId>>,
+    /// Assembled output being windowed out.
+    staged: Option<Staged>,
+    /// Previous level exhausted.
+    upstream_done: bool,
+}
+
+/// Streaming BGP: a cascade of [`Level`]s, one per pattern, each extending
+/// input batches depth-first. Both this and the materializing
+/// breadth-first pass emit rows in lexicographic per-level match-index
+/// order and fully drain every input row's scans, so the concatenated
+/// output and the scan totals are identical at any batch size.
+struct BgpOp<'e> {
+    vars: Vec<String>,
+    graphs: Vec<(Arc<Graph>, Arc<GraphIdMap>)>,
+    levels: Vec<Level<'e>>,
+    /// Empty-pattern BGP: the identity row, emitted once.
+    identity_emitted: bool,
+}
+
+impl<'e> BgpOp<'e> {
+    fn new(
+        ev: &Evaluator<'e>,
+        patterns: &'e [TriplePattern],
+        graph: &GraphRef,
+        filters: &'e [PushedFilter],
+    ) -> Result<Self> {
+        let graphs = ev.resolve_graphs(graph)?;
+
+        // Variable schema in first-mention order (same as `eval_bgp`).
+        let mut vars: Vec<String> = Vec::new();
+        for p in patterns {
+            for v in p.variables() {
+                if !vars.iter().any(|x| x == v) {
+                    vars.push(v.to_string());
+                }
+            }
+        }
+        let width = vars.len();
+        let var_idx: HashMap<&str, usize> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
+
+        let pool = ev.pool();
+        let mut pattern_filters: Vec<Vec<(usize, PushedEval<'e>)>> =
+            crate::algebra::attach_filters(patterns, filters, |v| var_idx[v])
+                .into_iter()
+                .map(|routed| {
+                    routed
+                        .into_iter()
+                        .map(|(col, f)| (col, PushedEval::compile(&f.var, &f.expr, pool)))
+                        .collect()
+                })
+                .collect();
+
+        let mut bound = vec![false; width];
+        let mut levels: Vec<Level<'e>> = Vec::with_capacity(patterns.len());
+        for (pi, pattern) in patterns.iter().enumerate() {
+            let pats: Vec<(usize, [Slot; 3])> = graphs
+                .iter()
+                .enumerate()
+                .filter_map(|(gix, (_, map))| {
+                    let s = Evaluator::pattern_slot(ev.dataset, &pattern.subject, map, &var_idx)?;
+                    let p = Evaluator::pattern_slot(ev.dataset, &pattern.predicate, map, &var_idx)?;
+                    let o = Evaluator::pattern_slot(ev.dataset, &pattern.object, map, &var_idx)?;
+                    Some((gix, [s, p, o]))
+                })
+                .collect();
+
+            let terms = [&pattern.subject, &pattern.predicate, &pattern.object];
+            let mut free_cols: Vec<usize> = Vec::new();
+            let mut primaries: Vec<(usize, usize)> = Vec::new();
+            let mut dup_checks: Vec<(usize, usize)> = Vec::new();
+            for (pos, term) in terms.iter().enumerate() {
+                if let PatternTerm::Var(v) = term {
+                    let col = var_idx[v.as_str()];
+                    if bound[col] {
+                        continue;
+                    }
+                    match free_cols.iter().position(|&c| c == col) {
+                        Some(slot) => dup_checks.push((primaries[slot].1, pos)),
+                        None => {
+                            let slot = free_cols.len();
+                            free_cols.push(col);
+                            primaries.push((slot, pos));
+                        }
+                    }
+                }
+            }
+            let checks: Vec<(usize, PushedEval<'e>)> = std::mem::take(&mut pattern_filters[pi])
+                .into_iter()
+                .map(|(col, pe)| {
+                    let slot = free_cols
+                        .iter()
+                        .position(|c| *c == col)
+                        .expect("filter var is newly bound at its attachment pattern");
+                    (slot, pe)
+                })
+                .collect();
+
+            let n_slots = free_cols.len();
+            levels.push(Level {
+                pats,
+                free_cols,
+                primaries,
+                dup_checks,
+                checks,
+                bound: bound.clone(),
+                input: IdTable::with_vars(vars.clone()),
+                pos: 0,
+                scan: None,
+                src: Vec::new(),
+                vals: (0..n_slots).map(|_| Vec::new()).collect(),
+                staged: None,
+                upstream_done: false,
+            });
+            for lvl in levels.last().unwrap().free_cols.clone() {
+                bound[lvl] = true;
+            }
+        }
+        drop(var_idx);
+
+        // Seed the first level with the BGP extension identity: one
+        // all-absent row (it has no upstream to pull it from).
+        if let Some(first) = levels.first_mut() {
+            first.input = IdTable::from_columns(
+                vars.clone(),
+                (0..width).map(|_| Column::absent(1)).collect(),
+                1,
+            );
+            first.upstream_done = true;
+        }
+
+        Ok(BgpOp {
+            vars,
+            graphs,
+            levels,
+            identity_emitted: false,
+        })
+    }
+
+    /// Extend pending input rows of level `k`, either through the parallel
+    /// block fan-out (fresh block of rows, no partial state — delegates to
+    /// [`Evaluator::extend_rows`], the same entry point the materializing
+    /// path uses) or the sequential resumable loop.
+    fn extend_level(&mut self, ev: &mut Evaluator<'e>, k: usize, target: usize) -> Result<()> {
+        let par_block = {
+            let lvl = &self.levels[k];
+            ev.par.is_some()
+                && lvl.scan.is_none()
+                && lvl.src.is_empty()
+                && lvl.input.len() - lvl.pos >= PAR_MIN_ROWS
+        };
+        let BgpOp { graphs, levels, .. } = self;
+        let lvl = &mut levels[k];
+        if par_block {
+            let pats_view: Vec<(&Graph, &GraphIdMap, [Slot; 3])> = lvl
+                .pats
+                .iter()
+                .map(|&(gix, slots)| {
+                    let (g, m) = &graphs[gix];
+                    (g.as_ref(), m.as_ref(), slots)
+                })
+                .collect();
+            let n_slots = lvl.free_cols.len();
+            let (src, vals, scanned) = ev.extend_rows(
+                lvl.pos..lvl.input.len(),
+                &pats_view,
+                lvl.input.columns(),
+                &lvl.bound,
+                &lvl.primaries,
+                &lvl.dup_checks,
+                &mut lvl.checks,
+                n_slots,
+            )?;
+            ev.rows_scanned += scanned;
+            lvl.src = src;
+            lvl.vals = vals;
+            lvl.pos = lvl.input.len();
+            return Ok(());
+        }
+        extend_level_seq(graphs, lvl, ev, target)
+    }
+
+    /// Assemble the level's match buffers into a staged output table
+    /// (identical column assembly to `eval_bgp`'s per-pattern step).
+    fn flush_level(&mut self, ev: &mut Evaluator<'e>, k: usize) -> Result<()> {
+        let BgpOp { vars, levels, .. } = self;
+        let lvl = &mut levels[k];
+        let total = lvl.src.len();
+        if total == 0 {
+            return Ok(());
+        }
+        let mut cols: Vec<Column> = Vec::with_capacity(vars.len());
+        for (col, cur_col) in lvl.input.columns().iter().enumerate() {
+            if lvl.bound[col] {
+                let mut out = Column::with_capacity(total);
+                out.gather_from(cur_col, &lvl.src);
+                cols.push(out);
+            } else if let Some(slot) = lvl.free_cols.iter().position(|&c| c == col) {
+                cols.push(Column::from_ids(std::mem::take(&mut lvl.vals[slot])));
+            } else {
+                cols.push(Column::absent(total));
+            }
+        }
+        lvl.src.clear();
+        let t = IdTable::from_columns(vars.clone(), cols, total);
+        if ev.meter.is_active() {
+            ev.meter
+                .charge_intermediate(t.len() as u64, t.estimated_bytes())?;
+        }
+        lvl.staged = Some(Staged { table: t, off: 0 });
+        Ok(())
+    }
+
+    /// Produce the next output window of level `k` (depth-first pull).
+    fn produce(
+        &mut self,
+        ev: &mut Evaluator<'e>,
+        k: usize,
+        target: usize,
+    ) -> Result<Option<IdTable>> {
+        loop {
+            if let Some(w) = take_window(&mut self.levels[k].staged, target) {
+                return Ok(Some(w));
+            }
+            let pending = {
+                let lvl = &self.levels[k];
+                lvl.pos < lvl.input.len() || lvl.scan.is_some()
+            };
+            if pending {
+                self.extend_level(ev, k, target)?;
+                let consumed = {
+                    let lvl = &self.levels[k];
+                    lvl.pos >= lvl.input.len() && lvl.scan.is_none()
+                };
+                if consumed || self.levels[k].src.len() >= target {
+                    self.flush_level(ev, k)?;
+                }
+                continue;
+            }
+            if self.levels[k].upstream_done {
+                return Ok(None);
+            }
+            match self.produce(ev, k - 1, target)? {
+                Some(t) => {
+                    let lvl = &mut self.levels[k];
+                    lvl.input = t;
+                    lvl.pos = 0;
+                }
+                None => self.levels[k].upstream_done = true,
+            }
+        }
+    }
+}
+
+impl<'e> Operator<'e> for BgpOp<'e> {
+    fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    fn next_batch(&mut self, ev: &mut Evaluator<'e>, batch_rows: usize) -> Result<Option<IdTable>> {
+        let target = batch_rows.max(1);
+        if self.levels.is_empty() {
+            // No patterns: the identity (matches `eval_bgp` on `[]`).
+            if self.identity_emitted {
+                return Ok(None);
+            }
+            self.identity_emitted = true;
+            return Ok(Some(IdTable::unit()));
+        }
+        let last = self.levels.len() - 1;
+        self.produce(ev, last, target)
+    }
+
+    fn live_size(&self) -> (u64, u64) {
+        let mut acc = (0u64, 0u64);
+        for lvl in &self.levels {
+            acc = add2(acc, (lvl.input.len() as u64, lvl.input.estimated_bytes()));
+            let buf_rows = lvl.src.len() as u64;
+            let buf_bytes = (lvl.src.len() as u64).saturating_mul(4).saturating_add(
+                lvl.vals
+                    .iter()
+                    .fold(0u64, |a, v| a.saturating_add(v.len() as u64 * 4)),
+            );
+            acc = add2(acc, (buf_rows, buf_bytes));
+            acc = add2(acc, staged_live(&lvl.staged));
+        }
+        acc
+    }
+}
+
+/// Sequential resumable extension of one level: the same per-row scan body
+/// as [`bgp_scan_rows`] (dup checks, pushed filters, gather/value buffers,
+/// per-segment budget charges), plus suspension — the match visitor stops
+/// the index scan once `target` matches are buffered and records a
+/// [`ScanPos`] to resume from, so a batch never overshoots its size while
+/// every visited index entry is still processed exactly once.
+fn extend_level_seq<'e>(
+    graphs: &[(Arc<Graph>, Arc<GraphIdMap>)],
+    lvl: &mut Level<'e>,
+    ev: &mut Evaluator<'e>,
+    target: usize,
+) -> Result<()> {
+    let Level {
+        pats,
+        dup_checks,
+        primaries,
+        checks,
+        src,
+        vals,
+        input,
+        bound,
+        pos,
+        scan,
+        ..
+    } = lvl;
+    let cur = input.columns();
+    let len = input.len();
+    let pool = &ev.pool;
+    let caches = &mut ev.caches;
+    let meter = &mut ev.meter;
+    while *pos < len {
+        let i = *pos;
+        let (start_entry, mut resume_at) = match scan.take() {
+            Some(s) => (s.entry, s.at),
+            None => {
+                if src.len() >= target {
+                    return Ok(());
+                }
+                (0, None)
+            }
+        };
+        for (entry, (gix, slots)) in pats.iter().enumerate().skip(start_entry) {
+            let (g, map) = &graphs[*gix];
+            let at = resume_at.take();
+            // Refine slots against row `i` (a bound variable with no local
+            // id in this graph can match nothing here).
+            let mut refined = [None; 3];
+            let mut ok = true;
+            for (ppos, slot) in slots.iter().enumerate() {
+                refined[ppos] = match slot {
+                    Slot::Bound(local) => Some(*local),
+                    Slot::Var(col) if bound[*col] => match map.to_local(cur[*col].ids()[i]) {
+                        Some(local) => Some(local),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                    Slot::Var(_) => None,
+                };
+            }
+            if !ok {
+                continue;
+            }
+            let row = i as u32;
+            let map_ref = map.as_ref();
+            let (visited, stopped) =
+                g.for_each_match_from(refined[0], refined[1], refined[2], at, |ms, mp, mo| {
+                    let m = [ms, mp, mo];
+                    if dup_checks.iter().any(|&(a, b)| m[a] != m[b]) {
+                        return src.len() < target;
+                    }
+                    let mut globals = [TermId(0); 3];
+                    for &(slot, ppos) in primaries.iter() {
+                        globals[slot] = map_ref.to_global(m[ppos]);
+                    }
+                    for (slot, pe) in checks.iter_mut() {
+                        if !pe.test(globals[*slot], pool, caches) {
+                            return src.len() < target;
+                        }
+                    }
+                    src.push(row);
+                    for &(slot, _) in primaries.iter() {
+                        vals[slot].push(globals[slot]);
+                    }
+                    src.len() < target
+                });
+            ev.rows_scanned += visited;
+            if meter.charge_scan(visited)? {
+                let bytes = (src.len() as u64).saturating_mul(4).saturating_add(
+                    vals.iter()
+                        .fold(0u64, |a, v| a.saturating_add(v.len() as u64 * 4)),
+                );
+                meter.charge_intermediate(src.len() as u64, bytes)?;
+            }
+            if let Some(p) = stopped {
+                *scan = Some(Scan { entry, at: Some(p) });
+                return Ok(());
+            }
+        }
+        *pos += 1;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+/// Persistent merge-probe state: the right-side run pointer (forward-only
+/// across batches) and the previous batch's last left key (the boundary
+/// half of the incremental sortedness check).
+struct MergeState {
+    r_key: usize,
+    run: usize,
+    prev: Option<TermId>,
+}
+
+/// Cached probe index over the materialized right side, keyed by the key
+/// positions it was built for (rebuilt only when a left batch's bound-ness
+/// changes the usable key set).
+struct ProbeCache {
+    key_positions: Vec<usize>,
+    index: ProbeIndex,
+}
+
+enum ProbeIndex {
+    One(HashMap<TermId, Vec<u32>>),
+    Many(HashMap<Vec<TermId>, Vec<u32>>),
+    Nested,
+}
+
+/// Streaming join (inner or left): the right input is materialized as the
+/// build side (charged against the budget as it accumulates — joins are
+/// half pipeline-breaker), the left streams through as the probe side.
+///
+/// Every probe strategy — merge run, single-/multi-key hash, cross-product
+/// bucket, nested loop — emits the identical pair list (per left row in
+/// input order, compatible right rows in ascending right-index order, an
+/// unmatched marker for left joins), so the per-batch strategy choice and
+/// any mid-stream merge→hash demotion are invisible downstream.
+struct JoinOp<'e> {
+    left: BoxOp<'e>,
+    right: BoxOp<'e>,
+    kind: JoinKind,
+    merge_key: Option<&'e str>,
+    vars: Vec<String>,
+    right_table: Option<IdTable>,
+    /// `Some` while the merge-join claim survives; demoted to `None` (hash
+    /// probing) the moment a left batch refutes it.
+    merge: Option<MergeState>,
+    probe: Option<ProbeCache>,
+    staged: Option<Staged>,
+    done: bool,
+}
+
+impl<'e> JoinOp<'e> {
+    fn new(left: BoxOp<'e>, right: BoxOp<'e>, kind: JoinKind, merge_key: Option<&'e str>) -> Self {
+        let mut vars = left.vars().to_vec();
+        for v in right.vars() {
+            if !vars.contains(v) {
+                vars.push(v.clone());
+            }
+        }
+        JoinOp {
+            left,
+            right,
+            kind,
+            merge_key,
+            vars,
+            right_table: None,
+            merge: None,
+            probe: None,
+            staged: None,
+            done: false,
+        }
+    }
+
+    /// Drain and materialize the build (right) side, then check the
+    /// merge-join claim's right half (key column fully bound and
+    /// non-decreasing — the same check `join_sorted` runs).
+    fn build_side(&mut self, ev: &mut Evaluator<'e>, target: usize) -> Result<()> {
+        let mut acc = IdTable::with_vars(self.right.vars().to_vec());
+        while let Some(b) = self.right.next_batch(ev, target)? {
+            acc.append(&b);
+            ev.meter
+                .charge_intermediate(acc.len() as u64, acc.estimated_bytes())?;
+        }
+        if let Some(key) = self.merge_key {
+            let left_has = self.left.vars().iter().any(|v| v == key);
+            if let (true, Some(rc)) = (left_has, acc.column_index(key)) {
+                let col = acc.col(rc);
+                if col.all_present() && col.ids().windows(2).all(|w| w[0] <= w[1]) {
+                    self.merge = Some(MergeState {
+                        r_key: rc,
+                        run: 0,
+                        prev: None,
+                    });
+                }
+            }
+        }
+        self.right_table = Some(acc);
+        Ok(())
+    }
+}
+
+impl<'e> Operator<'e> for JoinOp<'e> {
+    fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    fn next_batch(&mut self, ev: &mut Evaluator<'e>, batch_rows: usize) -> Result<Option<IdTable>> {
+        let target = batch_rows.max(1);
+        loop {
+            if let Some(w) = take_window(&mut self.staged, target) {
+                return Ok(Some(w));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            if self.right_table.is_none() {
+                self.build_side(ev, target)?;
+            }
+            let batch = match self.left.next_batch(ev, target)? {
+                Some(b) => b,
+                None => {
+                    self.done = true;
+                    // The rewrite counter records a merge join that held its
+                    // claim over the *entire* left input — exactly when the
+                    // materializing `join_sorted` would have taken it.
+                    if self.merge_key.is_some() && self.merge.is_some() {
+                        match self.kind {
+                            JoinKind::Inner => ev.merge_joins += 1,
+                            JoinKind::Left => ev.merge_left_joins += 1,
+                        }
+                    }
+                    return Ok(None);
+                }
+            };
+            let JoinOp {
+                right_table,
+                merge,
+                probe,
+                kind,
+                merge_key,
+                ..
+            } = self;
+            let right = right_table.as_ref().expect("build side materialized");
+            let shape = JoinShape::new(&batch, right);
+
+            // Left half of the merge claim, checked batch-incrementally.
+            let mut merge_key_col = None;
+            if merge.is_some() {
+                let lc = batch
+                    .column_index(merge_key.expect("merge state implies key"))
+                    .expect("key column is static in the left schema");
+                let col = batch.col(lc);
+                let ok = col.all_present()
+                    && col.ids().windows(2).all(|w| w[0] <= w[1])
+                    && merge
+                        .as_ref()
+                        .and_then(|m| m.prev)
+                        .is_none_or(|p| p <= col.ids()[0]);
+                if ok {
+                    merge_key_col = Some(lc);
+                } else {
+                    *merge = None;
+                }
+            }
+
+            let pairs = match (&mut *merge, merge_key_col) {
+                (Some(ms), Some(lc)) => {
+                    let lk = batch.col(lc).ids();
+                    let rk = right.col(ms.r_key).ids();
+                    let mut pairs: Vec<(u32, u32)> = Vec::new();
+                    for (li, &key) in lk.iter().enumerate() {
+                        while ms.run < rk.len() && rk[ms.run] < key {
+                            ms.run += 1;
+                        }
+                        let mut ri = ms.run;
+                        let mut matched = false;
+                        while ri < rk.len() && rk[ri] == key {
+                            if shape.compatible(&batch, right, li, ri) {
+                                pairs.push((li as u32, ri as u32));
+                                matched = true;
+                            }
+                            ri += 1;
+                        }
+                        if !matched && *kind == JoinKind::Left {
+                            pairs.push((li as u32, NO_MATCH));
+                        }
+                        ev.meter
+                            .charge_intermediate(pairs.len() as u64, pairs.len() as u64 * 8)?;
+                    }
+                    ms.prev = lk.last().copied();
+                    pairs
+                }
+                _ => hash_probe(&batch, right, &shape, probe, *kind, &mut ev.meter)?,
+            };
+            if pairs.is_empty() {
+                continue;
+            }
+            let out = assemble_join(&batch, right, shape.out_vars, &pairs);
+            self.staged = Some(Staged { table: out, off: 0 });
+        }
+    }
+
+    fn live_size(&self) -> (u64, u64) {
+        let mut acc = add2(self.left.live_size(), self.right.live_size());
+        if let Some(r) = &self.right_table {
+            acc = add2(acc, (r.len() as u64, r.estimated_bytes()));
+        }
+        add2(acc, staged_live(&self.staged))
+    }
+}
+
+/// Hash-probe one left batch against the materialized right side,
+/// replicating [`join`]'s key selection and pair order exactly. The key
+/// positions are chosen per batch (bound-ness of the *batch*, not the whole
+/// left input, is what's observable here); any choice yields the same pair
+/// list because bucket membership plus the compatibility check equals the
+/// full compatibility predicate whenever the key columns are all-present.
+fn hash_probe(
+    batch: &IdTable,
+    right: &IdTable,
+    shape: &JoinShape,
+    probe: &mut Option<ProbeCache>,
+    kind: JoinKind,
+    meter: &mut BudgetMeter,
+) -> Result<Vec<(u32, u32)>> {
+    let key_positions: Vec<usize> = (0..shape.shared_len())
+        .filter(|&k| {
+            batch.col(shape.l_idx[k]).all_present() && right.col(shape.r_idx[k]).all_present()
+        })
+        .collect();
+    let rebuild = match probe.as_ref() {
+        Some(pc) => pc.key_positions != key_positions,
+        None => true,
+    };
+    if rebuild {
+        let index = if key_positions.len() == 1 {
+            let rk = right.col(shape.r_idx[key_positions[0]]);
+            let mut m: HashMap<TermId, Vec<u32>> = HashMap::with_capacity(right.len());
+            for (ri, &id) in rk.ids().iter().enumerate() {
+                m.entry(id).or_default().push(ri as u32);
+            }
+            ProbeIndex::One(m)
+        } else if !key_positions.is_empty() || shape.shared_len() == 0 {
+            let mut m: HashMap<Vec<TermId>, Vec<u32>> = HashMap::with_capacity(right.len());
+            for ri in 0..right.len() {
+                let key: Vec<TermId> = key_positions
+                    .iter()
+                    .map(|&k| right.col(shape.r_idx[k]).ids()[ri])
+                    .collect();
+                m.entry(key).or_default().push(ri as u32);
+            }
+            ProbeIndex::Many(m)
+        } else {
+            ProbeIndex::Nested
+        };
+        *probe = Some(ProbeCache {
+            key_positions: key_positions.clone(),
+            index,
+        });
+    }
+    let index = &probe.as_ref().expect("probe index built").index;
+
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for li in 0..batch.len() {
+        let mut matched = false;
+        match index {
+            ProbeIndex::One(m) => {
+                let id = batch.col(shape.l_idx[key_positions[0]]).ids()[li];
+                if let Some(candidates) = m.get(&id) {
+                    for &ri in candidates {
+                        if shape.compatible(batch, right, li, ri as usize) {
+                            pairs.push((li as u32, ri));
+                            matched = true;
+                        }
+                    }
+                }
+            }
+            ProbeIndex::Many(m) => {
+                let key: Vec<TermId> = key_positions
+                    .iter()
+                    .map(|&k| batch.col(shape.l_idx[k]).ids()[li])
+                    .collect();
+                if let Some(candidates) = m.get(&key) {
+                    for &ri in candidates {
+                        if shape.compatible(batch, right, li, ri as usize) {
+                            pairs.push((li as u32, ri));
+                            matched = true;
+                        }
+                    }
+                }
+            }
+            ProbeIndex::Nested => {
+                for ri in 0..right.len() {
+                    if shape.compatible(batch, right, li, ri) {
+                        pairs.push((li as u32, ri as u32));
+                        matched = true;
+                    }
+                }
+            }
+        }
+        if !matched && kind == JoinKind::Left {
+            pairs.push((li as u32, NO_MATCH));
+        }
+        meter.charge_intermediate(pairs.len() as u64, pairs.len() as u64 * 8)?;
+    }
+    Ok(pairs)
+}
+
+// ---------------------------------------------------------------------------
+// Union
+// ---------------------------------------------------------------------------
+
+/// Bag union: stream the left input, then the right, aligning each batch
+/// to the combined schema (same column-at-a-time alignment as [`union`]).
+struct UnionOp<'e> {
+    left: BoxOp<'e>,
+    right: BoxOp<'e>,
+    vars: Vec<String>,
+    left_done: bool,
+}
+
+impl<'e> UnionOp<'e> {
+    fn new(left: BoxOp<'e>, right: BoxOp<'e>) -> Self {
+        let mut vars = left.vars().to_vec();
+        for v in right.vars() {
+            if !vars.contains(v) {
+                vars.push(v.clone());
+            }
+        }
+        UnionOp {
+            left,
+            right,
+            vars,
+            left_done: false,
+        }
+    }
+
+    fn align(&self, t: IdTable) -> IdTable {
+        if t.vars == self.vars {
+            return t;
+        }
+        let rows = t.len();
+        let mut cols = Vec::with_capacity(self.vars.len());
+        for v in &self.vars {
+            match t.column_index(v) {
+                Some(c) => {
+                    let mut col = Column::with_capacity(rows);
+                    for i in 0..rows {
+                        col.push(t.get(i, c));
+                    }
+                    cols.push(col);
+                }
+                None => cols.push(Column::absent(rows)),
+            }
+        }
+        IdTable::from_columns(self.vars.clone(), cols, rows)
+    }
+}
+
+impl<'e> Operator<'e> for UnionOp<'e> {
+    fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    fn next_batch(&mut self, ev: &mut Evaluator<'e>, batch_rows: usize) -> Result<Option<IdTable>> {
+        if !self.left_done {
+            if let Some(t) = self.left.next_batch(ev, batch_rows)? {
+                return Ok(Some(self.align(t)));
+            }
+            self.left_done = true;
+        }
+        match self.right.next_batch(ev, batch_rows)? {
+            Some(t) => Ok(Some(self.align(t))),
+            None => Ok(None),
+        }
+    }
+
+    fn live_size(&self) -> (u64, u64) {
+        add2(self.left.live_size(), self.right.live_size())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row-independent per-batch wrappers
+// ---------------------------------------------------------------------------
+
+/// [`Plan::Filter`]: per-batch application of the identical filter body.
+struct FilterOp<'e> {
+    input: BoxOp<'e>,
+    expr: &'e Expr,
+}
+
+impl<'e> Operator<'e> for FilterOp<'e> {
+    fn vars(&self) -> &[String] {
+        self.input.vars()
+    }
+
+    fn next_batch(&mut self, ev: &mut Evaluator<'e>, batch_rows: usize) -> Result<Option<IdTable>> {
+        loop {
+            match self.input.next_batch(ev, batch_rows)? {
+                Some(t) => {
+                    let out = ev.filter_table(self.expr, t);
+                    if !out.is_empty() {
+                        return Ok(Some(out));
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn live_size(&self) -> (u64, u64) {
+        self.input.live_size()
+    }
+}
+
+/// [`Plan::Extend`]: rows are evaluated in input order (intern order is
+/// row order), so per-batch application produces the identical column.
+struct ExtendOp<'e> {
+    input: BoxOp<'e>,
+    var: &'e str,
+    expr: &'e Expr,
+    vars: Vec<String>,
+}
+
+impl<'e> ExtendOp<'e> {
+    fn new(input: BoxOp<'e>, var: &'e str, expr: &'e Expr) -> Self {
+        let mut vars = input.vars().to_vec();
+        if !vars.iter().any(|v| v == var) {
+            vars.push(var.to_string());
+        }
+        ExtendOp {
+            input,
+            var,
+            expr,
+            vars,
+        }
+    }
+}
+
+impl<'e> Operator<'e> for ExtendOp<'e> {
+    fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    fn next_batch(&mut self, ev: &mut Evaluator<'e>, batch_rows: usize) -> Result<Option<IdTable>> {
+        match self.input.next_batch(ev, batch_rows)? {
+            Some(t) => Ok(Some(ev.extend_table(self.var, self.expr, t))),
+            None => Ok(None),
+        }
+    }
+
+    fn live_size(&self) -> (u64, u64) {
+        self.input.live_size()
+    }
+}
+
+/// [`Plan::Project`]: pure column shuffling, applied per batch.
+struct ProjectOp<'e> {
+    input: BoxOp<'e>,
+    vars: Vec<String>,
+}
+
+impl<'e> Operator<'e> for ProjectOp<'e> {
+    fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    fn next_batch(&mut self, ev: &mut Evaluator<'e>, batch_rows: usize) -> Result<Option<IdTable>> {
+        match self.input.next_batch(ev, batch_rows)? {
+            Some(t) => Ok(Some(project_table(&self.vars, t))),
+            None => Ok(None),
+        }
+    }
+
+    fn live_size(&self) -> (u64, u64) {
+        self.input.live_size()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grouping
+// ---------------------------------------------------------------------------
+
+/// A sortedness claim tracked incrementally across batches: refuted once,
+/// refuted forever. Controls only the rewrite *counters* (`sorted_groups`,
+/// `sorted_distincts`) — the streaming operators always use hash state, so
+/// a refuted claim changes no output (hash and run-detection strategies
+/// are pinned to emit identical first-occurrence bags).
+struct SortedClaim {
+    cols: Vec<usize>,
+    prev: Option<Vec<TermId>>,
+    valid: bool,
+}
+
+impl SortedClaim {
+    fn check(&mut self, batch: &IdTable) {
+        if self.valid && !batch_sorted_on(batch, &self.cols, &mut self.prev) {
+            self.valid = false;
+        }
+    }
+}
+
+/// Per-aggregate streaming plan. Mirrors `eval_group`'s id-native plans
+/// except `SUM/AVG/MIN/MAX` over a column, which needs a whole-input
+/// numeric precheck the streaming operator cannot run — those degrade to
+/// the general term path, whose results are pinned identical to the
+/// numeric accumulator by `numeric_accum_matches_agg_state`.
+enum StreamAggPlan<'e> {
+    Star,
+    CountCol { idx: usize, distinct: bool },
+    SampleCol { idx: usize },
+    General(&'e Expr),
+}
+
+enum StreamAccum {
+    Terms(Box<AggState>),
+    CountIds {
+        seen: Option<HashSet<TermId>>,
+        count: usize,
+    },
+    First(Option<TermId>),
+}
+
+enum StreamGroupIndex {
+    One(HashMap<u64, usize>),
+    Many(HashMap<Vec<u64>, usize>),
+}
+
+/// Streaming GROUP BY: a pipeline breaker whose live state is the group
+/// table, not the input — rows accumulate into per-group accumulators
+/// batch by batch and the output is emitted only at input exhaustion, in
+/// first-occurrence order (the order every materializing strategy emits).
+struct GroupOp<'e> {
+    input: BoxOp<'e>,
+    keys: &'e [String],
+    aggs: &'e [AggSpec],
+    vars: Vec<String>,
+    key_indices: Vec<Option<usize>>,
+    plans: Vec<StreamAggPlan<'e>>,
+    index: StreamGroupIndex,
+    groups: Vec<(Vec<Option<TermId>>, Vec<StreamAccum>)>,
+    claim: Option<SortedClaim>,
+    group_bytes: u64,
+    staged: Option<Staged>,
+    drained: bool,
+}
+
+impl<'e> GroupOp<'e> {
+    fn new(
+        input: BoxOp<'e>,
+        keys: &'e [String],
+        aggs: &'e [AggSpec],
+        sorted_on: &'e [String],
+    ) -> Self {
+        let child = input.vars();
+        let key_indices: Vec<Option<usize>> = keys
+            .iter()
+            .map(|k| child.iter().position(|v| v == k))
+            .collect();
+        let plans: Vec<StreamAggPlan<'e>> = aggs
+            .iter()
+            .map(|spec| match &spec.expr {
+                None => StreamAggPlan::Star,
+                Some(Expr::Var(v)) => match child.iter().position(|c| c == v) {
+                    Some(idx) => match spec.op {
+                        AggOp::Count => StreamAggPlan::CountCol {
+                            idx,
+                            distinct: spec.distinct,
+                        },
+                        AggOp::Sample => StreamAggPlan::SampleCol { idx },
+                        AggOp::Sum | AggOp::Avg | AggOp::Min | AggOp::Max => {
+                            StreamAggPlan::General(spec.expr.as_ref().unwrap())
+                        }
+                    },
+                    None => StreamAggPlan::General(spec.expr.as_ref().unwrap()),
+                },
+                Some(e) => StreamAggPlan::General(e),
+            })
+            .collect();
+
+        let mut index = if key_indices.len() == 1 {
+            StreamGroupIndex::One(HashMap::new())
+        } else {
+            StreamGroupIndex::Many(HashMap::new())
+        };
+        let mut groups: Vec<(Vec<Option<TermId>>, Vec<StreamAccum>)> = Vec::new();
+        if keys.is_empty() {
+            // Implicit single group (aggregation without GROUP BY).
+            if let StreamGroupIndex::Many(m) = &mut index {
+                m.insert(Vec::new(), 0);
+            }
+            groups.push((Vec::new(), fresh_stream_accums(aggs, &plans)));
+        }
+
+        // Static half of the `sorted_on` claim (the batch-local half runs
+        // per batch): annotation present, set-equal to the keys, and every
+        // claimed column exists in the input schema.
+        let eligible = !sorted_on.is_empty()
+            && keys.iter().all(|k| sorted_on.contains(k))
+            && sorted_on.iter().all(|v| keys.contains(v));
+        let claim = if eligible {
+            sorted_on
+                .iter()
+                .map(|v| child.iter().position(|c| c == v))
+                .collect::<Option<Vec<_>>>()
+                .map(|cols| SortedClaim {
+                    cols,
+                    prev: None,
+                    valid: true,
+                })
+        } else {
+            None
+        };
+
+        let mut vars: Vec<String> = keys.to_vec();
+        vars.extend(aggs.iter().map(|a| a.output.clone()));
+        let group_bytes =
+            (keys.len() as u64).saturating_mul(16) + (aggs.len() as u64).saturating_mul(64);
+        GroupOp {
+            input,
+            keys,
+            aggs,
+            vars,
+            key_indices,
+            plans,
+            index,
+            groups,
+            claim,
+            group_bytes,
+            staged: None,
+            drained: false,
+        }
+    }
+
+    /// Fold one input batch into the group table (the identical per-row
+    /// body as `eval_group`'s sequential loop, hash strategies only).
+    fn accumulate(&mut self, ev: &mut Evaluator<'e>, batch: &IdTable) -> Result<()> {
+        if let Some(claim) = &mut self.claim {
+            claim.check(batch);
+        }
+        let GroupOp {
+            aggs,
+            key_indices,
+            plans,
+            index,
+            groups,
+            group_bytes,
+            ..
+        } = self;
+        for i in 0..batch.len() {
+            ev.meter.charge_intermediate(
+                groups.len() as u64,
+                (groups.len() as u64).saturating_mul(*group_bytes),
+            )?;
+            let existing: Option<usize> = match index {
+                StreamGroupIndex::One(m) => {
+                    let enc = match key_indices[0] {
+                        Some(c) => batch.col(c).hash_code(i),
+                        None => 0,
+                    };
+                    let slot = m.entry(enc).or_insert(usize::MAX);
+                    if *slot == usize::MAX {
+                        *slot = groups.len();
+                        None
+                    } else {
+                        Some(*slot)
+                    }
+                }
+                StreamGroupIndex::Many(m) => {
+                    let key_enc: Vec<u64> = key_indices
+                        .iter()
+                        .map(|ki| match ki {
+                            Some(c) => batch.col(*c).hash_code(i),
+                            None => 0,
+                        })
+                        .collect();
+                    let slot = m.entry(key_enc).or_insert(usize::MAX);
+                    if *slot == usize::MAX {
+                        *slot = groups.len();
+                        None
+                    } else {
+                        Some(*slot)
+                    }
+                }
+            };
+            let gi = match existing {
+                Some(gi) => gi,
+                None => {
+                    let gi = groups.len();
+                    let key: Vec<Option<TermId>> = key_indices
+                        .iter()
+                        .map(|ki| ki.and_then(|c| batch.get(i, c)))
+                        .collect();
+                    groups.push((key, fresh_stream_accums(aggs, plans)));
+                    gi
+                }
+            };
+            for (accum, plan) in groups[gi].1.iter_mut().zip(plans.iter()) {
+                match (accum, plan) {
+                    (StreamAccum::Terms(state), StreamAggPlan::Star) => state.push_star(),
+                    (StreamAccum::Terms(state), StreamAggPlan::General(e)) => {
+                        let value = {
+                            let buf = &mut ev.scratch;
+                            batch.read_row(i, buf);
+                            let ctx = IdRowCtx {
+                                vars: &batch.vars,
+                                row: buf,
+                                pool: &ev.pool,
+                            };
+                            eval_expr(e, ctx, &mut ev.caches)
+                        };
+                        state.push_pooled(value, &mut ev.pool);
+                    }
+                    (
+                        StreamAccum::CountIds { seen, count },
+                        StreamAggPlan::CountCol { idx, .. },
+                    ) => {
+                        if let Some(id) = batch.get(i, *idx) {
+                            match seen {
+                                Some(set) => {
+                                    if set.insert(id) {
+                                        *count += 1;
+                                    }
+                                }
+                                None => *count += 1,
+                            }
+                        }
+                    }
+                    (StreamAccum::First(first), StreamAggPlan::SampleCol { idx }) => {
+                        if first.is_none() {
+                            *first = batch.get(i, *idx);
+                        }
+                    }
+                    _ => unreachable!("accumulator/plan shape mismatch"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit the group table (first-occurrence order, identical interning
+    /// sequence to `eval_group`'s finish loop).
+    fn finish(&mut self, ev: &mut Evaluator<'e>) -> Result<()> {
+        if let Some(claim) = &self.claim {
+            if claim.valid {
+                ev.sorted_groups += 1;
+            }
+        }
+        let groups = std::mem::take(&mut self.groups);
+        let n_groups = groups.len();
+        let mut key_cols: Vec<Column> = (0..self.keys.len())
+            .map(|_| Column::with_capacity(n_groups))
+            .collect();
+        let mut agg_cols: Vec<Column> = (0..self.aggs.len())
+            .map(|_| Column::with_capacity(n_groups))
+            .collect();
+        for (key, accums) in groups {
+            for (col, v) in key_cols.iter_mut().zip(key) {
+                col.push(v);
+            }
+            for (col, accum) in agg_cols.iter_mut().zip(accums) {
+                let value: Option<TermId> = match accum {
+                    StreamAccum::Terms(state) => state.finish().map(|t| ev.pool.intern(t)),
+                    StreamAccum::CountIds { count, .. } => {
+                        Some(ev.pool.intern(Term::integer(count as i64)))
+                    }
+                    StreamAccum::First(id) => id,
+                };
+                col.push(value);
+            }
+        }
+        key_cols.extend(agg_cols);
+        let t = IdTable::from_columns(self.vars.clone(), key_cols, n_groups);
+        self.staged = Some(Staged { table: t, off: 0 });
+        Ok(())
+    }
+}
+
+fn fresh_stream_accums(aggs: &[AggSpec], plans: &[StreamAggPlan]) -> Vec<StreamAccum> {
+    aggs.iter()
+        .zip(plans)
+        .map(|(a, plan)| match plan {
+            StreamAggPlan::CountCol { distinct, .. } => StreamAccum::CountIds {
+                seen: distinct.then(HashSet::new),
+                count: 0,
+            },
+            StreamAggPlan::SampleCol { .. } => StreamAccum::First(None),
+            _ => StreamAccum::Terms(Box::new(AggState::new_id_distinct(a.op, a.distinct))),
+        })
+        .collect()
+}
+
+impl<'e> Operator<'e> for GroupOp<'e> {
+    fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    fn next_batch(&mut self, ev: &mut Evaluator<'e>, batch_rows: usize) -> Result<Option<IdTable>> {
+        let target = batch_rows.max(1);
+        if !self.drained {
+            while let Some(b) = self.input.next_batch(ev, target)? {
+                self.accumulate(ev, &b)?;
+            }
+            self.drained = true;
+            self.finish(ev)?;
+        }
+        Ok(take_window(&mut self.staged, target))
+    }
+
+    fn live_size(&self) -> (u64, u64) {
+        let own = (
+            self.groups.len() as u64,
+            (self.groups.len() as u64).saturating_mul(self.group_bytes),
+        );
+        add2(add2(self.input.live_size(), own), staged_live(&self.staged))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distinct
+// ---------------------------------------------------------------------------
+
+/// Streaming DISTINCT (plain and order-claimed): a persistent seen-set
+/// keeps first occurrences across batches — the exact keep-first bag both
+/// `hash_distinct` and the sorted run-detection path produce. The order
+/// claim (when present) is verified incrementally purely to drive the
+/// `sorted_distincts` counter.
+struct DistinctOp<'e> {
+    input: BoxOp<'e>,
+    seen_one: Option<HashSet<u64>>,
+    seen_many: Option<HashSet<Vec<u64>>>,
+    claim: Option<SortedClaim>,
+    done: bool,
+}
+
+impl<'e> DistinctOp<'e> {
+    fn new(input: BoxOp<'e>, order: Option<&'e [String]>) -> Self {
+        let child = input.vars();
+        let width = child.len();
+        // Static half of the order claim: every order var is a column and
+        // every column is covered by the order (else order-equal rows could
+        // differ and the claim is ineligible, same as `sorted_distinct_mask`).
+        let claim = order.and_then(|order| {
+            let cols: Option<Vec<usize>> = order
+                .iter()
+                .map(|v| child.iter().position(|c| c == v))
+                .collect();
+            let covered = child.iter().all(|v| order.contains(v));
+            match (cols, covered) {
+                (Some(cols), true) => Some(SortedClaim {
+                    cols,
+                    prev: None,
+                    valid: true,
+                }),
+                _ => None,
+            }
+        });
+        DistinctOp {
+            input,
+            seen_one: (width == 1).then(HashSet::new),
+            seen_many: (width != 1).then(HashSet::new),
+            claim,
+            done: false,
+        }
+    }
+}
+
+impl<'e> Operator<'e> for DistinctOp<'e> {
+    fn vars(&self) -> &[String] {
+        self.input.vars()
+    }
+
+    fn next_batch(&mut self, ev: &mut Evaluator<'e>, batch_rows: usize) -> Result<Option<IdTable>> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            match self.input.next_batch(ev, batch_rows)? {
+                None => {
+                    self.done = true;
+                    if let Some(claim) = &self.claim {
+                        if claim.valid {
+                            ev.sorted_distincts += 1;
+                        }
+                    }
+                    return Ok(None);
+                }
+                Some(mut t) => {
+                    if let Some(claim) = &mut self.claim {
+                        claim.check(&t);
+                    }
+                    let width = t.vars.len();
+                    let mut keep = Vec::with_capacity(t.len());
+                    let mut live = 0u64;
+                    if let Some(seen) = &mut self.seen_one {
+                        let col = t.col(0);
+                        for i in 0..t.len() {
+                            keep.push(seen.insert(col.hash_code(i)));
+                        }
+                        live = seen.len() as u64;
+                    } else if let Some(seen) = &mut self.seen_many {
+                        for i in 0..t.len() {
+                            let key: Vec<u64> = (0..width).map(|c| t.col(c).hash_code(i)).collect();
+                            keep.push(seen.insert(key));
+                        }
+                        live = seen.len() as u64;
+                    }
+                    // The seen-set is this breaker's accumulating state.
+                    ev.meter
+                        .charge_intermediate(live, live.saturating_mul(8 * width.max(1) as u64))?;
+                    t.filter_mask(&keep);
+                    if !t.is_empty() {
+                        return Ok(Some(t));
+                    }
+                }
+            }
+        }
+    }
+
+    fn live_size(&self) -> (u64, u64) {
+        let rows = self
+            .seen_one
+            .as_ref()
+            .map(|s| s.len() as u64)
+            .or_else(|| self.seen_many.as_ref().map(|s| s.len() as u64))
+            .unwrap_or(0);
+        add2(self.input.live_size(), (rows, rows.saturating_mul(16)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sort / TopK (pipeline breakers)
+// ---------------------------------------------------------------------------
+
+/// ORDER BY (full sort) and TopK (bounded sort): materialize only their
+/// own input, charging the accumulation against the budget as it grows.
+/// TopK additionally compacts periodically — `top_k` of a prefix keeps
+/// exactly the rows that can still reach the final top `k` and preserves
+/// arrival order among key-equal survivors, so compaction is invisible in
+/// the final result.
+struct SortOp<'e> {
+    input: BoxOp<'e>,
+    keys: &'e [OrderKey],
+    k: Option<usize>,
+    acc: IdTable,
+    staged: Option<Staged>,
+    drained: bool,
+}
+
+impl<'e> SortOp<'e> {
+    fn new(input: BoxOp<'e>, keys: &'e [OrderKey], k: Option<usize>) -> Self {
+        let acc = IdTable::with_vars(input.vars().to_vec());
+        SortOp {
+            input,
+            keys,
+            k,
+            acc,
+            staged: None,
+            drained: false,
+        }
+    }
+
+    /// Compaction threshold: enough headroom that compaction is rare
+    /// (amortized O(1) per row) while the accumulator stays O(k + const).
+    fn compact_at(k: usize) -> usize {
+        k.saturating_add(k.max(8192))
+    }
+}
+
+impl<'e> Operator<'e> for SortOp<'e> {
+    fn vars(&self) -> &[String] {
+        self.input.vars()
+    }
+
+    fn next_batch(&mut self, ev: &mut Evaluator<'e>, batch_rows: usize) -> Result<Option<IdTable>> {
+        let target = batch_rows.max(1);
+        if !self.drained {
+            while let Some(b) = self.input.next_batch(ev, target)? {
+                self.acc.append(&b);
+                ev.meter
+                    .charge_intermediate(self.acc.len() as u64, self.acc.estimated_bytes())?;
+                if let Some(k) = self.k {
+                    if self.acc.len() >= Self::compact_at(k) {
+                        ev.top_k(&mut self.acc, self.keys, k);
+                    }
+                }
+            }
+            self.drained = true;
+            let mut acc = std::mem::take(&mut self.acc);
+            match self.k {
+                Some(k) => ev.top_k(&mut acc, self.keys, k),
+                None => ev.sort_rows(&mut acc, self.keys),
+            }
+            self.staged = Some(Staged { table: acc, off: 0 });
+        }
+        Ok(take_window(&mut self.staged, target))
+    }
+
+    fn live_size(&self) -> (u64, u64) {
+        let own = (self.acc.len() as u64, self.acc.estimated_bytes());
+        add2(add2(self.input.live_size(), own), staged_live(&self.staged))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice (early exit)
+// ---------------------------------------------------------------------------
+
+/// OFFSET/LIMIT with genuine early termination: once `limit` rows have
+/// been emitted the operator stops pulling upstream entirely, so upstream
+/// scans never run — the one place streaming legitimately does *less* scan
+/// work than the materializing path (the documented parity carve-out).
+struct SliceOp<'e> {
+    input: BoxOp<'e>,
+    offset: usize,
+    limit: Option<usize>,
+    skipped: usize,
+    emitted: usize,
+    done: bool,
+}
+
+impl<'e> Operator<'e> for SliceOp<'e> {
+    fn vars(&self) -> &[String] {
+        self.input.vars()
+    }
+
+    fn next_batch(&mut self, ev: &mut Evaluator<'e>, batch_rows: usize) -> Result<Option<IdTable>> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            if let Some(lim) = self.limit {
+                if self.emitted >= lim {
+                    self.done = true;
+                    return Ok(None);
+                }
+            }
+            match self.input.next_batch(ev, batch_rows)? {
+                None => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                Some(mut t) => {
+                    if self.skipped < self.offset {
+                        let skip = (self.offset - self.skipped).min(t.len());
+                        self.skipped += skip;
+                        if skip == t.len() {
+                            continue;
+                        }
+                        t.slice(skip, None);
+                    }
+                    if let Some(lim) = self.limit {
+                        let rem = lim - self.emitted;
+                        if t.len() > rem {
+                            t.slice(0, Some(rem));
+                        }
+                    }
+                    if t.is_empty() {
+                        continue;
+                    }
+                    self.emitted += t.len();
+                    return Ok(Some(t));
+                }
+            }
+        }
+    }
+
+    fn live_size(&self) -> (u64, u64) {
+        self.input.live_size()
+    }
+}

@@ -244,6 +244,12 @@ impl IdTable {
         &self.cols[idx]
     }
 
+    /// Borrow all columns (the streaming BGP operator hands them to the
+    /// shared scan-loop body, which takes a column slice).
+    pub(crate) fn columns(&self) -> &[Column] {
+        &self.cols
+    }
+
     /// Read one cell.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> Option<TermId> {
@@ -310,6 +316,19 @@ impl IdTable {
         }
         let idx: Vec<u32> = (start as u32..end as u32).collect();
         *self = self.gather_rows(&idx);
+    }
+
+    /// Concatenate another table's rows onto this one, column-wise. Both
+    /// tables must share the same schema (the streaming pipeline's
+    /// accumulating operators append same-plan batches).
+    pub(crate) fn append(&mut self, other: &IdTable) {
+        debug_assert_eq!(self.vars, other.vars);
+        for (dst, src) in self.cols.iter_mut().zip(&other.cols) {
+            for i in 0..other.rows {
+                dst.push(src.get(i));
+            }
+        }
+        self.rows += other.rows;
     }
 
     /// Decompose into `(vars, columns, row count)` so consuming operators

@@ -163,11 +163,16 @@ fn error_is_value_not_panic_and_engine_stays_usable() {
 #[test]
 fn cursor_path_enforces_budgets() {
     let ds = dataset(4000);
-    // Eager cursor evaluation: the violation surfaces at cursor creation.
-    let tripped = engine(
-        &ds,
-        EvalMode::Columnar,
-        QueryBudget::unlimited().with_max_intermediate_rows(50_000),
+    let budget = QueryBudget::unlimited().with_max_intermediate_rows(50_000);
+    // Materializing cursor (streaming off): evaluation is eager, so the
+    // violation surfaces at cursor creation.
+    let tripped = Engine::with_config(
+        Arc::clone(&ds),
+        EngineConfig {
+            budget: budget.clone(),
+            streaming: false,
+            ..EngineConfig::new()
+        },
     );
     let prepared = tripped.prepare(CROSS_JOIN).unwrap();
     assert!(matches!(
@@ -176,6 +181,32 @@ fn cursor_path_enforces_budgets() {
             resource: ResourceKind::IntermediateRows,
             ..
         })
+    ));
+
+    // Streaming cursor: creation only compiles the pipeline, so budget
+    // violations surface while draining instead. The bare cross join
+    // streams with bounded live state and would complete; an ORDER BY on
+    // top is a pipeline breaker that must accumulate its input — the same
+    // typed trip, now raised from inside `next_batch`.
+    let streaming = engine(&ds, EvalMode::Columnar, budget);
+    let ordered = format!("{CROSS_JOIN} ORDER BY ?a");
+    let prepared = streaming.prepare(&ordered).unwrap();
+    let mut cursor = streaming
+        .cursor(&prepared, 1024)
+        .expect("streaming cursor creation does no evaluation");
+    let err = loop {
+        match cursor.next_batch() {
+            Ok(Some(_)) => continue,
+            Ok(None) => panic!("runaway query must not complete"),
+            Err(e) => break e,
+        }
+    };
+    assert!(matches!(
+        err,
+        EngineError::ResourceExhausted {
+            resource: ResourceKind::IntermediateRows,
+            ..
+        }
     ));
 
     // A small result evaluates fine under a zero deadline (cooperative
@@ -189,15 +220,17 @@ fn cursor_path_enforces_budgets() {
     );
     let q = "SELECT ?s ?o FROM <http://g> WHERE { ?s <http://x/p> ?o }";
     let prepared = deadline.prepare(q).unwrap();
-    if let Ok(mut cursor) = deadline.cursor(&prepared, 4) {
-        assert!(matches!(
-            cursor.next_batch(),
-            Err(EngineError::ResourceExhausted {
-                resource: ResourceKind::Deadline,
-                ..
-            })
-        ));
-    }
+    let poll = deadline.cursor(&prepared, 4).and_then(|mut c| {
+        c.next_batch()?;
+        Ok(())
+    });
+    assert!(matches!(
+        poll,
+        Err(EngineError::ResourceExhausted {
+            resource: ResourceKind::Deadline,
+            ..
+        })
+    ));
 }
 
 #[test]

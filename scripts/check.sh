@@ -34,6 +34,15 @@ cargo test -q
 echo "==> cargo test (RDFFRAMES_THREADS=4)"
 RDFFRAMES_THREADS=4 cargo test -q
 
+# Batch-size invariance: the whole suite again with a tiny ambient cursor
+# batch (7 rows), so every embedded execution streams hundreds of batches
+# through the pull-based pipeline instead of a handful. Any test whose
+# result or work count depends on the batch size fails here. (Suites that
+# must control batching — e.g. the parallel-gate assertions — pin their
+# own batch size and are unaffected.)
+echo "==> cargo test (RDFFRAMES_BATCH_ROWS=7)"
+RDFFRAMES_BATCH_ROWS=7 cargo test -q
+
 # Budget-meter arithmetic is saturating by contract; run the enforcement
 # suite under the dev profile (debug assertions ON, so any overflow in
 # meter arithmetic aborts instead of wrapping). `cargo test -q` above
